@@ -1,0 +1,76 @@
+//! Ablation study (ours, motivated by the paper's §3): how much do the two
+//! optimizations and the edge-selection strategy matter?
+//!
+//! - **Optimization 1** (subtree skipping via `reduceLabels`);
+//! - **Optimization 2** (Z-curve-neighbour upper bounds);
+//! - **edge selection**: mutex-per-component vs GPU-style packed atomics.
+//!
+//! Reports wall time on the multithreaded backend plus the counted work, on
+//! three dataset archetypes. Expected: turning both optimizations off blows
+//! up distance computations by an order of magnitude (the O(n²) late-
+//! iteration behaviour the paper describes); Optimization 1 dominates on
+//! clustered data; the two edge-selection strategies tie on CPUs.
+
+use emst_bench::*;
+use emst_core::{EdgeSelection, EmstConfig, SingleTreeBoruvka};
+use emst_datasets::Kind;
+use emst_exec::Threads;
+use emst_geometry::Point;
+
+fn run_config<const D: usize>(points: &[Point<D>], cfg: &EmstConfig) -> (f64, u64, u64) {
+    let (r, secs) = time_it(|| SingleTreeBoruvka::new(points).run(&Threads, cfg));
+    (secs, r.work.distance_computations, r.work.node_visits)
+}
+
+fn main() {
+    let scale = bench_scale();
+    let n = bench_n_override().unwrap_or((100_000.0 * scale * 5.0) as usize);
+    println!("# Ablation: single-tree Borůvka optimizations (n = {n}, Threads backend)");
+    for (name, kind) in [
+        ("Uniform-2D", Kind::Uniform),
+        ("Normal-2D", Kind::Normal),
+        ("Hacc-like-2D", Kind::HaccLike),
+    ] {
+        let points: Vec<Point<2>> = kind.generate(n, 0xAB1);
+        println!();
+        println!("## {name}");
+        println!(
+            "{:<44} {:>10} {:>16} {:>14}",
+            "configuration", "seconds", "distance-comps", "node-visits"
+        );
+        let configs: [(&str, EmstConfig); 5] = [
+            (
+                "baseline (no skip, no bounds)",
+                EmstConfig { subtree_skipping: false, upper_bounds: false, ..Default::default() },
+            ),
+            (
+                "+ Optimization 1 (subtree skipping)",
+                EmstConfig { subtree_skipping: true, upper_bounds: false, ..Default::default() },
+            ),
+            (
+                "+ Optimization 2 (upper bounds)",
+                EmstConfig { subtree_skipping: false, upper_bounds: true, ..Default::default() },
+            ),
+            (
+                "+ both (paper configuration, Atomic64)",
+                EmstConfig { subtree_skipping: true, upper_bounds: true, ..Default::default() },
+            ),
+            (
+                "+ both, Locked edge selection",
+                EmstConfig {
+                    subtree_skipping: true,
+                    upper_bounds: true,
+                    edge_selection: EdgeSelection::Locked,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (label, cfg) in configs {
+            let (secs, dists, nodes) = run_config(&points, &cfg);
+            println!("{label:<44} {secs:>10.4} {dists:>16} {nodes:>14}");
+        }
+    }
+    println!();
+    println!("# expectation: both optimizations together cut distance computations by >2x");
+    println!("# (paper: they are what keeps late Borůvka iterations from O(n^2))");
+}

@@ -1,0 +1,39 @@
+//! Figure 5: sequential performance (MFeatures/sec) of the three EMST
+//! implementations across the twelve evaluation datasets.
+//!
+//! Paper shape to reproduce: MLPACK slower than MemoGFK(S) everywhere;
+//! ArborX(S) competitive with MemoGFK(S) on most datasets (up to 1.5×
+//! faster on Ngsimlocation3); GeoLife is the single-tree outlier (BVH
+//! quality under extreme density skew); rates roughly dimension-agnostic.
+
+use emst_bench::*;
+use emst_datasets::PaperDataset;
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Figure 5: sequential EMST performance (MFeatures/sec)");
+    println!("# scale = {scale} (EMST_BENCH_SCALE), GPU not involved");
+    println!();
+    println!(
+        "{:<16} {:>8} {:>4} {:>12} {:>12} {:>12}",
+        "dataset", "n", "dim", "MLPACK", "MemoGFK(S)", "ArborX(S)"
+    );
+    for ds in PaperDataset::FIGURE56 {
+        let n = bench_n_override().unwrap_or(ds.scaled_size(scale));
+        let cloud = ds.generate(n, 0xF15);
+        let mlpack = dual_tree_rate(&cloud);
+        let gfk = wspd_rate(&cloud, false);
+        let arborx = single_tree_rate_serial(&cloud);
+        println!(
+            "{:<16} {:>8} {:>4} {:>12.3} {:>12.3} {:>12.3}",
+            ds.name(),
+            n,
+            cloud.dim(),
+            mlpack,
+            gfk,
+            arborx
+        );
+    }
+    println!();
+    println!("# paper (Fig. 5, AMD EPYC 7763): MLPACK 0.2-0.7, MemoGFK(S) 0.1-1.2, ArborX(S) 0.5-1.1");
+}

@@ -1,0 +1,57 @@
+//! Figure 7: effect of dataset size on parallel performance — the
+//! subsampling experiment of §4.3.
+//!
+//! A large parent dataset is generated per archetype (Hacc497M-like,
+//! Normal300M2-like, Uniform300M3-like); subsets of increasing size are
+//! drawn with [`emst_datasets::sample_preserving_distribution`], and each
+//! implementation's rate is reported per size.
+//!
+//! Paper shape to reproduce: rates **rise** with size and then **saturate**
+//! (empirical evidence of asymptotically linear cost — a superlinear
+//! algorithm's rate would fall); the modeled device needs ~10⁶ points to
+//! saturate while the CPU peaks earlier.
+
+use emst_bench::*;
+use emst_datasets::{sample_preserving_distribution, PaperDataset, PointCloud};
+use emst_exec::DeviceModel;
+use emst_geometry::Point;
+
+fn subsample(cloud: &PointCloud, m: usize, seed: u64) -> PointCloud {
+    match cloud {
+        PointCloud::D2(v) => PointCloud::D2(sample_preserving_distribution(v, m, seed)),
+        PointCloud::D3(v) => PointCloud::D3(sample_preserving_distribution(v, m, seed)),
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let a100 = DeviceModel::a100_like();
+    println!("# Figure 7: rate vs subsample size (MFeatures/sec)");
+    println!("# columns: n, MemoGFK(MT), ArborX(MT), ArborX(A100-model)");
+    for ds in PaperDataset::FIGURE7 {
+        let parent_n =
+            bench_n_override().unwrap_or(((ds.scaled_size(scale) as f64) * 2.0) as usize);
+        let parent = ds.generate(parent_n, 0xF17);
+        println!();
+        println!("## {} (parent n = {parent_n}, dim = {})", ds.name(), parent.dim());
+        println!(
+            "{:>9} {:>14} {:>12} {:>16}",
+            "n", "MemoGFK(MT)", "ArborX(MT)", "ArborX(A100~)"
+        );
+        let mut m = 1000usize;
+        while m <= parent_n {
+            let sub = subsample(&parent, m, m as u64);
+            let gfk = wspd_rate(&sub, true);
+            let arborx_mt = single_tree_rate_threads(&sub);
+            let arborx_gpu = single_tree_rate_modeled(&sub, &a100);
+            println!("{m:>9} {gfk:>14.2} {arborx_mt:>12.2} {arborx_gpu:>16.2}");
+            if m == parent_n {
+                break;
+            }
+            m = (m * 4).min(parent_n);
+        }
+    }
+    println!();
+    println!("# paper (Fig. 7): both curves rise then flatten; ArborX saturates near 1e6 points");
+    let _ = Point::<2>::origin(); // keep the geometry dependency obvious
+}

@@ -1,0 +1,111 @@
+//! Figure 8: breakdown of the computational phases.
+//!
+//! **Part A (Fig. 8a)** — MemoGFK-like: T_mark, T_mst, T_tree, T_wspd,
+//! sequential vs multithreaded, with per-phase speed-ups. Paper shape:
+//! T_wspd dominates sequentially and scales best (up to 57×); tree
+//! construction scales worst and becomes the parallel bottleneck.
+//!
+//! **Part B (Fig. 8b)** — single-tree: T_tree and T_mst, sequential wall
+//! time vs modeled device time, with speed-ups. Paper shape: both phases
+//! scale strongly (best case ~360× and ~350× on the A100) except on the
+//! small RoadNetwork3D.
+
+use emst_bench::*;
+use emst_datasets::{PaperDataset, PointCloud};
+use emst_exec::DeviceModel;
+use emst_geometry::Point;
+
+const DATASETS: [PaperDataset; 6] = [
+    PaperDataset::GeoLife24M3D,
+    PaperDataset::RoadNetwork3D,
+    PaperDataset::Normal100M3,
+    PaperDataset::Normal100M2,
+    PaperDataset::PortoTaxi,
+    PaperDataset::Hacc37M,
+];
+
+fn wspd_phases(cloud: &PointCloud, parallel: bool) -> (f64, f64, f64, f64) {
+    fn inner<const D: usize>(points: &[Point<D>], parallel: bool) -> (f64, f64, f64, f64) {
+        let r = emst_wspd::wspd_emst(points, parallel);
+        (
+            r.timings.get("mark"),
+            r.timings.get("mst"),
+            r.timings.get("tree"),
+            r.timings.get("wspd"),
+        )
+    }
+    with_cloud(cloud, |p| inner(p, parallel), |p| inner(p, parallel))
+}
+
+fn single_tree_phases_wall(cloud: &PointCloud) -> (f64, f64) {
+    let (_, tree, mst) = with_cloud(
+        cloud,
+        |p| single_tree_wall(p, &emst_exec::Serial),
+        |p| single_tree_wall(p, &emst_exec::Serial),
+    );
+    (tree, mst)
+}
+
+fn single_tree_phases_modeled(cloud: &PointCloud, model: &DeviceModel) -> (f64, f64) {
+    let (_, tree, mst) = with_cloud(
+        cloud,
+        |p| single_tree_modeled(p, model),
+        |p| single_tree_modeled(p, model),
+    );
+    (tree, mst)
+}
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Figure 8a: MemoGFK-like phase breakdown (seconds; speedup = seq/MT)");
+    println!(
+        "{:<16} {:>8} | {:>9} {:>9} {:>9} {:>9} | {:>6} {:>6} {:>6} {:>6}",
+        "dataset", "n", "T_mark", "T_mst", "T_tree", "T_wspd", "xmark", "xmst", "xtree", "xwspd"
+    );
+    for ds in DATASETS {
+        let n = bench_n_override().unwrap_or(ds.scaled_size(scale));
+        let cloud = ds.generate(n, 0xF18);
+        let (s_mark, s_mst, s_tree, s_wspd) = wspd_phases(&cloud, false);
+        let (p_mark, p_mst, p_tree, p_wspd) = wspd_phases(&cloud, true);
+        println!(
+            "{:<16} {:>8} | {:>9.4} {:>9.4} {:>9.4} {:>9.4} | {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            ds.name(),
+            n,
+            s_mark,
+            s_mst,
+            s_tree,
+            s_wspd,
+            s_mark / p_mark.max(1e-9),
+            s_mst / p_mst.max(1e-9),
+            s_tree / p_tree.max(1e-9),
+            s_wspd / p_wspd.max(1e-9),
+        );
+    }
+    println!("# paper: T_wspd dominates sequential; speedups (64 cores): wspd 26-52x, tree 2-9x");
+
+    println!();
+    println!("# Figure 8b: single-tree phase breakdown (sequential seconds vs A100-model seconds)");
+    println!(
+        "{:<16} {:>8} | {:>10} {:>10} | {:>12} {:>12} | {:>7} {:>7}",
+        "dataset", "n", "seq tree", "seq mst", "model tree", "model mst", "xtree", "xmst"
+    );
+    let model = DeviceModel::a100_like();
+    for ds in DATASETS {
+        let n = bench_n_override().unwrap_or(ds.scaled_size(scale));
+        let cloud = ds.generate(n, 0xF18);
+        let (s_tree, s_mst) = single_tree_phases_wall(&cloud);
+        let (g_tree, g_mst) = single_tree_phases_modeled(&cloud, &model);
+        println!(
+            "{:<16} {:>8} | {:>10.4} {:>10.4} | {:>12.6} {:>12.6} | {:>7.0} {:>7.0}",
+            ds.name(),
+            n,
+            s_tree,
+            s_mst,
+            g_tree,
+            g_mst,
+            s_tree / g_tree.max(1e-12),
+            s_mst / g_mst.max(1e-12),
+        );
+    }
+    println!("# paper: both phases speed up 100-400x on the device, except small RoadNetwork3D");
+}

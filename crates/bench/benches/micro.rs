@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the substrates: Morton encoding, BVH
+//! construction, nearest-neighbour and k-NN traversals, and one Borůvka
+//! iteration's worth of constrained queries. These are regression
+//! benchmarks, not paper figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emst_bvh::Bvh;
+use emst_core::{EmstConfig, SingleTreeBoruvka};
+use emst_datasets::Kind;
+use emst_exec::{Serial, Threads};
+use emst_geometry::{Aabb, Point};
+use emst_morton::MortonEncoder;
+use std::hint::black_box;
+
+fn bench_morton(c: &mut Criterion) {
+    let points: Vec<Point<3>> = Kind::Uniform.generate(100_000, 1);
+    let scene = Aabb::from_points(&points);
+    let enc = MortonEncoder::new(&scene);
+    let mut g = c.benchmark_group("morton");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(points.len() as u64));
+    g.bench_function("encode_u64_3d_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for p in &points {
+                acc ^= enc.encode_u64(black_box(p));
+            }
+            acc
+        })
+    });
+    g.bench_function("encode_u128_3d_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for p in &points {
+                acc ^= enc.encode_u128(black_box(p));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_bvh_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvh_build");
+    g.sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    for &n in &[10_000usize, 100_000] {
+        let points: Vec<Point<3>> = Kind::HaccLike.generate(n, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("serial", n), &points, |b, pts| {
+            b.iter(|| Bvh::build(&Serial, black_box(pts)))
+        });
+        g.bench_with_input(BenchmarkId::new("threads", n), &points, |b, pts| {
+            b.iter(|| Bvh::build(&Threads, black_box(pts)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let points: Vec<Point<3>> = Kind::HaccLike.generate(100_000, 3);
+    let bvh = Bvh::build(&Threads, &points);
+    let queries: Vec<Point<3>> = Kind::Uniform.generate(1_000, 4);
+    let mut g = c.benchmark_group("traversal");
+    g.sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("nn_1k_queries_over_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for q in &queries {
+                acc ^= bvh.nearest_neighbor(black_box(q), u32::MAX).unwrap().rank;
+            }
+            acc
+        })
+    });
+    for &k in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("knn_1k_queries", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += bvh.k_nearest(black_box(q), k).len();
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_emst_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emst");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for &n in &[10_000usize, 50_000] {
+        let points: Vec<Point<2>> = Kind::Normal.generate(n, 5);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("single_tree_threads", n), &points, |b, pts| {
+            b.iter(|| SingleTreeBoruvka::new(pts).run(&Threads, &EmstConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_morton,
+    bench_bvh_build,
+    bench_traversal,
+    bench_emst_end_to_end
+);
+criterion_main!(benches);

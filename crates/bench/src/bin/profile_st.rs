@@ -1,0 +1,50 @@
+//! Quick phase/counter profile of the single-tree EMST vs the dual-tree
+//! baseline on one dataset. Usage:
+//!
+//! ```text
+//! cargo run --release -p emst-bench --bin profile_st [kind] [n]
+//! ```
+//!
+//! `kind` ∈ {uniform, normal, visualvar, hacc, geolife, ngsim, porto, road}
+//! (default hacc), `n` default 300000. 3D points.
+
+use emst_core::{EmstConfig, SingleTreeBoruvka};
+use emst_datasets::Kind;
+use emst_exec::Serial;
+use emst_geometry::Point;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = match args.get(1).map(String::as_str).unwrap_or("hacc") {
+        "uniform" => Kind::Uniform,
+        "normal" => Kind::Normal,
+        "visualvar" => Kind::VisualVar,
+        "geolife" => Kind::GeoLifeLike,
+        "ngsim" => Kind::NgsimLike,
+        "porto" => Kind::PortoTaxiLike,
+        "road" => Kind::RoadNetworkLike,
+        _ => Kind::HaccLike,
+    };
+    let n: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(300_000);
+
+    let points: Vec<Point<3>> = kind.generate(n, 0xF);
+    let r = SingleTreeBoruvka::new(&points).run(&Serial, &EmstConfig::default());
+    println!("single-tree ({kind:?}, n = {n}):");
+    for (name, secs) in r.timings.iter() {
+        println!("  {name:<22} {secs:.3}s");
+    }
+    println!("  iterations: {}", r.iterations);
+    let w = r.work;
+    println!(
+        "  dist {} nodes {} leaves {} skipped {} queries {}",
+        w.distance_computations, w.node_visits, w.leaf_visits, w.subtrees_skipped, w.queries
+    );
+    let d = emst_kdtree::dual_tree_emst(&points);
+    println!(
+        "dual-tree: tree {:.3}s mst {:.3}s dist {}",
+        d.timings.get("tree"),
+        d.timings.get("mst"),
+        d.distance_computations
+    );
+    assert!((r.total_weight - d.total_weight).abs() / r.total_weight < 1e-6);
+}

@@ -1,0 +1,200 @@
+//! Bulk query execution — the ArborX usage pattern the paper describes in
+//! §2: "each thread is assigned a single query, and all the traversals are
+//! performed independently in parallel ... the queries are pre-sorted with
+//! the goal to assign neighboring threads the queries that are
+//! geometrically close", which turns thread divergence into shared cache
+//! lines on both CPUs and GPUs.
+
+use emst_exec::{ExecSpace, SyncUnsafeSlice};
+use emst_geometry::{Aabb, Point, Scalar};
+use emst_morton::morton_order;
+
+use crate::build::Bvh;
+use crate::traverse::{NearestHit, TraversalStats};
+
+impl<const D: usize> Bvh<D> {
+    /// Nearest neighbour of every query point, executed as one bulk launch.
+    ///
+    /// Queries are pre-sorted along the Z-curve before the parallel launch
+    /// and the results scattered back to input order, exactly as ArborX
+    /// does. Returns one optional hit per query (`None` only if the tree is
+    /// empty of candidates, which cannot happen here since trees are
+    /// non-empty) plus the summed traversal statistics.
+    pub fn bulk_nearest<S: ExecSpace>(
+        &self,
+        space: &S,
+        queries: &[Point<D>],
+    ) -> (Vec<NearestHit>, TraversalStats) {
+        let m = queries.len();
+        let mut results = vec![NearestHit { rank: u32::MAX, dist_sq: Scalar::INFINITY }; m];
+        if m == 0 {
+            return (results, TraversalStats::default());
+        }
+        // Pre-sort the queries along the same curve as the leaves.
+        let scene = Aabb::from_points(queries);
+        let order = morton_order(queries, &scene);
+
+        let stats = {
+            let out = SyncUnsafeSlice::new(&mut results);
+            space.parallel_reduce(
+                m,
+                TraversalStats::default(),
+                |i| {
+                    let q = order[i] as usize;
+                    let mut st = TraversalStats::default();
+                    let hit = self
+                        .nearest_with(
+                            &queries[q],
+                            Scalar::INFINITY,
+                            |_| false,
+                            |_, e| Some(e),
+                            &mut st,
+                        )
+                        .expect("non-empty tree always yields a neighbour");
+                    // SAFETY: `order` is a permutation — one writer per slot.
+                    unsafe { out.write(q, hit) };
+                    st
+                },
+                |a, b| TraversalStats {
+                    nodes: a.nodes + b.nodes,
+                    leaves: a.leaves + b.leaves,
+                    distances: a.distances + b.distances,
+                    skipped: a.skipped + b.skipped,
+                },
+            )
+        };
+        (results, stats)
+    }
+
+    /// All `(query index, leaf rank)` pairs with the leaf strictly inside
+    /// `radius` of the query — the bulk form of ArborX's *spatial* query.
+    ///
+    /// Results are grouped per query in CSR form `(offsets, hits)`: the
+    /// matches of query `q` are `hits[offsets[q]..offsets[q+1]]`. Built with
+    /// the standard two-pass count-scan-fill device pattern.
+    pub fn bulk_within_radius<S: ExecSpace>(
+        &self,
+        space: &S,
+        queries: &[Point<D>],
+        radius: Scalar,
+    ) -> (Vec<usize>, Vec<u32>) {
+        let m = queries.len();
+        let radius_sq = radius * radius;
+        // Pass 1: count matches per query.
+        let mut counts = vec![0usize; m + 1];
+        {
+            let counts_s = SyncUnsafeSlice::new(&mut counts);
+            space.parallel_for(m, |q| {
+                let hits = self.within_radius(&queries[q], radius_sq);
+                // SAFETY: one writer per slot.
+                unsafe { counts_s.write(q, hits.len()) };
+            });
+        }
+        // Pass 2: exclusive scan -> offsets.
+        let total = space.parallel_scan_exclusive(&mut counts[..m]);
+        counts[m] = total;
+        // Pass 3: fill.
+        let mut hits = vec![0u32; total];
+        {
+            let hits_s = SyncUnsafeSlice::new(&mut hits);
+            let counts = &counts;
+            space.parallel_for(m, |q| {
+                let mut found = self.within_radius(&queries[q], radius_sq);
+                found.sort_unstable(); // deterministic order per query
+                for (k, rank) in found.into_iter().enumerate() {
+                    // SAFETY: ranges [offsets[q], offsets[q+1]) are disjoint.
+                    unsafe { hits_s.write(counts[q] + k, rank) };
+                }
+            });
+        }
+        (counts, hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_exec::{Serial, Threads};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn bulk_nearest_matches_individual_queries() {
+        let pts = random_points(800, 1);
+        let queries = random_points(150, 2);
+        let bvh = Bvh::build(&Serial, &pts);
+        let (bulk, stats) = bvh.bulk_nearest(&Threads, &queries);
+        assert_eq!(bulk.len(), queries.len());
+        assert!(stats.nodes > 0);
+        for (q, hit) in queries.iter().zip(&bulk) {
+            let single = bvh.nearest_neighbor(q, u32::MAX).unwrap();
+            assert_eq!(hit.dist_sq, single.dist_sq);
+        }
+    }
+
+    #[test]
+    fn bulk_nearest_handles_empty_query_set() {
+        let pts = random_points(10, 3);
+        let bvh = Bvh::build(&Serial, &pts);
+        let (bulk, stats) = bvh.bulk_nearest(&Serial, &[]);
+        assert!(bulk.is_empty());
+        assert_eq!(stats, TraversalStats::default());
+    }
+
+    #[test]
+    fn bulk_radius_csr_matches_brute_force() {
+        let pts = random_points(400, 5);
+        let queries = random_points(60, 6);
+        let bvh = Bvh::build(&Serial, &pts);
+        let r = 0.15f32;
+        let (offsets, hits) = bvh.bulk_within_radius(&Threads, &queries, r);
+        assert_eq!(offsets.len(), queries.len() + 1);
+        assert_eq!(*offsets.last().unwrap(), hits.len());
+        for (qi, q) in queries.iter().enumerate() {
+            let got: Vec<u32> = hits[offsets[qi]..offsets[qi + 1]]
+                .iter()
+                .map(|&rank| bvh.point_index(rank))
+                .collect();
+            let mut expect: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| q.squared_distance(p) < r * r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            // got is sorted by rank; compare as sets.
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(got_sorted, expect, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn bulk_radius_with_no_matches_yields_empty_ranges() {
+        let pts = vec![Point::new([0.0f32, 0.0])];
+        let bvh = Bvh::build(&Serial, &pts);
+        let queries = vec![Point::new([10.0f32, 10.0]), Point::new([0.0, 0.05])];
+        let (offsets, hits) = bvh.bulk_within_radius(&Serial, &queries, 0.1);
+        assert_eq!(offsets, vec![0, 0, 1]);
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn backends_agree_on_bulk_results() {
+        let pts = random_points(500, 7);
+        let queries = random_points(100, 8);
+        let bvh = Bvh::build(&Serial, &pts);
+        let (a, _) = bvh.bulk_nearest(&Serial, &queries);
+        let (b, _) = bvh.bulk_nearest(&Threads, &queries);
+        let a_d: Vec<f32> = a.iter().map(|h| h.dist_sq).collect();
+        let b_d: Vec<f32> = b.iter().map(|h| h.dist_sq).collect();
+        assert_eq!(a_d, b_d);
+    }
+}

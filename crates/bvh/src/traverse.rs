@@ -1,0 +1,580 @@
+//! Stack-based top-down traversals (Algorithm 2 of the paper).
+//!
+//! Each query is executed by a single thread with an explicit stack, in the
+//! bulk-synchronous style of ArborX: the caller launches one `parallel_for`
+//! over queries and each work item calls into these routines. The generic
+//! [`Bvh::nearest_with`] is the hook the single-tree Borůvka algorithm uses:
+//! its `skip` predicate implements the paper's Optimization 1 (bypassing
+//! subtrees whose leaves all share the query's component) and its `leaf`
+//! callback applies the metric (Euclidean or mutual-reachability).
+
+use emst_geometry::{Point, Scalar};
+
+use crate::build::Bvh;
+use crate::node::NodeId;
+
+/// Maximum traversal stack depth.
+///
+/// The radix hierarchy's depth is bounded by the key length (64 Morton bits
+/// plus 32 tie-break bits), so 128 slots never overflow.
+const STACK_CAPACITY: usize = 128;
+
+/// Per-query work statistics, accumulated locally (no atomics on the hot
+/// path) and flushed to [`emst_exec::Counters`] by the caller.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Internal nodes examined.
+    pub nodes: u32,
+    /// Leaves tested as candidates.
+    pub leaves: u32,
+    /// Point-to-point distance computations.
+    pub distances: u32,
+    /// Subtrees skipped by the caller's predicate (Optimization 1).
+    pub skipped: u32,
+}
+
+/// Result of a nearest-neighbour query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NearestHit {
+    /// Morton rank of the winning leaf.
+    pub rank: u32,
+    /// Squared metric distance to it.
+    pub dist_sq: Scalar,
+}
+
+impl<const D: usize> Bvh<D> {
+    /// Generic single-threaded nearest-neighbour traversal.
+    ///
+    /// - `query`: the query point;
+    /// - `radius_sq`: initial squared cutoff radius (candidates at or beyond
+    ///   it are ignored) — the component upper bound of Optimization 2, or
+    ///   `f32::INFINITY` for an unconstrained search;
+    /// - `skip`: called with a node id before it is examined; returning
+    ///   `true` prunes the whole subtree (Optimization 1);
+    /// - `leaf`: called with `(morton rank, squared Euclidean distance)` of
+    ///   a candidate leaf; returns the squared *metric* distance, or `None`
+    ///   to reject the candidate (e.g. "same point" or "same component").
+    ///
+    /// Returns the best accepted hit at distance **at most** `radius_sq`.
+    /// Ties between equidistant leaves resolve to the smallest Morton rank.
+    /// Both properties are load-bearing for the EMST: Borůvka's algorithm
+    /// only converges under a strict total order on edges (§2 of the paper,
+    /// "tie-breaking resolution"), which the caller derives from
+    /// `(distance, min rank, max rank)` — so the traversal must neither drop
+    /// an equidistant smaller-rank candidate nor miss a candidate that
+    /// exactly attains the component upper bound. Node pruning is therefore
+    /// strictly-greater-than.
+    pub fn nearest_with<FSkip, FLeaf>(
+        &self,
+        query: &Point<D>,
+        mut radius_sq: Scalar,
+        mut skip: FSkip,
+        mut leaf: FLeaf,
+        stats: &mut TraversalStats,
+    ) -> Option<NearestHit>
+    where
+        FSkip: FnMut(NodeId) -> bool,
+        FLeaf: FnMut(u32, Scalar) -> Option<Scalar>,
+    {
+        let mut best: Option<NearestHit> = None;
+        let root = self.root();
+        if self.is_leaf(root) {
+            // Single-point tree: test the one leaf directly.
+            if !skip(root) {
+                let rank = self.leaf_rank(root);
+                stats.leaves += 1;
+                stats.distances += 1;
+                let e = query.squared_distance(self.leaf_point(rank));
+                if e <= radius_sq {
+                    if let Some(m) = leaf(rank, e) {
+                        if m <= radius_sq {
+                            best = Some(NearestHit { rank, dist_sq: m });
+                        }
+                    }
+                }
+            }
+            return best;
+        }
+
+        // Stack entries carry the distance computed at push time, so a
+        // popped node whose subtree got pruned by a shrunken radius skips
+        // the AABB arithmetic entirely.
+        let mut stack = [(0.0 as Scalar, 0 as NodeId); STACK_CAPACITY];
+        let mut sp = 0usize;
+        stack[sp] = (0.0, root);
+        sp += 1;
+        if skip(root) {
+            stats.skipped += 1;
+            return None;
+        }
+
+        while sp > 0 {
+            sp -= 1;
+            let (node_dist, node) = stack[sp];
+            stats.nodes += 1;
+            // The node was within the radius when pushed, but the radius may
+            // have shrunk since. Strict inequality: a node exactly at the
+            // radius can still hold an equidistant smaller-rank tie
+            // candidate.
+            if node_dist > radius_sq {
+                continue;
+            }
+            // Examine both children; descend nearer-first for pruning.
+            let children = [self.left_child(node), self.right_child(node)];
+            let mut push: [(Scalar, NodeId); 2] = [(Scalar::INFINITY, 0); 2];
+            let mut pushes = 0usize;
+            for child in children {
+                if skip(child) {
+                    stats.skipped += 1;
+                    continue;
+                }
+                if self.is_leaf(child) {
+                    let rank = self.leaf_rank(child);
+                    stats.leaves += 1;
+                    stats.distances += 1;
+                    let e = query.squared_distance(self.leaf_point(rank));
+                    // Cheap Euclidean reject first: metric >= Euclidean.
+                    if e > radius_sq {
+                        continue;
+                    }
+                    if let Some(m) = leaf(rank, e) {
+                        if m < radius_sq {
+                            radius_sq = m;
+                            best = Some(NearestHit { rank, dist_sq: m });
+                        } else if m == radius_sq {
+                            // Tie: keep the smallest rank for determinism.
+                            match best {
+                                Some(b) if rank >= b.rank => {}
+                                _ => best = Some(NearestHit { rank, dist_sq: m }),
+                            }
+                        }
+                    }
+                } else {
+                    let d = self.node_distance_sq(child, query);
+                    if d <= radius_sq {
+                        push[pushes] = (d, child);
+                        pushes += 1;
+                    }
+                }
+            }
+            match pushes {
+                0 => {}
+                1 => {
+                    stack[sp] = push[0];
+                    sp += 1;
+                }
+                _ => {
+                    // Push the farther child first so the nearer pops first.
+                    let (near, far) = if push[0].0 <= push[1].0 {
+                        (push[0], push[1])
+                    } else {
+                        (push[1], push[0])
+                    };
+                    stack[sp] = far;
+                    stack[sp + 1] = near;
+                    sp += 2;
+                }
+            }
+            debug_assert!(sp <= STACK_CAPACITY);
+        }
+        best
+    }
+
+    /// Nearest neighbour of `query` among all points except `exclude_rank`
+    /// (pass `u32::MAX` to exclude nothing). Euclidean metric.
+    pub fn nearest_neighbor(
+        &self,
+        query: &Point<D>,
+        exclude_rank: u32,
+    ) -> Option<NearestHit> {
+        let mut stats = TraversalStats::default();
+        self.nearest_with(
+            query,
+            Scalar::INFINITY,
+            |_| false,
+            |rank, e| (rank != exclude_rank).then_some(e),
+            &mut stats,
+        )
+    }
+
+    /// The `k` nearest neighbours of `query` (including any leaf equal to
+    /// the query point), as `(rank, squared distance)` sorted ascending,
+    /// ties by rank.
+    ///
+    /// This powers the HDBSCAN* core-distance computation (§4.5), where the
+    /// paper notes per-thread priority queues are the main GPU cost.
+    pub fn k_nearest(&self, query: &Point<D>, k: usize) -> Vec<(u32, Scalar)> {
+        let mut stats = TraversalStats::default();
+        self.k_nearest_with_stats(query, k, &mut stats)
+    }
+
+    /// [`Self::k_nearest`] with traversal statistics, so callers can feed
+    /// the work (including the per-thread heap maintenance) into the device
+    /// model.
+    pub fn k_nearest_with_stats(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        stats: &mut TraversalStats,
+    ) -> Vec<(u32, Scalar)> {
+        if k == 0 {
+            return vec![];
+        }
+        let mut heap = KnnHeap::new(k);
+        self.nearest_with(
+            query,
+            Scalar::INFINITY,
+            |_| false,
+            |rank, e| {
+                heap.offer(rank, e);
+                // The traversal radius is the current k-th distance.
+                Some(heap.bound())
+            },
+            stats,
+        );
+        heap.into_sorted()
+    }
+
+    /// All leaves within squared distance `radius_sq` of `query`
+    /// (boundary exclusive), unordered.
+    pub fn within_radius(&self, query: &Point<D>, radius_sq: Scalar) -> Vec<u32> {
+        let mut out = vec![];
+        let root = self.root();
+        if self.is_leaf(root) {
+            if query.squared_distance(self.leaf_point(0)) < radius_sq {
+                out.push(0);
+            }
+            return out;
+        }
+        let mut stack = [0 as NodeId; STACK_CAPACITY];
+        let mut sp = 0usize;
+        stack[sp] = root;
+        sp += 1;
+        while sp > 0 {
+            sp -= 1;
+            let node = stack[sp];
+            for child in [self.left_child(node), self.right_child(node)] {
+                if self.is_leaf(child) {
+                    let rank = self.leaf_rank(child);
+                    if query.squared_distance(self.leaf_point(rank)) < radius_sq {
+                        out.push(rank);
+                    }
+                } else if self.node_distance_sq(child, query) < radius_sq {
+                    stack[sp] = child;
+                    sp += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A bounded max-heap over `(rank, squared distance)` keeping the `k`
+/// smallest candidates — the per-thread priority queue of the k-NN kernel.
+///
+/// Ordering treats ties in distance by rank so results are deterministic.
+#[derive(Clone, Debug)]
+pub struct KnnHeap {
+    k: usize,
+    /// Max-heap: `heap[0]` is the current worst kept candidate.
+    heap: Vec<(Scalar, u32)>,
+}
+
+impl KnnHeap {
+    /// Creates a heap keeping the `k` best candidates.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0);
+        Self { k, heap: Vec::with_capacity(k) }
+    }
+
+    #[inline]
+    fn worse(a: (Scalar, u32), b: (Scalar, u32)) -> bool {
+        a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
+    }
+
+    /// Offers a candidate.
+    #[inline]
+    pub fn offer(&mut self, rank: u32, dist_sq: Scalar) {
+        let cand = (dist_sq, rank);
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            // Sift up.
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let p = (i - 1) / 2;
+                if Self::worse(self.heap[i], self.heap[p]) {
+                    self.heap.swap(i, p);
+                    i = p;
+                } else {
+                    break;
+                }
+            }
+        } else if Self::worse(self.heap[0], cand) {
+            self.heap[0] = cand;
+            // Sift down.
+            let mut i = 0usize;
+            loop {
+                let l = 2 * i + 1;
+                let r = 2 * i + 2;
+                let mut m = i;
+                if l < self.heap.len() && Self::worse(self.heap[l], self.heap[m]) {
+                    m = l;
+                }
+                if r < self.heap.len() && Self::worse(self.heap[r], self.heap[m]) {
+                    m = r;
+                }
+                if m == i {
+                    break;
+                }
+                self.heap.swap(i, m);
+                i = m;
+            }
+        }
+    }
+
+    /// Current pruning bound: the worst kept distance once full, `+inf`
+    /// before that.
+    #[inline]
+    pub fn bound(&self) -> Scalar {
+        if self.heap.len() < self.k {
+            Scalar::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    /// Number of kept candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no candidate was offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Extracts the kept candidates sorted by `(distance, rank)` ascending.
+    pub fn into_sorted(self) -> Vec<(u32, Scalar)> {
+        let mut v: Vec<(u32, Scalar)> =
+            self.heap.into_iter().map(|(d, r)| (r, d)).collect();
+        v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_exec::Serial;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    fn brute_nn(points: &[Point<2>], q: &Point<2>, exclude: usize) -> (usize, f32) {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != exclude)
+            .map(|(i, p)| (i, q.squared_distance(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .unwrap()
+    }
+
+    #[test]
+    fn nearest_neighbor_matches_brute_force() {
+        let pts = random_points_2d(500, 21);
+        let bvh = Bvh::build(&Serial, &pts);
+        for i in 0..pts.len() {
+            let rank = bvh.morton_order().iter().position(|&o| o == i as u32).unwrap() as u32;
+            let hit = bvh.nearest_neighbor(&pts[i], rank).unwrap();
+            let (_, bd) = brute_nn(&pts, &pts[i], i);
+            assert_eq!(hit.dist_sq, bd, "query {i}");
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let pts = random_points_2d(300, 5);
+        let bvh = Bvh::build(&Serial, &pts);
+        for &k in &[1usize, 2, 5, 16, 300, 1000] {
+            let q = Point::new([0.1, -0.2]);
+            let got = bvh.k_nearest(&q, k);
+            let mut all: Vec<f32> = pts.iter().map(|p| q.squared_distance(p)).collect();
+            all.sort_by(f32::total_cmp);
+            let kk = k.min(pts.len());
+            assert_eq!(got.len(), kk);
+            for (j, &(_, d)) in got.iter().enumerate() {
+                assert_eq!(d, all[j], "k={k} j={j}");
+            }
+            // sorted ascending
+            assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn within_radius_matches_brute_force() {
+        let pts = random_points_2d(400, 9);
+        let bvh = Bvh::build(&Serial, &pts);
+        let q = Point::new([0.3, 0.3]);
+        for &r2 in &[0.001f32, 0.05, 0.5, 10.0] {
+            let mut got: Vec<u32> = bvh
+                .within_radius(&q, r2)
+                .into_iter()
+                .map(|rank| bvh.point_index(rank))
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| q.squared_distance(p) < r2)
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "r2={r2}");
+        }
+    }
+
+    #[test]
+    fn skip_predicate_prunes_everything() {
+        let pts = random_points_2d(50, 2);
+        let bvh = Bvh::build(&Serial, &pts);
+        let mut stats = TraversalStats::default();
+        let hit = bvh.nearest_with(
+            &Point::new([0.0, 0.0]),
+            f32::INFINITY,
+            |_| true,
+            |_, e| Some(e),
+            &mut stats,
+        );
+        assert!(hit.is_none());
+        assert_eq!(stats.leaves, 0);
+    }
+
+    #[test]
+    fn initial_radius_prunes_far_candidates() {
+        let pts = vec![Point::new([0.0f32, 0.0]), Point::new([10.0, 0.0])];
+        let bvh = Bvh::build(&Serial, &pts);
+        let mut stats = TraversalStats::default();
+        // radius² = 1: nothing within
+        let hit = bvh.nearest_with(
+            &Point::new([5.0, 0.0]),
+            1.0,
+            |_| false,
+            |_, e| Some(e),
+            &mut stats,
+        );
+        assert!(hit.is_none());
+    }
+
+    #[test]
+    fn single_point_tree_queries() {
+        let pts = vec![Point::new([1.0f32, 1.0])];
+        let bvh = Bvh::build(&Serial, &pts);
+        let hit = bvh.nearest_neighbor(&Point::new([0.0, 0.0]), u32::MAX).unwrap();
+        assert_eq!(hit.dist_sq, 2.0);
+        assert!(bvh.nearest_neighbor(&Point::new([0.0, 0.0]), 0).is_none());
+        assert_eq!(bvh.k_nearest(&Point::new([0.0, 0.0]), 3).len(), 1);
+        assert_eq!(bvh.within_radius(&Point::new([0.0, 0.0]), 3.0), vec![0]);
+        assert!(bvh.within_radius(&Point::new([0.0, 0.0]), 1.0).is_empty());
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let pts = random_points_2d(1000, 33);
+        let bvh = Bvh::build(&Serial, &pts);
+        let mut stats = TraversalStats::default();
+        bvh.nearest_with(
+            &Point::new([0.0, 0.0]),
+            f32::INFINITY,
+            |_| false,
+            |_, e| Some(e),
+            &mut stats,
+        );
+        assert!(stats.nodes > 0);
+        assert!(stats.leaves > 0);
+        assert!(stats.distances >= stats.leaves);
+        // Pruning must avoid the vast majority of the 1000 leaves.
+        assert!(stats.leaves < 200, "leaves visited: {}", stats.leaves);
+    }
+
+    #[test]
+    fn knn_heap_keeps_k_smallest_with_ties_by_rank() {
+        let mut h = KnnHeap::new(3);
+        assert!(h.is_empty());
+        for (r, d) in [(5u32, 2.0f32), (1, 1.0), (2, 1.0), (9, 0.5), (7, 1.0)] {
+            h.offer(r, d);
+        }
+        let got = h.into_sorted();
+        // kept: 0.5@9, 1.0@1, 1.0@2 (1.0@7 loses the rank tie-break)
+        assert_eq!(got, vec![(9, 0.5), (1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn knn_heap_bound_is_inf_until_full() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.bound(), f32::INFINITY);
+        h.offer(0, 3.0);
+        assert_eq!(h.bound(), f32::INFINITY);
+        h.offer(1, 1.0);
+        assert_eq!(h.bound(), 3.0);
+        h.offer(2, 0.5);
+        assert_eq!(h.bound(), 1.0);
+        assert_eq!(h.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn nn_equals_brute_force_on_random_sets(
+            n in 2usize..150, seed in 0u64..500, qx in -1.5f32..1.5, qy in -1.5f32..1.5
+        ) {
+            let pts = random_points_2d(n, seed);
+            let bvh = Bvh::build(&Serial, &pts);
+            let q = Point::new([qx, qy]);
+            let hit = bvh.nearest_neighbor(&q, u32::MAX).unwrap();
+            let bd = pts.iter().map(|p| q.squared_distance(p)).fold(f32::INFINITY, f32::min);
+            prop_assert_eq!(hit.dist_sq, bd);
+        }
+
+        #[test]
+        fn knn_equals_brute_force_on_random_sets(
+            n in 1usize..100, seed in 0u64..200, k in 1usize..20
+        ) {
+            let pts = random_points_2d(n, seed);
+            let bvh = Bvh::build(&Serial, &pts);
+            let q = Point::new([0.0, 0.0]);
+            let got = bvh.k_nearest(&q, k);
+            let mut all: Vec<f32> = pts.iter().map(|p| q.squared_distance(p)).collect();
+            all.sort_by(f32::total_cmp);
+            prop_assert_eq!(got.len(), k.min(n));
+            for (j, &(_, d)) in got.iter().enumerate() {
+                prop_assert_eq!(d, all[j]);
+            }
+        }
+
+        #[test]
+        fn radius_query_equals_brute_force(
+            n in 1usize..120, seed in 0u64..200, r in 0.01f32..2.0
+        ) {
+            let pts = random_points_2d(n, seed);
+            let bvh = Bvh::build(&Serial, &pts);
+            let q = Point::new([0.25, 0.25]);
+            let mut got: Vec<u32> = bvh.within_radius(&q, r * r)
+                .into_iter().map(|rank| bvh.point_index(rank)).collect();
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pts.iter().enumerate()
+                .filter(|(_, p)| q.squared_distance(p) < r * r)
+                .map(|(i, _)| i as u32).collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

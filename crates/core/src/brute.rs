@@ -1,0 +1,126 @@
+//! Brute-force MST oracle.
+//!
+//! Kruskal's algorithm over the explicitly materialized distance graph —
+//! `O(n² log n)` time, `O(n²)` memory. This is the ground truth every other
+//! implementation in the workspace is tested against (on small inputs).
+
+use emst_geometry::{Metric, Point};
+
+use crate::dsu::UnionFind;
+use crate::edge::Edge;
+
+/// Computes the exact MST of the complete metric graph by Kruskal's
+/// algorithm. Edges are ordered by the `(weight, min, max)` total order, so
+/// the result is the unique MST selected by the paper's tie-breaking rule
+/// (in original-index space).
+pub fn brute_force_mst<M: Metric, const D: usize>(
+    points: &[Point<D>],
+    metric: &M,
+) -> Vec<Edge> {
+    let n = points.len();
+    if n < 2 {
+        return vec![];
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let e = points[u].squared_distance(&points[v]);
+            let w = metric.squared_distance(u as u32, v as u32, e);
+            edges.push(Edge::new(u as u32, v as u32, w));
+        }
+    }
+    edges.sort_by_key(Edge::key);
+    let mut dsu = UnionFind::new(n);
+    let mut mst = Vec::with_capacity(n - 1);
+    for e in edges {
+        if dsu.union(e.u as usize, e.v as usize) {
+            mst.push(e);
+            if mst.len() == n - 1 {
+                break;
+            }
+        }
+    }
+    mst
+}
+
+/// Euclidean convenience wrapper around [`brute_force_mst`].
+pub fn brute_force_emst<const D: usize>(points: &[Point<D>]) -> Vec<Edge> {
+    brute_force_mst(points, &emst_geometry::Euclidean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::{total_weight, verify_spanning_tree};
+    use emst_geometry::{brute_force_core_distances_sq, MutualReachability};
+
+    #[test]
+    fn trivial_inputs_yield_no_edges() {
+        assert!(brute_force_emst::<2>(&[]).is_empty());
+        assert!(brute_force_emst(&[Point::new([1.0f32, 2.0])]).is_empty());
+    }
+
+    #[test]
+    fn two_points_yield_their_edge() {
+        let pts = vec![Point::new([0.0f32, 0.0]), Point::new([3.0, 4.0])];
+        let mst = brute_force_emst(&pts);
+        assert_eq!(mst, vec![Edge::new(0, 1, 25.0)]);
+        assert_eq!(total_weight(&mst), 5.0);
+    }
+
+    #[test]
+    fn collinear_points_form_a_path() {
+        let pts: Vec<Point<2>> = (0..5).map(|i| Point::new([i as f32, 0.0])).collect();
+        let mst = brute_force_emst(&pts);
+        verify_spanning_tree(5, &mst).unwrap();
+        assert_eq!(total_weight(&mst), 4.0);
+        for e in &mst {
+            assert_eq!(e.weight_sq, 1.0);
+        }
+    }
+
+    #[test]
+    fn square_with_ties_uses_index_tie_break() {
+        // Unit square: 4 edges of weight 1, 2 diagonals of weight sqrt(2).
+        // MST = any 3 sides; the (w, min, max) order picks (0,1), (0,2), (1,3).
+        let pts = vec![
+            Point::new([0.0f32, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([0.0, 1.0]),
+            Point::new([1.0, 1.0]),
+        ];
+        let mst = brute_force_emst(&pts);
+        verify_spanning_tree(4, &mst).unwrap();
+        let ends: Vec<(u32, u32)> = mst.iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ends, vec![(0, 1), (0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn duplicate_points_connect_at_zero_cost() {
+        let pts = vec![
+            Point::new([1.0f32, 1.0]),
+            Point::new([1.0, 1.0]),
+            Point::new([2.0, 1.0]),
+        ];
+        let mst = brute_force_emst(&pts);
+        verify_spanning_tree(3, &mst).unwrap();
+        assert_eq!(total_weight(&mst), 1.0);
+    }
+
+    #[test]
+    fn mutual_reachability_mst_differs_from_euclidean() {
+        // A tight pair far from a third point: with k=3 the core distances
+        // inflate the tight pair's edge.
+        let pts = vec![
+            Point::new([0.0f32, 0.0]),
+            Point::new([0.1, 0.0]),
+            Point::new([5.0, 0.0]),
+        ];
+        let core = brute_force_core_distances_sq(&pts, 3);
+        let m = MutualReachability::new(&core);
+        let mst_e = brute_force_emst(&pts);
+        let mst_m = brute_force_mst(&pts, &m);
+        verify_spanning_tree(3, &mst_m).unwrap();
+        assert!(total_weight(&mst_m) > total_weight(&mst_e));
+    }
+}

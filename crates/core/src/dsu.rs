@@ -1,0 +1,160 @@
+//! Disjoint-set union (union-find).
+//!
+//! Used by the Kruskal-based reference and baselines (GeoFilterKruskal's
+//! filtering step, the brute-force oracle, spanning-tree verification). The
+//! single-tree Borůvka algorithm itself tracks components through the
+//! `labels` array instead, as in the paper.
+
+/// Union-find with union by size and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    num_sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            num_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when constructed over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    #[inline]
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p] as usize;
+            self.parent[x] = gp as u32;
+            x = gp;
+        }
+    }
+
+    /// Read-only find (no compression); useful under shared borrows.
+    #[inline]
+    pub fn find_immutable(&self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns false when already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.num_sets -= 1;
+        true
+    }
+
+    /// True when `a` and `b` share a set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of elements in `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut d = UnionFind::new(5);
+        assert_eq!(d.num_sets(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0));
+        assert_eq!(d.num_sets(), 3);
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+        assert!(d.union(1, 3));
+        assert!(d.same(0, 2));
+        assert_eq!(d.set_size(3), 4);
+        assert_eq!(d.num_sets(), 2);
+    }
+
+    #[test]
+    fn find_immutable_matches_find() {
+        let mut d = UnionFind::new(10);
+        d.union(0, 5);
+        d.union(5, 7);
+        d.union(2, 3);
+        for i in 0..10 {
+            assert_eq!(d.find_immutable(i), d.clone().find(i));
+        }
+    }
+
+    #[test]
+    fn chain_unions_compress() {
+        let mut d = UnionFind::new(1000);
+        for i in 0..999 {
+            assert!(d.union(i, i + 1));
+        }
+        assert_eq!(d.num_sets(), 1);
+        assert_eq!(d.set_size(0), 1000);
+        assert!(d.same(0, 999));
+    }
+
+    proptest! {
+        #[test]
+        fn union_find_matches_naive_labels(ops in prop::collection::vec((0usize..50, 0usize..50), 0..200)) {
+            let mut d = UnionFind::new(50);
+            let mut naive: Vec<usize> = (0..50).collect();
+            for (a, b) in ops {
+                let expected_new = naive[a] != naive[b];
+                prop_assert_eq!(d.union(a, b), expected_new);
+                if expected_new {
+                    let (la, lb) = (naive[a], naive[b]);
+                    for l in naive.iter_mut() {
+                        if *l == lb {
+                            *l = la;
+                        }
+                    }
+                }
+            }
+            for a in 0..50 {
+                for b in 0..50 {
+                    prop_assert_eq!(d.same(a, b), naive[a] == naive[b]);
+                }
+            }
+            let distinct: std::collections::HashSet<usize> = naive.iter().copied().collect();
+            prop_assert_eq!(d.num_sets(), distinct.len());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! MST edges and spanning-tree verification.
+
+use emst_geometry::Scalar;
+
+use crate::dsu::UnionFind;
+
+/// An undirected MST edge between two points, identified by their original
+/// (input-order) indices, with `u < v`.
+///
+/// The weight is stored **squared** because that is what every algorithm in
+/// the workspace computes internally (square roots are taken only for
+/// reporting); keeping the squared value allows tests to compare edges across
+/// implementations for exact bit equality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint (original point index).
+    pub u: u32,
+    /// Larger endpoint (original point index).
+    pub v: u32,
+    /// Squared metric weight.
+    pub weight_sq: Scalar,
+}
+
+impl Edge {
+    /// Creates an edge, canonicalizing the endpoint order.
+    #[inline]
+    pub fn new(a: u32, b: u32, weight_sq: Scalar) -> Self {
+        debug_assert_ne!(a, b, "self-loops cannot appear in an MST");
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        Self { u, v, weight_sq }
+    }
+
+    /// The (non-squared) metric weight.
+    #[inline]
+    pub fn weight(&self) -> Scalar {
+        self.weight_sq.sqrt()
+    }
+
+    /// The total-order key used for tie-breaking: `(weight, min, max)`.
+    /// See §2 of the paper.
+    #[inline]
+    pub fn key(&self) -> (u32, u32, u32) {
+        (emst_geometry::nonneg_f32_to_ordered_bits(self.weight_sq), self.u, self.v)
+    }
+}
+
+/// Sums edge weights (square roots of the stored squared weights) in `f64`.
+pub fn total_weight(edges: &[Edge]) -> f64 {
+    edges.iter().map(|e| (e.weight_sq as f64).sqrt()).sum()
+}
+
+/// Checks that `edges` forms a spanning tree over `n` vertices: exactly
+/// `n − 1` edges, no cycles, one connected component.
+pub fn verify_spanning_tree(n: usize, edges: &[Edge]) -> Result<(), String> {
+    if n == 0 {
+        return if edges.is_empty() { Ok(()) } else { Err("edges over 0 vertices".into()) };
+    }
+    if edges.len() != n - 1 {
+        return Err(format!("expected {} edges, got {}", n - 1, edges.len()));
+    }
+    let mut dsu = UnionFind::new(n);
+    for e in edges {
+        if e.u as usize >= n || e.v as usize >= n {
+            return Err(format!("edge ({}, {}) out of range", e.u, e.v));
+        }
+        if !dsu.union(e.u as usize, e.v as usize) {
+            return Err(format!("edge ({}, {}) closes a cycle", e.u, e.v));
+        }
+    }
+    if dsu.num_sets() != 1 {
+        return Err(format!("{} components remain", dsu.num_sets()));
+    }
+    Ok(())
+}
+
+/// The sorted multiset of squared weights — the canonical comparison between
+/// two MSTs of the same graph (all minimum spanning trees share it even when
+/// tie-breaking selects different edges).
+pub fn weight_multiset(edges: &[Edge]) -> Vec<u32> {
+    let mut bits: Vec<u32> = edges
+        .iter()
+        .map(|e| emst_geometry::nonneg_f32_to_ordered_bits(e.weight_sq))
+        .collect();
+    bits.sort_unstable();
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_canonicalizes_order() {
+        let e = Edge::new(5, 2, 1.0);
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(Edge::new(2, 5, 1.0), e);
+    }
+
+    #[test]
+    fn weight_is_sqrt_of_stored() {
+        assert_eq!(Edge::new(0, 1, 25.0).weight(), 5.0);
+    }
+
+    #[test]
+    fn keys_order_by_weight_then_endpoints() {
+        let a = Edge::new(0, 9, 1.0);
+        let b = Edge::new(1, 2, 1.0);
+        let c = Edge::new(0, 3, 2.0);
+        assert!(a.key() < b.key());
+        assert!(b.key() < c.key());
+    }
+
+    #[test]
+    fn verify_accepts_a_path() {
+        let edges: Vec<Edge> = (0..4).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        verify_spanning_tree(5, &edges).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_wrong_count_cycles_and_disconnection() {
+        assert!(verify_spanning_tree(3, &[Edge::new(0, 1, 1.0)]).is_err());
+        // cycle: 0-1, 1-2, 0-2 over 4 vertices
+        let cyc = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0)];
+        assert!(verify_spanning_tree(4, &cyc).is_err());
+        // right count, but disconnected (duplicate edge closes a cycle)
+        let dis = vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0), Edge::new(0, 1, 2.0)];
+        assert!(verify_spanning_tree(4, &dis).is_err());
+    }
+
+    #[test]
+    fn verify_handles_trivial_sizes() {
+        verify_spanning_tree(0, &[]).unwrap();
+        verify_spanning_tree(1, &[]).unwrap();
+        assert!(verify_spanning_tree(2, &[]).is_err());
+    }
+
+    #[test]
+    fn multiset_is_order_insensitive() {
+        let a = vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 1.0)];
+        let b = vec![Edge::new(4, 5, 1.0), Edge::new(0, 9, 2.0)];
+        assert_eq!(weight_multiset(&a), weight_multiset(&b));
+    }
+}

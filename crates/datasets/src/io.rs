@@ -1,0 +1,186 @@
+//! Point-cloud I/O.
+//!
+//! The paper's datasets arrive as CSV-ish text (NGSIM trajectory exports,
+//! GeoLife PLT files) or raw particle dumps (HACC). This module reads and
+//! writes the two formats a user needs to run this library on their own
+//! data:
+//!
+//! - **CSV** — one point per line, coordinates separated by commas,
+//!   optional header line (skipped when non-numeric), extra columns
+//!   ignored;
+//! - **XYZ** — whitespace-separated, the classic particle-dump layout.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use emst_geometry::Point;
+
+/// Writes points as CSV (no header) with full `f32` round-trip precision.
+pub fn save_csv<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for p in points {
+        for d in 0..D {
+            if d > 0 {
+                out.write_all(b",")?;
+            }
+            // `{:?}` prints the shortest representation that round-trips.
+            write!(out, "{:?}", p[d])?;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Reads CSV points: the first `D` numeric columns of every line; a leading
+/// non-numeric header line is skipped; blank lines are ignored.
+pub fn load_csv<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
+    load_delimited(path, b',')
+}
+
+/// Writes points in XYZ layout (space-separated).
+pub fn save_xyz<const D: usize>(path: &Path, points: &[Point<D>]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for p in points {
+        for d in 0..D {
+            if d > 0 {
+                out.write_all(b" ")?;
+            }
+            write!(out, "{:?}", p[d])?;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Reads XYZ points (whitespace-separated).
+pub fn load_xyz<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>> {
+    load_delimited(path, b' ')
+}
+
+fn parse_line<const D: usize>(line: &str, delim: u8) -> Option<Point<D>> {
+    let mut coords = [0.0f32; D];
+    let mut fields = if delim == b',' {
+        FieldIter::Comma(line.split(','))
+    } else {
+        FieldIter::Whitespace(line.split_whitespace())
+    };
+    for c in coords.iter_mut() {
+        let field = fields.next()?;
+        *c = field.trim().parse().ok()?;
+    }
+    Some(Point::new(coords))
+}
+
+enum FieldIter<'a> {
+    Comma(std::str::Split<'a, char>),
+    Whitespace(std::str::SplitWhitespace<'a>),
+}
+
+impl<'a> Iterator for FieldIter<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        match self {
+            FieldIter::Comma(i) => i.next(),
+            FieldIter::Whitespace(i) => i.next(),
+        }
+    }
+}
+
+fn load_delimited<const D: usize>(path: &Path, delim: u8) -> io::Result<Vec<Point<D>>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = vec![];
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line::<D>(line, delim) {
+            Some(p) => out.push(p),
+            None if line_no == 1 => {} // header
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{line_no}: expected {D} numeric fields", path.display()),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("emst-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let pts = uniform::<3>(500, 7);
+        let path = tmp("roundtrip.csv");
+        save_csv(&path, &pts).unwrap();
+        let back: Vec<Point<3>> = load_csv(&path).unwrap();
+        assert_eq!(pts, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn xyz_round_trips_exactly() {
+        let pts = uniform::<2>(300, 9);
+        let path = tmp("roundtrip.xyz");
+        save_xyz(&path, &pts).unwrap();
+        let back: Vec<Point<2>> = load_xyz(&path).unwrap();
+        assert_eq!(pts, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_line_is_skipped_and_extra_columns_ignored() {
+        let path = tmp("header.csv");
+        std::fs::write(&path, "x,y,label\n1.0,2.0,7\n3.5,-4.25,9\n").unwrap();
+        let pts: Vec<Point<2>> = load_csv(&path).unwrap();
+        assert_eq!(pts, vec![Point::new([1.0, 2.0]), Point::new([3.5, -4.25])]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_data_line_is_an_error() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1.0,2.0\nnot,numbers\n").unwrap();
+        let err = load_csv::<2>(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blank_lines_and_empty_files_work() {
+        let path = tmp("blank.csv");
+        std::fs::write(&path, "\n1.0,2.0\n\n\n").unwrap();
+        let pts: Vec<Point<2>> = load_csv(&path).unwrap();
+        assert_eq!(pts.len(), 1);
+        std::fs::write(&path, "").unwrap();
+        let pts: Vec<Point<2>> = load_csv(&path).unwrap();
+        assert!(pts.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load_csv::<2>(Path::new("/definitely/not/here.csv")).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! A fault-model execution space for tests.
+//!
+//! On a GPU, work items of one kernel run in an arbitrary, non-deterministic
+//! order. A kernel that accidentally depends on iteration order (e.g. a
+//! non-commutative atomic update, a read-after-write between work items)
+//! will pass on [`crate::Serial`] and fail rarely and unreproducibly on real
+//! devices. [`ChaosSerial`] makes that failure mode deterministic and cheap:
+//! it executes every `parallel_for` sequentially but in a seeded pseudo-
+//! random permutation of the index space, and `parallel_reduce` combines in
+//! shuffled order too. Any order dependence becomes a reproducible test
+//! failure.
+
+use crate::space::{scan_exclusive_serial_for_chaos, ExecSpace};
+
+/// Sequential backend that shuffles iteration order (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSerial {
+    seed: u64,
+}
+
+impl ChaosSerial {
+    /// Creates the backend with an order-determining seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+/// Generates the visit order for `n` items: a permutation produced by a
+/// multiplicative-offset walk with a stride coprime to `n`.
+fn shuffled_indices(n: usize, seed: u64) -> impl Iterator<Item = usize> {
+    // Pick an odd stride near a golden-ratio fraction of n, then make it
+    // coprime with n by trial increments (terminates quickly: consecutive
+    // odd numbers share no factor with n forever only if n == 0).
+    let mut stride = ((n as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) % n.max(1) as u64)
+        as usize
+        | 1;
+    while n > 0 && gcd(stride, n) != 1 {
+        stride += 2;
+    }
+    let offset = (seed as usize).wrapping_mul(31) % n.max(1);
+    (0..n).map(move |i| (offset + i * stride) % n)
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl ExecSpace for ChaosSerial {
+    fn name(&self) -> &'static str {
+        "ChaosSerial"
+    }
+
+    fn parallel_for<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        for i in shuffled_indices(n, self.seed) {
+            f(i);
+        }
+    }
+
+    fn parallel_reduce<T, M, C>(&self, n: usize, identity: T, map: M, combine: C) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync + Send,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        let mut acc = identity;
+        for i in shuffled_indices(n, self.seed.wrapping_add(1)) {
+            acc = combine(acc, map(i));
+        }
+        acc
+    }
+
+    fn parallel_scan_exclusive(&self, data: &mut [usize]) -> usize {
+        // A scan is inherently ordered; run it straight.
+        scan_exclusive_serial_for_chaos(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shuffled_indices_is_a_permutation() {
+        for n in [1usize, 2, 7, 100, 1024, 999] {
+            for seed in 0..5 {
+                let mut seen = vec![false; n];
+                for i in shuffled_indices(n, seed) {
+                    assert!(!seen[i], "n={n} seed={seed} repeated {i}");
+                    seen[i] = true;
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_orders() {
+        let a: Vec<usize> = shuffled_indices(100, 1).collect();
+        let b: Vec<usize> = shuffled_indices(100, 2).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn patterns_compute_correct_results_despite_shuffling() {
+        let space = ChaosSerial::new(42);
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        space.parallel_for(500, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        let sum = space.parallel_reduce(1000, 0usize, |i| i, |a, b| a + b);
+        assert_eq!(sum, 1000 * 999 / 2);
+        let mut data = vec![2usize; 10];
+        assert_eq!(space.parallel_scan_exclusive(&mut data), 20);
+        assert_eq!(data[9], 18);
+    }
+}

@@ -1,0 +1,113 @@
+//! Phase timing collection for the figure harnesses.
+//!
+//! The paper reports per-phase breakdowns: `T_tree`/`T_mst` for the
+//! single-tree algorithm (Fig. 8b), `T_tree`/`T_wspd`/`T_mst`/`T_mark` for
+//! MemoGFK (Fig. 8a) and `T_core`/`T_emst` for the mutual-reachability runs
+//! (Fig. 9). Algorithms record named phases here; harnesses read them back.
+
+use std::time::{Duration, Instant};
+
+/// An ordered list of `(phase name, seconds)` records.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimings {
+    records: Vec<(&'static str, f64)>,
+}
+
+impl PhaseTimings {
+    /// Creates an empty record set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `seconds` under `name`, accumulating if the phase was already
+    /// recorded (phases that repeat per Borůvka iteration sum up).
+    pub fn record(&mut self, name: &'static str, seconds: f64) {
+        if let Some(entry) = self.records.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += seconds;
+        } else {
+            self.records.push((name, seconds));
+        }
+    }
+
+    /// Times `f` and records its duration under `name`; returns `f`'s value.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Seconds recorded for `name` (0 when absent).
+    pub fn get(&self, name: &str) -> f64 {
+        self.records
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Sum of all recorded phases.
+    pub fn total(&self) -> f64 {
+        self.records.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Iterates over `(name, seconds)` in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.records.iter().copied()
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+/// Convenience wall-clock timer returning `(value, elapsed)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_same_phase() {
+        let mut t = PhaseTimings::new();
+        t.record("mst", 1.0);
+        t.record("tree", 0.5);
+        t.record("mst", 2.0);
+        assert_eq!(t.get("mst"), 3.0);
+        assert_eq!(t.get("tree"), 0.5);
+        assert_eq!(t.get("absent"), 0.0);
+        assert_eq!(t.total(), 3.5);
+    }
+
+    #[test]
+    fn time_measures_and_passes_value_through() {
+        let mut t = PhaseTimings::new();
+        let v = t.time("work", || {
+            std::thread::sleep(Duration::from_millis(10));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(t.get("work") >= 0.009);
+    }
+
+    #[test]
+    fn iter_preserves_recording_order() {
+        let mut t = PhaseTimings::new();
+        t.record("b", 1.0);
+        t.record("a", 2.0);
+        let names: Vec<_> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn timed_returns_value_and_duration() {
+        let (v, d) = timed(|| 7);
+        assert_eq!(v, 7);
+        assert!(d.as_secs_f64() >= 0.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Axis-aligned bounding boxes — the bounding volume of the linear BVH.
+
+use crate::{Point, Scalar};
+
+/// An axis-aligned bounding box in `D` dimensions.
+///
+/// An *empty* box is represented by `min > max` in every dimension
+/// (`min = +inf`, `max = -inf`), so that [`Aabb::expand_point`] and
+/// [`Aabb::expand_box`] work without special cases — the same convention
+/// ArborX uses for its device-side reductions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Aabb<const D: usize> {
+    /// Lower corner.
+    pub min: Point<D>,
+    /// Upper corner.
+    pub max: Point<D>,
+}
+
+impl<const D: usize> Aabb<D> {
+    /// The empty box (identity element of [`Aabb::expand_box`]).
+    #[inline]
+    pub const fn empty() -> Self {
+        Self {
+            min: Point::new([Scalar::INFINITY; D]),
+            max: Point::new([Scalar::NEG_INFINITY; D]),
+        }
+    }
+
+    /// A degenerate box containing exactly one point.
+    #[inline]
+    pub const fn from_point(p: Point<D>) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// The smallest box containing both corners.
+    #[inline]
+    pub fn from_corners(a: Point<D>, b: Point<D>) -> Self {
+        Self { min: a.min(&b), max: a.max(&b) }
+    }
+
+    /// The tight bounding box of a point set (empty box for an empty slice).
+    pub fn from_points(points: &[Point<D>]) -> Self {
+        let mut b = Self::empty();
+        for p in points {
+            b.expand_point(p);
+        }
+        b
+    }
+
+    /// True when the box contains no points (`min > max`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|d| self.min[d] > self.max[d])
+    }
+
+    /// Grows the box to contain `p`.
+    #[inline]
+    pub fn expand_point(&mut self, p: &Point<D>) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Grows the box to contain `other`.
+    #[inline]
+    pub fn expand_box(&mut self, other: &Self) {
+        self.min = self.min.min(&other.min);
+        self.max = self.max.max(&other.max);
+    }
+
+    /// Union of two boxes.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
+    }
+
+    /// True when `p` lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= p[d] && p[d] <= self.max[d])
+    }
+
+    /// True when `other` lies fully inside this box.
+    #[inline]
+    pub fn contains_box(&self, other: &Self) -> bool {
+        other.is_empty()
+            || (0..D).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// True when the boxes overlap (boundary inclusive).
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        (0..D).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// The centre of the box.
+    #[inline]
+    pub fn center(&self) -> Point<D> {
+        let mut coords = [0.0; D];
+        for d in 0..D {
+            coords[d] = 0.5 * (self.min[d] + self.max[d]);
+        }
+        Point::new(coords)
+    }
+
+    /// Edge lengths per dimension.
+    #[inline]
+    pub fn extents(&self) -> [Scalar; D] {
+        let mut e = [0.0; D];
+        for d in 0..D {
+            e[d] = self.max[d] - self.min[d];
+        }
+        e
+    }
+
+    /// The largest edge length (0 for a degenerate box).
+    #[inline]
+    pub fn longest_extent(&self) -> Scalar {
+        self.extents().into_iter().fold(0.0, Scalar::max)
+    }
+
+    /// Index of the dimension with the largest extent.
+    #[inline]
+    pub fn longest_axis(&self) -> usize {
+        let e = self.extents();
+        let mut best = 0;
+        for d in 1..D {
+            if e[d] > e[best] {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Euclidean diameter of the box (corner-to-corner distance).
+    #[inline]
+    pub fn diameter(&self) -> Scalar {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.min.distance(&self.max)
+    }
+
+    /// Squared distance from `p` to the closest point of the box
+    /// (0 when `p` is inside).
+    ///
+    /// This is the pruning bound of the nearest-neighbour traversal
+    /// (line 9 of Algorithm 2 in the paper).
+    #[inline]
+    pub fn squared_distance_to_point(&self, p: &Point<D>) -> Scalar {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let c = p[d].clamp(self.min[d], self.max[d]);
+            let diff = p[d] - c;
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Squared minimum distance between two boxes (0 when they intersect).
+    ///
+    /// This is the dual-tree and WSPD lower bound.
+    #[inline]
+    pub fn squared_distance_to_box(&self, other: &Self) -> Scalar {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let gap = (self.min[d] - other.max[d]).max(other.min[d] - self.max[d]).max(0.0);
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Squared maximum distance between any point of `self` and any point of
+    /// `other` (the dual-tree upper bound).
+    #[inline]
+    pub fn squared_max_distance_to_box(&self, other: &Self) -> Scalar {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let hi = (self.max[d] - other.min[d]).abs().max((other.max[d] - self.min[d]).abs());
+            acc += hi * hi;
+        }
+        acc
+    }
+}
+
+impl<const D: usize> Default for Aabb<D> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_box_contains_nothing_and_unions_as_identity() {
+        let e = Aabb::<2>::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains_point(&Point::origin()));
+        let b = Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        assert_eq!(e.union(&b), b);
+        assert_eq!(b.union(&e), b);
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts = [
+            Point::new([1.0, 5.0]),
+            Point::new([-2.0, 3.0]),
+            Point::new([0.0, 7.0]),
+        ];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Point::new([-2.0, 3.0]));
+        assert_eq!(b.max, Point::new([1.0, 7.0]));
+    }
+
+    #[test]
+    fn point_distance_zero_inside_positive_outside() {
+        let b = Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([2.0, 2.0]));
+        assert_eq!(b.squared_distance_to_point(&Point::new([1.0, 1.0])), 0.0);
+        assert_eq!(b.squared_distance_to_point(&Point::new([3.0, 1.0])), 1.0);
+        assert_eq!(b.squared_distance_to_point(&Point::new([3.0, 3.0])), 2.0);
+    }
+
+    #[test]
+    fn box_distance_zero_when_overlapping() {
+        let a = Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([2.0, 2.0]));
+        let b = Aabb::from_corners(Point::new([1.0, 1.0]), Point::new([3.0, 3.0]));
+        assert_eq!(a.squared_distance_to_box(&b), 0.0);
+        let c = Aabb::from_corners(Point::new([5.0, 0.0]), Point::new([6.0, 2.0]));
+        assert_eq!(a.squared_distance_to_box(&c), 9.0);
+    }
+
+    #[test]
+    fn longest_axis_picks_widest_dimension() {
+        let b = Aabb::from_corners(Point::new([0.0, 0.0, 0.0]), Point::new([1.0, 5.0, 3.0]));
+        assert_eq!(b.longest_axis(), 1);
+        assert_eq!(b.longest_extent(), 5.0);
+    }
+
+    #[test]
+    fn diameter_of_unit_square_is_sqrt2() {
+        let b = Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        assert!((b.diameter() - 2f32.sqrt()).abs() < 1e-6);
+    }
+
+    fn arb_point2() -> impl Strategy<Value = Point<2>> {
+        prop::array::uniform2(-100.0f32..100.0).prop_map(Point::new)
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both(a in arb_point2(), b in arb_point2(),
+                               c in arb_point2(), d in arb_point2()) {
+            let b1 = Aabb::from_corners(a, b);
+            let b2 = Aabb::from_corners(c, d);
+            let u = b1.union(&b2);
+            prop_assert!(u.contains_box(&b1));
+            prop_assert!(u.contains_box(&b2));
+        }
+
+        #[test]
+        fn point_distance_lower_bounds_member_distance(
+            a in arb_point2(), b in arb_point2(), q in arb_point2(),
+            t in 0.0f32..1.0, s in 0.0f32..1.0
+        ) {
+            let bx = Aabb::from_corners(a, b);
+            // A point inside the box, by construction.
+            let inside = Point::new([
+                bx.min[0] + t * (bx.max[0] - bx.min[0]),
+                bx.min[1] + s * (bx.max[1] - bx.min[1]),
+            ]);
+            prop_assert!(bx.contains_point(&inside));
+            prop_assert!(
+                bx.squared_distance_to_point(&q) <= q.squared_distance(&inside) + 1e-3
+            );
+        }
+
+        #[test]
+        fn box_min_distance_lower_bounds_pointwise(
+            a in arb_point2(), b in arb_point2(), c in arb_point2(), d in arb_point2()
+        ) {
+            let b1 = Aabb::from_corners(a, b);
+            let b2 = Aabb::from_corners(c, d);
+            // min box distance must lower-bound distance between any corners
+            let lb = b1.squared_distance_to_box(&b2);
+            for p in [b1.min, b1.max] {
+                for q in [b2.min, b2.max] {
+                    prop_assert!(lb <= p.squared_distance(&q) + 1e-3);
+                }
+            }
+        }
+
+        #[test]
+        fn max_box_distance_upper_bounds_pointwise(
+            a in arb_point2(), b in arb_point2(), c in arb_point2(), d in arb_point2()
+        ) {
+            let b1 = Aabb::from_corners(a, b);
+            let b2 = Aabb::from_corners(c, d);
+            let ub = b1.squared_max_distance_to_box(&b2);
+            for p in [b1.min, b1.max] {
+                for q in [b2.min, b2.max] {
+                    prop_assert!(ub >= p.squared_distance(&q) - 1e-3);
+                }
+            }
+        }
+
+        #[test]
+        fn intersects_iff_min_distance_zero(
+            a in arb_point2(), b in arb_point2(), c in arb_point2(), d in arb_point2()
+        ) {
+            let b1 = Aabb::from_corners(a, b);
+            let b2 = Aabb::from_corners(c, d);
+            prop_assert_eq!(b1.intersects(&b2), b1.squared_distance_to_box(&b2) == 0.0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Distance metrics.
+//!
+//! The paper's traversal (Algorithm 2) works for any metric whose value is
+//! **greater than or equal to** the Euclidean distance: internal tree nodes
+//! are pruned with the Euclidean point-to-box bound, which stays valid for
+//! such metrics (§3, "Non-Euclidean metrics"). [`MutualReachability`] — the
+//! HDBSCAN* distance of §4.5 — is exactly such a metric.
+//!
+//! All methods work on **squared** Euclidean quantities so hot paths can skip
+//! square roots; a metric maps a squared Euclidean leaf distance to its own
+//! squared distance.
+
+use crate::{Point, Scalar};
+
+/// A distance metric compatible with Euclidean lower-bound pruning.
+///
+/// Implementations must guarantee
+/// `metric_sq(u, v, d²(u,v)) >= d²(u,v)` for all `u, v`, which makes pruning
+/// internal BVH/kd nodes with the Euclidean box bound correct.
+pub trait Metric: Sync {
+    /// Squared metric distance between points with indices `u` and `v`,
+    /// given their squared Euclidean distance `euclidean_sq`.
+    fn squared_distance(&self, u: u32, v: u32, euclidean_sq: Scalar) -> Scalar;
+
+    /// A lower bound on the squared metric distance from point `u` to *any*
+    /// point of a subtree, given the squared Euclidean point-to-box bound.
+    ///
+    /// The default returns the Euclidean bound, which is valid for every
+    /// metric satisfying the trait contract; [`MutualReachability`] sharpens
+    /// it with the query's core distance.
+    #[inline]
+    fn squared_bound(&self, _u: u32, euclidean_box_sq: Scalar) -> Scalar {
+        euclidean_box_sq
+    }
+}
+
+/// Plain Euclidean distance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    #[inline]
+    fn squared_distance(&self, _u: u32, _v: u32, euclidean_sq: Scalar) -> Scalar {
+        euclidean_sq
+    }
+}
+
+/// Mutual reachability distance (HDBSCAN*, Campello et al. 2015):
+///
+/// `d_mreach(u, v) = max{ d_core(u), d_core(v), ‖u − v‖ }`
+///
+/// where `d_core(u)` is the distance from `u` to its `k_pts`-th nearest
+/// neighbour (including itself). With `k_pts = 1` every core distance is 0
+/// and the metric degenerates to Euclidean — a property the tests rely on.
+///
+/// Stores **squared** core distances so the traversal never leaves squared
+/// space.
+#[derive(Clone, Debug)]
+pub struct MutualReachability<'a> {
+    core_sq: &'a [Scalar],
+}
+
+impl<'a> MutualReachability<'a> {
+    /// Creates the metric from per-point *squared* core distances.
+    pub fn new(core_sq: &'a [Scalar]) -> Self {
+        Self { core_sq }
+    }
+
+    /// The squared core distance of point `u`.
+    #[inline]
+    pub fn core_sq(&self, u: u32) -> Scalar {
+        self.core_sq[u as usize]
+    }
+
+    /// Number of points the metric knows about.
+    pub fn len(&self) -> usize {
+        self.core_sq.len()
+    }
+
+    /// True when constructed over an empty point set.
+    pub fn is_empty(&self) -> bool {
+        self.core_sq.is_empty()
+    }
+}
+
+impl Metric for MutualReachability<'_> {
+    #[inline]
+    fn squared_distance(&self, u: u32, v: u32, euclidean_sq: Scalar) -> Scalar {
+        euclidean_sq
+            .max(self.core_sq[u as usize])
+            .max(self.core_sq[v as usize])
+    }
+
+    /// `d_mreach(u, ·) >= d_core(u)` always, so the box bound can be
+    /// tightened to `max(d_core(u)², box²)`.
+    #[inline]
+    fn squared_bound(&self, u: u32, euclidean_box_sq: Scalar) -> Scalar {
+        euclidean_box_sq.max(self.core_sq[u as usize])
+    }
+}
+
+/// Brute-force squared core distances (reference implementation, O(n²·k));
+/// used by tests and small examples. The production path is
+/// `emst-hdbscan::core_distances`, which uses the BVH.
+pub fn brute_force_core_distances_sq<const D: usize>(
+    points: &[Point<D>],
+    k_pts: usize,
+) -> Vec<Scalar> {
+    assert!(k_pts >= 1, "k_pts counts the point itself and must be >= 1");
+    let n = points.len();
+    let k = k_pts.min(n);
+    let mut out = Vec::with_capacity(n);
+    let mut dists = Vec::with_capacity(n);
+    for p in points {
+        dists.clear();
+        dists.extend(points.iter().map(|q| p.squared_distance(q)));
+        // k-th smallest including self (self contributes the 0 at rank 1).
+        dists.sort_by(Scalar::total_cmp);
+        out.push(dists[k - 1]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_is_identity_on_squared_distance() {
+        assert_eq!(Euclidean.squared_distance(0, 1, 7.25), 7.25);
+        assert_eq!(Euclidean.squared_bound(0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn mutual_reachability_takes_max_of_three() {
+        let core_sq = [4.0, 1.0, 9.0];
+        let m = MutualReachability::new(&core_sq);
+        // euclidean dominates
+        assert_eq!(m.squared_distance(0, 1, 16.0), 16.0);
+        // core of u dominates
+        assert_eq!(m.squared_distance(0, 1, 2.0), 4.0);
+        // core of v dominates
+        assert_eq!(m.squared_distance(1, 2, 2.0), 9.0);
+    }
+
+    #[test]
+    fn mutual_reachability_bound_is_at_least_core() {
+        let core_sq = [4.0, 0.0];
+        let m = MutualReachability::new(&core_sq);
+        assert_eq!(m.squared_bound(0, 1.0), 4.0);
+        assert_eq!(m.squared_bound(0, 25.0), 25.0);
+        assert_eq!(m.squared_bound(1, 1.0), 1.0);
+    }
+
+    #[test]
+    fn mrd_dominates_euclidean() {
+        // Trait contract: metric >= Euclidean.
+        let core_sq = [0.5, 2.0, 0.0];
+        let m = MutualReachability::new(&core_sq);
+        for (u, v, e) in [(0u32, 1u32, 0.1f32), (1, 2, 1.0), (0, 2, 3.0)] {
+            assert!(m.squared_distance(u, v, e) >= e);
+        }
+    }
+
+    #[test]
+    fn brute_force_core_distances_k1_is_zero() {
+        let pts = vec![
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([0.0, 2.0]),
+        ];
+        let core = brute_force_core_distances_sq(&pts, 1);
+        assert_eq!(core, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn brute_force_core_distances_k2_is_nearest_neighbor() {
+        let pts = vec![
+            Point::new([0.0, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([0.0, 2.0]),
+        ];
+        let core = brute_force_core_distances_sq(&pts, 2);
+        assert_eq!(core, vec![1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn brute_force_core_distances_k_clamped_to_n() {
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([3.0, 4.0])];
+        let core = brute_force_core_distances_sq(&pts, 10);
+        assert_eq!(core, vec![25.0, 25.0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! The three classical MST algorithms (paper §2), all under the
+//! `(weight, min, max)` total edge order.
+//!
+//! On a connected graph each returns exactly `n − 1` edges; on a
+//! disconnected one, a minimum spanning **forest**. Because the edge order
+//! is total, all three return the *same* edge set — tested against each
+//! other and against the geometric implementations.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use emst_core::{Edge, UnionFind};
+
+use crate::graph::WeightedGraph;
+
+/// Kruskal 1956: sort all edges, take those joining distinct components.
+/// `O(m log m)`. The paper notes its "limited parallelism which is
+/// insufficient for a GPU".
+pub fn kruskal(g: &WeightedGraph) -> Vec<Edge> {
+    let mut sorted: Vec<&Edge> = g.edges.iter().collect();
+    sorted.sort_by_key(|e| e.key());
+    let mut dsu = UnionFind::new(g.n);
+    let mut mst = Vec::with_capacity(g.n.saturating_sub(1));
+    for e in sorted {
+        if dsu.union(e.u as usize, e.v as usize) {
+            mst.push(*e);
+        }
+    }
+    mst
+}
+
+/// Prim 1957: grow one component from each unvisited seed, always adding
+/// the lightest edge in its cut. `O(m log m)` with a lazy binary heap. The
+/// paper calls it "inherently sequential" — which is why the EMST algorithm
+/// builds on Borůvka instead.
+pub fn prim(g: &WeightedGraph) -> Vec<Edge> {
+    let (offsets, neighbors) = g.adjacency();
+    let mut in_tree = vec![false; g.n];
+    let mut mst = Vec::with_capacity(g.n.saturating_sub(1));
+    // (weight bits, min, max, src, dst): heap orders by the total edge key.
+    type Entry = Reverse<(u32, u32, u32, u32)>;
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+
+    for seed in 0..g.n {
+        if in_tree[seed] {
+            continue;
+        }
+        in_tree[seed] = true;
+        push_cut_edges(seed, &offsets, &neighbors, &in_tree, &mut heap);
+        while let Some(Reverse((wbits, _minv, _maxv, dst))) = heap.pop() {
+            let dst = dst as usize;
+            if in_tree[dst] {
+                continue;
+            }
+            in_tree[dst] = true;
+            // Recover the source: the lightest in-tree neighbor achieving
+            // this weight with the canonical tie-break.
+            let mut best: Option<(u32, u32, u32)> = None;
+            let mut src = u32::MAX;
+            for &(v, w) in
+                &neighbors[offsets[dst] as usize..offsets[dst + 1] as usize]
+            {
+                if !in_tree[v as usize] || v as usize == dst {
+                    continue;
+                }
+                let cand_bits = emst_geometry::nonneg_f32_to_ordered_bits(w);
+                if cand_bits != wbits {
+                    continue;
+                }
+                let key = (
+                    cand_bits,
+                    (dst as u32).min(v),
+                    (dst as u32).max(v),
+                );
+                if best.is_none() || key < best.unwrap() {
+                    best = Some(key);
+                    src = v;
+                }
+            }
+            debug_assert_ne!(src, u32::MAX);
+            mst.push(Edge::new(src, dst as u32, f32::from_bits(wbits)));
+            push_cut_edges(dst, &offsets, &neighbors, &in_tree, &mut heap);
+        }
+    }
+    mst.sort_by_key(Edge::key);
+    mst
+}
+
+type PrimEntry = Reverse<(u32, u32, u32, u32)>;
+
+fn push_cut_edges(
+    u: usize,
+    offsets: &[u32],
+    neighbors: &[(u32, f32)],
+    in_tree: &[bool],
+    heap: &mut BinaryHeap<PrimEntry>,
+) {
+    for &(v, w) in &neighbors[offsets[u] as usize..offsets[u + 1] as usize] {
+        if !in_tree[v as usize] {
+            let bits = emst_geometry::nonneg_f32_to_ordered_bits(w);
+            heap.push(Reverse((
+                bits,
+                (u as u32).min(v),
+                (u as u32).max(v),
+                v,
+            )));
+        }
+    }
+}
+
+/// Borůvka 1926: every component simultaneously adopts its lightest
+/// outgoing edge; components merge; repeat. `O(m log n)` with `O(log n)`
+/// iterations — the structure the whole paper parallelizes.
+pub fn boruvka(g: &WeightedGraph) -> Vec<Edge> {
+    let mut dsu = UnionFind::new(g.n);
+    let mut mst = Vec::with_capacity(g.n.saturating_sub(1));
+    let mut best: Vec<Option<Edge>> = vec![None; g.n];
+    loop {
+        for b in best.iter_mut() {
+            *b = None;
+        }
+        let mut any = false;
+        for e in &g.edges {
+            let (cu, cv) = (dsu.find(e.u as usize), dsu.find(e.v as usize));
+            if cu == cv {
+                continue;
+            }
+            any = true;
+            for c in [cu, cv] {
+                if best[c].is_none_or(|b| e.key() < b.key()) {
+                    best[c] = Some(*e);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        for c in 0..g.n {
+            if let Some(e) = best[c] {
+                if dsu.union(e.u as usize, e.v as usize) {
+                    mst.push(e);
+                }
+            }
+        }
+    }
+    mst.sort_by_key(Edge::key);
+    mst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::edge::{total_weight, verify_spanning_tree};
+    use emst_geometry::Point;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn norm(mut edges: Vec<Edge>) -> Vec<Edge> {
+        edges.sort_by_key(Edge::key);
+        edges
+    }
+
+    #[test]
+    fn all_three_agree_on_a_simple_graph() {
+        let g = WeightedGraph::new(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 4, 4.0),
+                (0, 4, 10.0),
+                (1, 3, 2.5),
+            ],
+        );
+        let k = norm(kruskal(&g));
+        assert_eq!(k, norm(prim(&g)));
+        assert_eq!(k, norm(boruvka(&g)));
+        verify_spanning_tree(5, &k).unwrap();
+        // MST = {(0,1):1, (1,2):2, (1,3):2.5, (3,4):4} (squared weights).
+        assert_eq!(total_weight(&k), 1.0 + 2f64.sqrt() + 2.5f64.sqrt() + 2.0);
+    }
+
+    #[test]
+    fn forests_on_disconnected_graphs() {
+        let g = WeightedGraph::new(5, vec![(0, 1, 1.0), (2, 3, 2.0)]);
+        for mst in [kruskal(&g), prim(&g), boruvka(&g)] {
+            assert_eq!(mst.len(), 2, "spanning forest of 3 components");
+        }
+    }
+
+    #[test]
+    fn trivial_graphs() {
+        let g = WeightedGraph::new(0, vec![]);
+        assert!(kruskal(&g).is_empty());
+        assert!(prim(&g).is_empty());
+        assert!(boruvka(&g).is_empty());
+        let g = WeightedGraph::new(1, vec![]);
+        assert!(kruskal(&g).is_empty());
+        assert!(prim(&g).is_empty());
+        assert!(boruvka(&g).is_empty());
+    }
+
+    #[test]
+    fn equal_weight_edges_resolve_identically() {
+        // A 4-cycle of equal weights: the MST is determined purely by the
+        // tie-breaking order.
+        let g = WeightedGraph::new(
+            4,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)],
+        );
+        let k = norm(kruskal(&g));
+        assert_eq!(k, norm(prim(&g)));
+        assert_eq!(k, norm(boruvka(&g)));
+        // (w, min, max) order keeps (0,1), (1,2), (2,3).
+        let ends: Vec<(u32, u32)> = k.iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ends, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn complete_graph_oracle_matches_geometric_emst() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<Point<2>> = (0..60)
+            .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
+            .collect();
+        let g = WeightedGraph::complete_from_points(&pts);
+        let k = norm(kruskal(&g));
+        let geometric = norm(emst_core::brute::brute_force_emst(&pts));
+        assert_eq!(k, geometric);
+        assert_eq!(k, norm(boruvka(&g)));
+        assert_eq!(k, norm(prim(&g)));
+    }
+
+    fn arb_graph() -> impl Strategy<Value = WeightedGraph> {
+        (2usize..30).prop_flat_map(|n| {
+            let edge = (0..n as u32, 0..n as u32, 0u32..16);
+            prop::collection::vec(edge, 0..120).prop_map(move |raw| {
+                WeightedGraph::new(
+                    n,
+                    raw.into_iter().map(|(u, v, w)| (u, v, w as f32 * 0.25)),
+                )
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_three_algorithms_agree_on_random_graphs(g in arb_graph()) {
+            let k = norm(kruskal(&g));
+            prop_assert_eq!(&k, &norm(prim(&g)));
+            prop_assert_eq!(&k, &norm(boruvka(&g)));
+            // Forest size = n - #components.
+            let mut dsu = UnionFind::new(g.n);
+            for e in &g.edges {
+                dsu.union(e.u as usize, e.v as usize);
+            }
+            prop_assert_eq!(k.len(), g.n - dsu.num_sets());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! A simple undirected weighted graph in edge-list + CSR form.
+
+use emst_core::Edge;
+use emst_geometry::{Point, Scalar};
+
+/// An undirected weighted graph. Edge weights are stored squared to match
+/// the rest of the workspace (take square roots only for reporting).
+#[derive(Clone, Debug)]
+pub struct WeightedGraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Undirected edges (`u < v` canonical, weights squared).
+    pub edges: Vec<Edge>,
+}
+
+impl WeightedGraph {
+    /// Creates a graph from an edge list; endpoints are canonicalized and
+    /// exact duplicates (same endpoints **and** weight) deduplicated.
+    pub fn new(n: usize, raw: impl IntoIterator<Item = (u32, u32, Scalar)>) -> Self {
+        let mut edges: Vec<Edge> = raw
+            .into_iter()
+            .filter(|&(u, v, _)| u != v)
+            .map(|(u, v, w)| {
+                assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+                assert!(w >= 0.0, "negative weights are not supported");
+                Edge::new(u, v, w)
+            })
+            .collect();
+        edges.sort_by_key(Edge::key);
+        edges.dedup_by(|a, b| a.u == b.u && a.v == b.v && a.weight_sq == b.weight_sq);
+        Self { n, edges }
+    }
+
+    /// The complete distance graph of a point set — O(n²) edges; the bridge
+    /// between the explicit-graph oracles and the geometric algorithms.
+    pub fn complete_from_points<const D: usize>(points: &[Point<D>]) -> Self {
+        let n = points.len();
+        let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((
+                    u as u32,
+                    v as u32,
+                    points[u].squared_distance(&points[v]),
+                ));
+            }
+        }
+        Self::new(n, edges)
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when every vertex can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut dsu = emst_core::UnionFind::new(self.n);
+        for e in &self.edges {
+            dsu.union(e.u as usize, e.v as usize);
+        }
+        dsu.num_sets() == 1
+    }
+
+    /// CSR adjacency: `(offsets, neighbors)` where `neighbors[offsets[u]..
+    /// offsets[u+1]]` lists `(v, weight_sq)` pairs; used by Prim.
+    pub fn adjacency(&self) -> (Vec<u32>, Vec<(u32, Scalar)>) {
+        let mut degree = vec![0u32; self.n];
+        for e in &self.edges {
+            degree[e.u as usize] += 1;
+            degree[e.v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; self.n + 1];
+        for u in 0..self.n {
+            offsets[u + 1] = offsets[u] + degree[u];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![(0u32, 0.0); 2 * self.edges.len()];
+        for e in &self.edges {
+            neighbors[cursor[e.u as usize] as usize] = (e.v, e.weight_sq);
+            cursor[e.u as usize] += 1;
+            neighbors[cursor[e.v as usize] as usize] = (e.u, e.weight_sq);
+            cursor[e.v as usize] += 1;
+        }
+        (offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_canonicalizes_and_dedups() {
+        let g = WeightedGraph::new(
+            3,
+            vec![(1, 0, 4.0), (0, 1, 4.0), (2, 1, 1.0), (0, 0, 9.0)],
+        );
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges[0], Edge::new(1, 2, 1.0));
+        assert_eq!(g.edges[1], Edge::new(0, 1, 4.0));
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_weights_are_kept() {
+        let g = WeightedGraph::new(2, vec![(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let g = WeightedGraph::new(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+        assert!(!g.is_connected());
+        let g = WeightedGraph::new(4, vec![(0, 1, 1.0), (2, 3, 1.0), (1, 2, 1.0)]);
+        assert!(g.is_connected());
+        assert!(WeightedGraph::new(1, vec![]).is_connected());
+        assert!(WeightedGraph::new(0, vec![]).is_connected());
+    }
+
+    #[test]
+    fn complete_graph_has_binomial_edges() {
+        let pts: Vec<Point<2>> = (0..6).map(|i| Point::new([i as f32, 0.0])).collect();
+        let g = WeightedGraph::complete_from_points(&pts);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn adjacency_round_trips_degrees() {
+        let g = WeightedGraph::new(4, vec![(0, 1, 1.0), (1, 2, 2.0), (1, 3, 3.0)]);
+        let (offsets, neighbors) = g.adjacency();
+        assert_eq!(offsets, vec![0, 1, 4, 5, 6]);
+        assert_eq!(neighbors.len(), 6);
+        // vertex 1 sees 0, 2, 3
+        let mut vs: Vec<u32> =
+            neighbors[offsets[1] as usize..offsets[2] as usize].iter().map(|p| p.0).collect();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 2, 3]);
+    }
+}

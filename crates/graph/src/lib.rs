@@ -1,0 +1,26 @@
+//! Classical minimum-spanning-tree algorithms on **explicit** weighted
+//! graphs — the three ancestors the paper's Background section (§2) builds
+//! on:
+//!
+//! - [`boruvka`] — Borůvka 1926, the parallel-friendly one the paper adopts;
+//! - [`kruskal`] — Kruskal 1956, the sort-then-filter one GeoFilterKruskal
+//!   adapts;
+//! - [`prim`] — Prim 1957, the inherently sequential one Bentley–Friedman
+//!   adapts.
+//!
+//! The EMST problem differs from these only in that its graph (the complete
+//! distance graph) is *implicit*; these explicit-graph implementations serve
+//! as oracles for the geometric algorithms (via
+//! [`WeightedGraph::complete_from_points`]) and cross-validate each other on
+//! arbitrary sparse graphs, including the tie-heavy ones where MST
+//! uniqueness fails.
+//!
+//! All three use the same `(weight, min, max)` total edge order as the rest
+//! of the workspace, so on any input they return the *identical* edge set —
+//! the unique MST of the perturbed-weight graph.
+
+pub mod algorithms;
+pub mod graph;
+
+pub use algorithms::{boruvka, kruskal, prim};
+pub use graph::WeightedGraph;

@@ -1,0 +1,438 @@
+//! The condensed tree and excess-of-mass cluster extraction
+//! (Campello et al. 2015; McInnes & Healy 2017).
+//!
+//! The single-linkage hierarchy is *condensed* by a minimum cluster size:
+//! walking top-down, a split is real only when both sides hold at least
+//! `min_cluster_size` points — otherwise the small side's points simply
+//! "fall out" of the current cluster at that level's density
+//! `λ = 1/distance`. Each surviving cluster accumulates a *stability*
+//! `Σ_p (λ_exit(p) − λ_birth)`, and the flat clustering selects the
+//! antichain of clusters maximizing total stability (excess of mass).
+
+use crate::dendrogram::Dendrogram;
+
+/// Label of points not assigned to any cluster.
+pub const NOISE: i32 = -1;
+
+/// λ for a merge distance, finite even for zero-distance (duplicate) merges.
+#[inline]
+fn lambda(distance: f32) -> f64 {
+    1.0 / (distance as f64).max(1e-12)
+}
+
+#[derive(Clone, Debug)]
+struct Cluster {
+    parent: Option<u32>,
+    birth_lambda: f64,
+    stability: f64,
+    children: Vec<u32>,
+}
+
+/// The condensed cluster tree.
+#[derive(Clone, Debug)]
+pub struct CondensedTree {
+    clusters: Vec<Cluster>,
+    /// Per point: the condensed cluster it fell out of (u32::MAX = never,
+    /// possible only for n == 0 cases) — used for labeling.
+    point_exit_cluster: Vec<u32>,
+    /// Per point: the density level λ at which it fell out.
+    point_exit_lambda: Vec<f64>,
+}
+
+impl CondensedTree {
+    /// Condenses `dendro` under `min_cluster_size`.
+    pub fn build(dendro: &Dendrogram, min_cluster_size: usize) -> Self {
+        assert!(min_cluster_size >= 2);
+        let n = dendro.n;
+        let mut clusters = vec![Cluster {
+            parent: None,
+            birth_lambda: 0.0,
+            stability: 0.0,
+            children: vec![],
+        }];
+        let mut point_exit_cluster = vec![0u32; n];
+        let mut point_exit_lambda = vec![0.0f64; n];
+
+        let Some(root) = dendro.root() else {
+            // 0 or 1 point: everything (if anything) exits the root at λ=0.
+            return Self { clusters, point_exit_cluster, point_exit_lambda };
+        };
+
+        // Stack of (hierarchy node, condensed cluster it belongs to).
+        let mut stack: Vec<(u32, u32)> = vec![(root, 0)];
+        while let Some((node, cluster)) = stack.pop() {
+            if dendro.is_point(node) {
+                // A bare point inside a cluster (can only happen for the
+                // root of a 2-point hierarchy, or small-side handling below
+                // which bypasses this branch).
+                point_exit_cluster[node as usize] = cluster;
+                point_exit_lambda[node as usize] =
+                    clusters[cluster as usize].birth_lambda;
+                continue;
+            }
+            let m = dendro.merge_of(node);
+            let lam = lambda(m.distance);
+            let (sl, sr) =
+                (dendro.size(m.left) as usize, dendro.size(m.right) as usize);
+            let big_l = sl >= min_cluster_size;
+            let big_r = sr >= min_cluster_size;
+            match (big_l, big_r) {
+                (true, true) => {
+                    // True split: both sides become new clusters; every
+                    // point of the parent leaves it here.
+                    clusters[cluster as usize].stability +=
+                        (sl + sr) as f64 * (lam - clusters[cluster as usize].birth_lambda);
+                    for child_node in [m.left, m.right] {
+                        let id = clusters.len() as u32;
+                        clusters.push(Cluster {
+                            parent: Some(cluster),
+                            birth_lambda: lam,
+                            stability: 0.0,
+                            children: vec![],
+                        });
+                        clusters[cluster as usize].children.push(id);
+                        stack.push((child_node, id));
+                    }
+                }
+                (true, false) => {
+                    Self::fall_out(
+                        dendro, m.right, lam, cluster, &mut clusters,
+                        &mut point_exit_cluster, &mut point_exit_lambda,
+                    );
+                    stack.push((m.left, cluster));
+                }
+                (false, true) => {
+                    Self::fall_out(
+                        dendro, m.left, lam, cluster, &mut clusters,
+                        &mut point_exit_cluster, &mut point_exit_lambda,
+                    );
+                    stack.push((m.right, cluster));
+                }
+                (false, false) => {
+                    // The cluster dissolves entirely at this level.
+                    Self::fall_out(
+                        dendro, m.left, lam, cluster, &mut clusters,
+                        &mut point_exit_cluster, &mut point_exit_lambda,
+                    );
+                    Self::fall_out(
+                        dendro, m.right, lam, cluster, &mut clusters,
+                        &mut point_exit_cluster, &mut point_exit_lambda,
+                    );
+                }
+            }
+        }
+        Self { clusters, point_exit_cluster, point_exit_lambda }
+    }
+
+    fn fall_out(
+        dendro: &Dendrogram,
+        subtree: u32,
+        lam: f64,
+        cluster: u32,
+        clusters: &mut [Cluster],
+        point_exit_cluster: &mut [u32],
+        point_exit_lambda: &mut [f64],
+    ) {
+        let members = dendro.members(subtree);
+        clusters[cluster as usize].stability +=
+            members.len() as f64 * (lam - clusters[cluster as usize].birth_lambda);
+        for p in members {
+            point_exit_cluster[p as usize] = cluster;
+            point_exit_lambda[p as usize] = lam;
+        }
+    }
+
+    /// Number of condensed clusters (including the never-selected root).
+    pub fn num_condensed(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The density level λ at which each point left its cluster.
+    pub fn point_exit_lambdas(&self) -> &[f64] {
+        &self.point_exit_lambda
+    }
+
+    /// Membership strength of every point in its assigned cluster
+    /// (McInnes & Healy 2017): `λ_exit(p) / λ_max(cluster)`, clamped to
+    /// `[0, 1]`; 0 for noise. Points that persist to the densest level of
+    /// their cluster score 1; points that fall out immediately after the
+    /// cluster is born score near 0.
+    pub fn membership_probabilities(&self, labels: &[i32]) -> Vec<f32> {
+        debug_assert_eq!(labels.len(), self.point_exit_cluster.len());
+        // λ_max per *label* (max exit λ over the points carrying it).
+        let num_labels = labels.iter().copied().max().map_or(0, |m| (m + 1) as usize);
+        let mut lambda_max = vec![0.0f64; num_labels];
+        for (i, &l) in labels.iter().enumerate() {
+            if l != NOISE {
+                let lam = self.point_exit_lambda[i];
+                if lam.is_finite() {
+                    let slot = &mut lambda_max[l as usize];
+                    if lam > *slot {
+                        *slot = lam;
+                    }
+                }
+            }
+        }
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                if l == NOISE {
+                    return 0.0;
+                }
+                let lmax = lambda_max[l as usize];
+                if lmax <= 0.0 {
+                    return 1.0;
+                }
+                ((self.point_exit_lambda[i] / lmax).clamp(0.0, 1.0)) as f32
+            })
+            .collect()
+    }
+
+    /// GLOSH outlier scores (Campello et al. 2015): for each point,
+    /// `1 − λ_exit(p) / λ_max(subtree of the cluster it exits)`, in
+    /// `[0, 1]`. Dense-core points score ~0; points that detach at far
+    /// lower density than their region supports score toward 1.
+    pub fn outlier_scores(&self) -> Vec<f32> {
+        let k = self.clusters.len();
+        // λ_max of each cluster's subtree: max point-exit λ below it.
+        let mut lambda_max = vec![0.0f64; k];
+        for (i, &c) in self.point_exit_cluster.iter().enumerate() {
+            let lam = self.point_exit_lambda[i];
+            if lam.is_finite() && lam > lambda_max[c as usize] {
+                lambda_max[c as usize] = lam;
+            }
+        }
+        // Propagate child maxima upward (children have larger ids).
+        for c in (1..k).rev() {
+            if let Some(p) = self.clusters[c].parent {
+                if lambda_max[c] > lambda_max[p as usize] {
+                    lambda_max[p as usize] = lambda_max[c];
+                }
+            }
+        }
+        self.point_exit_cluster
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lmax = lambda_max[c as usize];
+                if lmax <= 0.0 {
+                    return 0.0;
+                }
+                (1.0 - (self.point_exit_lambda[i] / lmax).clamp(0.0, 1.0)) as f32
+            })
+            .collect()
+    }
+
+    /// Stability of a condensed cluster (test hook).
+    pub fn stability(&self, id: usize) -> f64 {
+        self.clusters[id].stability
+    }
+
+    /// Excess-of-mass extraction: returns `(labels, num_clusters)` with
+    /// labels in `0..num_clusters` and [`NOISE`] for unclustered points. The
+    /// root is never selected (no single-cluster solutions, matching the
+    /// reference HDBSCAN* default).
+    pub fn extract_clusters(&self) -> (Vec<i32>, usize) {
+        let k = self.clusters.len();
+        let mut selected = vec![false; k];
+        let mut propagated = vec![0.0f64; k];
+        // Children always have larger ids: reverse order is bottom-up.
+        for c in (0..k).rev() {
+            let cl = &self.clusters[c];
+            if cl.children.is_empty() {
+                propagated[c] = cl.stability;
+                selected[c] = c != 0;
+                continue;
+            }
+            let child_sum: f64 = cl.children.iter().map(|&ch| propagated[ch as usize]).sum();
+            if c != 0 && cl.stability >= child_sum {
+                selected[c] = true;
+                propagated[c] = cl.stability;
+            } else {
+                propagated[c] = child_sum;
+            }
+        }
+        // Top-down: a selected ancestor shadows its descendants.
+        for c in 1..k {
+            let mut a = self.clusters[c].parent;
+            while let Some(p) = a {
+                if selected[p as usize] {
+                    selected[c] = false;
+                    break;
+                }
+                a = self.clusters[p as usize].parent;
+            }
+        }
+        // Number the selected clusters.
+        let mut label_of = vec![NOISE; k];
+        let mut next = 0i32;
+        for c in 0..k {
+            if selected[c] {
+                label_of[c] = next;
+                next += 1;
+            }
+        }
+        // A point belongs to the nearest selected ancestor of its exit
+        // cluster (inclusive); otherwise it is noise.
+        let labels = self
+            .point_exit_cluster
+            .iter()
+            .map(|&exit| {
+                let mut c = Some(exit);
+                while let Some(cur) = c {
+                    if selected[cur as usize] {
+                        return label_of[cur as usize];
+                    }
+                    c = self.clusters[cur as usize].parent;
+                }
+                NOISE
+            })
+            .collect();
+        (labels, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::Edge;
+
+    /// Two tight triples bridged by a long edge.
+    fn two_cluster_dendrogram() -> Dendrogram {
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(2, 3, 10_000.0),
+        ];
+        Dendrogram::from_mst_edges(6, &edges)
+    }
+
+    #[test]
+    fn two_tight_groups_give_two_clusters() {
+        let d = two_cluster_dendrogram();
+        let t = CondensedTree::build(&d, 2);
+        let (labels, k) = t.extract_clusters();
+        assert_eq!(k, 2, "labels {labels:?}");
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn min_cluster_size_larger_than_groups_gives_noise() {
+        let d = two_cluster_dendrogram();
+        let t = CondensedTree::build(&d, 5);
+        let (labels, k) = t.extract_clusters();
+        // No side ever reaches 5 points below the root: everything falls
+        // out of the (never selected) root.
+        assert_eq!(k, 0);
+        assert!(labels.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn stability_prefers_long_lived_clusters() {
+        let d = two_cluster_dendrogram();
+        let t = CondensedTree::build(&d, 2);
+        // Root (0) plus two children.
+        assert_eq!(t.num_condensed(), 3);
+        assert!(t.stability(1) > 0.0);
+        assert!(t.stability(2) > 0.0);
+    }
+
+    #[test]
+    fn straggler_is_noise() {
+        // Tight pair + far straggler.
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(2, 3, 10_000.0),
+            Edge::new(5, 6, 1_000_000.0),
+        ];
+        let d = Dendrogram::from_mst_edges(7, &edges);
+        let t = CondensedTree::build(&d, 3);
+        let (labels, k) = t.extract_clusters();
+        assert_eq!(k, 2);
+        assert_eq!(labels[6], NOISE);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let d = Dendrogram::from_mst_edges(0, &[]);
+        let t = CondensedTree::build(&d, 2);
+        let (labels, k) = t.extract_clusters();
+        assert!(labels.is_empty());
+        assert_eq!(k, 0);
+
+        let d = Dendrogram::from_mst_edges(1, &[]);
+        let t = CondensedTree::build(&d, 2);
+        let (labels, k) = t.extract_clusters();
+        assert_eq!(labels, vec![NOISE]);
+        assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn membership_probabilities_are_unit_range_and_zero_for_noise() {
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(2, 3, 10_000.0),
+            Edge::new(5, 6, 1_000_000.0),
+        ];
+        let d = Dendrogram::from_mst_edges(7, &edges);
+        let t = CondensedTree::build(&d, 3);
+        let (labels, _) = t.extract_clusters();
+        let probs = t.membership_probabilities(&labels);
+        assert_eq!(probs.len(), 7);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(probs[6], 0.0, "noise has zero membership");
+        assert!(probs[0] > 0.0);
+    }
+
+    #[test]
+    fn outlier_scores_flag_the_straggler() {
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(2, 3, 10_000.0),
+            Edge::new(5, 6, 1_000_000.0),
+        ];
+        let d = Dendrogram::from_mst_edges(7, &edges);
+        let t = CondensedTree::build(&d, 3);
+        let scores = t.outlier_scores();
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // The straggler (6) must out-score every in-cluster point.
+        for i in 0..6 {
+            assert!(
+                scores[6] > scores[i],
+                "straggler score {} vs point {i} score {}",
+                scores[6],
+                scores[i]
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_merges_do_not_produce_nan() {
+        let edges = vec![
+            Edge::new(0, 1, 0.0),
+            Edge::new(1, 2, 0.0),
+            Edge::new(2, 3, 1.0),
+        ];
+        let d = Dendrogram::from_mst_edges(4, &edges);
+        let t = CondensedTree::build(&d, 2);
+        for c in 0..t.num_condensed() {
+            assert!(t.stability(c).is_finite());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Single-linkage dendrogram from the MST.
+//!
+//! Sorting the (mutual-reachability) MST edges by weight and merging with a
+//! union-find yields exactly the single-linkage hierarchy over the metric —
+//! the classical equivalence HDBSCAN* is built on.
+
+use emst_core::{Edge, UnionFind};
+use emst_geometry::Scalar;
+
+/// One agglomeration step: clusters `left` and `right` merge at `distance`
+/// into a cluster of `size` points. Cluster ids: `0..n` are the points;
+/// merge `i` creates cluster `n + i`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub left: u32,
+    /// Second merged cluster id.
+    pub right: u32,
+    /// Merge (non-squared) distance.
+    pub distance: Scalar,
+    /// Point count of the new cluster.
+    pub size: u32,
+}
+
+/// The single-linkage hierarchy of `n` points: `n − 1` merges in
+/// non-decreasing distance order.
+#[derive(Clone, Debug)]
+pub struct Dendrogram {
+    /// Number of points.
+    pub n: usize,
+    /// The merges, ordered by distance.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Builds the hierarchy from spanning-tree edges (weights squared, as
+    /// stored by every EMST implementation in this workspace).
+    pub fn from_mst_edges(n: usize, edges: &[Edge]) -> Self {
+        assert!(n == 0 || edges.len() == n.saturating_sub(1), "edges must span the points");
+        let mut sorted: Vec<&Edge> = edges.iter().collect();
+        sorted.sort_by_key(|e| e.key());
+        let mut dsu = UnionFind::new(n);
+        // Representative -> current cluster id.
+        let mut cluster_of: Vec<u32> = (0..n as u32).collect();
+        let mut sizes: Vec<u32> = vec![1; n];
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        for (i, e) in sorted.iter().enumerate() {
+            let ra = dsu.find(e.u as usize);
+            let rb = dsu.find(e.v as usize);
+            debug_assert_ne!(ra, rb, "MST edges cannot close cycles");
+            let (ca, cb) = (cluster_of[ra], cluster_of[rb]);
+            let size = sizes[ra] + sizes[rb];
+            dsu.union(ra, rb);
+            let r = dsu.find(ra);
+            let new_id = (n + i) as u32;
+            cluster_of[r] = new_id;
+            sizes[r] = size;
+            merges.push(Merge {
+                left: ca.min(cb),
+                right: ca.max(cb),
+                distance: e.weight(),
+                size,
+            });
+        }
+        Self { n, merges }
+    }
+
+    /// Cluster id of the root (the final merge), if any.
+    pub fn root(&self) -> Option<u32> {
+        (!self.merges.is_empty()).then(|| (self.n + self.merges.len() - 1) as u32)
+    }
+
+    /// Size of a cluster id (1 for leaves).
+    pub fn size(&self, id: u32) -> u32 {
+        if (id as usize) < self.n {
+            1
+        } else {
+            self.merges[id as usize - self.n].size
+        }
+    }
+
+    /// The merge that created internal cluster `id`.
+    pub fn merge_of(&self, id: u32) -> &Merge {
+        &self.merges[id as usize - self.n]
+    }
+
+    /// True when `id` is a single point.
+    pub fn is_point(&self, id: u32) -> bool {
+        (id as usize) < self.n
+    }
+
+    /// Collects the point ids under cluster `id`.
+    pub fn members(&self, id: u32) -> Vec<u32> {
+        let mut out = vec![];
+        let mut stack = vec![id];
+        while let Some(c) = stack.pop() {
+            if self.is_point(c) {
+                out.push(c);
+            } else {
+                let m = self.merge_of(c);
+                stack.push(m.left);
+                stack.push(m.right);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_edges(n: usize, step: f32) -> Vec<Edge> {
+        (0..n - 1)
+            .map(|i| Edge::new(i as u32, i as u32 + 1, (step * (i as f32 + 1.0)).powi(2)))
+            .collect()
+    }
+
+    #[test]
+    fn merges_are_distance_ordered_and_sized() {
+        let edges = path_edges(5, 1.0); // weights 1,2,3,4
+        let d = Dendrogram::from_mst_edges(5, &edges);
+        assert_eq!(d.merges.len(), 4);
+        for w in d.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert_eq!(d.merges.last().unwrap().size, 5);
+        assert_eq!(d.root(), Some(8));
+        assert_eq!(d.size(8), 5);
+    }
+
+    #[test]
+    fn members_cover_all_points_at_root() {
+        let edges = path_edges(7, 0.5);
+        let d = Dendrogram::from_mst_edges(7, &edges);
+        let mut m = d.members(d.root().unwrap());
+        m.sort_unstable();
+        assert_eq!(m, (0..7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn two_cluster_structure_appears_in_hierarchy() {
+        // Points 0-1-2 tight, 3-4-5 tight, one long bridge.
+        let edges = vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(2, 3, 100.0),
+        ];
+        let d = Dendrogram::from_mst_edges(6, &edges);
+        // The last merge must be the bridge, joining two size-3 clusters.
+        let last = d.merges.last().unwrap();
+        assert_eq!(last.distance, 10.0);
+        assert_eq!(d.size(last.left), 3);
+        assert_eq!(d.size(last.right), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let d = Dendrogram::from_mst_edges(0, &[]);
+        assert!(d.merges.is_empty());
+        assert_eq!(d.root(), None);
+        let d = Dendrogram::from_mst_edges(1, &[]);
+        assert!(d.merges.is_empty());
+        assert_eq!(d.size(0), 1);
+    }
+
+    #[test]
+    fn zero_weight_edges_merge_first() {
+        let edges = vec![
+            Edge::new(0, 1, 0.0),
+            Edge::new(1, 2, 4.0),
+        ];
+        let d = Dendrogram::from_mst_edges(3, &edges);
+        assert_eq!(d.merges[0].distance, 0.0);
+        assert_eq!(d.merges[1].distance, 2.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! HDBSCAN* on top of the single-tree EMST (paper §4.5).
+//!
+//! HDBSCAN* (Campello et al. 2015) is the flagship application of the
+//! mutual-reachability MST the paper evaluates in its Fig. 9: the clustering
+//! is read off the minimum spanning tree of the complete graph under
+//!
+//! ```text
+//! d_mreach(u, v) = max{ d_core(u), d_core(v), ‖u − v‖ }
+//! ```
+//!
+//! where `d_core(u)` is the distance to `u`'s `k_pts`-th nearest neighbour.
+//! The pipeline is:
+//!
+//! 1. [`core_distances`] — k-NN on the shared BVH (the paper's `T_core`);
+//! 2. the MRD MST through `emst-core` (the `T_emst` phase; only the
+//!    traversal cutoff changes — §3 "Non-Euclidean metrics");
+//! 3. [`dendrogram`] — the single-linkage hierarchy from the sorted MST;
+//! 4. [`condensed`] — the condensed tree, cluster stabilities, and the
+//!    excess-of-mass cluster extraction.
+//!
+//! [`Hdbscan::fit`] runs all four stages and reports the paper's phase
+//! timings.
+
+pub mod condensed;
+pub mod core_distances;
+pub mod dendrogram;
+
+pub use condensed::{CondensedTree, NOISE};
+pub use core_distances::{core_distances_sq, core_distances_sq_instrumented, core_distances_sq_on};
+pub use dendrogram::{Dendrogram, Merge};
+
+use emst_bvh::Bvh;
+use emst_core::boruvka::run_boruvka;
+use emst_core::{Edge, EmstConfig};
+use emst_exec::{Counters, ExecSpace, PhaseTimings};
+use emst_geometry::{MutualReachability, Point};
+
+/// HDBSCAN* parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Hdbscan {
+    /// `k_pts`: the neighbour count defining the core distance (the point
+    /// itself included, as in the paper). `1` degenerates to Euclidean.
+    pub k_pts: usize,
+    /// Minimum cluster size for the condensed tree.
+    pub min_cluster_size: usize,
+}
+
+impl Default for Hdbscan {
+    fn default() -> Self {
+        Self { k_pts: 5, min_cluster_size: 5 }
+    }
+}
+
+/// Full clustering output.
+#[derive(Clone, Debug)]
+pub struct HdbscanResult {
+    /// Cluster id per point, or [`NOISE`].
+    pub labels: Vec<i32>,
+    /// Number of extracted clusters.
+    pub num_clusters: usize,
+    /// Squared core distances per point.
+    pub core_distances_sq: Vec<f32>,
+    /// The mutual-reachability MST edges.
+    pub mst: Vec<Edge>,
+    /// Per-point membership strength in its cluster (0 for noise).
+    pub probabilities: Vec<f32>,
+    /// Per-point GLOSH outlier scores (toward 1 = more outlying).
+    pub outlier_scores: Vec<f32>,
+    /// Phase timings: `"core"`, `"emst"` (Fig. 9's T_core / T_emst) plus
+    /// `"tree"`, `"extract"`.
+    pub timings: PhaseTimings,
+}
+
+impl Hdbscan {
+    /// Runs the full pipeline on `points` using execution space `space`.
+    pub fn fit<S: ExecSpace, const D: usize>(
+        &self,
+        space: &S,
+        points: &[Point<D>],
+    ) -> HdbscanResult {
+        assert!(self.k_pts >= 1);
+        assert!(self.min_cluster_size >= 2);
+        let n = points.len();
+        let mut timings = PhaseTimings::new();
+        if n == 0 {
+            return HdbscanResult {
+                labels: vec![],
+                num_clusters: 0,
+                core_distances_sq: vec![],
+                mst: vec![],
+                probabilities: vec![],
+                outlier_scores: vec![],
+                timings,
+            };
+        }
+
+        // One BVH shared by the k-NN and the Borůvka loop — the same tree
+        // reuse ArborX does.
+        let bvh = timings.time("tree", || Bvh::build(space, points));
+        let core_sq =
+            timings.time("core", || core_distances_sq_on(space, &bvh, self.k_pts));
+
+        let mst = if n >= 2 {
+            let metric = MutualReachability::new(&core_sq);
+            let counters = Counters::new();
+            let emst_start = std::time::Instant::now();
+            let (edges, _iters) = run_boruvka(
+                space,
+                &bvh,
+                &metric,
+                &EmstConfig::default(),
+                &counters,
+                &mut timings,
+            );
+            timings.record("emst", emst_start.elapsed().as_secs_f64());
+            edges
+        } else {
+            vec![]
+        };
+
+        let (labels, num_clusters, probabilities, outlier_scores) =
+            timings.time("extract", || {
+                let dendro = Dendrogram::from_mst_edges(n, &mst);
+                let tree = CondensedTree::build(&dendro, self.min_cluster_size);
+                let (labels, num_clusters) = tree.extract_clusters();
+                let probabilities = tree.membership_probabilities(&labels);
+                let outlier_scores = tree.outlier_scores();
+                (labels, num_clusters, probabilities, outlier_scores)
+            });
+
+        HdbscanResult {
+            labels,
+            num_clusters,
+            core_distances_sq: core_sq,
+            mst,
+            probabilities,
+            outlier_scores,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_exec::{Serial, Threads};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn blob(
+        rng: &mut StdRng,
+        center: [f32; 2],
+        sigma: f32,
+        n: usize,
+        out: &mut Vec<Point<2>>,
+    ) {
+        for _ in 0..n {
+            out.push(Point::new([
+                center[0] + rng.random_range(-sigma..sigma),
+                center[1] + rng.random_range(-sigma..sigma),
+            ]));
+        }
+    }
+
+    #[test]
+    fn two_blobs_yield_two_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pts = vec![];
+        blob(&mut rng, [0.0, 0.0], 0.1, 60, &mut pts);
+        blob(&mut rng, [10.0, 10.0], 0.1, 60, &mut pts);
+        let r = Hdbscan { k_pts: 5, min_cluster_size: 10 }.fit(&Serial, &pts);
+        assert_eq!(r.num_clusters, 2, "labels: {:?}", r.labels);
+        // Points within one blob share a label; across blobs differ.
+        assert_eq!(r.labels[0], r.labels[30]);
+        assert_eq!(r.labels[60], r.labels[100]);
+        assert_ne!(r.labels[0], r.labels[60]);
+        assert!(r.labels[..60].iter().all(|&l| l == r.labels[0]));
+    }
+
+    #[test]
+    fn noise_points_are_labeled_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pts = vec![];
+        blob(&mut rng, [0.0, 0.0], 0.1, 50, &mut pts);
+        blob(&mut rng, [20.0, 0.0], 0.1, 50, &mut pts);
+        // Isolated stragglers far from both blobs.
+        pts.push(Point::new([10.0, 40.0]));
+        pts.push(Point::new([-15.0, -30.0]));
+        let r = Hdbscan { k_pts: 4, min_cluster_size: 10 }.fit(&Serial, &pts);
+        assert_eq!(r.num_clusters, 2);
+        assert_eq!(r.labels[100], NOISE);
+        assert_eq!(r.labels[101], NOISE);
+    }
+
+    #[test]
+    fn three_nested_density_clusters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pts = vec![];
+        blob(&mut rng, [0.0, 0.0], 0.05, 80, &mut pts);
+        blob(&mut rng, [1.5, 0.0], 0.05, 80, &mut pts);
+        blob(&mut rng, [50.0, 50.0], 0.05, 80, &mut pts);
+        let r = Hdbscan { k_pts: 5, min_cluster_size: 15 }.fit(&Threads, &pts);
+        assert_eq!(r.num_clusters, 3, "labels: {:?}", &r.labels[..10]);
+        let (a, b, c) = (r.labels[0], r.labels[80], r.labels[160]);
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let r = Hdbscan::default().fit::<_, 2>(&Serial, &[]);
+        assert!(r.labels.is_empty());
+        let one = [Point::new([0.0f32, 0.0])];
+        let r = Hdbscan::default().fit(&Serial, &one);
+        assert_eq!(r.labels, vec![NOISE]);
+        assert_eq!(r.num_clusters, 0);
+    }
+
+    #[test]
+    fn all_points_one_blob_yields_one_or_zero_clusters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pts = vec![];
+        blob(&mut rng, [0.0, 0.0], 0.2, 100, &mut pts);
+        let r = Hdbscan { k_pts: 5, min_cluster_size: 10 }.fit(&Serial, &pts);
+        // A single homogeneous blob: at most one cluster (the root is never
+        // selected, so its immediate children may or may not survive).
+        assert!(r.num_clusters <= 2, "{}", r.num_clusters);
+    }
+
+    #[test]
+    fn timings_report_paper_phases() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pts = vec![];
+        blob(&mut rng, [0.0, 0.0], 1.0, 300, &mut pts);
+        let r = Hdbscan::default().fit(&Serial, &pts);
+        assert!(r.timings.get("core") > 0.0);
+        assert!(r.timings.get("emst") > 0.0);
+        assert!(r.mst.len() == 299);
+    }
+
+    #[test]
+    fn k1_reduces_core_distances_to_zero() {
+        let pts = vec![
+            Point::new([0.0f32, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([2.0, 0.0]),
+            Point::new([3.0, 0.0]),
+        ];
+        let r = Hdbscan { k_pts: 1, min_cluster_size: 2 }.fit(&Serial, &pts);
+        assert!(r.core_distances_sq.iter().all(|&c| c == 0.0));
+    }
+}

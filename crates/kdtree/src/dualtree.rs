@@ -1,0 +1,371 @@
+//! Dual-tree Borůvka EMST (March, Ram & Gray 2010) — the MLPACK baseline.
+//!
+//! Borůvka iterations where each round's shortest-outgoing-edge search is a
+//! single **dual-tree traversal**: pairs of kd-tree nodes `(Q, R)` are pruned
+//! when (a) both are entirely inside one component ("fully connected", the
+//! dual-tree ancestor of the paper's Optimization 1), or (b) the minimum
+//! box-to-box distance exceeds `Q`'s *bound* — the largest candidate-edge
+//! distance still improvable for any component with points under `Q`
+//! (March et al.'s `B(N_q)`).
+//!
+//! Components are tracked with a union-find; candidate edges are compared
+//! under the `(weight, min, max)` total order so the computed tree matches
+//! the brute-force Kruskal oracle edge-for-edge.
+
+use emst_core::{Edge, UnionFind};
+use emst_exec::PhaseTimings;
+use emst_geometry::{Point, Scalar};
+
+use crate::tree::{KdNode, KdTree};
+
+/// Result of the dual-tree EMST computation.
+#[derive(Clone, Debug)]
+pub struct DualTreeResult {
+    /// The `n − 1` tree edges (original indices, `u < v`).
+    pub edges: Vec<Edge>,
+    /// Sum of edge weights in `f64`.
+    pub total_weight: f64,
+    /// Borůvka iterations executed.
+    pub iterations: u32,
+    /// `"tree"` and `"mst"` wall-clock phases.
+    pub timings: PhaseTimings,
+    /// Point-pair distance computations (for work comparisons).
+    pub distance_computations: u64,
+}
+
+const INVALID_COMP: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Candidate {
+    dist_sq: Scalar,
+    u: u32,
+    v: u32,
+}
+
+impl Candidate {
+    const NONE: Candidate = Candidate { dist_sq: Scalar::INFINITY, u: u32::MAX, v: u32::MAX };
+
+    #[inline]
+    fn key(&self) -> (u32, u32, u32) {
+        (emst_geometry::nonneg_f32_to_ordered_bits(self.dist_sq), self.u, self.v)
+    }
+}
+
+struct Traversal<'a, const D: usize> {
+    tree: &'a KdTree<D>,
+    labels: &'a [u32],
+    node_comp: &'a [u32],
+    node_bound: &'a mut [Scalar],
+    /// Best candidate per component representative (permuted-position id).
+    cand: &'a mut [Candidate],
+    distance_computations: u64,
+}
+
+impl<const D: usize> Traversal<'_, D> {
+    fn traverse(&mut self, q: usize, r: usize) {
+        let (qn, rn) = (&self.tree.nodes[q], &self.tree.nodes[r]);
+        // Prune 1: both subtrees inside one component.
+        if self.node_comp[q] != INVALID_COMP && self.node_comp[q] == self.node_comp[r] {
+            return;
+        }
+        // Prune 2: R cannot improve any component under Q.
+        if qn.aabb.squared_distance_to_box(&rn.aabb) > self.node_bound[q] {
+            return;
+        }
+        match (qn.children, rn.children) {
+            (None, None) => self.base_case(q, r),
+            (Some((ql, qr)), None) => {
+                self.traverse(ql as usize, r);
+                self.traverse(qr as usize, r);
+                self.refresh_internal_bound(q, ql, qr);
+            }
+            (None, Some((rl, rr))) => {
+                // Visit the nearer R child first for tighter bounds.
+                let (first, second) = self.order_by_distance(q, rl, rr);
+                self.traverse(q, first);
+                self.traverse(q, second);
+            }
+            (Some((ql, qr)), Some((rl, rr))) => {
+                for qc in [ql as usize, qr as usize] {
+                    let (first, second) = self.order_by_distance(qc, rl, rr);
+                    self.traverse(qc, first);
+                    self.traverse(qc, second);
+                }
+                self.refresh_internal_bound(q, ql, qr);
+            }
+        }
+    }
+
+    fn order_by_distance(&self, q: usize, rl: u32, rr: u32) -> (usize, usize) {
+        let qb = &self.tree.nodes[q].aabb;
+        let dl = qb.squared_distance_to_box(&self.tree.nodes[rl as usize].aabb);
+        let dr = qb.squared_distance_to_box(&self.tree.nodes[rr as usize].aabb);
+        if dl <= dr {
+            (rl as usize, rr as usize)
+        } else {
+            (rr as usize, rl as usize)
+        }
+    }
+
+    fn refresh_internal_bound(&mut self, q: usize, ql: u32, qr: u32) {
+        self.node_bound[q] =
+            self.node_bound[ql as usize].max(self.node_bound[qr as usize]);
+    }
+
+    fn base_case(&mut self, q: usize, r: usize) {
+        let qn: &KdNode<D> = &self.tree.nodes[q];
+        let rn: &KdNode<D> = &self.tree.nodes[r];
+        for a in qn.start as usize..qn.end as usize {
+            let ca = self.labels[a];
+            // Point-level prune: R cannot improve a's component.
+            let pa = &self.tree.points[a];
+            if rn.aabb.squared_distance_to_point(pa) > self.cand[ca as usize].dist_sq {
+                continue;
+            }
+            let a_orig = self.tree.original_index(a);
+            for b in rn.start as usize..rn.end as usize {
+                if self.labels[b] == ca {
+                    continue;
+                }
+                let d = pa.squared_distance(&self.tree.points[b]);
+                self.distance_computations += 1;
+                let b_orig = self.tree.original_index(b);
+                let cand = Candidate {
+                    dist_sq: d,
+                    u: a_orig.min(b_orig),
+                    v: a_orig.max(b_orig),
+                };
+                if cand.key() < self.cand[ca as usize].key() {
+                    self.cand[ca as usize] = cand;
+                }
+            }
+        }
+        // Refresh the leaf bound: the worst candidate among components
+        // present in this leaf.
+        let mut bound: Scalar = 0.0;
+        for a in qn.start as usize..qn.end as usize {
+            bound = bound.max(self.cand[self.labels[a] as usize].dist_sq);
+        }
+        self.node_bound[q] = bound;
+    }
+}
+
+/// Computes the EMST with dual-tree Borůvka. Sequential, as in the paper's
+/// use of MLPACK.
+pub fn dual_tree_emst<const D: usize>(points: &[Point<D>]) -> DualTreeResult {
+    let n = points.len();
+    let mut timings = PhaseTimings::new();
+    if n < 2 {
+        return DualTreeResult {
+            edges: vec![],
+            total_weight: 0.0,
+            iterations: 0,
+            timings,
+            distance_computations: 0,
+        };
+    }
+    let tree = timings.time("tree", || KdTree::build(points));
+    let mst_start = std::time::Instant::now();
+
+    let mut dsu = UnionFind::new(n);
+    let mut labels = vec![0u32; n];
+    let mut node_comp = vec![INVALID_COMP; tree.nodes.len()];
+    let mut node_bound = vec![Scalar::INFINITY; tree.nodes.len()];
+    let mut cand = vec![Candidate::NONE; n];
+    let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    let mut iterations = 0u32;
+    let mut distance_computations = 0u64;
+
+    while dsu.num_sets() > 1 {
+        iterations += 1;
+        assert!(iterations <= 64, "dual-tree Borůvka failed to converge");
+
+        // Refresh per-position labels (DSU representatives).
+        for pos in 0..n {
+            labels[pos] = dsu.find(tree.original_index(pos) as usize) as u32;
+        }
+        // Mark fully-connected nodes bottom-up (children follow parents in
+        // the flat array, so reverse order visits children first).
+        for i in (0..tree.nodes.len()).rev() {
+            node_comp[i] = match tree.nodes[i].children {
+                None => {
+                    let node = &tree.nodes[i];
+                    let first = labels[node.start as usize];
+                    let uniform = (node.start as usize + 1..node.end as usize)
+                        .all(|p| labels[p] == first);
+                    if uniform {
+                        first
+                    } else {
+                        INVALID_COMP
+                    }
+                }
+                Some((l, r)) => {
+                    let (cl, cr) = (node_comp[l as usize], node_comp[r as usize]);
+                    if cl != INVALID_COMP && cl == cr {
+                        cl
+                    } else {
+                        INVALID_COMP
+                    }
+                }
+            };
+        }
+        node_bound.fill(Scalar::INFINITY);
+        for c in cand.iter_mut() {
+            *c = Candidate::NONE;
+        }
+
+        let mut t = Traversal {
+            tree: &tree,
+            labels: &labels,
+            node_comp: &node_comp,
+            node_bound: &mut node_bound,
+            cand: &mut cand,
+            distance_computations: 0,
+        };
+        t.traverse(0, 0);
+        distance_computations += t.distance_computations;
+
+        // Add each component's winning edge; the union-find deduplicates
+        // mutual pairs and guards against cycles.
+        let mut reps: Vec<u32> = labels.clone();
+        reps.sort_unstable();
+        reps.dedup();
+        // Process candidates in key order so equal-weight races resolve the
+        // same way Kruskal does.
+        reps.sort_by_key(|&c| cand[c as usize].key());
+        for &c in &reps {
+            let e = cand[c as usize];
+            debug_assert!(e.u != u32::MAX, "component {c} found no outgoing edge");
+            if dsu.union(e.u as usize, e.v as usize) {
+                edges.push(Edge::new(e.u, e.v, e.dist_sq));
+            }
+        }
+    }
+    timings.record("mst", mst_start.elapsed().as_secs_f64());
+
+    DualTreeResult {
+        total_weight: emst_core::edge::total_weight(&edges),
+        edges,
+        iterations,
+        timings,
+        distance_computations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::brute::brute_force_emst;
+    use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(dual_tree_emst::<2>(&[]).edges.is_empty());
+        assert!(dual_tree_emst(&[Point::new([1.0f32, 1.0])]).edges.is_empty());
+        let two = [Point::new([0.0f32, 0.0]), Point::new([3.0, 4.0])];
+        let r = dual_tree_emst(&two);
+        assert_eq!(r.edges, vec![Edge::new(0, 1, 25.0)]);
+        assert_eq!(r.total_weight, 5.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        for seed in 0..5 {
+            let pts = random_points(250, seed);
+            let r = dual_tree_emst(&pts);
+            verify_spanning_tree(pts.len(), &r.edges).unwrap();
+            let brute = brute_force_emst(&pts);
+            assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_ties_match_brute_force() {
+        let pts: Vec<Point<2>> = (0..10)
+            .flat_map(|x| (0..10).map(move |y| Point::new([x as f32, y as f32])))
+            .collect();
+        let r = dual_tree_emst(&pts);
+        verify_spanning_tree(100, &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn duplicates_match_brute_force() {
+        let mut pts = random_points(60, 3);
+        let d = pts[5];
+        pts.extend(std::iter::repeat_n(d, 15));
+        let r = dual_tree_emst(&pts);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn three_dimensions_match() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts: Vec<Point<3>> = (0..180)
+            .map(|_| {
+                Point::new([
+                    rng.random_range(0.0f32..1.0),
+                    rng.random_range(0.0f32..1.0),
+                    rng.random_range(0.0f32..1.0),
+                ])
+            })
+            .collect();
+        let r = dual_tree_emst(&pts);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn pruning_skips_most_distance_computations() {
+        let pts = random_points(2000, 21);
+        let r = dual_tree_emst(&pts);
+        let all_pairs = (2000u64 * 1999) / 2;
+        assert!(
+            r.distance_computations < all_pairs / 4,
+            "dual-tree did {} of {} possible distance computations",
+            r.distance_computations,
+            all_pairs
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn dual_tree_equals_brute_force(n in 2usize..120, seed in 0u64..5000) {
+            let pts = random_points(n, seed);
+            let r = dual_tree_emst(&pts);
+            prop_assert!(verify_spanning_tree(n, &r.edges).is_ok());
+            let brute = brute_force_emst(&pts);
+            prop_assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute));
+        }
+
+        #[test]
+        fn dual_tree_on_integer_ties(n in 2usize..80, seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([
+                    rng.random_range(0i32..5) as f32,
+                    rng.random_range(0i32..5) as f32,
+                ]))
+                .collect();
+            let r = dual_tree_emst(&pts);
+            prop_assert!(verify_spanning_tree(n, &r.edges).is_ok());
+            prop_assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_emst(&pts))
+            );
+        }
+    }
+}

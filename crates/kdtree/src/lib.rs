@@ -1,0 +1,33 @@
+//! kd-tree and the **dual-tree Borůvka** EMST baseline.
+//!
+//! This crate reimplements the comparison algorithm the paper benchmarks as
+//! *MLPACK*: the dual-tree Euclidean MST of March, Ram & Gray (KDD 2010).
+//! Instead of one nearest-neighbour traversal per point (the single-tree
+//! approach of `emst-core`), a dual-tree traversal walks *pairs* of tree
+//! nodes, amortizing work across all points of a node and pruning with
+//! node-to-node distance bounds and component-membership checks
+//! ("fully-connected" nodes, the same idea as the paper's Optimization 1).
+//!
+//! The paper uses this baseline sequentially (its Fig. 5); so do we — the
+//! published dual-tree algorithm is the part that is hard to parallelize on
+//! GPUs, which is the paper's motivation for going single-tree.
+//!
+//! Also included: [`prim::bentley_friedman_emst`], the original single-tree
+//! EMST of Bentley & Friedman (1978) that both papers descend from, and
+//! [`single_tree::kd_single_tree_emst`] — the paper's own single-tree
+//! Borůvka algorithm running over a k-d tree instead of a BVH (its §3
+//! generality claim).
+
+// Several loops index multiple parallel arrays by position; clippy's
+// enumerate suggestion does not apply cleanly there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dualtree;
+pub mod prim;
+pub mod single_tree;
+pub mod tree;
+
+pub use dualtree::{dual_tree_emst, DualTreeResult};
+pub use prim::bentley_friedman_emst;
+pub use single_tree::{kd_single_tree_emst, KdSingleTreeResult};
+pub use tree::KdTree;

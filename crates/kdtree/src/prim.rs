@@ -1,0 +1,136 @@
+//! Bentley–Friedman (1978): Prim's algorithm with kd-tree nearest-neighbour
+//! queries — the original single-tree EMST both the paper and the dual-tree
+//! work descend from, and the paper's motivating strawman (§1: "a
+//! straightforward implementation of this approach performs poorly" because
+//! nearest-neighbour queries repeat for the same points).
+//!
+//! Kept as a reference baseline for the ablation narrative and for tests;
+//! not part of the paper's measured comparisons.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use emst_core::Edge;
+use emst_geometry::Point;
+
+use crate::tree::KdTree;
+
+/// Heap entry: `(ordered distance bits, source, target)` — min-heap via
+/// `Reverse`. Distance bits give a total order on non-negative floats.
+type HeapEntry = Reverse<(u32, u32, u32)>;
+
+/// Computes the EMST with Prim + kd-tree nearest-neighbour queries.
+///
+/// Each in-tree point holds one candidate (its nearest out-of-tree point) in
+/// a priority queue; when a stale candidate (target already absorbed) is
+/// popped, the query is re-run — the redundant distance computations the
+/// paper's introduction calls out.
+pub fn bentley_friedman_emst<const D: usize>(points: &[Point<D>]) -> Vec<Edge> {
+    let n = points.len();
+    if n < 2 {
+        return vec![];
+    }
+    let tree = KdTree::build(points);
+    // Permuted-position of each original index, to mark visited in tree order.
+    let mut pos_of = vec![0u32; n];
+    for (pos, &orig) in tree.order.iter().enumerate() {
+        pos_of[orig as usize] = pos as u32;
+    }
+    let mut in_tree = vec![false; n]; // indexed by permuted position
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    let mut edges = Vec::with_capacity(n - 1);
+
+    let push_candidate =
+        |heap: &mut BinaryHeap<HeapEntry>, in_tree: &[bool], src_pos: u32| {
+            let q = &tree.points[src_pos as usize];
+            if let Some((tgt, d)) = tree.nearest_where(q, |p| !in_tree[p]) {
+                heap.push(Reverse((
+                    emst_geometry::nonneg_f32_to_ordered_bits(d),
+                    src_pos,
+                    tgt as u32,
+                )));
+            }
+        };
+
+    in_tree[0] = true;
+    push_candidate(&mut heap, &in_tree, 0);
+
+    while edges.len() < n - 1 {
+        let Reverse((dist_bits, src, tgt)) = heap.pop().expect("graph is complete");
+        if in_tree[tgt as usize] {
+            // Stale: the target was absorbed meanwhile — requery.
+            push_candidate(&mut heap, &in_tree, src);
+            continue;
+        }
+        in_tree[tgt as usize] = true;
+        edges.push(Edge::new(
+            tree.original_index(src as usize),
+            tree.original_index(tgt as usize),
+            f32::from_bits(dist_bits),
+        ));
+        push_candidate(&mut heap, &in_tree, src);
+        push_candidate(&mut heap, &in_tree, tgt);
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::brute::brute_force_emst;
+    use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(bentley_friedman_emst::<2>(&[]).is_empty());
+        assert!(bentley_friedman_emst(&[Point::new([0.0f32, 0.0])]).is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..5 {
+            let pts = random_points(150, seed);
+            let edges = bentley_friedman_emst(&pts);
+            verify_spanning_tree(pts.len(), &edges).unwrap();
+            assert_eq!(
+                weight_multiset(&edges),
+                weight_multiset(&brute_force_emst(&pts)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let mut pts = random_points(40, 9);
+        pts.extend(std::iter::repeat_n(pts[3], 10));
+        let edges = bentley_friedman_emst(&pts);
+        verify_spanning_tree(pts.len(), &edges).unwrap();
+        assert_eq!(weight_multiset(&edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prim_equals_brute_force(n in 2usize..100, seed in 0u64..2000) {
+            let pts = random_points(n, seed);
+            let edges = bentley_friedman_emst(&pts);
+            prop_assert!(verify_spanning_tree(n, &edges).is_ok());
+            prop_assert_eq!(
+                weight_multiset(&edges),
+                weight_multiset(&brute_force_emst(&pts))
+            );
+        }
+    }
+}

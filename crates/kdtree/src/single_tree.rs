@@ -1,0 +1,380 @@
+//! Single-tree Borůvka EMST over a **k-d tree** — the paper's generality
+//! claim made concrete (§3: "the described algorithms are general and are
+//! applicable to other tree structures such as k-d tree").
+//!
+//! Same algorithm as `emst-core`'s BVH version: per-iteration component
+//! labels propagated into internal nodes (Optimization 1), per-component
+//! upper bounds from tree-order neighbour pairs (Optimization 2), one
+//! constrained nearest-neighbour traversal per point, chain merging. The
+//! differences are purely structural: bucket leaves instead of singleton
+//! leaves, and a recursive node layout instead of the Karras radix tree.
+//!
+//! Sequential by design — the point of the BVH variant is GPU suitability;
+//! this one demonstrates that the algorithm itself is tree-agnostic, and is
+//! cross-checked against both the brute-force oracle and the BVH
+//! implementation.
+
+use emst_core::Edge;
+use emst_exec::PhaseTimings;
+use emst_geometry::{nonneg_f32_to_ordered_bits, Point, Scalar};
+
+use crate::tree::KdTree;
+
+const INVALID_COMP: u32 = u32::MAX;
+
+/// Result of the kd-tree single-tree Borůvka run.
+#[derive(Clone, Debug)]
+pub struct KdSingleTreeResult {
+    /// The `n − 1` edges (original indices, `u < v`).
+    pub edges: Vec<Edge>,
+    /// Sum of edge weights in `f64`.
+    pub total_weight: f64,
+    /// Borůvka iterations executed.
+    pub iterations: u32,
+    /// `"tree"` / `"mst"` phases.
+    pub timings: PhaseTimings,
+    /// Point-distance computations during traversals.
+    pub distance_computations: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Candidate {
+    dist_sq: Scalar,
+    /// Canonical endpoints in permuted-position space, `a < b`.
+    a: u32,
+    b: u32,
+}
+
+impl Candidate {
+    const NONE: Candidate = Candidate { dist_sq: Scalar::INFINITY, a: u32::MAX, b: u32::MAX };
+
+    #[inline]
+    fn key(&self) -> (u32, u32, u32) {
+        (nonneg_f32_to_ordered_bits(self.dist_sq), self.a, self.b)
+    }
+}
+
+/// Computes the EMST with the single-tree Borůvka algorithm over a k-d tree.
+pub fn kd_single_tree_emst<const D: usize>(points: &[Point<D>]) -> KdSingleTreeResult {
+    let n = points.len();
+    let mut timings = PhaseTimings::new();
+    if n < 2 {
+        return KdSingleTreeResult {
+            edges: vec![],
+            total_weight: 0.0,
+            iterations: 0,
+            timings,
+            distance_computations: 0,
+        };
+    }
+    let tree = timings.time("tree", || KdTree::build(points));
+    let mst_start = std::time::Instant::now();
+
+    // Component labels in permuted-position space (position == leaf slot).
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut node_comp = vec![INVALID_COMP; tree.nodes.len()];
+    let mut upper = vec![Scalar::INFINITY; n];
+    let mut cand: Vec<Candidate> = vec![Candidate::NONE; n];
+    let mut next_arr = vec![u32::MAX; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut num_components = n;
+    let mut iterations = 0u32;
+    let mut distance_computations = 0u64;
+
+    while num_components > 1 {
+        iterations += 1;
+        assert!(iterations <= 64, "kd single-tree Borůvka failed to converge");
+
+        // Optimization 1: label internal nodes (children follow parents in
+        // the flat array, so reverse order is bottom-up).
+        for i in (0..tree.nodes.len()).rev() {
+            node_comp[i] = match tree.nodes[i].children {
+                None => {
+                    let node = &tree.nodes[i];
+                    let first = labels[node.start as usize];
+                    if (node.start as usize + 1..node.end as usize)
+                        .all(|p| labels[p] == first)
+                    {
+                        first
+                    } else {
+                        INVALID_COMP
+                    }
+                }
+                Some((l, r)) => {
+                    let (cl, cr) = (node_comp[l as usize], node_comp[r as usize]);
+                    if cl != INVALID_COMP && cl == cr {
+                        cl
+                    } else {
+                        INVALID_COMP
+                    }
+                }
+            };
+        }
+
+        // Optimization 2: upper bounds from tree-order neighbour pairs
+        // (consecutive positions are spatially close for a kd layout, the
+        // same role Z-curve neighbours play for the BVH).
+        for u in upper.iter_mut() {
+            *u = Scalar::INFINITY;
+        }
+        for i in 0..n - 1 {
+            let (li, lj) = (labels[i], labels[i + 1]);
+            if li != lj {
+                let d = tree.points[i].squared_distance(&tree.points[i + 1]);
+                distance_computations += 1;
+                if d < upper[li as usize] {
+                    upper[li as usize] = d;
+                }
+                if d < upper[lj as usize] {
+                    upper[lj as usize] = d;
+                }
+            }
+        }
+
+        // Constrained nearest-neighbour per point + component reduction.
+        for c in cand.iter_mut() {
+            *c = Candidate::NONE;
+        }
+        for i in 0..n {
+            let comp = labels[i];
+            let radius = upper[comp as usize];
+            if let Some((ngb, d)) =
+                nearest_other_component(&tree, &labels, &node_comp, i, radius, &mut distance_computations)
+            {
+                let c = Candidate {
+                    dist_sq: d,
+                    a: (i as u32).min(ngb),
+                    b: (i as u32).max(ngb),
+                };
+                if c.key() < cand[comp as usize].key() {
+                    cand[comp as usize] = c;
+                }
+            }
+        }
+
+        // Merge along the chains (same logic as the BVH implementation).
+        for i in 0..n {
+            next_arr[i] = if labels[i] == i as u32 {
+                let e = cand[i];
+                debug_assert!(e.a != u32::MAX, "component {i} found no outgoing edge");
+                let tgt = if labels[e.a as usize] == i as u32 { e.b } else { e.a };
+                labels[tgt as usize]
+            } else {
+                u32::MAX
+            };
+        }
+        for i in 0..n {
+            if labels[i] != i as u32 {
+                continue;
+            }
+            let b = next_arr[i] as usize;
+            let mutual = next_arr[b] == i as u32;
+            if !(mutual && (b as u32) < i as u32) {
+                let e = cand[i];
+                edges.push(Edge::new(
+                    tree.original_index(e.a as usize),
+                    tree.original_index(e.b as usize),
+                    e.dist_sq,
+                ));
+            }
+        }
+        for i in 0..n {
+            let mut c = labels[i];
+            loop {
+                let nx = next_arr[c as usize];
+                if next_arr[nx as usize] == c {
+                    labels[i] = c.min(nx);
+                    break;
+                }
+                c = nx;
+            }
+        }
+        num_components = (0..n).filter(|&i| labels[i] == i as u32).count();
+    }
+    timings.record("mst", mst_start.elapsed().as_secs_f64());
+
+    KdSingleTreeResult {
+        total_weight: emst_core::edge::total_weight(&edges),
+        edges,
+        iterations,
+        timings,
+        distance_computations,
+    }
+}
+
+/// Algorithm 2 of the paper over the kd-tree: nearest neighbour of
+/// `tree.points[query_pos]` in a different component, at squared distance
+/// ≤ `radius`. Ties resolve to the smallest position (required for the
+/// Borůvka tie-breaking total order).
+fn nearest_other_component<const D: usize>(
+    tree: &KdTree<D>,
+    labels: &[u32],
+    node_comp: &[u32],
+    query_pos: usize,
+    mut radius: Scalar,
+    distance_computations: &mut u64,
+) -> Option<(u32, Scalar)> {
+    let comp = labels[query_pos];
+    let q = &tree.points[query_pos];
+    let mut best: Option<(u32, Scalar)> = None;
+    // (distance at push time, node id)
+    let mut stack: Vec<(Scalar, u32)> = Vec::with_capacity(64);
+    stack.push((0.0, 0));
+    while let Some((d_node, ni)) = stack.pop() {
+        if d_node > radius {
+            continue;
+        }
+        let node = &tree.nodes[ni as usize];
+        // Optimization 1: the whole subtree is in the query's component.
+        if node_comp[ni as usize] == comp {
+            continue;
+        }
+        match node.children {
+            None => {
+                for pos in node.start as usize..node.end as usize {
+                    if labels[pos] == comp {
+                        continue;
+                    }
+                    let d = q.squared_distance(&tree.points[pos]);
+                    *distance_computations += 1;
+                    if d > radius {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bp, bd)) => d < bd || (d == bd && (pos as u32) < bp),
+                    };
+                    if better {
+                        radius = d;
+                        best = Some((pos as u32, d));
+                    }
+                }
+            }
+            Some((l, r)) => {
+                let dl = tree.nodes[l as usize].aabb.squared_distance_to_point(q);
+                let dr = tree.nodes[r as usize].aabb.squared_distance_to_point(q);
+                // Push farther first so the nearer pops first; keep
+                // equality (tie candidates live exactly at the radius).
+                let (near, far) = if dl <= dr { ((dl, l), (dr, r)) } else { ((dr, r), (dl, l)) };
+                if far.0 <= radius {
+                    stack.push(far);
+                }
+                if near.0 <= radius {
+                    stack.push(near);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::brute::brute_force_emst;
+    use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(kd_single_tree_emst::<2>(&[]).edges.is_empty());
+        assert!(kd_single_tree_emst(&[Point::new([1.0f32, 1.0])]).edges.is_empty());
+        let two = [Point::new([0.0f32, 0.0]), Point::new([3.0, 4.0])];
+        let r = kd_single_tree_emst(&two);
+        assert_eq!(r.edges, vec![Edge::new(0, 1, 25.0)]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        for seed in 0..5 {
+            let pts = random_points(300, seed);
+            let r = kd_single_tree_emst(&pts);
+            verify_spanning_tree(pts.len(), &r.edges).unwrap();
+            assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_emst(&pts)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_ties_and_duplicates() {
+        let mut pts: Vec<Point<2>> = (0..9)
+            .flat_map(|x| (0..9).map(move |y| Point::new([x as f32, y as f32])))
+            .collect();
+        pts.extend(std::iter::repeat_n(Point::new([4.0, 4.0]), 12));
+        let r = kd_single_tree_emst(&pts);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn agrees_with_bvh_single_tree() {
+        use emst_core::{EmstConfig, SingleTreeBoruvka};
+        use emst_exec::Serial;
+        let pts = random_points(800, 33);
+        let kd = kd_single_tree_emst(&pts);
+        let bvh = SingleTreeBoruvka::new(&pts).run(&Serial, &EmstConfig::default());
+        assert_eq!(weight_multiset(&kd.edges), weight_multiset(&bvh.edges));
+        assert!((kd.total_weight - bvh.total_weight).abs() < 1e-6 * kd.total_weight);
+    }
+
+    #[test]
+    fn three_dimensions_match() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let pts: Vec<Point<3>> = (0..200)
+            .map(|_| {
+                Point::new([
+                    rng.random_range(0.0f32..1.0),
+                    rng.random_range(0.0f32..1.0),
+                    rng.random_range(0.0f32..1.0),
+                ])
+            })
+            .collect();
+        let r = kd_single_tree_emst(&pts);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn kd_single_tree_equals_brute_force(n in 2usize..120, seed in 0u64..5000) {
+            let pts = random_points(n, seed);
+            let r = kd_single_tree_emst(&pts);
+            prop_assert!(verify_spanning_tree(n, &r.edges).is_ok());
+            prop_assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_emst(&pts))
+            );
+        }
+
+        #[test]
+        fn kd_single_tree_on_integer_ties(n in 2usize..80, seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([
+                    rng.random_range(0i32..5) as f32,
+                    rng.random_range(0i32..5) as f32,
+                ]))
+                .collect();
+            let r = kd_single_tree_emst(&pts);
+            prop_assert!(verify_spanning_tree(n, &r.edges).is_ok());
+            prop_assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_emst(&pts))
+            );
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! A median-split kd-tree with bucket leaves.
+//!
+//! Matches the structure MLPACK's EMST uses: recursive splits along the
+//! widest dimension at the median, points stored contiguously per leaf so
+//! dual-tree base cases scan cache-friendly ranges.
+
+use emst_geometry::{Aabb, Point, Scalar};
+
+/// Maximum number of points in a leaf bucket.
+pub const LEAF_SIZE: usize = 24;
+
+/// A node of the kd-tree. Children are indices into [`KdTree::nodes`];
+/// leaves hold a range of the permuted point array.
+#[derive(Clone, Debug)]
+pub struct KdNode<const D: usize> {
+    /// Tight bounding box of the node's points.
+    pub aabb: Aabb<D>,
+    /// Start of the node's range in the permuted point order.
+    pub start: u32,
+    /// One past the end of the node's range.
+    pub end: u32,
+    /// Child node indices, or `None` for leaves.
+    pub children: Option<(u32, u32)>,
+}
+
+impl<const D: usize> KdNode<D> {
+    /// Number of points under the node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True when the node holds no points (never constructed in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True for bucket leaves.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// A kd-tree over a point set.
+#[derive(Clone, Debug)]
+pub struct KdTree<const D: usize> {
+    /// Flat node array; index 0 is the root.
+    pub nodes: Vec<KdNode<D>>,
+    /// Points permuted into tree order.
+    pub points: Vec<Point<D>>,
+    /// Permuted position -> original point index.
+    pub order: Vec<u32>,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Builds the tree by recursive median splits along the widest axis,
+    /// with the default bucket size [`LEAF_SIZE`].
+    pub fn build(points: &[Point<D>]) -> Self {
+        Self::build_with_leaf_size(points, LEAF_SIZE)
+    }
+
+    /// Builds the tree with a caller-chosen bucket size. The WSPD baseline
+    /// uses `leaf_size == 1` (the decomposition theorem needs splittable
+    /// nodes all the way down); the dual-tree baseline uses the default.
+    pub fn build_with_leaf_size(points: &[Point<D>], leaf_size: usize) -> Self {
+        let n = points.len();
+        assert!(n > 0, "cannot build a kd-tree over zero points");
+        assert!(leaf_size >= 1);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * n / leaf_size.max(1) + 4);
+        build_node(points, &mut order, 0, n, leaf_size, &mut nodes);
+        let permuted: Vec<Point<D>> = order.iter().map(|&i| points[i as usize]).collect();
+        Self { nodes, points: permuted, order }
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> &KdNode<D> {
+        &self.nodes[0]
+    }
+
+    /// Number of points in the tree.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree is empty (cannot happen; `build` asserts).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Original index of the point at permuted position `pos`.
+    #[inline]
+    pub fn original_index(&self, pos: usize) -> u32 {
+        self.order[pos]
+    }
+
+    /// Nearest neighbour of `query` among points accepted by `filter`
+    /// (called with the permuted position). Returns `(position, squared
+    /// distance)`.
+    pub fn nearest_where<F: FnMut(usize) -> bool>(
+        &self,
+        query: &Point<D>,
+        mut filter: F,
+    ) -> Option<(usize, Scalar)> {
+        let mut best: Option<(usize, Scalar)> = None;
+        let mut radius = Scalar::INFINITY;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if node.aabb.squared_distance_to_point(query) > radius {
+                continue;
+            }
+            match node.children {
+                None => {
+                    for pos in node.start as usize..node.end as usize {
+                        if !filter(pos) {
+                            continue;
+                        }
+                        let d = query.squared_distance(&self.points[pos]);
+                        let better = match best {
+                            None => d <= radius,
+                            Some((bp, bd)) => d < bd || (d == bd && pos < bp),
+                        };
+                        if better && d <= radius {
+                            radius = d;
+                            best = Some((pos, d));
+                        }
+                    }
+                }
+                Some((l, r)) => {
+                    let dl = self.nodes[l as usize].aabb.squared_distance_to_point(query);
+                    let dr = self.nodes[r as usize].aabb.squared_distance_to_point(query);
+                    // Push farther first so the nearer pops first.
+                    if dl <= dr {
+                        stack.push(r);
+                        stack.push(l);
+                    } else {
+                        stack.push(l);
+                        stack.push(r);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+fn build_node<const D: usize>(
+    points: &[Point<D>],
+    order: &mut [u32],
+    start: usize,
+    end: usize,
+    leaf_size: usize,
+    nodes: &mut Vec<KdNode<D>>,
+) -> u32 {
+    let id = nodes.len() as u32;
+    let mut aabb = Aabb::empty();
+    for &i in &order[start..end] {
+        aabb.expand_point(&points[i as usize]);
+    }
+    nodes.push(KdNode {
+        aabb,
+        start: start as u32,
+        end: end as u32,
+        children: None,
+    });
+    let len = end - start;
+    // Zero-extent (all-duplicate) ranges still split — by index — when the
+    // caller wants singleton leaves (the WSPD case); bucket-leaf callers
+    // stop there.
+    if len <= leaf_size || (aabb.longest_extent() == 0.0 && leaf_size > 1) {
+        return id;
+    }
+    let mid = start + len / 2;
+    if aabb.longest_extent() > 0.0 {
+        let axis = aabb.longest_axis();
+        order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
+            points[a as usize][axis]
+                .total_cmp(&points[b as usize][axis])
+                .then(a.cmp(&b))
+        });
+    }
+    let left = build_node(points, order, start, mid, leaf_size, nodes);
+    let right = build_node(points, order, mid, end, leaf_size, nodes);
+    nodes[id as usize].children = Some((left, right));
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
+            .collect()
+    }
+
+    fn validate<const D: usize>(tree: &KdTree<D>) {
+        // Every node's box contains its points; children partition ranges.
+        for node in &tree.nodes {
+            for pos in node.start as usize..node.end as usize {
+                assert!(node.aabb.contains_point(&tree.points[pos]));
+            }
+            if let Some((l, r)) = node.children {
+                let (ln, rn) = (&tree.nodes[l as usize], &tree.nodes[r as usize]);
+                assert_eq!(ln.start, node.start);
+                assert_eq!(ln.end, rn.start);
+                assert_eq!(rn.end, node.end);
+            }
+        }
+        // Order is a permutation.
+        let mut o = tree.order.clone();
+        o.sort_unstable();
+        assert!(o.iter().enumerate().all(|(i, &v)| i as u32 == v));
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let pts = random_points(500, 1);
+        let tree = KdTree::build(&pts);
+        validate(&tree);
+        assert_eq!(tree.len(), 500);
+        assert_eq!(tree.root().len(), 500);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let tree = KdTree::build(&[Point::new([1.0f32, 2.0])]);
+        validate(&tree);
+        assert!(tree.root().is_leaf());
+        assert!(!tree.root().is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_build_without_recursion_blowup() {
+        let pts = vec![Point::new([0.5f32, 0.5]); 1000];
+        let tree = KdTree::build(&pts);
+        validate(&tree);
+        // Degenerate extent stops splitting: a single leaf.
+        assert!(tree.root().is_leaf());
+    }
+
+    #[test]
+    fn nearest_where_matches_brute_force() {
+        let pts = random_points(300, 7);
+        let tree = KdTree::build(&pts);
+        let q = Point::new([0.4, 0.6]);
+        let (pos, d) = tree.nearest_where(&q, |_| true).unwrap();
+        let bd = pts.iter().map(|p| q.squared_distance(p)).fold(f32::INFINITY, f32::min);
+        assert_eq!(d, bd);
+        assert_eq!(q.squared_distance(&tree.points[pos]), bd);
+    }
+
+    #[test]
+    fn nearest_where_respects_filter() {
+        let pts = vec![
+            Point::new([0.0f32, 0.0]),
+            Point::new([1.0, 0.0]),
+            Point::new([2.0, 0.0]),
+        ];
+        let tree = KdTree::build(&pts);
+        let q = Point::new([0.1, 0.0]);
+        // Exclude the true nearest (original index 0).
+        let (pos, _) = tree
+            .nearest_where(&q, |pos| tree.original_index(pos) != 0)
+            .unwrap();
+        assert_eq!(tree.original_index(pos), 1);
+        // Exclude everything.
+        assert!(tree.nearest_where(&q, |_| false).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn trees_validate_and_nn_matches(n in 1usize..300, seed in 0u64..500) {
+            let pts = random_points(n, seed);
+            let tree = KdTree::build(&pts);
+            validate(&tree);
+            let q = Point::new([0.5, 0.5]);
+            let (_, d) = tree.nearest_where(&q, |_| true).unwrap();
+            let bd = pts.iter().map(|p| q.squared_distance(p)).fold(f32::INFINITY, f32::min);
+            prop_assert_eq!(d, bd);
+        }
+    }
+}

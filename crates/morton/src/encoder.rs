@@ -1,0 +1,192 @@
+//! Mapping floating-point points onto the Morton integer grid.
+
+use emst_geometry::{Aabb, Point};
+
+use crate::{bits_per_dim_u64, morton_u128, morton_u64, BITS_2D_U128, BITS_3D_U128};
+
+/// Maps points inside a scene bounding box onto the Z-order integer grid.
+///
+/// The mapping is done in `f64` regardless of the `f32` coordinates: at 32
+/// bits per dimension the grid resolution exceeds the `f32` mantissa, and
+/// computing the cell index in `f32` would quantize the curve to ~24 bits,
+/// which is exactly the under-resolution problem the paper observes on
+/// GeoLife (§4.1).
+#[derive(Clone, Copy, Debug)]
+pub struct MortonEncoder<const D: usize> {
+    min: [f64; D],
+    /// Multiplier per dimension: `cells / extent` (0 for degenerate extents).
+    scale: [f64; D],
+}
+
+impl<const D: usize> MortonEncoder<D> {
+    /// Creates an encoder for points inside `scene`.
+    ///
+    /// Points outside the box are clamped onto it, so the encoder is total.
+    pub fn new(scene: &Aabb<D>) -> Self {
+        let mut min = [0.0; D];
+        let mut scale = [0.0; D];
+        for d in 0..D {
+            min[d] = scene.min[d] as f64;
+            let extent = scene.max[d] as f64 - min[d];
+            scale[d] = if extent > 0.0 { 1.0 / extent } else { 0.0 };
+        }
+        Self { min, scale }
+    }
+
+    /// Normalized coordinate of `p` in dimension `d`, clamped to `[0, 1]`.
+    #[inline]
+    fn unit(&self, p: &Point<D>, d: usize) -> f64 {
+        ((p[d] as f64 - self.min[d]) * self.scale[d]).clamp(0.0, 1.0)
+    }
+
+    /// Grid cell of `p` at `bits` bits per dimension.
+    #[inline]
+    pub fn cell_u64(&self, p: &Point<D>, bits: u32) -> [u32; D] {
+        debug_assert!(bits <= 32);
+        let cells = (1u64 << bits) as f64;
+        let max_cell = (1u64 << bits) - 1;
+        let mut cell = [0u32; D];
+        for d in 0..D {
+            cell[d] = ((self.unit(p, d) * cells) as u64).min(max_cell) as u32;
+        }
+        cell
+    }
+
+    /// 64-bit Morton code of `p` (32 bits/dim in 2D, 21 bits/dim in 3D).
+    #[inline]
+    pub fn encode_u64(&self, p: &Point<D>) -> u64 {
+        let bits = bits_per_dim_u64(D);
+        morton_u64(self.cell_u64(p, bits))
+    }
+
+    /// 128-bit Morton code of `p` (64 bits/dim in 2D, 42 bits/dim in 3D) —
+    /// the higher-resolution curve the paper suggests for extremely dense
+    /// datasets.
+    #[inline]
+    pub fn encode_u128(&self, p: &Point<D>) -> u128 {
+        let bits = match D {
+            2 => BITS_2D_U128,
+            3 => BITS_3D_U128,
+            _ => panic!("unsupported dimension {D}"),
+        };
+        let cells = 2f64.powi(bits as i32);
+        let max_cell = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut cell = [0u64; D];
+        for d in 0..D {
+            let c = self.unit(p, d) * cells;
+            cell[d] = if c >= cells { max_cell } else { (c as u64).min(max_cell) };
+        }
+        morton_u128(cell)
+    }
+}
+
+/// Returns the permutation that sorts `points` along the Z-order curve,
+/// tie-broken by original index so the order is always a strict total order
+/// (the Karras duplicate-key trick).
+///
+/// This is the "sort along a space-filling curve" step of the linear BVH
+/// construction, and the source of the curve-adjacent pairs used by the
+/// paper's Optimization 2.
+pub fn morton_order<const D: usize>(points: &[Point<D>], scene: &Aabb<D>) -> Vec<u32> {
+    let enc = MortonEncoder::new(scene);
+    let codes: Vec<u64> = points.iter().map(|p| enc.encode_u64(p)).collect();
+    let mut order: Vec<u32> = (0..points.len() as u32).collect();
+    order.sort_by_key(|&i| (codes[i as usize], i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_square() -> Aabb<2> {
+        Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]))
+    }
+
+    #[test]
+    fn corners_map_to_extreme_cells() {
+        let enc = MortonEncoder::new(&unit_square());
+        assert_eq!(enc.cell_u64(&Point::new([0.0, 0.0]), 16), [0, 0]);
+        assert_eq!(enc.cell_u64(&Point::new([1.0, 1.0]), 16), [65535, 65535]);
+    }
+
+    #[test]
+    fn out_of_box_points_are_clamped() {
+        let enc = MortonEncoder::new(&unit_square());
+        assert_eq!(enc.cell_u64(&Point::new([-5.0, 2.0]), 8), [0, 255]);
+    }
+
+    #[test]
+    fn degenerate_extent_maps_to_zero() {
+        // All points share x == 3; the x extent is empty.
+        let scene = Aabb::from_corners(Point::new([3.0, 0.0]), Point::new([3.0, 1.0]));
+        let enc = MortonEncoder::new(&scene);
+        assert_eq!(enc.cell_u64(&Point::new([3.0, 0.5]), 8), [0, 128]);
+    }
+
+    #[test]
+    fn encode_u128_refines_encode_u64() {
+        // Two points that collide at 21-bit 3D resolution but differ at 42.
+        let scene = Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        let enc = MortonEncoder::new(&scene);
+        let a = Point::new([0.1, 0.1]);
+        let b = Point::new([0.9, 0.9]);
+        // Ordering agrees between the widths on well-separated points.
+        assert_eq!(
+            enc.encode_u64(&a) < enc.encode_u64(&b),
+            enc.encode_u128(&a) < enc.encode_u128(&b)
+        );
+    }
+
+    #[test]
+    fn morton_order_is_a_permutation() {
+        let pts = vec![
+            Point::new([0.9, 0.9]),
+            Point::new([0.1, 0.1]),
+            Point::new([0.5, 0.5]),
+            Point::new([0.1, 0.1]), // duplicate
+        ];
+        let scene = Aabb::from_points(&pts);
+        let order = morton_order(&pts, &scene);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // duplicates tie-break by index
+        let pos1 = order.iter().position(|&i| i == 1).unwrap();
+        let pos3 = order.iter().position(|&i| i == 3).unwrap();
+        assert!(pos1 < pos3);
+    }
+
+    #[test]
+    fn morton_order_puts_origin_first_in_unit_square() {
+        let pts = vec![
+            Point::new([0.99, 0.99]),
+            Point::new([0.01, 0.01]),
+        ];
+        let order = morton_order(&pts, &unit_square());
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn cells_are_within_range(x in -10.0f32..10.0, y in -10.0f32..10.0, bits in 1u32..=32) {
+            let scene = Aabb::from_corners(Point::new([-10.0, -10.0]), Point::new([10.0, 10.0]));
+            let enc = MortonEncoder::new(&scene);
+            let cell = enc.cell_u64(&Point::new([x, y]), bits);
+            let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+            prop_assert!(cell[0] <= max && cell[1] <= max);
+        }
+
+        #[test]
+        fn encoder_is_monotone_per_axis(
+            x1 in 0.0f32..1.0, x2 in 0.0f32..1.0, y in 0.0f32..1.0
+        ) {
+            let enc = MortonEncoder::new(&unit_square());
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            let ca = enc.cell_u64(&Point::new([lo, y]), 16)[0];
+            let cb = enc.cell_u64(&Point::new([hi, y]), 16)[0];
+            prop_assert!(ca <= cb);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Morton (Z-order) codes for 2D and 3D points.
+//!
+//! The linear BVH of the paper (ArborX, following Karras 2012 / Apetrei 2014)
+//! linearizes the input along a Z-order space-filling curve before its fully
+//! parallel bottom-up construction. This crate provides:
+//!
+//! - bit interleaving/de-interleaving in 32-, 64- and 128-bit widths
+//!   ([`morton2_u64`], [`morton3_u64`], [`morton2_u128`], [`morton3_u128`], …);
+//!   the 128-bit variants are the resolution increase the paper proposes in
+//!   §4.1 for pathologically dense datasets like GeoLife;
+//! - [`MortonEncoder`], which maps floating-point coordinates inside a scene
+//!   bounding box onto the integer grid and encodes them;
+//! - helpers to produce the Morton *ordering* of a point set
+//!   ([`morton_order`]), which is also where the paper's Optimization 2
+//!   (upper bounds from curve-adjacent pairs) gets its pairs from.
+
+// Loops over the const-generic dimension D index several parallel arrays;
+// clippy's iterator suggestion does not apply cleanly there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod encoder;
+
+pub use encoder::{morton_order, MortonEncoder};
+
+use emst_geometry::Point;
+
+/// Number of bits used per dimension by the 64-bit 2D encoding.
+pub const BITS_2D_U64: u32 = 32;
+/// Number of bits used per dimension by the 64-bit 3D encoding.
+pub const BITS_3D_U64: u32 = 21;
+/// Number of bits used per dimension by the 128-bit 2D encoding.
+pub const BITS_2D_U128: u32 = 64;
+/// Number of bits used per dimension by the 128-bit 3D encoding.
+pub const BITS_3D_U128: u32 = 42;
+
+/// Spreads the low 32 bits of `x` so that bit `i` moves to bit `2i`.
+#[inline]
+pub fn expand_bits_2(x: u32) -> u64 {
+    let mut x = x as u64;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`expand_bits_2`]: collects bits 0,2,4,… into the low 32 bits.
+#[inline]
+pub fn compact_bits_2(x: u64) -> u32 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
+}
+
+/// Spreads the low 21 bits of `x` so that bit `i` moves to bit `3i`.
+#[inline]
+pub fn expand_bits_3(x: u32) -> u64 {
+    let mut x = (x as u64) & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`expand_bits_3`].
+#[inline]
+pub fn compact_bits_3(x: u64) -> u32 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x001F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x0000_0000_001F_FFFF;
+    x as u32
+}
+
+/// 64-bit Morton code of a 2D grid cell (32 bits per dimension).
+#[inline]
+pub fn morton2_u64(x: u32, y: u32) -> u64 {
+    expand_bits_2(x) | (expand_bits_2(y) << 1)
+}
+
+/// Decodes [`morton2_u64`].
+#[inline]
+pub fn demorton2_u64(code: u64) -> (u32, u32) {
+    (compact_bits_2(code), compact_bits_2(code >> 1))
+}
+
+/// 64-bit Morton code of a 3D grid cell (21 bits per dimension).
+#[inline]
+pub fn morton3_u64(x: u32, y: u32, z: u32) -> u64 {
+    expand_bits_3(x) | (expand_bits_3(y) << 1) | (expand_bits_3(z) << 2)
+}
+
+/// Decodes [`morton3_u64`].
+#[inline]
+pub fn demorton3_u64(code: u64) -> (u32, u32, u32) {
+    (compact_bits_3(code), compact_bits_3(code >> 1), compact_bits_3(code >> 2))
+}
+
+/// 128-bit Morton code of a 2D grid cell (64 bits per dimension).
+///
+/// Interleaves via two 32-bit halves per axis.
+#[inline]
+pub fn morton2_u128(x: u64, y: u64) -> u128 {
+    let lo = morton2_u64(x as u32, y as u32) as u128;
+    let hi = morton2_u64((x >> 32) as u32, (y >> 32) as u32) as u128;
+    (hi << 64) | lo
+}
+
+/// Decodes [`morton2_u128`].
+#[inline]
+pub fn demorton2_u128(code: u128) -> (u64, u64) {
+    let (xl, yl) = demorton2_u64(code as u64);
+    let (xh, yh) = demorton2_u64((code >> 64) as u64);
+    (((xh as u64) << 32) | xl as u64, ((yh as u64) << 32) | yl as u64)
+}
+
+/// 128-bit Morton code of a 3D grid cell (42 bits per dimension).
+///
+/// Interleaves via two 21-bit halves per axis.
+#[inline]
+pub fn morton3_u128(x: u64, y: u64, z: u64) -> u128 {
+    const M21: u64 = 0x1F_FFFF;
+    let lo = morton3_u64((x & M21) as u32, (y & M21) as u32, (z & M21) as u32) as u128;
+    let hi =
+        morton3_u64(((x >> 21) & M21) as u32, ((y >> 21) & M21) as u32, ((z >> 21) & M21) as u32)
+            as u128;
+    (hi << 63) | lo
+}
+
+/// Decodes [`morton3_u128`].
+#[inline]
+pub fn demorton3_u128(code: u128) -> (u64, u64, u64) {
+    let lo_mask: u128 = (1u128 << 63) - 1;
+    let (xl, yl, zl) = demorton3_u64((code & lo_mask) as u64);
+    let (xh, yh, zh) = demorton3_u64((code >> 63) as u64);
+    (
+        ((xh as u64) << 21) | xl as u64,
+        ((yh as u64) << 21) | yl as u64,
+        ((zh as u64) << 21) | zl as u64,
+    )
+}
+
+/// Dimension-generic 64-bit Morton encoding of an integer grid cell.
+///
+/// Only `D = 2` and `D = 3` are supported (the paper's scope).
+#[inline]
+pub fn morton_u64<const D: usize>(cell: [u32; D]) -> u64 {
+    match D {
+        2 => morton2_u64(cell[0], cell[1]),
+        3 => morton3_u64(cell[0], cell[1], cell[2]),
+        _ => unsupported_dimension(D),
+    }
+}
+
+/// Dimension-generic 128-bit Morton encoding.
+#[inline]
+pub fn morton_u128<const D: usize>(cell: [u64; D]) -> u128 {
+    match D {
+        2 => morton2_u128(cell[0], cell[1]),
+        3 => morton3_u128(cell[0], cell[1], cell[2]),
+        _ => unsupported_dimension(D),
+    }
+}
+
+/// Bits per dimension of the 64-bit encoding for dimension `D`.
+#[inline]
+pub const fn bits_per_dim_u64(d: usize) -> u32 {
+    match d {
+        2 => BITS_2D_U64,
+        3 => BITS_3D_U64,
+        _ => 0,
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn unsupported_dimension(d: usize) -> ! {
+    panic!("Morton codes are implemented for D = 2 and D = 3 only, got D = {d}")
+}
+
+/// Naive reference interleave, used by tests to validate the magic-mask
+/// implementations bit by bit.
+pub fn morton_naive<const D: usize>(cell: [u64; D], bits: u32) -> u128 {
+    let mut out: u128 = 0;
+    for b in 0..bits {
+        for (axis, &c) in cell.iter().enumerate() {
+            let bit = ((c >> b) & 1) as u128;
+            out |= bit << (b as usize * D + axis);
+        }
+    }
+    out
+}
+
+/// Convenience: the 64-bit Morton code of `p` inside `scene`, at the full
+/// per-dimension resolution. See [`MortonEncoder`] for the grid mapping.
+pub fn morton_code_u64<const D: usize>(
+    p: &Point<D>,
+    scene: &emst_geometry::Aabb<D>,
+) -> u64 {
+    MortonEncoder::new(scene).encode_u64(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn expand_compact_2_round_trip_exhaustive_low_bits() {
+        for x in 0u32..1024 {
+            assert_eq!(compact_bits_2(expand_bits_2(x)), x);
+        }
+        assert_eq!(compact_bits_2(expand_bits_2(u32::MAX)), u32::MAX);
+    }
+
+    #[test]
+    fn expand_compact_3_round_trip_exhaustive_low_bits() {
+        for x in 0u32..1024 {
+            assert_eq!(compact_bits_3(expand_bits_3(x)), x);
+        }
+        let max21 = (1u32 << 21) - 1;
+        assert_eq!(compact_bits_3(expand_bits_3(max21)), max21);
+    }
+
+    #[test]
+    fn morton2_matches_naive_on_small_values() {
+        for x in 0u32..16 {
+            for y in 0u32..16 {
+                assert_eq!(
+                    morton2_u64(x, y) as u128,
+                    morton_naive([x as u64, y as u64], 32),
+                    "x={x} y={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn morton3_matches_naive_on_small_values() {
+        for x in 0u32..8 {
+            for y in 0u32..8 {
+                for z in 0u32..8 {
+                    assert_eq!(
+                        morton3_u64(x, y, z) as u128,
+                        morton_naive([x as u64, y as u64, z as u64], 21),
+                        "x={x} y={y} z={z}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton2_is_monotone_along_axes() {
+        // Fixing one axis, the code must grow with the other.
+        for y in [0u32, 5, 1000] {
+            let mut prev = morton2_u64(0, y);
+            for x in 1u32..100 {
+                let cur = morton2_u64(x, y);
+                assert!(cur > prev);
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn morton_u64_dispatches_by_dimension() {
+        assert_eq!(morton_u64([3u32, 5]), morton2_u64(3, 5));
+        assert_eq!(morton_u64([3u32, 5, 7]), morton3_u64(3, 5, 7));
+    }
+
+    proptest! {
+        #[test]
+        fn morton2_u64_round_trips(x in any::<u32>(), y in any::<u32>()) {
+            prop_assert_eq!(demorton2_u64(morton2_u64(x, y)), (x, y));
+        }
+
+        #[test]
+        fn morton3_u64_round_trips(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+            prop_assert_eq!(demorton3_u64(morton3_u64(x, y, z)), (x, y, z));
+        }
+
+        #[test]
+        fn morton2_u128_round_trips(x in any::<u64>(), y in any::<u64>()) {
+            prop_assert_eq!(demorton2_u128(morton2_u128(x, y)), (x, y));
+        }
+
+        #[test]
+        fn morton3_u128_round_trips(x in 0u64..(1 << 42), y in 0u64..(1 << 42), z in 0u64..(1 << 42)) {
+            prop_assert_eq!(demorton3_u128(morton3_u128(x, y, z)), (x, y, z));
+        }
+
+        #[test]
+        fn morton2_u128_matches_naive(x in 0u64..(1 << 40), y in 0u64..(1 << 40)) {
+            prop_assert_eq!(morton2_u128(x, y), morton_naive([x, y], 64));
+        }
+
+        #[test]
+        fn morton3_u128_matches_naive(x in 0u64..(1 << 42), y in 0u64..(1 << 42), z in 0u64..(1 << 42)) {
+            prop_assert_eq!(morton3_u128(x, y, z), morton_naive([x, y, z], 42));
+        }
+
+        #[test]
+        fn morton2_preserves_shared_prefix_locality(
+            x in 0u32..65536, y in 0u32..65536
+        ) {
+            // Cells sharing high bits in both coordinates share high Morton bits:
+            // quadrant identity is preserved.
+            let c1 = morton2_u64(x, y);
+            let c2 = morton2_u64(x | 1, y); // perturb lowest bit only
+            // Differ at most in the low 2 interleaved bits.
+            prop_assert!(c1 >> 2 == c2 >> 2 || c1 >> 1 == c2 >> 1);
+        }
+    }
+}

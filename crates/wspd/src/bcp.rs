@@ -1,0 +1,190 @@
+//! Bichromatic closest pair between two tree nodes.
+//!
+//! The MST-relevant output of every well-separated pair: with separation
+//! `s ≥ 2`, an MST edge crossing the pair must be its closest red–blue pair
+//! (Agarwal et al. 1991; Narasimhan's GeoMST2; Wang et al. 2021).
+
+use emst_geometry::Scalar;
+use emst_kdtree::KdTree;
+
+/// An exact BCP candidate in original-index space (`u < v` not enforced —
+/// `u` is from the first node).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bcp {
+    /// Point from the first node (original index).
+    pub u: u32,
+    /// Point from the second node (original index).
+    pub v: u32,
+    /// Squared Euclidean distance.
+    pub dist_sq: Scalar,
+}
+
+impl Bcp {
+    /// `(weight, min, max)` total-order key.
+    #[inline]
+    pub fn key(&self) -> (u32, u32, u32) {
+        (
+            emst_geometry::nonneg_f32_to_ordered_bits(self.dist_sq),
+            self.u.min(self.v),
+            self.u.max(self.v),
+        )
+    }
+}
+
+/// Computes the Euclidean bichromatic closest pair between nodes `u` and
+/// `v`, tie-broken by the `(weight, min, max)` order. Also returns the
+/// number of point-distance computations performed.
+pub fn bichromatic_closest_pair<const D: usize>(
+    tree: &KdTree<D>,
+    u: usize,
+    v: usize,
+) -> (Bcp, u64) {
+    bichromatic_closest_pair_with_metric(tree, u, v, &emst_geometry::Euclidean)
+}
+
+/// BCP under an arbitrary [`emst_geometry::Metric`] (indexed by original
+/// point indices). Box pruning stays Euclidean, which is valid because every
+/// metric in this workspace dominates the Euclidean distance — the same
+/// property the paper's §3 uses for its traversal.
+pub fn bichromatic_closest_pair_with_metric<M: emst_geometry::Metric, const D: usize>(
+    tree: &KdTree<D>,
+    u: usize,
+    v: usize,
+    metric: &M,
+) -> (Bcp, u64) {
+    let mut best = Bcp { u: u32::MAX, v: u32::MAX, dist_sq: Scalar::INFINITY };
+    let mut work = 0u64;
+    bcp_recurse(tree, u, v, metric, &mut best, &mut work);
+    debug_assert!(best.u != u32::MAX, "BCP of non-empty nodes must exist");
+    (best, work)
+}
+
+fn bcp_recurse<M: emst_geometry::Metric, const D: usize>(
+    tree: &KdTree<D>,
+    u: usize,
+    v: usize,
+    metric: &M,
+    best: &mut Bcp,
+    work: &mut u64,
+) {
+    let (un, vn) = (&tree.nodes[u], &tree.nodes[v]);
+    // Prune: keep equality so tie candidates with better keys survive.
+    if un.aabb.squared_distance_to_box(&vn.aabb) > best.dist_sq {
+        return;
+    }
+    match (un.children, vn.children) {
+        (None, None) => {
+            for a in un.start as usize..un.end as usize {
+                let pa = &tree.points[a];
+                let a_orig = tree.original_index(a);
+                for b in vn.start as usize..vn.end as usize {
+                    let e = pa.squared_distance(&tree.points[b]);
+                    *work += 1;
+                    if e > best.dist_sq {
+                        continue; // metric >= Euclidean: cannot win
+                    }
+                    let b_orig = tree.original_index(b);
+                    let d = metric.squared_distance(a_orig, b_orig, e);
+                    let cand = Bcp { u: a_orig, v: b_orig, dist_sq: d };
+                    if cand.key() < best.key() {
+                        *best = cand;
+                    }
+                }
+            }
+        }
+        (Some((ul, ur)), None) => {
+            let (first, second) = order(tree, v, ul, ur);
+            bcp_recurse(tree, first, v, metric, best, work);
+            bcp_recurse(tree, second, v, metric, best, work);
+        }
+        (None, Some((vl, vr))) => {
+            let (first, second) = order(tree, u, vl, vr);
+            bcp_recurse(tree, u, first, metric, best, work);
+            bcp_recurse(tree, u, second, metric, best, work);
+        }
+        (Some((ul, ur)), Some((vl, vr))) => {
+            // Visit the four child pairs nearest-first.
+            let mut combos = [
+                (ul as usize, vl as usize),
+                (ul as usize, vr as usize),
+                (ur as usize, vl as usize),
+                (ur as usize, vr as usize),
+            ];
+            let dist = |&(a, b): &(usize, usize)| {
+                tree.nodes[a].aabb.squared_distance_to_box(&tree.nodes[b].aabb)
+            };
+            combos.sort_by(|x, y| dist(x).total_cmp(&dist(y)));
+            for (a, b) in combos {
+                bcp_recurse(tree, a, b, metric, best, work);
+            }
+        }
+    }
+}
+
+fn order<const D: usize>(tree: &KdTree<D>, fixed: usize, l: u32, r: u32) -> (usize, usize) {
+    let fb = &tree.nodes[fixed].aabb;
+    let dl = fb.squared_distance_to_box(&tree.nodes[l as usize].aabb);
+    let dr = fb.squared_distance_to_box(&tree.nodes[r as usize].aabb);
+    if dl <= dr {
+        (l as usize, r as usize)
+    } else {
+        (r as usize, l as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_geometry::Point;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn tree_of(points: &[Point<2>]) -> KdTree<2> {
+        KdTree::build_with_leaf_size(points, 1)
+    }
+
+    #[test]
+    fn bcp_of_two_singletons() {
+        let pts = vec![Point::new([0.0f32, 0.0]), Point::new([3.0, 4.0])];
+        let tree = tree_of(&pts);
+        let (l, r) = tree.nodes[0].children.unwrap();
+        let (bcp, _) = bichromatic_closest_pair(&tree, l as usize, r as usize);
+        assert_eq!(bcp.dist_sq, 25.0);
+    }
+
+    #[test]
+    fn bcp_matches_brute_force_between_subtrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point<2>> = (0..200)
+            .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
+            .collect();
+        let tree = tree_of(&pts);
+        let (l, r) = tree.nodes[0].children.unwrap();
+        let (bcp, work) = bichromatic_closest_pair(&tree, l as usize, r as usize);
+        // brute force across the split
+        let (ln, rn) = (&tree.nodes[l as usize], &tree.nodes[r as usize]);
+        let mut best = f32::INFINITY;
+        for a in ln.start as usize..ln.end as usize {
+            for b in rn.start as usize..rn.end as usize {
+                best = best.min(tree.points[a].squared_distance(&tree.points[b]));
+            }
+        }
+        assert_eq!(bcp.dist_sq, best);
+        // Pruning must beat the full cross product.
+        assert!(work < (ln.len() * rn.len()) as u64);
+    }
+
+    #[test]
+    fn bcp_handles_coincident_points() {
+        let pts = vec![
+            Point::new([0.5f32, 0.5]),
+            Point::new([0.5, 0.5]),
+            Point::new([0.5, 0.5]),
+            Point::new([1.0, 1.0]),
+        ];
+        let tree = tree_of(&pts);
+        let (l, r) = tree.nodes[0].children.unwrap();
+        let (bcp, _) = bichromatic_closest_pair(&tree, l as usize, r as usize);
+        assert_eq!(bcp.dist_sq, 0.0);
+    }
+}

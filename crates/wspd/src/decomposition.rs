@@ -1,0 +1,313 @@
+//! The well-separated pair decomposition (Callahan & Kosaraju 1995).
+
+use emst_geometry::{Point, Scalar};
+use emst_kdtree::KdTree;
+
+/// One well-separated node pair `(u, v)` of the decomposition, with the
+/// squared box-to-box distance as a lower bound on any cross distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WspdPair {
+    /// First node (index into the tree's node array).
+    pub u: u32,
+    /// Second node.
+    pub v: u32,
+    /// Squared minimum distance between the two bounding boxes.
+    pub lower_bound_sq: Scalar,
+}
+
+/// A decomposition over a singleton-leaf kd-tree.
+pub struct Wspd<const D: usize> {
+    /// The spatial tree the pairs refer to.
+    pub tree: KdTree<D>,
+    /// The well-separated pairs.
+    pub pairs: Vec<WspdPair>,
+    /// Separation parameter used (`s`).
+    pub separation: Scalar,
+}
+
+impl<const D: usize> Wspd<D> {
+    /// Builds the decomposition with separation `s` (the MST theorem needs
+    /// `s >= 2`). `parallel` selects the rayon recursion.
+    pub fn build(points: &[Point<D>], separation: Scalar, parallel: bool) -> Self {
+        assert!(!points.is_empty());
+        let tree = KdTree::build_with_leaf_size(points, 1);
+        Self::from_tree(tree, separation, parallel)
+    }
+
+    /// Builds the decomposition over an existing singleton-leaf tree (lets
+    /// callers time the two stages separately, as the paper's Fig. 8a does).
+    pub fn from_tree(tree: KdTree<D>, separation: Scalar, parallel: bool) -> Self {
+        let pairs = if tree.len() == 1 {
+            vec![]
+        } else if parallel {
+            wspd_pairs_parallel(&tree, separation, 0)
+        } else {
+            let mut out = vec![];
+            wspd_pairs_serial(&tree, separation, 0, &mut out);
+            out
+        };
+        Self { tree, pairs, separation }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when built over zero points (impossible; `build` asserts).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+/// Squared diameter of a node's bounding box.
+#[inline]
+fn diam_sq<const D: usize>(tree: &KdTree<D>, node: usize) -> Scalar {
+    let b = &tree.nodes[node].aabb;
+    b.min.squared_distance(&b.max)
+}
+
+/// The separation predicate: boxes are `s`-well-separated when the distance
+/// between them is at least `s/2 ×` the larger diameter (enclosing each box
+/// in a ball of radius `diam/2`).
+#[inline]
+fn well_separated<const D: usize>(
+    tree: &KdTree<D>,
+    u: usize,
+    v: usize,
+    separation: Scalar,
+) -> bool {
+    let d_sq = tree.nodes[u].aabb.squared_distance_to_box(&tree.nodes[v].aabb);
+    let r_sq = diam_sq(tree, u).max(diam_sq(tree, v)) * 0.25;
+    d_sq >= separation * separation * r_sq
+}
+
+fn wspd_pairs_serial<const D: usize>(
+    tree: &KdTree<D>,
+    s: Scalar,
+    node: usize,
+    out: &mut Vec<WspdPair>,
+) {
+    if let Some((l, r)) = tree.nodes[node].children {
+        wspd_pairs_serial(tree, s, l as usize, out);
+        wspd_pairs_serial(tree, s, r as usize, out);
+        find_pairs_serial(tree, s, l as usize, r as usize, out);
+    }
+}
+
+fn find_pairs_serial<const D: usize>(
+    tree: &KdTree<D>,
+    s: Scalar,
+    u: usize,
+    v: usize,
+    out: &mut Vec<WspdPair>,
+) {
+    if well_separated(tree, u, v, s) {
+        out.push(WspdPair {
+            u: u as u32,
+            v: v as u32,
+            lower_bound_sq: tree.nodes[u].aabb.squared_distance_to_box(&tree.nodes[v].aabb),
+        });
+        return;
+    }
+    // Split the node with the larger diameter (ties: more points).
+    let (du, dv) = (diam_sq(tree, u), diam_sq(tree, v));
+    let split_u = match du.total_cmp(&dv) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => tree.nodes[u].len() >= tree.nodes[v].len(),
+    };
+    if split_u {
+        let (l, r) = tree.nodes[u].children.expect("splittable node must be internal");
+        find_pairs_serial(tree, s, l as usize, v, out);
+        find_pairs_serial(tree, s, r as usize, v, out);
+    } else {
+        let (l, r) = tree.nodes[v].children.expect("splittable node must be internal");
+        find_pairs_serial(tree, s, u, l as usize, out);
+        find_pairs_serial(tree, s, u, r as usize, out);
+    }
+}
+
+/// Rayon variant: forks the two independent subproblems at every internal
+/// node above a size cutoff, then merges the pair lists.
+fn wspd_pairs_parallel<const D: usize>(
+    tree: &KdTree<D>,
+    s: Scalar,
+    node: usize,
+) -> Vec<WspdPair> {
+    const FORK_CUTOFF: usize = 2048;
+    let Some((l, r)) = tree.nodes[node].children else {
+        return vec![];
+    };
+    if tree.nodes[node].len() < FORK_CUTOFF {
+        let mut out = vec![];
+        wspd_pairs_serial(tree, s, node, &mut out);
+        return out;
+    }
+    let (mut a, (b, c)) = rayon::join(
+        || wspd_pairs_parallel(tree, s, l as usize),
+        || {
+            rayon::join(
+                || wspd_pairs_parallel(tree, s, r as usize),
+                || {
+                    let mut out = vec![];
+                    find_pairs_serial(tree, s, l as usize, r as usize, &mut out);
+                    out
+                },
+            )
+        },
+    );
+    a.extend(b);
+    a.extend(c);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
+            .collect()
+    }
+
+    /// Every unordered point pair must be covered by exactly one WSPD pair.
+    fn check_coverage<const D: usize>(w: &Wspd<D>) {
+        let n = w.len();
+        let mut covered = vec![0u32; n * n];
+        for p in &w.pairs {
+            let (un, vn) = (&w.tree.nodes[p.u as usize], &w.tree.nodes[p.v as usize]);
+            for a in un.start..un.end {
+                for b in vn.start..vn.end {
+                    let (ia, ib) = (
+                        w.tree.original_index(a as usize) as usize,
+                        w.tree.original_index(b as usize) as usize,
+                    );
+                    covered[ia * n + ib] += 1;
+                    covered[ib * n + ia] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let expect = u32::from(i != j);
+                assert_eq!(
+                    covered[i * n + j],
+                    expect,
+                    "pair ({i},{j}) covered {} times",
+                    covered[i * n + j]
+                );
+            }
+        }
+    }
+
+    /// Every emitted pair must satisfy the separation predicate.
+    fn check_separation<const D: usize>(w: &Wspd<D>) {
+        for p in &w.pairs {
+            assert!(
+                well_separated(&w.tree, p.u as usize, p.v as usize, w.separation),
+                "pair {p:?} is not well-separated"
+            );
+            assert_eq!(
+                p.lower_bound_sq,
+                w.tree.nodes[p.u as usize]
+                    .aabb
+                    .squared_distance_to_box(&w.tree.nodes[p.v as usize].aabb)
+            );
+        }
+    }
+
+    #[test]
+    fn small_random_sets_cover_all_pairs() {
+        for seed in 0..5 {
+            let pts = random_points(40, seed);
+            let w = Wspd::build(&pts, 2.0, false);
+            check_coverage(&w);
+            check_separation(&w);
+        }
+    }
+
+    #[test]
+    fn single_point_has_no_pairs() {
+        let w = Wspd::build(&[Point::new([0.0f32, 0.0])], 2.0, false);
+        assert!(w.pairs.is_empty());
+    }
+
+    #[test]
+    fn two_points_form_one_pair() {
+        let pts = vec![Point::new([0.0f32, 0.0]), Point::new([1.0, 0.0])];
+        let w = Wspd::build(&pts, 2.0, false);
+        assert_eq!(w.pairs.len(), 1);
+        assert_eq!(w.pairs[0].lower_bound_sq, 1.0);
+    }
+
+    #[test]
+    fn duplicate_points_are_covered() {
+        let mut pts = vec![Point::new([0.5f32, 0.5]); 6];
+        pts.push(Point::new([0.9, 0.9]));
+        let w = Wspd::build(&pts, 2.0, false);
+        check_coverage(&w);
+        check_separation(&w);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_pair_multiset() {
+        let pts = random_points(300, 7);
+        let ws = Wspd::build(&pts, 2.0, false);
+        let wp = Wspd::build(&pts, 2.0, true);
+        let norm = |w: &Wspd<2>| {
+            let mut v: Vec<(u32, u32)> = w
+                .pairs
+                .iter()
+                .map(|p| (p.u.min(p.v), p.u.max(p.v)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&ws), norm(&wp));
+    }
+
+    #[test]
+    fn pair_count_is_near_linear_on_uniform_data() {
+        let n = 2000;
+        let pts = random_points(n, 13);
+        let w = Wspd::build(&pts, 2.0, false);
+        // O(s^d n) with modest constants for uniform data; guard against a
+        // quadratic regression.
+        assert!(
+            w.pairs.len() < 80 * n,
+            "pair count {} looks superlinear",
+            w.pairs.len()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn coverage_and_separation_hold(n in 1usize..40, seed in 0u64..500) {
+            let pts = random_points(n, seed);
+            let w = Wspd::build(&pts, 2.0, false);
+            check_coverage(&w);
+            check_separation(&w);
+        }
+
+        #[test]
+        fn coverage_with_integer_ties(n in 2usize..30, seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([
+                    rng.random_range(0i32..4) as f32,
+                    rng.random_range(0i32..4) as f32,
+                ]))
+                .collect();
+            let w = Wspd::build(&pts, 2.0, false);
+            check_coverage(&w);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! GeoFilterKruskal: Kruskal over the WSPD pairs with lazily computed,
+//! batch-filtered bichromatic closest pairs (Wang et al. 2021).
+//!
+//! Pairs are processed in ascending lower-bound order in batches. For each
+//! batch:
+//!
+//! - **mark**: tree nodes are marked with their component when uniform, so
+//!   pairs whose two sides already share one component are *filtered* —
+//!   their BCP is never computed (the memoized-filter idea that gives
+//!   MemoGFK its name);
+//! - surviving pairs get their exact BCP computed (in parallel in the MT
+//!   variant);
+//! - exact edges are committed in Kruskal order **only up to the smallest
+//!   lower bound still unprocessed** — later batches cannot produce a
+//!   lighter edge, so the commit order is globally correct; the rest carry
+//!   over.
+//!
+//! With separation `s ≥ 2` every MST edge is the BCP of exactly one pair, so
+//! the committed edges form the exact EMST (tested against the brute-force
+//! Kruskal oracle).
+
+use rayon::prelude::*;
+
+use emst_core::{Edge, UnionFind};
+use emst_exec::PhaseTimings;
+use emst_geometry::{nonneg_f32_to_ordered_bits, Point};
+
+use crate::bcp::{bichromatic_closest_pair_with_metric, Bcp};
+use crate::decomposition::{Wspd, WspdPair};
+
+/// Result of the WSPD-based EMST computation.
+#[derive(Clone, Debug)]
+pub struct WspdEmstResult {
+    /// The `n − 1` tree edges (original indices, `u < v`).
+    pub edges: Vec<Edge>,
+    /// Sum of edge weights in `f64`.
+    pub total_weight: f64,
+    /// Phases: `"tree"`, `"wspd"`, `"mst"`, `"mark"` (Fig. 8a's T_*).
+    pub timings: PhaseTimings,
+    /// Number of well-separated pairs produced.
+    pub num_pairs: usize,
+    /// Pairs whose BCP was actually computed (the rest were filtered).
+    pub bcps_computed: usize,
+    /// Point-distance computations inside BCP evaluations.
+    pub distance_computations: u64,
+}
+
+const INVALID_COMP: u32 = u32::MAX;
+
+/// Computes the EMST via WSPD + GeoFilterKruskal.
+///
+/// `parallel` selects the multithreaded variant (rayon): parallel tree/WSPD
+/// construction and parallel BCP batches, with the Kruskal commit step
+/// sequential — the same split MemoGFK has (and why its `T_mst` scales worse
+/// than `T_wspd` in the paper's Fig. 8a).
+pub fn wspd_emst<const D: usize>(points: &[Point<D>], parallel: bool) -> WspdEmstResult {
+    wspd_emst_with_metric(points, parallel, &emst_geometry::Euclidean)
+}
+
+/// The MST under an arbitrary [`emst_geometry::Metric`] (mutual reachability
+/// for HDBSCAN*, as MemoGFK supports — paper §4.5 / Fig. 9). The pair lower
+/// bounds remain Euclidean box distances, which under-estimate any
+/// dominating metric, so the batched Kruskal commit order stays valid.
+pub fn wspd_emst_with_metric<M: emst_geometry::Metric, const D: usize>(
+    points: &[Point<D>],
+    parallel: bool,
+    metric: &M,
+) -> WspdEmstResult {
+    let n = points.len();
+    // On a single-threaded pool the rayon paths only add fork/merge
+    // overhead; fall back to the sequential code (what OpenMP with
+    // OMP_NUM_THREADS=1 would do in MemoGFK).
+    let parallel = parallel && rayon::current_num_threads() > 1;
+    let mut timings = PhaseTimings::new();
+    if n < 2 {
+        return WspdEmstResult {
+            edges: vec![],
+            total_weight: 0.0,
+            timings,
+            num_pairs: 0,
+            bcps_computed: 0,
+            distance_computations: 0,
+        };
+    }
+
+    // Phase 1: tree construction.
+    let kd = timings.time("tree", || emst_kdtree::KdTree::build_with_leaf_size(points, 1));
+    // Phase 2: the decomposition.
+    let wspd = timings.time("wspd", || Wspd::from_tree(kd, 2.0, parallel));
+
+    let num_pairs = wspd.pairs.len();
+    let mut pairs: Vec<WspdPair> = wspd.pairs;
+    let tree = &wspd.tree;
+
+    // Sort pairs by lower bound (ascending).
+    let mst_start = std::time::Instant::now();
+    if parallel {
+        pairs.par_sort_unstable_by(|a, b| a.lower_bound_sq.total_cmp(&b.lower_bound_sq));
+    } else {
+        pairs.sort_unstable_by(|a, b| a.lower_bound_sq.total_cmp(&b.lower_bound_sq));
+    }
+
+    let mut dsu = UnionFind::new(n);
+    let mut labels = vec![0u32; n]; // permuted position -> component rep
+    let mut node_comp = vec![INVALID_COMP; tree.nodes.len()];
+    let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
+    let mut carry: Vec<Bcp> = vec![];
+    let mut cursor = 0usize;
+    let mut bcps_computed = 0usize;
+    let mut distance_computations = 0u64;
+    let mut mark_seconds = 0.0f64;
+
+    let batch_size = (n / 4).clamp(1024, 1 << 20);
+
+    while cursor < pairs.len() || !carry.is_empty() {
+        if edges.len() == n - 1 {
+            break;
+        }
+        let batch_end = (cursor + batch_size).min(pairs.len());
+        let threshold_bits = if batch_end < pairs.len() {
+            nonneg_f32_to_ordered_bits(pairs[batch_end].lower_bound_sq)
+        } else {
+            u32::MAX
+        };
+
+        // Mark phase: refresh per-position labels and node uniformity.
+        let mark_start = std::time::Instant::now();
+        for pos in 0..n {
+            labels[pos] = dsu.find(tree.original_index(pos) as usize) as u32;
+        }
+        for i in (0..tree.nodes.len()).rev() {
+            node_comp[i] = match tree.nodes[i].children {
+                None => {
+                    let node = &tree.nodes[i];
+                    let first = labels[node.start as usize];
+                    if (node.start as usize + 1..node.end as usize)
+                        .all(|p| labels[p] == first)
+                    {
+                        first
+                    } else {
+                        INVALID_COMP
+                    }
+                }
+                Some((l, r)) => {
+                    let (cl, cr) = (node_comp[l as usize], node_comp[r as usize]);
+                    if cl != INVALID_COMP && cl == cr {
+                        cl
+                    } else {
+                        INVALID_COMP
+                    }
+                }
+            };
+        }
+        mark_seconds += mark_start.elapsed().as_secs_f64();
+
+        // Filter + BCP for the batch.
+        let batch = &pairs[cursor..batch_end];
+        cursor = batch_end;
+        let live: Vec<&WspdPair> = batch
+            .iter()
+            .filter(|p| {
+                let (cu, cv) = (node_comp[p.u as usize], node_comp[p.v as usize]);
+                cu == INVALID_COMP || cu != cv
+            })
+            .collect();
+        bcps_computed += live.len();
+        let new_bcps: Vec<(Bcp, u64)> = if parallel {
+            live.par_iter()
+                .map(|p| {
+                    bichromatic_closest_pair_with_metric(
+                        tree, p.u as usize, p.v as usize, metric,
+                    )
+                })
+                .collect()
+        } else {
+            live.iter()
+                .map(|p| {
+                    bichromatic_closest_pair_with_metric(
+                        tree, p.u as usize, p.v as usize, metric,
+                    )
+                })
+                .collect()
+        };
+        for (b, w) in new_bcps {
+            distance_computations += w;
+            carry.push(b);
+        }
+
+        // Commit in Kruskal order up to the threshold.
+        carry.sort_unstable_by_key(Bcp::key);
+        let mut kept = Vec::with_capacity(carry.len());
+        for b in carry.drain(..) {
+            if nonneg_f32_to_ordered_bits(b.dist_sq) >= threshold_bits {
+                kept.push(b);
+                continue;
+            }
+            if dsu.union(b.u as usize, b.v as usize) {
+                edges.push(Edge::new(b.u, b.v, b.dist_sq));
+            }
+        }
+        carry = kept;
+
+        if cursor >= pairs.len() {
+            // Final drain: no unprocessed pair remains; commit everything.
+            carry.sort_unstable_by_key(Bcp::key);
+            for b in carry.drain(..) {
+                if dsu.union(b.u as usize, b.v as usize) {
+                    edges.push(Edge::new(b.u, b.v, b.dist_sq));
+                }
+            }
+        }
+    }
+    let mst_total = mst_start.elapsed().as_secs_f64();
+    timings.record("mark", mark_seconds);
+    timings.record("mst", (mst_total - mark_seconds).max(0.0));
+
+    debug_assert_eq!(edges.len(), n - 1, "WSPD Kruskal must span the point set");
+    WspdEmstResult {
+        total_weight: emst_core::edge::total_weight(&edges),
+        edges,
+        timings,
+        num_pairs,
+        bcps_computed,
+        distance_computations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::brute::brute_force_emst;
+    use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert!(wspd_emst::<2>(&[], false).edges.is_empty());
+        assert!(wspd_emst(&[Point::new([1.0f32, 1.0])], false).edges.is_empty());
+        let two = [Point::new([0.0f32, 0.0]), Point::new([3.0, 4.0])];
+        let r = wspd_emst(&two, false);
+        assert_eq!(r.edges, vec![Edge::new(0, 1, 25.0)]);
+        assert_eq!(r.total_weight, 5.0);
+    }
+
+    #[test]
+    fn matches_brute_force_sequential_and_parallel() {
+        for seed in 0..4 {
+            let pts = random_points(220, seed);
+            for parallel in [false, true] {
+                let r = wspd_emst(&pts, parallel);
+                verify_spanning_tree(pts.len(), &r.edges).unwrap();
+                assert_eq!(
+                    weight_multiset(&r.edges),
+                    weight_multiset(&brute_force_emst(&pts)),
+                    "seed {seed} parallel {parallel}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_ties_match_brute_force() {
+        let pts: Vec<Point<2>> = (0..9)
+            .flat_map(|x| (0..9).map(move |y| Point::new([x as f32, y as f32])))
+            .collect();
+        let r = wspd_emst(&pts, false);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn duplicates_match_brute_force() {
+        let mut pts = random_points(50, 5);
+        pts.extend(std::iter::repeat_n(pts[0], 12));
+        let r = wspd_emst(&pts, false);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn three_dimensional_matches() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let pts: Vec<Point<3>> = (0..150)
+            .map(|_| {
+                Point::new([
+                    rng.random_range(0.0f32..1.0),
+                    rng.random_range(0.0f32..1.0),
+                    rng.random_range(0.0f32..1.0),
+                ])
+            })
+            .collect();
+        let r = wspd_emst(&pts, true);
+        verify_spanning_tree(pts.len(), &r.edges).unwrap();
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
+    }
+
+    #[test]
+    fn mutual_reachability_matches_brute_force() {
+        use emst_core::brute::brute_force_mst;
+        use emst_geometry::{brute_force_core_distances_sq, MutualReachability};
+        for k in [2usize, 4, 8] {
+            let pts = random_points(150, 40 + k as u64);
+            let core = brute_force_core_distances_sq(&pts, k);
+            let metric = MutualReachability::new(&core);
+            let r = wspd_emst_with_metric(&pts, false, &metric);
+            verify_spanning_tree(pts.len(), &r.edges).unwrap();
+            let brute = brute_force_mst(&pts, &metric);
+            assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute),
+                "k_pts={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mrd_proptest_style_sweep() {
+        use emst_core::brute::brute_force_mst;
+        use emst_geometry::{brute_force_core_distances_sq, MutualReachability};
+        for seed in 200..212 {
+            let n = 20 + (seed as usize % 60);
+            let pts = random_points(n, seed);
+            let core = brute_force_core_distances_sq(&pts, 3);
+            let metric = MutualReachability::new(&core);
+            let r = wspd_emst_with_metric(&pts, seed % 2 == 0, &metric);
+            verify_spanning_tree(n, &r.edges).unwrap();
+            assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_mst(&pts, &metric)),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn filtering_skips_bcps() {
+        let pts = random_points(3000, 23);
+        let r = wspd_emst(&pts, false);
+        assert!(
+            r.bcps_computed < r.num_pairs,
+            "filter should skip some of the {} pairs (computed {})",
+            r.num_pairs,
+            r.bcps_computed
+        );
+    }
+
+    #[test]
+    fn phases_are_recorded() {
+        let pts = random_points(500, 29);
+        let r = wspd_emst(&pts, false);
+        assert!(r.timings.get("tree") >= 0.0);
+        assert!(r.timings.get("wspd") >= 0.0);
+        assert!(r.timings.get("mst") > 0.0);
+        assert!(r.timings.get("mark") > 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn wspd_emst_equals_brute_force(
+            n in 2usize..110, seed in 0u64..5000, parallel in any::<bool>()
+        ) {
+            let pts = random_points(n, seed);
+            let r = wspd_emst(&pts, parallel);
+            prop_assert!(verify_spanning_tree(n, &r.edges).is_ok());
+            prop_assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_emst(&pts))
+            );
+        }
+
+        #[test]
+        fn wspd_emst_on_integer_ties(n in 2usize..70, seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([
+                    rng.random_range(0i32..5) as f32,
+                    rng.random_range(0i32..5) as f32,
+                ]))
+                .collect();
+            let r = wspd_emst(&pts, false);
+            prop_assert!(verify_spanning_tree(n, &r.edges).is_ok());
+            prop_assert_eq!(
+                weight_multiset(&r.edges),
+                weight_multiset(&brute_force_emst(&pts))
+            );
+        }
+    }
+}

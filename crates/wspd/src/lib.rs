@@ -1,0 +1,34 @@
+//! Well-separated pair decomposition EMST — the **MemoGFK** baseline.
+//!
+//! This crate reimplements the comparison algorithm the paper benchmarks as
+//! *MemoGFK* (Wang, Yu, Gu & Shun, SIGMOD 2021): the fastest published
+//! sequential and multithreaded CPU EMST at the time. The pipeline is
+//!
+//! 1. **tree** — a spatial decomposition tree with singleton leaves
+//!    (we use median splits; Callahan–Kosaraju's fair split changes the
+//!    worst-case pair count, not correctness);
+//! 2. **wspd** — the well-separated pair decomposition with separation
+//!    `s = 2`: every pair of points is covered by exactly one node pair
+//!    whose box distance is at least the larger box diameter. With `s ≥ 2`
+//!    every MST edge is the *bichromatic closest pair* (BCP) of some
+//!    decomposition pair — the structural theorem the algorithm rests on;
+//! 3. **mst** — GeoFilterKruskal: Kruskal over the pairs in distance order,
+//!    with BCPs computed **lazily in filtered batches** so most pairs are
+//!    discarded (their endpoints already connected) before their BCP is ever
+//!    evaluated;
+//! 4. **mark** — the bookkeeping phase (component uniformity marking).
+//!
+//! The four phases match the paper's Fig. 8a breakdown (T_tree, T_wspd,
+//! T_mst, T_mark). Both sequential and rayon-parallel variants are provided,
+//! mirroring MemoGFK(S) and MemoGFK(MT) in Figs. 5–6.
+
+// Several loops index multiple parallel arrays by position; clippy's
+// enumerate suggestion does not apply cleanly there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bcp;
+pub mod decomposition;
+pub mod gfk;
+
+pub use decomposition::{Wspd, WspdPair};
+pub use gfk::{wspd_emst, wspd_emst_with_metric, WspdEmstResult};

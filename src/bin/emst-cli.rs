@@ -1,0 +1,185 @@
+//! `emst-cli` — command-line access to the library.
+//!
+//! ```text
+//! emst-cli generate --kind hacc --n 10000 --dim 3 --seed 1 --output pts.csv
+//! emst-cli emst     --input pts.csv --dim 3 --output mst.csv [--algorithm single-tree]
+//! emst-cli hdbscan  --input pts.csv --dim 3 --k 5 --min-cluster-size 20 --output labels.csv
+//! ```
+//!
+//! Arguments are `--key value` pairs; unknown keys abort with usage help.
+//! The MST output is CSV rows `u,v,weight`; HDBSCAN output is one label per
+//! line (`-1` = noise).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use emst::core::{EmstConfig, SingleTreeBoruvka};
+use emst::datasets::{self, Kind};
+use emst::exec::{GpuSim, Serial, Threads};
+use emst::geometry::Point;
+use emst::hdbscan::Hdbscan;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  emst-cli generate --kind <uniform|normal|visualvar|hacc|geolife|ngsim|porto|road>
+                    --n <count> [--dim 2|3] [--seed <u64>] --output <points.csv>
+  emst-cli emst     --input <points.csv> [--dim 2|3] [--output <mst.csv>]
+                    [--algorithm single-tree|kd-single-tree|dual-tree|wspd]
+                    [--backend serial|threads|gpusim]
+  emst-cli hdbscan  --input <points.csv> [--dim 2|3] [--k <k_pts>]
+                    [--min-cluster-size <m>] [--output <labels.csv>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?;
+        let value = it.next()?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Some(map)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(opts) = parse_args(rest) else {
+        return usage();
+    };
+    let dim: usize = opts.get("dim").and_then(|v| v.parse().ok()).unwrap_or(2);
+    if dim != 2 && dim != 3 {
+        eprintln!("error: --dim must be 2 or 3");
+        return ExitCode::FAILURE;
+    }
+    let result = match (command.as_str(), dim) {
+        ("generate", 2) => generate::<2>(&opts),
+        ("generate", 3) => generate::<3>(&opts),
+        ("emst", 2) => run_emst::<2>(&opts),
+        ("emst", 3) => run_emst::<3>(&opts),
+        ("hdbscan", 2) => run_hdbscan::<2>(&opts),
+        ("hdbscan", 3) => run_hdbscan::<3>(&opts),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn generate<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = match opts.get("kind").map(String::as_str) {
+        Some("uniform") => Kind::Uniform,
+        Some("normal") => Kind::Normal,
+        Some("visualvar") => Kind::VisualVar,
+        Some("hacc") => Kind::HaccLike,
+        Some("geolife") => Kind::GeoLifeLike,
+        Some("ngsim") => Kind::NgsimLike,
+        Some("porto") => Kind::PortoTaxiLike,
+        Some("road") => Kind::RoadNetworkLike,
+        other => return Err(format!("unknown --kind {other:?}")),
+    };
+    let n: usize = opts
+        .get("n")
+        .ok_or("--n is required")?
+        .parse()
+        .map_err(|_| "--n must be an integer")?;
+    let seed: u64 = opts.get("seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let output = opts.get("output").ok_or("--output is required")?;
+    let points: Vec<Point<D>> = kind.generate(n, seed);
+    datasets::save_csv(Path::new(output), &points).map_err(|e| e.to_string())?;
+    eprintln!("wrote {n} points to {output}");
+    Ok(())
+}
+
+fn load_points<const D: usize>(opts: &HashMap<String, String>) -> Result<Vec<Point<D>>, String> {
+    let input = opts.get("input").ok_or("--input is required")?;
+    let path = PathBuf::from(input);
+    let points = if input.ends_with(".xyz") {
+        datasets::load_xyz::<D>(&path)
+    } else {
+        datasets::load_csv::<D>(&path)
+    }
+    .map_err(|e| e.to_string())?;
+    if points.is_empty() {
+        return Err(format!("{input}: no points"));
+    }
+    Ok(points)
+}
+
+fn run_emst<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
+    let points = load_points::<D>(opts)?;
+    let n = points.len();
+    let algorithm = opts.get("algorithm").map(String::as_str).unwrap_or("single-tree");
+    let backend = opts.get("backend").map(String::as_str).unwrap_or("threads");
+    let start = std::time::Instant::now();
+    let edges = match algorithm {
+        "single-tree" => {
+            let cfg = EmstConfig::default();
+            match backend {
+                "serial" => SingleTreeBoruvka::new(&points).run(&Serial, &cfg).edges,
+                "threads" => SingleTreeBoruvka::new(&points).run(&Threads, &cfg).edges,
+                "gpusim" => SingleTreeBoruvka::new(&points).run(&GpuSim::new(), &cfg).edges,
+                other => return Err(format!("unknown --backend {other}")),
+            }
+        }
+        "kd-single-tree" => emst::kdtree::kd_single_tree_emst(&points).edges,
+        "dual-tree" => emst::kdtree::dual_tree_emst(&points).edges,
+        "wspd" => emst::wspd::wspd_emst(&points, backend != "serial").edges,
+        other => return Err(format!("unknown --algorithm {other}")),
+    };
+    let secs = start.elapsed().as_secs_f64();
+    emst::core::verify_spanning_tree(n, &edges).map_err(|e| e.to_string())?;
+    let weight = emst::core::edge::total_weight(&edges);
+    eprintln!(
+        "{n} points -> {} edges, weight {weight:.6}, {secs:.3} s ({:.2} MFeatures/s)",
+        edges.len(),
+        (n * D) as f64 / secs / 1e6
+    );
+    if let Some(output) = opts.get("output") {
+        let mut out = std::io::BufWriter::new(
+            std::fs::File::create(output).map_err(|e| e.to_string())?,
+        );
+        for e in &edges {
+            writeln!(out, "{},{},{:?}", e.u, e.v, e.weight()).map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote MST to {output}");
+    }
+    Ok(())
+}
+
+fn run_hdbscan<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
+    let points = load_points::<D>(opts)?;
+    let k_pts: usize = opts.get("k").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let min_cluster_size: usize = opts
+        .get("min-cluster-size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let result = Hdbscan { k_pts, min_cluster_size }.fit(&Threads, &points);
+    let noise = result.labels.iter().filter(|&&l| l == emst::hdbscan::NOISE).count();
+    eprintln!(
+        "{} points -> {} clusters, {noise} noise",
+        points.len(),
+        result.num_clusters
+    );
+    if let Some(output) = opts.get("output") {
+        let mut out = std::io::BufWriter::new(
+            std::fs::File::create(output).map_err(|e| e.to_string())?,
+        );
+        for &l in &result.labels {
+            writeln!(out, "{l}").map_err(|e| e.to_string())?;
+        }
+        eprintln!("wrote labels to {output}");
+    }
+    Ok(())
+}

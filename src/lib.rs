@@ -1,0 +1,44 @@
+//! # emst — single-tree Euclidean minimum spanning trees
+//!
+//! A from-scratch Rust reproduction of *"A single-tree algorithm to compute
+//! the Euclidean minimum spanning tree on GPUs"* (Prokopenko, Sao,
+//! Lebrun-Grandié — ICPP 2022, arXiv:2207.00514).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`geometry`] — points, bounding boxes, metrics;
+//! - [`morton`] — Z-order curve encodings;
+//! - [`exec`] — Kokkos-like execution spaces (`Serial`, `Threads`, `GpuSim`);
+//! - [`bvh`] — the linear bounding volume hierarchy;
+//! - [`core`] — ★ the paper's single-tree Borůvka EMST;
+//! - [`kdtree`] — the dual-tree Borůvka baseline (MLPACK-like);
+//! - [`wspd`] — the WSPD / GeoFilterKruskal baseline (MemoGFK-like);
+//! - [`hdbscan`] — mutual-reachability clustering on top of the EMST;
+//! - [`datasets`] — the synthetic evaluation datasets;
+//! - [`graph`] — the classical explicit-graph MST algorithms of the paper's
+//!   Background section (Borůvka, Kruskal, Prim).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use emst::core::{EmstConfig, SingleTreeBoruvka};
+//! use emst::datasets::{self, DatasetSpec};
+//! use emst::exec::Threads;
+//!
+//! let points = datasets::generate_2d(&DatasetSpec::uniform(1_000, 42));
+//! let result = SingleTreeBoruvka::new(&points)
+//!     .run(&Threads, &EmstConfig::default());
+//! assert_eq!(result.edges.len(), points.len() - 1);
+//! println!("EMST total weight: {}", result.total_weight);
+//! ```
+
+pub use emst_bvh as bvh;
+pub use emst_core as core;
+pub use emst_datasets as datasets;
+pub use emst_exec as exec;
+pub use emst_geometry as geometry;
+pub use emst_graph as graph;
+pub use emst_hdbscan as hdbscan;
+pub use emst_kdtree as kdtree;
+pub use emst_morton as morton;
+pub use emst_wspd as wspd;

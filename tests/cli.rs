@@ -1,0 +1,105 @@
+//! End-to-end tests of the `emst-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_emst-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("emst-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_then_emst_pipeline() {
+    let pts = tmp("pipeline-points.csv");
+    let mst = tmp("pipeline-mst.csv");
+    let status = bin()
+        .args(["generate", "--kind", "hacc", "--n", "500", "--dim", "3"])
+        .args(["--seed", "7", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let out = bin()
+        .args(["emst", "--input", pts.to_str().unwrap(), "--dim", "3"])
+        .args(["--output", mst.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let edges = std::fs::read_to_string(&mst).unwrap();
+    assert_eq!(edges.lines().count(), 499);
+    // each line is u,v,weight
+    let first = edges.lines().next().unwrap();
+    assert_eq!(first.split(',').count(), 3);
+
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&mst).ok();
+}
+
+#[test]
+fn all_algorithms_report_the_same_weight() {
+    let pts = tmp("algos-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "normal", "--n", "400", "--dim", "2"])
+        .args(["--seed", "3", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let weight_of = |algo: &str| -> String {
+        let out = bin()
+            .args(["emst", "--input", pts.to_str().unwrap(), "--algorithm", algo])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        let needle = "weight ";
+        let at = stderr.find(needle).unwrap() + needle.len();
+        stderr[at..].split(',').next().unwrap().trim().to_string()
+    };
+    let w = weight_of("single-tree");
+    assert_eq!(w, weight_of("dual-tree"));
+    assert_eq!(w, weight_of("wspd"));
+    assert_eq!(w, weight_of("kd-single-tree"));
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn hdbscan_writes_one_label_per_point() {
+    let pts = tmp("hdb-points.csv");
+    let labels = tmp("hdb-labels.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "visualvar", "--n", "600", "--dim", "2"])
+        .args(["--seed", "5", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["hdbscan", "--input", pts.to_str().unwrap(), "--k", "6"])
+        .args(["--min-cluster-size", "20", "--output", labels.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let content = std::fs::read_to_string(&labels).unwrap();
+    assert_eq!(content.lines().count(), 600);
+    assert!(content.lines().all(|l| l.parse::<i32>().is_ok()));
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&labels).ok();
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    assert!(!bin().status().unwrap().success());
+    assert!(!bin().args(["frobnicate"]).status().unwrap().success());
+    assert!(!bin().args(["emst", "--input", "/no/such/file.csv"]).status().unwrap().success());
+    assert!(!bin()
+        .args(["generate", "--kind", "nonsense", "--n", "10", "--output", "/dev/null"])
+        .status()
+        .unwrap()
+        .success());
+}

@@ -1,0 +1,100 @@
+//! Cross-crate integration: every EMST implementation in the workspace must
+//! produce a minimum spanning tree with the same weight multiset on every
+//! dataset archetype, every backend, and both metrics.
+
+use emst::core::brute::brute_force_emst;
+use emst::core::edge::{verify_spanning_tree, weight_multiset};
+use emst::core::{EdgeSelection, EmstConfig, SingleTreeBoruvka};
+use emst::datasets::Kind;
+use emst::exec::{GpuSim, Serial, Threads};
+use emst::geometry::Point;
+use emst::kdtree::{bentley_friedman_emst, dual_tree_emst};
+use emst::wspd::wspd_emst;
+
+const ALL_KINDS: [Kind; 8] = [
+    Kind::Uniform,
+    Kind::Normal,
+    Kind::VisualVar,
+    Kind::HaccLike,
+    Kind::GeoLifeLike,
+    Kind::NgsimLike,
+    Kind::PortoTaxiLike,
+    Kind::RoadNetworkLike,
+];
+
+fn check_all_impls<const D: usize>(points: &[Point<D>], label: &str) {
+    let n = points.len();
+    let reference = SingleTreeBoruvka::new(points).run(&Serial, &EmstConfig::default());
+    verify_spanning_tree(n, &reference.edges).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let ref_multiset = weight_multiset(&reference.edges);
+
+    // Single-tree on every backend and both edge-selection strategies.
+    for selection in [EdgeSelection::Locked, EdgeSelection::Atomic64] {
+        let cfg = EmstConfig { edge_selection: selection, ..Default::default() };
+        let threads = SingleTreeBoruvka::new(points).run(&Threads, &cfg);
+        assert_eq!(weight_multiset(&threads.edges), ref_multiset, "{label} threads {selection:?}");
+        let gpu = SingleTreeBoruvka::new(points).run(&GpuSim::new(), &cfg);
+        assert_eq!(weight_multiset(&gpu.edges), ref_multiset, "{label} gpusim {selection:?}");
+    }
+
+    // Both baselines.
+    let dual = dual_tree_emst(points);
+    verify_spanning_tree(n, &dual.edges).unwrap();
+    assert_eq!(weight_multiset(&dual.edges), ref_multiset, "{label} dual-tree");
+    for parallel in [false, true] {
+        let wspd = wspd_emst(points, parallel);
+        verify_spanning_tree(n, &wspd.edges).unwrap();
+        assert_eq!(weight_multiset(&wspd.edges), ref_multiset, "{label} wspd({parallel})");
+    }
+}
+
+#[test]
+fn all_archetypes_2d_agree_across_implementations() {
+    for kind in ALL_KINDS {
+        let points: Vec<Point<2>> = kind.generate(700, 0x2D);
+        check_all_impls(&points, &format!("{kind:?}/2D"));
+    }
+}
+
+#[test]
+fn all_archetypes_3d_agree_across_implementations() {
+    for kind in ALL_KINDS {
+        let points: Vec<Point<3>> = kind.generate(500, 0x3D);
+        check_all_impls(&points, &format!("{kind:?}/3D"));
+    }
+}
+
+#[test]
+fn small_inputs_match_brute_force_everywhere() {
+    for kind in [Kind::Uniform, Kind::HaccLike, Kind::GeoLifeLike] {
+        for n in [2usize, 3, 5, 17, 64] {
+            let points: Vec<Point<2>> = kind.generate(n, n as u64);
+            let brute = weight_multiset(&brute_force_emst(&points));
+            let single = SingleTreeBoruvka::new(&points).run(&Serial, &EmstConfig::default());
+            assert_eq!(weight_multiset(&single.edges), brute, "{kind:?} n={n} single");
+            assert_eq!(weight_multiset(&dual_tree_emst(&points).edges), brute, "{kind:?} n={n} dual");
+            assert_eq!(weight_multiset(&wspd_emst(&points, false).edges), brute, "{kind:?} n={n} wspd");
+            assert_eq!(weight_multiset(&bentley_friedman_emst(&points)), brute, "{kind:?} n={n} bf");
+        }
+    }
+}
+
+#[test]
+fn subsampled_dataset_remains_consistent() {
+    // The Fig. 7 methodology: subsample, then solve.
+    let parent: Vec<Point<3>> = Kind::HaccLike.generate(5_000, 77);
+    for m in [50usize, 500, 2_000] {
+        let sub = emst::datasets::sample_preserving_distribution(&parent, m, 9);
+        check_all_impls(&sub, &format!("hacc-subsample-{m}"));
+    }
+}
+
+#[test]
+fn total_weights_match_in_f64_too() {
+    let points: Vec<Point<2>> = Kind::Normal.generate(3_000, 5);
+    let a = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default()).total_weight;
+    let b = wspd_emst(&points, true).total_weight;
+    let c = dual_tree_emst(&points).total_weight;
+    assert!((a - b).abs() < 1e-6 * a);
+    assert!((a - c).abs() < 1e-6 * a);
+}

@@ -1,0 +1,82 @@
+//! Integration of the instrumented backend and the device model — the
+//! machinery behind every modeled GPU figure.
+
+use emst::core::{EmstConfig, SingleTreeBoruvka};
+use emst::datasets::Kind;
+use emst::exec::{DeviceModel, GpuSim};
+use emst::geometry::Point;
+
+fn modeled_total(n: usize, model: &DeviceModel) -> f64 {
+    let points: Vec<Point<3>> = Kind::HaccLike.generate(n, 0xDE);
+    let gpu = GpuSim::new();
+    let r = SingleTreeBoruvka::new(&points).run(&gpu, &EmstConfig::default());
+    let tree = model.time(r.launches_tree.0, r.launches_tree.1, &r.work_tree);
+    let mst = model.time(r.launches_mst.0, r.launches_mst.1, &r.work_mst());
+    tree.total_s() + mst.total_s()
+}
+
+#[test]
+fn modeled_rate_rises_with_problem_size_then_flattens() {
+    // The Fig. 7 saturation shape: small problems are launch-bound.
+    let model = DeviceModel::a100_like();
+    let rate = |n: usize| n as f64 / modeled_total(n, &model);
+    let r1 = rate(1_000);
+    let r2 = rate(10_000);
+    let r3 = rate(100_000);
+    assert!(r2 > 2.0 * r1, "rate must climb steeply from launch-bound sizes: {r1} {r2}");
+    assert!(r3 > r2, "still climbing at 100k: {r2} {r3}");
+    assert!(r3 < 40.0 * r2, "but sub-linearly (saturating)");
+}
+
+#[test]
+fn mi250x_gcd_models_slower_than_a100() {
+    // The paper's cross-vendor observation (Fig. 1/6).
+    let a = modeled_total(20_000, &DeviceModel::a100_like());
+    let m = modeled_total(20_000, &DeviceModel::mi250x_gcd_like());
+    let ratio = a / m;
+    assert!(ratio > 0.45 && ratio < 0.95, "A100/MI250X = {ratio}");
+}
+
+#[test]
+fn optimizations_speed_up_the_modeled_device_too() {
+    // The device model prices counted work, so the paper's optimizations
+    // must translate into modeled speedups as they did on real hardware.
+    let points: Vec<Point<2>> = Kind::Normal.generate(20_000, 3);
+    let model = DeviceModel::a100_like();
+    let run = |cfg: &EmstConfig| {
+        let gpu = GpuSim::new();
+        let r = SingleTreeBoruvka::new(&points).run(&gpu, cfg);
+        model.time(r.launches_mst.0, r.launches_mst.1, &r.work_mst()).total_s()
+    };
+    let naive = run(&EmstConfig { subtree_skipping: false, upper_bounds: false, ..Default::default() });
+    let full = run(&EmstConfig::default());
+    assert!(
+        naive > 3.0 * full,
+        "optimizations must cut modeled device time: naive {naive} vs full {full}"
+    );
+}
+
+#[test]
+fn gpusim_results_are_identical_to_serial() {
+    let points: Vec<Point<2>> = Kind::GeoLifeLike.generate(2_000, 9);
+    let gpu = SingleTreeBoruvka::new(&points).run(&GpuSim::new(), &EmstConfig::default());
+    let serial = SingleTreeBoruvka::new(&points).run(&emst::exec::Serial, &EmstConfig::default());
+    assert_eq!(gpu.total_weight, serial.total_weight);
+    assert_eq!(gpu.edges.len(), serial.edges.len());
+}
+
+#[test]
+fn launch_counts_scale_with_iterations_not_points() {
+    // Borůvka launches O(iterations) kernels; iterations are O(log n).
+    let count = |n: usize| {
+        let points: Vec<Point<2>> = Kind::Uniform.generate(n, 1);
+        let gpu = GpuSim::new();
+        let r = SingleTreeBoruvka::new(&points).run(&gpu, &EmstConfig::default());
+        (r.launches_mst.0, r.iterations)
+    };
+    let (l1, i1) = count(1_000);
+    let (l2, i2) = count(64_000);
+    // 64x the points, but launches grow only with the iteration count.
+    assert!(l2 < l1 * 4, "launches: {l1} -> {l2}");
+    assert!(i2 <= i1 + 6);
+}

@@ -1,0 +1,97 @@
+//! End-to-end HDBSCAN* integration (the paper's §4.5 application).
+
+use emst::core::brute::brute_force_mst;
+use emst::core::edge::{verify_spanning_tree, weight_multiset};
+use emst::core::{EmstConfig, SingleTreeBoruvka};
+use emst::datasets::Kind;
+use emst::exec::{GpuSim, Serial, Threads};
+use emst::geometry::{brute_force_core_distances_sq, MutualReachability, Point};
+use emst::hdbscan::{core_distances_sq, Hdbscan, NOISE};
+use emst::wspd::wspd_emst_with_metric;
+
+#[test]
+fn mrd_mst_agrees_between_single_tree_and_wspd_on_archetypes() {
+    for kind in [Kind::Uniform, Kind::VisualVar, Kind::HaccLike, Kind::NgsimLike] {
+        for k_pts in [2usize, 5, 16] {
+            let points: Vec<Point<2>> = kind.generate(400, k_pts as u64);
+            let core = core_distances_sq(&Threads, &points, k_pts);
+            assert_eq!(core, brute_force_core_distances_sq(&points, k_pts), "{kind:?} core");
+            let metric = MutualReachability::new(&core);
+
+            let single = SingleTreeBoruvka::new(&points)
+                .run_with_metric(&Serial, &EmstConfig::default(), &metric);
+            verify_spanning_tree(points.len(), &single.edges).unwrap();
+            let wspd = wspd_emst_with_metric(&points, false, &metric);
+            let brute = brute_force_mst(&points, &metric);
+            assert_eq!(
+                weight_multiset(&single.edges),
+                weight_multiset(&brute),
+                "{kind:?} k={k_pts} single"
+            );
+            assert_eq!(
+                weight_multiset(&wspd.edges),
+                weight_multiset(&brute),
+                "{kind:?} k={k_pts} wspd"
+            );
+        }
+    }
+}
+
+#[test]
+fn mrd_total_weight_dominates_euclidean() {
+    // d_mreach >= d_euclid pointwise, so the MRD MST cannot be lighter.
+    let points: Vec<Point<2>> = Kind::VisualVar.generate(800, 11);
+    let euc = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
+    let core = core_distances_sq(&Threads, &points, 8);
+    let metric = MutualReachability::new(&core);
+    let mrd = SingleTreeBoruvka::new(&points)
+        .run_with_metric(&Threads, &EmstConfig::default(), &metric);
+    assert!(mrd.total_weight >= euc.total_weight);
+}
+
+#[test]
+fn clustering_is_backend_independent() {
+    let points: Vec<Point<2>> = Kind::VisualVar.generate(2_000, 21);
+    let params = Hdbscan { k_pts: 6, min_cluster_size: 20 };
+    let a = params.fit(&Serial, &points);
+    let b = params.fit(&Threads, &points);
+    let c = params.fit(&GpuSim::new(), &points);
+    assert_eq!(a.labels, b.labels);
+    assert_eq!(a.labels, c.labels);
+    assert_eq!(a.num_clusters, c.num_clusters);
+}
+
+#[test]
+fn hdbscan_separates_well_separated_blobs_with_noise() {
+    // Deterministic geometry: two dense grids far apart + uniform scatter.
+    let mut points: Vec<Point<2>> = vec![];
+    for x in 0..12 {
+        for y in 0..12 {
+            points.push(Point::new([x as f32 * 0.01, y as f32 * 0.01]));
+            points.push(Point::new([100.0 + x as f32 * 0.01, y as f32 * 0.01]));
+        }
+    }
+    // scatter far from both
+    for i in 0..20 {
+        points.push(Point::new([45.0 + i as f32 * 0.5, 300.0 + (i % 7) as f32 * 31.0]));
+    }
+    let r = Hdbscan { k_pts: 4, min_cluster_size: 30 }.fit(&Threads, &points);
+    assert_eq!(r.num_clusters, 2, "labels tail: {:?}", &r.labels[288..]);
+    // the scatter is noise
+    assert!(r.labels[288..].iter().all(|&l| l == NOISE));
+    // blob memberships are coherent
+    assert_eq!(r.labels[0], r.labels[2]);
+    assert_ne!(r.labels[0], r.labels[1]);
+}
+
+#[test]
+fn k_pts_one_reduces_to_euclidean_mst() {
+    let points: Vec<Point<3>> = Kind::HaccLike.generate(600, 31);
+    let euc = SingleTreeBoruvka::new(&points).run(&Serial, &EmstConfig::default());
+    let core = core_distances_sq(&Serial, &points, 1);
+    assert!(core.iter().all(|&c| c == 0.0));
+    let metric = MutualReachability::new(&core);
+    let mrd = SingleTreeBoruvka::new(&points)
+        .run_with_metric(&Serial, &EmstConfig::default(), &metric);
+    assert_eq!(weight_multiset(&euc.edges), weight_multiset(&mrd.edges));
+}

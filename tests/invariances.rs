@@ -1,0 +1,123 @@
+//! Cross-crate metamorphic tests: transformations of the input with a known
+//! exact effect on the EMST. These catch classes of bugs the
+//! oracle-comparison tests can miss (they would need the oracle to be wrong
+//! the same way).
+
+use emst::core::edge::weight_multiset;
+use emst::core::{EmstConfig, SingleTreeBoruvka};
+use emst::datasets::Kind;
+use emst::exec::Threads;
+use emst::geometry::{brute_force_core_distances_sq, MutualReachability, Point};
+use emst::hdbscan::core_distances_sq;
+
+fn emst_multiset(points: &[Point<2>]) -> Vec<u32> {
+    let r = SingleTreeBoruvka::new(points).run(&Threads, &EmstConfig::default());
+    weight_multiset(&r.edges)
+}
+
+#[test]
+fn permutation_invariance() {
+    // Shuffling the input order must not change the tree's weights.
+    let points: Vec<Point<2>> = Kind::VisualVar.generate(900, 5);
+    let base = emst_multiset(&points);
+    for seed in 1..4u64 {
+        let mut shuffled = points.clone();
+        // Deterministic Fisher–Yates.
+        let mut state = seed;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        assert_eq!(emst_multiset(&shuffled), base, "seed {seed}");
+    }
+}
+
+#[test]
+fn power_of_two_scaling_scales_weights_exactly() {
+    // Scaling coordinates by 2 multiplies every squared weight by exactly 4
+    // in IEEE-754 (power-of-two scaling commutes with rounding).
+    let points: Vec<Point<2>> = Kind::Normal.generate(700, 9);
+    let scaled: Vec<Point<2>> =
+        points.iter().map(|p| Point::new([p[0] * 2.0, p[1] * 2.0])).collect();
+    let base = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
+    let big = SingleTreeBoruvka::new(&scaled).run(&Threads, &EmstConfig::default());
+    let mut base_w: Vec<f32> = base.edges.iter().map(|e| e.weight_sq * 4.0).collect();
+    let mut big_w: Vec<f32> = big.edges.iter().map(|e| e.weight_sq).collect();
+    base_w.sort_by(f32::total_cmp);
+    big_w.sort_by(f32::total_cmp);
+    assert_eq!(base_w, big_w);
+    assert!((big.total_weight - 2.0 * base.total_weight).abs() < 1e-9 * big.total_weight);
+}
+
+#[test]
+fn duplicating_a_point_adds_exactly_one_zero_edge() {
+    let mut points: Vec<Point<2>> = Kind::Uniform.generate(500, 13);
+    let base = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
+    points.push(points[123]);
+    let aug = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
+    assert_eq!(aug.edges.len(), base.edges.len() + 1);
+    assert_eq!(aug.total_weight, base.total_weight);
+    let zeros = aug.edges.iter().filter(|e| e.weight_sq == 0.0).count();
+    assert_eq!(zeros, 1);
+}
+
+#[test]
+fn mrd_total_weight_is_monotone_in_k_pts() {
+    // Core distances grow with k, so d_mreach grows pointwise, so the MST
+    // weight cannot decrease.
+    let points: Vec<Point<2>> = Kind::HaccLike.generate(600, 17);
+    let mut last = 0.0f64;
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let core = core_distances_sq(&Threads, &points, k);
+        let metric = MutualReachability::new(&core);
+        let r = SingleTreeBoruvka::new(&points)
+            .run_with_metric(&Threads, &EmstConfig::default(), &metric);
+        assert!(
+            r.total_weight >= last - 1e-9 * r.total_weight,
+            "k={k}: {} < {last}",
+            r.total_weight
+        );
+        last = r.total_weight;
+    }
+}
+
+#[test]
+fn mrd_weights_are_pointwise_at_least_core_distances() {
+    // Every MRD MST edge weight is >= both endpoints' core distances.
+    let points: Vec<Point<2>> = Kind::VisualVar.generate(300, 21);
+    let core = brute_force_core_distances_sq(&points, 6);
+    let metric = MutualReachability::new(&core);
+    let r = SingleTreeBoruvka::new(&points)
+        .run_with_metric(&Threads, &EmstConfig::default(), &metric);
+    for e in &r.edges {
+        assert!(e.weight_sq >= core[e.u as usize]);
+        assert!(e.weight_sq >= core[e.v as usize]);
+        // And >= the actual Euclidean distance.
+        let euclid = points[e.u as usize].squared_distance(&points[e.v as usize]);
+        assert!(e.weight_sq >= euclid);
+        // And equal to the max of the three.
+        let expect = euclid.max(core[e.u as usize]).max(core[e.v as usize]);
+        assert_eq!(e.weight_sq, expect);
+    }
+}
+
+#[test]
+fn adding_a_far_point_extends_the_tree_by_its_nearest_distance() {
+    // A point far outside the hull connects via its nearest neighbour.
+    let points: Vec<Point<2>> = Kind::Uniform.generate(400, 25);
+    let base = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
+    let far = Point::new([100.0, 100.0]);
+    let nearest = points
+        .iter()
+        .map(|p| p.distance(&far) as f64)
+        .fold(f64::INFINITY, f64::min);
+    let mut aug_points = points.clone();
+    aug_points.push(far);
+    let aug = SingleTreeBoruvka::new(&aug_points).run(&Threads, &EmstConfig::default());
+    let delta = aug.total_weight - base.total_weight;
+    assert!(
+        (delta - nearest).abs() < 1e-4 * nearest,
+        "delta {delta} vs nearest {nearest}"
+    );
+}
