@@ -35,5 +35,7 @@ fn main() {
         );
     }
     println!();
-    println!("# paper (Fig. 5, AMD EPYC 7763): MLPACK 0.2-0.7, MemoGFK(S) 0.1-1.2, ArborX(S) 0.5-1.1");
+    println!(
+        "# paper (Fig. 5, AMD EPYC 7763): MLPACK 0.2-0.7, MemoGFK(S) 0.1-1.2, ArborX(S) 0.5-1.1"
+    );
 }

@@ -34,10 +34,7 @@ fn main() {
         let parent = ds.generate(parent_n, 0xF17);
         println!();
         println!("## {} (parent n = {parent_n}, dim = {})", ds.name(), parent.dim());
-        println!(
-            "{:>9} {:>14} {:>12} {:>16}",
-            "n", "MemoGFK(MT)", "ArborX(MT)", "ArborX(A100~)"
-        );
+        println!("{:>9} {:>14} {:>12} {:>16}", "n", "MemoGFK(MT)", "ArborX(MT)", "ArborX(A100~)");
         let mut m = 1000usize;
         while m <= parent_n {
             let sub = subsample(&parent, m, m as u64);

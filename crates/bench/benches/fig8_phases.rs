@@ -27,12 +27,7 @@ const DATASETS: [PaperDataset; 6] = [
 fn wspd_phases(cloud: &PointCloud, parallel: bool) -> (f64, f64, f64, f64) {
     fn inner<const D: usize>(points: &[Point<D>], parallel: bool) -> (f64, f64, f64, f64) {
         let r = emst_wspd::wspd_emst(points, parallel);
-        (
-            r.timings.get("mark"),
-            r.timings.get("mst"),
-            r.timings.get("tree"),
-            r.timings.get("wspd"),
-        )
+        (r.timings.get("mark"), r.timings.get("mst"), r.timings.get("tree"), r.timings.get("wspd"))
     }
     with_cloud(cloud, |p| inner(p, parallel), |p| inner(p, parallel))
 }
@@ -47,11 +42,8 @@ fn single_tree_phases_wall(cloud: &PointCloud) -> (f64, f64) {
 }
 
 fn single_tree_phases_modeled(cloud: &PointCloud, model: &DeviceModel) -> (f64, f64) {
-    let (_, tree, mst) = with_cloud(
-        cloud,
-        |p| single_tree_modeled(p, model),
-        |p| single_tree_modeled(p, model),
-    );
+    let (_, tree, mst) =
+        with_cloud(cloud, |p| single_tree_modeled(p, model), |p| single_tree_modeled(p, model));
     (tree, mst)
 }
 

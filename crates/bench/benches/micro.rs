@@ -100,11 +100,5 @@ fn bench_emst_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_morton,
-    bench_bvh_build,
-    bench_traversal,
-    bench_emst_end_to_end
-);
+criterion_group!(benches, bench_morton, bench_bvh_build, bench_traversal, bench_emst_end_to_end);
 criterion_main!(benches);

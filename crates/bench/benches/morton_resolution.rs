@@ -18,7 +18,9 @@ use emst_geometry::Point;
 
 fn report<const D: usize>(name: &str, points: &[Point<D>]) {
     let features = points.len() * D;
-    for (label, res) in [("64-bit ", MortonResolution::Bits64), ("128-bit", MortonResolution::Bits128)] {
+    for (label, res) in
+        [("64-bit ", MortonResolution::Bits64), ("128-bit", MortonResolution::Bits128)]
+    {
         let q = Bvh::build_with_resolution(&Serial, points, res).quality();
         let cfg = EmstConfig { morton_resolution: res, ..Default::default() };
         let (r, secs) = time_it(|| SingleTreeBoruvka::new(points).run(&Serial, &cfg));

@@ -38,10 +38,7 @@ fn main() {
         let m = n.min(30_000);
         let (_, t_bf_raw) = time_it(|| bentley_friedman_emst(&points[..m]));
         let t_bf = t_bf_raw * (n as f64 / m as f64); // linear extrapolation (optimistic)
-        println!(
-            "{:<16} {:>12.3} s {:>12.3} s {:>15.3} s*",
-            name, t_bvh, t_kd, t_bf
-        );
+        println!("{:<16} {:>12.3} s {:>12.3} s {:>15.3} s*", name, t_bvh, t_kd, t_bf);
     }
     println!();
     println!("# * Bentley-Friedman extrapolated linearly from n = min(n, 30000) — optimistic.");

@@ -20,10 +20,7 @@ use emst_geometry::Point;
 
 /// The dataset scale factor (`EMST_BENCH_SCALE`, default 0.2).
 pub fn bench_scale() -> f64 {
-    std::env::var("EMST_BENCH_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.2)
+    std::env::var("EMST_BENCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2)
 }
 
 /// Absolute dataset size override (`EMST_BENCH_N`).
@@ -69,42 +66,29 @@ pub fn single_tree_modeled<const D: usize>(
 ) -> (f64, f64, f64) {
     let gpu = GpuSim::new();
     let r = SingleTreeBoruvka::new(points).run(&gpu, &EmstConfig::default());
-    let tree = model
-        .time(r.launches_tree.0, r.launches_tree.1, &r.work_tree)
-        .total_s();
-    let mst = model
-        .time(r.launches_mst.0, r.launches_mst.1, &r.work_mst())
-        .total_s();
+    let tree = model.time(r.launches_tree.0, r.launches_tree.1, &r.work_tree).total_s();
+    let mst = model.time(r.launches_mst.0, r.launches_mst.1, &r.work_mst()).total_s();
     (tree + mst, tree, mst)
 }
 
 /// Single-tree EMST rate for an erased cloud on a wall-clock backend.
 pub fn single_tree_rate_wall<S: ExecSpace>(cloud: &PointCloud, space: &S) -> f64 {
-    let secs = with_cloud(
-        cloud,
-        |p| single_tree_wall(p, space).0,
-        |p| single_tree_wall(p, space).0,
-    );
+    let secs =
+        with_cloud(cloud, |p| single_tree_wall(p, space).0, |p| single_tree_wall(p, space).0);
     mfeatures_per_sec(cloud.features(), secs)
 }
 
 /// Single-tree EMST rate for an erased cloud under a device model.
 pub fn single_tree_rate_modeled(cloud: &PointCloud, model: &DeviceModel) -> f64 {
-    let secs = with_cloud(
-        cloud,
-        |p| single_tree_modeled(p, model).0,
-        |p| single_tree_modeled(p, model).0,
-    );
+    let secs =
+        with_cloud(cloud, |p| single_tree_modeled(p, model).0, |p| single_tree_modeled(p, model).0);
     mfeatures_per_sec(cloud.features(), secs)
 }
 
 /// MemoGFK-like rate for an erased cloud.
 pub fn wspd_rate(cloud: &PointCloud, parallel: bool) -> f64 {
-    let secs = with_cloud(
-        cloud,
-        |p| wspd_total_secs(p, parallel),
-        |p| wspd_total_secs(p, parallel),
-    );
+    let secs =
+        with_cloud(cloud, |p| wspd_total_secs(p, parallel), |p| wspd_total_secs(p, parallel));
     mfeatures_per_sec(cloud.features(), secs)
 }
 
@@ -129,9 +113,7 @@ pub fn dual_tree_rate(cloud: &PointCloud) -> f64 {
 /// problem). Panics on mismatch.
 pub fn assert_agreement(cloud: &PointCloud) {
     fn check<const D: usize>(points: &[Point<D>]) {
-        let a = SingleTreeBoruvka::new(points)
-            .run(&Threads, &EmstConfig::default())
-            .total_weight;
+        let a = SingleTreeBoruvka::new(points).run(&Threads, &EmstConfig::default()).total_weight;
         let b = emst_wspd::wspd_emst(points, true).total_weight;
         let rel = ((a - b) / a.max(1e-30)).abs();
         assert!(rel < 1e-5, "single-tree {a} vs wspd {b}");

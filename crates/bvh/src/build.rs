@@ -228,8 +228,8 @@ impl<const D: usize> Bvh<D> {
                         break;
                     }
                     // Attach to the nearer boundary with the smaller delta.
-                    let go_left_child =
-                        l < n - 1 && (f == 0 || delta(codes, l as isize) < delta(codes, f as isize - 1));
+                    let go_left_child = l < n - 1
+                        && (f == 0 || delta(codes, l as isize) < delta(codes, f as isize - 1));
                     let p = if go_left_child { l } else { f - 1 };
                     if go_left_child {
                         left[p].store(node, Ordering::Relaxed);
@@ -269,9 +269,8 @@ impl<const D: usize> Bvh<D> {
             });
         }
 
-        let unwrap = |v: Vec<AtomicU32>| -> Vec<u32> {
-            v.into_iter().map(AtomicU32::into_inner).collect()
-        };
+        let unwrap =
+            |v: Vec<AtomicU32>| -> Vec<u32> { v.into_iter().map(AtomicU32::into_inner).collect() };
         Self {
             layout,
             scene,
@@ -449,9 +448,8 @@ impl<const D: usize> Bvh<D> {
                 stack.push(child);
             }
             // Tightness: the box is exactly the union of the children's.
-            let union = self
-                .node_aabb(self.left_child(id))
-                .union(&self.node_aabb(self.right_child(id)));
+            let union =
+                self.node_aabb(self.left_child(id)).union(&self.node_aabb(self.right_child(id)));
             if union != bb {
                 return Err(format!("node {id} box is not the union of its children"));
             }
@@ -525,8 +523,7 @@ mod tests {
 
     #[test]
     fn collinear_points_validate() {
-        let pts: Vec<Point<2>> =
-            (0..257).map(|i| Point::new([i as f32, 0.0])).collect();
+        let pts: Vec<Point<2>> = (0..257).map(|i| Point::new([i as f32, 0.0])).collect();
         let bvh = Bvh::build(&Serial, &pts);
         bvh.validate().unwrap();
     }
@@ -571,10 +568,7 @@ mod tests {
         order.sort_unstable();
         assert!(order.iter().enumerate().all(|(i, &o)| i as u32 == o));
         for rank in 0..pts.len() as u32 {
-            assert_eq!(
-                *bvh.leaf_point(rank),
-                pts[bvh.point_index(rank) as usize]
-            );
+            assert_eq!(*bvh.leaf_point(rank), pts[bvh.point_index(rank) as usize]);
         }
     }
 

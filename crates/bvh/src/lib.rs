@@ -28,6 +28,6 @@ pub mod quality;
 pub mod traverse;
 
 pub use build::{Bvh, MortonResolution};
-pub use quality::TreeQuality;
 pub use node::{NodeId, INVALID_NODE};
+pub use quality::TreeQuality;
 pub use traverse::{NearestHit, TraversalStats};

@@ -9,7 +9,6 @@
 //! numbers to show that 128-bit codes (the paper's proposed fix) repair the
 //! hierarchy.
 
-
 use crate::build::Bvh;
 use crate::node::NodeId;
 
@@ -116,9 +115,7 @@ mod tests {
         pub fn uniform(n: usize, seed: u64) -> Vec<Point<2>> {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..n)
-                .map(|_| {
-                    Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)])
-                })
+                .map(|_| Point::new([rng.random_range(0.0f32..1.0), rng.random_range(0.0f32..1.0)]))
                 .collect()
         }
     }
@@ -161,8 +158,7 @@ mod tests {
             }
         }
         let q64 = Bvh::build(&Serial, &pts).quality();
-        let q128 =
-            Bvh::build_with_resolution(&Serial, &pts, MortonResolution::Bits128).quality();
+        let q128 = Bvh::build_with_resolution(&Serial, &pts, MortonResolution::Bits128).quality();
         assert!(
             q128.mean_sibling_overlap <= q64.mean_sibling_overlap + 1e-9,
             "128-bit codes must not increase overlap: {} vs {}",
@@ -170,9 +166,7 @@ mod tests {
             q64.mean_sibling_overlap
         );
         // Both trees remain valid.
-        Bvh::build_with_resolution(&Serial, &pts, MortonResolution::Bits128)
-            .validate()
-            .unwrap();
+        Bvh::build_with_resolution(&Serial, &pts, MortonResolution::Bits128).validate().unwrap();
     }
 
     #[test]

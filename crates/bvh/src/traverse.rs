@@ -182,11 +182,7 @@ impl<const D: usize> Bvh<D> {
 
     /// Nearest neighbour of `query` among all points except `exclude_rank`
     /// (pass `u32::MAX` to exclude nothing). Euclidean metric.
-    pub fn nearest_neighbor(
-        &self,
-        query: &Point<D>,
-        exclude_rank: u32,
-    ) -> Option<NearestHit> {
+    pub fn nearest_neighbor(&self, query: &Point<D>, exclude_rank: u32) -> Option<NearestHit> {
         let mut stats = TraversalStats::default();
         self.nearest_with(
             query,
@@ -355,8 +351,7 @@ impl KnnHeap {
 
     /// Extracts the kept candidates sorted by `(distance, rank)` ascending.
     pub fn into_sorted(self) -> Vec<(u32, Scalar)> {
-        let mut v: Vec<(u32, Scalar)> =
-            self.heap.into_iter().map(|(d, r)| (r, d)).collect();
+        let mut v: Vec<(u32, Scalar)> = self.heap.into_iter().map(|(d, r)| (r, d)).collect();
         v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         v
     }
@@ -424,11 +419,8 @@ mod tests {
         let bvh = Bvh::build(&Serial, &pts);
         let q = Point::new([0.3, 0.3]);
         for &r2 in &[0.001f32, 0.05, 0.5, 10.0] {
-            let mut got: Vec<u32> = bvh
-                .within_radius(&q, r2)
-                .into_iter()
-                .map(|rank| bvh.point_index(rank))
-                .collect();
+            let mut got: Vec<u32> =
+                bvh.within_radius(&q, r2).into_iter().map(|rank| bvh.point_index(rank)).collect();
             got.sort_unstable();
             let mut expect: Vec<u32> = pts
                 .iter()
@@ -463,13 +455,8 @@ mod tests {
         let bvh = Bvh::build(&Serial, &pts);
         let mut stats = TraversalStats::default();
         // radius² = 1: nothing within
-        let hit = bvh.nearest_with(
-            &Point::new([5.0, 0.0]),
-            1.0,
-            |_| false,
-            |_, e| Some(e),
-            &mut stats,
-        );
+        let hit =
+            bvh.nearest_with(&Point::new([5.0, 0.0]), 1.0, |_| false, |_, e| Some(e), &mut stats);
         assert!(hit.is_none());
     }
 

@@ -181,8 +181,7 @@ impl<'a, const D: usize> SingleTreeBoruvka<'a, D> {
         let launches1 = kernel_snapshot(space);
 
         let mst_start = std::time::Instant::now();
-        let (edges, iterations) =
-            run_boruvka(space, &bvh, metric, config, &counters, &mut timings);
+        let (edges, iterations) = run_boruvka(space, &bvh, metric, config, &counters, &mut timings);
         timings.record("mst", mst_start.elapsed().as_secs_f64());
         let launches2 = kernel_snapshot(space);
 
@@ -236,14 +235,14 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
     };
     let mut cand_ngb = vec![u32::MAX; n];
     let mut cand_dist = vec![Scalar::INFINITY; n];
-    let (comp_key, comp_pair): (Vec<AtomicU64Min>, Vec<AtomicU64Min>) =
-        match config.edge_selection {
-            EdgeSelection::Atomic64 => (
-                (0..n).map(|_| AtomicU64Min::new_max()).collect(),
-                (0..n).map(|_| AtomicU64Min::new_max()).collect(),
-            ),
-            EdgeSelection::Locked => (vec![], vec![]),
-        };
+    let (comp_key, comp_pair): (Vec<AtomicU64Min>, Vec<AtomicU64Min>) = match config.edge_selection
+    {
+        EdgeSelection::Atomic64 => (
+            (0..n).map(|_| AtomicU64Min::new_max()).collect(),
+            (0..n).map(|_| AtomicU64Min::new_max()).collect(),
+        ),
+        EdgeSelection::Locked => (vec![], vec![]),
+    };
 
     let mut comp_edge = vec![Candidate::NONE; n];
     let mut next_arr = vec![u32::MAX; n];
@@ -278,9 +277,8 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                 space.parallel_for(n - 1, |i| {
                     let (li, lj) = (labels[i], labels[i + 1]);
                     if li != lj {
-                        let e = bvh
-                            .leaf_point(i as u32)
-                            .squared_distance(bvh.leaf_point(i as u32 + 1));
+                        let e =
+                            bvh.leaf_point(i as u32).squared_distance(bvh.leaf_point(i as u32 + 1));
                         let u = bvh.point_index(i as u32);
                         let v = bvh.point_index(i as u32 + 1);
                         let w = metric.squared_distance(u, v, e);
@@ -310,11 +308,8 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                 TraversalStats::default(),
                 |i| {
                     let comp = labels[i];
-                    let radius = if use_bounds {
-                        upper[comp as usize].load()
-                    } else {
-                        Scalar::INFINITY
-                    };
+                    let radius =
+                        if use_bounds { upper[comp as usize].load() } else { Scalar::INFINITY };
                     let mut st = TraversalStats::default();
                     let u_orig = bvh.point_index(i as u32);
                     // Metric-specific early exit: if even the query's own
@@ -326,9 +321,7 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                         bvh.nearest_with(
                             bvh.leaf_point(i as u32),
                             radius,
-                            |node| {
-                                subtree_skipping && node_labels[node as usize] == comp
-                            },
+                            |node| subtree_skipping && node_labels[node as usize] == comp,
                             |rank, e| {
                                 if labels[rank as usize] == comp {
                                     return None;
@@ -619,9 +612,8 @@ mod tests {
     fn grid_with_massive_ties_matches_brute_force() {
         // Integer grid: every nearest-neighbour distance ties. This is the
         // adversarial case for Borůvka convergence (§2 tie-breaking).
-        let pts: Vec<Point<2>> = (0..12)
-            .flat_map(|x| (0..12).map(move |y| Point::new([x as f32, y as f32])))
-            .collect();
+        let pts: Vec<Point<2>> =
+            (0..12).flat_map(|x| (0..12).map(move |y| Point::new([x as f32, y as f32]))).collect();
         for selection in [EdgeSelection::Locked, EdgeSelection::Atomic64] {
             let cfg = EmstConfig { edge_selection: selection, ..EmstConfig::default() };
             check_against_brute_force_2d(&pts, &cfg);
@@ -750,11 +742,7 @@ mod tests {
             );
             verify_spanning_tree(pts.len(), &result.edges).unwrap();
             let brute = brute_force_mst(&pts, &metric);
-            assert_eq!(
-                weight_multiset(&result.edges),
-                weight_multiset(&brute),
-                "k_pts={k}"
-            );
+            assert_eq!(weight_multiset(&result.edges), weight_multiset(&brute), "k_pts={k}");
         }
     }
 
@@ -763,8 +751,8 @@ mod tests {
         let pts = random_points_2d(80, 71);
         let core = brute_force_core_distances_sq(&pts, 1);
         let metric = MutualReachability::new(&core);
-        let mrd = SingleTreeBoruvka::new(&pts)
-            .run_with_metric(&Serial, &EmstConfig::default(), &metric);
+        let mrd =
+            SingleTreeBoruvka::new(&pts).run_with_metric(&Serial, &EmstConfig::default(), &metric);
         let euc = SingleTreeBoruvka::new(&pts).run(&Serial, &EmstConfig::default());
         assert_eq!(weight_multiset(&mrd.edges), weight_multiset(&euc.edges));
     }

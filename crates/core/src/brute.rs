@@ -13,10 +13,7 @@ use crate::edge::Edge;
 /// algorithm. Edges are ordered by the `(weight, min, max)` total order, so
 /// the result is the unique MST selected by the paper's tie-breaking rule
 /// (in original-index space).
-pub fn brute_force_mst<M: Metric, const D: usize>(
-    points: &[Point<D>],
-    metric: &M,
-) -> Vec<Edge> {
+pub fn brute_force_mst<M: Metric, const D: usize>(points: &[Point<D>], metric: &M) -> Vec<Edge> {
     let n = points.len();
     if n < 2 {
         return vec![];
@@ -97,11 +94,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_connect_at_zero_cost() {
-        let pts = vec![
-            Point::new([1.0f32, 1.0]),
-            Point::new([1.0, 1.0]),
-            Point::new([2.0, 1.0]),
-        ];
+        let pts = vec![Point::new([1.0f32, 1.0]), Point::new([1.0, 1.0]), Point::new([2.0, 1.0])];
         let mst = brute_force_emst(&pts);
         verify_spanning_tree(3, &mst).unwrap();
         assert_eq!(total_weight(&mst), 1.0);
@@ -111,11 +104,7 @@ mod tests {
     fn mutual_reachability_mst_differs_from_euclidean() {
         // A tight pair far from a third point: with k=3 the core distances
         // inflate the tight pair's edge.
-        let pts = vec![
-            Point::new([0.0f32, 0.0]),
-            Point::new([0.1, 0.0]),
-            Point::new([5.0, 0.0]),
-        ];
+        let pts = vec![Point::new([0.0f32, 0.0]), Point::new([0.1, 0.0]), Point::new([5.0, 0.0])];
         let core = brute_force_core_distances_sq(&pts, 3);
         let m = MutualReachability::new(&core);
         let mst_e = brute_force_emst(&pts);

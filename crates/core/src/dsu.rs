@@ -16,11 +16,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            num_sets: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], num_sets: n }
     }
 
     /// Number of elements.

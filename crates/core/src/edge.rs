@@ -77,10 +77,8 @@ pub fn verify_spanning_tree(n: usize, edges: &[Edge]) -> Result<(), String> {
 /// two MSTs of the same graph (all minimum spanning trees share it even when
 /// tie-breaking selects different edges).
 pub fn weight_multiset(edges: &[Edge]) -> Vec<u32> {
-    let mut bits: Vec<u32> = edges
-        .iter()
-        .map(|e| emst_geometry::nonneg_f32_to_ordered_bits(e.weight_sq))
-        .collect();
+    let mut bits: Vec<u32> =
+        edges.iter().map(|e| emst_geometry::nonneg_f32_to_ordered_bits(e.weight_sq)).collect();
     bits.sort_unstable();
     bits
 }

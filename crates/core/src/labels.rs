@@ -80,11 +80,7 @@ mod tests {
 
     /// Reference: recursively recompute what every internal label must be.
     fn check_reduced<const D: usize>(bvh: &Bvh<D>, labels: &[u32], node_labels: &[u32]) {
-        fn subtree_label<const D: usize>(
-            bvh: &Bvh<D>,
-            labels: &[u32],
-            node: u32,
-        ) -> Option<u32> {
+        fn subtree_label<const D: usize>(bvh: &Bvh<D>, labels: &[u32], node: u32) -> Option<u32> {
             if bvh.is_leaf(node) {
                 return Some(labels[bvh.leaf_rank(node) as usize]);
             }
@@ -105,11 +101,9 @@ mod tests {
         let pts = random_points(n, seed);
         let bvh = Bvh::build(&Serial, &pts);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
-        let labels: Vec<u32> =
-            (0..n).map(|_| rng.random_range(0..num_components)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.random_range(0..num_components)).collect();
         let mut node_labels = vec![0u32; bvh.num_nodes()];
-        let flags: Vec<AtomicU32> =
-            (0..bvh.num_internal()).map(|_| AtomicU32::new(7)).collect(); // stale flags
+        let flags: Vec<AtomicU32> = (0..bvh.num_internal()).map(|_| AtomicU32::new(7)).collect(); // stale flags
         reduce_labels(&Threads, &bvh, &labels, &mut node_labels, &flags);
         check_reduced(&bvh, &labels, &node_labels);
     }
@@ -120,8 +114,7 @@ mod tests {
         let bvh = Bvh::build(&Serial, &pts);
         let labels = vec![3u32; 100];
         let mut node_labels = vec![0u32; bvh.num_nodes()];
-        let flags: Vec<AtomicU32> =
-            (0..bvh.num_internal()).map(|_| AtomicU32::new(0)).collect();
+        let flags: Vec<AtomicU32> = (0..bvh.num_internal()).map(|_| AtomicU32::new(0)).collect();
         reduce_labels(&Serial, &bvh, &labels, &mut node_labels, &flags);
         assert!(node_labels.iter().all(|&l| l == 3));
     }
@@ -132,8 +125,7 @@ mod tests {
         let bvh = Bvh::build(&Serial, &pts);
         let labels: Vec<u32> = (0..64).collect();
         let mut node_labels = vec![0u32; bvh.num_nodes()];
-        let flags: Vec<AtomicU32> =
-            (0..bvh.num_internal()).map(|_| AtomicU32::new(0)).collect();
+        let flags: Vec<AtomicU32> = (0..bvh.num_internal()).map(|_| AtomicU32::new(0)).collect();
         reduce_labels(&Serial, &bvh, &labels, &mut node_labels, &flags);
         for node in 0..bvh.num_internal() as u32 {
             assert_eq!(node_labels[node as usize], INVALID_LABEL);

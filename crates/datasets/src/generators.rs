@@ -80,9 +80,8 @@ pub fn hacc_like<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
     let halos = (n / 400).max(1);
     let in_halos = n - background;
     // Power-law halo masses: w ~ u^{-0.8}, normalized to in_halos points.
-    let mut weights: Vec<f64> = (0..halos)
-        .map(|_| rng.random_range(0.02f64..1.0).powf(-0.8))
-        .collect();
+    let mut weights: Vec<f64> =
+        (0..halos).map(|_| rng.random_range(0.02f64..1.0).powf(-0.8)).collect();
     let wsum: f64 = weights.iter().sum();
     for w in weights.iter_mut() {
         *w = *w / wsum * in_halos as f64;
@@ -269,11 +268,7 @@ fn gaussian_point<const D: usize>(rng: &mut StdRng, sigma: Scalar) -> Point<D> {
     p
 }
 
-fn offset_gaussian<const D: usize>(
-    rng: &mut StdRng,
-    center: &Point<D>,
-    sigma: Scalar,
-) -> Point<D> {
+fn offset_gaussian<const D: usize>(rng: &mut StdRng, center: &Point<D>, sigma: Scalar) -> Point<D> {
     let g = gaussian_point::<D>(rng, sigma);
     let mut p = *center;
     for d in 0..D {
@@ -283,11 +278,7 @@ fn offset_gaussian<const D: usize>(
 }
 
 /// A point at distance `r` from `center` in a uniformly random direction.
-fn offset_on_sphere<const D: usize>(
-    rng: &mut StdRng,
-    center: &Point<D>,
-    r: Scalar,
-) -> Point<D> {
+fn offset_on_sphere<const D: usize>(rng: &mut StdRng, center: &Point<D>, r: Scalar) -> Point<D> {
     // Normalize a Gaussian sample for a uniform direction.
     let g = gaussian_point::<D>(rng, 1.0);
     let norm = (0..D).map(|d| g[d] * g[d]).sum::<f32>().sqrt().max(1e-12);

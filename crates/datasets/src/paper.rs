@@ -90,11 +90,8 @@ impl PaperDataset {
     ];
 
     /// The three scaling datasets of Figure 7.
-    pub const FIGURE7: [PaperDataset; 3] = [
-        PaperDataset::Hacc497M,
-        PaperDataset::Normal300M2,
-        PaperDataset::Uniform300M3,
-    ];
+    pub const FIGURE7: [PaperDataset; 3] =
+        [PaperDataset::Hacc497M, PaperDataset::Normal300M2, PaperDataset::Uniform300M3];
 
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -139,9 +136,9 @@ impl PaperDataset {
             PaperDataset::Ngsim | PaperDataset::Ngsimlocation3 => Kind::NgsimLike,
             PaperDataset::PortoTaxi => Kind::PortoTaxiLike,
             PaperDataset::VisualVar10M2D | PaperDataset::VisualVar10M3D => Kind::VisualVar,
-            PaperDataset::Normal100M3
-            | PaperDataset::Normal100M2
-            | PaperDataset::Normal300M2 => Kind::Normal,
+            PaperDataset::Normal100M3 | PaperDataset::Normal100M2 | PaperDataset::Normal300M2 => {
+                Kind::Normal
+            }
             PaperDataset::Uniform100M2
             | PaperDataset::Uniform100M3
             | PaperDataset::Uniform300M3 => Kind::Uniform,
@@ -237,9 +234,6 @@ mod tests {
 
     #[test]
     fn kind_generate_matches_free_functions() {
-        assert_eq!(
-            Kind::Uniform.generate::<2>(50, 7),
-            generators::uniform::<2>(50, 7)
-        );
+        assert_eq!(Kind::Uniform.generate::<2>(50, 7), generators::uniform::<2>(50, 7));
     }
 }

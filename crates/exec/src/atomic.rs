@@ -124,9 +124,8 @@ mod tests {
         });
         // The sequence hits (i*37+1) mod 1000; minimum over i is 0? 37i+1 ≡ 0 mod 1000
         // → i ≡ 27*... check smallest value by brute force instead:
-        let expect = (0..10_000u32)
-            .map(|i| (i as f32 * 37.0 + 1.0) % 1000.0)
-            .fold(f32::INFINITY, f32::min);
+        let expect =
+            (0..10_000u32).map(|i| (i as f32 * 37.0 + 1.0) % 1000.0).fold(f32::INFINITY, f32::min);
         assert_eq!(m.load(), expect);
     }
 
@@ -146,10 +145,7 @@ mod tests {
         (0..100_000u64).into_par_iter().for_each(|i| {
             m.fetch_min(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         });
-        let expect = (0..100_000u64)
-            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            .min()
-            .unwrap();
+        let expect = (0..100_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).min().unwrap();
         assert_eq!(m.load(), expect);
     }
 

@@ -31,9 +31,8 @@ fn shuffled_indices(n: usize, seed: u64) -> impl Iterator<Item = usize> {
     // Pick an odd stride near a golden-ratio fraction of n, then make it
     // coprime with n by trial increments (terminates quickly: consecutive
     // odd numbers share no factor with n forever only if n == 0).
-    let mut stride = ((n as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) % n.max(1) as u64)
-        as usize
-        | 1;
+    let mut stride =
+        ((n as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) % n.max(1) as u64) as usize | 1;
     while n > 0 && gcd(stride, n) != 1 {
         stride += 2;
     }

@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn counters_accumulate_across_threads() {
         let c = Counters::new();
-        (0..1000).into_par_iter().for_each(|_| {
+        (0..1000u32).into_par_iter().for_each(|_| {
             c.add_distance_computations(2);
             c.add_node_visits(1);
         });

@@ -115,11 +115,7 @@ impl DeviceModel {
             + work.heap_ops as f64 * self.cycles_per_heap_op;
         let compute_s = cycles / self.effective_cycles_per_second();
         let memory_s = work.bytes_accessed as f64 / self.mem_bandwidth;
-        ModeledTime {
-            launch_s,
-            compute_s,
-            memory_s,
-        }
+        ModeledTime { launch_s, compute_s, memory_s }
     }
 }
 

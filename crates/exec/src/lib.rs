@@ -33,8 +33,8 @@ pub mod timings;
 
 pub use atomic::{AtomicF32Min, AtomicU64Min};
 pub use chaos::ChaosSerial;
-pub use shared::SyncUnsafeSlice;
 pub use counters::Counters;
 pub use device::{DeviceModel, ModeledTime};
+pub use shared::SyncUnsafeSlice;
 pub use space::{ExecSpace, GpuSim, KernelStats, Serial, Threads};
 pub use timings::PhaseTimings;

@@ -161,10 +161,7 @@ impl ExecSpace for Threads {
         M: Fn(usize) -> T + Sync + Send,
         C: Fn(T, T) -> T + Sync + Send,
     {
-        (0..n)
-            .into_par_iter()
-            .map(map)
-            .reduce(|| identity.clone(), &combine)
+        (0..n).into_par_iter().map(map).reduce(|| identity.clone(), &combine)
     }
 
     fn parallel_scan_exclusive(&self, data: &mut [usize]) -> usize {
@@ -227,10 +224,7 @@ impl ExecSpace for GpuSim {
         C: Fn(T, T) -> T + Sync + Send,
     {
         self.stats.record_launch(n);
-        (0..n)
-            .into_par_iter()
-            .map(map)
-            .reduce(|| identity.clone(), &combine)
+        (0..n).into_par_iter().map(map).reduce(|| identity.clone(), &combine)
     }
 
     fn parallel_scan_exclusive(&self, data: &mut [usize]) -> usize {
@@ -279,21 +273,17 @@ fn scan_exclusive_parallel(data: &mut [usize]) -> usize {
     if data.len() <= BLOCK {
         return scan_exclusive_serial(data);
     }
-    let mut block_sums: Vec<usize> = data
-        .par_chunks(BLOCK)
-        .map(|chunk| chunk.iter().sum())
-        .collect();
+    let mut block_sums: Vec<usize> =
+        data.par_chunks(BLOCK).map(|chunk| chunk.iter().sum()).collect();
     let total = scan_exclusive_serial(&mut block_sums);
-    data.par_chunks_mut(BLOCK)
-        .zip(block_sums.par_iter())
-        .for_each(|(chunk, &offset)| {
-            let mut acc = offset;
-            for x in chunk.iter_mut() {
-                let v = *x;
-                *x = acc;
-                acc += v;
-            }
-        });
+    data.par_chunks_mut(BLOCK).zip(block_sums.par_iter()).for_each(|(chunk, &offset)| {
+        let mut acc = offset;
+        for x in chunk.iter_mut() {
+            let v = *x;
+            *x = acc;
+            acc += v;
+        }
+    });
     total
 }
 

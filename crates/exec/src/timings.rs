@@ -39,10 +39,7 @@ impl PhaseTimings {
 
     /// Seconds recorded for `name` (0 when absent).
     pub fn get(&self, name: &str) -> f64 {
-        self.records
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map_or(0.0, |(_, s)| *s)
+        self.records.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, s)| *s)
     }
 
     /// Sum of all recorded phases.

@@ -21,10 +21,7 @@ impl<const D: usize> Aabb<D> {
     /// The empty box (identity element of [`Aabb::expand_box`]).
     #[inline]
     pub const fn empty() -> Self {
-        Self {
-            min: Point::new([Scalar::INFINITY; D]),
-            max: Point::new([Scalar::NEG_INFINITY; D]),
-        }
+        Self { min: Point::new([Scalar::INFINITY; D]), max: Point::new([Scalar::NEG_INFINITY; D]) }
     }
 
     /// A degenerate box containing exactly one point.
@@ -71,10 +68,7 @@ impl<const D: usize> Aabb<D> {
     /// Union of two boxes.
     #[inline]
     pub fn union(&self, other: &Self) -> Self {
-        Self {
-            min: self.min.min(&other.min),
-            max: self.max.max(&other.max),
-        }
+        Self { min: self.min.min(&other.min), max: self.max.max(&other.max) }
     }
 
     /// True when `p` lies inside the box (boundary inclusive).
@@ -209,11 +203,7 @@ mod tests {
 
     #[test]
     fn from_points_is_tight() {
-        let pts = [
-            Point::new([1.0, 5.0]),
-            Point::new([-2.0, 3.0]),
-            Point::new([0.0, 7.0]),
-        ];
+        let pts = [Point::new([1.0, 5.0]), Point::new([-2.0, 3.0]), Point::new([0.0, 7.0])];
         let b = Aabb::from_points(&pts);
         assert_eq!(b.min, Point::new([-2.0, 3.0]));
         assert_eq!(b.max, Point::new([1.0, 7.0]));

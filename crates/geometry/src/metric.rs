@@ -86,9 +86,7 @@ impl<'a> MutualReachability<'a> {
 impl Metric for MutualReachability<'_> {
     #[inline]
     fn squared_distance(&self, u: u32, v: u32, euclidean_sq: Scalar) -> Scalar {
-        euclidean_sq
-            .max(self.core_sq[u as usize])
-            .max(self.core_sq[v as usize])
+        euclidean_sq.max(self.core_sq[u as usize]).max(self.core_sq[v as usize])
     }
 
     /// `d_mreach(u, ·) >= d_core(u)` always, so the box bound can be
@@ -164,22 +162,14 @@ mod tests {
 
     #[test]
     fn brute_force_core_distances_k1_is_zero() {
-        let pts = vec![
-            Point::new([0.0, 0.0]),
-            Point::new([1.0, 0.0]),
-            Point::new([0.0, 2.0]),
-        ];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([1.0, 0.0]), Point::new([0.0, 2.0])];
         let core = brute_force_core_distances_sq(&pts, 1);
         assert_eq!(core, vec![0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn brute_force_core_distances_k2_is_nearest_neighbor() {
-        let pts = vec![
-            Point::new([0.0, 0.0]),
-            Point::new([1.0, 0.0]),
-            Point::new([0.0, 2.0]),
-        ];
+        let pts = vec![Point::new([0.0, 0.0]), Point::new([1.0, 0.0]), Point::new([0.0, 2.0])];
         let core = brute_force_core_distances_sq(&pts, 2);
         assert_eq!(core, vec![1.0, 1.0, 4.0]);
     }

@@ -57,9 +57,7 @@ pub fn prim(g: &WeightedGraph) -> Vec<Edge> {
             // this weight with the canonical tie-break.
             let mut best: Option<(u32, u32, u32)> = None;
             let mut src = u32::MAX;
-            for &(v, w) in
-                &neighbors[offsets[dst] as usize..offsets[dst + 1] as usize]
-            {
+            for &(v, w) in &neighbors[offsets[dst] as usize..offsets[dst + 1] as usize] {
                 if !in_tree[v as usize] || v as usize == dst {
                     continue;
                 }
@@ -67,11 +65,7 @@ pub fn prim(g: &WeightedGraph) -> Vec<Edge> {
                 if cand_bits != wbits {
                     continue;
                 }
-                let key = (
-                    cand_bits,
-                    (dst as u32).min(v),
-                    (dst as u32).max(v),
-                );
+                let key = (cand_bits, (dst as u32).min(v), (dst as u32).max(v));
                 if best.is_none() || key < best.unwrap() {
                     best = Some(key);
                     src = v;
@@ -98,12 +92,7 @@ fn push_cut_edges(
     for &(v, w) in &neighbors[offsets[u] as usize..offsets[u + 1] as usize] {
         if !in_tree[v as usize] {
             let bits = emst_geometry::nonneg_f32_to_ordered_bits(w);
-            heap.push(Reverse((
-                bits,
-                (u as u32).min(v),
-                (u as u32).max(v),
-                v,
-            )));
+            heap.push(Reverse((bits, (u as u32).min(v), (u as u32).max(v), v)));
         }
     }
 }
@@ -135,11 +124,9 @@ pub fn boruvka(g: &WeightedGraph) -> Vec<Edge> {
         if !any {
             break;
         }
-        for c in 0..g.n {
-            if let Some(e) = best[c] {
-                if dsu.union(e.u as usize, e.v as usize) {
-                    mst.push(e);
-                }
+        for e in best.iter().flatten() {
+            if dsu.union(e.u as usize, e.v as usize) {
+                mst.push(*e);
             }
         }
     }
@@ -165,14 +152,7 @@ mod tests {
     fn all_three_agree_on_a_simple_graph() {
         let g = WeightedGraph::new(
             5,
-            vec![
-                (0, 1, 1.0),
-                (1, 2, 2.0),
-                (2, 3, 3.0),
-                (3, 4, 4.0),
-                (0, 4, 10.0),
-                (1, 3, 2.5),
-            ],
+            vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0), (0, 4, 10.0), (1, 3, 2.5)],
         );
         let k = norm(kruskal(&g));
         assert_eq!(k, norm(prim(&g)));
@@ -206,10 +186,7 @@ mod tests {
     fn equal_weight_edges_resolve_identically() {
         // A 4-cycle of equal weights: the MST is determined purely by the
         // tie-breaking order.
-        let g = WeightedGraph::new(
-            4,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)],
-        );
+        let g = WeightedGraph::new(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 1.0)]);
         let k = norm(kruskal(&g));
         assert_eq!(k, norm(prim(&g)));
         assert_eq!(k, norm(boruvka(&g)));
@@ -236,10 +213,7 @@ mod tests {
         (2usize..30).prop_flat_map(|n| {
             let edge = (0..n as u32, 0..n as u32, 0u32..16);
             prop::collection::vec(edge, 0..120).prop_map(move |raw| {
-                WeightedGraph::new(
-                    n,
-                    raw.into_iter().map(|(u, v, w)| (u, v, w as f32 * 0.25)),
-                )
+                WeightedGraph::new(n, raw.into_iter().map(|(u, v, w)| (u, v, w as f32 * 0.25)))
             })
         })
     }

@@ -38,11 +38,7 @@ impl WeightedGraph {
         let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for u in 0..n {
             for v in (u + 1)..n {
-                edges.push((
-                    u as u32,
-                    v as u32,
-                    points[u].squared_distance(&points[v]),
-                ));
+                edges.push((u as u32, v as u32, points[u].squared_distance(&points[v])));
             }
         }
         Self::new(n, edges)
@@ -100,10 +96,7 @@ mod tests {
 
     #[test]
     fn construction_canonicalizes_and_dedups() {
-        let g = WeightedGraph::new(
-            3,
-            vec![(1, 0, 4.0), (0, 1, 4.0), (2, 1, 1.0), (0, 0, 9.0)],
-        );
+        let g = WeightedGraph::new(3, vec![(1, 0, 4.0), (0, 1, 4.0), (2, 1, 1.0), (0, 0, 9.0)]);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edges[0], Edge::new(1, 2, 1.0));
         assert_eq!(g.edges[1], Edge::new(0, 1, 4.0));

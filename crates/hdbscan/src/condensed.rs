@@ -44,12 +44,8 @@ impl CondensedTree {
     pub fn build(dendro: &Dendrogram, min_cluster_size: usize) -> Self {
         assert!(min_cluster_size >= 2);
         let n = dendro.n;
-        let mut clusters = vec![Cluster {
-            parent: None,
-            birth_lambda: 0.0,
-            stability: 0.0,
-            children: vec![],
-        }];
+        let mut clusters =
+            vec![Cluster { parent: None, birth_lambda: 0.0, stability: 0.0, children: vec![] }];
         let mut point_exit_cluster = vec![0u32; n];
         let mut point_exit_lambda = vec![0.0f64; n];
 
@@ -66,14 +62,12 @@ impl CondensedTree {
                 // root of a 2-point hierarchy, or small-side handling below
                 // which bypasses this branch).
                 point_exit_cluster[node as usize] = cluster;
-                point_exit_lambda[node as usize] =
-                    clusters[cluster as usize].birth_lambda;
+                point_exit_lambda[node as usize] = clusters[cluster as usize].birth_lambda;
                 continue;
             }
             let m = dendro.merge_of(node);
             let lam = lambda(m.distance);
-            let (sl, sr) =
-                (dendro.size(m.left) as usize, dendro.size(m.right) as usize);
+            let (sl, sr) = (dendro.size(m.left) as usize, dendro.size(m.right) as usize);
             let big_l = sl >= min_cluster_size;
             let big_r = sr >= min_cluster_size;
             match (big_l, big_r) {
@@ -96,27 +90,47 @@ impl CondensedTree {
                 }
                 (true, false) => {
                     Self::fall_out(
-                        dendro, m.right, lam, cluster, &mut clusters,
-                        &mut point_exit_cluster, &mut point_exit_lambda,
+                        dendro,
+                        m.right,
+                        lam,
+                        cluster,
+                        &mut clusters,
+                        &mut point_exit_cluster,
+                        &mut point_exit_lambda,
                     );
                     stack.push((m.left, cluster));
                 }
                 (false, true) => {
                     Self::fall_out(
-                        dendro, m.left, lam, cluster, &mut clusters,
-                        &mut point_exit_cluster, &mut point_exit_lambda,
+                        dendro,
+                        m.left,
+                        lam,
+                        cluster,
+                        &mut clusters,
+                        &mut point_exit_cluster,
+                        &mut point_exit_lambda,
                     );
                     stack.push((m.right, cluster));
                 }
                 (false, false) => {
                     // The cluster dissolves entirely at this level.
                     Self::fall_out(
-                        dendro, m.left, lam, cluster, &mut clusters,
-                        &mut point_exit_cluster, &mut point_exit_lambda,
+                        dendro,
+                        m.left,
+                        lam,
+                        cluster,
+                        &mut clusters,
+                        &mut point_exit_cluster,
+                        &mut point_exit_lambda,
                     );
                     Self::fall_out(
-                        dendro, m.right, lam, cluster, &mut clusters,
-                        &mut point_exit_cluster, &mut point_exit_lambda,
+                        dendro,
+                        m.right,
+                        lam,
+                        cluster,
+                        &mut clusters,
+                        &mut point_exit_cluster,
+                        &mut point_exit_lambda,
                     );
                 }
             }
@@ -424,11 +438,7 @@ mod tests {
 
     #[test]
     fn duplicate_merges_do_not_produce_nan() {
-        let edges = vec![
-            Edge::new(0, 1, 0.0),
-            Edge::new(1, 2, 0.0),
-            Edge::new(2, 3, 1.0),
-        ];
+        let edges = vec![Edge::new(0, 1, 0.0), Edge::new(1, 2, 0.0), Edge::new(2, 3, 1.0)];
         let d = Dendrogram::from_mst_edges(4, &edges);
         let t = CondensedTree::build(&d, 2);
         for c in 0..t.num_condensed() {

@@ -58,8 +58,7 @@ pub fn core_distances_sq_instrumented<S: ExecSpace, const D: usize>(
             emst_bvh::TraversalStats::default(),
             |rank| {
                 let mut st = emst_bvh::TraversalStats::default();
-                let neighbors =
-                    bvh.k_nearest_with_stats(bvh.leaf_point(rank as u32), k, &mut st);
+                let neighbors = bvh.k_nearest_with_stats(bvh.leaf_point(rank as u32), k, &mut st);
                 let core = neighbors.last().expect("k >= 1").1;
                 let orig = bvh.point_index(rank as u32) as usize;
                 // SAFETY: `orig` is a permutation of 0..n — one writer per slot.
@@ -112,10 +111,7 @@ mod tests {
     #[test]
     fn serial_and_parallel_agree() {
         let pts = random_points(500, 9);
-        assert_eq!(
-            core_distances_sq(&Serial, &pts, 6),
-            core_distances_sq(&Threads, &pts, 6)
-        );
+        assert_eq!(core_distances_sq(&Serial, &pts, 6), core_distances_sq(&Threads, &pts, 6));
     }
 
     #[test]

@@ -55,12 +55,7 @@ impl Dendrogram {
             let new_id = (n + i) as u32;
             cluster_of[r] = new_id;
             sizes[r] = size;
-            merges.push(Merge {
-                left: ca.min(cb),
-                right: ca.max(cb),
-                distance: e.weight(),
-                size,
-            });
+            merges.push(Merge { left: ca.min(cb), right: ca.max(cb), distance: e.weight(), size });
         }
         Self { n, merges }
     }
@@ -168,10 +163,7 @@ mod tests {
 
     #[test]
     fn zero_weight_edges_merge_first() {
-        let edges = vec![
-            Edge::new(0, 1, 0.0),
-            Edge::new(1, 2, 4.0),
-        ];
+        let edges = vec![Edge::new(0, 1, 0.0), Edge::new(1, 2, 4.0)];
         let d = Dendrogram::from_mst_edges(3, &edges);
         assert_eq!(d.merges[0].distance, 0.0);
         assert_eq!(d.merges[1].distance, 2.0);

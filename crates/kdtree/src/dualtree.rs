@@ -108,8 +108,7 @@ impl<const D: usize> Traversal<'_, D> {
     }
 
     fn refresh_internal_bound(&mut self, q: usize, ql: u32, qr: u32) {
-        self.node_bound[q] =
-            self.node_bound[ql as usize].max(self.node_bound[qr as usize]);
+        self.node_bound[q] = self.node_bound[ql as usize].max(self.node_bound[qr as usize]);
     }
 
     fn base_case(&mut self, q: usize, r: usize) {
@@ -130,11 +129,7 @@ impl<const D: usize> Traversal<'_, D> {
                 let d = pa.squared_distance(&self.tree.points[b]);
                 self.distance_computations += 1;
                 let b_orig = self.tree.original_index(b);
-                let cand = Candidate {
-                    dist_sq: d,
-                    u: a_orig.min(b_orig),
-                    v: a_orig.max(b_orig),
-                };
+                let cand = Candidate { dist_sq: d, u: a_orig.min(b_orig), v: a_orig.max(b_orig) };
                 if cand.key() < self.cand[ca as usize].key() {
                     self.cand[ca as usize] = cand;
                 }
@@ -191,8 +186,8 @@ pub fn dual_tree_emst<const D: usize>(points: &[Point<D>]) -> DualTreeResult {
                 None => {
                     let node = &tree.nodes[i];
                     let first = labels[node.start as usize];
-                    let uniform = (node.start as usize + 1..node.end as usize)
-                        .all(|p| labels[p] == first);
+                    let uniform =
+                        (node.start as usize + 1..node.end as usize).all(|p| labels[p] == first);
                     if uniform {
                         first
                     } else {
@@ -291,9 +286,8 @@ mod tests {
 
     #[test]
     fn grid_ties_match_brute_force() {
-        let pts: Vec<Point<2>> = (0..10)
-            .flat_map(|x| (0..10).map(move |y| Point::new([x as f32, y as f32])))
-            .collect();
+        let pts: Vec<Point<2>> =
+            (0..10).flat_map(|x| (0..10).map(move |y| Point::new([x as f32, y as f32]))).collect();
         let r = dual_tree_emst(&pts);
         verify_spanning_tree(100, &r.edges).unwrap();
         assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));

@@ -40,17 +40,12 @@ pub fn bentley_friedman_emst<const D: usize>(points: &[Point<D>]) -> Vec<Edge> {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     let mut edges = Vec::with_capacity(n - 1);
 
-    let push_candidate =
-        |heap: &mut BinaryHeap<HeapEntry>, in_tree: &[bool], src_pos: u32| {
-            let q = &tree.points[src_pos as usize];
-            if let Some((tgt, d)) = tree.nearest_where(q, |p| !in_tree[p]) {
-                heap.push(Reverse((
-                    emst_geometry::nonneg_f32_to_ordered_bits(d),
-                    src_pos,
-                    tgt as u32,
-                )));
-            }
-        };
+    let push_candidate = |heap: &mut BinaryHeap<HeapEntry>, in_tree: &[bool], src_pos: u32| {
+        let q = &tree.points[src_pos as usize];
+        if let Some((tgt, d)) = tree.nearest_where(q, |p| !in_tree[p]) {
+            heap.push(Reverse((emst_geometry::nonneg_f32_to_ordered_bits(d), src_pos, tgt as u32)));
+        }
+    };
 
     in_tree[0] = true;
     push_candidate(&mut heap, &in_tree, 0);

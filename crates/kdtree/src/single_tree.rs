@@ -92,9 +92,7 @@ pub fn kd_single_tree_emst<const D: usize>(points: &[Point<D>]) -> KdSingleTreeR
                 None => {
                     let node = &tree.nodes[i];
                     let first = labels[node.start as usize];
-                    if (node.start as usize + 1..node.end as usize)
-                        .all(|p| labels[p] == first)
-                    {
+                    if (node.start as usize + 1..node.end as usize).all(|p| labels[p] == first) {
                         first
                     } else {
                         INVALID_COMP
@@ -138,14 +136,15 @@ pub fn kd_single_tree_emst<const D: usize>(points: &[Point<D>]) -> KdSingleTreeR
         for i in 0..n {
             let comp = labels[i];
             let radius = upper[comp as usize];
-            if let Some((ngb, d)) =
-                nearest_other_component(&tree, &labels, &node_comp, i, radius, &mut distance_computations)
-            {
-                let c = Candidate {
-                    dist_sq: d,
-                    a: (i as u32).min(ngb),
-                    b: (i as u32).max(ngb),
-                };
+            if let Some((ngb, d)) = nearest_other_component(
+                &tree,
+                &labels,
+                &node_comp,
+                i,
+                radius,
+                &mut distance_computations,
+            ) {
+                let c = Candidate { dist_sq: d, a: (i as u32).min(ngb), b: (i as u32).max(ngb) };
                 if c.key() < cand[comp as usize].key() {
                     cand[comp as usize] = c;
                 }
@@ -309,9 +308,8 @@ mod tests {
 
     #[test]
     fn grid_ties_and_duplicates() {
-        let mut pts: Vec<Point<2>> = (0..9)
-            .flat_map(|x| (0..9).map(move |y| Point::new([x as f32, y as f32])))
-            .collect();
+        let mut pts: Vec<Point<2>> =
+            (0..9).flat_map(|x| (0..9).map(move |y| Point::new([x as f32, y as f32]))).collect();
         pts.extend(std::iter::repeat_n(Point::new([4.0, 4.0]), 12));
         let r = kd_single_tree_emst(&pts);
         verify_spanning_tree(pts.len(), &r.edges).unwrap();

@@ -162,12 +162,7 @@ fn build_node<const D: usize>(
     for &i in &order[start..end] {
         aabb.expand_point(&points[i as usize]);
     }
-    nodes.push(KdNode {
-        aabb,
-        start: start as u32,
-        end: end as u32,
-        children: None,
-    });
+    nodes.push(KdNode { aabb, start: start as u32, end: end as u32, children: None });
     let len = end - start;
     // Zero-extent (all-duplicate) ranges still split — by index — when the
     // caller wants singleton leaves (the WSPD case); bucket-leaf callers
@@ -179,9 +174,7 @@ fn build_node<const D: usize>(
     if aabb.longest_extent() > 0.0 {
         let axis = aabb.longest_axis();
         order[start..end].select_nth_unstable_by(mid - start, |&a, &b| {
-            points[a as usize][axis]
-                .total_cmp(&points[b as usize][axis])
-                .then(a.cmp(&b))
+            points[a as usize][axis].total_cmp(&points[b as usize][axis]).then(a.cmp(&b))
         });
     }
     let left = build_node(points, order, start, mid, leaf_size, nodes);
@@ -262,17 +255,11 @@ mod tests {
 
     #[test]
     fn nearest_where_respects_filter() {
-        let pts = vec![
-            Point::new([0.0f32, 0.0]),
-            Point::new([1.0, 0.0]),
-            Point::new([2.0, 0.0]),
-        ];
+        let pts = vec![Point::new([0.0f32, 0.0]), Point::new([1.0, 0.0]), Point::new([2.0, 0.0])];
         let tree = KdTree::build(&pts);
         let q = Point::new([0.1, 0.0]);
         // Exclude the true nearest (original index 0).
-        let (pos, _) = tree
-            .nearest_where(&q, |pos| tree.original_index(pos) != 0)
-            .unwrap();
+        let (pos, _) = tree.nearest_where(&q, |pos| tree.original_index(pos) != 0).unwrap();
         assert_eq!(tree.original_index(pos), 1);
         // Exclude everything.
         assert!(tree.nearest_where(&q, |_| false).is_none());

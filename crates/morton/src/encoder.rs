@@ -160,10 +160,7 @@ mod tests {
 
     #[test]
     fn morton_order_puts_origin_first_in_unit_square() {
-        let pts = vec![
-            Point::new([0.99, 0.99]),
-            Point::new([0.01, 0.01]),
-        ];
+        let pts = vec![Point::new([0.99, 0.99]), Point::new([0.01, 0.01])];
         let order = morton_order(&pts, &unit_square());
         assert_eq!(order, vec![1, 0]);
     }

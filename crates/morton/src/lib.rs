@@ -202,10 +202,7 @@ pub fn morton_naive<const D: usize>(cell: [u64; D], bits: u32) -> u128 {
 
 /// Convenience: the 64-bit Morton code of `p` inside `scene`, at the full
 /// per-dimension resolution. See [`MortonEncoder`] for the grid mapping.
-pub fn morton_code_u64<const D: usize>(
-    p: &Point<D>,
-    scene: &emst_geometry::Aabb<D>,
-) -> u64 {
+pub fn morton_code_u64<const D: usize>(p: &Point<D>, scene: &emst_geometry::Aabb<D>) -> u64 {
     MortonEncoder::new(scene).encode_u64(p)
 }
 

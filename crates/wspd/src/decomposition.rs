@@ -130,11 +130,7 @@ fn find_pairs_serial<const D: usize>(
 
 /// Rayon variant: forks the two independent subproblems at every internal
 /// node above a size cutoff, then merges the pair lists.
-fn wspd_pairs_parallel<const D: usize>(
-    tree: &KdTree<D>,
-    s: Scalar,
-    node: usize,
-) -> Vec<WspdPair> {
+fn wspd_pairs_parallel<const D: usize>(tree: &KdTree<D>, s: Scalar, node: usize) -> Vec<WspdPair> {
     const FORK_CUTOFF: usize = 2048;
     let Some((l, r)) = tree.nodes[node].children else {
         return vec![];
@@ -261,11 +257,8 @@ mod tests {
         let ws = Wspd::build(&pts, 2.0, false);
         let wp = Wspd::build(&pts, 2.0, true);
         let norm = |w: &Wspd<2>| {
-            let mut v: Vec<(u32, u32)> = w
-                .pairs
-                .iter()
-                .map(|p| (p.u.min(p.v), p.u.max(p.v)))
-                .collect();
+            let mut v: Vec<(u32, u32)> =
+                w.pairs.iter().map(|p| (p.u.min(p.v), p.u.max(p.v))).collect();
             v.sort_unstable();
             v
         };
@@ -279,11 +272,7 @@ mod tests {
         let w = Wspd::build(&pts, 2.0, false);
         // O(s^d n) with modest constants for uniform data; guard against a
         // quadratic regression.
-        assert!(
-            w.pairs.len() < 80 * n,
-            "pair count {} looks superlinear",
-            w.pairs.len()
-        );
+        assert!(w.pairs.len() < 80 * n, "pair count {} looks superlinear", w.pairs.len());
     }
 
     proptest! {

@@ -133,9 +133,7 @@ pub fn wspd_emst_with_metric<M: emst_geometry::Metric, const D: usize>(
                 None => {
                     let node = &tree.nodes[i];
                     let first = labels[node.start as usize];
-                    if (node.start as usize + 1..node.end as usize)
-                        .all(|p| labels[p] == first)
-                    {
+                    if (node.start as usize + 1..node.end as usize).all(|p| labels[p] == first) {
                         first
                     } else {
                         INVALID_COMP
@@ -167,17 +165,13 @@ pub fn wspd_emst_with_metric<M: emst_geometry::Metric, const D: usize>(
         let new_bcps: Vec<(Bcp, u64)> = if parallel {
             live.par_iter()
                 .map(|p| {
-                    bichromatic_closest_pair_with_metric(
-                        tree, p.u as usize, p.v as usize, metric,
-                    )
+                    bichromatic_closest_pair_with_metric(tree, p.u as usize, p.v as usize, metric)
                 })
                 .collect()
         } else {
             live.iter()
                 .map(|p| {
-                    bichromatic_closest_pair_with_metric(
-                        tree, p.u as usize, p.v as usize, metric,
-                    )
+                    bichromatic_closest_pair_with_metric(tree, p.u as usize, p.v as usize, metric)
                 })
                 .collect()
         };
@@ -269,9 +263,8 @@ mod tests {
 
     #[test]
     fn grid_ties_match_brute_force() {
-        let pts: Vec<Point<2>> = (0..9)
-            .flat_map(|x| (0..9).map(move |y| Point::new([x as f32, y as f32])))
-            .collect();
+        let pts: Vec<Point<2>> =
+            (0..9).flat_map(|x| (0..9).map(move |y| Point::new([x as f32, y as f32]))).collect();
         let r = wspd_emst(&pts, false);
         verify_spanning_tree(pts.len(), &r.edges).unwrap();
         assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&pts)));
@@ -314,11 +307,7 @@ mod tests {
             let r = wspd_emst_with_metric(&pts, false, &metric);
             verify_spanning_tree(pts.len(), &r.edges).unwrap();
             let brute = brute_force_mst(&pts, &metric);
-            assert_eq!(
-                weight_multiset(&r.edges),
-                weight_multiset(&brute),
-                "k_pts={k}"
-            );
+            assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute), "k_pts={k}");
         }
     }
 

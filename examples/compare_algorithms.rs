@@ -14,10 +14,7 @@ use emst::kdtree::dual_tree_emst;
 use emst::wspd::wspd_emst;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
+    let n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(100_000);
     let points: Vec<Point<2>> = normal(n, 3);
     println!("n = {n} 2D normal points\n");
 

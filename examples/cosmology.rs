@@ -16,10 +16,7 @@ use emst::exec::Threads;
 use emst::geometry::Point;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(200_000);
+    let n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(200_000);
     let points: Vec<Point<3>> = hacc_like(n, 7);
     println!("generated {n} HACC-like particles");
 
@@ -36,7 +33,9 @@ fn main() {
     lengths.sort_by(f32::total_cmp);
     let pct = |p: f64| lengths[((lengths.len() - 1) as f64 * p) as usize];
     println!("edge length percentiles:");
-    for (label, p) in [("5%", 0.05), ("25%", 0.25), ("50%", 0.50), ("75%", 0.75), ("95%", 0.95), ("99%", 0.99)] {
+    for (label, p) in
+        [("5%", 0.05), ("25%", 0.25), ("50%", 0.50), ("75%", 0.75), ("95%", 0.95), ("99%", 0.99)]
+    {
         println!("  {label:>4}: {:.6}", pct(p));
     }
     let mean: f64 = lengths.iter().map(|&l| l as f64).sum::<f64>() / lengths.len() as f64;
@@ -53,8 +52,5 @@ fn main() {
 
     // Halo proxy count: cutting the long edges decomposes the MST into
     // clusters (exactly how MST-based cluster finders work).
-    println!(
-        "cutting them decomposes the snapshot into {} groups",
-        long_edges + 1
-    );
+    println!("cutting them decomposes the snapshot into {} groups", long_edges + 1);
 }

@@ -9,10 +9,7 @@ use emst::datasets::{generate_2d, DatasetSpec};
 use emst::exec::Threads;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100_000);
+    let n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(100_000);
 
     // 1. Get some points (any `&[Point<D>]` works; here: a seeded uniform
     //    cloud in the unit square).
@@ -32,11 +29,8 @@ fn main() {
         result.timings.get("tree") * 1e3,
         result.timings.get("mst") * 1e3
     );
-    let longest = result
-        .edges
-        .iter()
-        .max_by(|a, b| a.weight_sq.total_cmp(&b.weight_sq))
-        .expect("n >= 2");
+    let longest =
+        result.edges.iter().max_by(|a, b| a.weight_sq.total_cmp(&b.weight_sq)).expect("n >= 2");
     println!(
         "longest edge:    {:.6} (between points {} and {})",
         longest.weight(),

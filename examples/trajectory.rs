@@ -15,10 +15,7 @@ use emst::exec::Threads;
 use emst::geometry::Point;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150_000);
+    let n: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(150_000);
     let points: Vec<Point<2>> = ngsim_like(n, 2024);
     println!("{n} NGSIM-like trajectory points across 3 highway corridors");
 
@@ -34,20 +31,12 @@ fn main() {
     let mut lengths: Vec<f32> = result.edges.iter().map(|e| e.weight()).collect();
     lengths.sort_by(f32::total_cmp);
     let median = lengths[lengths.len() / 2];
-    let bridges: Vec<&emst::core::Edge> = result
-        .edges
-        .iter()
-        .filter(|e| e.weight() > 0.5)
-        .collect();
+    let bridges: Vec<&emst::core::Edge> =
+        result.edges.iter().filter(|e| e.weight() > 0.5).collect();
     println!("median edge length: {median:.5}");
     println!("corridor-bridging edges (length > 0.5): {}", bridges.len());
     for b in &bridges {
-        println!(
-            "  bridge: {:.3} units between points {} and {}",
-            b.weight(),
-            b.u,
-            b.v
-        );
+        println!("  bridge: {:.3} units between points {} and {}", b.weight(), b.u, b.v);
     }
     // Three corridors need exactly two bridges.
     assert_eq!(bridges.len(), 2, "three corridors must be joined by two long edges");

@@ -27,10 +27,7 @@ fn main() {
     let points: Vec<Point<2>> = visualvar(n, 7);
     let emst = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
     let clusters = Hdbscan { k_pts: 6, min_cluster_size: (n / 100).max(8) }.fit(&Threads, &points);
-    eprintln!(
-        "n = {n}: EMST weight {:.4}, {} clusters",
-        emst.total_weight, clusters.num_clusters
-    );
+    eprintln!("n = {n}: EMST weight {:.4}, {} clusters", emst.total_weight, clusters.num_clusters);
 
     // Map the scene into a 1000x1000 canvas with a margin.
     let bb = Aabb::from_points(&points);

@@ -89,11 +89,8 @@ fn generate<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
         Some("road") => Kind::RoadNetworkLike,
         other => return Err(format!("unknown --kind {other:?}")),
     };
-    let n: usize = opts
-        .get("n")
-        .ok_or("--n is required")?
-        .parse()
-        .map_err(|_| "--n must be an integer")?;
+    let n: usize =
+        opts.get("n").ok_or("--n is required")?.parse().map_err(|_| "--n must be an integer")?;
     let seed: u64 = opts.get("seed").and_then(|v| v.parse().ok()).unwrap_or(0);
     let output = opts.get("output").ok_or("--output is required")?;
     let points: Vec<Point<D>> = kind.generate(n, seed);
@@ -147,9 +144,8 @@ fn run_emst<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
         (n * D) as f64 / secs / 1e6
     );
     if let Some(output) = opts.get("output") {
-        let mut out = std::io::BufWriter::new(
-            std::fs::File::create(output).map_err(|e| e.to_string())?,
-        );
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(output).map_err(|e| e.to_string())?);
         for e in &edges {
             writeln!(out, "{},{},{:?}", e.u, e.v, e.weight()).map_err(|e| e.to_string())?;
         }
@@ -161,21 +157,14 @@ fn run_emst<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
 fn run_hdbscan<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
     let points = load_points::<D>(opts)?;
     let k_pts: usize = opts.get("k").and_then(|v| v.parse().ok()).unwrap_or(5);
-    let min_cluster_size: usize = opts
-        .get("min-cluster-size")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
+    let min_cluster_size: usize =
+        opts.get("min-cluster-size").and_then(|v| v.parse().ok()).unwrap_or(5);
     let result = Hdbscan { k_pts, min_cluster_size }.fit(&Threads, &points);
     let noise = result.labels.iter().filter(|&&l| l == emst::hdbscan::NOISE).count();
-    eprintln!(
-        "{} points -> {} clusters, {noise} noise",
-        points.len(),
-        result.num_clusters
-    );
+    eprintln!("{} points -> {} clusters, {noise} noise", points.len(), result.num_clusters);
     if let Some(output) = opts.get("output") {
-        let mut out = std::io::BufWriter::new(
-            std::fs::File::create(output).map_err(|e| e.to_string())?,
-        );
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(output).map_err(|e| e.to_string())?);
         for &l in &result.labels {
             writeln!(out, "{l}").map_err(|e| e.to_string())?;
         }

@@ -72,9 +72,21 @@ fn small_inputs_match_brute_force_everywhere() {
             let brute = weight_multiset(&brute_force_emst(&points));
             let single = SingleTreeBoruvka::new(&points).run(&Serial, &EmstConfig::default());
             assert_eq!(weight_multiset(&single.edges), brute, "{kind:?} n={n} single");
-            assert_eq!(weight_multiset(&dual_tree_emst(&points).edges), brute, "{kind:?} n={n} dual");
-            assert_eq!(weight_multiset(&wspd_emst(&points, false).edges), brute, "{kind:?} n={n} wspd");
-            assert_eq!(weight_multiset(&bentley_friedman_emst(&points)), brute, "{kind:?} n={n} bf");
+            assert_eq!(
+                weight_multiset(&dual_tree_emst(&points).edges),
+                brute,
+                "{kind:?} n={n} dual"
+            );
+            assert_eq!(
+                weight_multiset(&wspd_emst(&points, false).edges),
+                brute,
+                "{kind:?} n={n} wspd"
+            );
+            assert_eq!(
+                weight_multiset(&bentley_friedman_emst(&points)),
+                brute,
+                "{kind:?} n={n} bf"
+            );
         }
     }
 }

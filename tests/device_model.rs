@@ -48,7 +48,8 @@ fn optimizations_speed_up_the_modeled_device_too() {
         let r = SingleTreeBoruvka::new(&points).run(&gpu, cfg);
         model.time(r.launches_mst.0, r.launches_mst.1, &r.work_mst()).total_s()
     };
-    let naive = run(&EmstConfig { subtree_skipping: false, upper_bounds: false, ..Default::default() });
+    let naive =
+        run(&EmstConfig { subtree_skipping: false, upper_bounds: false, ..Default::default() });
     let full = run(&EmstConfig::default());
     assert!(
         naive > 3.0 * full,

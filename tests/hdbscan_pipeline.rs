@@ -18,8 +18,11 @@ fn mrd_mst_agrees_between_single_tree_and_wspd_on_archetypes() {
             assert_eq!(core, brute_force_core_distances_sq(&points, k_pts), "{kind:?} core");
             let metric = MutualReachability::new(&core);
 
-            let single = SingleTreeBoruvka::new(&points)
-                .run_with_metric(&Serial, &EmstConfig::default(), &metric);
+            let single = SingleTreeBoruvka::new(&points).run_with_metric(
+                &Serial,
+                &EmstConfig::default(),
+                &metric,
+            );
             verify_spanning_tree(points.len(), &single.edges).unwrap();
             let wspd = wspd_emst_with_metric(&points, false, &metric);
             let brute = brute_force_mst(&points, &metric);
@@ -44,8 +47,8 @@ fn mrd_total_weight_dominates_euclidean() {
     let euc = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
     let core = core_distances_sq(&Threads, &points, 8);
     let metric = MutualReachability::new(&core);
-    let mrd = SingleTreeBoruvka::new(&points)
-        .run_with_metric(&Threads, &EmstConfig::default(), &metric);
+    let mrd =
+        SingleTreeBoruvka::new(&points).run_with_metric(&Threads, &EmstConfig::default(), &metric);
     assert!(mrd.total_weight >= euc.total_weight);
 }
 
@@ -91,7 +94,7 @@ fn k_pts_one_reduces_to_euclidean_mst() {
     let core = core_distances_sq(&Serial, &points, 1);
     assert!(core.iter().all(|&c| c == 0.0));
     let metric = MutualReachability::new(&core);
-    let mrd = SingleTreeBoruvka::new(&points)
-        .run_with_metric(&Serial, &EmstConfig::default(), &metric);
+    let mrd =
+        SingleTreeBoruvka::new(&points).run_with_metric(&Serial, &EmstConfig::default(), &metric);
     assert_eq!(weight_multiset(&euc.edges), weight_multiset(&mrd.edges));
 }

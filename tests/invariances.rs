@@ -71,8 +71,11 @@ fn mrd_total_weight_is_monotone_in_k_pts() {
     for k in [1usize, 2, 4, 8, 16, 32] {
         let core = core_distances_sq(&Threads, &points, k);
         let metric = MutualReachability::new(&core);
-        let r = SingleTreeBoruvka::new(&points)
-            .run_with_metric(&Threads, &EmstConfig::default(), &metric);
+        let r = SingleTreeBoruvka::new(&points).run_with_metric(
+            &Threads,
+            &EmstConfig::default(),
+            &metric,
+        );
         assert!(
             r.total_weight >= last - 1e-9 * r.total_weight,
             "k={k}: {} < {last}",
@@ -88,8 +91,8 @@ fn mrd_weights_are_pointwise_at_least_core_distances() {
     let points: Vec<Point<2>> = Kind::VisualVar.generate(300, 21);
     let core = brute_force_core_distances_sq(&points, 6);
     let metric = MutualReachability::new(&core);
-    let r = SingleTreeBoruvka::new(&points)
-        .run_with_metric(&Threads, &EmstConfig::default(), &metric);
+    let r =
+        SingleTreeBoruvka::new(&points).run_with_metric(&Threads, &EmstConfig::default(), &metric);
     for e in &r.edges {
         assert!(e.weight_sq >= core[e.u as usize]);
         assert!(e.weight_sq >= core[e.v as usize]);
@@ -108,16 +111,10 @@ fn adding_a_far_point_extends_the_tree_by_its_nearest_distance() {
     let points: Vec<Point<2>> = Kind::Uniform.generate(400, 25);
     let base = SingleTreeBoruvka::new(&points).run(&Threads, &EmstConfig::default());
     let far = Point::new([100.0, 100.0]);
-    let nearest = points
-        .iter()
-        .map(|p| p.distance(&far) as f64)
-        .fold(f64::INFINITY, f64::min);
+    let nearest = points.iter().map(|p| p.distance(&far) as f64).fold(f64::INFINITY, f64::min);
     let mut aug_points = points.clone();
     aug_points.push(far);
     let aug = SingleTreeBoruvka::new(&aug_points).run(&Threads, &EmstConfig::default());
     let delta = aug.total_weight - base.total_weight;
-    assert!(
-        (delta - nearest).abs() < 1e-4 * nearest,
-        "delta {delta} vs nearest {nearest}"
-    );
+    assert!((delta - nearest).abs() < 1e-4 * nearest, "delta {delta} vs nearest {nearest}");
 }

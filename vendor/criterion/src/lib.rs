@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container builds without network access, so this vendors the slice
+//! of the criterion API the `micro` bench uses: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size`/`measurement_time`/`throughput`,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — warm-up, then `sample_size` timed
+//! samples; the median, min and max go to stdout. No HTML reports, no
+//! regression baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's CLI shape loosely: a bare positional argument
+        // filters benchmark names. Flags are ignored — including the value
+        // of a `--flag value` pair, so e.g. `--measurement-time 10` does
+        // not turn "10" into a filter.
+        let mut filter = None;
+        let mut after_flag = false;
+        for a in std::env::args().skip(1) {
+            if a.starts_with('-') {
+                // Value-taking flags use a following token unless spelled
+                // `--flag=value`; treat the next bare token as that value.
+                after_flag = !a.contains('=');
+            } else if after_flag {
+                after_flag = false;
+            } else {
+                filter = Some(a);
+                break;
+            }
+        }
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI configuration (no-op here; kept for API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Units of work per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to record per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget the samples should roughly fill.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        if !self._criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher { samples: vec![] };
+        let deadline = Instant::now() + self.measurement_time;
+        // Warm-up sample, then measure until the sample budget or deadline.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        report(&full, &b.samples, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (stdout reporting happens per-benchmark already).
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let rate = throughput.map(|t| {
+        let per_iter = match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        };
+        per_iter as f64 / median.as_secs_f64()
+    });
+    match rate {
+        Some(r) => println!(
+            "{id:<48} median {median:>12?}  min {:>12?}  max {:>12?}  ({r:.3e}/s)",
+            sorted[0],
+            sorted[sorted.len() - 1]
+        ),
+        None => println!(
+            "{id:<48} median {median:>12?}  min {:>12?}  max {:>12?}",
+            sorted[0],
+            sorted[sorted.len() - 1]
+        ),
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's conventional display form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Timer handed to benchmark closures; each `iter` call records one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (criterion would time a batch; one
+    /// execution keeps the stub honest for the millisecond-scale routines
+    /// this workspace benches).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        black_box(out);
+    }
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_plumbing_runs() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 2), &2u64, |b, &k| {
+            b.iter(|| (0..64u64).map(|x| x * k).sum::<u64>())
+        });
+        g.finish();
+    }
+}

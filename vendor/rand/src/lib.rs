@@ -1,0 +1,320 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container builds without network access, so this vendors exactly the
+//! slice of the `rand` 0.9 API the workspace uses:
+//!
+//! - [`rngs::StdRng`] — here a xoshiro256** generator seeded through
+//!   SplitMix64 (deterministic across platforms and runs, which the
+//!   reproduction's seeded datasets rely on);
+//! - [`SeedableRng::seed_from_u64`];
+//! - [`RngExt::random_range`] over half-open and inclusive integer and
+//!   float ranges.
+//!
+//! Statistical quality matches the upstream generators closely enough for
+//! dataset synthesis and property tests; nothing here is cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 key expansion,
+    /// the same scheme `rand` uses for small seeds).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The core source-of-randomness interface.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Range sampling, mirroring `rand::Rng::random_range`.
+pub trait RngExt: RngCore {
+    /// Samples uniformly from `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a uniform value over the type's full domain
+    /// (for floats: `[0, 1)`).
+    fn random<T: SampleUniform>(&mut self) -> T {
+        T::sample_any(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<G: RngCore + ?Sized> RngExt for G {}
+
+/// Legacy alias so `use rand::Rng` keeps working.
+pub use RngExt as Rng;
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// Uniform sample over the whole domain (floats: `[0, 1)`).
+    fn sample_any<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+/// Ranges accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample out of `self`.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Uniform `u64` in `[0, span)` without modulo bias (Lemire's method with a
+/// rejection fallback on the boundary).
+fn uniform_below<G: RngCore + ?Sized>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(span as u128);
+        let lo = m as u64;
+        if lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+        // Rejected sample in the biased boundary region; redraw.
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 as u64;
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128 as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+            fn sample_any<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f32 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        let unit = Self::sample_any(rng);
+        // lo + unit * span keeps the result in [lo, hi) for finite spans.
+        let v = lo + unit * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        // Unit draw over [0, 1] *inclusive* so `hi` is reachable, clamped
+        // against rounding of `lo + (hi - lo)` overshooting `hi`.
+        let unit = ((rng.next_u64() >> 40) as f32) * (1.0 / ((1u64 << 24) - 1) as f32);
+        let v = lo + unit * (hi - lo);
+        if v > hi {
+            hi
+        } else {
+            v
+        }
+    }
+    fn sample_any<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        let unit = Self::sample_any(rng);
+        let v = lo + unit * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / ((1u64 << 53) - 1) as f64);
+        let v = lo + unit * (hi - lo);
+        if v > hi {
+            hi
+        } else {
+            v
+        }
+    }
+    fn sample_any<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        if lo == hi {
+            lo
+        } else {
+            Self::sample_any(rng)
+        }
+    }
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        if lo == hi {
+            lo
+        } else {
+            Self::sample_any(rng)
+        }
+    }
+    fn sample_any<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Unlike the upstream `StdRng` (which explicitly reserves the right to
+    /// change algorithms), this one is stable forever — the reproduction's
+    /// seeded datasets and golden numbers depend on that.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = Self::splitmix64(&mut sm);
+            }
+            // All-zero state is the one invalid xoshiro state; SplitMix64
+            // cannot produce four zeros from any seed, but keep the guard.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(-3i32..17);
+            assert!((-3..17).contains(&x));
+            let f = rng.random_range(-0.5f32..0.25);
+            assert!((-0.5..0.25).contains(&f));
+            let u = rng.random_range(5usize..6);
+            assert_eq!(u, 5);
+            let inc = rng.random_range(2u32..=4);
+            assert!((2..=4).contains(&inc));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_ranges_reach_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(rng.random_range(1.0f32..=1.0), 1.0);
+        assert_eq!(rng.random_range(-2.5f64..=-2.5), -2.5);
+        // Over a coarse 2^24-resolution draw, 200k samples of a unit range
+        // stay inside [0, 1] and get within one quantum of each endpoint.
+        let (mut lo_best, mut hi_best) = (1.0f32, 0.0f32);
+        for _ in 0..200_000 {
+            let v = rng.random_range(0.0f32..=1.0);
+            assert!((0.0..=1.0).contains(&v));
+            lo_best = lo_best.min(v);
+            hi_best = hi_best.max(v);
+        }
+        assert!(lo_best < 1e-4 && hi_best > 1.0 - 1e-4, "{lo_best} {hi_best}");
+    }
+
+    #[test]
+    fn floats_cover_the_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            lo_seen |= f < 0.1;
+            hi_seen |= f > 0.9;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

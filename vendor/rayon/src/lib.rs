@@ -1,0 +1,506 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The container builds without network access, so this vendors the API
+//! slice the workspace actually uses — genuinely parallel, built on
+//! `std::thread::scope` instead of a work-stealing pool:
+//!
+//! - [`join`] and [`current_num_threads`];
+//! - `into_par_iter()` on integer ranges;
+//! - `par_iter()`, `par_chunks()`, `par_chunks_mut()`, `par_sort_unstable*()`
+//!   on slices;
+//! - the [`ParallelIterator`] adaptors `map`, `zip`, `for_each`, `reduce`,
+//!   `collect`.
+//!
+//! Items are materialized into a `Vec` and dealt to one scoped thread per
+//! contiguous block, so `map`/`collect` preserve order exactly like rayon's
+//! indexed iterators. Sorting is an in-place parallel quicksort that falls
+//! back to `sort_unstable_by` on small runs.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+
+/// Number of worker threads a data-parallel call will fan out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// Runs `make_part(part_index)` on one scoped thread per part and returns
+/// the per-part outputs in part order. The common engine under both the
+/// materialized-`Vec` and arithmetic-range sources.
+fn scatter<P, O>(parts: usize, make_part: P) -> Vec<O>
+where
+    P: Fn(usize) -> O + Sync,
+    O: Send,
+{
+    let make_part = &make_part;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..parts).map(|i| s.spawn(move || make_part(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// Applies `f` to every item of `items` across scoped threads, preserving
+/// input order in the output.
+fn run_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // One pass distributing ownership into per-thread parts (O(n) moves).
+    let chunk = n.div_ceil(threads);
+    let mut parts: Vec<Vec<T>> = (0..threads).map(|_| Vec::with_capacity(chunk)).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        parts[i / chunk].push(item);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+        out
+    })
+}
+
+/// A parallel iterator: anything that can deal its items out to threads.
+///
+/// Unlike rayon's lazy splitting machinery, sources materialize their items
+/// up front ([`Self::into_items`]); adaptors stay cheap because items are
+/// ranges, references, or sub-slices.
+pub trait ParallelIterator: Sized + Send {
+    /// The item type handed to worker threads.
+    type Item: Send;
+
+    /// Materializes the items, in order.
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs this iterator with another, truncating to the shorter.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Consumes every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drop(self.drive(&|item| f(item)));
+    }
+
+    /// Reduces the items with `op`, seeding the fold with `identity()`.
+    /// (`into_items` already ran any mapping stage in parallel; the final
+    /// combine is sequential, which rayon does not guarantee against.)
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.into_items().into_iter().fold(identity(), op)
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.into_items().into_iter().sum()
+    }
+
+    /// Collects the items, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_items().into_iter().collect()
+    }
+
+    /// Runs `f` over all items in parallel and returns the ordered results.
+    fn drive<R, F>(self, f: &F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        run_parallel(self.into_items(), f)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] by value.
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The iterated item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing [`ParallelIterator`].
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The iterated item type.
+    type Item: Send + 'a;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// A materialized sequence acting as a parallel iterator.
+pub struct VecIter<T>(Vec<T>);
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.0
+    }
+}
+
+/// Lazily mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn into_items(self) -> Vec<R> {
+        // Run the mapping fan-out here so `map(...).collect()` executes `f`
+        // on the worker threads, not on the caller.
+        let f = self.f;
+        self.base.drive(&f)
+    }
+}
+
+/// Zipped pair of parallel iterators (see [`ParallelIterator::zip`]).
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn into_items(self) -> Vec<Self::Item> {
+        self.a.into_items().into_iter().zip(self.b.into_items()).collect()
+    }
+}
+
+/// Index arithmetic for [`RangeIter`]'s zero-materialization dispatch.
+pub trait RangeItem: Copy + Send + Sync {
+    /// Number of items in `start..end` (0 for empty/inverted ranges).
+    fn span(start: Self, end: Self) -> usize;
+    /// The `i`-th item of a range beginning at `start`.
+    fn offset(start: Self, i: usize) -> Self;
+}
+
+/// Parallel iterator over an integer range. Unlike [`VecIter`], worker
+/// threads receive arithmetic sub-ranges — nothing is materialized, so
+/// `Threads::parallel_for(n, ..)`-style hot loops pay no per-launch O(n)
+/// allocation.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+impl<T: RangeItem> ParallelIterator for RangeIter<T> {
+    type Item = T;
+
+    fn into_items(self) -> Vec<T> {
+        let n = T::span(self.start, self.end);
+        (0..n).map(|i| T::offset(self.start, i)).collect()
+    }
+
+    fn drive<R, F>(self, f: &F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = T::span(self.start, self.end);
+        let threads = current_num_threads().min(n);
+        let start = self.start;
+        if threads <= 1 {
+            return (0..n).map(|i| f(T::offset(start, i))).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let outs = scatter(n.div_ceil(chunk), |p| {
+            (p * chunk..((p + 1) * chunk).min(n))
+                .map(|i| f(T::offset(start, i)))
+                .collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(n);
+        for o in outs {
+            out.extend(o);
+        }
+        out
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl RangeItem for $t {
+            fn span(start: Self, end: Self) -> usize {
+                if end <= start {
+                    0
+                } else {
+                    (end as i128 - start as i128) as usize
+                }
+            }
+            fn offset(start: Self, i: usize) -> Self {
+                start.wrapping_add(i as $t)
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(i32, i64, u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = VecIter<&'a T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = VecIter<&'a T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter(self.iter().collect())
+    }
+}
+
+/// Parallel operations on slices: chunking and sorting.
+pub trait ParallelSliceOps<T: Send> {
+    /// Immutable chunks of at most `size` items, as a parallel iterator.
+    fn par_chunks(&self, size: usize) -> VecIter<&[T]>;
+    /// Sorts in place (unstable) by `Ord`, in parallel.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Sorts in place (unstable) by a comparator, in parallel.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+    /// Sorts in place (unstable) by a key, in parallel.
+    fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: Fn(&T) -> K + Sync;
+}
+
+/// Parallel mutable chunking of slices.
+pub trait ParallelSliceMutOps<T: Send> {
+    /// Mutable chunks of at most `size` items, as a parallel iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> VecIter<&mut [T]>;
+}
+
+impl<T: Send + Sync> ParallelSliceOps<T> for [T] {
+    fn par_chunks(&self, size: usize) -> VecIter<&[T]> {
+        VecIter(self.chunks(size).collect())
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.par_sort_unstable_by(T::cmp);
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let depth = current_num_threads().next_power_of_two().trailing_zeros() + 1;
+        par_quicksort(self, &cmp, depth);
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_unstable_by(|a, b| key(a).cmp(&key(b)));
+    }
+}
+
+impl<T: Send> ParallelSliceMutOps<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> VecIter<&mut [T]> {
+        VecIter(self.chunks_mut(size).collect())
+    }
+}
+
+const SORT_SEQUENTIAL_CUTOFF: usize = 4096;
+
+fn par_quicksort<T, F>(v: &mut [T], cmp: &F, depth: u32)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if depth == 0 || v.len() <= SORT_SEQUENTIAL_CUTOFF {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    let pivot = partition(v, cmp);
+    let (lo, rest) = v.split_at_mut(pivot);
+    let hi = &mut rest[1..];
+    join(|| par_quicksort(lo, cmp, depth - 1), || par_quicksort(hi, cmp, depth - 1));
+}
+
+/// Lomuto partition with a median-of-three pivot; returns the pivot's final
+/// index.
+fn partition<T, F>(v: &mut [T], cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let len = v.len();
+    let mid = len / 2;
+    // Order v[0], v[mid], v[len-1]; the median ends up at len-1 as pivot.
+    if cmp(&v[mid], &v[0]) == Ordering::Less {
+        v.swap(mid, 0);
+    }
+    if cmp(&v[len - 1], &v[0]) == Ordering::Less {
+        v.swap(len - 1, 0);
+    }
+    if cmp(&v[mid], &v[len - 1]) == Ordering::Less {
+        v.swap(mid, len - 1);
+    }
+    let mut store = 0;
+    for i in 0..len - 1 {
+        if cmp(&v[i], &v[len - 1]) == Ordering::Less {
+            v.swap(i, store);
+            store += 1;
+        }
+    }
+    v.swap(store, len - 1);
+    store
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMutOps,
+        ParallelSliceOps,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        let sum = AtomicU64::new(0);
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..5_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..5_000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_matches_sequential_fold() {
+        let total = (0..1_000u64).into_par_iter().map(|i| i * i).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..1_000u64).map(|i| i * i).sum::<u64>());
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        let mut a: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let mut b = a.clone();
+        a.par_sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chunks_zip_for_each_mutates_in_place() {
+        let mut data = vec![1usize; 100];
+        let offsets: Vec<usize> = (0..10).collect();
+        data.par_chunks_mut(10).zip(offsets.par_iter()).for_each(|(chunk, &off)| {
+            for x in chunk.iter_mut() {
+                *x += off;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, 1 + i / 10);
+        }
+    }
+
+    #[test]
+    fn range_dispatch_covers_bounds_and_empty_ranges() {
+        let v: Vec<u64> = (10u64..100_010).into_par_iter().map(|i| i).collect();
+        assert_eq!(v.len(), 100_000);
+        assert_eq!((v[0], v[99_999]), (10, 100_009));
+        assert!(v.windows(2).all(|w| w[1] == w[0] + 1));
+        let empty: Vec<i32> = (5i32..5).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, (b, c)) = super::join(|| 1, || super::join(|| 2, || 3));
+        assert_eq!((a, b, c), (1, 2, 3));
+    }
+}
