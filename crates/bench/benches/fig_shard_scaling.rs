@@ -1,0 +1,97 @@
+//! Shard-scaling study: how the Morton-range sharded EMST behaves as the
+//! shard count grows.
+//!
+//! Not a paper figure — this measures the scale-out subsystem layered on
+//! top of the reproduction. For each dataset archetype the monolithic
+//! single-tree solve is the baseline; the sharded solver then runs at
+//! K ∈ {1, 2, 4, 8, 16}, reporting per-phase timings (plan / parallel
+//! local solves / cross-shard merge), the merge-round count and the
+//! boundary-candidate count (cross-shard queries that were not root-pruned
+//! — the effective "surface area" of the decomposition).
+//!
+//! Expected shape: local-solve time drops with K (smaller shards, solved
+//! concurrently) while merge time and boundary candidates grow; the sweet
+//! spot moves right as n grows. Weights are asserted equal to the
+//! monolithic solve on every row.
+
+use emst_bench::*;
+use emst_core::{EmstConfig, SingleTreeBoruvka};
+use emst_datasets::{PaperDataset, PointCloud};
+use emst_exec::Threads;
+use emst_shard::{emst_sharded_with, ShardConfig, ShardedResult};
+
+const SHARD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn sharded(cloud: &PointCloud, k: usize) -> ShardedResult {
+    let cfg = ShardConfig::new(k);
+    with_cloud(
+        cloud,
+        |p| emst_sharded_with(&Threads, p, &cfg),
+        |p| emst_sharded_with(&Threads, p, &cfg),
+    )
+}
+
+fn monolithic_weight_and_secs(cloud: &PointCloud) -> (f64, f64) {
+    with_cloud(
+        cloud,
+        |p| {
+            let (r, secs) =
+                time_it(|| SingleTreeBoruvka::new(p).run(&Threads, &EmstConfig::default()));
+            (r.total_weight, secs)
+        },
+        |p| {
+            let (r, secs) =
+                time_it(|| SingleTreeBoruvka::new(p).run(&Threads, &EmstConfig::default()));
+            (r.total_weight, secs)
+        },
+    )
+}
+
+fn main() {
+    let scale = bench_scale();
+    println!("# Shard scaling: Morton-range sharded EMST vs the monolithic solve");
+    println!("# columns: K, total(s), plan(s), local(s), merge(s), rounds, boundary, rate");
+    for ds in [PaperDataset::Uniform100M2, PaperDataset::Hacc37M, PaperDataset::Normal100M3] {
+        let n = bench_n_override().unwrap_or(ds.scaled_size(scale));
+        let cloud = ds.generate(n, 0x5AD);
+        let (mono_weight, mono_secs) = monolithic_weight_and_secs(&cloud);
+        println!();
+        println!("## {} (n = {n}, dim = {})", ds.name(), cloud.dim());
+        println!(
+            "{:>4} {:>9} {:>8} {:>8} {:>8} {:>7} {:>10} {:>12}",
+            "K", "total", "plan", "local", "merge", "rounds", "boundary", "MFeat/s"
+        );
+        println!(
+            "{:>4} {:>9.3} {:>8} {:>8} {:>8} {:>7} {:>10} {:>12.2}",
+            "mono",
+            mono_secs,
+            "-",
+            "-",
+            "-",
+            "-",
+            "-",
+            mfeatures_per_sec(cloud.features(), mono_secs)
+        );
+        for k in SHARD_COUNTS {
+            let (result, secs) = time_it(|| sharded(&cloud, k));
+            assert!(
+                (result.total_weight - mono_weight).abs() <= 1e-6 * mono_weight.max(1.0),
+                "K={k}: sharded weight {} != monolithic {mono_weight}",
+                result.total_weight
+            );
+            let t = &result.stats.timings;
+            println!(
+                "{k:>4} {secs:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>7} {:>10} {:>12.2}",
+                t.get("plan"),
+                t.get("local"),
+                t.get("merge"),
+                result.stats.merge_rounds,
+                result.stats.boundary_candidates,
+                mfeatures_per_sec(cloud.features(), secs)
+            );
+        }
+    }
+    println!();
+    println!("# local time falls with K (parallel smaller solves); merge time and boundary");
+    println!("# candidates grow with K — the crossover is the useful shard count for this n");
+}

@@ -88,6 +88,61 @@ impl<'a> Iterator for FieldIter<'a> {
     }
 }
 
+/// Streams CSV points in fixed-size chunks without ever holding the whole
+/// file in memory — the reader behind the out-of-core sharded EMST path.
+///
+/// Semantics match [`load_csv`] exactly (leading non-numeric header skipped,
+/// blank lines ignored, extra columns ignored, malformed data lines are
+/// errors). `f` is called with the index of the chunk's first point and the
+/// chunk's points (every chunk except the last has exactly `chunk_points`
+/// points); an error returned by `f` aborts the read. Returns the total
+/// number of points streamed.
+pub fn read_points_chunked<const D: usize>(
+    path: &Path,
+    chunk_points: usize,
+    mut f: impl FnMut(usize, &[Point<D>]) -> io::Result<()>,
+) -> io::Result<usize> {
+    assert!(chunk_points > 0, "chunk size must be positive");
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line_buf = String::new();
+    let mut chunk: Vec<Point<D>> = Vec::with_capacity(chunk_points);
+    let mut line_no = 0usize;
+    let mut total = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line::<D>(line, b',') {
+            Some(p) => {
+                chunk.push(p);
+                if chunk.len() == chunk_points {
+                    f(total, &chunk)?;
+                    total += chunk.len();
+                    chunk.clear();
+                }
+            }
+            None if line_no == 1 => {} // header
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}:{line_no}: expected {D} numeric fields", path.display()),
+                ));
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        f(total, &chunk)?;
+        total += chunk.len();
+    }
+    Ok(total)
+}
+
 fn load_delimited<const D: usize>(path: &Path, delim: u8) -> io::Result<Vec<Point<D>>> {
     let reader = BufReader::new(File::open(path)?);
     let mut out = vec![];
@@ -182,5 +237,67 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         assert!(load_csv::<2>(Path::new("/definitely/not/here.csv")).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_round_trips_against_whole_file_reader() {
+        let pts = uniform::<3>(1003, 11); // deliberately not a chunk multiple
+        let path = tmp("chunked.csv");
+        save_csv(&path, &pts).unwrap();
+        let whole: Vec<Point<3>> = load_csv(&path).unwrap();
+        for chunk_points in [1usize, 7, 256, 1003, 5000] {
+            let mut streamed: Vec<Point<3>> = vec![];
+            let mut starts: Vec<usize> = vec![];
+            let total = read_points_chunked::<3>(&path, chunk_points, |start, chunk| {
+                assert_eq!(start, streamed.len());
+                starts.push(start);
+                streamed.extend_from_slice(chunk);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(total, whole.len(), "chunk={chunk_points}");
+            assert_eq!(streamed, whole, "chunk={chunk_points}");
+            // Every chunk except the last is exactly chunk_points long.
+            for w in starts.windows(2) {
+                assert_eq!(w[1] - w[0], chunk_points);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reader_skips_headers_and_rejects_malformed_lines() {
+        let path = tmp("chunked-header.csv");
+        std::fs::write(&path, "x,y,label\n1.0,2.0,7\n\n3.5,-4.25,9\n").unwrap();
+        let mut got: Vec<Point<2>> = vec![];
+        let total = read_points_chunked::<2>(&path, 64, |_, c| {
+            got.extend_from_slice(c);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(total, 2);
+        assert_eq!(got, vec![Point::new([1.0, 2.0]), Point::new([3.5, -4.25])]);
+
+        std::fs::write(&path, "1.0,2.0\nnot,numbers\n").unwrap();
+        let err = read_points_chunked::<2>(&path, 64, |_, _| Ok(())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reader_propagates_callback_errors() {
+        let path = tmp("chunked-abort.csv");
+        let pts = uniform::<2>(100, 3);
+        save_csv(&path, &pts).unwrap();
+        let err = read_points_chunked::<2>(&path, 10, |start, _| {
+            if start >= 20 {
+                Err(io::Error::other("stop"))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "stop");
+        std::fs::remove_file(&path).ok();
     }
 }

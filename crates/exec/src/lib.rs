@@ -19,7 +19,7 @@
 //! possible inside a kernel body.
 //!
 //! The crate also hosts the device-style atomic helpers
-//! ([`atomic::AtomicF32Min`], [`atomic::AtomicF64Sum`]…), the algorithm
+//! ([`atomic::AtomicF32Min`], [`atomic::AtomicU64Min`]…), the algorithm
 //! instrumentation [`Counters`], and [`PhaseTimings`] used by the figure
 //! harnesses.
 

@@ -1,0 +1,445 @@
+//! The cross-shard Borůvka merge.
+//!
+//! Given a set of resident shards (each a BVH over its points) plus a list
+//! of *seed* candidate edges, this engine computes the exact minimum
+//! spanning tree of the graph
+//!
+//! ```text
+//! H  =  seeds  ∪  { every edge between points of different shards }
+//! ```
+//!
+//! by Borůvka rounds from singleton components. Each round, a component's
+//! shortest outgoing edge is the minimum — under the strict total order
+//! `(weight, min endpoint, max endpoint)` — of
+//!
+//! - the seed edges leaving it (scanned directly), and
+//! - its shortest cross-shard edge, found by one constrained
+//!   nearest-neighbour traversal per point against every *other* shard's
+//!   BVH (the same [`Bvh::nearest_with`] kernel as the monolithic
+//!   algorithm, with the component-skip predicate of the paper's
+//!   Optimization 1 maintained per shard by [`reduce_labels`]).
+//!
+//! Why this is exact for the sharded EMST: by the cycle property, an
+//! intra-shard edge discarded by that shard's local MST is the heaviest
+//! edge of an intra-shard cycle and therefore in no MST of the full point
+//! set; so `MST(complete graph) ⊆ (local MST edges) ∪ (cross-shard
+//! edges) = H`, and `MST(H) = MST(complete graph)`. Seeding with the local
+//! MST edges also gives every interior point a tight traversal radius, so
+//! cross-shard queries are root-pruned everywhere except near shard
+//! boundaries — the "boundary region" of the queries emerges from the
+//! radius bound rather than from an explicit margin.
+//!
+//! The per-point query tracks its best candidate under the *global* edge
+//! order inside the leaf callback (the traversal's own tie-breaking is by
+//! Morton rank within one shard, which is meaningless across shards), so
+//! every component selects the true total-order minimum and the merged
+//! edge set is the unique MST of `H` — no cycle can form, and the
+//! union–find merge step never has to discard a chosen edge.
+
+use std::sync::atomic::AtomicU32;
+
+use emst_bvh::{Bvh, TraversalStats};
+use emst_core::labels::{reduce_labels, INVALID_LABEL};
+use emst_core::{Edge, UnionFind};
+use emst_exec::atomic::{pack_dist_payload, unpack_dist_payload};
+use emst_exec::{AtomicU64Min, Counters, ExecSpace, PhaseTimings, SyncUnsafeSlice};
+use emst_geometry::{nonneg_f32_to_ordered_bits, Point, Scalar};
+
+/// A shard resident in memory for the merge: its BVH plus the caller's
+/// vertex id for every Morton rank. Vertex ids must be unique across all
+/// shards and contiguous in `0..n_vertices`.
+pub(crate) struct MergeShard<const D: usize> {
+    pub bvh: Bvh<D>,
+    pub vertex_of_rank: Vec<u32>,
+}
+
+impl<const D: usize> MergeShard<D> {
+    /// Builds a resident shard from points and their vertex ids (parallel
+    /// arrays; `vertices[i]` is the id of `points[i]`).
+    pub fn build<S: ExecSpace>(space: &S, points: &[Point<D>], vertices: &[u32]) -> Self {
+        debug_assert_eq!(points.len(), vertices.len());
+        let bvh = Bvh::build(space, points);
+        let vertex_of_rank =
+            (0..points.len() as u32).map(|r| vertices[bvh.point_index(r) as usize]).collect();
+        Self { bvh, vertex_of_rank }
+    }
+}
+
+/// Outcome of a merge.
+pub(crate) struct MergeOutcome {
+    /// The `n_vertices − 1` MST edges of `H`, in vertex ids.
+    pub edges: Vec<Edge>,
+    /// Borůvka rounds executed.
+    pub rounds: u32,
+    /// Cross-shard queries that actually tested at least one leaf (i.e.
+    /// were not pruned at the other shard's root) — the effective boundary
+    /// candidate count.
+    pub boundary_candidates: u64,
+}
+
+/// Per-query accumulation for the reduction: traversal work plus the count
+/// of queries that reached a leaf.
+#[derive(Clone, Copy, Default)]
+struct QueryWork {
+    nodes: u64,
+    leaves: u64,
+    distances: u64,
+    skipped: u64,
+    queries: u64,
+    boundary: u64,
+}
+
+impl QueryWork {
+    fn combine(a: Self, b: Self) -> Self {
+        Self {
+            nodes: a.nodes + b.nodes,
+            leaves: a.leaves + b.leaves,
+            distances: a.distances + b.distances,
+            skipped: a.skipped + b.skipped,
+            queries: a.queries + b.queries,
+            boundary: a.boundary + b.boundary,
+        }
+    }
+}
+
+/// Runs the cross-shard Borůvka merge over `shards` (all non-empty) with
+/// candidate `seeds`, returning the MST of `H` (see module docs).
+///
+/// Panics if `H` is disconnected, which cannot happen for the two callers:
+/// local-MST seeds connect each shard internally and the cross-shard edge
+/// set connects the shards to each other (any two shards induce a complete
+/// bipartite graph).
+pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
+    space: &S,
+    shards: &[MergeShard<D>],
+    n_vertices: usize,
+    seeds: &[Edge],
+    counters: &Counters,
+    timings: &mut PhaseTimings,
+) -> MergeOutcome {
+    debug_assert!(shards.iter().all(|s| s.bvh.num_leaves() > 0));
+    debug_assert_eq!(
+        shards.iter().map(|s| s.bvh.num_leaves()).sum::<usize>(),
+        n_vertices,
+        "shards must partition the vertex set"
+    );
+    if n_vertices < 2 {
+        return MergeOutcome { edges: vec![], rounds: 0, boundary_candidates: 0 };
+    }
+
+    // vertex -> (owning shard, Morton rank inside it).
+    let mut shard_of = vec![0u32; n_vertices];
+    let mut rank_of = vec![0u32; n_vertices];
+    for (s, shard) in shards.iter().enumerate() {
+        for (rank, &v) in shard.vertex_of_rank.iter().enumerate() {
+            shard_of[v as usize] = s as u32;
+            rank_of[v as usize] = rank as u32;
+        }
+    }
+
+    // Per-shard label-reduction scratch (Optimization 1 state).
+    let mut rank_labels: Vec<Vec<u32>> =
+        shards.iter().map(|s| vec![0u32; s.bvh.num_leaves()]).collect();
+    let mut node_labels: Vec<Vec<u32>> =
+        shards.iter().map(|s| vec![INVALID_LABEL; s.bvh.num_nodes()]).collect();
+    let flags: Vec<Vec<AtomicU32>> = shards
+        .iter()
+        .map(|s| (0..s.bvh.num_internal()).map(|_| AtomicU32::new(0)).collect())
+        .collect();
+
+    // Component state. Labels are canonical: the smallest vertex id of the
+    // component, so `labels[v] == v` identifies representatives.
+    let mut labels: Vec<u32> = (0..n_vertices as u32).collect();
+    let mut dsu = UnionFind::new(n_vertices);
+    let comp_key: Vec<AtomicU64Min> = (0..n_vertices).map(|_| AtomicU64Min::new_max()).collect();
+    let comp_pair: Vec<AtomicU64Min> = (0..n_vertices).map(|_| AtomicU64Min::new_max()).collect();
+    let mut upper = vec![Scalar::INFINITY; n_vertices];
+    let mut cand_d = vec![Scalar::INFINITY; n_vertices];
+    let mut cand_a = vec![u32::MAX; n_vertices];
+    let mut cand_b = vec![u32::MAX; n_vertices];
+    let mut min_of_root = vec![u32::MAX; n_vertices];
+
+    let mut edges: Vec<Edge> = Vec::with_capacity(n_vertices - 1);
+    let mut rounds = 0u32;
+    let mut boundary_candidates = 0u64;
+    let mut num_components = n_vertices;
+
+    while num_components > 1 {
+        rounds += 1;
+        assert!(
+            rounds as usize <= usize::BITS as usize * 2,
+            "cross-shard merge failed to converge"
+        );
+
+        // Phase 1: refresh every shard's node labels so traversals can skip
+        // subtrees fully inside the query's component.
+        timings.time("merge.labels", || {
+            for (s, shard) in shards.iter().enumerate() {
+                let ns = shard.bvh.num_leaves();
+                {
+                    let out = SyncUnsafeSlice::new(&mut rank_labels[s]);
+                    let labels = &labels;
+                    let vertex_of_rank = &shard.vertex_of_rank;
+                    space.parallel_for(ns, |r| {
+                        // SAFETY: one writer per slot, read after the kernel.
+                        unsafe { out.write(r, labels[vertex_of_rank[r] as usize]) };
+                    });
+                }
+                reduce_labels(space, &shard.bvh, &rank_labels[s], &mut node_labels[s], &flags[s]);
+            }
+            counters.add_bytes(shards.iter().map(|s| s.bvh.num_nodes() as u64 * 8).sum());
+        });
+
+        // Phase 2: reset per-round state and offer the seed edges, which
+        // also yields each component's traversal radius (the analogue of
+        // the paper's Optimization 2 upper bounds, with local-MST candidate
+        // edges in place of Z-curve neighbour pairs).
+        timings.time("merge.seeds", || {
+            space.parallel_for(n_vertices, |v| comp_key[v].store(u64::MAX));
+            {
+                let cand_a_s = SyncUnsafeSlice::new(&mut cand_a);
+                space.parallel_for(n_vertices, |v| {
+                    // SAFETY: one writer per slot.
+                    unsafe { cand_a_s.write(v, u32::MAX) };
+                });
+            }
+            let labels = &labels;
+            space.parallel_for(seeds.len(), |i| {
+                let e = seeds[i];
+                let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
+                if lu != lv {
+                    let key = pack_dist_payload(e.weight_sq, e.u);
+                    comp_key[lu as usize].fetch_min(key);
+                    comp_key[lv as usize].fetch_min(key);
+                }
+            });
+            let upper_s = SyncUnsafeSlice::new(&mut upper);
+            space.parallel_for(n_vertices, |v| {
+                let key = comp_key[v].load();
+                let r = if key == u64::MAX { Scalar::INFINITY } else { unpack_dist_payload(key).0 };
+                // SAFETY: one writer per slot.
+                unsafe { upper_s.write(v, r) };
+            });
+        });
+
+        // Phase 3: one constrained nearest-neighbour query per point per
+        // *other* shard, tracking the best candidate under the global
+        // `(weight, min, max)` order inside the leaf callback.
+        timings.time("merge.query", || {
+            let labels = &labels;
+            let node_labels = &node_labels;
+            let upper = &upper;
+            let shard_of = &shard_of;
+            let rank_of = &rank_of;
+            let cand_d_s = SyncUnsafeSlice::new(&mut cand_d);
+            let cand_a_s = SyncUnsafeSlice::new(&mut cand_a);
+            let cand_b_s = SyncUnsafeSlice::new(&mut cand_b);
+            let work = space.parallel_reduce(
+                n_vertices,
+                QueryWork::default(),
+                |v| {
+                    let c = labels[v];
+                    let home = shard_of[v] as usize;
+                    let query = shards[home].bvh.leaf_point(rank_of[v]);
+                    let mut radius = upper[c as usize];
+                    let mut best: Option<(u32, u32, u32)> = None; // (w bits, a, b)
+                    let mut best_d = Scalar::INFINITY;
+                    let mut work = QueryWork::default();
+                    for (s, shard) in shards.iter().enumerate() {
+                        if s == home {
+                            continue;
+                        }
+                        let mut st = TraversalStats::default();
+                        let nl = &node_labels[s];
+                        let vor = &shard.vertex_of_rank;
+                        shard.bvh.nearest_with(
+                            query,
+                            radius,
+                            |node| nl[node as usize] == c,
+                            |rank, e| {
+                                let x = vor[rank as usize];
+                                if labels[x as usize] == c {
+                                    return None;
+                                }
+                                let key = (
+                                    nonneg_f32_to_ordered_bits(e),
+                                    (v as u32).min(x),
+                                    (v as u32).max(x),
+                                );
+                                if best.is_none_or(|b| key < b) {
+                                    best = Some(key);
+                                    best_d = e;
+                                }
+                                Some(e)
+                            },
+                            &mut st,
+                        );
+                        work.queries += 1;
+                        work.nodes += st.nodes as u64;
+                        work.leaves += st.leaves as u64;
+                        work.distances += st.distances as u64;
+                        work.skipped += st.skipped as u64;
+                        if st.leaves > 0 {
+                            work.boundary += 1;
+                        }
+                        radius = radius.min(best_d);
+                    }
+                    if let Some((_, a, b)) = best {
+                        // SAFETY: one writer per slot `v`.
+                        unsafe {
+                            cand_d_s.write(v, best_d);
+                            cand_a_s.write(v, a);
+                            cand_b_s.write(v, b);
+                        }
+                        comp_key[c as usize].fetch_min(pack_dist_payload(best_d, a));
+                    }
+                    work
+                },
+                QueryWork::combine,
+            );
+            boundary_candidates += work.boundary;
+            counters.add_queries(work.queries);
+            counters.add_node_visits(work.nodes);
+            counters.add_leaf_visits(work.leaves);
+            counters.add_distance_computations(work.distances);
+            counters.add_subtrees_skipped(work.skipped);
+        });
+
+        // Phase 4: resolve each component's winner. Among candidates that
+        // attain `comp_key = (weight, min endpoint)`, the smallest packed
+        // `(min, max)` pair wins — completing the total order.
+        timings.time("merge.select", || {
+            let labels = &labels;
+            space.parallel_for(n_vertices, |v| comp_pair[v].store(u64::MAX));
+            space.parallel_for(seeds.len(), |i| {
+                let e = seeds[i];
+                let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
+                if lu == lv {
+                    return;
+                }
+                let key = pack_dist_payload(e.weight_sq, e.u);
+                let pair = ((e.u as u64) << 32) | e.v as u64;
+                if key == comp_key[lu as usize].load() {
+                    comp_pair[lu as usize].fetch_min(pair);
+                }
+                if key == comp_key[lv as usize].load() {
+                    comp_pair[lv as usize].fetch_min(pair);
+                }
+            });
+            let cand_d = &cand_d;
+            let cand_a = &cand_a;
+            let cand_b = &cand_b;
+            space.parallel_for(n_vertices, |v| {
+                if cand_a[v] == u32::MAX {
+                    return;
+                }
+                let c = labels[v] as usize;
+                if pack_dist_payload(cand_d[v], cand_a[v]) == comp_key[c].load() {
+                    comp_pair[c].fetch_min(((cand_a[v] as u64) << 32) | cand_b[v] as u64);
+                }
+            });
+        });
+
+        // Phase 5: merge along the chosen edges and relabel canonically.
+        timings.time("merge.union", || {
+            for v in 0..n_vertices {
+                if labels[v] != v as u32 {
+                    continue;
+                }
+                let pair = comp_pair[v].load();
+                assert_ne!(pair, u64::MAX, "component {v} found no outgoing edge");
+                let (a, b) = ((pair >> 32) as u32, pair as u32);
+                let w = unpack_dist_payload(comp_key[v].load()).0;
+                if dsu.union(a as usize, b as usize) {
+                    edges.push(Edge::new(a, b, w));
+                }
+            }
+            min_of_root.fill(u32::MAX);
+            for v in 0..n_vertices {
+                let r = dsu.find(v);
+                min_of_root[r] = min_of_root[r].min(v as u32);
+            }
+            for v in 0..n_vertices {
+                labels[v] = min_of_root[dsu.find(v)];
+            }
+            counters.add_bytes(n_vertices as u64 * 12);
+        });
+
+        num_components = dsu.num_sets();
+    }
+
+    assert_eq!(edges.len(), n_vertices - 1, "merge did not produce a spanning tree");
+    MergeOutcome { edges, rounds, boundary_candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_core::brute::brute_force_emst;
+    use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use emst_exec::Serial;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    /// Two shards, no seeds: the engine computes the spanning tree of the
+    /// complete bipartite cross graph, verified against a brute-force
+    /// bipartite Borůvka oracle's weight multiset.
+    #[test]
+    fn bipartite_merge_matches_brute_force() {
+        let pts = random_points_2d(60, 5);
+        let (a, b) = pts.split_at(25);
+        let va: Vec<u32> = (0..25).collect();
+        let vb: Vec<u32> = (25..60).collect();
+        let shards = vec![MergeShard::build(&Serial, a, &va), MergeShard::build(&Serial, b, &vb)];
+        let counters = Counters::new();
+        let mut timings = PhaseTimings::new();
+        let out = cross_shard_boruvka(&Serial, &shards, 60, &[], &counters, &mut timings);
+        assert_eq!(out.edges.len(), 59);
+        verify_spanning_tree(60, &out.edges).unwrap();
+
+        // Oracle: Kruskal over all cross edges only.
+        let mut cross: Vec<Edge> = vec![];
+        for u in 0..25u32 {
+            for v in 25..60u32 {
+                cross.push(Edge::new(u, v, pts[u as usize].squared_distance(&pts[v as usize])));
+            }
+        }
+        let g = emst_graph::WeightedGraph::new(60, cross.iter().map(|e| (e.u, e.v, e.weight_sq)));
+        let oracle = emst_graph::kruskal(&g);
+        assert_eq!(weight_multiset(&out.edges), weight_multiset(&oracle));
+    }
+
+    /// One shard plus its local MST as seeds: the merge must reproduce the
+    /// EMST exactly (no cross queries are possible).
+    #[test]
+    fn single_shard_merge_reassembles_local_mst() {
+        let pts = random_points_2d(120, 7);
+        let vertices: Vec<u32> = (0..120).collect();
+        let seeds = brute_force_emst(&pts);
+        let shards = vec![MergeShard::build(&Serial, &pts, &vertices)];
+        let counters = Counters::new();
+        let mut timings = PhaseTimings::new();
+        let out = cross_shard_boruvka(&Serial, &shards, 120, &seeds, &counters, &mut timings);
+        verify_spanning_tree(120, &out.edges).unwrap();
+        assert_eq!(weight_multiset(&out.edges), weight_multiset(&seeds));
+        assert_eq!(out.boundary_candidates, 0);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let pts = [Point::new([0.0f32, 0.0])];
+        let shards = vec![MergeShard::build(&Serial, &pts, &[0])];
+        let counters = Counters::new();
+        let mut timings = PhaseTimings::new();
+        let out = cross_shard_boruvka(&Serial, &shards, 1, &[], &counters, &mut timings);
+        assert!(out.edges.is_empty());
+        assert_eq!(out.rounds, 0);
+    }
+}

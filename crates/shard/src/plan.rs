@@ -1,0 +1,175 @@
+//! Morton-range partitioning of a point cloud into spatially coherent shards.
+//!
+//! The plan sorts points along the Z-order curve (reusing [`emst_morton`]'s
+//! encoder, exactly like the BVH construction) and cuts the sorted sequence
+//! into `K` contiguous ranges of roughly equal size. Because the curve
+//! preserves spatial locality, every range is a spatially coherent blob —
+//! the property the per-shard local solves and the boundary-query pruning of
+//! the merge both rely on.
+//!
+//! Cut positions are *snapped forward past runs of identical Morton codes*,
+//! so points that are indistinguishable on the curve (duplicates, or
+//! hot-spot collapses at 64-bit resolution) always land in the same shard.
+//! With heavily duplicated inputs this makes the split uneven — in the
+//! extreme (all points identical) one shard holds everything and the rest
+//! are empty, which every consumer of a plan must tolerate.
+
+use emst_geometry::{Aabb, Point};
+use emst_morton::MortonEncoder;
+
+/// A partition of `n` points into `K` contiguous Morton ranges.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Original point indices, sorted by `(morton code, index)`.
+    order: Vec<u32>,
+    /// Shard `s` owns `order[bounds[s]..bounds[s + 1]]`; `K + 1` entries.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Plans `shards` Morton-range shards over `points` (`shards` is clamped
+    /// to at least 1). Shards may be empty when `shards > n` or when
+    /// duplicate Morton codes force a cut to snap forward.
+    pub fn new<const D: usize>(points: &[Point<D>], shards: usize) -> Self {
+        let k = shards.max(1);
+        let scene = Aabb::from_points(points);
+        let enc = MortonEncoder::new(&scene);
+        let mut pairs: Vec<(u64, u32)> =
+            points.iter().enumerate().map(|(i, p)| (enc.encode_u64(p), i as u32)).collect();
+        pairs.sort_unstable();
+        Self::from_sorted_codes(&pairs, k)
+    }
+
+    /// Plans shards from pre-sorted `(code, original index)` pairs.
+    pub fn from_sorted_codes(pairs: &[(u64, u32)], shards: usize) -> Self {
+        let n = pairs.len();
+        let k = shards.max(1);
+        debug_assert!(pairs.windows(2).all(|w| w[0] <= w[1]), "pairs must be sorted");
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0);
+        for s in 1..k {
+            let mut b = (s * n / k).max(*bounds.last().unwrap());
+            // Snap forward so equal Morton codes never straddle a cut.
+            while b > 0 && b < n && pairs[b].0 == pairs[b - 1].0 {
+                b += 1;
+            }
+            bounds.push(b);
+        }
+        bounds.push(n);
+        let order = pairs.iter().map(|&(_, i)| i).collect();
+        Self { order, bounds }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of points across all shards.
+    pub fn num_points(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Original point indices of shard `s`, in Morton order.
+    pub fn shard_indices(&self, s: usize) -> &[u32] {
+        &self.order[self.bounds[s]..self.bounds[s + 1]]
+    }
+
+    /// Point counts per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        (0..self.num_shards()).map(|s| self.bounds[s + 1] - self.bounds[s]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    fn assert_is_partition(plan: &ShardPlan, n: usize) {
+        let mut seen: Vec<u32> =
+            (0..plan.num_shards()).flat_map(|s| plan.shard_indices(s).iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_partitions_all_points_evenly() {
+        let pts = random_points_2d(1000, 3);
+        for k in [1usize, 2, 7, 16] {
+            let plan = ShardPlan::new(&pts, k);
+            assert_eq!(plan.num_shards(), k);
+            assert_is_partition(&plan, pts.len());
+            // Random points rarely collide on the curve, so sizes are even.
+            for size in plan.shard_sizes() {
+                assert!(size >= 1000 / k - 1 && size <= 1000 / k + k, "size {size} for k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_duplicates_fall_into_one_shard() {
+        let pts = vec![Point::new([0.25f32, 0.75]); 64];
+        let plan = ShardPlan::new(&pts, 7);
+        assert_is_partition(&plan, 64);
+        let nonempty: Vec<usize> =
+            plan.shard_sizes().into_iter().filter(|&size| size > 0).collect();
+        assert_eq!(nonempty, vec![64]);
+    }
+
+    #[test]
+    fn more_shards_than_points_yields_empty_shards() {
+        let pts = random_points_2d(5, 9);
+        let plan = ShardPlan::new(&pts, 16);
+        assert_eq!(plan.num_shards(), 16);
+        assert_is_partition(&plan, 5);
+        assert_eq!(plan.shard_sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let pts = random_points_2d(10, 1);
+        let plan = ShardPlan::new(&pts, 0);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.shard_indices(0).len(), 10);
+    }
+
+    #[test]
+    fn empty_input_plans_empty_shards() {
+        let pts: Vec<Point<2>> = vec![];
+        let plan = ShardPlan::new(&pts, 4);
+        assert_eq!(plan.num_shards(), 4);
+        assert_eq!(plan.shard_sizes(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shards_are_morton_contiguous() {
+        // Code ranges of consecutive shards must not interleave.
+        let pts = random_points_2d(500, 11);
+        let scene = Aabb::from_points(&pts);
+        let enc = MortonEncoder::new(&scene);
+        let plan = ShardPlan::new(&pts, 8);
+        let mut prev_max: Option<u64> = None;
+        for s in 0..plan.num_shards() {
+            let codes: Vec<u64> =
+                plan.shard_indices(s).iter().map(|&i| enc.encode_u64(&pts[i as usize])).collect();
+            if codes.is_empty() {
+                continue;
+            }
+            let lo = *codes.iter().min().unwrap();
+            let hi = *codes.iter().max().unwrap();
+            if let Some(p) = prev_max {
+                assert!(lo >= p, "shard {s} overlaps the previous range");
+            }
+            prev_max = Some(hi);
+        }
+    }
+}

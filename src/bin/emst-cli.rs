@@ -3,23 +3,27 @@
 //! ```text
 //! emst-cli generate --kind hacc --n 10000 --dim 3 --seed 1 --output pts.csv
 //! emst-cli emst     --input pts.csv --dim 3 --output mst.csv [--algorithm single-tree]
+//! emst-cli emst     --input pts.csv --shards 8 [--max-resident 1000000]
 //! emst-cli hdbscan  --input pts.csv --dim 3 --k 5 --min-cluster-size 20 --output labels.csv
 //! ```
 //!
-//! Arguments are `--key value` pairs; unknown keys abort with usage help.
-//! The MST output is CSV rows `u,v,weight`; HDBSCAN output is one label per
-//! line (`-1` = noise).
+//! Arguments are `--key value` pairs; unknown keys abort with usage help and
+//! malformed values (e.g. a non-numeric `--n`) abort with an error message
+//! and a non-zero exit code. The MST output is CSV rows `u,v,weight`;
+//! HDBSCAN output is one label per line (`-1` = noise).
 
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::str::FromStr;
 
 use emst::core::{EmstConfig, SingleTreeBoruvka};
 use emst::datasets::{self, Kind};
-use emst::exec::{GpuSim, Serial, Threads};
+use emst::exec::{ExecSpace, GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::hdbscan::Hdbscan;
+use emst::shard::{emst_sharded_csv, emst_sharded_with, ShardConfig, ShardStats, StreamConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -29,6 +33,7 @@ fn usage() -> ExitCode {
   emst-cli emst     --input <points.csv> [--dim 2|3] [--output <mst.csv>]
                     [--algorithm single-tree|kd-single-tree|dual-tree|wspd]
                     [--backend serial|threads|gpusim]
+                    [--shards <K>] [--max-resident <points>]
   emst-cli hdbscan  --input <points.csv> [--dim 2|3] [--k <k_pts>]
                     [--min-cluster-size <m>] [--output <labels.csv>]"
     );
@@ -46,6 +51,25 @@ fn parse_args(args: &[String]) -> Option<HashMap<String, String>> {
     Some(map)
 }
 
+/// Parses an optional `--key value` argument strictly: a present but
+/// malformed value is an error, never a silent default.
+fn parse_opt<T: FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key} value {v:?}")),
+    }
+}
+
+/// Parses a required `--key value` argument strictly.
+fn parse_req<T: FromStr>(opts: &HashMap<String, String>, key: &str) -> Result<T, String> {
+    let v = opts.get(key).ok_or(format!("--{key} is required"))?;
+    v.parse().map_err(|_| format!("invalid --{key} value {v:?}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -54,26 +78,32 @@ fn main() -> ExitCode {
     let Some(opts) = parse_args(rest) else {
         return usage();
     };
-    let dim: usize = opts.get("dim").and_then(|v| v.parse().ok()).unwrap_or(2);
-    if dim != 2 && dim != 3 {
-        eprintln!("error: --dim must be 2 or 3");
-        return ExitCode::FAILURE;
-    }
-    let result = match (command.as_str(), dim) {
-        ("generate", 2) => generate::<2>(&opts),
-        ("generate", 3) => generate::<3>(&opts),
-        ("emst", 2) => run_emst::<2>(&opts),
-        ("emst", 3) => run_emst::<3>(&opts),
-        ("hdbscan", 2) => run_hdbscan::<2>(&opts),
-        ("hdbscan", 3) => run_hdbscan::<3>(&opts),
-        _ => return usage(),
-    };
+    let result = run(command, &opts);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn run(command: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    let dim: usize = parse_opt(opts, "dim", 2)?;
+    if dim != 2 && dim != 3 {
+        return Err("--dim must be 2 or 3".into());
+    }
+    match (command, dim) {
+        ("generate", 2) => generate::<2>(opts),
+        ("generate", 3) => generate::<3>(opts),
+        ("emst", 2) => run_emst::<2>(opts),
+        ("emst", 3) => run_emst::<3>(opts),
+        ("hdbscan", 2) => run_hdbscan::<2>(opts),
+        ("hdbscan", 3) => run_hdbscan::<3>(opts),
+        _ => Err(format!(
+            "unknown command {command:?} (expected generate, emst or hdbscan; run with no \
+             arguments for usage)"
+        )),
     }
 }
 
@@ -89,9 +119,8 @@ fn generate<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
         Some("road") => Kind::RoadNetworkLike,
         other => return Err(format!("unknown --kind {other:?}")),
     };
-    let n: usize =
-        opts.get("n").ok_or("--n is required")?.parse().map_err(|_| "--n must be an integer")?;
-    let seed: u64 = opts.get("seed").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let n: usize = parse_req(opts, "n")?;
+    let seed: u64 = parse_opt(opts, "seed", 0)?;
     let output = opts.get("output").ok_or("--output is required")?;
     let points: Vec<Point<D>> = kind.generate(n, seed);
     datasets::save_csv(Path::new(output), &points).map_err(|e| e.to_string())?;
@@ -107,20 +136,85 @@ fn load_points<const D: usize>(opts: &HashMap<String, String>) -> Result<Vec<Poi
     } else {
         datasets::load_csv::<D>(&path)
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| format!("{input}: {e}"))?;
     if points.is_empty() {
         return Err(format!("{input}: no points"));
     }
     Ok(points)
 }
 
+fn print_shard_stats(stats: &ShardStats) {
+    let nonempty = stats.shard_sizes.iter().filter(|&&s| s > 0).count();
+    let largest = stats.shard_sizes.iter().max().copied().unwrap_or(0);
+    eprintln!(
+        "shards: {} ({nonempty} non-empty, largest {largest}), merge rounds {}, boundary \
+         candidates {}, peak resident {}",
+        stats.shard_sizes.len(),
+        stats.merge_rounds,
+        stats.boundary_candidates,
+        stats.peak_resident,
+    );
+    // Top-level phases only: the in-memory path records plan/local/merge,
+    // the streamed path scan/histogram/route/local/pairs/assemble; the
+    // merge engine's `merge.*` sub-phases stay out of the summary line.
+    let phases: Vec<String> = stats
+        .timings
+        .iter()
+        .filter(|(name, _)| !name.contains('.'))
+        .map(|(name, secs)| format!("{name} {secs:.3} s"))
+        .collect();
+    if !phases.is_empty() {
+        eprintln!("phases: {}", phases.join(", "));
+    }
+}
+
 fn run_emst<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
-    let points = load_points::<D>(opts)?;
-    let n = points.len();
     let algorithm = opts.get("algorithm").map(String::as_str).unwrap_or("single-tree");
     let backend = opts.get("backend").map(String::as_str).unwrap_or("threads");
+    let shards: usize = parse_opt(opts, "shards", 0)?;
+    let max_resident: usize = parse_opt(opts, "max-resident", 0)?;
+    if (shards > 0 || max_resident > 0) && algorithm != "single-tree" {
+        return Err(format!("--shards requires --algorithm single-tree, got {algorithm}"));
+    }
+
+    // The out-of-core path streams the CSV directly instead of loading it.
+    if max_resident > 0 {
+        let input = opts.get("input").ok_or("--input is required")?;
+        if input.ends_with(".xyz") {
+            return Err("--max-resident streams CSV input only".into());
+        }
+        let cfg = StreamConfig::new(shards, max_resident);
+        let start = std::time::Instant::now();
+        let result = match backend {
+            "serial" => emst_sharded_csv::<_, D>(&Serial, Path::new(input), &cfg),
+            "threads" => emst_sharded_csv::<_, D>(&Threads, Path::new(input), &cfg),
+            "gpusim" => emst_sharded_csv::<_, D>(&GpuSim::new(), Path::new(input), &cfg),
+            other => return Err(format!("unknown --backend {other}")),
+        }
+        .map_err(|e| format!("{input}: {e}"))?;
+        let n = result.stats.shard_sizes.iter().sum::<usize>();
+        if n == 0 {
+            return Err(format!("{input}: no points"));
+        }
+        print_shard_stats(&result.stats);
+        return report_and_write(opts, n, D, result.edges, start.elapsed().as_secs_f64());
+    }
+
+    let points = load_points::<D>(opts)?;
+    let n = points.len();
     let start = std::time::Instant::now();
     let edges = match algorithm {
+        "single-tree" if shards > 0 => {
+            let run_sharded = |space: &dyn ObjectSafeRun<D>| space.sharded(&points, shards);
+            let result = match backend {
+                "serial" => run_sharded(&Serial),
+                "threads" => run_sharded(&Threads),
+                "gpusim" => run_sharded(&GpuSim::new()),
+                other => return Err(format!("unknown --backend {other}")),
+            };
+            print_shard_stats(&result.stats);
+            result.edges
+        }
         "single-tree" => {
             let cfg = EmstConfig::default();
             match backend {
@@ -137,11 +231,33 @@ fn run_emst<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
     };
     let secs = start.elapsed().as_secs_f64();
     emst::core::verify_spanning_tree(n, &edges).map_err(|e| e.to_string())?;
+    report_and_write(opts, n, D, edges, secs)
+}
+
+/// Object-safe shim so the sharded run can dispatch over backends chosen at
+/// runtime without monomorphizing the match arms three times.
+trait ObjectSafeRun<const D: usize> {
+    fn sharded(&self, points: &[Point<D>], shards: usize) -> emst::shard::ShardedResult;
+}
+
+impl<S: ExecSpace, const D: usize> ObjectSafeRun<D> for S {
+    fn sharded(&self, points: &[Point<D>], shards: usize) -> emst::shard::ShardedResult {
+        emst_sharded_with(self, points, &ShardConfig::new(shards))
+    }
+}
+
+fn report_and_write(
+    opts: &HashMap<String, String>,
+    n: usize,
+    dim: usize,
+    edges: Vec<emst::core::Edge>,
+    secs: f64,
+) -> Result<(), String> {
     let weight = emst::core::edge::total_weight(&edges);
     eprintln!(
         "{n} points -> {} edges, weight {weight:.6}, {secs:.3} s ({:.2} MFeatures/s)",
         edges.len(),
-        (n * D) as f64 / secs / 1e6
+        (n * dim) as f64 / secs / 1e6
     );
     if let Some(output) = opts.get("output") {
         let mut out =
@@ -155,10 +271,9 @@ fn run_emst<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
 }
 
 fn run_hdbscan<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
+    let k_pts: usize = parse_opt(opts, "k", 5)?;
+    let min_cluster_size: usize = parse_opt(opts, "min-cluster-size", 5)?;
     let points = load_points::<D>(opts)?;
-    let k_pts: usize = opts.get("k").and_then(|v| v.parse().ok()).unwrap_or(5);
-    let min_cluster_size: usize =
-        opts.get("min-cluster-size").and_then(|v| v.parse().ok()).unwrap_or(5);
     let result = Hdbscan { k_pts, min_cluster_size }.fit(&Threads, &points);
     let noise = result.labels.iter().filter(|&&l| l == emst::hdbscan::NOISE).count();
     eprintln!("{} points -> {} clusters, {noise} noise", points.len(), result.num_clusters);

@@ -14,6 +14,8 @@
 //! - [`kdtree`] — the dual-tree Borůvka baseline (MLPACK-like);
 //! - [`wspd`] — the WSPD / GeoFilterKruskal baseline (MemoGFK-like);
 //! - [`hdbscan`] — mutual-reachability clustering on top of the EMST;
+//! - [`shard`] — Morton-range sharded EMST (parallel per-shard solves +
+//!   cross-shard Borůvka merge), with an out-of-core CSV path;
 //! - [`datasets`] — the synthetic evaluation datasets;
 //! - [`graph`] — the classical explicit-graph MST algorithms of the paper's
 //!   Background section (Borůvka, Kruskal, Prim).
@@ -41,4 +43,5 @@ pub use emst_graph as graph;
 pub use emst_hdbscan as hdbscan;
 pub use emst_kdtree as kdtree;
 pub use emst_morton as morton;
+pub use emst_shard as shard;
 pub use emst_wspd as wspd;

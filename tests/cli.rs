@@ -103,3 +103,100 @@ fn bad_invocations_fail_cleanly() {
         .unwrap()
         .success());
 }
+
+/// Runs the binary expecting failure; returns stderr for message checks.
+fn expect_error(args: &[&str]) -> String {
+    let out = bin().args(args).output().unwrap();
+    assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+#[test]
+fn malformed_numeric_arguments_error_instead_of_defaulting() {
+    let stderr = expect_error(&["emst", "--input", "x.csv", "--dim", "banana"]);
+    assert!(stderr.contains("invalid --dim"), "stderr: {stderr}");
+    let stderr = expect_error(&["generate", "--kind", "uniform", "--n", "ten", "--output", "x"]);
+    assert!(stderr.contains("invalid --n"), "stderr: {stderr}");
+    let stderr = expect_error(&[
+        "generate", "--kind", "uniform", "--n", "5", "--seed", "x", "--output", "x",
+    ]);
+    assert!(stderr.contains("invalid --seed"), "stderr: {stderr}");
+    let stderr = expect_error(&["emst", "--input", "x.csv", "--shards", "-3"]);
+    assert!(stderr.contains("invalid --shards"), "stderr: {stderr}");
+    let stderr = expect_error(&["hdbscan", "--input", "x.csv", "--k", "2.5"]);
+    assert!(stderr.contains("invalid --k"), "stderr: {stderr}");
+}
+
+#[test]
+fn unreadable_input_reports_path_and_fails() {
+    // A directory is unreadable as a point file and must produce a clean
+    // error naming the path, not a panic.
+    let dir = tmp("unreadable-dir");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = bin().args(["emst", "--input", dir.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr: {stderr}");
+    assert!(stderr.contains(dir.to_str().unwrap()), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    std::fs::remove_dir(&dir).ok();
+}
+
+#[test]
+fn sharded_and_streamed_runs_match_the_monolithic_weight() {
+    let pts = tmp("shard-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "hacc", "--n", "800", "--dim", "2"])
+        .args(["--seed", "11", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let weight_of = |extra: &[&str]| -> String {
+        let out =
+            bin().args(["emst", "--input", pts.to_str().unwrap()]).args(extra).output().unwrap();
+        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        let needle = "weight ";
+        let at = stderr.find(needle).unwrap() + needle.len();
+        stderr[at..].split(',').next().unwrap().trim().to_string()
+    };
+    let mono = weight_of(&[]);
+    assert_eq!(mono, weight_of(&["--shards", "4"]));
+    assert_eq!(mono, weight_of(&["--shards", "7", "--backend", "serial"]));
+    assert_eq!(mono, weight_of(&["--shards", "3", "--max-resident", "400"]));
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn streamed_run_rejects_empty_input_like_the_in_memory_path() {
+    let pts = tmp("stream-empty.csv");
+    std::fs::write(&pts, "x,y\n").unwrap(); // header only: zero points
+    let out = bin()
+        .args(["emst", "--input", pts.to_str().unwrap(), "--shards", "2"])
+        .args(["--max-resident", "100"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no points"), "stderr: {stderr}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn sharded_run_reports_shard_stats() {
+    let pts = tmp("shard-stats-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "500", "--dim", "2"])
+        .args(["--seed", "2", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out =
+        bin().args(["emst", "--input", pts.to_str().unwrap(), "--shards", "4"]).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shards: 4"), "stderr: {stderr}");
+    assert!(stderr.contains("merge rounds"), "stderr: {stderr}");
+    std::fs::remove_file(&pts).ok();
+}

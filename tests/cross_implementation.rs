@@ -9,7 +9,12 @@ use emst::datasets::Kind;
 use emst::exec::{GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::kdtree::{bentley_friedman_emst, dual_tree_emst};
+use emst::shard::emst_sharded;
 use emst::wspd::wspd_emst;
+use proptest::prelude::*;
+
+/// The shard counts the sharded solver is cross-checked at everywhere.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
 
 const ALL_KINDS: [Kind; 8] = [
     Kind::Uniform,
@@ -98,6 +103,111 @@ fn subsampled_dataset_remains_consistent() {
     for m in [50usize, 500, 2_000] {
         let sub = emst::datasets::sample_preserving_distribution(&parent, m, 9);
         check_all_impls(&sub, &format!("hacc-subsample-{m}"));
+    }
+}
+
+/// Acceptance: for every generator at n = 2000 in 2D and 3D, the sharded
+/// solver's weight multiset equals the monolithic single-tree solve for
+/// K ∈ {1, 2, 7, 16}.
+fn check_sharded_matches_monolithic<const D: usize>(points: &[Point<D>], label: &str) {
+    let mono = SingleTreeBoruvka::new(points).run(&Threads, &EmstConfig::default());
+    let reference = weight_multiset(&mono.edges);
+    for k in SHARD_COUNTS {
+        let sharded = emst_sharded(points, k);
+        verify_spanning_tree(points.len(), &sharded.edges)
+            .unwrap_or_else(|e| panic!("{label} K={k}: {e}"));
+        assert_eq!(weight_multiset(&sharded.edges), reference, "{label} K={k}");
+        assert_eq!(sharded.stats.shard_sizes.iter().sum::<usize>(), points.len());
+    }
+}
+
+#[test]
+fn sharded_matches_monolithic_on_all_generators_2d() {
+    for kind in ALL_KINDS {
+        let points: Vec<Point<2>> = kind.generate(2000, 0x5A);
+        check_sharded_matches_monolithic(&points, &format!("{kind:?}/2D"));
+    }
+}
+
+#[test]
+fn sharded_matches_monolithic_on_all_generators_3d() {
+    for kind in ALL_KINDS {
+        let points: Vec<Point<3>> = kind.generate(2000, 0x5B);
+        check_sharded_matches_monolithic(&points, &format!("{kind:?}/3D"));
+    }
+}
+
+#[test]
+fn sharded_handles_shards_smaller_than_the_leaf_size() {
+    // More shards than points: most shards are empty, the rest hold a
+    // single point, and every local solve degenerates to "no edges".
+    for n in [2usize, 3, 5, 9] {
+        let points: Vec<Point<2>> = Kind::Uniform.generate(n, n as u64);
+        let brute = weight_multiset(&brute_force_emst(&points));
+        for k in SHARD_COUNTS {
+            let sharded = emst_sharded(&points, k);
+            verify_spanning_tree(n, &sharded.edges).unwrap();
+            assert_eq!(weight_multiset(&sharded.edges), brute, "n={n} K={k}");
+        }
+    }
+}
+
+#[test]
+fn sharded_handles_all_duplicate_points_in_one_shard() {
+    let points = vec![Point::new([0.125f32, -0.25]); 50];
+    for k in SHARD_COUNTS {
+        let sharded = emst_sharded(&points, k);
+        verify_spanning_tree(50, &sharded.edges).unwrap();
+        assert_eq!(sharded.total_weight, 0.0, "K={k}");
+        if k > 1 {
+            // Identical Morton codes cannot straddle a shard cut.
+            assert_eq!(sharded.stats.shard_sizes.iter().filter(|&&s| s > 0).count(), 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sharded_emst_equals_single_tree_and_brute_force(
+        n in 2usize..120,
+        seed in 0u64..10_000,
+        k in prop::sample::select(SHARD_COUNTS.to_vec()),
+    ) {
+        let points: Vec<Point<2>> = Kind::Uniform.generate(n, seed);
+        let sharded = emst_sharded(&points, k);
+        prop_assert!(verify_spanning_tree(n, &sharded.edges).is_ok());
+        let multiset = weight_multiset(&sharded.edges);
+        let mono = SingleTreeBoruvka::new(&points).run(&Serial, &EmstConfig::default());
+        prop_assert_eq!(&multiset, &weight_multiset(&mono.edges));
+        prop_assert_eq!(&multiset, &weight_multiset(&brute_force_emst(&points)));
+    }
+
+    #[test]
+    fn sharded_emst_on_clustered_integer_points(
+        n in 2usize..80,
+        seed in 0u64..1000,
+        k in prop::sample::select(SHARD_COUNTS.to_vec()),
+    ) {
+        // Tiny integer range: heavy duplicate and tie pressure, including
+        // shards below the leaf size and duplicate runs pinned to a single
+        // shard by the Morton-range cut snapping.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([
+                rng.random_range(0i32..4) as f32,
+                rng.random_range(0i32..4) as f32,
+            ]))
+            .collect();
+        let sharded = emst_sharded(&points, k);
+        prop_assert!(verify_spanning_tree(n, &sharded.edges).is_ok());
+        prop_assert_eq!(
+            weight_multiset(&sharded.edges),
+            weight_multiset(&brute_force_emst(&points))
+        );
     }
 }
 

@@ -221,7 +221,7 @@ pub mod collection {
     use rand::RngExt;
     use std::ops::Range;
 
-    /// Sizes accepted by [`vec`].
+    /// Sizes accepted by [`vec()`](crate::collection::vec).
     pub trait SizeRange {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -239,7 +239,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](crate::collection::vec).
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
