@@ -1,0 +1,107 @@
+//! `perf_snapshot` — the machine-readable perf harness.
+//!
+//! Runs the fig1-style summary plus the stack-vs-stackless traversal
+//! ablation and writes the result as `emst-bench-snapshot/1` JSON (schema
+//! documented in `emst_bench::snapshot`), so every PR can commit a
+//! `BENCH_*.json` for future PRs to regress against.
+//!
+//! ```text
+//! perf_snapshot [--json BENCH_PR3.json] [--sizes 10000,100000,1000000]
+//!               [--summary-n 100000] [--repeats 3]
+//! ```
+//!
+//! Without `--json` the tables are printed only. CI runs this at tiny
+//! sizes as a schema/harness smoke test and uploads the JSON artifact.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use emst_bench::snapshot::{measure_summary, measure_traversal_grid, Snapshot};
+
+struct Args {
+    json: Option<PathBuf>,
+    sizes: Vec<usize>,
+    summary_n: usize,
+    repeats: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { json: None, sizes: vec![10_000, 100_000], summary_n: 50_000, repeats: 3 };
+    let mut it = std::env::args().skip(1);
+    while let Some(key) = it.next() {
+        let mut value = || it.next().ok_or(format!("{key} needs a value"));
+        match key.as_str() {
+            "--json" => args.json = Some(PathBuf::from(value()?)),
+            "--sizes" => {
+                args.sizes = value()?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad size {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--summary-n" => {
+                args.summary_n = value()?.parse().map_err(|_| "bad --summary-n".to_string())?;
+            }
+            "--repeats" => {
+                args.repeats = value()?.parse().map_err(|_| "bad --repeats".to_string())?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.sizes.is_empty() || args.repeats == 0 {
+        return Err("--sizes and --repeats must be non-empty/non-zero".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: perf_snapshot [--json out.json] [--sizes n1,n2,...] [--summary-n n] \
+                 [--repeats r]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("# perf_snapshot: summary n = {}, repeats = {}", args.summary_n, args.repeats);
+    let summary = measure_summary(args.summary_n, args.repeats);
+    println!();
+    println!("{:<28} {:>10} {:>12}", "configuration", "n", "MFeat/s");
+    for row in &summary {
+        println!("{:<28} {:>10} {:>12.3}", row.configuration, row.n, row.mfeatures_per_s);
+        for (phase, secs) in &row.phases {
+            println!("    {phase:<24} {secs:>10.4} s");
+        }
+    }
+
+    println!();
+    println!("# traversal ablation (stack vs stackless, Threads backend)");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>9}",
+        "generator", "n", "stack find", "stackless", "speedup"
+    );
+    let traversal = measure_traversal_grid(&args.sizes, args.repeats);
+    for cell in &traversal {
+        println!(
+            "{:<12} {:>10} {:>12.4} s {:>12.4} s {:>8.2}x",
+            cell.generator,
+            cell.n,
+            cell.stack.find_edges_s,
+            cell.stackless.find_edges_s,
+            cell.speedup_find_edges()
+        );
+    }
+
+    let snap = Snapshot { repeats: args.repeats, summary, traversal };
+    if let Some(path) = &args.json {
+        if let Err(e) = snap.write(path) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

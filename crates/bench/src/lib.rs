@@ -13,6 +13,8 @@
 //! counted work into device time (see DESIGN.md §1 and `emst-exec`'s
 //! `device` module for the calibration).
 
+pub mod snapshot;
+
 use emst_core::{EmstConfig, SingleTreeBoruvka};
 use emst_datasets::PointCloud;
 use emst_exec::{DeviceModel, ExecSpace, GpuSim, Serial, Threads};

@@ -1,0 +1,337 @@
+//! Machine-readable performance snapshots (`BENCH_*.json`).
+//!
+//! Wall-clock numbers printed to a terminal rot; committed JSON gives every
+//! future PR a trajectory to regress against. This module measures two
+//! things and serializes them with a tiny hand-rolled writer (the workspace
+//! has no serde):
+//!
+//! - a **fig1-style summary**: MFeatures/s of the competing EMST
+//!   implementations at one fixed size, plus per-phase medians of the
+//!   single-tree solve;
+//! - the **traversal ablation grid**: stack vs stackless medians of the
+//!   `mst.find_edges` phase (and the whole `mst` phase) per
+//!   `(generator, n)` cell on the `Threads` backend, with the speedup.
+//!
+//! # JSON schema (`emst-bench-snapshot/1`)
+//!
+//! ```json
+//! {
+//!   "schema": "emst-bench-snapshot/1",
+//!   "repeats": 3,
+//!   "backend": "Threads",
+//!   "summary": [
+//!     { "configuration": "single-tree (Threads)", "n": 100000, "dim": 3,
+//!       "mfeatures_per_s": 1.8,
+//!       "phases": { "tree": 0.01, "mst": 0.2, "mst.find_edges": 0.15 } }
+//!   ],
+//!   "traversal": [
+//!     { "generator": "uniform", "n": 100000,
+//!       "stack":     { "find_edges_s": 0.21, "mst_s": 0.26, "total_s": 0.30 },
+//!       "stackless": { "find_edges_s": 0.16, "mst_s": 0.21, "total_s": 0.25 },
+//!       "speedup_find_edges": 1.36 }
+//!   ]
+//! }
+//! ```
+//!
+//! All durations are seconds (medians over `repeats` interleaved runs —
+//! interleaved so machine drift hits every configuration equally).
+//! `speedup_find_edges` is `stack.find_edges_s / stackless.find_edges_s`.
+//! Consumers must ignore unknown fields; producers bump the schema suffix
+//! on breaking changes.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use emst_core::{EmstConfig, SingleTreeBoruvka, Traversal};
+use emst_datasets::Kind;
+use emst_exec::Threads;
+use emst_geometry::Point;
+
+/// The generators of the traversal ablation: uniform, clustered
+/// (variable-density), and GeoLife-style dense hot spots.
+pub const TRAVERSAL_GENERATORS: [(&str, Kind); 3] =
+    [("uniform", Kind::Uniform), ("clustered", Kind::VisualVar), ("dense", Kind::GeoLifeLike)];
+
+/// Median timings of one `(generator, n, traversal)` cell.
+#[derive(Clone, Copy, Debug)]
+pub struct TraversalTimings {
+    /// Median seconds of the `mst.find_edges` phase.
+    pub find_edges_s: f64,
+    /// Median seconds of the whole `mst` phase.
+    pub mst_s: f64,
+    /// Median seconds of tree construction + `mst`.
+    pub total_s: f64,
+}
+
+/// One `(generator, n)` cell of the ablation: both walkers plus the ratio.
+#[derive(Clone, Debug)]
+pub struct TraversalCell {
+    /// Generator name (see [`TRAVERSAL_GENERATORS`]).
+    pub generator: String,
+    /// Point count.
+    pub n: usize,
+    /// Seed stack walker medians.
+    pub stack: TraversalTimings,
+    /// Stackless rope walker medians.
+    pub stackless: TraversalTimings,
+}
+
+impl TraversalCell {
+    /// `stack / stackless` on the `mst.find_edges` phase.
+    pub fn speedup_find_edges(&self) -> f64 {
+        self.stack.find_edges_s / self.stackless.find_edges_s
+    }
+}
+
+/// One row of the fig1-style summary.
+#[derive(Clone, Debug)]
+pub struct SummaryRow {
+    /// Human-readable configuration name.
+    pub configuration: String,
+    /// Point count.
+    pub n: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// The paper's rate metric.
+    pub mfeatures_per_s: f64,
+    /// Median seconds per recorded phase (may be empty for non-single-tree
+    /// rows, whose solvers report only totals).
+    pub phases: Vec<(String, f64)>,
+}
+
+/// A complete snapshot, ready to serialize.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Interleaved repetitions behind each median.
+    pub repeats: usize,
+    /// Fig1-style rows.
+    pub summary: Vec<SummaryRow>,
+    /// Traversal ablation cells.
+    pub traversal: Vec<TraversalCell>,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let m = samples.len();
+    if m == 0 {
+        return f64::NAN;
+    }
+    if m % 2 == 1 {
+        samples[m / 2]
+    } else {
+        0.5 * (samples[m / 2 - 1] + samples[m / 2])
+    }
+}
+
+/// Measures one ablation cell: `repeats` interleaved runs of both walkers
+/// on the `Threads` backend, reporting per-phase medians.
+pub fn measure_traversal_cell(
+    generator: &str,
+    kind: Kind,
+    n: usize,
+    repeats: usize,
+) -> TraversalCell {
+    let points: Vec<Point<2>> = kind.generate(n, 0x7A3);
+    let mut samples: [[Vec<f64>; 3]; 2] = Default::default();
+    for _ in 0..repeats {
+        for (which, traversal) in [Traversal::Stack, Traversal::Stackless].into_iter().enumerate() {
+            let cfg = EmstConfig { traversal, ..Default::default() };
+            let r = SingleTreeBoruvka::new(&points).run(&Threads, &cfg);
+            samples[which][0].push(r.timings.get("mst.find_edges"));
+            samples[which][1].push(r.timings.get("mst"));
+            samples[which][2].push(r.timings.get("tree") + r.timings.get("mst"));
+        }
+    }
+    let timings = |s: &mut [Vec<f64>; 3]| TraversalTimings {
+        find_edges_s: median(&mut s[0]),
+        mst_s: median(&mut s[1]),
+        total_s: median(&mut s[2]),
+    };
+    let [mut stack, mut stackless] = samples;
+    TraversalCell {
+        generator: generator.to_string(),
+        n,
+        stack: timings(&mut stack),
+        stackless: timings(&mut stackless),
+    }
+}
+
+/// Measures the full `generators × sizes` ablation grid.
+pub fn measure_traversal_grid(sizes: &[usize], repeats: usize) -> Vec<TraversalCell> {
+    let mut cells = vec![];
+    for (name, kind) in TRAVERSAL_GENERATORS {
+        for &n in sizes {
+            cells.push(measure_traversal_cell(name, kind, n, repeats));
+        }
+    }
+    cells
+}
+
+/// Measures the fig1-style summary rows at one size: every solver's rate,
+/// plus phase medians for the single-tree runs.
+pub fn measure_summary(n: usize, repeats: usize) -> Vec<SummaryRow> {
+    let cloud = emst_datasets::PaperDataset::Hacc37M.generate(n, 37);
+    let features = cloud.features();
+    let dim = cloud.dim();
+    let mut rows = vec![];
+
+    // Single-tree rows carry per-phase medians.
+    for (name, threads) in [("single-tree (Serial)", false), ("single-tree (Threads)", true)] {
+        let mut totals = vec![];
+        let mut phases: Vec<(String, Vec<f64>)> = vec![];
+        for _ in 0..repeats {
+            let r = crate::with_cloud(
+                &cloud,
+                |p| {
+                    let solver = SingleTreeBoruvka::new(p);
+                    if threads {
+                        solver.run(&Threads, &EmstConfig::default())
+                    } else {
+                        solver.run(&emst_exec::Serial, &EmstConfig::default())
+                    }
+                },
+                |p| {
+                    let solver = SingleTreeBoruvka::new(p);
+                    if threads {
+                        solver.run(&Threads, &EmstConfig::default())
+                    } else {
+                        solver.run(&emst_exec::Serial, &EmstConfig::default())
+                    }
+                },
+            );
+            totals.push(r.timings.get("tree") + r.timings.get("mst"));
+            for (phase, secs) in r.timings.iter() {
+                match phases.iter_mut().find(|(p, _)| p == phase) {
+                    Some((_, v)) => v.push(secs),
+                    None => phases.push((phase.to_string(), vec![secs])),
+                }
+            }
+        }
+        let total = median(&mut totals);
+        let mut phase_medians: Vec<(String, f64)> =
+            phases.into_iter().map(|(p, mut v)| (p, median(&mut v))).collect();
+        phase_medians.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.push(SummaryRow {
+            configuration: name.to_string(),
+            n,
+            dim,
+            mfeatures_per_s: crate::mfeatures_per_sec(features, total),
+            phases: phase_medians,
+        });
+    }
+
+    // Competing implementations: totals only.
+    for (name, rate) in [
+        ("dual-tree (Serial)", crate::dual_tree_rate(&cloud)),
+        ("wspd (Serial)", crate::wspd_rate(&cloud, false)),
+    ] {
+        rows.push(SummaryRow {
+            configuration: name.to_string(),
+            n,
+            dim,
+            mfeatures_per_s: rate,
+            phases: vec![],
+        });
+    }
+    rows
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Snapshot {
+    /// Serializes to the documented `emst-bench-snapshot/1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"emst-bench-snapshot/1\",\n");
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str("  \"backend\": \"Threads\",\n");
+        out.push_str("  \"summary\": [\n");
+        for (i, row) in self.summary.iter().enumerate() {
+            let phases = row
+                .phases
+                .iter()
+                .map(|(p, s)| format!("\"{p}\": {}", json_f64(*s)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{ \"configuration\": \"{}\", \"n\": {}, \"dim\": {}, \
+                 \"mfeatures_per_s\": {}, \"phases\": {{ {} }} }}{}\n",
+                row.configuration,
+                row.n,
+                row.dim,
+                json_f64(row.mfeatures_per_s),
+                phases,
+                if i + 1 == self.summary.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ],\n  \"traversal\": [\n");
+        for (i, cell) in self.traversal.iter().enumerate() {
+            let t = |t: &TraversalTimings| {
+                format!(
+                    "{{ \"find_edges_s\": {}, \"mst_s\": {}, \"total_s\": {} }}",
+                    json_f64(t.find_edges_s),
+                    json_f64(t.mst_s),
+                    json_f64(t.total_s)
+                )
+            };
+            out.push_str(&format!(
+                "    {{ \"generator\": \"{}\", \"n\": {}, \"stack\": {}, \"stackless\": {}, \
+                 \"speedup_find_edges\": {} }}{}\n",
+                cell.generator,
+                cell.n,
+                t(&cell.stack),
+                t(&cell.stackless),
+                json_f64(cell.speedup_find_edges()),
+                if i + 1 == self.traversal.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&mut []).is_nan());
+    }
+
+    #[test]
+    fn snapshot_serializes_valid_shape() {
+        let cell = measure_traversal_cell("uniform", Kind::Uniform, 500, 1);
+        let snap = Snapshot { repeats: 1, summary: measure_summary(400, 1), traversal: vec![cell] };
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"emst-bench-snapshot/1\""));
+        assert!(json.contains("\"speedup_find_edges\""));
+        assert!(json.contains("single-tree (Threads)"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the workspace).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn traversal_cell_speedup_is_finite_and_positive() {
+        let cell = measure_traversal_cell("dense", Kind::GeoLifeLike, 800, 1);
+        assert!(cell.speedup_find_edges().is_finite());
+        assert!(cell.stack.find_edges_s > 0.0);
+        assert!(cell.stackless.find_edges_s > 0.0);
+    }
+}

@@ -29,11 +29,19 @@ use emst_geometry::{Aabb, Point, Scalar};
 use emst_morton::MortonEncoder;
 
 use crate::node::{Layout, NodeId, INVALID_NODE};
+use crate::wide::WideBvh;
 
 /// A linear bounding volume hierarchy over a point set.
 ///
 /// See the crate docs for the id layout: internal nodes are `0..n-1`, leaves
 /// are `n-1..2n-1` in Morton order.
+///
+/// Storage is structure-of-arrays: one contiguous `children` array (both
+/// child ids of a node share a slot, so a traversal step is one load), one
+/// contiguous `bounds` array, and one `parent` array — no per-node
+/// allocations. Construction also collapses the binary hierarchy into the
+/// 4-wide rope-linked [`WideBvh`] that backs the default stackless
+/// traversal ([`Bvh::nearest_stackless`]).
 #[derive(Clone, Debug)]
 pub struct Bvh<const D: usize> {
     layout: Layout,
@@ -42,14 +50,14 @@ pub struct Bvh<const D: usize> {
     leaf_points: Vec<Point<D>>,
     /// Morton rank -> original point index.
     order: Vec<u32>,
-    /// Left child of each internal node.
-    left: Vec<NodeId>,
-    /// Right child of each internal node.
-    right: Vec<NodeId>,
+    /// Both children of each internal node (`[left, right]`).
+    children: Vec<[NodeId; 2]>,
     /// Parent of every node (`INVALID_NODE` for the root).
     parent: Vec<NodeId>,
     /// Bounding boxes of the internal nodes.
-    internal_aabbs: Vec<Aabb<D>>,
+    bounds: Vec<Aabb<D>>,
+    /// The 4-wide collapsed form with rope/escape pointers.
+    wide: WideBvh<D>,
     root: NodeId,
 }
 
@@ -190,23 +198,25 @@ impl<const D: usize> Bvh<D> {
 
         let layout = Layout { n };
         if n == 1 {
-            return Self {
+            let mut bvh = Self {
                 layout,
                 scene,
                 leaf_points,
                 order,
-                left: vec![],
-                right: vec![],
+                children: vec![],
                 parent: vec![INVALID_NODE],
-                internal_aabbs: vec![],
+                bounds: vec![],
+                wide: WideBvh::default(),
                 root: 0,
             };
+            bvh.wide = WideBvh::collapse(&bvh);
+            return bvh;
         }
 
         let ni = n - 1;
         let flags: Vec<AtomicU32> = (0..ni).map(|_| AtomicU32::new(0)).collect();
-        let left: Vec<AtomicU32> = (0..ni).map(|_| AtomicU32::new(INVALID_NODE)).collect();
-        let right: Vec<AtomicU32> = (0..ni).map(|_| AtomicU32::new(INVALID_NODE)).collect();
+        let children: Vec<[AtomicU32; 2]> =
+            (0..ni).map(|_| [AtomicU32::new(INVALID_NODE), AtomicU32::new(INVALID_NODE)]).collect();
         let range_first: Vec<AtomicU32> = (0..ni).map(|_| AtomicU32::new(0)).collect();
         let range_last: Vec<AtomicU32> = (0..ni).map(|_| AtomicU32::new(0)).collect();
         let parent: Vec<AtomicU32> =
@@ -232,10 +242,10 @@ impl<const D: usize> Bvh<D> {
                         && (f == 0 || delta(codes, l as isize) < delta(codes, f as isize - 1));
                     let p = if go_left_child { l } else { f - 1 };
                     if go_left_child {
-                        left[p].store(node, Ordering::Relaxed);
+                        children[p][0].store(node, Ordering::Relaxed);
                         range_first[p].store(f as u32, Ordering::Relaxed);
                     } else {
-                        right[p].store(node, Ordering::Relaxed);
+                        children[p][1].store(node, Ordering::Relaxed);
                         range_last[p].store(l as u32, Ordering::Relaxed);
                     }
                     parent[node as usize].store(p as u32, Ordering::Relaxed);
@@ -248,9 +258,9 @@ impl<const D: usize> Bvh<D> {
                     f = range_first[p].load(Ordering::Relaxed) as usize;
                     l = range_last[p].load(Ordering::Relaxed) as usize;
                     let sibling = if go_left_child {
-                        right[p].load(Ordering::Relaxed)
+                        children[p][1].load(Ordering::Relaxed)
                     } else {
-                        left[p].load(Ordering::Relaxed)
+                        children[p][0].load(Ordering::Relaxed)
                     };
                     let sibling_bb = if layout.is_leaf(sibling) {
                         Aabb::from_point(leaf_points[layout.leaf_rank(sibling) as usize])
@@ -271,17 +281,19 @@ impl<const D: usize> Bvh<D> {
 
         let unwrap =
             |v: Vec<AtomicU32>| -> Vec<u32> { v.into_iter().map(AtomicU32::into_inner).collect() };
-        Self {
+        let mut bvh = Self {
             layout,
             scene,
             leaf_points,
             order,
-            left: unwrap(left),
-            right: unwrap(right),
+            children: children.into_iter().map(|[l, r]| [l.into_inner(), r.into_inner()]).collect(),
             parent: unwrap(parent),
-            internal_aabbs,
+            bounds: internal_aabbs,
+            wide: WideBvh::default(),
             root: root.into_inner(),
-        }
+        };
+        bvh.wide = WideBvh::collapse(&bvh);
+        bvh
     }
 
     /// Number of leaves (== number of points).
@@ -356,16 +368,30 @@ impl<const D: usize> Bvh<D> {
         &self.leaf_points
     }
 
+    /// Both children of an internal node (`[left, right]`) — one load from
+    /// the structure-of-arrays storage.
+    #[inline]
+    pub fn children_of(&self, internal: NodeId) -> [NodeId; 2] {
+        self.children[internal as usize]
+    }
+
     /// Left child of an internal node.
     #[inline]
     pub fn left_child(&self, internal: NodeId) -> NodeId {
-        self.left[internal as usize]
+        self.children[internal as usize][0]
     }
 
     /// Right child of an internal node.
     #[inline]
     pub fn right_child(&self, internal: NodeId) -> NodeId {
-        self.right[internal as usize]
+        self.children[internal as usize][1]
+    }
+
+    /// The 4-wide rope-linked collapse of the hierarchy, built once at
+    /// construction time — the storage behind [`Bvh::nearest_stackless`].
+    #[inline]
+    pub fn wide(&self) -> &WideBvh<D> {
+        &self.wide
     }
 
     /// Parent of a node (`INVALID_NODE` for the root).
@@ -387,7 +413,7 @@ impl<const D: usize> Bvh<D> {
         if self.is_leaf(id) {
             Aabb::from_point(self.leaf_points[self.leaf_rank(id) as usize])
         } else {
-            self.internal_aabbs[id as usize]
+            self.bounds[id as usize]
         }
     }
 
@@ -397,7 +423,7 @@ impl<const D: usize> Bvh<D> {
         if self.is_leaf(id) {
             q.squared_distance(&self.leaf_points[self.leaf_rank(id) as usize])
         } else {
-            self.internal_aabbs[id as usize].squared_distance_to_point(q)
+            self.bounds[id as usize].squared_distance_to_point(q)
         }
     }
 
@@ -410,7 +436,7 @@ impl<const D: usize> Bvh<D> {
         let n = self.num_leaves();
         if n == 1 {
             return if self.root == 0 && self.parent == vec![INVALID_NODE] {
-                Ok(())
+                self.wide.validate(self)
             } else {
                 Err("bad single-leaf tree".into())
             };
@@ -463,7 +489,7 @@ impl<const D: usize> Bvh<D> {
         if !seen_leaves.iter().all(|&s| s) {
             return Err("not all leaves reachable from the root".into());
         }
-        Ok(())
+        self.wide.validate(self)
     }
 }
 

@@ -10,16 +10,19 @@ use emst_geometry::{Aabb, Point, Scalar};
 use emst_morton::morton_order;
 
 use crate::build::Bvh;
-use crate::traverse::{NearestHit, TraversalStats};
+use crate::traverse::{NearestHit, Traversal, TraversalStats};
 
 impl<const D: usize> Bvh<D> {
     /// Nearest neighbour of every query point, executed as one bulk launch.
     ///
     /// Queries are pre-sorted along the Z-curve before the parallel launch
     /// and the results scattered back to input order, exactly as ArborX
-    /// does. Returns one optional hit per query (`None` only if the tree is
-    /// empty of candidates, which cannot happen here since trees are
-    /// non-empty) plus the summed traversal statistics.
+    /// does. Each work item runs the default stackless walker over the
+    /// 4-wide SoA tree — neighbouring threads then chase the same ropes
+    /// through the same cache lines. Returns one optional hit per query
+    /// (`None` only if the tree is empty of candidates, which cannot happen
+    /// here since trees are non-empty) plus the summed traversal
+    /// statistics.
     pub fn bulk_nearest<S: ExecSpace>(
         &self,
         space: &S,
@@ -43,7 +46,8 @@ impl<const D: usize> Bvh<D> {
                     let q = order[i] as usize;
                     let mut st = TraversalStats::default();
                     let hit = self
-                        .nearest_with(
+                        .nearest(
+                            Traversal::default(),
                             &queries[q],
                             Scalar::INFINITY,
                             |_| false,
@@ -55,12 +59,7 @@ impl<const D: usize> Bvh<D> {
                     unsafe { out.write(q, hit) };
                     st
                 },
-                |a, b| TraversalStats {
-                    nodes: a.nodes + b.nodes,
-                    leaves: a.leaves + b.leaves,
-                    distances: a.distances + b.distances,
-                    skipped: a.skipped + b.skipped,
-                },
+                TraversalStats::merged,
             )
         };
         (results, stats)

@@ -10,8 +10,15 @@
 //!    and fully in parallel**: every leaf walks toward the root, the first
 //!    thread to reach an internal node records its half-range and stops, the
 //!    second merges the children's bounding boxes and continues;
-//! 3. queries run one **stack-based top-down traversal per thread**
-//!    (Algorithm 2 of the paper), with distance-ordered descent.
+//! 3. the hierarchy is stored structure-of-arrays (contiguous `children`,
+//!    `bounds` and `parent` arrays) and additionally **collapsed into a
+//!    4-wide rope-linked tree** ([`WideBvh`]) whose child-box tests
+//!    auto-vectorize;
+//! 4. queries run one traversal per thread (Algorithm 2 of the paper):
+//!    either the seed **stack-based top-down walk** with distance-ordered
+//!    descent ([`Bvh::nearest_with`], kept for ablation) or the default
+//!    **stackless rope traversal** ([`Bvh::nearest_stackless`]) — pure
+//!    index chasing with no per-thread stack, the GPU-faithful form.
 //!
 //! Given `n` points the tree has `n` leaves and `n − 1` internal nodes
 //! (2n−1 total), and leaves appear in Morton order — the property the
@@ -19,15 +26,18 @@
 //!
 //! The traversal entry points are deliberately generic: the single-tree
 //! Borůvka algorithm of `emst-core` injects its component-skip predicate
-//! (Optimization 1) and its metric through [`Bvh::nearest_with`].
+//! (Optimization 1) and its metric through [`Bvh::nearest`], selecting the
+//! walker with [`Traversal`].
 
 pub mod build;
 pub mod bulk;
 pub mod node;
 pub mod quality;
 pub mod traverse;
+pub mod wide;
 
 pub use build::{Bvh, MortonResolution};
 pub use node::{NodeId, INVALID_NODE};
 pub use quality::TreeQuality;
-pub use traverse::{NearestHit, TraversalStats};
+pub use traverse::{NearestHit, Traversal, TraversalStats};
+pub use wide::{WideBvh, WideNode};

@@ -1,17 +1,29 @@
-//! Stack-based top-down traversals (Algorithm 2 of the paper).
+//! Per-query nearest-neighbour traversals (Algorithm 2 of the paper).
 //!
-//! Each query is executed by a single thread with an explicit stack, in the
-//! bulk-synchronous style of ArborX: the caller launches one `parallel_for`
-//! over queries and each work item calls into these routines. The generic
-//! [`Bvh::nearest_with`] is the hook the single-tree Borůvka algorithm uses:
-//! its `skip` predicate implements the paper's Optimization 1 (bypassing
-//! subtrees whose leaves all share the query's component) and its `leaf`
-//! callback applies the metric (Euclidean or mutual-reachability).
+//! Each query is executed by a single thread, in the bulk-synchronous style
+//! of ArborX: the caller launches one `parallel_for` over queries and each
+//! work item calls into these routines. Two walkers share one contract:
+//!
+//! - [`Bvh::nearest_with`] — the explicit-stack top-down walk over the
+//!   binary radix tree, kept as the ablation baseline (the seed form);
+//! - [`Bvh::nearest_stackless`] — the default: rope/escape-pointer chasing
+//!   over the 4-wide collapsed [`crate::WideBvh`], no per-thread stack —
+//!   the GPU-faithful form, selected by [`Traversal::Stackless`].
+//!
+//! Both take the same hooks the single-tree Borůvka algorithm uses: a
+//! `skip` predicate implementing the paper's Optimization 1 (bypassing
+//! subtrees whose leaves all share the query's component, keyed by *binary*
+//! node id in both walkers) and a `leaf` callback applying the metric
+//! (Euclidean or mutual-reachability). They return **bit-identical**
+//! [`NearestHit`]s: the result is the minimum over the same candidate set
+//! under the same `(distance, rank)` order, pruning is strictly-greater in
+//! both, and the wide tree's vectorized leaf-lane distances reproduce
+//! [`Point::squared_distance`] exactly (see `wide.rs`).
 
 use emst_geometry::{Point, Scalar};
 
 use crate::build::Bvh;
-use crate::node::NodeId;
+use crate::node::{NodeId, INVALID_NODE};
 
 /// Maximum traversal stack depth.
 ///
@@ -19,18 +31,88 @@ use crate::node::NodeId;
 /// plus 32 tie-break bits), so 128 slots never overflow.
 const STACK_CAPACITY: usize = 128;
 
+/// Hints the cache to pull `p` in: the stackless walker issues this for the
+/// rope target while lane arithmetic is still in flight, hiding the latency
+/// of the dependent index chase. Prefetches never fault, so a sentinel
+/// (out-of-range) address is fine.
+#[inline(always)]
+#[allow(unused_variables)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it performs no memory access.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: as above — a hint, not an access.
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags))
+    };
+}
+
+/// Which nearest-neighbour walker the hot path uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Traversal {
+    /// Explicit 128-entry per-query stack over the binary radix tree — the
+    /// seed implementation, kept for the ablation study.
+    Stack,
+    /// Stackless rope traversal over the 4-wide SoA collapse: pure index
+    /// chasing, no per-thread stack (the GPU-faithful default).
+    #[default]
+    Stackless,
+}
+
+impl Traversal {
+    /// Parses the CLI/bench spelling (`"stack"` / `"stackless"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stack" => Some(Self::Stack),
+            "stackless" => Some(Self::Stackless),
+            _ => None,
+        }
+    }
+
+    /// The CLI/bench spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Stack => "stack",
+            Self::Stackless => "stackless",
+        }
+    }
+}
+
 /// Per-query work statistics, accumulated locally (no atomics on the hot
 /// path) and flushed to [`emst_exec::Counters`] by the caller.
+///
+/// All counters are `u64`: a single query over a large adversarial cloud
+/// (and the per-run aggregates the ablation tests assert on) can exceed
+/// 32 bits.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraversalStats {
-    /// Internal nodes examined.
-    pub nodes: u32,
+    /// Internal (binary) or collapsed (wide) nodes examined.
+    pub nodes: u64,
     /// Leaves tested as candidates.
-    pub leaves: u32,
+    pub leaves: u64,
     /// Point-to-point distance computations.
-    pub distances: u32,
+    pub distances: u64,
     /// Subtrees skipped by the caller's predicate (Optimization 1).
-    pub skipped: u32,
+    pub skipped: u64,
+    /// Escape-pointer follows (stackless walker only).
+    pub rope_hops: u64,
+}
+
+impl TraversalStats {
+    /// Component-wise sum — the reduction the bulk launches use.
+    #[inline]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            nodes: self.nodes + other.nodes,
+            leaves: self.leaves + other.leaves,
+            distances: self.distances + other.distances,
+            skipped: self.skipped + other.skipped,
+            rope_hops: self.rope_hops + other.rope_hops,
+        }
+    }
 }
 
 /// Result of a nearest-neighbour query.
@@ -180,11 +262,156 @@ impl<const D: usize> Bvh<D> {
         best
     }
 
+    /// Dispatches to the walker selected by `traversal` — same contract and
+    /// same result as both [`Bvh::nearest_with`] and
+    /// [`Bvh::nearest_stackless`].
+    #[inline]
+    pub fn nearest<FSkip, FLeaf>(
+        &self,
+        traversal: Traversal,
+        query: &Point<D>,
+        radius_sq: Scalar,
+        skip: FSkip,
+        leaf: FLeaf,
+        stats: &mut TraversalStats,
+    ) -> Option<NearestHit>
+    where
+        FSkip: FnMut(NodeId) -> bool,
+        FLeaf: FnMut(u32, Scalar) -> Option<Scalar>,
+    {
+        match traversal {
+            Traversal::Stack => self.nearest_with(query, radius_sq, skip, leaf, stats),
+            Traversal::Stackless => self.nearest_stackless(query, radius_sq, skip, leaf, stats),
+        }
+    }
+
+    /// Stackless nearest-neighbour traversal over the 4-wide rope-linked
+    /// collapse ([`crate::WideBvh`]). Same parameters, same guarantees and
+    /// bit-identical results as [`Bvh::nearest_with`] — see the module docs
+    /// for why — but the per-thread state is a single node index:
+    ///
+    /// - on arrival at a node, the four child-lane boxes are tested by one
+    ///   fixed-width (auto-vectorized) loop; a leaf lane's box is its point,
+    ///   so the lane distance doubles as the candidate distance;
+    /// - the walker then descends to its first live internal lane, or
+    ///   follows the rope (`escape`) out of the subtree.
+    ///
+    /// The `skip` predicate receives *binary* node ids (each lane carries
+    /// the id of the binary subtree it collapsed from), so the same
+    /// component-label closure drives both walkers. Two contract points the
+    /// stack walker does not need (both hold for component labels, where
+    /// predicate and callback derive from the same per-rank label array):
+    ///
+    /// - `skip` must be downward-closed — skipping a node implies its
+    ///   descendants would be skipped too — because the collapse only
+    ///   consults it at even binary depths;
+    /// - leaf candidates are *not* passed to `skip` here; the `leaf`
+    ///   callback must itself reject any leaf the predicate would exclude
+    ///   (as the Borůvka same-component check does).
+    pub fn nearest_stackless<FSkip, FLeaf>(
+        &self,
+        query: &Point<D>,
+        mut radius_sq: Scalar,
+        mut skip: FSkip,
+        mut leaf: FLeaf,
+        stats: &mut TraversalStats,
+    ) -> Option<NearestHit>
+    where
+        FSkip: FnMut(NodeId) -> bool,
+        FLeaf: FnMut(u32, Scalar) -> Option<Scalar>,
+    {
+        let mut best: Option<NearestHit> = None;
+        if skip(self.root()) {
+            stats.skipped += 1;
+            return None;
+        }
+        let nodes = self.wide().nodes();
+        let mut cur = 0u32;
+        // Set on rope arrivals only: a descend target was box- and
+        // label-checked by its parent an instant ago, but a rope leads
+        // through *every* later sibling — including ones whose box already
+        // failed, or got out-pruned by a since-shrunken radius — so those
+        // entries re-validate against the node's own leading fields and
+        // usually bail without touching the lane block.
+        let mut via_rope = false;
+        while cur != INVALID_NODE {
+            // SAFETY: `cur` is 0 or came from a `child`/`escape` slot;
+            // `WideBvh::collapse` only stores in-range indices there (the
+            // build-time invariant `WideBvh::validate` checks).
+            let node = unsafe { nodes.get_unchecked(cur as usize) };
+            // Start pulling the rope target in before we know whether we
+            // need it — the drag chain through out-pruned siblings is a
+            // dependent pointer chase and this is what hides it.
+            prefetch(nodes.as_ptr().wrapping_add(node.escape as usize));
+            stats.nodes += 1;
+            if via_rope && node.self_distance_sq(query) > radius_sq {
+                stats.rope_hops += 1;
+                cur = node.escape;
+                continue;
+            }
+            if via_rope && skip(node.self_bin) {
+                stats.skipped += 1;
+                stats.rope_hops += 1;
+                cur = node.escape;
+                continue;
+            }
+            via_rope = false;
+            let d = node.lane_distances_sq(query);
+            let mut descend = INVALID_NODE;
+            for (k, &dk) in d.iter().enumerate() {
+                // Strict-greater pruning: a lane exactly at the radius can
+                // still hold an equidistant smaller-rank tie candidate.
+                // Empty lanes carry `+inf` and die here too, except under
+                // an infinite radius — caught by the occupancy test after.
+                if dk > radius_sq || (node.occupied >> k) & 1 == 0 {
+                    continue;
+                }
+                if node.lane_is_leaf(k) {
+                    let rank = node.lane_rank(k);
+                    stats.leaves += 1;
+                    stats.distances += 1;
+                    // The lane distance of a degenerate box *is* the
+                    // Euclidean squared distance to the point.
+                    if let Some(m) = leaf(rank, dk) {
+                        if m < radius_sq {
+                            radius_sq = m;
+                            best = Some(NearestHit { rank, dist_sq: m });
+                        } else if m == radius_sq {
+                            // Tie: keep the smallest rank for determinism.
+                            match best {
+                                Some(b) if rank >= b.rank => {}
+                                _ => best = Some(NearestHit { rank, dist_sq: m }),
+                            }
+                        }
+                    }
+                } else if descend == INVALID_NODE {
+                    // First live internal lane; later live lanes are
+                    // reached through the ropes of this lane's subtree.
+                    if skip(node.bin[k]) {
+                        stats.skipped += 1;
+                    } else {
+                        descend = node.child[k];
+                    }
+                }
+            }
+            if descend != INVALID_NODE {
+                cur = descend;
+            } else {
+                stats.rope_hops += 1;
+                cur = node.escape;
+                via_rope = true;
+            }
+        }
+        best
+    }
+
     /// Nearest neighbour of `query` among all points except `exclude_rank`
-    /// (pass `u32::MAX` to exclude nothing). Euclidean metric.
+    /// (pass `u32::MAX` to exclude nothing). Euclidean metric. Runs on the
+    /// default (stackless) walker.
     pub fn nearest_neighbor(&self, query: &Point<D>, exclude_rank: u32) -> Option<NearestHit> {
         let mut stats = TraversalStats::default();
-        self.nearest_with(
+        self.nearest(
+            Traversal::default(),
             query,
             Scalar::INFINITY,
             |_| false,
@@ -217,7 +444,11 @@ impl<const D: usize> Bvh<D> {
             return vec![];
         }
         let mut heap = KnnHeap::new(k);
-        self.nearest_with(
+        // The default (stackless) walker; the kept k-set is identical for
+        // any traversal order, because a candidate pruned at some radius is
+        // strictly farther than the final k-th distance.
+        self.nearest(
+            Traversal::default(),
             query,
             Scalar::INFINITY,
             |_| false,
@@ -516,8 +747,122 @@ mod tests {
         assert_eq!(h.len(), 2);
     }
 
+    /// Reference subtree labels for a synthetic component assignment —
+    /// the downward-closed predicate family the walkers must agree under.
+    fn subtree_labels(bvh: &Bvh<2>, labels: &[u32]) -> Vec<u32> {
+        fn go(bvh: &Bvh<2>, labels: &[u32], node: u32, out: &mut [u32]) -> u32 {
+            let l = if bvh.is_leaf(node) {
+                labels[bvh.leaf_rank(node) as usize]
+            } else {
+                let a = go(bvh, labels, bvh.left_child(node), out);
+                let b = go(bvh, labels, bvh.right_child(node), out);
+                if a == b {
+                    a
+                } else {
+                    u32::MAX
+                }
+            };
+            out[node as usize] = l;
+            l
+        }
+        let mut out = vec![u32::MAX; bvh.num_nodes()];
+        go(bvh, labels, bvh.root(), &mut out);
+        out
+    }
+
+    /// Runs both walkers with the component-skip predicate active and
+    /// asserts bit-identical hits.
+    fn assert_walkers_agree(pts: &[Point<2>], labels: &[u32], radius_sq: f32) {
+        let bvh = Bvh::build(&Serial, pts);
+        let node_labels = subtree_labels(&bvh, labels);
+        for i in 0..pts.len() {
+            let comp = labels[i];
+            let q = bvh.leaf_point(i as u32);
+            let run = |t: Traversal| {
+                let mut st = TraversalStats::default();
+                bvh.nearest(
+                    t,
+                    q,
+                    radius_sq,
+                    |node| node_labels[node as usize] == comp,
+                    |rank, e| (labels[rank as usize] != comp).then_some(e),
+                    &mut st,
+                )
+            };
+            let a = run(Traversal::Stack);
+            let b = run(Traversal::Stackless);
+            assert_eq!(a, b, "query rank {i}");
+        }
+    }
+
+    #[test]
+    fn stack_and_stackless_agree_under_tie_pressure() {
+        // Integer grid: every distance ties; plus duplicate blocks.
+        let mut pts: Vec<Point<2>> =
+            (0..8).flat_map(|x| (0..8).map(move |y| Point::new([x as f32, y as f32]))).collect();
+        pts.extend(std::iter::repeat_n(Point::new([3.0, 3.0]), 9));
+        let labels: Vec<u32> = (0..pts.len() as u32).map(|r| r % 5).collect();
+        assert_walkers_agree(&pts, &labels, f32::INFINITY);
+        assert_walkers_agree(&pts, &labels, 1.0);
+    }
+
+    #[test]
+    fn stackless_counts_rope_hops() {
+        let pts = random_points_2d(1000, 12);
+        let bvh = Bvh::build(&Serial, &pts);
+        let mut st = TraversalStats::default();
+        bvh.nearest_stackless(
+            &Point::new([0.1, 0.2]),
+            f32::INFINITY,
+            |_| false,
+            |_, e| Some(e),
+            &mut st,
+        );
+        assert!(st.rope_hops > 0);
+        assert!(st.nodes > 0);
+        // The stack walker never hops ropes.
+        let mut st2 = TraversalStats::default();
+        bvh.nearest_with(
+            &Point::new([0.1, 0.2]),
+            f32::INFINITY,
+            |_| false,
+            |_, e| Some(e),
+            &mut st2,
+        );
+        assert_eq!(st2.rope_hops, 0);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn stack_vs_stackless_bit_identical_hits(
+            n in 1usize..150,
+            seed in 0u64..500,
+            comps in 1u32..8,
+            duplicates in 0usize..3,
+            grid in 0u8..2,
+        ) {
+            // Duplicate/tie pressure: random or integer-grid points plus
+            // repeated blocks, random component labels, component-skip
+            // predicate active.
+            let mut pts = if grid == 1 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n).map(|_| Point::new([
+                    rng.random_range(0i32..5) as f32,
+                    rng.random_range(0i32..5) as f32,
+                ])).collect()
+            } else {
+                random_points_2d(n, seed)
+            };
+            for _ in 0..duplicates {
+                let p = pts[0];
+                pts.extend(std::iter::repeat_n(p, 4));
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let labels: Vec<u32> = (0..pts.len()).map(|_| rng.random_range(0..comps)).collect();
+            assert_walkers_agree(&pts, &labels, f32::INFINITY);
+        }
 
         #[test]
         fn nn_equals_brute_force_on_random_sets(

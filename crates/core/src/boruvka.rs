@@ -4,7 +4,7 @@ use std::sync::atomic::AtomicU32;
 
 use parking_lot::Mutex;
 
-use emst_bvh::{Bvh, MortonResolution, TraversalStats};
+use emst_bvh::{Bvh, MortonResolution, Traversal, TraversalStats};
 use emst_exec::atomic::pack_dist_payload;
 use emst_exec::counters::CounterSnapshot;
 use emst_exec::{AtomicF32Min, AtomicU64Min, Counters, ExecSpace, PhaseTimings, SyncUnsafeSlice};
@@ -44,6 +44,11 @@ pub struct EmstConfig {
     /// §4.1 remedy for extremely dense datasets (GeoLife) whose hot spots
     /// are under-resolved by 64-bit codes.
     pub morton_resolution: MortonResolution,
+    /// Which nearest-neighbour walker the `find_edges` kernel uses: the
+    /// default stackless rope traversal over the 4-wide SoA tree, or the
+    /// seed per-query-stack walk kept for the ablation study. Both return
+    /// bit-identical hits, so the MST is the same either way.
+    pub traversal: Traversal,
 }
 
 impl Default for EmstConfig {
@@ -53,6 +58,7 @@ impl Default for EmstConfig {
             subtree_skipping: true,
             upper_bounds: true,
             morton_resolution: MortonResolution::Bits64,
+            traversal: Traversal::Stackless,
         }
     }
 }
@@ -152,6 +158,17 @@ impl<'a, const D: usize> SingleTreeBoruvka<'a, D> {
         self.run_with_metric(space, config, &Euclidean)
     }
 
+    /// [`Self::run`] drawing working memory from a caller-held
+    /// [`BoruvkaScratch`] — the repeated-solve form (per-shard, per-query).
+    pub fn run_scratch<S: ExecSpace>(
+        &self,
+        space: &S,
+        config: &EmstConfig,
+        scratch: &mut BoruvkaScratch,
+    ) -> EmstResult {
+        self.run_with_metric_scratch(space, config, &Euclidean, scratch)
+    }
+
     /// Computes the MST under an arbitrary [`Metric`] (indexed by original
     /// point indices) — e.g. mutual reachability for HDBSCAN* (paper §4.5).
     pub fn run_with_metric<S: ExecSpace, M: Metric>(
@@ -159,6 +176,17 @@ impl<'a, const D: usize> SingleTreeBoruvka<'a, D> {
         space: &S,
         config: &EmstConfig,
         metric: &M,
+    ) -> EmstResult {
+        self.run_with_metric_scratch(space, config, metric, &mut BoruvkaScratch::new())
+    }
+
+    /// [`Self::run_with_metric`] with a caller-held [`BoruvkaScratch`].
+    pub fn run_with_metric_scratch<S: ExecSpace, M: Metric>(
+        &self,
+        space: &S,
+        config: &EmstConfig,
+        metric: &M,
+        scratch: &mut BoruvkaScratch,
     ) -> EmstResult {
         let n = self.points.len();
         if n < 2 {
@@ -181,7 +209,8 @@ impl<'a, const D: usize> SingleTreeBoruvka<'a, D> {
         let launches1 = kernel_snapshot(space);
 
         let mst_start = std::time::Instant::now();
-        let (edges, iterations) = run_boruvka(space, &bvh, metric, config, &counters, &mut timings);
+        let (edges, iterations) =
+            run_boruvka_scratch(space, &bvh, metric, config, &counters, &mut timings, scratch);
         timings.record("mst", mst_start.elapsed().as_secs_f64());
         let launches2 = kernel_snapshot(space);
 
@@ -207,8 +236,86 @@ fn delta(a: (u64, u64), b: (u64, u64)) -> (u64, u64) {
     (b.0 - a.0, b.1 - a.1)
 }
 
+/// Reusable allocation pool for [`run_boruvka_scratch`].
+///
+/// One Borůvka run needs a dozen `O(n)`/`O(nodes)` working arrays (labels,
+/// node labels, climb flags, upper bounds, per-component reduction slots…).
+/// Allocating them per call is invisible for one monolithic solve but adds
+/// up when the solver is invoked in a loop — the sharded per-shard solves,
+/// HDBSCAN*'s EMST pass after core distances, and any serving layer that
+/// answers repeated queries. Callers keep one scratch alive and every run
+/// only grows it; nothing is freed between runs.
+#[derive(Default)]
+pub struct BoruvkaScratch {
+    labels: Vec<u32>,
+    node_labels: Vec<u32>,
+    flags: Vec<AtomicU32>,
+    upper: Vec<AtomicF32Min>,
+    locked_best: Vec<Mutex<Candidate>>,
+    cand_ngb: Vec<u32>,
+    cand_dist: Vec<Scalar>,
+    comp_key: Vec<AtomicU64Min>,
+    comp_pair: Vec<AtomicU64Min>,
+    comp_edge: Vec<Candidate>,
+    next_arr: Vec<u32>,
+    emit_mark: Vec<usize>,
+    emit_pos: Vec<usize>,
+}
+
+impl BoruvkaScratch {
+    /// An empty pool; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows every array the configured run will touch and (re)initializes
+    /// the ones whose starting state matters. Stale contents from earlier
+    /// runs are harmless everywhere else: each iteration rewrites its slots
+    /// before reading them.
+    fn prepare(&mut self, n: usize, num_nodes: usize, num_internal: usize, config: &EmstConfig) {
+        self.labels.clear();
+        self.labels.extend(0..n as u32);
+        if config.subtree_skipping {
+            self.node_labels.resize(num_nodes, INVALID_LABEL);
+            if self.flags.len() < num_internal {
+                self.flags.resize_with(num_internal, || AtomicU32::new(0));
+            }
+        }
+        if config.upper_bounds && self.upper.len() < n {
+            self.upper.resize_with(n, AtomicF32Min::new_inf);
+        }
+        match config.edge_selection {
+            EdgeSelection::Locked => {
+                if self.locked_best.len() < n {
+                    self.locked_best.resize_with(n, || Mutex::new(Candidate::NONE));
+                }
+                // Defensive: a prior panicked run could have left winners.
+                for slot in &self.locked_best[..n] {
+                    *slot.lock() = Candidate::NONE;
+                }
+            }
+            EdgeSelection::Atomic64 => {
+                self.cand_ngb.resize(n, u32::MAX);
+                self.cand_dist.resize(n, Scalar::INFINITY);
+                if self.comp_key.len() < n {
+                    self.comp_key.resize_with(n, AtomicU64Min::new_max);
+                }
+                if self.comp_pair.len() < n {
+                    self.comp_pair.resize_with(n, AtomicU64Min::new_max);
+                }
+            }
+        }
+        self.comp_edge.resize(n, Candidate::NONE);
+        self.next_arr.resize(n, u32::MAX);
+        self.emit_mark.resize(n, 0);
+        self.emit_pos.resize(n, 0);
+    }
+}
+
 /// The Borůvka loop over a pre-built BVH. Exposed for callers that reuse the
-/// tree (HDBSCAN* builds it once for core distances and the MST).
+/// tree (HDBSCAN* builds it once for core distances and the MST). Allocates
+/// a fresh [`BoruvkaScratch`]; loop callers should hold one and use
+/// [`run_boruvka_scratch`].
 pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
     space: &S,
     bvh: &Bvh<D>,
@@ -217,37 +324,45 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
     counters: &Counters,
     timings: &mut PhaseTimings,
 ) -> (Vec<Edge>, u32) {
+    run_boruvka_scratch(space, bvh, metric, config, counters, timings, &mut BoruvkaScratch::new())
+}
+
+/// [`run_boruvka`] drawing its working arrays from a caller-held
+/// [`BoruvkaScratch`], so repeated solves (per-shard, per-query) stop paying
+/// per-call allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_boruvka_scratch<S: ExecSpace, M: Metric, const D: usize>(
+    space: &S,
+    bvh: &Bvh<D>,
+    metric: &M,
+    config: &EmstConfig,
+    counters: &Counters,
+    timings: &mut PhaseTimings,
+    scratch: &mut BoruvkaScratch,
+) -> (Vec<Edge>, u32) {
     let n = bvh.num_leaves();
     debug_assert!(n >= 2);
     let point_bytes = std::mem::size_of::<Point<D>>() as u64;
 
-    // Component labels per Morton rank; every point starts as its own
-    // component, labelled by its own rank (paper Fig. 3 initialization).
-    let mut labels: Vec<u32> = (0..n as u32).collect();
-    let mut node_labels = vec![INVALID_LABEL; bvh.num_nodes()];
-    let flags: Vec<AtomicU32> = (0..bvh.num_internal()).map(|_| AtomicU32::new(0)).collect();
-    let upper: Vec<AtomicF32Min> = (0..n).map(|_| AtomicF32Min::new_inf()).collect();
+    scratch.prepare(n, bvh.num_nodes(), bvh.num_internal(), config);
+    let BoruvkaScratch {
+        // Component labels per Morton rank; every point starts as its own
+        // component, labelled by its own rank (paper Fig. 3 initialization).
+        labels,
+        node_labels,
+        flags,
+        upper,
+        locked_best,
+        cand_ngb,
+        cand_dist,
+        comp_key,
+        comp_pair,
+        comp_edge,
+        next_arr,
+        emit_mark,
+        emit_pos,
+    } = scratch;
 
-    // Edge-selection state.
-    let locked_best: Vec<Mutex<Candidate>> = match config.edge_selection {
-        EdgeSelection::Locked => (0..n).map(|_| Mutex::new(Candidate::NONE)).collect(),
-        EdgeSelection::Atomic64 => vec![],
-    };
-    let mut cand_ngb = vec![u32::MAX; n];
-    let mut cand_dist = vec![Scalar::INFINITY; n];
-    let (comp_key, comp_pair): (Vec<AtomicU64Min>, Vec<AtomicU64Min>) = match config.edge_selection
-    {
-        EdgeSelection::Atomic64 => (
-            (0..n).map(|_| AtomicU64Min::new_max()).collect(),
-            (0..n).map(|_| AtomicU64Min::new_max()).collect(),
-        ),
-        EdgeSelection::Locked => (vec![], vec![]),
-    };
-
-    let mut comp_edge = vec![Candidate::NONE; n];
-    let mut next_arr = vec![u32::MAX; n];
-    let mut emit_mark = vec![0usize; n];
-    let mut emit_pos = vec![0usize; n];
     let mut edges: Vec<Edge> = Vec::with_capacity(n - 1);
     let mut num_components = n;
     let mut iterations = 0u32;
@@ -263,7 +378,7 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
         // Phase 1: propagate labels into internal nodes (Optimization 1).
         if config.subtree_skipping {
             timings.time("mst.reduce_labels", || {
-                reduce_labels(space, bvh, &labels, &mut node_labels, &flags);
+                reduce_labels(space, bvh, labels, node_labels, &flags[..bvh.num_internal()]);
             });
             counters.add_bytes(bvh.num_nodes() as u64 * 8);
         }
@@ -273,7 +388,7 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
         if config.upper_bounds {
             timings.time("mst.upper_bounds", || {
                 space.parallel_for(n, |i| upper[i].store(Scalar::INFINITY));
-                let labels = &labels;
+                let labels = &*labels;
                 space.parallel_for(n - 1, |i| {
                     let (li, lj) = (labels[i], labels[i + 1]);
                     if li != lj {
@@ -294,14 +409,15 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
         // Phase 3: the constrained nearest-neighbour kernel (Algorithm 2)
         // plus the per-component reduction of the shortest outgoing edge.
         timings.time("mst.find_edges", || {
-            let labels = &labels;
-            let node_labels = &node_labels;
-            let cand_ngb_s = SyncUnsafeSlice::new(&mut cand_ngb);
-            let cand_dist_s = SyncUnsafeSlice::new(&mut cand_dist);
+            let labels = &*labels;
+            let node_labels = &*node_labels;
+            let cand_ngb_s = SyncUnsafeSlice::new(cand_ngb);
+            let cand_dist_s = SyncUnsafeSlice::new(cand_dist);
             let subtree_skipping = config.subtree_skipping;
             let use_bounds = config.upper_bounds;
             let selection = config.edge_selection;
-            let locked_best = &locked_best;
+            let traversal = config.traversal;
+            let locked_best = &*locked_best;
 
             let stats = space.parallel_reduce(
                 n,
@@ -318,7 +434,8 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                     let hit = if metric.squared_bound(u_orig, 0.0) > radius {
                         None
                     } else {
-                        bvh.nearest_with(
+                        bvh.nearest(
+                            traversal,
                             bvh.leaf_point(i as u32),
                             radius,
                             |node| subtree_skipping && node_labels[node as usize] == comp,
@@ -362,24 +479,20 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                     }
                     st
                 },
-                |a, b| TraversalStats {
-                    nodes: a.nodes + b.nodes,
-                    leaves: a.leaves + b.leaves,
-                    distances: a.distances + b.distances,
-                    skipped: a.skipped + b.skipped,
-                },
+                TraversalStats::merged,
             );
             counters.add_queries(n as u64);
-            counters.add_node_visits(stats.nodes as u64);
-            counters.add_leaf_visits(stats.leaves as u64);
-            counters.add_distance_computations(stats.distances as u64);
-            counters.add_subtrees_skipped(stats.skipped as u64);
+            counters.add_node_visits(stats.nodes);
+            counters.add_rope_hops(stats.rope_hops);
+            counters.add_leaf_visits(stats.leaves);
+            counters.add_distance_computations(stats.distances);
+            counters.add_subtrees_skipped(stats.skipped);
         });
 
         // Normalize the winning edge of every component into `comp_edge`.
         timings.time("mst.select", || {
-            let labels = &labels;
-            let comp_edge_s = SyncUnsafeSlice::new(&mut comp_edge);
+            let labels = &*labels;
+            let comp_edge_s = SyncUnsafeSlice::new(comp_edge);
             match config.edge_selection {
                 EdgeSelection::Locked => {
                     space.parallel_for(n, |i| {
@@ -392,8 +505,8 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                     space.parallel_for(n, |i| *locked_best[i].lock() = Candidate::NONE);
                 }
                 EdgeSelection::Atomic64 => {
-                    let cand_ngb = &cand_ngb;
-                    let cand_dist = &cand_dist;
+                    let cand_ngb = &*cand_ngb;
+                    let cand_dist = &*cand_dist;
                     // Pass A: per-component minimum of (distance, min rank).
                     space.parallel_for(n, |i| comp_key[i].store(u64::MAX));
                     space.parallel_for(n, |i| {
@@ -443,11 +556,11 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
 
         // Phase 4: merge components along the found edges (§3 of the paper).
         timings.time("mst.merge", || {
-            let labels_ref = &labels;
-            let comp_edge = &comp_edge;
+            let labels_ref = &*labels;
+            let comp_edge = &*comp_edge;
             // next[c]: the component this component's shortest edge leads to.
             {
-                let next_s = SyncUnsafeSlice::new(&mut next_arr);
+                let next_s = SyncUnsafeSlice::new(next_arr);
                 space.parallel_for(n, |i| {
                     let v = if labels_ref[i] == i as u32 {
                         let e = comp_edge[i];
@@ -461,7 +574,7 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                     unsafe { next_s.write(i, v) };
                 });
             }
-            let next_arr = &next_arr;
+            let next_arr = &*next_arr;
 
             // Decide which components emit their edge: every component emits
             // unless it is the larger-rank member of a mutual pair (whose
@@ -477,20 +590,20 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
                 !(mutual && (b as u32) < i as u32)
             };
             {
-                let mark_s = SyncUnsafeSlice::new(&mut emit_mark);
+                let mark_s = SyncUnsafeSlice::new(emit_mark);
                 space.parallel_for(n, |i| {
                     // SAFETY: one writer per slot.
                     unsafe { mark_s.write(i, emits(i) as usize) };
                 });
             }
-            emit_pos.copy_from_slice(&emit_mark);
-            let added = space.parallel_scan_exclusive(&mut emit_pos);
+            emit_pos.copy_from_slice(emit_mark);
+            let added = space.parallel_scan_exclusive(emit_pos);
             let start = edges.len();
             edges.resize(start + added, Edge { u: 0, v: 0, weight_sq: 0.0 });
             {
                 let out = SyncUnsafeSlice::new(&mut edges[start..]);
-                let emit_pos = &emit_pos;
-                let emit_mark = &emit_mark;
+                let emit_pos = &*emit_pos;
+                let emit_mark = &*emit_mark;
                 space.parallel_for(n, |i| {
                     if emit_mark[i] == 0 {
                         return;
@@ -506,7 +619,7 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
             // Relabel every point to the smaller representative of its
             // chain's terminal pair.
             {
-                let labels_s = SyncUnsafeSlice::new(&mut labels);
+                let labels_s = SyncUnsafeSlice::new(labels);
                 space.parallel_for(n, |i| {
                     // SAFETY: each thread reads and writes only slot `i`;
                     // chain-following goes through `next_arr`, never labels.
@@ -525,7 +638,7 @@ pub fn run_boruvka<S: ExecSpace, M: Metric, const D: usize>(
             counters.add_bytes(n as u64 * 24);
         });
 
-        let labels = &labels;
+        let labels = &*labels;
         num_components =
             space.parallel_reduce(n, 0usize, |i| (labels[i] == i as u32) as usize, |a, b| a + b);
     }
@@ -755,6 +868,45 @@ mod tests {
             SingleTreeBoruvka::new(&pts).run_with_metric(&Serial, &EmstConfig::default(), &metric);
         let euc = SingleTreeBoruvka::new(&pts).run(&Serial, &EmstConfig::default());
         assert_eq!(weight_multiset(&mrd.edges), weight_multiset(&euc.edges));
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes_and_configs_stays_correct() {
+        // One pool through shrinking/growing inputs, both selections and
+        // both walkers — stale contents must never leak into a result.
+        let mut scratch = BoruvkaScratch::new();
+        for (n, seed) in [(300usize, 1u64), (40, 2), (180, 3)] {
+            let pts = random_points_2d(n, seed);
+            let brute = weight_multiset(&brute_force_emst(&pts));
+            for selection in [EdgeSelection::Locked, EdgeSelection::Atomic64] {
+                for traversal in [Traversal::Stack, Traversal::Stackless] {
+                    let cfg =
+                        EmstConfig { edge_selection: selection, traversal, ..Default::default() };
+                    let r = SingleTreeBoruvka::new(&pts).run_scratch(&Threads, &cfg, &mut scratch);
+                    verify_spanning_tree(n, &r.edges).unwrap();
+                    assert_eq!(
+                        weight_multiset(&r.edges),
+                        brute,
+                        "n={n} {selection:?} {traversal:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_traversals_agree_under_mutual_reachability() {
+        let pts = random_points_2d(150, 91);
+        let core = brute_force_core_distances_sq(&pts, 4);
+        let metric = MutualReachability::new(&core);
+        let mut edges: Vec<Vec<Edge>> = vec![];
+        for traversal in [Traversal::Stack, Traversal::Stackless] {
+            let cfg = EmstConfig { traversal, ..Default::default() };
+            let mut e = SingleTreeBoruvka::new(&pts).run_with_metric(&Serial, &cfg, &metric).edges;
+            e.sort_by_key(Edge::key);
+            edges.push(e);
+        }
+        assert_eq!(edges[0], edges[1]);
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub struct Counters {
     pub distance_computations: AtomicU64,
     /// Internal BVH/kd nodes popped or examined during traversals.
     pub node_visits: AtomicU64,
+    /// Escape-pointer follows of the stackless rope traversal (zero for
+    /// stack-based walks). A rope hop is one dependent index load; the ratio
+    /// `rope_hops / node_visits` measures how often the walker exits a
+    /// subtree instead of descending.
+    pub rope_hops: AtomicU64,
     /// Leaf nodes tested as nearest-neighbour candidates.
     pub leaf_visits: AtomicU64,
     /// Subtrees skipped by the same-component check (Optimization 1).
@@ -50,6 +55,11 @@ impl Counters {
     #[inline]
     pub fn add_node_visits(&self, n: u64) {
         self.node_visits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_rope_hops(&self, n: u64) {
+        self.rope_hops.fetch_add(n, Ordering::Relaxed);
     }
 
     #[inline]
@@ -87,6 +97,7 @@ impl Counters {
         CounterSnapshot {
             distance_computations: self.distance_computations.load(Ordering::Relaxed),
             node_visits: self.node_visits.load(Ordering::Relaxed),
+            rope_hops: self.rope_hops.load(Ordering::Relaxed),
             leaf_visits: self.leaf_visits.load(Ordering::Relaxed),
             subtrees_skipped: self.subtrees_skipped.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
@@ -100,6 +111,7 @@ impl Counters {
     pub fn reset(&self) {
         self.distance_computations.store(0, Ordering::Relaxed);
         self.node_visits.store(0, Ordering::Relaxed);
+        self.rope_hops.store(0, Ordering::Relaxed);
         self.leaf_visits.store(0, Ordering::Relaxed);
         self.subtrees_skipped.store(0, Ordering::Relaxed);
         self.queries.store(0, Ordering::Relaxed);
@@ -114,6 +126,7 @@ impl Counters {
 pub struct CounterSnapshot {
     pub distance_computations: u64,
     pub node_visits: u64,
+    pub rope_hops: u64,
     pub leaf_visits: u64,
     pub subtrees_skipped: u64,
     pub queries: u64,
@@ -128,6 +141,7 @@ impl CounterSnapshot {
         CounterSnapshot {
             distance_computations: self.distance_computations - earlier.distance_computations,
             node_visits: self.node_visits - earlier.node_visits,
+            rope_hops: self.rope_hops - earlier.rope_hops,
             leaf_visits: self.leaf_visits - earlier.leaf_visits,
             subtrees_skipped: self.subtrees_skipped - earlier.subtrees_skipped,
             queries: self.queries - earlier.queries,

@@ -48,6 +48,10 @@ pub struct DeviceModel {
     pub mem_bandwidth: f64,
     /// Modeled cycles per BVH node examined.
     pub cycles_per_node_visit: f64,
+    /// Modeled cycles per rope hop of the stackless traversal — one
+    /// dependent index load, much cheaper than a full node examination
+    /// (no bounding-box arithmetic, no stack traffic).
+    pub cycles_per_rope_hop: f64,
     /// Modeled cycles per point-to-point distance computation.
     pub cycles_per_distance: f64,
     /// Modeled cycles of fixed per-work-item overhead (load query point,
@@ -71,6 +75,7 @@ impl DeviceModel {
             launch_overhead_s: 4.0e-6,
             mem_bandwidth: 1.3e12,
             cycles_per_node_visit: 14.0,
+            cycles_per_rope_hop: 4.0,
             cycles_per_distance: 10.0,
             cycles_per_item: 24.0,
             cycles_per_heap_op: 160.0,
@@ -90,6 +95,7 @@ impl DeviceModel {
             launch_overhead_s: 6.0e-6,
             mem_bandwidth: 1.1e12,
             cycles_per_node_visit: 14.0,
+            cycles_per_rope_hop: 4.0,
             cycles_per_distance: 10.0,
             cycles_per_item: 24.0,
             cycles_per_heap_op: 200.0,
@@ -110,6 +116,7 @@ impl DeviceModel {
     pub fn time(&self, launches: u64, items: u64, work: &CounterSnapshot) -> ModeledTime {
         let launch_s = launches as f64 * self.launch_overhead_s;
         let cycles = work.node_visits as f64 * self.cycles_per_node_visit
+            + work.rope_hops as f64 * self.cycles_per_rope_hop
             + work.distance_computations as f64 * self.cycles_per_distance
             + items as f64 * self.cycles_per_item
             + work.heap_ops as f64 * self.cycles_per_heap_op;

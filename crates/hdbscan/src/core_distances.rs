@@ -65,19 +65,15 @@ pub fn core_distances_sq_instrumented<S: ExecSpace, const D: usize>(
                 unsafe { out_s.write(orig, core) };
                 st
             },
-            |a, b| emst_bvh::TraversalStats {
-                nodes: a.nodes + b.nodes,
-                leaves: a.leaves + b.leaves,
-                distances: a.distances + b.distances,
-                skipped: a.skipped + b.skipped,
-            },
+            emst_bvh::TraversalStats::merged,
         );
         counters.add_queries(n as u64);
-        counters.add_node_visits(stats.nodes as u64);
-        counters.add_leaf_visits(stats.leaves as u64);
-        counters.add_distance_computations(stats.distances as u64);
+        counters.add_node_visits(stats.nodes);
+        counters.add_rope_hops(stats.rope_hops);
+        counters.add_leaf_visits(stats.leaves);
+        counters.add_distance_computations(stats.distances);
         // Every candidate offer costs up to one heap sift.
-        counters.add_heap_ops(stats.leaves as u64 * heap_depth);
+        counters.add_heap_ops(stats.leaves * heap_depth);
     }
     out
 }

@@ -30,8 +30,8 @@ pub use core_distances::{core_distances_sq, core_distances_sq_instrumented, core
 pub use dendrogram::{Dendrogram, Merge};
 
 use emst_bvh::Bvh;
-use emst_core::boruvka::run_boruvka;
-use emst_core::{Edge, EmstConfig};
+use emst_core::boruvka::run_boruvka_scratch;
+use emst_core::{BoruvkaScratch, Edge, EmstConfig};
 use emst_exec::{Counters, ExecSpace, PhaseTimings};
 use emst_geometry::{MutualReachability, Point};
 
@@ -78,6 +78,18 @@ impl Hdbscan {
         space: &S,
         points: &[Point<D>],
     ) -> HdbscanResult {
+        self.fit_scratch(space, points, &mut BoruvkaScratch::new())
+    }
+
+    /// [`Self::fit`] drawing the EMST pass's working arrays from a
+    /// caller-held [`BoruvkaScratch`], so repeated clusterings (parameter
+    /// sweeps, serving) stop paying per-call allocation.
+    pub fn fit_scratch<S: ExecSpace, const D: usize>(
+        &self,
+        space: &S,
+        points: &[Point<D>],
+        scratch: &mut BoruvkaScratch,
+    ) -> HdbscanResult {
         assert!(self.k_pts >= 1);
         assert!(self.min_cluster_size >= 2);
         let n = points.len();
@@ -103,8 +115,15 @@ impl Hdbscan {
             let metric = MutualReachability::new(&core_sq);
             let counters = Counters::new();
             let emst_start = std::time::Instant::now();
-            let (edges, _iters) =
-                run_boruvka(space, &bvh, &metric, &EmstConfig::default(), &counters, &mut timings);
+            let (edges, _iters) = run_boruvka_scratch(
+                space,
+                &bvh,
+                &metric,
+                &EmstConfig::default(),
+                &counters,
+                &mut timings,
+                scratch,
+            );
             timings.record("emst", emst_start.elapsed().as_secs_f64());
             edges
         } else {

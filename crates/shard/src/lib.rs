@@ -50,7 +50,7 @@ pub use plan::ShardPlan;
 pub use stream::{emst_sharded_csv, StreamConfig};
 
 use emst_core::edge::total_weight;
-use emst_core::{Edge, EmstConfig, SingleTreeBoruvka};
+use emst_core::{BoruvkaScratch, Edge, EmstConfig, SingleTreeBoruvka};
 use emst_exec::counters::CounterSnapshot;
 use emst_exec::{Counters, ExecSpace, PhaseTimings, Threads};
 use emst_geometry::Point;
@@ -160,26 +160,33 @@ pub fn emst_sharded_with<S: ExecSpace, const D: usize>(
         iterations: u32,
         work: CounterSnapshot,
     }
-    let solve_one = |(ids, pts): (Vec<u32>, Vec<Point<D>>)| -> LocalSolve<D> {
-        let (seeds, iterations, work) = if pts.len() >= 2 {
-            let r = SingleTreeBoruvka::new(&pts).run(space, &config.emst);
-            let seeds = r
-                .edges
-                .iter()
-                .map(|e| Edge::new(ids[e.u as usize], ids[e.v as usize], e.weight_sq))
-                .collect();
-            (seeds, r.iterations, r.work)
-        } else {
-            (vec![], 0, CounterSnapshot::default())
+    let solve_one =
+        |(ids, pts): (Vec<u32>, Vec<Point<D>>), scratch: &mut BoruvkaScratch| -> LocalSolve<D> {
+            let (seeds, iterations, work) = if pts.len() >= 2 {
+                let r = SingleTreeBoruvka::new(&pts).run_scratch(space, &config.emst, scratch);
+                let seeds = r
+                    .edges
+                    .iter()
+                    .map(|e| Edge::new(ids[e.u as usize], ids[e.v as usize], e.weight_sq))
+                    .collect();
+                (seeds, r.iterations, r.work)
+            } else {
+                (vec![], 0, CounterSnapshot::default())
+            };
+            let shard = MergeShard::build(space, &pts, &ids);
+            LocalSolve { shard, seeds, iterations, work }
         };
-        let shard = MergeShard::build(space, &pts, &ids);
-        LocalSolve { shard, seeds, iterations, work }
-    };
     let locals: Vec<LocalSolve<D>> = timings.time("local", || {
         if config.parallel_shards && inputs.len() > 1 {
-            inputs.into_par_iter().map(solve_one).collect()
+            // Concurrent shards cannot share a pool; each worker brings its
+            // own (the sequential path below reuses one across all shards).
+            inputs
+                .into_par_iter()
+                .map(|input| solve_one(input, &mut BoruvkaScratch::new()))
+                .collect()
         } else {
-            inputs.into_iter().map(solve_one).collect()
+            let mut scratch = BoruvkaScratch::new();
+            inputs.into_iter().map(|input| solve_one(input, &mut scratch)).collect()
         }
     });
 
@@ -193,7 +200,15 @@ pub fn emst_sharded_with<S: ExecSpace, const D: usize>(
 
     // Cross-shard Borůvka merge (exact; see the merge module docs).
     let mst_start = std::time::Instant::now();
-    let outcome = cross_shard_boruvka(space, &shards, n, &seeds, &counters, &mut timings);
+    let outcome = cross_shard_boruvka(
+        space,
+        &shards,
+        n,
+        &seeds,
+        config.emst.traversal,
+        &counters,
+        &mut timings,
+    );
     timings.record("merge", mst_start.elapsed().as_secs_f64());
     debug_assert_eq!(outcome.edges.len(), n - 1);
 
@@ -216,6 +231,7 @@ pub(crate) fn add_snapshots(a: &CounterSnapshot, b: &CounterSnapshot) -> Counter
     CounterSnapshot {
         distance_computations: a.distance_computations + b.distance_computations,
         node_visits: a.node_visits + b.node_visits,
+        rope_hops: a.rope_hops + b.rope_hops,
         leaf_visits: a.leaf_visits + b.leaf_visits,
         subtrees_skipped: a.subtrees_skipped + b.subtrees_skipped,
         queries: a.queries + b.queries,

@@ -38,7 +38,7 @@
 
 use std::sync::atomic::AtomicU32;
 
-use emst_bvh::{Bvh, TraversalStats};
+use emst_bvh::{Bvh, Traversal, TraversalStats};
 use emst_core::labels::{reduce_labels, INVALID_LABEL};
 use emst_core::{Edge, UnionFind};
 use emst_exec::atomic::{pack_dist_payload, unpack_dist_payload};
@@ -81,10 +81,7 @@ pub(crate) struct MergeOutcome {
 /// of queries that reached a leaf.
 #[derive(Clone, Copy, Default)]
 struct QueryWork {
-    nodes: u64,
-    leaves: u64,
-    distances: u64,
-    skipped: u64,
+    stats: TraversalStats,
     queries: u64,
     boundary: u64,
 }
@@ -92,10 +89,7 @@ struct QueryWork {
 impl QueryWork {
     fn combine(a: Self, b: Self) -> Self {
         Self {
-            nodes: a.nodes + b.nodes,
-            leaves: a.leaves + b.leaves,
-            distances: a.distances + b.distances,
-            skipped: a.skipped + b.skipped,
+            stats: a.stats.merged(b.stats),
             queries: a.queries + b.queries,
             boundary: a.boundary + b.boundary,
         }
@@ -114,6 +108,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     shards: &[MergeShard<D>],
     n_vertices: usize,
     seeds: &[Edge],
+    traversal: Traversal,
     counters: &Counters,
     timings: &mut PhaseTimings,
 ) -> MergeOutcome {
@@ -252,7 +247,8 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                         let mut st = TraversalStats::default();
                         let nl = &node_labels[s];
                         let vor = &shard.vertex_of_rank;
-                        shard.bvh.nearest_with(
+                        shard.bvh.nearest(
+                            traversal,
                             query,
                             radius,
                             |node| nl[node as usize] == c,
@@ -275,10 +271,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                             &mut st,
                         );
                         work.queries += 1;
-                        work.nodes += st.nodes as u64;
-                        work.leaves += st.leaves as u64;
-                        work.distances += st.distances as u64;
-                        work.skipped += st.skipped as u64;
+                        work.stats = work.stats.merged(st);
                         if st.leaves > 0 {
                             work.boundary += 1;
                         }
@@ -299,10 +292,11 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
             );
             boundary_candidates += work.boundary;
             counters.add_queries(work.queries);
-            counters.add_node_visits(work.nodes);
-            counters.add_leaf_visits(work.leaves);
-            counters.add_distance_computations(work.distances);
-            counters.add_subtrees_skipped(work.skipped);
+            counters.add_node_visits(work.stats.nodes);
+            counters.add_rope_hops(work.stats.rope_hops);
+            counters.add_leaf_visits(work.stats.leaves);
+            counters.add_distance_computations(work.stats.distances);
+            counters.add_subtrees_skipped(work.stats.skipped);
         });
 
         // Phase 4: resolve each component's winner. Among candidates that
@@ -400,7 +394,15 @@ mod tests {
         let shards = vec![MergeShard::build(&Serial, a, &va), MergeShard::build(&Serial, b, &vb)];
         let counters = Counters::new();
         let mut timings = PhaseTimings::new();
-        let out = cross_shard_boruvka(&Serial, &shards, 60, &[], &counters, &mut timings);
+        let out = cross_shard_boruvka(
+            &Serial,
+            &shards,
+            60,
+            &[],
+            Traversal::default(),
+            &counters,
+            &mut timings,
+        );
         assert_eq!(out.edges.len(), 59);
         verify_spanning_tree(60, &out.edges).unwrap();
 
@@ -426,7 +428,15 @@ mod tests {
         let shards = vec![MergeShard::build(&Serial, &pts, &vertices)];
         let counters = Counters::new();
         let mut timings = PhaseTimings::new();
-        let out = cross_shard_boruvka(&Serial, &shards, 120, &seeds, &counters, &mut timings);
+        let out = cross_shard_boruvka(
+            &Serial,
+            &shards,
+            120,
+            &seeds,
+            Traversal::default(),
+            &counters,
+            &mut timings,
+        );
         verify_spanning_tree(120, &out.edges).unwrap();
         assert_eq!(weight_multiset(&out.edges), weight_multiset(&seeds));
         assert_eq!(out.boundary_candidates, 0);
@@ -438,7 +448,15 @@ mod tests {
         let shards = vec![MergeShard::build(&Serial, &pts, &[0])];
         let counters = Counters::new();
         let mut timings = PhaseTimings::new();
-        let out = cross_shard_boruvka(&Serial, &shards, 1, &[], &counters, &mut timings);
+        let out = cross_shard_boruvka(
+            &Serial,
+            &shards,
+            1,
+            &[],
+            Traversal::default(),
+            &counters,
+            &mut timings,
+        );
         assert!(out.edges.is_empty());
         assert_eq!(out.rounds, 0);
     }

@@ -243,11 +243,13 @@ fn stream_shards<S: ExecSpace, const D: usize>(
         Ok::<(), io::Error>(())
     })?;
 
-    // Pass 4: local solves, one shard resident at a time.
+    // Pass 4: local solves, one shard resident at a time, all drawing from
+    // one reused scratch pool (the solves are sequential by design here).
     let mut shard_sizes = vec![0usize; k];
     let mut local_iterations = vec![];
     let mut local_work = CounterSnapshot::default();
     let mut candidates: Vec<Edge> = vec![];
+    let mut scratch = emst_core::BoruvkaScratch::new();
     timings.time("local", || {
         for s in 0..k {
             let spilled: Vec<Spilled<D>> = load_spill(dir, s)?;
@@ -261,7 +263,7 @@ fn stream_shards<S: ExecSpace, const D: usize>(
                 continue;
             }
             let pts: Vec<Point<D>> = spilled.iter().map(|&(_, p)| p).collect();
-            let r = SingleTreeBoruvka::new(&pts).run(space, &config.emst);
+            let r = SingleTreeBoruvka::new(&pts).run_scratch(space, &config.emst, &mut scratch);
             local_iterations.push(r.iterations);
             local_work = crate::add_snapshots(&local_work, &r.work);
             candidates.extend(
@@ -293,7 +295,15 @@ fn stream_shards<S: ExecSpace, const D: usize>(
                 MergeShard::build(space, &left_pts, &left_ids),
                 MergeShard::build(space, &right_pts, &right_ids),
             ];
-            let out = cross_shard_boruvka(space, &shards, globals.len(), &[], counters, timings);
+            let out = cross_shard_boruvka(
+                space,
+                &shards,
+                globals.len(),
+                &[],
+                config.emst.traversal,
+                counters,
+                timings,
+            );
             merge_rounds += out.rounds;
             boundary_candidates += out.boundary_candidates;
             candidates.extend(

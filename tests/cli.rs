@@ -200,3 +200,45 @@ fn sharded_run_reports_shard_stats() {
     assert!(stderr.contains("merge rounds"), "stderr: {stderr}");
     std::fs::remove_file(&pts).ok();
 }
+
+#[test]
+fn traversal_flag_selects_a_walker_and_matches_the_default() {
+    let pts = tmp("traversal-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "600", "--dim", "2"])
+        .args(["--seed", "11", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let weight_of = |traversal: &str| -> String {
+        let out = bin()
+            .args(["emst", "--input", pts.to_str().unwrap(), "--traversal", traversal])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{traversal}: {}", String::from_utf8_lossy(&out.stderr));
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        let line = stderr.lines().find(|l| l.contains("weight")).unwrap().to_string();
+        line.split("weight ").nth(1).unwrap().split(',').next().unwrap().to_string()
+    };
+    // Both walkers report the identical tree weight.
+    assert_eq!(weight_of("stack"), weight_of("stackless"));
+
+    // Bad values are a hard error, never a silent default.
+    let stderr =
+        expect_error(&["emst", "--input", pts.to_str().unwrap(), "--traversal", "recursive"]);
+    assert!(stderr.contains("invalid --traversal"), "stderr: {stderr}");
+    // And the flag is single-tree only.
+    let stderr = expect_error(&[
+        "emst",
+        "--input",
+        pts.to_str().unwrap(),
+        "--traversal",
+        "stack",
+        "--algorithm",
+        "wspd",
+    ]);
+    assert!(stderr.contains("--traversal requires"), "stderr: {stderr}");
+
+    std::fs::remove_file(&pts).ok();
+}

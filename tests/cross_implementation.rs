@@ -4,9 +4,9 @@
 
 use emst::core::brute::brute_force_emst;
 use emst::core::edge::{verify_spanning_tree, weight_multiset};
-use emst::core::{EdgeSelection, EmstConfig, SingleTreeBoruvka};
+use emst::core::{Edge, EdgeSelection, EmstConfig, SingleTreeBoruvka, Traversal};
 use emst::datasets::Kind;
-use emst::exec::{GpuSim, Serial, Threads};
+use emst::exec::{ChaosSerial, GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::kdtree::{bentley_friedman_emst, dual_tree_emst};
 use emst::shard::emst_sharded;
@@ -33,13 +33,24 @@ fn check_all_impls<const D: usize>(points: &[Point<D>], label: &str) {
     verify_spanning_tree(n, &reference.edges).unwrap_or_else(|e| panic!("{label}: {e}"));
     let ref_multiset = weight_multiset(&reference.edges);
 
-    // Single-tree on every backend and both edge-selection strategies.
+    // Single-tree on every backend, both edge-selection strategies and
+    // both traversal settings.
     for selection in [EdgeSelection::Locked, EdgeSelection::Atomic64] {
-        let cfg = EmstConfig { edge_selection: selection, ..Default::default() };
-        let threads = SingleTreeBoruvka::new(points).run(&Threads, &cfg);
-        assert_eq!(weight_multiset(&threads.edges), ref_multiset, "{label} threads {selection:?}");
-        let gpu = SingleTreeBoruvka::new(points).run(&GpuSim::new(), &cfg);
-        assert_eq!(weight_multiset(&gpu.edges), ref_multiset, "{label} gpusim {selection:?}");
+        for traversal in [Traversal::Stack, Traversal::Stackless] {
+            let cfg = EmstConfig { edge_selection: selection, traversal, ..Default::default() };
+            let threads = SingleTreeBoruvka::new(points).run(&Threads, &cfg);
+            assert_eq!(
+                weight_multiset(&threads.edges),
+                ref_multiset,
+                "{label} threads {selection:?} {traversal:?}"
+            );
+            let gpu = SingleTreeBoruvka::new(points).run(&GpuSim::new(), &cfg);
+            assert_eq!(
+                weight_multiset(&gpu.edges),
+                ref_multiset,
+                "{label} gpusim {selection:?} {traversal:?}"
+            );
+        }
     }
 
     // Both baselines.
@@ -219,4 +230,81 @@ fn total_weights_match_in_f64_too() {
     let c = dual_tree_emst(&points).total_weight;
     assert!((a - b).abs() < 1e-6 * a);
     assert!((a - c).abs() < 1e-6 * a);
+}
+
+/// Runs one configuration and returns the edge list in canonical order.
+fn sorted_edges(points: &[Point<2>], traversal: Traversal, chaos_seed: Option<u64>) -> Vec<Edge> {
+    let cfg = EmstConfig { traversal, ..Default::default() };
+    let mut edges = match chaos_seed {
+        Some(seed) => SingleTreeBoruvka::new(points).run(&ChaosSerial::new(seed), &cfg).edges,
+        None => SingleTreeBoruvka::new(points).run(&Threads, &cfg).edges,
+    };
+    edges.sort_by_key(Edge::key);
+    edges
+}
+
+/// The stack and stackless walkers must produce *bit-identical* trees (not
+/// just equal weight multisets): both are minima over the same candidate
+/// set under the same `(distance, rank)` order, so every chosen edge —
+/// endpoints and weight bits — must coincide, on every backend including
+/// the order-shuffling `ChaosSerial`.
+#[test]
+fn stack_and_stackless_trees_are_bit_identical_on_all_backends() {
+    for kind in [Kind::Uniform, Kind::VisualVar, Kind::GeoLifeLike] {
+        let points: Vec<Point<2>> = kind.generate(800, 0x5B);
+        let reference = sorted_edges(&points, Traversal::Stack, None);
+        assert_eq!(sorted_edges(&points, Traversal::Stackless, None), reference, "{kind:?}");
+        for space_edges in [
+            sorted_edges(&points, Traversal::Stackless, Some(3)),
+            {
+                let cfg = EmstConfig { traversal: Traversal::Stackless, ..Default::default() };
+                let mut e = SingleTreeBoruvka::new(&points).run(&Serial, &cfg).edges;
+                e.sort_by_key(Edge::key);
+                e
+            },
+            {
+                let cfg = EmstConfig { traversal: Traversal::Stackless, ..Default::default() };
+                let mut e = SingleTreeBoruvka::new(&points).run(&GpuSim::new(), &cfg).edges;
+                e.sort_by_key(Edge::key);
+                e
+            },
+        ] {
+            assert_eq!(space_edges, reference, "{kind:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite of the traversal refactor: under duplicate/tie pressure
+    /// (integer grids plus repeated blocks) and with the component-skip
+    /// predicate active (default config), the stack and stackless walkers
+    /// must agree bit-for-bit across Serial, Threads, GpuSim and the
+    /// order-shuffling ChaosSerial backends.
+    #[test]
+    fn traversals_bit_identical_under_tie_pressure_on_every_backend(
+        n in 2usize..120,
+        seed in 0u64..400,
+        duplicates in 0usize..3,
+        chaos_seed in 0u64..8,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points: Vec<Point<2>> = (0..n)
+            .map(|_| Point::new([
+                rng.random_range(0i32..7) as f32,
+                rng.random_range(0i32..7) as f32,
+            ]))
+            .collect();
+        for _ in 0..duplicates {
+            let p = points[0];
+            points.extend(std::iter::repeat_n(p, 5));
+        }
+        let stack = sorted_edges(&points, Traversal::Stack, None);
+        prop_assert_eq!(&sorted_edges(&points, Traversal::Stackless, None), &stack);
+        prop_assert_eq!(&sorted_edges(&points, Traversal::Stack, Some(chaos_seed)), &stack);
+        prop_assert_eq!(&sorted_edges(&points, Traversal::Stackless, Some(chaos_seed)), &stack);
+    }
 }
