@@ -1,0 +1,83 @@
+//! Serving study: what the resident-shard cache buys a repeat query.
+//!
+//! Not a paper figure — this measures the `emst_serve` layer on top of the
+//! reproduction. Per `(generator, n, K)` cell three full-EMST query paths
+//! run interleaved against the same cloud:
+//!
+//! - **cold** — a fresh engine per query: digest + plan + per-shard local
+//!   solves + shard BVH builds + cross-shard merge (what every request
+//!   would pay without a cache);
+//! - **warm** — the resident engine: digest + cross-shard merge only (the
+//!   local phase is skipped entirely; the harness asserts zero build work
+//!   and bit-identical edges);
+//! - **subset** — a warm Morton-contiguous half-range query, which reuses
+//!   fully-covered shards and re-solves only the partially-covered ones.
+//!
+//! Expected shape: warm time is dominated by the merge's label passes and
+//! root-pruned boundary queries, so the warm/cold ratio grows with the
+//! local-solve share — larger `n` and moderate `K` favour the cache.
+
+use emst_bench::*;
+use emst_datasets::Kind;
+use emst_exec::Threads;
+use emst_serve::{CacheOutcome, ServeConfig, ServeEngine};
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn main() {
+    let scale = bench_scale();
+    let sizes: Vec<usize> = match bench_n_override() {
+        Some(n) => vec![n],
+        None => [50_000.0, 200_000.0].iter().map(|s| (s * scale) as usize).collect(),
+    };
+    let repeats = 3;
+    println!("# Serving: cold (fresh engine) vs warm (resident artifacts), K in {SHARD_COUNTS:?}");
+    println!("# columns: generator, n, K, cold(s), warm(s), speedup, subset(s)");
+    println!(
+        "{:<10} {:>9} {:>4} {:>10} {:>10} {:>9} {:>10}",
+        "generator", "n", "K", "cold", "warm", "speedup", "subset"
+    );
+    for (name, kind) in [("uniform", Kind::Uniform), ("hacc", Kind::HaccLike)] {
+        for &n in &sizes {
+            let points = kind.generate::<2>(n, 0xF16);
+            for shards in SHARD_COUNTS {
+                let mut resident = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+                resident.ingest(&points);
+                let subset: Vec<u32> = (n as u32 / 4..3 * n as u32 / 4).collect();
+                let (mut cold, mut warm, mut sub) = (vec![], vec![], vec![]);
+                let mut reference = None;
+                for _ in 0..repeats {
+                    let mut fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+                    let (c, c_secs) = time_it(|| fresh.emst(&points));
+                    assert_eq!(c.outcome, CacheOutcome::Miss);
+                    cold.push(c_secs);
+
+                    let (w, w_secs) = time_it(|| resident.emst(&points));
+                    assert_eq!(w.outcome, CacheOutcome::Hit);
+                    assert!(w.build_work.is_zero(), "warm query must skip the local phase");
+                    assert_eq!(w.edges, c.edges, "warm answer must be bit-identical");
+                    warm.push(w_secs);
+
+                    let (s, s_secs) = time_it(|| resident.emst_subset(&points, &subset));
+                    match &reference {
+                        None => reference = Some(s.total_weight),
+                        Some(r) => assert_eq!(*r, s.total_weight),
+                    }
+                    sub.push(s_secs);
+                }
+                let med = |v: &mut Vec<f64>| {
+                    v.sort_by(f64::total_cmp);
+                    v[v.len() / 2]
+                };
+                let (c, w, s) = (med(&mut cold), med(&mut warm), med(&mut sub));
+                println!(
+                    "{name:<10} {n:>9} {shards:>4} {c:>10.4} {w:>10.4} {:>8.1}x {s:>10.4}",
+                    c / w
+                );
+            }
+        }
+    }
+    println!();
+    println!("# warm pays only the cross-shard merge (label passes + root-pruned boundary");
+    println!("# queries); cold additionally plans, solves every shard and builds every BVH");
+}

@@ -6,8 +6,9 @@
 //! `BENCH_*.json` for future PRs to regress against.
 //!
 //! ```text
-//! perf_snapshot [--json BENCH_PR3.json] [--sizes 10000,100000,1000000]
+//! perf_snapshot [--json BENCH_PR4.json] [--sizes 10000,100000,1000000]
 //!               [--summary-n 100000] [--repeats 3]
+//!               [--serving-sizes 10000,100000] [--serving-shards 2,4]
 //! ```
 //!
 //! Without `--json` the tables are printed only. CI runs this at tiny
@@ -16,17 +17,28 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use emst_bench::snapshot::{measure_summary, measure_traversal_grid, Snapshot};
+use emst_bench::snapshot::{
+    measure_serving_grid, measure_summary, measure_traversal_grid, Snapshot,
+};
 
 struct Args {
     json: Option<PathBuf>,
     sizes: Vec<usize>,
+    serving_sizes: Vec<usize>,
+    serving_shards: Vec<usize>,
     summary_n: usize,
     repeats: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { json: None, sizes: vec![10_000, 100_000], summary_n: 50_000, repeats: 3 };
+    let mut args = Args {
+        json: None,
+        sizes: vec![10_000, 100_000],
+        serving_sizes: vec![10_000, 100_000],
+        serving_shards: vec![2, 4],
+        summary_n: 50_000,
+        repeats: 3,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(key) = it.next() {
         let mut value = || it.next().ok_or(format!("{key} needs a value"));
@@ -36,6 +48,18 @@ fn parse_args() -> Result<Args, String> {
                 args.sizes = value()?
                     .split(',')
                     .map(|s| s.trim().parse().map_err(|_| format!("bad size {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--serving-sizes" => {
+                args.serving_sizes = value()?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad size {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--serving-shards" => {
+                args.serving_shards = value()?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad shard count {s:?}")))
                     .collect::<Result<_, _>>()?;
             }
             "--summary-n" => {
@@ -50,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
     if args.sizes.is_empty() || args.repeats == 0 {
         return Err("--sizes and --repeats must be non-empty/non-zero".into());
     }
+    if args.serving_shards.is_empty() || args.serving_shards.contains(&0) {
+        return Err("--serving-shards must be non-empty positive counts".into());
+    }
     Ok(args)
 }
 
@@ -60,7 +87,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: perf_snapshot [--json out.json] [--sizes n1,n2,...] [--summary-n n] \
-                 [--repeats r]"
+                 [--repeats r] [--serving-sizes n1,n2,...] [--serving-shards k]"
             );
             return ExitCode::FAILURE;
         }
@@ -95,7 +122,32 @@ fn main() -> ExitCode {
         );
     }
 
-    let snap = Snapshot { repeats: args.repeats, summary, traversal };
+    println!();
+    println!(
+        "# serving ablation (cold vs warm full-EMST query, K in {:?}, Threads backend)",
+        args.serving_shards
+    );
+    println!(
+        "{:<12} {:>10} {:>4} {:>12} {:>12} {:>9}",
+        "generator", "n", "K", "cold", "warm", "speedup"
+    );
+    let mut serving = vec![];
+    for &shards in &args.serving_shards {
+        serving.extend(measure_serving_grid(&args.serving_sizes, shards, args.repeats));
+    }
+    for cell in &serving {
+        println!(
+            "{:<12} {:>10} {:>4} {:>10.4} s {:>10.4} s {:>8.2}x",
+            cell.generator,
+            cell.n,
+            cell.shards,
+            cell.cold_s,
+            cell.warm_s,
+            cell.speedup_warm()
+        );
+    }
+
+    let snap = Snapshot { repeats: args.repeats, summary, traversal, serving };
     if let Some(path) = &args.json {
         if let Err(e) = snap.write(path) {
             eprintln!("error: cannot write {}: {e}", path.display());

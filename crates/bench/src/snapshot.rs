@@ -12,6 +12,11 @@
 //!   `mst.find_edges` phase (and the whole `mst` phase) per
 //!   `(generator, n)` cell on the `Threads` backend, with the speedup.
 //!
+//! - the **serving ablation**: cold (fresh engine: digest + plan + local
+//!   solves + merge) vs warm (resident artifacts: digest + merge only)
+//!   medians of a full-EMST query against `emst_serve::ServeEngine`, per
+//!   `(generator, n, shards)` cell.
+//!
 //! # JSON schema (`emst-bench-snapshot/1`)
 //!
 //! ```json
@@ -29,15 +34,42 @@
 //!       "stack":     { "find_edges_s": 0.21, "mst_s": 0.26, "total_s": 0.30 },
 //!       "stackless": { "find_edges_s": 0.16, "mst_s": 0.21, "total_s": 0.25 },
 //!       "speedup_find_edges": 1.36 }
+//!   ],
+//!   "serving": [
+//!     { "generator": "uniform", "n": 100000, "shards": 2,
+//!       "cold_s": 0.33, "warm_s": 0.06, "speedup_warm": 5.3 }
 //!   ]
 //! }
 //! ```
 //!
-//! All durations are seconds (medians over `repeats` interleaved runs —
-//! interleaved so machine drift hits every configuration equally).
-//! `speedup_find_edges` is `stack.find_edges_s / stackless.find_edges_s`.
-//! Consumers must ignore unknown fields; producers bump the schema suffix
-//! on breaking changes.
+//! Field by field (see also `docs/bench-snapshot.md`):
+//!
+//! - `schema` — the literal `"emst-bench-snapshot/1"`. Consumers **must
+//!   ignore unknown fields** (new sections are additive — `serving` was
+//!   added by PR 4 without a version bump); producers bump the suffix only
+//!   on breaking changes to *existing* fields.
+//! - `repeats` — interleaved repetitions behind every median in the file
+//!   (interleaved so machine drift hits every configuration equally).
+//! - `backend` — execution space of every measured row (`"Threads"`).
+//! - `summary[]` — fig1-style rows: `configuration` (human-readable solver
+//!   name), `n` (point count), `dim` (dimensionality), `mfeatures_per_s`
+//!   (the paper's rate metric, `n·dim / seconds / 10⁶`), and `phases`
+//!   (median seconds per recorded phase name; empty object for solvers
+//!   that only report totals).
+//! - `traversal[]` — stack-vs-stackless ablation cells: `generator`
+//!   (`uniform` | `clustered` | `dense`, see [`TRAVERSAL_GENERATORS`]),
+//!   `n`, then per walker (`stack`, `stackless`) the median seconds of the
+//!   `mst.find_edges` phase (`find_edges_s`), the whole `mst` phase
+//!   (`mst_s`) and construction + solve (`total_s`).
+//!   `speedup_find_edges` = `stack.find_edges_s / stackless.find_edges_s`.
+//! - `serving[]` — cold-vs-warm serving cells: `generator`, `n`, `shards`
+//!   (the cache key's `K`), `cold_s` (median full query on a *fresh*
+//!   engine — digest, plan, local solves, shard BVHs, merge), `warm_s`
+//!   (median repeat query on the *resident* engine — digest + cross-shard
+//!   merge only; the local phase is skipped entirely).
+//!   `speedup_warm` = `cold_s / warm_s`.
+//!
+//! All durations are seconds. `null` replaces non-finite numbers.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -99,6 +131,31 @@ pub struct SummaryRow {
     pub phases: Vec<(String, f64)>,
 }
 
+/// One `(generator, n, shards)` cell of the serving ablation: median
+/// cold-vs-warm full-EMST query times against `emst_serve::ServeEngine`.
+#[derive(Clone, Debug)]
+pub struct ServingCell {
+    /// Generator name (see [`TRAVERSAL_GENERATORS`]).
+    pub generator: String,
+    /// Point count.
+    pub n: usize,
+    /// Shard count (the cache key's `K`).
+    pub shards: usize,
+    /// Median seconds of a cold query (fresh engine: digest + plan +
+    /// local solves + shard BVH builds + merge).
+    pub cold_s: f64,
+    /// Median seconds of a warm repeat query (resident artifacts: digest
+    /// + cross-shard merge only).
+    pub warm_s: f64,
+}
+
+impl ServingCell {
+    /// `cold / warm` — how much the resident cache buys a repeat query.
+    pub fn speedup_warm(&self) -> f64 {
+        self.cold_s / self.warm_s
+    }
+}
+
 /// A complete snapshot, ready to serialize.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -108,6 +165,8 @@ pub struct Snapshot {
     pub summary: Vec<SummaryRow>,
     /// Traversal ablation cells.
     pub traversal: Vec<TraversalCell>,
+    /// Serving (cold vs warm) ablation cells.
+    pub serving: Vec<ServingCell>,
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -162,6 +221,59 @@ pub fn measure_traversal_grid(sizes: &[usize], repeats: usize) -> Vec<TraversalC
     for (name, kind) in TRAVERSAL_GENERATORS {
         for &n in sizes {
             cells.push(measure_traversal_cell(name, kind, n, repeats));
+        }
+    }
+    cells
+}
+
+/// Measures one serving cell: `repeats` interleaved cold (fresh engine)
+/// and warm (resident engine) full-EMST queries on the `Threads` backend.
+/// Panics if a warm answer is not bit-identical to the cold one — the
+/// harness refuses to report a speedup for wrong bits.
+pub fn measure_serving_cell(
+    generator: &str,
+    kind: Kind,
+    n: usize,
+    shards: usize,
+    repeats: usize,
+) -> ServingCell {
+    use emst_serve::{CacheOutcome, ServeConfig, ServeEngine};
+    let points: Vec<Point<2>> = kind.generate(n, 0x5E21);
+    let mut resident = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+    resident.ingest(&points);
+    let mut cold = vec![];
+    let mut warm = vec![];
+    for _ in 0..repeats {
+        let mut fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+        let t = std::time::Instant::now();
+        let c = fresh.emst(&points);
+        cold.push(t.elapsed().as_secs_f64());
+        assert_eq!(c.outcome, CacheOutcome::Miss);
+
+        let t = std::time::Instant::now();
+        let w = resident.emst(&points);
+        warm.push(t.elapsed().as_secs_f64());
+        assert_eq!(w.outcome, CacheOutcome::Hit);
+        assert!(w.build_work.is_zero());
+        assert_eq!(w.edges, c.edges, "warm answer must be bit-identical");
+    }
+    ServingCell {
+        generator: generator.to_string(),
+        n,
+        shards,
+        cold_s: median(&mut cold),
+        warm_s: median(&mut warm),
+    }
+}
+
+/// Measures the serving ablation over `sizes` (uniform and dense
+/// generators) at one shard count; callers sweep `K` by calling this per
+/// count (cells carry their `shards`).
+pub fn measure_serving_grid(sizes: &[usize], shards: usize, repeats: usize) -> Vec<ServingCell> {
+    let mut cells = vec![];
+    for (name, kind) in [("uniform", Kind::Uniform), ("dense", Kind::GeoLifeLike)] {
+        for &n in sizes {
+            cells.push(measure_serving_cell(name, kind, n, shards, repeats));
         }
     }
     cells
@@ -291,6 +403,20 @@ impl Snapshot {
                 if i + 1 == self.traversal.len() { "" } else { "," },
             ));
         }
+        out.push_str("  ],\n  \"serving\": [\n");
+        for (i, cell) in self.serving.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"generator\": \"{}\", \"n\": {}, \"shards\": {}, \"cold_s\": {}, \
+                 \"warm_s\": {}, \"speedup_warm\": {} }}{}\n",
+                cell.generator,
+                cell.n,
+                cell.shards,
+                json_f64(cell.cold_s),
+                json_f64(cell.warm_s),
+                json_f64(cell.speedup_warm()),
+                if i + 1 == self.serving.len() { "" } else { "," },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -316,10 +442,17 @@ mod tests {
     #[test]
     fn snapshot_serializes_valid_shape() {
         let cell = measure_traversal_cell("uniform", Kind::Uniform, 500, 1);
-        let snap = Snapshot { repeats: 1, summary: measure_summary(400, 1), traversal: vec![cell] };
+        let serving = measure_serving_cell("uniform", Kind::Uniform, 600, 3, 1);
+        let snap = Snapshot {
+            repeats: 1,
+            summary: measure_summary(400, 1),
+            traversal: vec![cell],
+            serving: vec![serving],
+        };
         let json = snap.to_json();
         assert!(json.contains("\"schema\": \"emst-bench-snapshot/1\""));
         assert!(json.contains("\"speedup_find_edges\""));
+        assert!(json.contains("\"speedup_warm\""));
         assert!(json.contains("single-tree (Threads)"));
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the workspace).
@@ -333,5 +466,15 @@ mod tests {
         assert!(cell.speedup_find_edges().is_finite());
         assert!(cell.stack.find_edges_s > 0.0);
         assert!(cell.stackless.find_edges_s > 0.0);
+    }
+
+    #[test]
+    fn serving_cell_measures_both_paths() {
+        // Bit-identity of warm answers is asserted inside the harness; at
+        // tiny n the speedup itself is noise, so only shape is checked.
+        let cell = measure_serving_cell("dense", Kind::GeoLifeLike, 700, 4, 2);
+        assert!(cell.cold_s > 0.0);
+        assert!(cell.warm_s > 0.0);
+        assert!(cell.speedup_warm().is_finite());
     }
 }

@@ -394,6 +394,26 @@ impl<const D: usize> Bvh<D> {
         &self.wide
     }
 
+    /// Heap bytes held by the hierarchy (binary SoA arrays plus the wide
+    /// collapse) — what a resident-shard cache charges against its
+    /// admission budget.
+    ///
+    /// The tree is a **deterministic pure function of the point sequence**:
+    /// rebuilding from the same points yields byte-identical storage on any
+    /// backend (sorting ties break by index, the radix hierarchy is unique
+    /// for a code sequence, and [`WideBvh::collapse`] is serial preorder).
+    /// A cache can therefore persist just the points — e.g. the sharded
+    /// spill-file format — and reload the handle exactly, instead of
+    /// serializing node arrays.
+    pub fn resident_bytes(&self) -> usize {
+        self.leaf_points.len() * std::mem::size_of::<Point<D>>()
+            + self.order.len() * std::mem::size_of::<u32>()
+            + self.children.len() * std::mem::size_of::<[NodeId; 2]>()
+            + self.parent.len() * std::mem::size_of::<NodeId>()
+            + self.bounds.len() * std::mem::size_of::<Aabb<D>>()
+            + self.wide.resident_bytes()
+    }
+
     /// Parent of a node (`INVALID_NODE` for the root).
     #[inline]
     pub fn parent(&self, id: NodeId) -> NodeId {

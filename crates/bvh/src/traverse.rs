@@ -87,7 +87,7 @@ impl Traversal {
 /// All counters are `u64`: a single query over a large adversarial cloud
 /// (and the per-run aggregates the ablation tests assert on) can exceed
 /// 32 bits.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TraversalStats {
     /// Internal (binary) or collapsed (wide) nodes examined.
     pub nodes: u64,
@@ -99,10 +99,31 @@ pub struct TraversalStats {
     pub skipped: u64,
     /// Escape-pointer follows (stackless walker only).
     pub rope_hops: u64,
+    /// Minimum squared distance among subtrees/leaves pruned **by the
+    /// radius** (predicate-skipped subtrees do not contribute). After a
+    /// query that accepted nothing, every candidate the predicate would
+    /// ever admit lies at least this far away — a durable lower bound the
+    /// sharded merge uses to never repeat a provably-empty query
+    /// (`+inf` when nothing was radius-pruned).
+    pub pruned_min_sq: Scalar,
+}
+
+impl Default for TraversalStats {
+    fn default() -> Self {
+        Self {
+            nodes: 0,
+            leaves: 0,
+            distances: 0,
+            skipped: 0,
+            rope_hops: 0,
+            pruned_min_sq: Scalar::INFINITY,
+        }
+    }
 }
 
 impl TraversalStats {
-    /// Component-wise sum — the reduction the bulk launches use.
+    /// Component-wise sum (min for the pruning floor) — the reduction the
+    /// bulk launches use.
     #[inline]
     pub fn merged(self, other: Self) -> Self {
         Self {
@@ -111,6 +132,7 @@ impl TraversalStats {
             distances: self.distances + other.distances,
             skipped: self.skipped + other.skipped,
             rope_hops: self.rope_hops + other.rope_hops,
+            pruned_min_sq: self.pruned_min_sq.min(other.pruned_min_sq),
         }
     }
 }
@@ -149,6 +171,25 @@ impl<const D: usize> Bvh<D> {
     pub fn nearest_with<FSkip, FLeaf>(
         &self,
         query: &Point<D>,
+        radius_sq: Scalar,
+        skip: FSkip,
+        leaf: FLeaf,
+        stats: &mut TraversalStats,
+    ) -> Option<NearestHit>
+    where
+        FSkip: FnMut(NodeId) -> bool,
+        FLeaf: FnMut(u32, Scalar) -> Option<Scalar>,
+    {
+        self.nearest_with_impl::<false, FSkip, FLeaf>(query, radius_sq, skip, leaf, stats)
+    }
+
+    /// [`Bvh::nearest_with`] with `TRACK` compiled in or out: tracking the
+    /// radius-pruned frontier minimum costs a `min` on the pruning paths,
+    /// which the monolithic hot path must not pay — only the sharded merge
+    /// (via [`Bvh::nearest_floor`]) asks for it.
+    fn nearest_with_impl<const TRACK: bool, FSkip, FLeaf>(
+        &self,
+        query: &Point<D>,
         mut radius_sq: Scalar,
         mut skip: FSkip,
         mut leaf: FLeaf,
@@ -173,6 +214,8 @@ impl<const D: usize> Bvh<D> {
                             best = Some(NearestHit { rank, dist_sq: m });
                         }
                     }
+                } else if TRACK {
+                    stats.pruned_min_sq = stats.pruned_min_sq.min(e);
                 }
             }
             return best;
@@ -199,6 +242,9 @@ impl<const D: usize> Bvh<D> {
             // radius can still hold an equidistant smaller-rank tie
             // candidate.
             if node_dist > radius_sq {
+                if TRACK {
+                    stats.pruned_min_sq = stats.pruned_min_sq.min(node_dist);
+                }
                 continue;
             }
             // Examine both children; descend nearer-first for pruning.
@@ -217,6 +263,9 @@ impl<const D: usize> Bvh<D> {
                     let e = query.squared_distance(self.leaf_point(rank));
                     // Cheap Euclidean reject first: metric >= Euclidean.
                     if e > radius_sq {
+                        if TRACK {
+                            stats.pruned_min_sq = stats.pruned_min_sq.min(e);
+                        }
                         continue;
                     }
                     if let Some(m) = leaf(rank, e) {
@@ -236,6 +285,8 @@ impl<const D: usize> Bvh<D> {
                     if d <= radius_sq {
                         push[pushes] = (d, child);
                         pushes += 1;
+                    } else if TRACK {
+                        stats.pruned_min_sq = stats.pruned_min_sq.min(d);
                     }
                 }
             }
@@ -285,6 +336,34 @@ impl<const D: usize> Bvh<D> {
         }
     }
 
+    /// [`Bvh::nearest`] that additionally reports the radius-pruned
+    /// frontier minimum in [`TraversalStats::pruned_min_sq`]. Identical
+    /// results; the tracking `min`s are monomorphized out of the plain
+    /// [`Bvh::nearest`] path, so only callers that want the floor (the
+    /// sharded merge) pay for it.
+    #[inline]
+    pub fn nearest_floor<FSkip, FLeaf>(
+        &self,
+        traversal: Traversal,
+        query: &Point<D>,
+        radius_sq: Scalar,
+        skip: FSkip,
+        leaf: FLeaf,
+        stats: &mut TraversalStats,
+    ) -> Option<NearestHit>
+    where
+        FSkip: FnMut(NodeId) -> bool,
+        FLeaf: FnMut(u32, Scalar) -> Option<Scalar>,
+    {
+        match traversal {
+            Traversal::Stack => {
+                self.nearest_with_impl::<true, FSkip, FLeaf>(query, radius_sq, skip, leaf, stats)
+            }
+            Traversal::Stackless => self
+                .nearest_stackless_impl::<true, FSkip, FLeaf>(query, radius_sq, skip, leaf, stats),
+        }
+    }
+
     /// Stackless nearest-neighbour traversal over the 4-wide rope-linked
     /// collapse ([`crate::WideBvh`]). Same parameters, same guarantees and
     /// bit-identical results as [`Bvh::nearest_with`] — see the module docs
@@ -309,6 +388,23 @@ impl<const D: usize> Bvh<D> {
     ///   callback must itself reject any leaf the predicate would exclude
     ///   (as the Borůvka same-component check does).
     pub fn nearest_stackless<FSkip, FLeaf>(
+        &self,
+        query: &Point<D>,
+        radius_sq: Scalar,
+        skip: FSkip,
+        leaf: FLeaf,
+        stats: &mut TraversalStats,
+    ) -> Option<NearestHit>
+    where
+        FSkip: FnMut(NodeId) -> bool,
+        FLeaf: FnMut(u32, Scalar) -> Option<Scalar>,
+    {
+        self.nearest_stackless_impl::<false, FSkip, FLeaf>(query, radius_sq, skip, leaf, stats)
+    }
+
+    /// [`Bvh::nearest_stackless`] with the pruning-floor tracking compiled
+    /// in (`TRACK = true`, the merge) or out (`false`, the hot path).
+    fn nearest_stackless_impl<const TRACK: bool, FSkip, FLeaf>(
         &self,
         query: &Point<D>,
         mut radius_sq: Scalar,
@@ -344,26 +440,42 @@ impl<const D: usize> Bvh<D> {
             // dependent pointer chase and this is what hides it.
             prefetch(nodes.as_ptr().wrapping_add(node.escape as usize));
             stats.nodes += 1;
-            if via_rope && node.self_distance_sq(query) > radius_sq {
-                stats.rope_hops += 1;
-                cur = node.escape;
-                continue;
+            if via_rope {
+                let sd = node.self_distance_sq(query);
+                if sd > radius_sq {
+                    if TRACK {
+                        stats.pruned_min_sq = stats.pruned_min_sq.min(sd);
+                    }
+                    stats.rope_hops += 1;
+                    cur = node.escape;
+                    continue;
+                }
+                if skip(node.self_bin) {
+                    stats.skipped += 1;
+                    stats.rope_hops += 1;
+                    cur = node.escape;
+                    continue;
+                }
+                via_rope = false;
             }
-            if via_rope && skip(node.self_bin) {
-                stats.skipped += 1;
-                stats.rope_hops += 1;
-                cur = node.escape;
-                continue;
-            }
-            via_rope = false;
             let d = node.lane_distances_sq(query);
             let mut descend = INVALID_NODE;
             for (k, &dk) in d.iter().enumerate() {
                 // Strict-greater pruning: a lane exactly at the radius can
                 // still hold an equidistant smaller-rank tie candidate.
-                // Empty lanes carry `+inf` and die here too, except under
-                // an infinite radius — caught by the occupancy test after.
-                if dk > radius_sq || (node.occupied >> k) & 1 == 0 {
+                // Empty lanes carry `+inf` and die on the distance test,
+                // except under an infinite radius — caught by the occupancy
+                // test. When tracking, occupancy is checked first so empty
+                // lanes cannot feed the pruning floor.
+                if TRACK {
+                    if (node.occupied >> k) & 1 == 0 {
+                        continue;
+                    }
+                    if dk > radius_sq {
+                        stats.pruned_min_sq = stats.pruned_min_sq.min(dk);
+                        continue;
+                    }
+                } else if dk > radius_sq || (node.occupied >> k) & 1 == 0 {
                     continue;
                 }
                 if node.lane_is_leaf(k) {

@@ -53,7 +53,7 @@ const LEAF_BIT: u32 = 1 << 31;
 /// box was tested by the parent before the radius shrank, or *failed*
 /// there, since static ropes chain through every sibling) and bail without
 /// touching the lane block.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[repr(C, align(64))]
 pub struct WideNode<const D: usize> {
     /// Transposed child-box lower corners: `lo[d][lane]`. Empty lanes hold
@@ -146,7 +146,7 @@ impl<const D: usize> WideNode<D> {
 
 /// The 4-wide rope-linked collapse of a [`Bvh`], nodes in preorder
 /// (node 0 is the root; a node's first descendant is `w + 1`).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WideBvh<const D: usize> {
     nodes: Vec<WideNode<D>>,
 }
@@ -239,6 +239,15 @@ impl<const D: usize> WideBvh<D> {
     #[inline]
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Heap bytes held by the collapsed node array — the wide tree's share
+    /// of [`crate::Bvh::resident_bytes`]. Like the binary hierarchy, the
+    /// collapse is deterministic, so a cache that spills a shard to disk
+    /// needs to persist only the points to reload an identical handle.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<WideNode<D>>()
     }
 
     /// Structural invariants, cross-checked against the binary tree `bvh`
@@ -399,6 +408,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn rebuild_from_same_points_is_bit_identical_across_backends() {
+        // The resident-shard cache relies on this: evicting a shard spills
+        // only its points, and re-admission rebuilds the exact same handle.
+        let pts = random_points_2d(700, 12);
+        let a = Bvh::build(&Serial, &pts);
+        let b = Bvh::build(&Threads, &pts);
+        assert_eq!(a.wide(), b.wide());
+        assert_eq!(a.morton_order(), b.morton_order());
+        assert!(a.resident_bytes() > 0);
+        assert_eq!(a.resident_bytes(), b.resident_bytes());
+        assert!(a.wide().resident_bytes() <= a.resident_bytes());
     }
 
     #[test]

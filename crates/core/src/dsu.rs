@@ -6,7 +6,7 @@
 //! `labels` array instead, as in the paper.
 
 /// Union-find with union by size and path halving.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
     size: Vec<u32>,
@@ -17,6 +17,17 @@ impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
         Self { parent: (0..n as u32).collect(), size: vec![1; n], num_sets: n }
+    }
+
+    /// Resets to `n` singleton sets, reusing the allocations — for callers
+    /// (the sharded merge's scratch) that run many solves over equal-sized
+    /// vertex sets.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.num_sets = n;
     }
 
     /// Number of elements.

@@ -136,6 +136,12 @@ pub struct CounterSnapshot {
 }
 
 impl CounterSnapshot {
+    /// True when every counter is zero — e.g. the build-work report of a
+    /// cache-served query that never ran a construction kernel.
+    pub fn is_zero(&self) -> bool {
+        *self == CounterSnapshot::default()
+    }
+
     /// Difference between two snapshots (`self` taken after `earlier`).
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
@@ -149,6 +155,32 @@ impl CounterSnapshot {
             bytes_accessed: self.bytes_accessed - earlier.bytes_accessed,
             heap_ops: self.heap_ops - earlier.heap_ops,
         }
+    }
+}
+
+/// Field-wise accumulation: aggregating per-shard or per-query work reports
+/// is just `a + b` (used by the sharded solver and the serving layer).
+impl std::ops::Add for CounterSnapshot {
+    type Output = CounterSnapshot;
+
+    fn add(self, rhs: CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            distance_computations: self.distance_computations + rhs.distance_computations,
+            node_visits: self.node_visits + rhs.node_visits,
+            rope_hops: self.rope_hops + rhs.rope_hops,
+            leaf_visits: self.leaf_visits + rhs.leaf_visits,
+            subtrees_skipped: self.subtrees_skipped + rhs.subtrees_skipped,
+            queries: self.queries + rhs.queries,
+            iterations: self.iterations + rhs.iterations,
+            bytes_accessed: self.bytes_accessed + rhs.bytes_accessed,
+            heap_ops: self.heap_ops + rhs.heap_ops,
+        }
+    }
+}
+
+impl std::ops::AddAssign for CounterSnapshot {
+    fn add_assign(&mut self, rhs: CounterSnapshot) {
+        *self = *self + rhs;
     }
 }
 
@@ -176,6 +208,20 @@ mod tests {
         c.add_bytes(100);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn add_accumulates_field_wise_and_is_zero_detects_default() {
+        let a = CounterSnapshot { queries: 3, node_visits: 10, ..Default::default() };
+        let b = CounterSnapshot { queries: 2, iterations: 1, ..Default::default() };
+        let mut c = a + b;
+        assert_eq!(c.queries, 5);
+        assert_eq!(c.node_visits, 10);
+        assert_eq!(c.iterations, 1);
+        assert!(!c.is_zero());
+        c += CounterSnapshot::default();
+        assert_eq!(c, a + b);
+        assert!(CounterSnapshot::default().is_zero());
     }
 
     #[test]

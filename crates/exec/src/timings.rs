@@ -37,6 +37,16 @@ impl PhaseTimings {
         out
     }
 
+    /// Accumulates every record of `other` into `self` (phase-wise sums,
+    /// `other`'s new phases appended in order) — how a caller stitches the
+    /// timings of separately-run phases (e.g. a cached build + a fresh
+    /// merge) into one report.
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        for (name, secs) in other.iter() {
+            self.record(name, secs);
+        }
+    }
+
     /// Seconds recorded for `name` (0 when absent).
     pub fn get(&self, name: &str) -> f64 {
         self.records.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, s)| *s)

@@ -1,0 +1,611 @@
+//! Long-lived EMST serving — resident shard artifacts behind a keyed cache.
+//!
+//! Every other entry point in this workspace is a *batch* solve: points in,
+//! tree out, state gone. A service answering heavy repeated traffic wants
+//! the opposite: ingest a cloud **once**, keep its expensive intermediate
+//! state resident, and answer each query with only query-proportional work.
+//! [`ServeEngine`] is that engine. Per resident cloud it holds exactly the
+//! state the sharded solver would otherwise rebuild per call —
+//!
+//! - the Morton-range [`emst_shard::ShardPlan`],
+//! - every shard's BVH (with its 4-wide rope-linked collapse) and local
+//!   MST, bundled as [`emst_shard::ShardArtifacts`],
+//! - a warm [`emst_core::BoruvkaScratch`] allocation pool —
+//!
+//! keyed by [`CloudKey`]: the **content digest** of the points paired with
+//! the shard count (see [`spill`] for the keying scheme). Admission is
+//! bounded by [`ServeConfig::max_resident`]; over budget, the
+//! least-recently-used cloud is **evicted to the sharded spill-file
+//! format** and can be transparently reloaded (and rebuilt — the build is
+//! deterministic, so reloaded answers are bit-identical) on its next query.
+//!
+//! Queries against a resident cloud skip the local phase entirely:
+//!
+//! - [`ServeEngine::emst`] re-runs only the cross-shard merge (the
+//!   response's [`QueryResponse::build_work`] is zero on a hit, and its
+//!   `query_work` shows merge-only traversal stats);
+//! - [`ServeEngine::emst_subset`] re-merges only the touched shards,
+//!   re-solving just the partially-covered ones
+//!   ([`emst_shard::ShardArtifacts::merge_subset`]);
+//! - [`ServeEngine::k_nearest`] answers from the resident per-shard BVHs;
+//! - [`ServeEngine::hdbscan`] reuses the warm scratch pool via
+//!   [`emst_hdbscan::Hdbscan::fit_scratch`].
+//!
+//! ```
+//! use emst_datasets::{generate_2d, DatasetSpec};
+//! use emst_exec::Threads;
+//! use emst_serve::{CacheOutcome, ServeConfig, ServeEngine};
+//!
+//! let pts = generate_2d(&DatasetSpec::uniform(800, 42));
+//! let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+//!
+//! let cold = engine.emst(&pts); // miss: plan + local solves + merge
+//! assert_eq!(cold.outcome, CacheOutcome::Miss);
+//! assert!(cold.build_work.iterations > 0);
+//!
+//! let warm = engine.emst(&pts); // hit: merge only, bit-identical edges
+//! assert_eq!(warm.outcome, CacheOutcome::Hit);
+//! assert!(warm.build_work.is_zero());
+//! assert_eq!(warm.edges, cold.edges);
+//!
+//! // Mutating one coordinate changes the digest: no stale answers.
+//! let mut other = pts.clone();
+//! other[0][0] += 1.0;
+//! assert_eq!(engine.emst(&other).outcome, CacheOutcome::Miss);
+//! ```
+
+pub mod spill;
+
+use std::path::PathBuf;
+
+use emst_bvh::TraversalStats;
+use emst_core::{BoruvkaScratch, Edge, EmstConfig};
+use emst_exec::counters::CounterSnapshot;
+use emst_exec::{ExecSpace, PhaseTimings};
+use emst_geometry::{Point, Scalar};
+use emst_hdbscan::{Hdbscan, HdbscanResult};
+use emst_shard::{MergeScratch, ShardArtifacts, ShardConfig};
+
+pub use spill::{digest_points, CloudKey};
+
+/// Configuration of a serving engine.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Morton-range shards per resident cloud (clamped to at least 1).
+    pub shards: usize,
+    /// Admission budget: maximum number of simultaneously resident clouds
+    /// (clamped to at least 1). The least-recently-used cloud is spilled
+    /// when a new one needs the slot.
+    pub max_resident: usize,
+    /// Configuration forwarded to every local solve.
+    pub emst: EmstConfig,
+    /// Solve a cloud's shards concurrently during ingest.
+    pub parallel_shards: bool,
+    /// Directory for eviction spill files. `None` (the default) derives a
+    /// process-unique directory under the system temp dir, removed when
+    /// the engine is dropped; a caller-provided directory is left alone.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// Default configuration with `shards` shards and a residency budget.
+    pub fn new(shards: usize, max_resident: usize) -> Self {
+        Self {
+            shards,
+            max_resident,
+            emst: EmstConfig::default(),
+            parallel_shards: true,
+            spill_dir: None,
+        }
+    }
+}
+
+/// How the cache answered a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The cloud was resident: no build work at all.
+    Hit,
+    /// The cloud was unknown: ingested (plan + local solves) on this call.
+    Miss,
+    /// The cloud had been evicted: points reloaded from its spill file and
+    /// artifacts rebuilt (deterministically, so answers are unchanged).
+    Reloaded,
+}
+
+/// Lifetime cache statistics of an engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered from resident artifacts.
+    pub hits: u64,
+    /// Queries that ingested a new cloud.
+    pub misses: u64,
+    /// Queries that reloaded an evicted cloud from its spill file.
+    pub reloads: u64,
+    /// Clouds evicted to spill files.
+    pub evictions: u64,
+}
+
+/// Errors of the handle-based (`*_by_key`) query paths.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The key is neither resident nor spilled — the cloud was never
+    /// ingested (or its spill file was removed).
+    UnknownKey(CloudKey),
+    /// The spill file exists but cannot be read back.
+    Spill(std::io::Error),
+    /// The spill file's contents no longer digest to the key — on-disk
+    /// corruption; the engine refuses to serve wrong bits.
+    DigestMismatch(CloudKey),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownKey(k) => write!(f, "unknown cloud {k}"),
+            ServeError::Spill(e) => write!(f, "spill file unreadable: {e}"),
+            ServeError::DigestMismatch(k) => write!(f, "spill file for {k} fails its digest"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Response of an EMST (full or subset) query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The tree edges, in original point indices.
+    pub edges: Vec<Edge>,
+    /// Sum of (non-squared) edge weights.
+    pub total_weight: f64,
+    /// How the cache answered.
+    pub outcome: CacheOutcome,
+    /// The queried cloud's key.
+    pub key: CloudKey,
+    /// Work spent building artifacts **on this call** — zero on a cache
+    /// hit (the warm-query signature: the local phase did not run).
+    pub build_work: CounterSnapshot,
+    /// Work spent answering the query itself (merge traversals, and for
+    /// subset queries any partial re-solves).
+    pub query_work: CounterSnapshot,
+    /// Wall-clock phases of this call (`plan`/`local` only when the cloud
+    /// was built or rebuilt, `merge`/`merge.*` always).
+    pub timings: PhaseTimings,
+    /// Heap bytes the cloud's resident artifacts occupy.
+    pub resident_bytes: usize,
+}
+
+/// Response of a k-nearest-neighbour query.
+#[derive(Clone, Debug)]
+pub struct KnnResponse {
+    /// `(original point index, squared distance)`, ascending; see
+    /// [`emst_shard::ShardArtifacts::k_nearest`] for the tie rule.
+    pub neighbors: Vec<(u32, Scalar)>,
+    /// How the cache answered.
+    pub outcome: CacheOutcome,
+    /// The queried cloud's key.
+    pub key: CloudKey,
+    /// Work spent building artifacts on this call (zero on a hit).
+    pub build_work: CounterSnapshot,
+    /// Traversal work of the k-NN itself.
+    pub query_work: CounterSnapshot,
+}
+
+/// Response of an HDBSCAN* query.
+#[derive(Debug)]
+pub struct HdbscanResponse {
+    /// The full clustering output.
+    pub result: HdbscanResult,
+    /// How the cache answered.
+    pub outcome: CacheOutcome,
+    /// The queried cloud's key.
+    pub key: CloudKey,
+}
+
+/// One resident cloud: points + artifacts + warm scratch.
+struct Resident<const D: usize> {
+    key: CloudKey,
+    points: Vec<Point<D>>,
+    artifacts: ShardArtifacts<D>,
+    scratch: BoruvkaScratch,
+    merge_scratch: MergeScratch,
+    last_used: u64,
+}
+
+/// The serving engine. See the crate docs.
+pub struct ServeEngine<S: ExecSpace, const D: usize> {
+    space: S,
+    config: ServeConfig,
+    residents: Vec<Resident<D>>,
+    clock: u64,
+    stats: ServeStats,
+    spill_dir: PathBuf,
+    /// Whether `spill_dir` is engine-owned (removed on drop).
+    owns_spill_dir: bool,
+}
+
+impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
+    /// Creates an engine on `space`. Nothing is resident yet; clouds are
+    /// admitted by their first query (or [`Self::ingest`]).
+    pub fn new(space: S, config: ServeConfig) -> Self {
+        let (spill_dir, owns) = match &config.spill_dir {
+            Some(dir) => (dir.clone(), false),
+            None => {
+                use std::sync::atomic::{AtomicU64, Ordering};
+                static COUNTER: AtomicU64 = AtomicU64::new(0);
+                let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+                let dir = std::env::temp_dir()
+                    .join(format!("emst-serve-{}-{unique}", std::process::id()));
+                (dir, true)
+            }
+        };
+        Self {
+            space,
+            config,
+            residents: vec![],
+            clock: 0,
+            stats: ServeStats::default(),
+            spill_dir,
+            owns_spill_dir: owns,
+        }
+    }
+
+    /// The key `points` would be served under (content digest + `K`).
+    pub fn key(&self, points: &[Point<D>]) -> CloudKey {
+        CloudKey { digest: digest_points(points), shards: self.config.shards.max(1) }
+    }
+
+    /// Lifetime cache statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Number of currently resident clouds.
+    pub fn num_resident(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Keys of the resident clouds, most recently used first.
+    pub fn resident_keys(&self) -> Vec<CloudKey> {
+        let mut v: Vec<(u64, CloudKey)> =
+            self.residents.iter().map(|r| (r.last_used, r.key)).collect();
+        v.sort_by_key(|&(used, _)| std::cmp::Reverse(used));
+        v.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// Total heap bytes of all resident artifacts.
+    pub fn resident_bytes(&self) -> usize {
+        self.residents.iter().map(|r| r.artifacts.resident_bytes()).sum()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn shard_config(&self) -> ShardConfig {
+        ShardConfig {
+            shards: self.config.shards.max(1),
+            emst: self.config.emst,
+            parallel_shards: self.config.parallel_shards,
+        }
+    }
+
+    /// Builds artifacts for `points` and admits them under `key`, evicting
+    /// the LRU resident first when the budget is full. Returns the new
+    /// resident's index plus the build work/timings spent on this call.
+    fn admit(
+        &mut self,
+        key: CloudKey,
+        points: Vec<Point<D>>,
+    ) -> (usize, CounterSnapshot, PhaseTimings) {
+        let budget = self.config.max_resident.max(1);
+        while self.residents.len() >= budget {
+            let lru = self
+                .residents
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(i, _)| i)
+                .expect("residents is non-empty");
+            let victim = self.residents.swap_remove(lru);
+            // Spill is best-effort durability for the handle-based path; a
+            // failed write only costs a later UnknownKey, never wrong data.
+            spill::write_spill(&self.spill_dir, victim.key, &victim.points).ok();
+            self.stats.evictions += 1;
+        }
+        let artifacts = ShardArtifacts::build(&self.space, &points, &self.shard_config());
+        let build_work = artifacts.build_work();
+        let build_timings = artifacts.build_timings().clone();
+        let last_used = self.tick();
+        self.residents.push(Resident {
+            key,
+            points,
+            artifacts,
+            scratch: BoruvkaScratch::new(),
+            merge_scratch: MergeScratch::new(),
+            last_used,
+        });
+        (self.residents.len() - 1, build_work, build_timings)
+    }
+
+    /// Resolves `points` to a resident entry, admitting on a miss.
+    fn resolve(
+        &mut self,
+        points: &[Point<D>],
+    ) -> (usize, CacheOutcome, CounterSnapshot, PhaseTimings) {
+        let key = self.key(points);
+        if let Some(idx) = self.residents.iter().position(|r| r.key == key) {
+            self.stats.hits += 1;
+            let tick = self.tick();
+            self.residents[idx].last_used = tick;
+            return (idx, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new());
+        }
+        self.stats.misses += 1;
+        let (idx, work, timings) = self.admit(key, points.to_vec());
+        (idx, CacheOutcome::Miss, work, timings)
+    }
+
+    /// Resolves a key to a resident entry, reloading its spill on demand.
+    fn resolve_key(
+        &mut self,
+        key: CloudKey,
+    ) -> Result<(usize, CacheOutcome, CounterSnapshot, PhaseTimings), ServeError> {
+        // This engine's artifacts are always built with its own shard
+        // count, so a key carrying any other `K` (say, minted by an engine
+        // with a different config against a shared spill directory) can
+        // never be served here — rebuilding would silently register a
+        // `config.shards` partition under the foreign key.
+        if key.shards != self.config.shards.max(1) {
+            return Err(ServeError::UnknownKey(key));
+        }
+        if let Some(idx) = self.residents.iter().position(|r| r.key == key) {
+            self.stats.hits += 1;
+            let tick = self.tick();
+            self.residents[idx].last_used = tick;
+            return Ok((idx, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new()));
+        }
+        let points = spill::read_spill::<D>(&self.spill_dir, key)
+            .map_err(ServeError::Spill)?
+            .ok_or(ServeError::UnknownKey(key))?;
+        if digest_points(&points) != key.digest {
+            return Err(ServeError::DigestMismatch(key));
+        }
+        self.stats.reloads += 1;
+        let (idx, work, timings) = self.admit(key, points);
+        Ok((idx, CacheOutcome::Reloaded, work, timings))
+    }
+
+    /// Ingests `points` (builds and admits artifacts) without running a
+    /// query, returning the key future queries can use. Re-ingesting a
+    /// resident cloud is a no-op hit.
+    pub fn ingest(&mut self, points: &[Point<D>]) -> CloudKey {
+        let (idx, _, _, _) = self.resolve(points);
+        self.residents[idx].key
+    }
+
+    fn answer_emst(
+        &mut self,
+        idx: usize,
+        outcome: CacheOutcome,
+        build_work: CounterSnapshot,
+        build_timings: PhaseTimings,
+    ) -> QueryResponse {
+        let r = &mut self.residents[idx];
+        let merged = {
+            let Resident { artifacts, merge_scratch, .. } = r;
+            artifacts.merge_scratch(&self.space, self.config.emst.traversal, merge_scratch)
+        };
+        let mut timings = build_timings;
+        timings.absorb(&merged.stats.timings);
+        QueryResponse {
+            edges: merged.edges,
+            total_weight: merged.total_weight,
+            outcome,
+            key: r.key,
+            build_work,
+            query_work: merged.stats.work,
+            timings,
+            resident_bytes: r.artifacts.resident_bytes(),
+        }
+    }
+
+    /// Full EMST of `points`. Warm path (the cloud is resident): merge
+    /// only — no plan, no local solves, no tree builds; the edges are
+    /// bit-identical to the cold solve because both are the same
+    /// deterministic merge over the same artifacts.
+    pub fn emst(&mut self, points: &[Point<D>]) -> QueryResponse {
+        let (idx, outcome, build_work, build_timings) = self.resolve(points);
+        self.answer_emst(idx, outcome, build_work, build_timings)
+    }
+
+    /// [`Self::emst`] by key: serves a previously ingested cloud without
+    /// resending its points, transparently reloading from the spill file
+    /// if the cloud was evicted.
+    pub fn emst_by_key(&mut self, key: CloudKey) -> Result<QueryResponse, ServeError> {
+        let (idx, outcome, build_work, build_timings) = self.resolve_key(key)?;
+        Ok(self.answer_emst(idx, outcome, build_work, build_timings))
+    }
+
+    /// Exact EMST of a subset of `points` (distinct original indices),
+    /// re-merging only the touched shards; fully-covered shards reuse
+    /// their resident BVH + local MST (see
+    /// [`emst_shard::ShardArtifacts::merge_subset`]).
+    ///
+    /// # Panics
+    /// On out-of-range or duplicate subset indices.
+    pub fn emst_subset(&mut self, points: &[Point<D>], subset: &[u32]) -> QueryResponse {
+        let (idx, outcome, build_work, build_timings) = self.resolve(points);
+        let emst_cfg = self.config.emst;
+        let r = &mut self.residents[idx];
+        // The resident copy is the authoritative cloud (it digested equal).
+        let sub = {
+            let Resident { points, artifacts, scratch, .. } = r;
+            artifacts.merge_subset(&self.space, points, subset, &emst_cfg, scratch)
+        };
+        let mut timings = build_timings;
+        timings.absorb(&sub.stats.timings);
+        QueryResponse {
+            edges: sub.edges,
+            total_weight: sub.total_weight,
+            outcome,
+            key: r.key,
+            build_work,
+            query_work: sub.stats.work,
+            timings,
+            resident_bytes: r.artifacts.resident_bytes(),
+        }
+    }
+
+    /// The `k` nearest ingested points to `query`, answered from the
+    /// resident per-shard BVHs.
+    pub fn k_nearest(&mut self, points: &[Point<D>], query: &Point<D>, k: usize) -> KnnResponse {
+        let (idx, outcome, build_work, _) = self.resolve(points);
+        let r = &self.residents[idx];
+        let mut stats = TraversalStats::default();
+        let neighbors = r.artifacts.k_nearest(query, k, &mut stats);
+        KnnResponse {
+            neighbors,
+            outcome,
+            key: r.key,
+            build_work,
+            query_work: CounterSnapshot {
+                distance_computations: stats.distances,
+                node_visits: stats.nodes,
+                rope_hops: stats.rope_hops,
+                leaf_visits: stats.leaves,
+                subtrees_skipped: stats.skipped,
+                queries: 1,
+                ..CounterSnapshot::default()
+            },
+        }
+    }
+
+    /// HDBSCAN* clustering of `points`, drawing the EMST pass's working
+    /// arrays from the cloud's warm [`BoruvkaScratch`]
+    /// ([`Hdbscan::fit_scratch`]) — repeated clusterings (parameter
+    /// sweeps) stop paying per-call allocation, and the cloud stays
+    /// resident for EMST/k-NN traffic.
+    pub fn hdbscan(&mut self, points: &[Point<D>], params: Hdbscan) -> HdbscanResponse {
+        let (idx, outcome, _, _) = self.resolve(points);
+        let r = &mut self.residents[idx];
+        let result = {
+            let Resident { points, scratch, .. } = r;
+            params.fit_scratch(&self.space, points, scratch)
+        };
+        HdbscanResponse { result, outcome, key: r.key }
+    }
+}
+
+impl<S: ExecSpace, const D: usize> Drop for ServeEngine<S, D> {
+    fn drop(&mut self) {
+        if self.owns_spill_dir {
+            std::fs::remove_dir_all(&self.spill_dir).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_exec::{Serial, Threads};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn warm_queries_skip_the_local_phase_and_match_exactly() {
+        let pts = random_points_2d(700, 1);
+        let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+        let cold = engine.emst(&pts);
+        assert_eq!(cold.outcome, CacheOutcome::Miss);
+        assert!(cold.build_work.iterations > 0);
+        assert!(cold.timings.get("local") > 0.0);
+        let warm = engine.emst(&pts);
+        assert_eq!(warm.outcome, CacheOutcome::Hit);
+        assert!(warm.build_work.is_zero());
+        assert_eq!(warm.timings.get("plan"), 0.0);
+        assert_eq!(warm.timings.get("local"), 0.0);
+        assert!(warm.timings.get("merge") > 0.0);
+        // Merge-only traversal stats: queries ran, no solve iterations.
+        assert!(warm.query_work.queries > 0);
+        assert_eq!(warm.query_work.iterations, 0);
+        assert_eq!(warm.edges, cold.edges);
+        assert_eq!(engine.stats(), ServeStats { hits: 1, misses: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn lru_eviction_spills_and_reloads_bit_identically() {
+        let a = random_points_2d(300, 2);
+        let b = random_points_2d(300, 3);
+        let c = random_points_2d(300, 4);
+        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
+        let ra = engine.emst(&a);
+        let key_a = ra.key;
+        engine.emst(&b);
+        engine.emst(&c); // budget 2: evicts `a` (LRU)
+        assert_eq!(engine.num_resident(), 2);
+        assert_eq!(engine.stats().evictions, 1);
+        let back = engine.emst_by_key(key_a).unwrap();
+        assert_eq!(back.outcome, CacheOutcome::Reloaded);
+        assert_eq!(back.edges, ra.edges);
+        assert_eq!(engine.stats().reloads, 1);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 1));
+        let missing = CloudKey { digest: 0xdead, shards: 2 };
+        assert!(matches!(engine.emst_by_key(missing), Err(ServeError::UnknownKey(_))));
+    }
+
+    #[test]
+    fn foreign_shard_count_keys_are_rejected() {
+        // A key minted under a different K (e.g. by another engine sharing
+        // a spill directory) must not be rebuilt with this engine's K and
+        // registered under the foreign key.
+        let pts = random_points_2d(200, 9);
+        let dir = std::env::temp_dir().join(format!("emst-serve-k-test-{}", std::process::id()));
+        let mut cfg8 = ServeConfig::new(8, 1);
+        cfg8.spill_dir = Some(dir.clone());
+        let mut e8 = ServeEngine::<_, 2>::new(Serial, cfg8);
+        let key8 = e8.ingest(&pts);
+        e8.emst(&random_points_2d(200, 10)); // evicts the first cloud to disk
+
+        let mut cfg4 = ServeConfig::new(4, 1);
+        cfg4.spill_dir = Some(dir.clone());
+        let mut e4 = ServeEngine::<_, 2>::new(Serial, cfg4);
+        assert!(matches!(e4.emst_by_key(key8), Err(ServeError::UnknownKey(k)) if k == key8));
+        assert_eq!(e4.num_resident(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_then_query_by_key_is_warm() {
+        let pts = random_points_2d(400, 5);
+        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
+        let key = engine.ingest(&pts);
+        let r = engine.emst_by_key(key).unwrap();
+        assert_eq!(r.outcome, CacheOutcome::Hit);
+        assert!(r.build_work.is_zero());
+        assert_eq!(r.edges.len(), 399);
+    }
+
+    #[test]
+    fn resident_accounting_reports_bytes_and_keys() {
+        let pts = random_points_2d(500, 6);
+        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+        let key = engine.ingest(&pts);
+        assert_eq!(engine.num_resident(), 1);
+        assert_eq!(engine.resident_keys(), vec![key]);
+        assert!(engine.resident_bytes() > 0);
+        let r = engine.emst(&pts);
+        assert!(r.resident_bytes > 0);
+        assert!(r.resident_bytes <= engine.resident_bytes());
+    }
+}

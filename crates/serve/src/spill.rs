@@ -1,0 +1,177 @@
+//! Content digests and the eviction spill format.
+//!
+//! # Cache key
+//!
+//! A cloud is identified by [`CloudKey`]: the FNV-1a 64-bit digest of its
+//! exact coordinate bits (dimension and count mixed in first) paired with
+//! the shard count `K`. Two byte-identical clouds always collide onto the
+//! same key — that is the cache hit — and any mutation of a single
+//! coordinate bit changes the digest, so a stale entry can never answer
+//! for a modified cloud. `K` is part of the key because the resident
+//! artifacts (plan, per-shard BVHs, local MSTs) are a function of the
+//! partition, not just the points.
+//!
+//! # Spill format
+//!
+//! An evicted cloud is persisted in the sharded solver's existing
+//! spill-file format (`emst_shard::stream`): one `index,coord0,...` CSV
+//! line per point, coordinates printed with `{:?}` so every `f32`
+//! round-trips exactly. Artifacts are *not* serialized — the BVH build is
+//! a deterministic pure function of the points (see
+//! [`emst_bvh::Bvh::resident_bytes`]), so reloading the points and
+//! rebuilding reproduces bit-identical artifacts, which the reload path
+//! re-verifies by digest.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use emst_geometry::Point;
+
+/// Identity of a resident (or spilled) cloud: content digest plus shard
+/// count. See the module docs for the keying scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CloudKey {
+    /// FNV-1a 64 digest of `(D, n, coordinate bits)`.
+    pub digest: u64,
+    /// Shard count the artifacts were built with.
+    pub shards: usize,
+}
+
+impl std::fmt::Display for CloudKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}/K{}", self.digest, self.shards)
+    }
+}
+
+/// FNV-1a 64 over the exact coordinate bits of `points`, with the
+/// dimension and count mixed in first. Bit-exact: `-0.0` and `0.0` (and
+/// different NaN payloads) digest differently, which errs on the side of a
+/// rebuild rather than a false hit.
+pub fn digest_points<const D: usize>(points: &[Point<D>]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(D as u64);
+    mix(points.len() as u64);
+    for p in points {
+        for d in 0..D {
+            mix(p[d].to_bits() as u64);
+        }
+    }
+    h
+}
+
+/// Spill file of `key` inside `dir`.
+pub(crate) fn spill_path(dir: &Path, key: CloudKey) -> PathBuf {
+    dir.join(format!("cloud-{:016x}-k{}.csv", key.digest, key.shards))
+}
+
+/// Writes `points` to `key`'s spill file in `dir` (created if needed).
+pub(crate) fn write_spill<const D: usize>(
+    dir: &Path,
+    key: CloudKey,
+    points: &[Point<D>],
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = BufWriter::new(File::create(spill_path(dir, key))?);
+    for (i, p) in points.iter().enumerate() {
+        write!(out, "{i}")?;
+        for d in 0..D {
+            // `{:?}` prints the shortest f32 representation that
+            // round-trips, as in `emst_datasets::io::save_csv`.
+            write!(out, ",{:?}", p[d])?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads a spilled cloud back into input order. Returns `None` when no
+/// spill file exists for `key`; corrupt files are an `Err`.
+pub(crate) fn read_spill<const D: usize>(
+    dir: &Path,
+    key: CloudKey,
+) -> io::Result<Option<Vec<Point<D>>>> {
+    let path = spill_path(dir, key);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let bad = || io::Error::new(io::ErrorKind::InvalidData, "corrupt serve spill file");
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut rows: Vec<(u32, Point<D>)> = vec![];
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let mut fields = line.trim().split(',');
+        let idx: u32 = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+        let mut coords = [0.0f32; D];
+        for c in coords.iter_mut() {
+            *c = fields.next().and_then(|f| f.parse().ok()).ok_or_else(bad)?;
+        }
+        rows.push((idx, Point::new(coords)));
+    }
+    let n = rows.len();
+    let mut points = vec![Point::origin(); n];
+    let mut seen = vec![false; n];
+    for (idx, p) in rows {
+        let i = idx as usize;
+        if i >= n || seen[i] {
+            return Err(bad());
+        }
+        seen[i] = true;
+        points[i] = p;
+    }
+    Ok(Some(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let pts = vec![Point::new([1.0f32, 2.0]), Point::new([3.0, 4.0])];
+        let d = digest_points(&pts);
+        assert_eq!(d, digest_points(&pts.clone()));
+        let mut mutated = pts.clone();
+        mutated[1] = Point::new([3.0, 4.0000005]);
+        assert_ne!(d, digest_points(&mutated));
+        // Order matters (the cache is keyed on the exact input sequence).
+        let swapped = vec![pts[1], pts[0]];
+        assert_ne!(d, digest_points(&swapped));
+        // Signed zero is a different bit pattern.
+        assert_ne!(
+            digest_points(&[Point::new([0.0f32, 0.0])]),
+            digest_points(&[Point::new([-0.0f32, 0.0])])
+        );
+    }
+
+    #[test]
+    fn spill_round_trips_exactly() {
+        let dir =
+            std::env::temp_dir().join(format!("emst-serve-spill-test-{}", std::process::id()));
+        let pts: Vec<Point<3>> = (0..100)
+            .map(|i| Point::new([i as f32 * 0.1, -(i as f32), 1.0 / (i + 1) as f32]))
+            .collect();
+        let key = CloudKey { digest: digest_points(&pts), shards: 4 };
+        write_spill(&dir, key, &pts).unwrap();
+        let back = read_spill::<3>(&dir, key).unwrap().unwrap();
+        assert_eq!(back, pts);
+        assert_eq!(digest_points(&back), key.digest);
+        let missing = CloudKey { digest: 1, shards: 4 };
+        assert!(read_spill::<3>(&dir, missing).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,587 @@
+//! The cacheable half of a sharded solve.
+//!
+//! A sharded EMST run has two phases with very different lifetimes:
+//!
+//! - the **build** — Morton planning, per-shard single-tree solves, and
+//!   per-shard BVH construction — depends only on `(points, K)` and is by
+//!   far the expensive part;
+//! - the **merge** — cross-shard Borůvka over the boundary region — is
+//!   cheap (mostly root-pruned box tests) but depends on what the caller
+//!   asks (full cloud vs. a subset).
+//!
+//! [`ShardArtifacts`] reifies the build phase as a value: the plan, every
+//! non-empty shard's BVH (with its 4-wide rope-linked collapse), its local
+//! MST edges, and the build-work accounting. The artifacts are immutable —
+//! [`ShardArtifacts::merge`] and [`ShardArtifacts::merge_subset`] only
+//! *borrow* them — so a long-lived service can keep them resident and
+//! answer repeated queries by re-running nothing but the merge. This is the
+//! object the `emst_serve` cache holds under its `(input digest, K)` key.
+//!
+//! ```
+//! use emst_datasets::{generate_2d, DatasetSpec};
+//! use emst_exec::Threads;
+//! use emst_shard::{ShardArtifacts, ShardConfig};
+//!
+//! let pts = generate_2d(&DatasetSpec::uniform(600, 9));
+//! let artifacts = ShardArtifacts::build(&Threads, &pts, &ShardConfig::new(4));
+//! // Merge-only queries: no plan, no local solves, no tree builds.
+//! let a = artifacts.merge(&Threads, Default::default());
+//! let b = artifacts.merge(&Threads, Default::default());
+//! assert_eq!(a.edges, b.edges); // deterministic, bit-identical
+//! assert_eq!(a.edges.len(), 599);
+//! ```
+//!
+//! # Subset queries
+//!
+//! [`ShardArtifacts::merge_subset`] computes the exact EMST of a *subset*
+//! of the ingested points while reusing as much of the build as possible.
+//! The subset inherits the resident plan's partition; per shard:
+//!
+//! - **fully covered** (every point of the shard is in the subset): the
+//!   cached BVH and local MST are reused verbatim — only the vertex
+//!   numbering is remapped;
+//! - **partially covered**: that shard's members are re-solved locally
+//!   (they form a sub-shard of the induced partition, so the cycle-property
+//!   argument applies unchanged — see the `merge` module docs);
+//! - **untouched**: skipped entirely.
+//!
+//! Morton-contiguous subsets (spatial range queries) therefore touch the
+//! local phase only at their two boundary shards.
+
+use emst_bvh::{Traversal, TraversalStats};
+use emst_core::edge::total_weight;
+use emst_core::{BoruvkaScratch, Edge, EmstConfig, SingleTreeBoruvka};
+use emst_exec::counters::CounterSnapshot;
+use emst_exec::{Counters, ExecSpace, PhaseTimings};
+use emst_geometry::{Point, Scalar};
+use rayon::prelude::*;
+
+use crate::merge::{cross_shard_boruvka, CrossBounds, MergeShard, MergeShardView};
+use crate::plan::ShardPlan;
+use crate::{MergeScratch, ShardConfig, ShardStats, ShardedResult};
+
+/// One non-empty shard's resident state: its BVH (`vertex_of_rank` maps
+/// Morton ranks to original point indices) and its local MST edges.
+struct LocalArtifact<const D: usize> {
+    /// Index of this shard in the plan (empty shards have no artifact).
+    shard: usize,
+    /// The merge-resident BVH + rank-to-vertex map.
+    merge: MergeShard<D>,
+    /// Local MST edges in original point indices — the merge seeds.
+    seeds: Vec<Edge>,
+}
+
+/// The resident product of a sharded build: plan + per-shard BVHs + local
+/// MSTs, ready to answer repeated merge-only queries. See the module docs.
+pub struct ShardArtifacts<const D: usize> {
+    plan: ShardPlan,
+    locals: Vec<LocalArtifact<D>>,
+    n: usize,
+    shard_sizes: Vec<usize>,
+    local_iterations: Vec<u32>,
+    build_work: CounterSnapshot,
+    build_timings: PhaseTimings,
+    /// Label-independent merge bounds (vertex→shard maps + pristine
+    /// per-(vertex, shard) entry distances), precomputed so every warm
+    /// merge starts from a memcpy.
+    bounds: CrossBounds,
+    /// All local MST edges flattened in shard order — the full-cloud merge
+    /// seeds, cached so warm queries skip the per-call gather.
+    flat_seeds: Vec<Edge>,
+}
+
+impl<const D: usize> ShardArtifacts<D> {
+    /// Runs the build phase: plan the Morton ranges, solve every non-empty
+    /// shard's local EMST, and build the merge-resident BVHs. Shards run
+    /// concurrently when `config.parallel_shards` is set.
+    pub fn build<S: ExecSpace>(space: &S, points: &[Point<D>], config: &ShardConfig) -> Self {
+        let n = points.len();
+        let mut timings = PhaseTimings::new();
+        let plan = timings.time("plan", || ShardPlan::new(points, config.shards));
+        let shard_sizes = plan.shard_sizes();
+
+        // Gather each non-empty shard's points and original indices.
+        let inputs: Vec<(usize, Vec<u32>, Vec<Point<D>>)> = (0..plan.num_shards())
+            .filter(|&s| !plan.shard_indices(s).is_empty())
+            .map(|s| {
+                let ids = plan.shard_indices(s).to_vec();
+                let pts = ids.iter().map(|&i| points[i as usize]).collect();
+                (s, ids, pts)
+            })
+            .collect();
+
+        let solve_one = |(s, ids, pts): (usize, Vec<u32>, Vec<Point<D>>),
+                         scratch: &mut BoruvkaScratch|
+         -> (LocalArtifact<D>, u32, CounterSnapshot) {
+            let (seeds, iterations, work) = if pts.len() >= 2 {
+                let r = SingleTreeBoruvka::new(&pts).run_scratch(space, &config.emst, scratch);
+                let seeds = r
+                    .edges
+                    .iter()
+                    .map(|e| Edge::new(ids[e.u as usize], ids[e.v as usize], e.weight_sq))
+                    .collect();
+                (seeds, r.iterations, r.work)
+            } else {
+                (vec![], 0, CounterSnapshot::default())
+            };
+            let merge = MergeShard::build(space, &pts, &ids);
+            (LocalArtifact { shard: s, merge, seeds }, iterations, work)
+        };
+        let locals: Vec<(LocalArtifact<D>, u32, CounterSnapshot)> = timings.time("local", || {
+            if config.parallel_shards && inputs.len() > 1 {
+                // Concurrent shards cannot share a pool; each worker brings
+                // its own (the sequential path reuses one across shards).
+                inputs
+                    .into_par_iter()
+                    .map(|input| solve_one(input, &mut BoruvkaScratch::new()))
+                    .collect()
+            } else {
+                let mut scratch = BoruvkaScratch::new();
+                inputs.into_iter().map(|input| solve_one(input, &mut scratch)).collect()
+            }
+        });
+
+        let local_iterations: Vec<u32> = locals.iter().map(|(_, it, _)| *it).collect();
+        let build_work = locals.iter().fold(CounterSnapshot::default(), |acc, (_, _, w)| acc + *w);
+        let locals: Vec<LocalArtifact<D>> = locals.into_iter().map(|(l, _, _)| l).collect();
+        let bounds = timings.time("plan", || {
+            // Each vertex's round-1 merge radius (min incident seed
+            // weight) — the refinement threshold for the entry bounds.
+            let mut hint = vec![Scalar::INFINITY; n];
+            for l in &locals {
+                for e in &l.seeds {
+                    hint[e.u as usize] = hint[e.u as usize].min(e.weight_sq);
+                    hint[e.v as usize] = hint[e.v as usize].min(e.weight_sq);
+                }
+            }
+            let views: Vec<MergeShardView<'_, D>> = locals.iter().map(|l| l.merge.view()).collect();
+            CrossBounds::compute(space, &views, n, Some(&hint))
+        });
+        let flat_seeds: Vec<Edge> = locals.iter().flat_map(|l| l.seeds.iter().copied()).collect();
+        Self {
+            plan,
+            locals,
+            n,
+            shard_sizes,
+            local_iterations,
+            build_work,
+            build_timings: timings,
+            bounds,
+            flat_seeds,
+        }
+    }
+
+    /// Number of ingested points.
+    pub fn num_points(&self) -> usize {
+        self.n
+    }
+
+    /// The Morton-range plan the build partitioned on.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Point counts per shard (empty shards included).
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.shard_sizes
+    }
+
+    /// Borůvka iterations of each non-empty shard's local solve.
+    pub fn local_iterations(&self) -> &[u32] {
+        &self.local_iterations
+    }
+
+    /// Algorithmic work spent by the build phase (the local solves).
+    pub fn build_work(&self) -> CounterSnapshot {
+        self.build_work
+    }
+
+    /// Wall-clock timings of the build phase (`"plan"`, `"local"`).
+    pub fn build_timings(&self) -> &PhaseTimings {
+        &self.build_timings
+    }
+
+    /// Heap bytes held resident by the artifacts (BVHs, rank maps, seeds,
+    /// plan, precomputed merge bounds) — what a serving cache charges
+    /// against its budget.
+    pub fn resident_bytes(&self) -> usize {
+        let per_local = |l: &LocalArtifact<D>| {
+            l.merge.bvh.resident_bytes()
+                + l.merge.vertex_of_rank.len() * std::mem::size_of::<u32>()
+                + l.seeds.len() * std::mem::size_of::<Edge>()
+        };
+        self.plan.resident_bytes()
+            + self.bounds.resident_bytes()
+            + self.locals.iter().map(per_local).sum::<usize>()
+    }
+
+    /// Runs the merge phase over the full cloud: the exact EMST, computed
+    /// without re-planning, re-solving, or rebuilding anything.
+    ///
+    /// The returned [`ShardStats`] covers **only this merge** (its `work`
+    /// has `iterations == 0` since no Borůvka *solve* ran — the warm-query
+    /// signature the serving tests assert); callers wanting the cold-solve
+    /// view combine it with [`Self::build_work`]/[`Self::build_timings`] as
+    /// [`crate::emst_sharded_with`] does.
+    pub fn merge<S: ExecSpace>(&self, space: &S, traversal: Traversal) -> ShardedResult {
+        self.merge_scratch(space, traversal, &mut MergeScratch::new())
+    }
+
+    /// [`Self::merge`] drawing every per-merge allocation from `scratch` —
+    /// the form a long-lived server uses so warm repeat queries allocate
+    /// nothing. The scratch carries no semantic state between calls.
+    pub fn merge_scratch<S: ExecSpace>(
+        &self,
+        space: &S,
+        traversal: Traversal,
+        scratch: &mut MergeScratch,
+    ) -> ShardedResult {
+        let mut timings = PhaseTimings::new();
+        let counters = Counters::new();
+        let mut result = ShardedResult {
+            edges: vec![],
+            total_weight: 0.0,
+            stats: ShardStats {
+                shard_sizes: self.shard_sizes.clone(),
+                local_iterations: self.local_iterations.clone(),
+                peak_resident: self.n,
+                ..ShardStats::default()
+            },
+        };
+        if self.n < 2 {
+            return result;
+        }
+        let views: Vec<MergeShardView<'_, D>> =
+            self.locals.iter().map(|l| l.merge.view()).collect();
+        let mst_start = std::time::Instant::now();
+        let outcome = cross_shard_boruvka(
+            space,
+            &views,
+            self.n,
+            &self.flat_seeds,
+            traversal,
+            &counters,
+            &mut timings,
+            Some(&self.bounds),
+            scratch,
+        );
+        timings.record("merge", mst_start.elapsed().as_secs_f64());
+        debug_assert_eq!(outcome.edges.len(), self.n - 1);
+
+        result.total_weight = total_weight(&outcome.edges);
+        result.edges = outcome.edges;
+        result.stats.boundary_candidates = outcome.boundary_candidates;
+        result.stats.merge_rounds = outcome.rounds;
+        result.stats.timings = timings;
+        result.stats.work = counters.snapshot();
+        result
+    }
+
+    /// Exact EMST of a **subset** of the ingested points, reusing the
+    /// resident build wherever the subset covers a shard completely (see
+    /// the module docs for the partition argument).
+    ///
+    /// `points` must be the cloud the artifacts were built from (the
+    /// serving layer guards this with its content digest), and `subset`
+    /// holds distinct original point indices. Returned edges use original
+    /// indices; `stats.shard_sizes` reports the subset's per-shard counts
+    /// and `stats.local_iterations` only the partially-covered shards that
+    /// had to re-solve.
+    ///
+    /// # Panics
+    /// On out-of-range or duplicate subset indices.
+    pub fn merge_subset<S: ExecSpace>(
+        &self,
+        space: &S,
+        points: &[Point<D>],
+        subset: &[u32],
+        config: &EmstConfig,
+        scratch: &mut BoruvkaScratch,
+    ) -> ShardedResult {
+        assert_eq!(points.len(), self.n, "points are not the ingested cloud");
+        let m = subset.len();
+        let mut timings = PhaseTimings::new();
+        let counters = Counters::new();
+
+        // Renumber the subset to contiguous vertex ids 0..m.
+        let mut new_id = vec![u32::MAX; self.n];
+        for (j, &orig) in subset.iter().enumerate() {
+            assert!((orig as usize) < self.n, "subset index {orig} out of range");
+            assert_eq!(new_id[orig as usize], u32::MAX, "duplicate subset index {orig}");
+            new_id[orig as usize] = j as u32;
+        }
+
+        // Per touched shard: reuse or re-solve.
+        enum SubShard<'a, const D2: usize> {
+            /// Fully covered: the cached BVH with a renumbered rank map.
+            Reused { local: &'a LocalArtifact<D2>, vor: Vec<u32> },
+            /// Partially covered: a fresh sub-shard over the members only.
+            Fresh(MergeShard<D2>),
+        }
+        let mut shard_sizes = vec![0usize; self.plan.num_shards()];
+        let mut local_iterations = vec![];
+        let mut local_work = CounterSnapshot::default();
+        let mut seeds: Vec<Edge> = vec![];
+        let mut subs: Vec<SubShard<'_, D>> = vec![];
+        timings.time("local", || {
+            for local in &self.locals {
+                let ids = self.plan.shard_indices(local.shard);
+                let members: Vec<u32> =
+                    ids.iter().copied().filter(|&i| new_id[i as usize] != u32::MAX).collect();
+                shard_sizes[local.shard] = members.len();
+                if members.is_empty() {
+                    continue;
+                }
+                if members.len() == ids.len() {
+                    let vor = local
+                        .merge
+                        .vertex_of_rank
+                        .iter()
+                        .map(|&orig| new_id[orig as usize])
+                        .collect();
+                    seeds.extend(local.seeds.iter().map(|e| {
+                        Edge::new(new_id[e.u as usize], new_id[e.v as usize], e.weight_sq)
+                    }));
+                    subs.push(SubShard::Reused { local, vor });
+                } else {
+                    let pts: Vec<Point<D>> = members.iter().map(|&i| points[i as usize]).collect();
+                    let vids: Vec<u32> = members.iter().map(|&i| new_id[i as usize]).collect();
+                    if pts.len() >= 2 {
+                        let r = SingleTreeBoruvka::new(&pts).run_scratch(space, config, scratch);
+                        local_iterations.push(r.iterations);
+                        local_work += r.work;
+                        seeds.extend(r.edges.iter().map(|e| {
+                            Edge::new(vids[e.u as usize], vids[e.v as usize], e.weight_sq)
+                        }));
+                    }
+                    subs.push(SubShard::Fresh(MergeShard::build(space, &pts, &vids)));
+                }
+            }
+        });
+
+        let mut result = ShardedResult {
+            edges: vec![],
+            total_weight: 0.0,
+            stats: ShardStats {
+                shard_sizes,
+                local_iterations,
+                peak_resident: self.n,
+                ..ShardStats::default()
+            },
+        };
+        if m < 2 {
+            result.stats.timings = timings;
+            return result;
+        }
+
+        let views: Vec<MergeShardView<'_, D>> = subs
+            .iter()
+            .map(|s| match s {
+                SubShard::Reused { local, vor } => {
+                    MergeShardView { bvh: &local.merge.bvh, vertex_of_rank: vor }
+                }
+                SubShard::Fresh(ms) => ms.view(),
+            })
+            .collect();
+        let mst_start = std::time::Instant::now();
+        let outcome = cross_shard_boruvka(
+            space,
+            &views,
+            m,
+            &seeds,
+            config.traversal,
+            &counters,
+            &mut timings,
+            // Subset views renumber vertices, so the cached full-cloud
+            // bounds do not apply.
+            None,
+            &mut MergeScratch::new(),
+        );
+        timings.record("merge", mst_start.elapsed().as_secs_f64());
+        debug_assert_eq!(outcome.edges.len(), m - 1);
+
+        // Map vertex ids back to original point indices.
+        let edges: Vec<Edge> = outcome
+            .edges
+            .iter()
+            .map(|e| Edge::new(subset[e.u as usize], subset[e.v as usize], e.weight_sq))
+            .collect();
+        result.total_weight = total_weight(&edges);
+        result.edges = edges;
+        result.stats.boundary_candidates = outcome.boundary_candidates;
+        result.stats.merge_rounds = outcome.rounds;
+        result.stats.timings = timings;
+        result.stats.work = local_work + counters.snapshot();
+        result
+    }
+
+    /// The `k` nearest ingested points to `query` as `(original index,
+    /// squared distance)`, sorted ascending by `(distance, index)` —
+    /// answered from the resident per-shard BVHs (each shard returns its
+    /// local top-`k`; the global top-`k` is their merge). The distance
+    /// multiset is exact; when several points tie *at the cut-off distance
+    /// within one shard*, which of them is reported follows that shard's
+    /// Morton-rank order. Traversal work accumulates into `stats`.
+    pub fn k_nearest(
+        &self,
+        query: &Point<D>,
+        k: usize,
+        stats: &mut TraversalStats,
+    ) -> Vec<(u32, Scalar)> {
+        let mut all: Vec<(u32, Scalar)> = vec![];
+        for l in &self.locals {
+            let mut st = TraversalStats::default();
+            for (rank, d) in l.merge.bvh.k_nearest_with_stats(query, k, &mut st) {
+                all.push((l.merge.vertex_of_rank[rank as usize], d));
+            }
+            *stats = stats.merged(st);
+        }
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emst_sharded;
+    use emst_core::brute::brute_force_emst;
+    use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use emst_exec::{Serial, Threads};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn repeated_merges_are_bit_identical_and_do_no_build_work() {
+        let pts = random_points_2d(900, 3);
+        let artifacts = ShardArtifacts::build(&Threads, &pts, &ShardConfig::new(5));
+        assert!(artifacts.build_work().iterations > 0);
+        assert!(artifacts.resident_bytes() > 0);
+        let cold = emst_sharded(&pts, 5);
+        let a = artifacts.merge(&Threads, Traversal::default());
+        let b = artifacts.merge(&Threads, Traversal::default());
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.edges, cold.edges);
+        // Merge-only stats: traversal queries happened, but no Borůvka
+        // solve iterations and no tree-phase work.
+        assert!(a.stats.work.queries > 0);
+        assert_eq!(a.stats.work.iterations, 0);
+        assert_eq!(a.stats.timings.get("plan"), 0.0);
+        assert_eq!(a.stats.timings.get("local"), 0.0);
+        assert!(a.stats.timings.get("merge") > 0.0);
+    }
+
+    #[test]
+    fn subset_merge_matches_brute_force_on_the_subset() {
+        let pts = random_points_2d(400, 7);
+        let artifacts = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(6));
+        let mut scratch = BoruvkaScratch::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for take in [2usize, 17, 120, 399, 400] {
+            // Random distinct subset of `take` indices.
+            let mut all: Vec<u32> = (0..400).collect();
+            for i in 0..take {
+                let j = rng.random_range(i..400);
+                all.swap(i, j);
+            }
+            let subset = &all[..take];
+            let r =
+                artifacts.merge_subset(&Serial, &pts, subset, &EmstConfig::default(), &mut scratch);
+            assert_eq!(r.edges.len(), take - 1);
+            // Edges use original ids; verify over the compacted numbering.
+            let compact: std::collections::HashMap<u32, u32> =
+                subset.iter().enumerate().map(|(j, &o)| (o, j as u32)).collect();
+            let compacted: Vec<Edge> = r
+                .edges
+                .iter()
+                .map(|e| Edge::new(compact[&e.u], compact[&e.v], e.weight_sq))
+                .collect();
+            verify_spanning_tree(take, &compacted).unwrap();
+            let sub_pts: Vec<Point<2>> = subset.iter().map(|&i| pts[i as usize]).collect();
+            let brute = brute_force_emst(&sub_pts);
+            assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute), "take={take}");
+        }
+    }
+
+    #[test]
+    fn morton_contiguous_subset_reuses_interior_shards() {
+        // A subset aligned to the plan's own order covers interior shards
+        // completely, so only the boundary shards re-solve.
+        let pts = random_points_2d(1000, 13);
+        let artifacts = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(8));
+        let plan = artifacts.plan();
+        // Everything except the first half of shard 0: shards 1..8 are
+        // fully covered, shard 0 partially.
+        let mut subset: Vec<u32> = vec![];
+        let first = plan.shard_indices(0);
+        subset.extend(first.iter().skip(first.len() / 2));
+        for s in 1..plan.num_shards() {
+            subset.extend(plan.shard_indices(s));
+        }
+        let mut scratch = BoruvkaScratch::new();
+        let r =
+            artifacts.merge_subset(&Serial, &pts, &subset, &EmstConfig::default(), &mut scratch);
+        // Only shard 0 re-ran a local solve.
+        assert_eq!(r.stats.local_iterations.len(), 1);
+        let sub_pts: Vec<Point<2>> = subset.iter().map(|&i| pts[i as usize]).collect();
+        let brute = brute_force_emst(&sub_pts);
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute));
+    }
+
+    #[test]
+    fn trivial_subsets() {
+        let pts = random_points_2d(50, 1);
+        let artifacts = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(4));
+        let mut scratch = BoruvkaScratch::new();
+        let cfg = EmstConfig::default();
+        assert!(artifacts.merge_subset(&Serial, &pts, &[], &cfg, &mut scratch).edges.is_empty());
+        assert!(artifacts.merge_subset(&Serial, &pts, &[7], &cfg, &mut scratch).edges.is_empty());
+        let two = artifacts.merge_subset(&Serial, &pts, &[3, 41], &cfg, &mut scratch);
+        assert_eq!(two.edges.len(), 1);
+        assert_eq!(two.edges[0], Edge::new(3, 41, pts[3].squared_distance(&pts[41])));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate subset index")]
+    fn duplicate_subset_indices_panic() {
+        let pts = random_points_2d(20, 2);
+        let artifacts = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(2));
+        artifacts.merge_subset(
+            &Serial,
+            &pts,
+            &[1, 2, 1],
+            &EmstConfig::default(),
+            &mut BoruvkaScratch::new(),
+        );
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force() {
+        let pts = random_points_2d(300, 17);
+        let artifacts = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(5));
+        let queries = random_points_2d(20, 18);
+        let mut stats = TraversalStats::default();
+        for q in &queries {
+            for k in [1usize, 4, 9] {
+                let got = artifacts.k_nearest(q, k, &mut stats);
+                let mut expect: Vec<(u32, Scalar)> = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (i as u32, q.squared_distance(p)))
+                    .collect();
+                expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                expect.truncate(k);
+                assert_eq!(got, expect, "k={k}");
+            }
+        }
+        assert!(stats.nodes > 0);
+    }
+}

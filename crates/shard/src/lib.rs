@@ -42,21 +42,20 @@
 // iterator suggestion does not apply cleanly there.
 #![allow(clippy::needless_range_loop)]
 
+pub mod artifacts;
 mod merge;
 pub mod plan;
 pub mod stream;
 
+pub use artifacts::ShardArtifacts;
+pub use merge::MergeScratch;
 pub use plan::ShardPlan;
 pub use stream::{emst_sharded_csv, StreamConfig};
 
-use emst_core::edge::total_weight;
-use emst_core::{BoruvkaScratch, Edge, EmstConfig, SingleTreeBoruvka};
+use emst_core::{Edge, EmstConfig};
 use emst_exec::counters::CounterSnapshot;
-use emst_exec::{Counters, ExecSpace, PhaseTimings, Threads};
+use emst_exec::{ExecSpace, PhaseTimings, Threads};
 use emst_geometry::Point;
-use rayon::prelude::*;
-
-use crate::merge::{cross_shard_boruvka, MergeShard};
 
 /// Configuration of a sharded solve.
 #[derive(Clone, Copy, Debug)]
@@ -126,7 +125,12 @@ pub fn emst_sharded<const D: usize>(points: &[Point<D>], shards: usize) -> Shard
 
 /// Computes the sharded EMST with an explicit execution space and
 /// configuration. The edge-weight multiset equals the monolithic
-/// [`SingleTreeBoruvka`] solve for every `K`.
+/// [`emst_core::SingleTreeBoruvka`] solve for every `K`.
+///
+/// This is exactly [`ShardArtifacts::build`] followed by
+/// [`ShardArtifacts::merge`] with the stats of both phases stitched
+/// together — the one-shot form of the resident-artifact flow the serving
+/// layer keeps warm.
 pub fn emst_sharded_with<S: ExecSpace, const D: usize>(
     space: &S,
     points: &[Point<D>],
@@ -136,109 +140,13 @@ pub fn emst_sharded_with<S: ExecSpace, const D: usize>(
     if n < 2 {
         return ShardedResult::empty();
     }
-    let mut timings = PhaseTimings::new();
-    let counters = Counters::new();
-
-    let plan = timings.time("plan", || ShardPlan::new(points, config.shards));
-    let shard_sizes = plan.shard_sizes();
-
-    // Gather each non-empty shard's points and original indices.
-    let inputs: Vec<(Vec<u32>, Vec<Point<D>>)> = (0..plan.num_shards())
-        .filter(|&s| !plan.shard_indices(s).is_empty())
-        .map(|s| {
-            let ids = plan.shard_indices(s).to_vec();
-            let pts = ids.iter().map(|&i| points[i as usize]).collect();
-            (ids, pts)
-        })
-        .collect();
-
-    // Local solves: the existing single-tree Borůvka per shard, plus the
-    // merge-resident BVH over the same points.
-    struct LocalSolve<const D: usize> {
-        shard: MergeShard<D>,
-        seeds: Vec<Edge>,
-        iterations: u32,
-        work: CounterSnapshot,
-    }
-    let solve_one =
-        |(ids, pts): (Vec<u32>, Vec<Point<D>>), scratch: &mut BoruvkaScratch| -> LocalSolve<D> {
-            let (seeds, iterations, work) = if pts.len() >= 2 {
-                let r = SingleTreeBoruvka::new(&pts).run_scratch(space, &config.emst, scratch);
-                let seeds = r
-                    .edges
-                    .iter()
-                    .map(|e| Edge::new(ids[e.u as usize], ids[e.v as usize], e.weight_sq))
-                    .collect();
-                (seeds, r.iterations, r.work)
-            } else {
-                (vec![], 0, CounterSnapshot::default())
-            };
-            let shard = MergeShard::build(space, &pts, &ids);
-            LocalSolve { shard, seeds, iterations, work }
-        };
-    let locals: Vec<LocalSolve<D>> = timings.time("local", || {
-        if config.parallel_shards && inputs.len() > 1 {
-            // Concurrent shards cannot share a pool; each worker brings its
-            // own (the sequential path below reuses one across all shards).
-            inputs
-                .into_par_iter()
-                .map(|input| solve_one(input, &mut BoruvkaScratch::new()))
-                .collect()
-        } else {
-            let mut scratch = BoruvkaScratch::new();
-            inputs.into_iter().map(|input| solve_one(input, &mut scratch)).collect()
-        }
-    });
-
-    let local_iterations: Vec<u32> = locals.iter().map(|l| l.iterations).collect();
-    let mut local_work = CounterSnapshot::default();
-    for l in &locals {
-        local_work = add_snapshots(&local_work, &l.work);
-    }
-    let seeds: Vec<Edge> = locals.iter().flat_map(|l| l.seeds.iter().copied()).collect();
-    let shards: Vec<MergeShard<D>> = locals.into_iter().map(|l| l.shard).collect();
-
-    // Cross-shard Borůvka merge (exact; see the merge module docs).
-    let mst_start = std::time::Instant::now();
-    let outcome = cross_shard_boruvka(
-        space,
-        &shards,
-        n,
-        &seeds,
-        config.emst.traversal,
-        &counters,
-        &mut timings,
-    );
-    timings.record("merge", mst_start.elapsed().as_secs_f64());
-    debug_assert_eq!(outcome.edges.len(), n - 1);
-
-    ShardedResult {
-        total_weight: total_weight(&outcome.edges),
-        edges: outcome.edges,
-        stats: ShardStats {
-            shard_sizes,
-            local_iterations,
-            boundary_candidates: outcome.boundary_candidates,
-            merge_rounds: outcome.rounds,
-            peak_resident: n,
-            timings,
-            work: add_snapshots(&local_work, &counters.snapshot()),
-        },
-    }
-}
-
-pub(crate) fn add_snapshots(a: &CounterSnapshot, b: &CounterSnapshot) -> CounterSnapshot {
-    CounterSnapshot {
-        distance_computations: a.distance_computations + b.distance_computations,
-        node_visits: a.node_visits + b.node_visits,
-        rope_hops: a.rope_hops + b.rope_hops,
-        leaf_visits: a.leaf_visits + b.leaf_visits,
-        subtrees_skipped: a.subtrees_skipped + b.subtrees_skipped,
-        queries: a.queries + b.queries,
-        iterations: a.iterations + b.iterations,
-        bytes_accessed: a.bytes_accessed + b.bytes_accessed,
-        heap_ops: a.heap_ops + b.heap_ops,
-    }
+    let artifacts = ShardArtifacts::build(space, points, config);
+    let mut result = artifacts.merge(space, config.emst.traversal);
+    let mut timings = artifacts.build_timings().clone();
+    timings.absorb(&result.stats.timings);
+    result.stats.timings = timings;
+    result.stats.work = artifacts.build_work() + result.stats.work;
+    result
 }
 
 #[cfg(test)]
@@ -246,6 +154,7 @@ mod tests {
     use super::*;
     use emst_core::brute::brute_force_emst;
     use emst_core::edge::{verify_spanning_tree, weight_multiset};
+    use emst_core::SingleTreeBoruvka;
     use emst_exec::{GpuSim, Serial};
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};

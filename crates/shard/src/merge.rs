@@ -35,6 +35,32 @@
 //! every component selects the true total-order minimum and the merged
 //! edge set is the unique MST of `H` — no cycle can form, and the
 //! union–find merge step never has to discard a chosen edge.
+//!
+//! # Why warm repeat queries are cheap
+//!
+//! A naive round fires `n · (K−1)` traversals; this engine prunes almost
+//! all of them with four facts that only ever *strengthen* as components
+//! merge, so every skip is provably work the walkers would have discarded:
+//!
+//! - **Entry bounds** ([`CrossBounds`], cached in the artifacts): a
+//!   per-`(vertex, shard)` lower bound on the cross distance — skip the
+//!   shard while the component radius is below it, with one compare.
+//! - **Durable floors**: a query that accepts nothing raises that bound to
+//!   the walker's radius-pruned frontier minimum
+//!   (`TraversalStats::pruned_min_sq`) — every abandoned leaf lies beyond
+//!   it, and every label-skipped leaf is same-component *forever* — so a
+//!   provably-empty query is never repeated.
+//! - **Persistent candidates**: a found candidate that is still
+//!   cross-component is still its vertex's minimum outgoing cross edge
+//!   (the candidate set only shrinks), so the vertex skips querying
+//!   entirely; the stored edge is re-offered to both sides each round.
+//! - **Incremental labels**: only ranks whose vertex changed component
+//!   re-reduce their node-label path (full parallel reduction when at
+//!   least half a shard changed), and the union/winner bookkeeping walks
+//!   the representative list, not all of `n`.
+//!
+//! None of this changes a single selected edge — the serving tests assert
+//! warm answers bit-identical to cold solves across backends and walkers.
 
 use std::sync::atomic::AtomicU32;
 
@@ -63,6 +89,21 @@ impl<const D: usize> MergeShard<D> {
             (0..points.len() as u32).map(|r| vertices[bvh.point_index(r) as usize]).collect();
         Self { bvh, vertex_of_rank }
     }
+
+    /// Borrowed view of this shard for a merge run.
+    pub fn view(&self) -> MergeShardView<'_, D> {
+        MergeShardView { bvh: &self.bvh, vertex_of_rank: &self.vertex_of_rank }
+    }
+}
+
+/// A borrowed shard handed to [`cross_shard_boruvka`]. The merge never
+/// mutates a shard, so cached shards (the serving layer's resident
+/// artifacts) can be lent to any number of sequential merges — possibly
+/// with a *fresh* `vertex_of_rank` when the same BVH serves a query whose
+/// vertex numbering differs (subset queries renumber to `0..m`).
+pub(crate) struct MergeShardView<'a, const D: usize> {
+    pub bvh: &'a Bvh<D>,
+    pub vertex_of_rank: &'a [u32],
 }
 
 /// Outcome of a merge.
@@ -96,21 +137,225 @@ impl QueryWork {
     }
 }
 
+/// Label-independent per-cloud state the merge consumes: vertex → (shard,
+/// Morton rank) maps plus the pristine per-`(vertex, shard)` entry bounds.
+/// A pure function of the shard geometry, so [`crate::ShardArtifacts`]
+/// computes it once at build time and every warm merge starts from a
+/// memcpy instead of recomputing `n·K` box distances.
+///
+/// The bound is the min distance to the other shard's depth-4 node
+/// frontier (≤ 16 boxes) rather than its scene box: Morton-range scene
+/// boxes overlap heavily, so the scene distance alone lets shallow no-op
+/// entries through, while every leaf lies inside some frontier box (a
+/// leaf's point distance is termwise >= a containing box's clamped
+/// distance, and both walkers prune strictly beyond the radius) and so
+/// can never be closer than this bound.
+pub(crate) struct CrossBounds {
+    /// Owning shard per vertex id.
+    pub shard_of: Vec<u32>,
+    /// Morton rank inside the owning shard per vertex id.
+    pub rank_of: Vec<u32>,
+    /// `cross_dist[v * K + s]`: lower bound on `v`'s distance to any point
+    /// of shard `s` (`+inf` at `s == home`).
+    pub cross_dist: Vec<Scalar>,
+    /// Per-vertex min of `cross_dist` over the other shards.
+    pub reach: Vec<Scalar>,
+}
+
+impl CrossBounds {
+    /// Computes the maps and pristine bounds for `shards`.
+    ///
+    /// `refine_radius` (per vertex id) sharpens weak bounds: wherever the
+    /// frontier bound falls at or below a vertex's hint radius — i.e.
+    /// wherever the merge's first round would otherwise fire a (usually
+    /// empty) query — a radius-capped nearest probe replaces the box bound
+    /// with the exact nearest-point distance, or with the probe's own
+    /// pruned floor when nothing lies within the hint. Callers pass each
+    /// vertex's min incident seed weight (its round-1 radius), shifting
+    /// the discovery cost into the one-time build.
+    pub fn compute<S: ExecSpace, const D: usize>(
+        space: &S,
+        shards: &[MergeShardView<'_, D>],
+        n_vertices: usize,
+        refine_radius: Option<&[Scalar]>,
+    ) -> Self {
+        let stride = shards.len();
+        let mut shard_of = vec![0u32; n_vertices];
+        let mut rank_of = vec![0u32; n_vertices];
+        for (s, shard) in shards.iter().enumerate() {
+            for (rank, &v) in shard.vertex_of_rank.iter().enumerate() {
+                shard_of[v as usize] = s as u32;
+                rank_of[v as usize] = rank as u32;
+            }
+        }
+        fn gather<const D: usize>(bvh: &Bvh<D>, node: u32, depth: u32, out: &mut Vec<u32>) {
+            if depth == 0 || bvh.is_leaf(node) {
+                out.push(node);
+            } else {
+                gather(bvh, bvh.left_child(node), depth - 1, out);
+                gather(bvh, bvh.right_child(node), depth - 1, out);
+            }
+        }
+        let frontiers: Vec<Vec<u32>> = shards
+            .iter()
+            .map(|shard| {
+                let mut frontier = vec![];
+                gather(shard.bvh, shard.bvh.root(), 4, &mut frontier);
+                frontier
+            })
+            .collect();
+        let mut reach = vec![Scalar::INFINITY; n_vertices];
+        let mut cross_dist = vec![Scalar::INFINITY; n_vertices * stride];
+        {
+            let reach_s = SyncUnsafeSlice::new(reach.as_mut_slice());
+            let cross_s = SyncUnsafeSlice::new(cross_dist.as_mut_slice());
+            let (shard_of, rank_of, frontiers) = (&shard_of, &rank_of, &frontiers);
+            space.parallel_for(n_vertices, |v| {
+                let home = shard_of[v] as usize;
+                let q = shards[home].bvh.leaf_point(rank_of[v]);
+                let mut r = Scalar::INFINITY;
+                for (s, shard) in shards.iter().enumerate() {
+                    let mut d = if s == home {
+                        Scalar::INFINITY
+                    } else {
+                        frontiers[s]
+                            .iter()
+                            .map(|&id| shard.bvh.node_distance_sq(id, q))
+                            .fold(Scalar::INFINITY, Scalar::min)
+                    };
+                    if s != home {
+                        if let Some(hint) = refine_radius {
+                            if d <= hint[v] {
+                                let mut st = TraversalStats::default();
+                                let hit = shard.bvh.nearest_floor(
+                                    Traversal::default(),
+                                    q,
+                                    hint[v],
+                                    |_| false,
+                                    |_, e| Some(e),
+                                    &mut st,
+                                );
+                                d = match hit {
+                                    Some(h) => h.dist_sq,
+                                    None => st.pruned_min_sq,
+                                }
+                                .max(d);
+                            }
+                        }
+                    }
+                    // SAFETY: one writer per slot.
+                    unsafe { cross_s.write(v * stride + s, d) };
+                    r = r.min(d);
+                }
+                // SAFETY: one writer per slot.
+                unsafe { reach_s.write(v, r) };
+            });
+        }
+        Self { shard_of, rank_of, cross_dist, reach }
+    }
+
+    /// Heap bytes the bounds hold resident.
+    pub fn resident_bytes(&self) -> usize {
+        (self.shard_of.len() + self.rank_of.len()) * std::mem::size_of::<u32>()
+            + (self.cross_dist.len() + self.reach.len()) * std::mem::size_of::<Scalar>()
+    }
+}
+
+/// Reusable allocation pool of the cross-shard merge: every per-merge
+/// array, sized on first use and recycled across calls. A long-lived
+/// server (`emst_serve`) keeps one per resident cloud so warm repeat
+/// queries allocate nothing.
+#[derive(Default)]
+pub struct MergeScratch {
+    reach: Vec<Scalar>,
+    cross_dist: Vec<Scalar>,
+    rank_labels: Vec<Vec<u32>>,
+    node_labels: Vec<Vec<u32>>,
+    flags: Vec<Vec<AtomicU32>>,
+    labels: Vec<u32>,
+    dsu: UnionFind,
+    comp_key: Vec<AtomicU64Min>,
+    comp_pair: Vec<AtomicU64Min>,
+    upper: Vec<Scalar>,
+    cand_d: Vec<Scalar>,
+    cand_a: Vec<u32>,
+    cand_b: Vec<u32>,
+    min_of_root: Vec<u32>,
+    relabel: Vec<u32>,
+    reps: Vec<u32>,
+    changed_ranks: Vec<Vec<u32>>,
+    live_seeds: Vec<Edge>,
+}
+
+impl MergeScratch {
+    /// An empty pool; arrays are sized by the first merge that uses it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)sizes and resets everything a merge over `shards` needs.
+    fn ensure<const D: usize>(&mut self, shards: &[MergeShardView<'_, D>], n_vertices: usize) {
+        let n = n_vertices;
+        self.labels.clear();
+        self.labels.extend(0..n as u32);
+        self.reps.clear();
+        self.reps.extend(0..n as u32);
+        self.relabel.resize(n, u32::MAX);
+        // Every merge round resets the root slots it touched, so a reused
+        // pool is already all-MAX; only a (re)size needs the fill.
+        if self.min_of_root.len() != n {
+            self.min_of_root.clear();
+            self.min_of_root.resize(n, u32::MAX);
+        }
+        self.cand_a.clear();
+        self.cand_a.resize(n, u32::MAX);
+        self.cand_b.resize(n, u32::MAX);
+        self.cand_d.resize(n, Scalar::INFINITY);
+        self.upper.resize(n, Scalar::INFINITY);
+        if self.comp_key.len() < n {
+            self.comp_key.resize_with(n, AtomicU64Min::new_max);
+            self.comp_pair.resize_with(n, AtomicU64Min::new_max);
+        }
+        self.dsu.reset(n);
+        self.rank_labels.resize_with(shards.len(), Vec::new);
+        self.node_labels.resize_with(shards.len(), Vec::new);
+        self.flags.resize_with(shards.len(), Vec::new);
+        self.changed_ranks.resize_with(shards.len(), Vec::new);
+        for (s, shard) in shards.iter().enumerate() {
+            let ns = shard.bvh.num_leaves();
+            self.rank_labels[s].resize(ns, 0);
+            self.node_labels[s].resize(shard.bvh.num_nodes(), INVALID_LABEL);
+            self.flags[s].truncate(shard.bvh.num_internal());
+            self.flags[s].resize_with(shard.bvh.num_internal(), || AtomicU32::new(0));
+            self.changed_ranks[s].clear();
+        }
+        self.live_seeds.clear();
+    }
+}
+
 /// Runs the cross-shard Borůvka merge over `shards` (all non-empty) with
 /// candidate `seeds`, returning the MST of `H` (see module docs).
+///
+/// `bounds` carries the precomputed [`CrossBounds`] when the caller has
+/// them cached (the resident-artifact paths); `None` recomputes them here.
+/// `scratch` is the caller's allocation pool — reused across calls, never
+/// carrying semantic state between them.
 ///
 /// Panics if `H` is disconnected, which cannot happen for the two callers:
 /// local-MST seeds connect each shard internally and the cross-shard edge
 /// set connects the shards to each other (any two shards induce a complete
 /// bipartite graph).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     space: &S,
-    shards: &[MergeShard<D>],
+    shards: &[MergeShardView<'_, D>],
     n_vertices: usize,
     seeds: &[Edge],
     traversal: Traversal,
     counters: &Counters,
     timings: &mut PhaseTimings,
+    bounds: Option<&CrossBounds>,
+    scratch: &mut MergeScratch,
 ) -> MergeOutcome {
     debug_assert!(shards.iter().all(|s| s.bvh.num_leaves() > 0));
     debug_assert_eq!(
@@ -122,37 +367,43 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
         return MergeOutcome { edges: vec![], rounds: 0, boundary_candidates: 0 };
     }
 
-    // vertex -> (owning shard, Morton rank inside it).
-    let mut shard_of = vec![0u32; n_vertices];
-    let mut rank_of = vec![0u32; n_vertices];
-    for (s, shard) in shards.iter().enumerate() {
-        for (rank, &v) in shard.vertex_of_rank.iter().enumerate() {
-            shard_of[v as usize] = s as u32;
-            rank_of[v as usize] = rank as u32;
+    let stride = shards.len();
+    scratch.ensure(shards, n_vertices);
+    let computed;
+    let bounds = match bounds {
+        Some(b) => b,
+        None => {
+            computed = CrossBounds::compute(space, shards, n_vertices, None);
+            &computed
         }
-    }
-
-    // Per-shard label-reduction scratch (Optimization 1 state).
-    let mut rank_labels: Vec<Vec<u32>> =
-        shards.iter().map(|s| vec![0u32; s.bvh.num_leaves()]).collect();
-    let mut node_labels: Vec<Vec<u32>> =
-        shards.iter().map(|s| vec![INVALID_LABEL; s.bvh.num_nodes()]).collect();
-    let flags: Vec<Vec<AtomicU32>> = shards
-        .iter()
-        .map(|s| (0..s.bvh.num_internal()).map(|_| AtomicU32::new(0)).collect())
-        .collect();
-
-    // Component state. Labels are canonical: the smallest vertex id of the
-    // component, so `labels[v] == v` identifies representatives.
-    let mut labels: Vec<u32> = (0..n_vertices as u32).collect();
-    let mut dsu = UnionFind::new(n_vertices);
-    let comp_key: Vec<AtomicU64Min> = (0..n_vertices).map(|_| AtomicU64Min::new_max()).collect();
-    let comp_pair: Vec<AtomicU64Min> = (0..n_vertices).map(|_| AtomicU64Min::new_max()).collect();
-    let mut upper = vec![Scalar::INFINITY; n_vertices];
-    let mut cand_d = vec![Scalar::INFINITY; n_vertices];
-    let mut cand_a = vec![u32::MAX; n_vertices];
-    let mut cand_b = vec![u32::MAX; n_vertices];
-    let mut min_of_root = vec![u32::MAX; n_vertices];
+    };
+    let MergeScratch {
+        reach,
+        cross_dist,
+        rank_labels,
+        node_labels,
+        flags,
+        labels,
+        dsu,
+        comp_key,
+        comp_pair,
+        upper,
+        cand_d,
+        cand_a,
+        cand_b,
+        min_of_root,
+        relabel,
+        reps,
+        changed_ranks,
+        live_seeds,
+    } = scratch;
+    // Working copies: the query rounds tighten `cross_dist`/`reach` with
+    // durable floors learned from failed queries, so the pristine bounds
+    // stay untouched in the cache.
+    let (shard_of, rank_of) = (&bounds.shard_of, &bounds.rank_of);
+    reach.clone_from(&bounds.reach);
+    cross_dist.clone_from(&bounds.cross_dist);
+    live_seeds.extend_from_slice(seeds);
 
     let mut edges: Vec<Edge> = Vec::with_capacity(n_vertices - 1);
     let mut rounds = 0u32;
@@ -166,41 +417,82 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
             "cross-shard merge failed to converge"
         );
 
-        // Phase 1: refresh every shard's node labels so traversals can skip
-        // subtrees fully inside the query's component.
+        // Phase 1: refresh node labels so traversals can skip subtrees
+        // fully inside the query's component. Only ranks whose vertex
+        // changed component last round need work: when many changed, the
+        // full parallel reduction is cheapest; when few did (late rounds),
+        // each changed leaf climbs toward the root recombining its
+        // ancestors from their (current) children and stops at the first
+        // unchanged node — exact either way, O(changes · height) instead
+        // of O(nodes).
         timings.time("merge.labels", || {
             for (s, shard) in shards.iter().enumerate() {
-                let ns = shard.bvh.num_leaves();
-                {
-                    let out = SyncUnsafeSlice::new(&mut rank_labels[s]);
-                    let labels = &labels;
-                    let vertex_of_rank = &shard.vertex_of_rank;
-                    space.parallel_for(ns, |r| {
-                        // SAFETY: one writer per slot, read after the kernel.
-                        unsafe { out.write(r, labels[vertex_of_rank[r] as usize]) };
-                    });
+                let bvh = shard.bvh;
+                let ns = bvh.num_leaves();
+                let changed = &mut changed_ranks[s];
+                // Round 1 starts from a clean pool: everything needs its
+                // first reduction regardless of the (empty) change list.
+                let full = rounds == 1 || changed.len() >= ns / 2;
+                if !full && changed.is_empty() {
+                    continue;
                 }
-                reduce_labels(space, &shard.bvh, &rank_labels[s], &mut node_labels[s], &flags[s]);
+                if full {
+                    {
+                        let out = SyncUnsafeSlice::new(rank_labels[s].as_mut_slice());
+                        let labels = &labels;
+                        let vertex_of_rank = &shard.vertex_of_rank;
+                        space.parallel_for(ns, |r| {
+                            // SAFETY: one writer per slot, read after the
+                            // kernel.
+                            unsafe { out.write(r, labels[vertex_of_rank[r] as usize]) };
+                        });
+                    }
+                    reduce_labels(space, bvh, &rank_labels[s], &mut node_labels[s], &flags[s]);
+                    counters.add_bytes(bvh.num_nodes() as u64 * 8);
+                } else {
+                    let nl = &mut node_labels[s];
+                    for &rank in changed.iter() {
+                        let label = labels[shard.vertex_of_rank[rank as usize] as usize];
+                        rank_labels[s][rank as usize] = label;
+                        let leaf = bvh.leaf_id(rank);
+                        nl[leaf as usize] = label;
+                        if ns == 1 {
+                            continue;
+                        }
+                        let mut node = bvh.parent(leaf);
+                        while node != emst_bvh::INVALID_NODE {
+                            let l = nl[bvh.left_child(node) as usize];
+                            let r = nl[bvh.right_child(node) as usize];
+                            let combined = if l == r { l } else { INVALID_LABEL };
+                            if nl[node as usize] == combined {
+                                break;
+                            }
+                            nl[node as usize] = combined;
+                            node = bvh.parent(node);
+                        }
+                    }
+                    counters.add_bytes(changed.len() as u64 * 8);
+                }
+                changed.clear();
             }
-            counters.add_bytes(shards.iter().map(|s| s.bvh.num_nodes() as u64 * 8).sum());
         });
 
-        // Phase 2: reset per-round state and offer the seed edges, which
-        // also yields each component's traversal radius (the analogue of
-        // the paper's Optimization 2 upper bounds, with local-MST candidate
-        // edges in place of Z-curve neighbour pairs).
+        // Phase 2: reset per-round component minima and offer the seed
+        // edges plus every vertex's still-cross candidate from earlier
+        // rounds (the analogue of the paper's Optimization 2 upper bounds:
+        // local-MST candidate edges and remembered cross edges in place of
+        // Z-curve neighbour pairs). Components therefore enter phase 3 with
+        // a tight traversal radius even after their seed edges die off.
         timings.time("merge.seeds", || {
-            space.parallel_for(n_vertices, |v| comp_key[v].store(u64::MAX));
-            {
-                let cand_a_s = SyncUnsafeSlice::new(&mut cand_a);
-                space.parallel_for(n_vertices, |v| {
-                    // SAFETY: one writer per slot.
-                    unsafe { cand_a_s.write(v, u32::MAX) };
-                });
+            // Component minima are only ever indexed by canonical labels,
+            // so resetting walks the representative list, not all of `n`.
+            for &r in reps.iter() {
+                comp_key[r as usize].store(u64::MAX);
             }
             let labels = &labels;
-            space.parallel_for(seeds.len(), |i| {
-                let e = seeds[i];
+            let live_seeds = &live_seeds;
+            space.parallel_for(live_seeds.len(), |i| {
+                let e = live_seeds[i];
                 let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
                 if lu != lv {
                     let key = pack_dist_payload(e.weight_sq, e.u);
@@ -208,13 +500,25 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                     comp_key[lv as usize].fetch_min(key);
                 }
             });
-            let upper_s = SyncUnsafeSlice::new(&mut upper);
+            let (cand_d, cand_a, cand_b) = (&cand_d, &cand_a, &cand_b);
             space.parallel_for(n_vertices, |v| {
-                let key = comp_key[v].load();
-                let r = if key == u64::MAX { Scalar::INFINITY } else { unpack_dist_payload(key).0 };
-                // SAFETY: one writer per slot.
-                unsafe { upper_s.write(v, r) };
+                let a = cand_a[v];
+                if a == u32::MAX {
+                    return;
+                }
+                let b = cand_b[v];
+                let (la, lb) = (labels[a as usize], labels[b as usize]);
+                if la != lb {
+                    let key = pack_dist_payload(cand_d[v], a);
+                    comp_key[la as usize].fetch_min(key);
+                    comp_key[lb as usize].fetch_min(key);
+                }
             });
+            for &r in reps.iter() {
+                let key = comp_key[r as usize].load();
+                upper[r as usize] =
+                    if key == u64::MAX { Scalar::INFINITY } else { unpack_dist_payload(key).0 };
+            }
         });
 
         // Phase 3: one constrained nearest-neighbour query per point per
@@ -226,14 +530,40 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
             let upper = &upper;
             let shard_of = &shard_of;
             let rank_of = &rank_of;
-            let cand_d_s = SyncUnsafeSlice::new(&mut cand_d);
-            let cand_a_s = SyncUnsafeSlice::new(&mut cand_a);
-            let cand_b_s = SyncUnsafeSlice::new(&mut cand_b);
+            let cand_d_s = SyncUnsafeSlice::new(cand_d.as_mut_slice());
+            let cand_a_s = SyncUnsafeSlice::new(cand_a.as_mut_slice());
+            let cand_b_s = SyncUnsafeSlice::new(cand_b.as_mut_slice());
+            let reach_s = SyncUnsafeSlice::new(reach.as_mut_slice());
+            let cross_s = SyncUnsafeSlice::new(cross_dist.as_mut_slice());
             let work = space.parallel_reduce(
                 n_vertices,
                 QueryWork::default(),
                 |v| {
                     let c = labels[v];
+                    // Persistent-candidate skip: a still-cross candidate
+                    // from an earlier round is provably still `v`'s minimum
+                    // outgoing cross edge — components only merge, so the
+                    // candidate set only shrinks, and anything better in
+                    // the `(weight, min, max)` order was already
+                    // same-component when the candidate was found. It is
+                    // offered to both sides in phases 2 and 4, so the fresh
+                    // query could only re-find it.
+                    // SAFETY: slot `v` is only touched by this thread.
+                    let a = unsafe { *cand_a_s.get(v) };
+                    if a != u32::MAX
+                        && labels[a as usize] != labels[unsafe { *cand_b_s.get(v) } as usize]
+                    {
+                        return QueryWork::default();
+                    }
+                    // No cross candidate can be accepted below the reach
+                    // bound (walkers accept `dist <= radius` and prune
+                    // strictly beyond), so this skip is exactly the set of
+                    // queries that would have been pruned at every root.
+                    // SAFETY (all slice accesses below): slot `v` / row
+                    // `v * stride ..` is only touched by this thread.
+                    if unsafe { *reach_s.get(v) } > upper[c as usize] {
+                        return QueryWork::default();
+                    }
                     let home = shard_of[v] as usize;
                     let query = shards[home].bvh.leaf_point(rank_of[v]);
                     let mut radius = upper[c as usize];
@@ -241,13 +571,21 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                     let mut best_d = Scalar::INFINITY;
                     let mut work = QueryWork::default();
                     for (s, shard) in shards.iter().enumerate() {
-                        if s == home {
+                        if s == home || unsafe { *cross_s.get(v * stride + s) } > radius {
                             continue;
                         }
-                        let mut st = TraversalStats::default();
                         let nl = &node_labels[s];
+                        if nl[shard.bvh.root() as usize] == c {
+                            // The walker's own root skip, hoisted: the
+                            // whole shard is inside `v`'s component — and
+                            // will stay there, so the floor is permanent.
+                            unsafe { cross_s.write(v * stride + s, Scalar::INFINITY) };
+                            continue;
+                        }
+                        let mut saw_cross = false;
+                        let mut st = TraversalStats::default();
                         let vor = &shard.vertex_of_rank;
-                        shard.bvh.nearest(
+                        shard.bvh.nearest_floor(
                             traversal,
                             query,
                             radius,
@@ -257,6 +595,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                                 if labels[x as usize] == c {
                                     return None;
                                 }
+                                saw_cross = true;
                                 let key = (
                                     nonneg_f32_to_ordered_bits(e),
                                     (v as u32).min(x),
@@ -270,6 +609,18 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                             },
                             &mut st,
                         );
+                        if !saw_cross {
+                            // A failed query is a durable fact: every leaf
+                            // of `s` the walker abandoned lies beyond the
+                            // radius-pruned frontier, and every leaf it
+                            // label-skipped is same-component forever. So
+                            // the walker's pruning floor bounds `v`'s
+                            // nearest cross point in `s` for all later
+                            // rounds — raise the per-shard floor and never
+                            // repeat a provably-empty query (`+inf` when
+                            // the whole shard is same-component).
+                            unsafe { cross_s.write(v * stride + s, st.pruned_min_sq) };
+                        }
                         work.queries += 1;
                         work.stats = work.stats.merged(st);
                         if st.leaves > 0 {
@@ -277,6 +628,11 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                         }
                         radius = radius.min(best_d);
                     }
+                    let row_min = (0..stride)
+                        .filter(|&s| s != home)
+                        .map(|s| unsafe { *cross_s.get(v * stride + s) })
+                        .fold(Scalar::INFINITY, Scalar::min);
+                    unsafe { reach_s.write(v, row_min) };
                     if let Some((_, a, b)) = best {
                         // SAFETY: one writer per slot `v`.
                         unsafe {
@@ -304,9 +660,13 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
         // `(min, max)` pair wins — completing the total order.
         timings.time("merge.select", || {
             let labels = &labels;
-            space.parallel_for(n_vertices, |v| comp_pair[v].store(u64::MAX));
-            space.parallel_for(seeds.len(), |i| {
-                let e = seeds[i];
+            let live_seeds = &live_seeds;
+            // As with `comp_key`: only canonical labels are indexed.
+            for &r in reps.iter() {
+                comp_pair[r as usize].store(u64::MAX);
+            }
+            space.parallel_for(live_seeds.len(), |i| {
+                let e = live_seeds[i];
                 let (lu, lv) = (labels[e.u as usize], labels[e.v as usize]);
                 if lu == lv {
                     return;
@@ -320,26 +680,39 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                     comp_pair[lv as usize].fetch_min(pair);
                 }
             });
-            let cand_d = &cand_d;
-            let cand_a = &cand_a;
-            let cand_b = &cand_b;
+            let (cand_d, cand_a, cand_b) = (&cand_d, &cand_a, &cand_b);
             space.parallel_for(n_vertices, |v| {
-                if cand_a[v] == u32::MAX {
+                let a = cand_a[v];
+                if a == u32::MAX {
                     return;
                 }
-                let c = labels[v] as usize;
-                if pack_dist_payload(cand_d[v], cand_a[v]) == comp_key[c].load() {
-                    comp_pair[c].fetch_min(((cand_a[v] as u64) << 32) | cand_b[v] as u64);
+                // Stale (now intra-component) candidates must not compete:
+                // a coincidental `(weight, min endpoint)` match would let a
+                // dead pair shadow the true winner.
+                let b = cand_b[v];
+                let (la, lb) = (labels[a as usize], labels[b as usize]);
+                if la == lb {
+                    return;
+                }
+                let key = pack_dist_payload(cand_d[v], a);
+                let pair = ((a as u64) << 32) | b as u64;
+                if key == comp_key[la as usize].load() {
+                    comp_pair[la as usize].fetch_min(pair);
+                }
+                if key == comp_key[lb as usize].load() {
+                    comp_pair[lb as usize].fetch_min(pair);
                 }
             });
         });
 
         // Phase 5: merge along the chosen edges and relabel canonically.
+        // Union/bookkeeping walks the representative list — O(components),
+        // not O(n) — and only the final relabel scan touches every vertex,
+        // collecting the changed ranks that drive next round's incremental
+        // label update.
         timings.time("merge.union", || {
-            for v in 0..n_vertices {
-                if labels[v] != v as u32 {
-                    continue;
-                }
+            for &r in reps.iter() {
+                let v = r as usize;
                 let pair = comp_pair[v].load();
                 assert_ne!(pair, u64::MAX, "component {v} found no outgoing edge");
                 let (a, b) = ((pair >> 32) as u32, pair as u32);
@@ -348,18 +721,40 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                     edges.push(Edge::new(a, b, w));
                 }
             }
-            min_of_root.fill(u32::MAX);
-            for v in 0..n_vertices {
-                let r = dsu.find(v);
-                min_of_root[r] = min_of_root[r].min(v as u32);
+            // New canonical label of each merged set = the smallest old
+            // representative in it (components only grow, so canonical
+            // labels only decrease). `min_of_root` is keyed by DSU root,
+            // `relabel` by old representative.
+            for &r in reps.iter() {
+                let root = dsu.find(r as usize);
+                min_of_root[root] = min_of_root[root].min(r);
             }
-            for v in 0..n_vertices {
-                labels[v] = min_of_root[dsu.find(v)];
+            let mut new_reps = Vec::with_capacity(reps.len() / 2 + 1);
+            for &r in reps.iter() {
+                let new = min_of_root[dsu.find(r as usize)];
+                relabel[r as usize] = new;
+                if new == r {
+                    new_reps.push(r);
+                }
             }
+            // Reset only the root slots this round touched.
+            for &r in reps.iter() {
+                min_of_root[dsu.find(r as usize)] = u32::MAX;
+            }
+            *reps = new_reps;
+            for v in 0..n_vertices {
+                let old = labels[v];
+                let new = relabel[old as usize];
+                if old != new {
+                    labels[v] = new;
+                    changed_ranks[shard_of[v] as usize].push(rank_of[v]);
+                }
+            }
+            live_seeds.retain(|e| labels[e.u as usize] != labels[e.v as usize]);
             counters.add_bytes(n_vertices as u64 * 12);
         });
 
-        num_components = dsu.num_sets();
+        num_components = reps.len();
     }
 
     assert_eq!(edges.len(), n_vertices - 1, "merge did not produce a spanning tree");
@@ -391,17 +786,20 @@ mod tests {
         let (a, b) = pts.split_at(25);
         let va: Vec<u32> = (0..25).collect();
         let vb: Vec<u32> = (25..60).collect();
-        let shards = vec![MergeShard::build(&Serial, a, &va), MergeShard::build(&Serial, b, &vb)];
+        let shards = [MergeShard::build(&Serial, a, &va), MergeShard::build(&Serial, b, &vb)];
+        let views: Vec<_> = shards.iter().map(MergeShard::view).collect();
         let counters = Counters::new();
         let mut timings = PhaseTimings::new();
         let out = cross_shard_boruvka(
             &Serial,
-            &shards,
+            &views,
             60,
             &[],
             Traversal::default(),
             &counters,
             &mut timings,
+            None,
+            &mut MergeScratch::new(),
         );
         assert_eq!(out.edges.len(), 59);
         verify_spanning_tree(60, &out.edges).unwrap();
@@ -425,17 +823,20 @@ mod tests {
         let pts = random_points_2d(120, 7);
         let vertices: Vec<u32> = (0..120).collect();
         let seeds = brute_force_emst(&pts);
-        let shards = vec![MergeShard::build(&Serial, &pts, &vertices)];
+        let shards = [MergeShard::build(&Serial, &pts, &vertices)];
+        let views: Vec<_> = shards.iter().map(MergeShard::view).collect();
         let counters = Counters::new();
         let mut timings = PhaseTimings::new();
         let out = cross_shard_boruvka(
             &Serial,
-            &shards,
+            &views,
             120,
             &seeds,
             Traversal::default(),
             &counters,
             &mut timings,
+            None,
+            &mut MergeScratch::new(),
         );
         verify_spanning_tree(120, &out.edges).unwrap();
         assert_eq!(weight_multiset(&out.edges), weight_multiset(&seeds));
@@ -445,17 +846,20 @@ mod tests {
     #[test]
     fn trivial_sizes() {
         let pts = [Point::new([0.0f32, 0.0])];
-        let shards = vec![MergeShard::build(&Serial, &pts, &[0])];
+        let shards = [MergeShard::build(&Serial, &pts, &[0])];
+        let views: Vec<_> = shards.iter().map(MergeShard::view).collect();
         let counters = Counters::new();
         let mut timings = PhaseTimings::new();
         let out = cross_shard_boruvka(
             &Serial,
-            &shards,
+            &views,
             1,
             &[],
             Traversal::default(),
             &counters,
             &mut timings,
+            None,
+            &mut MergeScratch::new(),
         );
         assert!(out.edges.is_empty());
         assert_eq!(out.rounds, 0);

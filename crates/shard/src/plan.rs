@@ -18,6 +18,20 @@ use emst_geometry::{Aabb, Point};
 use emst_morton::MortonEncoder;
 
 /// A partition of `n` points into `K` contiguous Morton ranges.
+///
+/// ```
+/// use emst_geometry::Point;
+/// use emst_shard::ShardPlan;
+///
+/// let pts: Vec<Point<2>> = (0..100).map(|i| Point::new([i as f32, 0.0])).collect();
+/// let plan = ShardPlan::new(&pts, 4);
+/// assert_eq!(plan.num_shards(), 4);
+/// assert_eq!(plan.shard_sizes(), vec![25, 25, 25, 25]);
+/// // Every original index appears in exactly one shard.
+/// let mut seen: Vec<u32> = (0..4).flat_map(|s| plan.shard_indices(s).to_vec()).collect();
+/// seen.sort();
+/// assert_eq!(seen, (0..100).collect::<Vec<_>>());
+/// ```
 #[derive(Clone, Debug)]
 pub struct ShardPlan {
     /// Original point indices, sorted by `(morton code, index)`.
@@ -78,6 +92,13 @@ impl ShardPlan {
     /// Point counts per shard.
     pub fn shard_sizes(&self) -> Vec<usize> {
         (0..self.num_shards()).map(|s| self.bounds[s + 1] - self.bounds[s]).collect()
+    }
+
+    /// Heap bytes held by the plan (the sorted order plus the cut table) —
+    /// its share of a resident cache entry's budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.order.len() * std::mem::size_of::<u32>()
+            + self.bounds.len() * std::mem::size_of::<usize>()
     }
 }
 

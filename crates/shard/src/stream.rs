@@ -41,7 +41,7 @@ use emst_exec::{Counters, ExecSpace, PhaseTimings};
 use emst_geometry::{Aabb, Point};
 use emst_morton::MortonEncoder;
 
-use crate::merge::{cross_shard_boruvka, MergeShard};
+use crate::merge::{cross_shard_boruvka, MergeScratch, MergeShard};
 use crate::{ShardStats, ShardedResult};
 
 /// Number of Morton-prefix buckets used to balance the streaming split.
@@ -265,7 +265,7 @@ fn stream_shards<S: ExecSpace, const D: usize>(
             let pts: Vec<Point<D>> = spilled.iter().map(|&(_, p)| p).collect();
             let r = SingleTreeBoruvka::new(&pts).run_scratch(space, &config.emst, &mut scratch);
             local_iterations.push(r.iterations);
-            local_work = crate::add_snapshots(&local_work, &r.work);
+            local_work += r.work;
             candidates.extend(
                 r.edges.iter().map(|e| {
                     Edge::new(spilled[e.u as usize].0, spilled[e.v as usize].0, e.weight_sq)
@@ -280,6 +280,7 @@ fn stream_shards<S: ExecSpace, const D: usize>(
     let mut merge_rounds = 0u32;
     let mut boundary_candidates = 0u64;
     let pairs_start = std::time::Instant::now();
+    let mut merge_scratch = MergeScratch::new();
     for (ai, &a) in nonempty.iter().enumerate() {
         for &b in &nonempty[ai + 1..] {
             let left: Vec<Spilled<D>> = load_spill(dir, a)?;
@@ -295,14 +296,17 @@ fn stream_shards<S: ExecSpace, const D: usize>(
                 MergeShard::build(space, &left_pts, &left_ids),
                 MergeShard::build(space, &right_pts, &right_ids),
             ];
+            let views = [shards[0].view(), shards[1].view()];
             let out = cross_shard_boruvka(
                 space,
-                &shards,
+                &views,
                 globals.len(),
                 &[],
                 config.emst.traversal,
                 counters,
                 timings,
+                None,
+                &mut merge_scratch,
             );
             merge_rounds += out.rounds;
             boundary_candidates += out.boundary_candidates;
@@ -333,7 +337,7 @@ fn stream_shards<S: ExecSpace, const D: usize>(
             merge_rounds,
             peak_resident,
             timings: std::mem::take(timings),
-            work: crate::add_snapshots(&local_work, &counters.snapshot()),
+            work: local_work + counters.snapshot(),
         },
     })
 }

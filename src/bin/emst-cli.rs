@@ -5,12 +5,21 @@
 //! emst-cli emst     --input pts.csv --dim 3 --output mst.csv [--algorithm single-tree]
 //! emst-cli emst     --input pts.csv --shards 8 [--max-resident 1000000]
 //! emst-cli hdbscan  --input pts.csv --dim 3 --k 5 --min-cluster-size 20 --output labels.csv
+//! emst-cli serve    --input pts.csv --shards 8 --max-resident 4   # then commands on stdin
 //! ```
 //!
 //! Arguments are `--key value` pairs; unknown keys abort with usage help and
 //! malformed values (e.g. a non-numeric `--n`) abort with an error message
 //! and a non-zero exit code. The MST output is CSV rows `u,v,weight`;
 //! HDBSCAN output is one label per line (`-1` = noise).
+//!
+//! `serve` starts the long-lived engine (`emst::serve`): the cloud's shard
+//! artifacts stay resident between queries, so repeated `emst` commands are
+//! answered by the cross-shard merge alone. Commands, one per line on
+//! stdin: `emst [out.csv]`, `subset <lo>..<hi>`, `knn <k> <x> <y> [<z>]`,
+//! `hdbscan <k_pts> <min_cluster_size>`, `load <points.csv>`, `stats`,
+//! `quit`. Responses go to stdout (`cache=hit|miss|reloaded` tells whether
+//! the local phase ran); malformed commands print an error and continue.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -23,6 +32,7 @@ use emst::datasets::{self, Kind};
 use emst::exec::{ExecSpace, GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::hdbscan::Hdbscan;
+use emst::serve::{CacheOutcome, ServeConfig, ServeEngine};
 use emst::shard::{emst_sharded_csv, emst_sharded_with, ShardConfig, ShardStats, StreamConfig};
 
 fn usage() -> ExitCode {
@@ -36,7 +46,13 @@ fn usage() -> ExitCode {
                     [--traversal stackless|stack]
                     [--shards <K>] [--max-resident <points>]
   emst-cli hdbscan  --input <points.csv> [--dim 2|3] [--k <k_pts>]
-                    [--min-cluster-size <m>] [--output <labels.csv>]"
+                    [--min-cluster-size <m>] [--output <labels.csv>]
+  emst-cli serve    --input <points.csv> [--dim 2|3] [--shards <K>]
+                    [--max-resident <clouds>] [--backend serial|threads|gpusim]
+                    [--traversal stackless|stack]
+                    stdin commands: emst [out.csv] | subset <lo>..<hi> |
+                    knn <k> <x> <y> [<z>] | hdbscan <k_pts> <min_cluster_size> |
+                    load <points.csv> | stats | quit"
     );
     ExitCode::FAILURE
 }
@@ -101,9 +117,11 @@ fn run(command: &str, opts: &HashMap<String, String>) -> Result<(), String> {
         ("emst", 3) => run_emst::<3>(opts),
         ("hdbscan", 2) => run_hdbscan::<2>(opts),
         ("hdbscan", 3) => run_hdbscan::<3>(opts),
+        ("serve", 2) => run_serve::<2>(opts),
+        ("serve", 3) => run_serve::<3>(opts),
         _ => Err(format!(
-            "unknown command {command:?} (expected generate, emst or hdbscan; run with no \
-             arguments for usage)"
+            "unknown command {command:?} (expected generate, emst, hdbscan or serve; run with \
+             no arguments for usage)"
         )),
     }
 }
@@ -278,12 +296,181 @@ fn report_and_write(
         (n * dim) as f64 / secs / 1e6
     );
     if let Some(output) = opts.get("output") {
-        let mut out =
-            std::io::BufWriter::new(std::fs::File::create(output).map_err(|e| e.to_string())?);
-        for e in &edges {
-            writeln!(out, "{},{},{:?}", e.u, e.v, e.weight()).map_err(|e| e.to_string())?;
-        }
+        write_edges(Path::new(output), &edges)?;
         eprintln!("wrote MST to {output}");
+    }
+    Ok(())
+}
+
+/// The `serve` subcommand: start a [`ServeEngine`], ingest `--input`, then
+/// answer stdin commands until EOF/`quit`. Flag errors abort; command
+/// errors print and continue (a server should not die on one bad query).
+fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
+    let shards: usize = parse_opt(opts, "shards", 4)?;
+    let max_resident: usize = parse_opt(opts, "max-resident", 4)?;
+    let backend = opts.get("backend").map(String::as_str).unwrap_or("threads");
+    let traversal = match opts.get("traversal") {
+        None => Traversal::default(),
+        Some(v) => Traversal::parse(v)
+            .ok_or(format!("invalid --traversal value {v:?} (expected stackless or stack)"))?,
+    };
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if max_resident == 0 {
+        return Err("--max-resident must be at least 1".into());
+    }
+    let points = load_points::<D>(opts)?;
+    let mut config = ServeConfig::new(shards, max_resident);
+    config.emst = EmstConfig { traversal, ..EmstConfig::default() };
+    match backend {
+        "serial" => serve_repl(ServeEngine::<_, D>::new(Serial, config), points),
+        "threads" => serve_repl(ServeEngine::<_, D>::new(Threads, config), points),
+        "gpusim" => serve_repl(ServeEngine::<_, D>::new(GpuSim::new(), config), points),
+        other => Err(format!("unknown --backend {other}")),
+    }
+}
+
+fn serve_repl<S: ExecSpace, const D: usize>(
+    mut engine: ServeEngine<S, D>,
+    mut points: Vec<Point<D>>,
+) -> Result<(), String> {
+    use std::io::BufRead;
+    let key = engine.ingest(&points);
+    eprintln!("serving {} points as {key} (commands on stdin; `quit` to exit)", points.len());
+    let outcome_name = |o: CacheOutcome| match o {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Reloaded => "reloaded",
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let mut tok = line.split_whitespace();
+        let cmd = match tok.next() {
+            None => continue,
+            Some("quit") | Some("exit") => break,
+            Some(c) => c,
+        };
+        let rest: Vec<&str> = tok.collect();
+        match serve_command(&mut engine, &mut points, cmd, &rest, &outcome_name) {
+            Ok(response) => println!("{response}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Executes one REPL command, returning the response line.
+fn serve_command<S: ExecSpace, const D: usize>(
+    engine: &mut ServeEngine<S, D>,
+    points: &mut Vec<Point<D>>,
+    cmd: &str,
+    rest: &[&str],
+    outcome_name: &dyn Fn(CacheOutcome) -> &'static str,
+) -> Result<String, String> {
+    let parse = |what: &str, v: Option<&&str>| -> Result<usize, String> {
+        let v = v.ok_or(format!("{what} is required"))?;
+        v.parse().map_err(|_| format!("invalid {what} {v:?}"))
+    };
+    match cmd {
+        "emst" => {
+            let r = engine.emst(points);
+            if let Some(path) = rest.first() {
+                write_edges(Path::new(path), &r.edges)?;
+            }
+            Ok(format!(
+                "emst cache={} n={} edges={} weight={:.6} build={:.3}s merge={:.3}s queries={}",
+                outcome_name(r.outcome),
+                points.len(),
+                r.edges.len(),
+                r.total_weight,
+                r.timings.get("plan") + r.timings.get("local"),
+                r.timings.get("merge"),
+                r.query_work.queries,
+            ))
+        }
+        "subset" => {
+            let range = rest.first().ok_or("subset needs <lo>..<hi>")?;
+            let (lo, hi) = range
+                .split_once("..")
+                .and_then(|(a, b)| Some((a.parse::<u32>().ok()?, b.parse::<u32>().ok()?)))
+                .ok_or(format!("invalid subset range {range:?} (expected <lo>..<hi>)"))?;
+            if lo >= hi || hi as usize > points.len() {
+                return Err(format!("subset {lo}..{hi} out of range for {} points", points.len()));
+            }
+            let subset: Vec<u32> = (lo..hi).collect();
+            let r = engine.emst_subset(points, &subset);
+            Ok(format!(
+                "subset cache={} m={} edges={} weight={:.6} local={:.3}s merge={:.3}s",
+                outcome_name(r.outcome),
+                subset.len(),
+                r.edges.len(),
+                r.total_weight,
+                r.timings.get("local"),
+                r.timings.get("merge"),
+            ))
+        }
+        "knn" => {
+            let k = parse("<k>", rest.first())?;
+            if rest.len() != 1 + D {
+                return Err(format!("knn needs <k> and {D} coordinates"));
+            }
+            let mut coords = [0.0f32; D];
+            for (c, v) in coords.iter_mut().zip(&rest[1..]) {
+                *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
+            }
+            let r = engine.k_nearest(points, &Point::new(coords), k);
+            let hits: Vec<String> =
+                r.neighbors.iter().map(|(i, d)| format!("{i}:{:.6}", d.sqrt())).collect();
+            Ok(format!("knn cache={} {}", outcome_name(r.outcome), hits.join(" ")))
+        }
+        "hdbscan" => {
+            let k_pts = parse("<k_pts>", rest.first())?;
+            let min_cluster_size = parse("<min_cluster_size>", rest.get(1))?;
+            if k_pts < 1 || min_cluster_size < 2 {
+                return Err("hdbscan needs k_pts >= 1 and min_cluster_size >= 2".into());
+            }
+            let r = engine.hdbscan(points, Hdbscan { k_pts, min_cluster_size });
+            let noise = r.result.labels.iter().filter(|&&l| l == emst::hdbscan::NOISE).count();
+            Ok(format!(
+                "hdbscan cache={} clusters={} noise={}",
+                outcome_name(r.outcome),
+                r.result.num_clusters,
+                noise,
+            ))
+        }
+        "load" => {
+            let path = rest.first().ok_or("load needs a path")?;
+            let mut opts = HashMap::new();
+            opts.insert("input".to_string(), path.to_string());
+            *points = load_points::<D>(&opts)?;
+            let key = engine.ingest(points);
+            Ok(format!("loaded n={} key={key}", points.len()))
+        }
+        "stats" => {
+            let s = engine.stats();
+            Ok(format!(
+                "stats resident={} bytes={} hits={} misses={} reloads={} evictions={}",
+                engine.num_resident(),
+                engine.resident_bytes(),
+                s.hits,
+                s.misses,
+                s.reloads,
+                s.evictions,
+            ))
+        }
+        other => Err(format!(
+            "unknown command {other:?} (emst [out.csv] | subset <lo>..<hi> | knn <k> <x> <y> \
+             [<z>] | hdbscan <k_pts> <min_cluster_size> | load <points.csv> | stats | quit)"
+        )),
+    }
+}
+
+fn write_edges(path: &Path, edges: &[emst::core::Edge]) -> Result<(), String> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path).map_err(|e| e.to_string())?);
+    for e in edges {
+        writeln!(out, "{},{},{:?}", e.u, e.v, e.weight()).map_err(|e| e.to_string())?;
     }
     Ok(())
 }

@@ -16,6 +16,10 @@
 //! - [`hdbscan`] — mutual-reachability clustering on top of the EMST;
 //! - [`shard`] — Morton-range sharded EMST (parallel per-shard solves +
 //!   cross-shard Borůvka merge), with an out-of-core CSV path;
+//! - [`serve`] — the long-lived serving engine: resident shard artifacts
+//!   behind a `(content digest, K)`-keyed cache with LRU spill eviction,
+//!   answering repeated EMST/subset/HDBSCAN/k-NN queries without
+//!   re-running the local phase;
 //! - [`datasets`] — the synthetic evaluation datasets;
 //! - [`graph`] — the classical explicit-graph MST algorithms of the paper's
 //!   Background section (Borůvka, Kruskal, Prim).
@@ -43,5 +47,6 @@ pub use emst_graph as graph;
 pub use emst_hdbscan as hdbscan;
 pub use emst_kdtree as kdtree;
 pub use emst_morton as morton;
+pub use emst_serve as serve;
 pub use emst_shard as shard;
 pub use emst_wspd as wspd;

@@ -202,6 +202,139 @@ fn sharded_run_reports_shard_stats() {
 }
 
 #[test]
+fn usage_mentions_every_command_and_flag() {
+    // The usage text is the CLI's contract; a flag that exists but is not
+    // documented here (or vice versa) is a bug this test pins down.
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    let usage = String::from_utf8_lossy(&out.stderr).to_string();
+    for command in ["generate", "emst", "hdbscan", "serve"] {
+        assert!(usage.contains(command), "usage misses command {command}: {usage}");
+    }
+    for flag in [
+        "--kind",
+        "--n",
+        "--dim",
+        "--seed",
+        "--output",
+        "--input",
+        "--algorithm",
+        "--backend",
+        "--traversal",
+        "--shards",
+        "--max-resident",
+        "--k",
+        "--min-cluster-size",
+    ] {
+        assert!(usage.contains(flag), "usage misses flag {flag}: {usage}");
+    }
+    // And the serve REPL's command vocabulary is spelled out.
+    for repl in ["subset", "knn", "stats", "quit"] {
+        assert!(usage.contains(repl), "usage misses serve command {repl}: {usage}");
+    }
+}
+
+/// Pipes `commands` into `emst-cli serve` over `input` and returns stdout.
+fn serve_session(input: &std::path::Path, extra: &[&str], commands: &str) -> String {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(["serve", "--input", input.to_str().unwrap()])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(commands.as_bytes()).unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn serve_answers_repeated_queries_from_the_cache() {
+    let pts = tmp("serve-points.csv");
+    let mst = tmp("serve-mst.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "700", "--dim", "2"])
+        .args(["--seed", "9", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    let commands = format!(
+        "emst\nemst {}\nsubset 100..600\nknn 2 0.5 0.5\nhdbscan 5 20\nstats\nquit\n",
+        mst.to_str().unwrap()
+    );
+    let stdout = serve_session(&pts, &["--shards", "4", "--max-resident", "2"], &commands);
+
+    // Both full queries hit the resident artifacts (ingest ran at startup)
+    // and report the identical weight.
+    let emst_lines: Vec<&str> =
+        stdout.lines().filter(|l| l.starts_with("emst cache=hit")).collect();
+    assert_eq!(emst_lines.len(), 2, "stdout: {stdout}");
+    let weight_of = |line: &str| {
+        line.split("weight=").nth(1).unwrap().split_whitespace().next().unwrap().to_string()
+    };
+    assert_eq!(weight_of(emst_lines[0]), weight_of(emst_lines[1]));
+    assert!(emst_lines.iter().all(|l| l.contains("build=0.000s")), "stdout: {stdout}");
+    assert!(stdout.contains("subset cache=hit m=500 edges=499"), "stdout: {stdout}");
+    assert!(stdout.contains("knn cache=hit"), "stdout: {stdout}");
+    assert!(stdout.contains("hdbscan cache=hit"), "stdout: {stdout}");
+    assert!(stdout.contains("stats resident=1"), "stdout: {stdout}");
+    assert!(stdout.contains("misses=1"), "stdout: {stdout}");
+
+    // The written MST file matches the reported edge count.
+    let edges = std::fs::read_to_string(&mst).unwrap();
+    assert_eq!(edges.lines().count(), 699);
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&mst).ok();
+}
+
+#[test]
+fn serve_rejects_bad_commands_without_dying() {
+    let pts = tmp("serve-robust-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "100", "--dim", "2"])
+        .args(["--seed", "4", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let stdout = serve_session(
+        &pts,
+        &[],
+        "frobnicate\nsubset 90..300\nknn five 0 0\nhdbscan 0 1\nemst\nquit\n",
+    );
+    assert!(stdout.contains("error: unknown command \"frobnicate\""), "stdout: {stdout}");
+    assert!(stdout.contains("error: subset 90..300 out of range"), "stdout: {stdout}");
+    assert!(stdout.contains("error: invalid <k>"), "stdout: {stdout}");
+    assert!(stdout.contains("error: hdbscan needs"), "stdout: {stdout}");
+    // The engine survived all of it and still answered.
+    assert!(stdout.contains("emst cache=hit n=100 edges=99"), "stdout: {stdout}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn serve_strict_argument_errors() {
+    // Flag validation precedes input loading, so the path need not exist.
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--shards", "banana"]);
+    assert!(stderr.contains("invalid --shards"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--shards", "0"]);
+    assert!(stderr.contains("--shards must be at least 1"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--max-resident", "0"]);
+    assert!(stderr.contains("--max-resident must be at least 1"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--max-resident", "-2"]);
+    assert!(stderr.contains("invalid --max-resident"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--traversal", "recursive"]);
+    assert!(stderr.contains("invalid --traversal"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--shards", "2"]);
+    assert!(stderr.contains("--input is required"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "/no/such/file.csv"]);
+    assert!(stderr.contains("/no/such/file.csv"), "stderr: {stderr}");
+}
+
+#[test]
 fn traversal_flag_selects_a_walker_and_matches_the_default() {
     let pts = tmp("traversal-points.csv");
     assert!(bin()

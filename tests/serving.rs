@@ -1,0 +1,186 @@
+//! Cache-correctness tests of the serving layer: a warm answer must be
+//! *bit-identical* to the cold one on every backend and both traversals,
+//! eviction/reload must not change a single bit, and a mutated input must
+//! never be served from a stale entry.
+
+use emst::core::brute::brute_force_emst;
+use emst::core::edge::{verify_spanning_tree, weight_multiset};
+use emst::core::{Edge, EmstConfig, Traversal};
+use emst::datasets::{generate_2d, DatasetSpec};
+use emst::exec::{ExecSpace, GpuSim, Serial, Threads};
+use emst::geometry::Point;
+use emst::hdbscan::Hdbscan;
+use emst::serve::{CacheOutcome, ServeConfig, ServeEngine};
+use emst::shard::{emst_sharded_with, ShardConfig};
+
+fn cloud(n: usize, seed: u64) -> Vec<Point<2>> {
+    generate_2d(&DatasetSpec::hacc_like(n, seed))
+}
+
+fn config_with(traversal: Traversal, shards: usize, max_resident: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(shards, max_resident);
+    cfg.emst = EmstConfig { traversal, ..EmstConfig::default() };
+    cfg
+}
+
+fn check_warm_equals_cold<S: ExecSpace>(engine_space: S, anchor_space: &S, traversal: Traversal) {
+    let pts = cloud(600, 11);
+    let mut engine = ServeEngine::<_, 2>::new(engine_space, config_with(traversal, 5, 2));
+
+    let cold = engine.emst(&pts);
+    assert_eq!(cold.outcome, CacheOutcome::Miss);
+    assert!(cold.build_work.iterations > 0, "cold solve must run local Borůvka");
+    verify_spanning_tree(pts.len(), &cold.edges).unwrap();
+
+    // Exactness anchor: the one-shot sharded solve takes the identical
+    // build + merge path, and the brute-force oracle pins the weights.
+    let oneshot = emst_sharded_with(
+        anchor_space,
+        &pts,
+        &ShardConfig { emst: engine_emst_config(traversal), ..ShardConfig::new(5) },
+    );
+    assert_eq!(cold.edges, oneshot.edges);
+    assert_eq!(weight_multiset(&cold.edges), weight_multiset(&brute_force_emst(&pts)));
+
+    for _ in 0..2 {
+        let warm = engine.emst(&pts);
+        assert_eq!(warm.outcome, CacheOutcome::Hit);
+        // The local phase did not run: zero build work, no plan/local
+        // wall-clock, and the query work is merge-only traversal stats
+        // (cross-shard queries but zero Borůvka solve iterations).
+        assert!(warm.build_work.is_zero());
+        assert_eq!(warm.timings.get("plan"), 0.0);
+        assert_eq!(warm.timings.get("local"), 0.0);
+        assert!(warm.timings.get("merge") > 0.0);
+        assert!(warm.query_work.queries > 0);
+        assert_eq!(warm.query_work.iterations, 0);
+        // Bit-identical edges: same endpoints, same weight bits, same order.
+        assert_eq!(warm.edges, cold.edges);
+    }
+}
+
+fn engine_emst_config(traversal: Traversal) -> EmstConfig {
+    EmstConfig { traversal, ..EmstConfig::default() }
+}
+
+#[test]
+fn warm_solve_is_bit_identical_on_every_backend_and_both_traversals() {
+    for traversal in [Traversal::Stack, Traversal::Stackless] {
+        check_warm_equals_cold(Serial, &Serial, traversal);
+        check_warm_equals_cold(Threads, &Threads, traversal);
+    }
+    check_warm_equals_cold(GpuSim::new(), &GpuSim::new(), Traversal::Stackless);
+}
+
+#[test]
+fn eviction_then_requery_is_still_exact() {
+    let clouds: Vec<Vec<Point<2>>> = (0..3).map(|s| cloud(400, 20 + s)).collect();
+    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+    let first: Vec<_> = clouds.iter().map(|c| engine.emst(c)).collect();
+    assert_eq!(engine.num_resident(), 2, "budget must hold");
+    assert_eq!(engine.stats().evictions, 1);
+
+    // Cloud 0 was evicted: by key it reloads from its spill file; by
+    // points it re-ingests. Both must reproduce the original bits.
+    let by_key = engine.emst_by_key(first[0].key).unwrap();
+    assert_eq!(by_key.outcome, CacheOutcome::Reloaded);
+    assert_eq!(by_key.edges, first[0].edges);
+
+    // That reload evicted the then-LRU cloud 1; re-querying it with points
+    // also stays exact.
+    let again = engine.emst(&clouds[1]);
+    assert_eq!(again.edges, first[1].edges);
+    verify_spanning_tree(clouds[1].len(), &again.edges).unwrap();
+}
+
+#[test]
+fn mutated_input_changes_the_digest_and_invalidates() {
+    let pts = cloud(500, 33);
+    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 4));
+    let original = engine.emst(&pts);
+
+    // Flip one coordinate by one ULP: the digest must differ and the
+    // engine must miss (re-solve), never serve the stale tree.
+    let mut mutated = pts.clone();
+    mutated[123] = Point::new([f32::from_bits(pts[123][0].to_bits() ^ 1), pts[123][1]]);
+    assert_ne!(engine.key(&pts), engine.key(&mutated));
+    let fresh = engine.emst(&mutated);
+    assert_eq!(fresh.outcome, CacheOutcome::Miss);
+    assert_eq!(weight_multiset(&fresh.edges), weight_multiset(&brute_force_emst(&mutated)));
+    assert_eq!(engine.num_resident(), 2);
+
+    // The original cloud is still resident and still exact.
+    let warm = engine.emst(&pts);
+    assert_eq!(warm.outcome, CacheOutcome::Hit);
+    assert_eq!(warm.edges, original.edges);
+}
+
+#[test]
+fn shard_count_is_part_of_the_key() {
+    let pts = cloud(300, 41);
+    let mut e4 = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+    let mut e7 = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(7, 2));
+    assert_ne!(e4.key(&pts), e7.key(&pts));
+    // Different partitions, same tree weights.
+    let a = e4.emst(&pts);
+    let b = e7.emst(&pts);
+    assert_eq!(weight_multiset(&a.edges), weight_multiset(&b.edges));
+}
+
+#[test]
+fn subset_queries_reuse_the_cache_and_match_brute_force() {
+    let pts = cloud(500, 55);
+    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(6, 2));
+    engine.ingest(&pts);
+
+    for (lo, hi) in [(0u32, 500u32), (100, 400), (7, 9)] {
+        let subset: Vec<u32> = (lo..hi).collect();
+        let r = engine.emst_subset(&pts, &subset);
+        assert_eq!(r.outcome, CacheOutcome::Hit);
+        assert!(r.build_work.is_zero());
+        assert_eq!(r.edges.len(), subset.len() - 1);
+        let sub_pts: Vec<Point<2>> = subset.iter().map(|&i| pts[i as usize]).collect();
+        let brute = brute_force_emst(&sub_pts);
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute), "{lo}..{hi}");
+        // Edges are reported in original indices within the subset.
+        assert!(r.edges.iter().all(|e| subset.contains(&e.u) && subset.contains(&e.v)));
+    }
+
+    // The full-range "subset" equals the full solve edge-for-edge.
+    let full = engine.emst(&pts);
+    let full_subset = engine.emst_subset(&pts, &(0..500).collect::<Vec<_>>());
+    assert_eq!(sorted(full_subset.edges), sorted(full.edges));
+}
+
+fn sorted(mut edges: Vec<Edge>) -> Vec<Edge> {
+    edges.sort_by_key(Edge::key);
+    edges
+}
+
+#[test]
+fn knn_and_hdbscan_ride_the_resident_cloud() {
+    let pts = cloud(400, 71);
+    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+    engine.ingest(&pts);
+
+    // k-NN against the resident shards equals the brute-force answer.
+    let q = Point::new([0.25f32, -0.125]);
+    let r = engine.k_nearest(&pts, &q, 5);
+    assert_eq!(r.outcome, CacheOutcome::Hit);
+    assert!(r.query_work.node_visits > 0);
+    let mut brute: Vec<(u32, f32)> =
+        pts.iter().enumerate().map(|(i, p)| (i as u32, q.squared_distance(p))).collect();
+    brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    brute.truncate(5);
+    assert_eq!(r.neighbors, brute);
+
+    // HDBSCAN through the engine (warm scratch) equals the direct fit.
+    let params = Hdbscan { k_pts: 5, min_cluster_size: 10 };
+    let served = engine.hdbscan(&pts, params);
+    assert_eq!(served.outcome, CacheOutcome::Hit);
+    let direct = params.fit(&Threads, &pts);
+    assert_eq!(served.result.labels, direct.labels);
+    assert_eq!(served.result.num_clusters, direct.num_clusters);
+    let repeat = engine.hdbscan(&pts, params);
+    assert_eq!(repeat.result.labels, direct.labels);
+}
