@@ -41,13 +41,13 @@ fn main() {
         for &n in &sizes {
             let points = kind.generate::<2>(n, 0xF16);
             for shards in SHARD_COUNTS {
-                let mut resident = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+                let resident = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
                 resident.ingest(&points);
                 let subset: Vec<u32> = (n as u32 / 4..3 * n as u32 / 4).collect();
                 let (mut cold, mut warm, mut sub) = (vec![], vec![], vec![]);
                 let mut reference = None;
                 for _ in 0..repeats {
-                    let mut fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+                    let fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
                     let (c, c_secs) = time_it(|| fresh.emst(&points));
                     assert_eq!(c.outcome, CacheOutcome::Miss);
                     cold.push(c_secs);

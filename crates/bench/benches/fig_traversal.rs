@@ -56,7 +56,13 @@ fn main() {
 
     if let Some(pos) = std::env::args().position(|a| a == "--json") {
         if let Some(path) = std::env::args().nth(pos + 1) {
-            let snap = Snapshot { repeats, summary: vec![], traversal: cells, serving: vec![] };
+            let snap = Snapshot {
+                repeats,
+                summary: vec![],
+                traversal: cells,
+                serving: vec![],
+                serving_concurrent: vec![],
+            };
             snap.write(std::path::Path::new(&path)).expect("write JSON");
             eprintln!("wrote {path}");
         }

@@ -6,19 +6,25 @@
 //! `BENCH_*.json` for future PRs to regress against.
 //!
 //! ```text
-//! perf_snapshot [--json BENCH_PR4.json] [--sizes 10000,100000,1000000]
+//! perf_snapshot [--json BENCH_PR6.json] [--sizes 10000,100000,1000000]
 //!               [--summary-n 100000] [--repeats 3]
 //!               [--serving-sizes 10000,100000] [--serving-shards 2,4]
+//!               [--concurrent-workers 1,2,4] [--concurrent-queries 8]
 //! ```
 //!
 //! Without `--json` the tables are printed only. CI runs this at tiny
 //! sizes as a schema/harness smoke test and uploads the JSON artifact.
+//! `--concurrent-workers` drives the shared-engine warm-throughput grid
+//! (the first count is the scaling baseline, so keep `1` first); its
+//! cells record the host's CPU count, because throughput scaling cannot
+//! exceed the cores actually available to the harness.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use emst_bench::snapshot::{
-    measure_serving_grid, measure_summary, measure_traversal_grid, Snapshot,
+    measure_serving_concurrent, measure_serving_grid, measure_summary, measure_traversal_grid,
+    Snapshot,
 };
 
 struct Args {
@@ -26,6 +32,8 @@ struct Args {
     sizes: Vec<usize>,
     serving_sizes: Vec<usize>,
     serving_shards: Vec<usize>,
+    concurrent_workers: Vec<usize>,
+    concurrent_queries: usize,
     summary_n: usize,
     repeats: usize,
 }
@@ -36,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
         sizes: vec![10_000, 100_000],
         serving_sizes: vec![10_000, 100_000],
         serving_shards: vec![2, 4],
+        concurrent_workers: vec![1, 2, 4],
+        concurrent_queries: 8,
         summary_n: 50_000,
         repeats: 3,
     };
@@ -62,6 +72,16 @@ fn parse_args() -> Result<Args, String> {
                     .map(|s| s.trim().parse().map_err(|_| format!("bad shard count {s:?}")))
                     .collect::<Result<_, _>>()?;
             }
+            "--concurrent-workers" => {
+                args.concurrent_workers = value()?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad worker count {s:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--concurrent-queries" => {
+                args.concurrent_queries =
+                    value()?.parse().map_err(|_| "bad --concurrent-queries".to_string())?;
+            }
             "--summary-n" => {
                 args.summary_n = value()?.parse().map_err(|_| "bad --summary-n".to_string())?;
             }
@@ -77,6 +97,12 @@ fn parse_args() -> Result<Args, String> {
     if args.serving_shards.is_empty() || args.serving_shards.contains(&0) {
         return Err("--serving-shards must be non-empty positive counts".into());
     }
+    if args.concurrent_workers.is_empty()
+        || args.concurrent_workers.contains(&0)
+        || args.concurrent_queries == 0
+    {
+        return Err("--concurrent-workers and --concurrent-queries must be positive".into());
+    }
     Ok(args)
 }
 
@@ -87,7 +113,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: perf_snapshot [--json out.json] [--sizes n1,n2,...] [--summary-n n] \
-                 [--repeats r] [--serving-sizes n1,n2,...] [--serving-shards k]"
+                 [--repeats r] [--serving-sizes n1,n2,...] [--serving-shards k] \
+                 [--concurrent-workers w1,w2,...] [--concurrent-queries q]"
             );
             return ExitCode::FAILURE;
         }
@@ -147,7 +174,46 @@ fn main() -> ExitCode {
         );
     }
 
-    let snap = Snapshot { repeats: args.repeats, summary, traversal, serving };
+    println!();
+    println!(
+        "# concurrent serving (warm throughput, shared engine, Serial per query, workers {:?})",
+        args.concurrent_workers
+    );
+    println!(
+        "{:<12} {:>10} {:>4} {:>8} {:>12} {:>9} {:>9}",
+        "generator", "n", "K", "workers", "queries/s", "speedup", "cpus"
+    );
+    let mut serving_concurrent = vec![];
+    {
+        use emst_datasets::Kind;
+        let shards = *args.serving_shards.last().unwrap();
+        for (name, kind) in [("uniform", Kind::Uniform), ("dense", Kind::GeoLifeLike)] {
+            for &n in &args.serving_sizes {
+                serving_concurrent.extend(measure_serving_concurrent(
+                    name,
+                    kind,
+                    n,
+                    shards,
+                    &args.concurrent_workers,
+                    args.concurrent_queries,
+                ));
+            }
+        }
+    }
+    for cell in &serving_concurrent {
+        println!(
+            "{:<12} {:>10} {:>4} {:>8} {:>12.2} {:>8.2}x {:>9}",
+            cell.generator,
+            cell.n,
+            cell.shards,
+            cell.workers,
+            cell.queries_per_s,
+            cell.speedup_vs_1,
+            cell.host_cpus,
+        );
+    }
+
+    let snap = Snapshot { repeats: args.repeats, summary, traversal, serving, serving_concurrent };
     if let Some(path) = &args.json {
         if let Err(e) = snap.write(path) {
             eprintln!("error: cannot write {}: {e}", path.display());

@@ -17,6 +17,15 @@
 //!   medians of a full-EMST query against `emst_serve::ServeEngine`, per
 //!   `(generator, n, shards)` cell.
 //!
+//! - the **concurrent serving ablation**: warm full-EMST throughput of
+//!   one shared engine under 1/2/4 worker threads (queries run on the
+//!   `Serial` backend so the workers themselves are the parallelism),
+//!   with every concurrent answer asserted bit-identical to the
+//!   single-threaded one. Cells carry `host_cpus` because throughput
+//!   scaling is physically bounded by the cores of the measuring host —
+//!   on a 1-CPU container `speedup_vs_1 ≈ 1.0` is the *correct* reading,
+//!   not a harness failure.
+//!
 //! # JSON schema (`emst-bench-snapshot/1`)
 //!
 //! ```json
@@ -38,6 +47,11 @@
 //!   "serving": [
 //!     { "generator": "uniform", "n": 100000, "shards": 2,
 //!       "cold_s": 0.33, "warm_s": 0.06, "speedup_warm": 5.3 }
+//!   ],
+//!   "serving_concurrent": [
+//!     { "generator": "uniform", "n": 100000, "shards": 4, "workers": 2,
+//!       "queries": 32, "queries_per_s": 31.0, "speedup_vs_1": 1.9,
+//!       "host_cpus": 8 }
 //!   ]
 //! }
 //! ```
@@ -68,6 +82,12 @@
 //!   (median repeat query on the *resident* engine — digest + cross-shard
 //!   merge only; the local phase is skipped entirely).
 //!   `speedup_warm` = `cold_s / warm_s`.
+//! - `serving_concurrent[]` — warm-throughput scaling cells (added by
+//!   PR 6, additive): `generator`, `n`, `shards`, `workers` (threads
+//!   querying one shared engine), `queries` (total answered),
+//!   `queries_per_s` (aggregate throughput), `speedup_vs_1` (throughput
+//!   over the same grid's `workers = 1` cell), `host_cpus` (cores of the
+//!   measuring host — the upper bound on honest scaling).
 //!
 //! All durations are seconds. `null` replaces non-finite numbers.
 
@@ -156,6 +176,29 @@ impl ServingCell {
     }
 }
 
+/// One `(generator, n, shards, workers)` cell of the concurrent serving
+/// ablation: aggregate warm-query throughput of one shared engine.
+#[derive(Clone, Debug)]
+pub struct ServingConcurrentCell {
+    /// Generator name.
+    pub generator: String,
+    /// Point count.
+    pub n: usize,
+    /// Shard count (the cache key's `K`).
+    pub shards: usize,
+    /// Threads querying the shared engine concurrently.
+    pub workers: usize,
+    /// Total warm queries answered in the timed window.
+    pub queries: usize,
+    /// Aggregate throughput (queries / wall-clock seconds).
+    pub queries_per_s: f64,
+    /// Throughput over the same grid's `workers = 1` cell.
+    pub speedup_vs_1: f64,
+    /// CPU cores of the measuring host — the physical ceiling on
+    /// `speedup_vs_1` (on a 1-CPU container ≈1.0 is the expected value).
+    pub host_cpus: usize,
+}
+
 /// A complete snapshot, ready to serialize.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -167,6 +210,8 @@ pub struct Snapshot {
     pub traversal: Vec<TraversalCell>,
     /// Serving (cold vs warm) ablation cells.
     pub serving: Vec<ServingCell>,
+    /// Concurrent serving (warm throughput vs worker count) cells.
+    pub serving_concurrent: Vec<ServingConcurrentCell>,
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -239,12 +284,12 @@ pub fn measure_serving_cell(
 ) -> ServingCell {
     use emst_serve::{CacheOutcome, ServeConfig, ServeEngine};
     let points: Vec<Point<2>> = kind.generate(n, 0x5E21);
-    let mut resident = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+    let resident = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
     resident.ingest(&points);
     let mut cold = vec![];
     let mut warm = vec![];
     for _ in 0..repeats {
-        let mut fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+        let fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
         let t = std::time::Instant::now();
         let c = fresh.emst(&points);
         cold.push(t.elapsed().as_secs_f64());
@@ -275,6 +320,67 @@ pub fn measure_serving_grid(sizes: &[usize], shards: usize, repeats: usize) -> V
         for &n in sizes {
             cells.push(measure_serving_cell(name, kind, n, shards, repeats));
         }
+    }
+    cells
+}
+
+/// Measures warm-query throughput of one *shared* engine at each worker
+/// count in `workers_list` (the first entry is the scaling baseline;
+/// callers pass `[1, 2, 4]`). Queries run on the `Serial` backend so the
+/// worker threads are the only parallelism in play, and every answer is
+/// asserted bit-identical to the pre-warmed single-threaded reference —
+/// the harness refuses to report throughput for wrong bits.
+pub fn measure_serving_concurrent(
+    generator: &str,
+    kind: Kind,
+    n: usize,
+    shards: usize,
+    workers_list: &[usize],
+    queries_per_worker: usize,
+) -> Vec<ServingConcurrentCell> {
+    use emst_exec::Serial;
+    use emst_serve::{ServeConfig, ServeEngine};
+    let points: Vec<Point<2>> = kind.generate(n, 0xC0C);
+    let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(shards, 2));
+    // Warm twice: the second query runs against the merged-back
+    // accelerator, so the timed loop measures the steady state.
+    let reference = engine.emst(&points).edges;
+    assert_eq!(engine.emst(&points).edges, reference);
+    let host_cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut cells: Vec<ServingConcurrentCell> = vec![];
+    let mut base_rate = f64::NAN;
+    for &workers in workers_list {
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (engine, points, reference) = (&engine, &points, &reference);
+                scope.spawn(move || {
+                    for _ in 0..queries_per_worker {
+                        let warm = engine.emst(points);
+                        assert_eq!(
+                            &warm.edges, reference,
+                            "concurrent warm answer must be bit-identical"
+                        );
+                    }
+                });
+            }
+        });
+        let secs = start.elapsed().as_secs_f64();
+        let queries = workers * queries_per_worker;
+        let rate = queries as f64 / secs;
+        if cells.is_empty() {
+            base_rate = rate;
+        }
+        cells.push(ServingConcurrentCell {
+            generator: generator.to_string(),
+            n,
+            shards,
+            workers,
+            queries,
+            queries_per_s: rate,
+            speedup_vs_1: rate / base_rate,
+            host_cpus,
+        });
     }
     cells
 }
@@ -417,6 +523,23 @@ impl Snapshot {
                 if i + 1 == self.serving.len() { "" } else { "," },
             ));
         }
+        out.push_str("  ],\n  \"serving_concurrent\": [\n");
+        for (i, cell) in self.serving_concurrent.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"generator\": \"{}\", \"n\": {}, \"shards\": {}, \"workers\": {}, \
+                 \"queries\": {}, \"queries_per_s\": {}, \"speedup_vs_1\": {}, \
+                 \"host_cpus\": {} }}{}\n",
+                cell.generator,
+                cell.n,
+                cell.shards,
+                cell.workers,
+                cell.queries,
+                json_f64(cell.queries_per_s),
+                json_f64(cell.speedup_vs_1),
+                cell.host_cpus,
+                if i + 1 == self.serving_concurrent.len() { "" } else { "," },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -443,16 +566,20 @@ mod tests {
     fn snapshot_serializes_valid_shape() {
         let cell = measure_traversal_cell("uniform", Kind::Uniform, 500, 1);
         let serving = measure_serving_cell("uniform", Kind::Uniform, 600, 3, 1);
+        let concurrent = measure_serving_concurrent("uniform", Kind::Uniform, 600, 3, &[1, 2], 2);
         let snap = Snapshot {
             repeats: 1,
             summary: measure_summary(400, 1),
             traversal: vec![cell],
             serving: vec![serving],
+            serving_concurrent: concurrent,
         };
         let json = snap.to_json();
         assert!(json.contains("\"schema\": \"emst-bench-snapshot/1\""));
         assert!(json.contains("\"speedup_find_edges\""));
         assert!(json.contains("\"speedup_warm\""));
+        assert!(json.contains("\"speedup_vs_1\""));
+        assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("single-tree (Threads)"));
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the workspace).
@@ -476,5 +603,19 @@ mod tests {
         assert!(cell.cold_s > 0.0);
         assert!(cell.warm_s > 0.0);
         assert!(cell.speedup_warm().is_finite());
+    }
+
+    #[test]
+    fn concurrent_serving_cells_share_one_baseline() {
+        // Bit-identity is asserted inside the harness; here the shape: the
+        // first (workers = 1) cell is its own baseline by construction and
+        // every cell answered its full query budget.
+        let cells = measure_serving_concurrent("dense", Kind::GeoLifeLike, 600, 3, &[1, 2], 2);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].workers, 1);
+        assert_eq!(cells[0].speedup_vs_1, 1.0);
+        assert_eq!(cells[1].queries, 4);
+        assert!(cells.iter().all(|c| c.queries_per_s > 0.0 && c.host_cpus >= 1));
+        assert!(cells[1].speedup_vs_1.is_finite());
     }
 }

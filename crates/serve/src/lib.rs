@@ -10,7 +10,9 @@
 //! - the Morton-range [`emst_shard::ShardPlan`],
 //! - every shard's BVH (with its 4-wide rope-linked collapse) and local
 //!   MST, bundled as [`emst_shard::ShardArtifacts`],
-//! - a warm [`emst_core::BoruvkaScratch`] allocation pool —
+//! - the durable cross-query merge accelerator
+//!   ([`emst_shard::MergeAccel`]: floors + candidates learned by earlier
+//!   merges of the same cloud) —
 //!
 //! keyed by [`CloudKey`]: the **content digest** of the points paired with
 //! the shard count (see [`spill`] for the keying scheme). Admission is
@@ -28,8 +30,36 @@
 //!   re-solving just the partially-covered ones
 //!   ([`emst_shard::ShardArtifacts::merge_subset`]);
 //! - [`ServeEngine::k_nearest`] answers from the resident per-shard BVHs;
-//! - [`ServeEngine::hdbscan`] reuses the warm scratch pool via
+//! - [`ServeEngine::hdbscan`] reuses a warm scratch pool via
 //!   [`emst_hdbscan::Hdbscan::fit_scratch`].
+//!
+//! # Concurrency
+//!
+//! Every query method takes `&self`: the engine is [`Sync`] and N threads
+//! may query the same or different clouds simultaneously, with answers
+//! bit-identical to a single-threaded engine. The split:
+//!
+//! - **Shared, read-mostly**: the resident list (`RwLock<Vec<Arc<_>>>`;
+//!   queries take the read lock just long enough to clone an `Arc`,
+//!   admission/eviction takes the write lock) and each resident's
+//!   immutable points + artifacts.
+//! - **Shared, write-merged**: each resident's [`emst_shard::MergeAccel`].
+//!   A query copies it out under a read lock, runs the merge against the
+//!   copy, and folds the round-1 harvest back in under a write lock —
+//!   sound because any two queries that derive the same accel slot derive
+//!   the same value (see the `MergeAccel` docs), so absorb order is
+//!   irrelevant.
+//! - **Per-thread**: Borůvka/merge scratch pools, checked out of a free
+//!   list per query and returned after, so warm queries still allocate
+//!   nothing.
+//! - **Single-flight builds**: concurrent requests for the same
+//!   non-resident [`CloudKey`] coalesce on one build — one leader builds
+//!   (outside all locks), the rest park on a condvar and re-check.
+//!
+//! All atomics (stats, LRU ticks) use relaxed ordering on purpose: they
+//! are advisory counters and recency hints, and every correctness-bearing
+//! handoff (artifacts, accel contents, resident list) goes through a
+//! mutex/rwlock acquire-release pair.
 //!
 //! ```
 //! use emst_datasets::{generate_2d, DatasetSpec};
@@ -37,7 +67,7 @@
 //! use emst_serve::{CacheOutcome, ServeConfig, ServeEngine};
 //!
 //! let pts = generate_2d(&DatasetSpec::uniform(800, 42));
-//! let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+//! let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
 //!
 //! let cold = engine.emst(&pts); // miss: plan + local solves + merge
 //! assert_eq!(cold.outcome, CacheOutcome::Miss);
@@ -56,7 +86,10 @@
 
 pub mod spill;
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 use emst_bvh::TraversalStats;
 use emst_core::{BoruvkaScratch, Edge, EmstConfig};
@@ -64,7 +97,8 @@ use emst_exec::counters::CounterSnapshot;
 use emst_exec::{ExecSpace, PhaseTimings};
 use emst_geometry::{Point, Scalar};
 use emst_hdbscan::{Hdbscan, HdbscanResult};
-use emst_shard::{MergeScratch, ShardArtifacts, ShardConfig};
+use emst_shard::{MergeAccel, MergeScratch, ShardArtifacts, ShardConfig};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 pub use spill::{digest_points, CloudKey};
 
@@ -123,6 +157,17 @@ pub struct ServeStats {
     pub reloads: u64,
     /// Clouds evicted to spill files.
     pub evictions: u64,
+    /// Eviction spill writes that failed (the cloud is dropped from
+    /// durability: a later by-key query answers `UnknownKey`, never wrong
+    /// data — but the loss is now counted and logged instead of silent).
+    pub spill_failures: u64,
+    /// Verified 64-bit digest collisions: admissions where a resident
+    /// cloud shared the digest but not the bytes, forcing a salted key.
+    pub digest_collisions: u64,
+    /// Queries that parked on another thread's in-flight build of the
+    /// same key instead of rebuilding it (single-flight coalescing); each
+    /// also counts as a hit once the build lands.
+    pub coalesced: u64,
 }
 
 /// Errors of the handle-based (`*_by_key`) query paths.
@@ -201,26 +246,135 @@ pub struct HdbscanResponse {
     pub key: CloudKey,
 }
 
-/// One resident cloud: points + artifacts + warm scratch.
+/// One resident cloud. `key`, `points` and `artifacts` are immutable for
+/// the resident's whole life (any thread may read them through the `Arc`);
+/// the accelerator is the one shared-mutable piece and sits behind its own
+/// lock; `last_used` is a recency hint.
 struct Resident<const D: usize> {
     key: CloudKey,
     points: Vec<Point<D>>,
     artifacts: ShardArtifacts<D>,
-    scratch: BoruvkaScratch,
-    merge_scratch: MergeScratch,
-    last_used: u64,
+    /// Durable floors/candidates shared by every merge of this cloud.
+    /// Queries copy it out, merge against the copy, and `absorb` the
+    /// harvest back — never holding this lock during traversal work.
+    accel: RwLock<MergeAccel>,
+    /// Tick of the last query that touched this resident. Ticks come from
+    /// one `fetch_add` clock, so they are unique engine-wide (ties are
+    /// impossible) and the LRU minimum is unambiguous. `fetch_max` keeps
+    /// the slot exact under concurrent touches.
+    last_used: AtomicU64,
 }
 
-/// The serving engine. See the crate docs.
+/// Per-thread mutable query state, checked out of the engine's free pool
+/// for the duration of one query.
+struct QueryScratch {
+    boruvka: BoruvkaScratch,
+    merge: MergeScratch,
+    accel: MergeAccel,
+}
+
+impl QueryScratch {
+    fn new() -> Self {
+        Self {
+            boruvka: BoruvkaScratch::new(),
+            merge: MergeScratch::new(),
+            accel: MergeAccel::new(),
+        }
+    }
+}
+
+/// Rendezvous for single-flight builds: followers park on the condvar
+/// until the leader marks the flight done.
+struct BuildFlight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl BuildFlight {
+    fn new() -> Self {
+        Self { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Lifetime counters as atomics so `&self` queries can bump them; all
+/// relaxed — see the module docs on ordering.
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reloads: AtomicU64,
+    evictions: AtomicU64,
+    spill_failures: AtomicU64,
+    digest_collisions: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            reloads: self.reloads.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            spill_failures: self.spill_failures.load(Relaxed),
+            digest_collisions: self.digest_collisions.load(Relaxed),
+            coalesced: self.coalesced.load(Relaxed),
+        }
+    }
+}
+
+/// The serving engine. See the crate docs — in particular the
+/// "Concurrency" section for what is shared and what is per-thread.
 pub struct ServeEngine<S: ExecSpace, const D: usize> {
     space: S,
     config: ServeConfig,
-    residents: Vec<Resident<D>>,
-    clock: u64,
-    stats: ServeStats,
+    residents: RwLock<Vec<Arc<Resident<D>>>>,
+    /// Monotone recency clock; `fetch_add` hands every caller a distinct
+    /// tick, so two residents can never tie on `last_used`.
+    clock: AtomicU64,
+    stats: StatCells,
+    scratch_pool: Mutex<Vec<QueryScratch>>,
+    builds: Mutex<HashMap<CloudKey, Arc<BuildFlight>>>,
     spill_dir: PathBuf,
     /// Whether `spill_dir` is engine-owned (removed on drop).
     owns_spill_dir: bool,
+}
+
+/// Removes the flight from the in-flight map and releases its followers
+/// when dropped — including on an error return or a panicking build, so a
+/// dead leader can never wedge its followers.
+struct FlightLease<'a, S: ExecSpace, const D: usize> {
+    engine: &'a ServeEngine<S, D>,
+    key: CloudKey,
+    flight: Arc<BuildFlight>,
+}
+
+impl<S: ExecSpace, const D: usize> Drop for FlightLease<'_, S, D> {
+    fn drop(&mut self) {
+        self.engine.builds.lock().remove(&self.key);
+        self.flight.finish();
+    }
+}
+
+/// Outcome of one pass over the resident list for a `(digest, K)` pair.
+enum Lookup<const D: usize> {
+    /// A resident whose points verified equal byte-for-byte.
+    Hit(Arc<Resident<D>>),
+    /// No verified resident; admit under this key (salted past any
+    /// colliding residents).
+    Vacant(CloudKey),
 }
 
 impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
@@ -230,9 +384,8 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         let (spill_dir, owns) = match &config.spill_dir {
             Some(dir) => (dir.clone(), false),
             None => {
-                use std::sync::atomic::{AtomicU64, Ordering};
                 static COUNTER: AtomicU64 = AtomicU64::new(0);
-                let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+                let unique = COUNTER.fetch_add(1, Relaxed);
                 let dir = std::env::temp_dir()
                     .join(format!("emst-serve-{}-{unique}", std::process::id()));
                 (dir, true)
@@ -241,9 +394,11 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         Self {
             space,
             config,
-            residents: vec![],
-            clock: 0,
-            stats: ServeStats::default(),
+            residents: RwLock::new(vec![]),
+            clock: AtomicU64::new(0),
+            stats: StatCells::default(),
+            scratch_pool: Mutex::new(vec![]),
+            builds: Mutex::new(HashMap::new()),
             spill_dir,
             owns_spill_dir: owns,
         }
@@ -251,153 +406,277 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
 
     /// The key `points` would be served under (content digest + `K`).
     pub fn key(&self, points: &[Point<D>]) -> CloudKey {
-        CloudKey { digest: digest_points(points), shards: self.config.shards.max(1) }
+        CloudKey::minted(digest_points(points), self.num_shards())
     }
 
     /// Lifetime cache statistics.
     pub fn stats(&self) -> ServeStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Number of currently resident clouds.
     pub fn num_resident(&self) -> usize {
-        self.residents.len()
+        self.residents.read().len()
     }
 
-    /// Keys of the resident clouds, most recently used first.
+    /// Keys of the resident clouds, most recently used first. The sort is
+    /// over at most `max_resident` snapshot pairs, and unique ticks (see
+    /// `clock`) make the order total — no tie to break arbitrarily.
     pub fn resident_keys(&self) -> Vec<CloudKey> {
         let mut v: Vec<(u64, CloudKey)> =
-            self.residents.iter().map(|r| (r.last_used, r.key)).collect();
+            self.residents.read().iter().map(|r| (r.last_used.load(Relaxed), r.key)).collect();
         v.sort_by_key(|&(used, _)| std::cmp::Reverse(used));
         v.into_iter().map(|(_, k)| k).collect()
     }
 
-    /// Total heap bytes of all resident artifacts.
+    /// Total heap bytes of all resident state (artifacts + accelerators).
     pub fn resident_bytes(&self) -> usize {
-        self.residents.iter().map(|r| r.artifacts.resident_bytes()).sum()
+        self.residents
+            .read()
+            .iter()
+            .map(|r| r.artifacts.resident_bytes() + r.accel.read().resident_bytes())
+            .sum()
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    fn num_shards(&self) -> usize {
+        self.config.shards.max(1)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Relaxed) + 1
+    }
+
+    fn touch(&self, r: &Resident<D>) {
+        // `fetch_max`, not `store`: two racing touches keep the later
+        // tick, so recency stays exact under concurrency.
+        r.last_used.fetch_max(self.tick(), Relaxed);
     }
 
     fn shard_config(&self) -> ShardConfig {
         ShardConfig {
-            shards: self.config.shards.max(1),
+            shards: self.num_shards(),
             emst: self.config.emst,
             parallel_shards: self.config.parallel_shards,
         }
     }
 
-    /// Builds artifacts for `points` and admits them under `key`, evicting
-    /// the LRU resident first when the budget is full. Returns the new
-    /// resident's index plus the build work/timings spent on this call.
-    fn admit(
-        &mut self,
+    fn checkout(&self) -> QueryScratch {
+        self.scratch_pool.lock().pop().unwrap_or_else(QueryScratch::new)
+    }
+
+    fn checkin(&self, scratch: QueryScratch) {
+        self.scratch_pool.lock().push(scratch);
+    }
+
+    /// One verified scan of the resident list for `(digest, K)`: a content
+    /// match is a hit; otherwise the vacant key's salt skips past every
+    /// colliding resident so two distinct clouds never alias.
+    fn lookup(&self, digest: u64, points: &[Point<D>]) -> Lookup<D> {
+        let shards = self.num_shards();
+        let residents = self.residents.read();
+        let mut salt = 0u32;
+        for r in residents.iter() {
+            if r.key.digest != digest || r.key.shards != shards {
+                continue;
+            }
+            // Digest equality is necessary but not sufficient: verify the
+            // bytes (cheap at resident scale next to one merge round).
+            if r.points.len() == points.len() && r.points == points {
+                self.touch(r);
+                return Lookup::Hit(Arc::clone(r));
+            }
+            salt = salt.max(r.key.salt + 1);
+        }
+        Lookup::Vacant(CloudKey { digest, shards, salt })
+    }
+
+    /// Joins (or starts) the single-flight build of `key`: `Err(flight)`
+    /// means another thread is already building — park on it and re-check;
+    /// `Ok(lease)` makes the caller the leader.
+    fn begin_flight(&self, key: CloudKey) -> Result<FlightLease<'_, S, D>, Arc<BuildFlight>> {
+        let mut builds = self.builds.lock();
+        if let Some(flight) = builds.get(&key) {
+            return Err(Arc::clone(flight));
+        }
+        let flight = Arc::new(BuildFlight::new());
+        builds.insert(key, Arc::clone(&flight));
+        Ok(FlightLease { engine: self, key, flight })
+    }
+
+    /// Builds artifacts for `points` (outside all engine locks) and admits
+    /// the resident, evicting LRU clouds first when over budget.
+    fn build_and_admit(
+        &self,
         key: CloudKey,
         points: Vec<Point<D>>,
-    ) -> (usize, CounterSnapshot, PhaseTimings) {
-        let budget = self.config.max_resident.max(1);
-        while self.residents.len() >= budget {
-            let lru = self
-                .residents
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, r)| r.last_used)
-                .map(|(i, _)| i)
-                .expect("residents is non-empty");
-            let victim = self.residents.swap_remove(lru);
-            // Spill is best-effort durability for the handle-based path; a
-            // failed write only costs a later UnknownKey, never wrong data.
-            spill::write_spill(&self.spill_dir, victim.key, &victim.points).ok();
-            self.stats.evictions += 1;
-        }
+    ) -> (Arc<Resident<D>>, CounterSnapshot, PhaseTimings) {
         let artifacts = ShardArtifacts::build(&self.space, &points, &self.shard_config());
         let build_work = artifacts.build_work();
         let build_timings = artifacts.build_timings().clone();
-        let last_used = self.tick();
-        self.residents.push(Resident {
+        let accel = artifacts.new_accel();
+        let resident = Arc::new(Resident {
             key,
             points,
             artifacts,
-            scratch: BoruvkaScratch::new(),
-            merge_scratch: MergeScratch::new(),
-            last_used,
+            accel: RwLock::new(accel),
+            last_used: AtomicU64::new(self.tick()),
         });
-        (self.residents.len() - 1, build_work, build_timings)
-    }
-
-    /// Resolves `points` to a resident entry, admitting on a miss.
-    fn resolve(
-        &mut self,
-        points: &[Point<D>],
-    ) -> (usize, CacheOutcome, CounterSnapshot, PhaseTimings) {
-        let key = self.key(points);
-        if let Some(idx) = self.residents.iter().position(|r| r.key == key) {
-            self.stats.hits += 1;
-            let tick = self.tick();
-            self.residents[idx].last_used = tick;
-            return (idx, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new());
+        {
+            let mut residents = self.residents.write();
+            let budget = self.config.max_resident.max(1);
+            while residents.len() >= budget {
+                let lru = residents
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.last_used.load(Relaxed))
+                    .map(|(i, _)| i)
+                    .expect("residents is non-empty");
+                let victim = residents.swap_remove(lru);
+                // Single-flight means at most one build per key is ever in
+                // flight, and a key is only admitted when no verified
+                // resident holds it — so an eviction racing a re-admission
+                // of the same key cannot pick the key being admitted.
+                assert_ne!(victim.key, key, "evicting the key being admitted");
+                if let Err(e) = spill::write_spill(&self.spill_dir, victim.key, &victim.points) {
+                    // A failed write only costs a later `UnknownKey`,
+                    // never wrong data — but it must not be silent.
+                    self.stats.spill_failures.fetch_add(1, Relaxed);
+                    eprintln!("emst-serve: spill write failed for {}: {e}", victim.key);
+                }
+                self.stats.evictions.fetch_add(1, Relaxed);
+            }
+            residents.push(Arc::clone(&resident));
         }
-        self.stats.misses += 1;
-        let (idx, work, timings) = self.admit(key, points.to_vec());
-        (idx, CacheOutcome::Miss, work, timings)
+        (resident, build_work, build_timings)
     }
 
-    /// Resolves a key to a resident entry, reloading its spill on demand.
+    /// Resolves `points` to a resident, admitting on a miss (coalescing
+    /// concurrent misses for the same key onto one build).
+    fn resolve(
+        &self,
+        points: &[Point<D>],
+    ) -> (Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings) {
+        self.resolve_digest(digest_points(points), points)
+    }
+
+    /// [`Self::resolve`] with the digest supplied by the caller — the seam
+    /// the collision tests use to alias two distinct clouds.
+    fn resolve_digest(
+        &self,
+        digest: u64,
+        points: &[Point<D>],
+    ) -> (Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings) {
+        let mut waited = false;
+        loop {
+            let key = match self.lookup(digest, points) {
+                Lookup::Hit(r) => {
+                    self.stats.hits.fetch_add(1, Relaxed);
+                    if waited {
+                        self.stats.coalesced.fetch_add(1, Relaxed);
+                    }
+                    return (r, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new());
+                }
+                Lookup::Vacant(key) => key,
+            };
+            match self.begin_flight(key) {
+                Err(flight) => {
+                    flight.wait();
+                    waited = true;
+                }
+                Ok(_lease) => {
+                    self.stats.misses.fetch_add(1, Relaxed);
+                    if key.salt != 0 {
+                        self.stats.digest_collisions.fetch_add(1, Relaxed);
+                        eprintln!(
+                            "emst-serve: verified digest collision, admitting {} under salt {}",
+                            key, key.salt
+                        );
+                    }
+                    let (r, work, timings) = self.build_and_admit(key, points.to_vec());
+                    return (r, CacheOutcome::Miss, work, timings);
+                }
+            }
+        }
+    }
+
+    /// Resolves a key to a resident, reloading its spill on demand.
     fn resolve_key(
-        &mut self,
+        &self,
         key: CloudKey,
-    ) -> Result<(usize, CacheOutcome, CounterSnapshot, PhaseTimings), ServeError> {
+    ) -> Result<(Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings), ServeError> {
         // This engine's artifacts are always built with its own shard
         // count, so a key carrying any other `K` (say, minted by an engine
         // with a different config against a shared spill directory) can
         // never be served here — rebuilding would silently register a
         // `config.shards` partition under the foreign key.
-        if key.shards != self.config.shards.max(1) {
+        if key.shards != self.num_shards() {
             return Err(ServeError::UnknownKey(key));
         }
-        if let Some(idx) = self.residents.iter().position(|r| r.key == key) {
-            self.stats.hits += 1;
-            let tick = self.tick();
-            self.residents[idx].last_used = tick;
-            return Ok((idx, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new()));
+        let mut waited = false;
+        loop {
+            if let Some(r) = self.residents.read().iter().find(|r| r.key == key) {
+                self.stats.hits.fetch_add(1, Relaxed);
+                if waited {
+                    self.stats.coalesced.fetch_add(1, Relaxed);
+                }
+                self.touch(r);
+                return Ok((
+                    Arc::clone(r),
+                    CacheOutcome::Hit,
+                    CounterSnapshot::default(),
+                    PhaseTimings::new(),
+                ));
+            }
+            match self.begin_flight(key) {
+                Err(flight) => {
+                    flight.wait();
+                    waited = true;
+                }
+                Ok(_lease) => {
+                    // Errors drop the lease, releasing any followers to
+                    // retry (and fail) for themselves.
+                    let points = spill::read_spill::<D>(&self.spill_dir, key)
+                        .map_err(ServeError::Spill)?
+                        .ok_or(ServeError::UnknownKey(key))?;
+                    if digest_points(&points) != key.digest {
+                        return Err(ServeError::DigestMismatch(key));
+                    }
+                    self.stats.reloads.fetch_add(1, Relaxed);
+                    let (r, work, timings) = self.build_and_admit(key, points);
+                    return Ok((r, CacheOutcome::Reloaded, work, timings));
+                }
+            }
         }
-        let points = spill::read_spill::<D>(&self.spill_dir, key)
-            .map_err(ServeError::Spill)?
-            .ok_or(ServeError::UnknownKey(key))?;
-        if digest_points(&points) != key.digest {
-            return Err(ServeError::DigestMismatch(key));
-        }
-        self.stats.reloads += 1;
-        let (idx, work, timings) = self.admit(key, points);
-        Ok((idx, CacheOutcome::Reloaded, work, timings))
     }
 
     /// Ingests `points` (builds and admits artifacts) without running a
     /// query, returning the key future queries can use. Re-ingesting a
     /// resident cloud is a no-op hit.
-    pub fn ingest(&mut self, points: &[Point<D>]) -> CloudKey {
-        let (idx, _, _, _) = self.resolve(points);
-        self.residents[idx].key
+    pub fn ingest(&self, points: &[Point<D>]) -> CloudKey {
+        self.resolve(points).0.key
     }
 
     fn answer_emst(
-        &mut self,
-        idx: usize,
+        &self,
+        r: &Resident<D>,
         outcome: CacheOutcome,
         build_work: CounterSnapshot,
         build_timings: PhaseTimings,
     ) -> QueryResponse {
-        let r = &mut self.residents[idx];
-        let merged = {
-            let Resident { artifacts, merge_scratch, .. } = r;
-            artifacts.merge_scratch(&self.space, self.config.emst.traversal, merge_scratch)
-        };
+        let mut scratch = self.checkout();
+        // Copy-out / merge / absorb-back: the accel lock is only held for
+        // the two memcpy-scale critical sections, never across traversals.
+        scratch.accel.copy_from(&r.accel.read());
+        let merged = r.artifacts.merge_accel(
+            &self.space,
+            self.config.emst.traversal,
+            &mut scratch.merge,
+            &mut scratch.accel,
+        );
+        r.accel.write().absorb(&scratch.accel);
         let mut timings = build_timings;
         timings.absorb(&merged.stats.timings);
-        QueryResponse {
+        let response = QueryResponse {
             edges: merged.edges,
             total_weight: merged.total_weight,
             outcome,
@@ -406,24 +685,26 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             query_work: merged.stats.work,
             timings,
             resident_bytes: r.artifacts.resident_bytes(),
-        }
+        };
+        self.checkin(scratch);
+        response
     }
 
     /// Full EMST of `points`. Warm path (the cloud is resident): merge
     /// only — no plan, no local solves, no tree builds; the edges are
     /// bit-identical to the cold solve because both are the same
     /// deterministic merge over the same artifacts.
-    pub fn emst(&mut self, points: &[Point<D>]) -> QueryResponse {
-        let (idx, outcome, build_work, build_timings) = self.resolve(points);
-        self.answer_emst(idx, outcome, build_work, build_timings)
+    pub fn emst(&self, points: &[Point<D>]) -> QueryResponse {
+        let (r, outcome, build_work, build_timings) = self.resolve(points);
+        self.answer_emst(&r, outcome, build_work, build_timings)
     }
 
     /// [`Self::emst`] by key: serves a previously ingested cloud without
     /// resending its points, transparently reloading from the spill file
     /// if the cloud was evicted.
-    pub fn emst_by_key(&mut self, key: CloudKey) -> Result<QueryResponse, ServeError> {
-        let (idx, outcome, build_work, build_timings) = self.resolve_key(key)?;
-        Ok(self.answer_emst(idx, outcome, build_work, build_timings))
+    pub fn emst_by_key(&self, key: CloudKey) -> Result<QueryResponse, ServeError> {
+        let (r, outcome, build_work, build_timings) = self.resolve_key(key)?;
+        Ok(self.answer_emst(&r, outcome, build_work, build_timings))
     }
 
     /// Exact EMST of a subset of `points` (distinct original indices),
@@ -433,18 +714,20 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     ///
     /// # Panics
     /// On out-of-range or duplicate subset indices.
-    pub fn emst_subset(&mut self, points: &[Point<D>], subset: &[u32]) -> QueryResponse {
-        let (idx, outcome, build_work, build_timings) = self.resolve(points);
-        let emst_cfg = self.config.emst;
-        let r = &mut self.residents[idx];
+    pub fn emst_subset(&self, points: &[Point<D>], subset: &[u32]) -> QueryResponse {
+        let (r, outcome, build_work, build_timings) = self.resolve(points);
+        let mut scratch = self.checkout();
         // The resident copy is the authoritative cloud (it digested equal).
-        let sub = {
-            let Resident { points, artifacts, scratch, .. } = r;
-            artifacts.merge_subset(&self.space, points, subset, &emst_cfg, scratch)
-        };
+        let sub = r.artifacts.merge_subset(
+            &self.space,
+            &r.points,
+            subset,
+            &self.config.emst,
+            &mut scratch.boruvka,
+        );
         let mut timings = build_timings;
         timings.absorb(&sub.stats.timings);
-        QueryResponse {
+        let response = QueryResponse {
             edges: sub.edges,
             total_weight: sub.total_weight,
             outcome,
@@ -453,14 +736,15 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             query_work: sub.stats.work,
             timings,
             resident_bytes: r.artifacts.resident_bytes(),
-        }
+        };
+        self.checkin(scratch);
+        response
     }
 
     /// The `k` nearest ingested points to `query`, answered from the
     /// resident per-shard BVHs.
-    pub fn k_nearest(&mut self, points: &[Point<D>], query: &Point<D>, k: usize) -> KnnResponse {
-        let (idx, outcome, build_work, _) = self.resolve(points);
-        let r = &self.residents[idx];
+    pub fn k_nearest(&self, points: &[Point<D>], query: &Point<D>, k: usize) -> KnnResponse {
+        let (r, outcome, build_work, _) = self.resolve(points);
         let mut stats = TraversalStats::default();
         let neighbors = r.artifacts.k_nearest(query, k, &mut stats);
         KnnResponse {
@@ -481,17 +765,14 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     }
 
     /// HDBSCAN* clustering of `points`, drawing the EMST pass's working
-    /// arrays from the cloud's warm [`BoruvkaScratch`]
-    /// ([`Hdbscan::fit_scratch`]) — repeated clusterings (parameter
-    /// sweeps) stop paying per-call allocation, and the cloud stays
-    /// resident for EMST/k-NN traffic.
-    pub fn hdbscan(&mut self, points: &[Point<D>], params: Hdbscan) -> HdbscanResponse {
-        let (idx, outcome, _, _) = self.resolve(points);
-        let r = &mut self.residents[idx];
-        let result = {
-            let Resident { points, scratch, .. } = r;
-            params.fit_scratch(&self.space, points, scratch)
-        };
+    /// arrays from a warm [`BoruvkaScratch`] ([`Hdbscan::fit_scratch`]) —
+    /// repeated clusterings (parameter sweeps) stop paying per-call
+    /// allocation, and the cloud stays resident for EMST/k-NN traffic.
+    pub fn hdbscan(&self, points: &[Point<D>], params: Hdbscan) -> HdbscanResponse {
+        let (r, outcome, _, _) = self.resolve(points);
+        let mut scratch = self.checkout();
+        let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
+        self.checkin(scratch);
         HdbscanResponse { result, outcome, key: r.key }
     }
 }
@@ -518,10 +799,19 @@ mod tests {
             .collect()
     }
 
+    /// The engine is shareable across threads by reference (the tentpole
+    /// property behind every `&self` query).
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<ServeEngine<Serial, 2>>();
+        assert_sync::<ServeEngine<Threads, 3>>();
+    }
+
     #[test]
     fn warm_queries_skip_the_local_phase_and_match_exactly() {
         let pts = random_points_2d(700, 1);
-        let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+        let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
         let cold = engine.emst(&pts);
         assert_eq!(cold.outcome, CacheOutcome::Miss);
         assert!(cold.build_work.iterations > 0);
@@ -532,11 +822,15 @@ mod tests {
         assert_eq!(warm.timings.get("plan"), 0.0);
         assert_eq!(warm.timings.get("local"), 0.0);
         assert!(warm.timings.get("merge") > 0.0);
-        // Merge-only traversal stats: queries ran, no solve iterations.
-        assert!(warm.query_work.queries > 0);
+        // Merge-only traversal stats: no solve iterations ran.
         assert_eq!(warm.query_work.iterations, 0);
         assert_eq!(warm.edges, cold.edges);
-        assert_eq!(engine.stats(), ServeStats { hits: 1, misses: 1, ..Default::default() });
+        // The shared accelerator only shrinks warm traversal work: a
+        // second warm query re-derives nothing round 1 already proved.
+        let warmer = engine.emst(&pts);
+        assert_eq!(warmer.edges, cold.edges);
+        assert!(warmer.query_work.queries <= warm.query_work.queries);
+        assert_eq!(engine.stats(), ServeStats { hits: 2, misses: 1, ..Default::default() });
     }
 
     #[test]
@@ -544,7 +838,7 @@ mod tests {
         let a = random_points_2d(300, 2);
         let b = random_points_2d(300, 3);
         let c = random_points_2d(300, 4);
-        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
         let ra = engine.emst(&a);
         let key_a = ra.key;
         engine.emst(&b);
@@ -559,8 +853,8 @@ mod tests {
 
     #[test]
     fn unknown_key_is_an_error() {
-        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 1));
-        let missing = CloudKey { digest: 0xdead, shards: 2 };
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 1));
+        let missing = CloudKey::forged(0xdead, 2);
         assert!(matches!(engine.emst_by_key(missing), Err(ServeError::UnknownKey(_))));
     }
 
@@ -573,13 +867,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("emst-serve-k-test-{}", std::process::id()));
         let mut cfg8 = ServeConfig::new(8, 1);
         cfg8.spill_dir = Some(dir.clone());
-        let mut e8 = ServeEngine::<_, 2>::new(Serial, cfg8);
+        let e8 = ServeEngine::<_, 2>::new(Serial, cfg8);
         let key8 = e8.ingest(&pts);
         e8.emst(&random_points_2d(200, 10)); // evicts the first cloud to disk
 
         let mut cfg4 = ServeConfig::new(4, 1);
         cfg4.spill_dir = Some(dir.clone());
-        let mut e4 = ServeEngine::<_, 2>::new(Serial, cfg4);
+        let e4 = ServeEngine::<_, 2>::new(Serial, cfg4);
         assert!(matches!(e4.emst_by_key(key8), Err(ServeError::UnknownKey(k)) if k == key8));
         assert_eq!(e4.num_resident(), 0);
         std::fs::remove_dir_all(&dir).ok();
@@ -588,7 +882,7 @@ mod tests {
     #[test]
     fn ingest_then_query_by_key_is_warm() {
         let pts = random_points_2d(400, 5);
-        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
         let key = engine.ingest(&pts);
         let r = engine.emst_by_key(key).unwrap();
         assert_eq!(r.outcome, CacheOutcome::Hit);
@@ -599,7 +893,7 @@ mod tests {
     #[test]
     fn resident_accounting_reports_bytes_and_keys() {
         let pts = random_points_2d(500, 6);
-        let mut engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
         let key = engine.ingest(&pts);
         assert_eq!(engine.num_resident(), 1);
         assert_eq!(engine.resident_keys(), vec![key]);
@@ -607,5 +901,127 @@ mod tests {
         let r = engine.emst(&pts);
         assert!(r.resident_bytes > 0);
         assert!(r.resident_bytes <= engine.resident_bytes());
+    }
+
+    /// Satellite bugfix: eviction spill failures must be counted and must
+    /// not corrupt the cache (the evicted cloud just loses durability).
+    /// The spill dir nests under a regular *file*, so `create_dir_all`
+    /// fails even when running as root (mode bits would not).
+    #[test]
+    fn spill_write_failures_are_counted_not_silent() {
+        let blocker =
+            std::env::temp_dir().join(format!("emst-serve-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let mut cfg = ServeConfig::new(3, 1);
+        cfg.spill_dir = Some(blocker.join("spills"));
+        let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+
+        let a = random_points_2d(200, 12);
+        let b = random_points_2d(200, 13);
+        let key_a = engine.ingest(&a);
+        engine.emst(&b); // budget 1: evicts `a`, spill write must fail
+        let stats = engine.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.spill_failures, 1);
+        // The cloud lost durability — by-key now honestly errors (here the
+        // unreadable dir surfaces as a spill I/O error; with a writable dir
+        // that lost the file it would be `UnknownKey`) instead of serving
+        // wrong or stale data…
+        assert!(matches!(
+            engine.emst_by_key(key_a),
+            Err(ServeError::Spill(_) | ServeError::UnknownKey(_))
+        ));
+        // …but re-presenting the points still re-ingests and answers.
+        assert_eq!(engine.emst(&a).outcome, CacheOutcome::Miss);
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    /// Satellite bugfix: a 64-bit digest collision must not alias two
+    /// clouds onto one answer. Forced through the digest seam: both clouds
+    /// resolve under the same digest, the second gets a salted key, and
+    /// each keeps serving its own bits.
+    #[test]
+    fn verified_digest_collisions_get_salted_keys() {
+        let a = random_points_2d(150, 20);
+        let b = random_points_2d(150, 21);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 4));
+
+        let (ra, oa, _, _) = engine.resolve_digest(0x42, &a);
+        assert_eq!(oa, CacheOutcome::Miss);
+        assert_eq!(ra.key, CloudKey { digest: 0x42, shards: 3, salt: 0 });
+
+        // Same digest, different bytes: verified mismatch, salted admit.
+        let (rb, ob, _, _) = engine.resolve_digest(0x42, &b);
+        assert_eq!(ob, CacheOutcome::Miss);
+        assert_eq!(rb.key, CloudKey { digest: 0x42, shards: 3, salt: 1 });
+        assert_eq!(engine.stats().digest_collisions, 1);
+        assert_eq!(format!("{}", rb.key), "0000000000000042/K3/s1");
+
+        // Both clouds stay resident and each re-resolves to its own entry.
+        let (ra2, oa2, _, _) = engine.resolve_digest(0x42, &a);
+        let (rb2, ob2, _, _) = engine.resolve_digest(0x42, &b);
+        assert_eq!((oa2, ob2), (CacheOutcome::Hit, CacheOutcome::Hit));
+        assert_eq!(ra2.key.salt, 0);
+        assert_eq!(rb2.key.salt, 1);
+        assert_eq!(ra2.points, a);
+        assert_eq!(rb2.points, b);
+        // The hits did not mint new collisions.
+        assert_eq!(engine.stats().digest_collisions, 1);
+
+        // And the answers served under the colliding digest differ — the
+        // aliasing bug would have returned `a`'s tree for `b`.
+        let ea = self::answer(&engine, &ra2);
+        let eb = self::answer(&engine, &rb2);
+        assert_ne!(ea, eb);
+    }
+
+    fn answer(engine: &ServeEngine<Serial, 2>, r: &Resident<2>) -> Vec<Edge> {
+        engine
+            .answer_emst(r, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new())
+            .edges
+    }
+
+    /// Satellite: the recency clock hands out unique ticks under
+    /// contention — ties are impossible, so the LRU victim is unambiguous.
+    #[test]
+    fn clock_ticks_are_unique_across_threads() {
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 1));
+        let per_thread = 2000;
+        let mut all: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let engine = &engine;
+                    s.spawn(move || (0..per_thread).map(|_| engine.tick()).collect::<Vec<u64>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        let len = all.len();
+        all.dedup();
+        assert_eq!(all.len(), len, "duplicate recency tick observed");
+    }
+
+    /// Tentpole: concurrent misses for one key coalesce on a single build.
+    #[test]
+    fn concurrent_same_cloud_queries_single_flight() {
+        let pts = random_points_2d(800, 30);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+        let edges: Vec<Vec<Edge>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    let (engine, pts) = (&engine, &pts);
+                    s.spawn(move || engine.emst(pts).edges)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in &edges[1..] {
+            assert_eq!(e, &edges[0]);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1, "exactly one thread may build");
+        assert_eq!(stats.hits, 5, "everyone else must hit the landed build");
+        assert_eq!(engine.num_resident(), 1);
     }
 }

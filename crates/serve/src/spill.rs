@@ -29,18 +29,46 @@ use std::path::{Path, PathBuf};
 use emst_geometry::Point;
 
 /// Identity of a resident (or spilled) cloud: content digest plus shard
-/// count. See the module docs for the keying scheme.
+/// count, plus a collision salt. See the module docs for the keying
+/// scheme.
+///
+/// The digest is 64-bit, so distinct clouds *can* collide; the engine
+/// never trusts digest equality alone (hits verify the stored points).
+/// When verification finds two distinct clouds under one digest, the
+/// newcomer is admitted under the next free `salt` so both stay servable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CloudKey {
     /// FNV-1a 64 digest of `(D, n, coordinate bits)`.
     pub digest: u64,
     /// Shard count the artifacts were built with.
     pub shards: usize,
+    /// Collision-disambiguation salt; `0` for every key minted by
+    /// digesting points, bumped only by the engine's verified-collision
+    /// path.
+    pub salt: u32,
+}
+
+impl CloudKey {
+    /// The key `points` would normally be served under (salt `0`).
+    pub(crate) fn minted(digest: u64, shards: usize) -> Self {
+        Self { digest, shards, salt: 0 }
+    }
+
+    /// Test-only: a key with a chosen digest, bypassing [`digest_points`]
+    /// — the seam collision tests use to alias two distinct clouds.
+    #[doc(hidden)]
+    pub fn forged(digest: u64, shards: usize) -> Self {
+        Self::minted(digest, shards)
+    }
 }
 
 impl std::fmt::Display for CloudKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:016x}/K{}", self.digest, self.shards)
+        write!(f, "{:016x}/K{}", self.digest, self.shards)?;
+        if self.salt != 0 {
+            write!(f, "/s{}", self.salt)?;
+        }
+        Ok(())
     }
 }
 
@@ -68,9 +96,15 @@ pub fn digest_points<const D: usize>(points: &[Point<D>]) -> u64 {
     h
 }
 
-/// Spill file of `key` inside `dir`.
+/// Spill file of `key` inside `dir`. Salt-0 keys (the overwhelmingly
+/// common case) keep the historical name; salted keys get a suffix so two
+/// colliding clouds never clobber each other's spill.
 pub(crate) fn spill_path(dir: &Path, key: CloudKey) -> PathBuf {
-    dir.join(format!("cloud-{:016x}-k{}.csv", key.digest, key.shards))
+    if key.salt == 0 {
+        dir.join(format!("cloud-{:016x}-k{}.csv", key.digest, key.shards))
+    } else {
+        dir.join(format!("cloud-{:016x}-k{}-s{}.csv", key.digest, key.shards, key.salt))
+    }
 }
 
 /// Writes `points` to `key`'s spill file in `dir` (created if needed).
@@ -165,12 +199,12 @@ mod tests {
         let pts: Vec<Point<3>> = (0..100)
             .map(|i| Point::new([i as f32 * 0.1, -(i as f32), 1.0 / (i + 1) as f32]))
             .collect();
-        let key = CloudKey { digest: digest_points(&pts), shards: 4 };
+        let key = CloudKey::minted(digest_points(&pts), 4);
         write_spill(&dir, key, &pts).unwrap();
         let back = read_spill::<3>(&dir, key).unwrap().unwrap();
         assert_eq!(back, pts);
         assert_eq!(digest_points(&back), key.digest);
-        let missing = CloudKey { digest: 1, shards: 4 };
+        let missing = CloudKey::minted(1, 4);
         assert!(read_spill::<3>(&dir, missing).unwrap().is_none());
         std::fs::remove_dir_all(&dir).ok();
     }

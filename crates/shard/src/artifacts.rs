@@ -56,7 +56,7 @@ use emst_exec::{Counters, ExecSpace, PhaseTimings};
 use emst_geometry::{Point, Scalar};
 use rayon::prelude::*;
 
-use crate::merge::{cross_shard_boruvka, CrossBounds, MergeShard, MergeShardView};
+use crate::merge::{cross_shard_boruvka, CrossBounds, MergeAccel, MergeShard, MergeShardView};
 use crate::plan::ShardPlan;
 use crate::{MergeScratch, ShardConfig, ShardStats, ShardedResult};
 
@@ -236,6 +236,37 @@ impl<const D: usize> ShardArtifacts<D> {
         traversal: Traversal,
         scratch: &mut MergeScratch,
     ) -> ShardedResult {
+        self.merge_with(space, traversal, scratch, None)
+    }
+
+    /// A pristine [`MergeAccel`] for this cloud: floors seeded from the
+    /// cached entry bounds, no candidates yet. Feed it to
+    /// [`Self::merge_accel`]; it is only valid for these exact artifacts.
+    pub fn new_accel(&self) -> MergeAccel {
+        MergeAccel::from_bounds(&self.bounds, self.n, self.locals.len())
+    }
+
+    /// [`Self::merge_scratch`] additionally reading and re-depositing the
+    /// durable cross-query floors/candidates in `accel` (built by
+    /// [`Self::new_accel`]). The selected edges are bit-identical with or
+    /// without the accelerator; only the traversal work shrinks.
+    pub fn merge_accel<S: ExecSpace>(
+        &self,
+        space: &S,
+        traversal: Traversal,
+        scratch: &mut MergeScratch,
+        accel: &mut MergeAccel,
+    ) -> ShardedResult {
+        self.merge_with(space, traversal, scratch, Some(accel))
+    }
+
+    fn merge_with<S: ExecSpace>(
+        &self,
+        space: &S,
+        traversal: Traversal,
+        scratch: &mut MergeScratch,
+        accel: Option<&mut MergeAccel>,
+    ) -> ShardedResult {
         let mut timings = PhaseTimings::new();
         let counters = Counters::new();
         let mut result = ShardedResult {
@@ -263,6 +294,7 @@ impl<const D: usize> ShardArtifacts<D> {
             &counters,
             &mut timings,
             Some(&self.bounds),
+            accel,
             scratch,
         );
         timings.record("merge", mst_start.elapsed().as_secs_f64());
@@ -392,8 +424,9 @@ impl<const D: usize> ShardArtifacts<D> {
             config.traversal,
             &counters,
             &mut timings,
-            // Subset views renumber vertices, so the cached full-cloud
-            // bounds do not apply.
+            // Subset views renumber vertices, so neither the cached
+            // full-cloud bounds nor any accelerator applies.
+            None,
             None,
             &mut MergeScratch::new(),
         );

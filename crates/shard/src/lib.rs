@@ -48,7 +48,7 @@ pub mod plan;
 pub mod stream;
 
 pub use artifacts::ShardArtifacts;
-pub use merge::MergeScratch;
+pub use merge::{MergeAccel, MergeScratch};
 pub use plan::ShardPlan;
 pub use stream::{emst_sharded_csv, StreamConfig};
 

@@ -261,6 +261,162 @@ impl CrossBounds {
     }
 }
 
+/// Durable cross-query acceleration state for one cloud's merges: the
+/// per-`(vertex, shard)` floors and per-vertex candidates that hold for
+/// *every* merge over the same shards, not just the query that learned
+/// them.
+///
+/// Everything here is harvested from **round 1 only** of a merge. In round
+/// 1 every component is a singleton with a distinct label, so no
+/// same-component skip can fire anywhere — node labels never equal a
+/// foreign query's label, leaf points are never label-rejected, and the
+/// hoisted root skip is impossible. Round-1 facts are therefore purely
+/// geometric:
+///
+/// - a failed `(v, s)` query's `pruned_min_sq` bounds `v`'s distance to
+///   every point of shard `s` (nothing was label-hidden), and
+/// - a found candidate is `v`'s global minimum outgoing cross-shard edge
+///   under the `(weight, min, max)` order.
+///
+/// Rounds ≥ 2 tighten the *working* copies with label-dependent facts
+/// (same-component leaves are still cross-shard edges to a fresh merge)
+/// and must never land here — which is exactly why the harvest happens
+/// once, right after round 1's query phase.
+///
+/// Two queries that both derive a slot derive the *same value* (the
+/// geometry is deterministic and candidates are unique under the total
+/// order), so [`MergeAccel::absorb`] is order-independent: concurrent
+/// queries can merge their harvests back into a shared instance in any
+/// interleaving and reach the same state.
+pub struct MergeAccel {
+    stride: usize,
+    /// `cross_dist[v * stride + s]`: tightened lower bound on `v`'s
+    /// distance to any point of shard `s`.
+    cross_dist: Vec<Scalar>,
+    /// Per-vertex lower bound on the min of `cross_dist` over other shards.
+    reach: Vec<Scalar>,
+    /// Squared weight of `v`'s minimum outgoing cross edge (when known).
+    cand_d: Vec<Scalar>,
+    /// Min endpoint of that edge; `u32::MAX` marks an empty slot.
+    cand_a: Vec<u32>,
+    /// Max endpoint of that edge.
+    cand_b: Vec<u32>,
+}
+
+impl MergeAccel {
+    /// Pristine accelerator over `bounds`: floors start at the build-time
+    /// entry bounds, no candidates known yet.
+    pub(crate) fn from_bounds(bounds: &CrossBounds, n_vertices: usize, stride: usize) -> Self {
+        debug_assert_eq!(bounds.cross_dist.len(), n_vertices * stride);
+        Self {
+            stride,
+            cross_dist: bounds.cross_dist.clone(),
+            reach: bounds.reach.clone(),
+            cand_d: vec![Scalar::INFINITY; n_vertices],
+            cand_a: vec![u32::MAX; n_vertices],
+            cand_b: vec![u32::MAX; n_vertices],
+        }
+    }
+
+    /// An empty accelerator, for pools that size lazily via
+    /// [`MergeAccel::copy_from`].
+    pub fn new() -> Self {
+        Self {
+            stride: 0,
+            cross_dist: vec![],
+            reach: vec![],
+            cand_d: vec![],
+            cand_a: vec![],
+            cand_b: vec![],
+        }
+    }
+
+    /// Becomes a copy of `other` (resizing as needed, reusing allocations).
+    pub fn copy_from(&mut self, other: &Self) {
+        self.stride = other.stride;
+        self.cross_dist.clone_from(&other.cross_dist);
+        self.reach.clone_from(&other.reach);
+        self.cand_d.clone_from(&other.cand_d);
+        self.cand_a.clone_from(&other.cand_a);
+        self.cand_b.clone_from(&other.cand_b);
+    }
+
+    /// Folds another accelerator over the same cloud into this one: floors
+    /// take the elementwise max (both are valid lower bounds, so the max
+    /// is the tighter valid bound), candidates fill empty slots. When both
+    /// sides know a candidate they know the *same* one — each is the
+    /// unique total-order minimum cross edge of its vertex — so merge
+    /// order cannot matter.
+    pub fn absorb(&mut self, other: &Self) {
+        debug_assert_eq!(self.stride, other.stride);
+        debug_assert_eq!(self.cross_dist.len(), other.cross_dist.len());
+        for (mine, theirs) in self.cross_dist.iter_mut().zip(&other.cross_dist) {
+            *mine = mine.max(*theirs);
+        }
+        for (mine, theirs) in self.reach.iter_mut().zip(&other.reach) {
+            *mine = mine.max(*theirs);
+        }
+        for v in 0..self.cand_a.len() {
+            if other.cand_a[v] == u32::MAX {
+                continue;
+            }
+            if self.cand_a[v] == u32::MAX {
+                self.cand_d[v] = other.cand_d[v];
+                self.cand_a[v] = other.cand_a[v];
+                self.cand_b[v] = other.cand_b[v];
+            } else {
+                debug_assert_eq!(
+                    (self.cand_a[v], self.cand_b[v], self.cand_d[v].to_bits()),
+                    (other.cand_a[v], other.cand_b[v], other.cand_d[v].to_bits()),
+                    "two derivations of vertex {v}'s minimum cross edge disagree"
+                );
+            }
+        }
+    }
+
+    /// Snapshots a merge's round-1 working state (see the type docs for
+    /// why round 1, and only round 1, is durable).
+    fn harvest(
+        &mut self,
+        cross_dist: &[Scalar],
+        reach: &[Scalar],
+        cand_d: &[Scalar],
+        cand_a: &[u32],
+        cand_b: &[u32],
+    ) {
+        self.cross_dist.clone_from_slice(cross_dist);
+        self.reach.clone_from_slice(reach);
+        self.cand_d.clone_from_slice(cand_d);
+        self.cand_a.clone_from_slice(cand_a);
+        self.cand_b.clone_from_slice(cand_b);
+    }
+
+    /// Number of vertices whose minimum outgoing cross edge is known.
+    pub fn num_candidates(&self) -> usize {
+        self.cand_a.iter().filter(|&&a| a != u32::MAX).count()
+    }
+
+    /// Sum of the per-`(vertex, shard)` floor values — monotone under
+    /// merges and harvests, so tests can assert the accelerator only ever
+    /// tightens.
+    pub fn floor_mass(&self) -> f64 {
+        self.cross_dist.iter().filter(|d| d.is_finite()).map(|&d| d as f64).sum()
+    }
+
+    /// Heap bytes the accelerator holds resident.
+    pub fn resident_bytes(&self) -> usize {
+        (self.cross_dist.len() + self.reach.len() + self.cand_d.len())
+            * std::mem::size_of::<Scalar>()
+            + (self.cand_a.len() + self.cand_b.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+impl Default for MergeAccel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Reusable allocation pool of the cross-shard merge: every per-merge
 /// array, sized on first use and recycled across calls. A long-lived
 /// server (`emst_serve`) keeps one per resident cloud so warm repeat
@@ -339,7 +495,13 @@ impl MergeScratch {
 /// `bounds` carries the precomputed [`CrossBounds`] when the caller has
 /// them cached (the resident-artifact paths); `None` recomputes them here.
 /// `scratch` is the caller's allocation pool — reused across calls, never
-/// carrying semantic state between them.
+/// carrying semantic state between them. `accel`, when given, must be an
+/// accelerator for this exact cloud (same vertex numbering and shards,
+/// initialised via [`MergeAccel::from_bounds`]): the merge starts its
+/// working floors/candidates from it instead of the pristine bounds, and
+/// deposits the round-1 harvest back into it. The selected edges are
+/// bit-identical with or without it (every accel-driven skip is provably
+/// work the walkers would have discarded).
 ///
 /// Panics if `H` is disconnected, which cannot happen for the two callers:
 /// local-MST seeds connect each shard internally and the cross-shard edge
@@ -355,6 +517,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     counters: &Counters,
     timings: &mut PhaseTimings,
     bounds: Option<&CrossBounds>,
+    mut accel: Option<&mut MergeAccel>,
     scratch: &mut MergeScratch,
 ) -> MergeOutcome {
     debug_assert!(shards.iter().all(|s| s.bvh.num_leaves() > 0));
@@ -399,10 +562,24 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     } = scratch;
     // Working copies: the query rounds tighten `cross_dist`/`reach` with
     // durable floors learned from failed queries, so the pristine bounds
-    // stay untouched in the cache.
+    // stay untouched in the cache. An accelerator seeds tighter floors and
+    // known candidates from earlier merges of the same cloud.
     let (shard_of, rank_of) = (&bounds.shard_of, &bounds.rank_of);
-    reach.clone_from(&bounds.reach);
-    cross_dist.clone_from(&bounds.cross_dist);
+    match accel.as_deref() {
+        Some(a) => {
+            debug_assert_eq!(a.stride, stride, "accel built for a different sharding");
+            debug_assert_eq!(a.cand_a.len(), n_vertices, "accel built for a different cloud");
+            reach.clone_from(&a.reach);
+            cross_dist.clone_from(&a.cross_dist);
+            cand_d.copy_from_slice(&a.cand_d);
+            cand_a.copy_from_slice(&a.cand_a);
+            cand_b.copy_from_slice(&a.cand_b);
+        }
+        None => {
+            reach.clone_from(&bounds.reach);
+            cross_dist.clone_from(&bounds.cross_dist);
+        }
+    }
     live_seeds.extend_from_slice(seeds);
 
     let mut edges: Vec<Edge> = Vec::with_capacity(n_vertices - 1);
@@ -655,6 +832,17 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
             counters.add_subtrees_skipped(work.stats.skipped);
         });
 
+        // Round 1's post-query working state is durable (see [`MergeAccel`]
+        // docs): snapshot it before any label-dependent round can taint the
+        // working arrays. Later rounds never write back.
+        if rounds == 1 {
+            if let Some(a) = accel.as_deref_mut() {
+                timings.time("merge.harvest", || {
+                    a.harvest(cross_dist, reach, cand_d, cand_a, cand_b);
+                });
+            }
+        }
+
         // Phase 4: resolve each component's winner. Among candidates that
         // attain `comp_key = (weight, min endpoint)`, the smallest packed
         // `(min, max)` pair wins — completing the total order.
@@ -799,6 +987,7 @@ mod tests {
             &counters,
             &mut timings,
             None,
+            None,
             &mut MergeScratch::new(),
         );
         assert_eq!(out.edges.len(), 59);
@@ -836,11 +1025,77 @@ mod tests {
             &counters,
             &mut timings,
             None,
+            None,
             &mut MergeScratch::new(),
         );
         verify_spanning_tree(120, &out.edges).unwrap();
         assert_eq!(weight_multiset(&out.edges), weight_multiset(&seeds));
         assert_eq!(out.boundary_candidates, 0);
+    }
+
+    /// Repeated merges through a shared accelerator stay bit-identical to
+    /// the accel-free merge, while the accelerator itself only tightens:
+    /// floors grow monotonically and known candidates never vanish.
+    #[test]
+    fn accelerated_merges_are_bit_identical_and_monotone() {
+        let pts = random_points_2d(90, 13);
+        let (a, b) = pts.split_at(40);
+        let va: Vec<u32> = (0..40).collect();
+        let vb: Vec<u32> = (40..90).collect();
+        let shards = [MergeShard::build(&Serial, a, &va), MergeShard::build(&Serial, b, &vb)];
+        let views: Vec<_> = shards.iter().map(MergeShard::view).collect();
+        let bounds = CrossBounds::compute(&Serial, &views, 90, None);
+        // Local-MST seeds give every vertex a finite round-1 radius, so
+        // interior queries fail and raise durable floors.
+        let mut seeds = brute_force_emst(a);
+        seeds
+            .extend(brute_force_emst(b).iter().map(|e| Edge::new(e.u + 40, e.v + 40, e.weight_sq)));
+        let counters = Counters::new();
+        let mut scratch = MergeScratch::new();
+
+        let seeds = &seeds;
+        let mut run = |accel: Option<&mut MergeAccel>| {
+            let mut timings = PhaseTimings::new();
+            cross_shard_boruvka(
+                &Serial,
+                &views,
+                90,
+                seeds,
+                Traversal::default(),
+                &counters,
+                &mut timings,
+                Some(&bounds),
+                accel,
+                &mut scratch,
+            )
+            .edges
+        };
+        let baseline = run(None);
+
+        let mut accel = MergeAccel::from_bounds(&bounds, 90, 2);
+        let pristine_mass = accel.floor_mass();
+        let mut last_mass = pristine_mass;
+        let mut last_cands = 0;
+        for _ in 0..3 {
+            let edges = run(Some(&mut accel));
+            assert_eq!(edges, baseline, "accelerated merge must stay bit-identical");
+            assert!(accel.floor_mass() >= last_mass, "floors must only tighten");
+            assert!(accel.num_candidates() >= last_cands, "candidates must persist");
+            last_mass = accel.floor_mass();
+            last_cands = accel.num_candidates();
+        }
+        assert!(last_cands > 0, "round 1 must have harvested some candidates");
+        assert!(last_mass > pristine_mass, "failed queries must have raised floors");
+
+        // Absorbing a fresh harvest into a pristine accel reproduces it —
+        // and absorbing it again is idempotent.
+        let mut merged = MergeAccel::from_bounds(&bounds, 90, 2);
+        merged.absorb(&accel);
+        merged.absorb(&accel);
+        assert_eq!(merged.floor_mass(), accel.floor_mass());
+        assert_eq!(merged.num_candidates(), accel.num_candidates());
+        let edges = run(Some(&mut merged));
+        assert_eq!(edges, baseline);
     }
 
     #[test]
@@ -858,6 +1113,7 @@ mod tests {
             Traversal::default(),
             &counters,
             &mut timings,
+            None,
             None,
             &mut MergeScratch::new(),
         );

@@ -306,6 +306,7 @@ fn stream_shards<S: ExecSpace, const D: usize>(
                 counters,
                 timings,
                 None,
+                None,
                 &mut merge_scratch,
             );
             merge_rounds += out.rounds;

@@ -49,7 +49,7 @@ fn usage() -> ExitCode {
                     [--min-cluster-size <m>] [--output <labels.csv>]
   emst-cli serve    --input <points.csv> [--dim 2|3] [--shards <K>]
                     [--max-resident <clouds>] [--backend serial|threads|gpusim]
-                    [--traversal stackless|stack]
+                    [--traversal stackless|stack] [--workers <N>]
                     stdin commands: emst [out.csv] | subset <lo>..<hi> |
                     knn <k> <x> <y> [<z>] | hdbscan <k_pts> <min_cluster_size> |
                     load <points.csv> | stats | quit"
@@ -308,6 +308,7 @@ fn report_and_write(
 fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String> {
     let shards: usize = parse_opt(opts, "shards", 4)?;
     let max_resident: usize = parse_opt(opts, "max-resident", 4)?;
+    let workers: usize = parse_opt(opts, "workers", 1)?;
     let backend = opts.get("backend").map(String::as_str).unwrap_or("threads");
     let traversal = match opts.get("traversal") {
         None => Traversal::default(),
@@ -320,29 +321,59 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
     if max_resident == 0 {
         return Err("--max-resident must be at least 1".into());
     }
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
     let points = load_points::<D>(opts)?;
     let mut config = ServeConfig::new(shards, max_resident);
     config.emst = EmstConfig { traversal, ..EmstConfig::default() };
     match backend {
-        "serial" => serve_repl(ServeEngine::<_, D>::new(Serial, config), points),
-        "threads" => serve_repl(ServeEngine::<_, D>::new(Threads, config), points),
-        "gpusim" => serve_repl(ServeEngine::<_, D>::new(GpuSim::new(), config), points),
+        "serial" => serve_repl(&ServeEngine::<_, D>::new(Serial, config), points, workers),
+        "threads" => serve_repl(&ServeEngine::<_, D>::new(Threads, config), points, workers),
+        "gpusim" => serve_repl(&ServeEngine::<_, D>::new(GpuSim::new(), config), points, workers),
         other => Err(format!("unknown --backend {other}")),
     }
 }
 
 fn serve_repl<S: ExecSpace, const D: usize>(
-    mut engine: ServeEngine<S, D>,
+    engine: &ServeEngine<S, D>,
+    points: Vec<Point<D>>,
+    workers: usize,
+) -> Result<(), String> {
+    let key = engine.ingest(&points);
+    eprintln!(
+        "serving {} points as {key} with {workers} worker{} (commands on stdin; `quit` to exit)",
+        points.len(),
+        if workers == 1 { "" } else { "s" },
+    );
+    if workers == 1 {
+        serve_sequential(engine, points)
+    } else {
+        serve_pool(engine, points, workers)
+    }
+}
+
+/// Loads a new cloud for the REPL's `load` command; returns the response
+/// line and the points the session serves from now on.
+fn load_cloud<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
+    rest: &[&str],
+) -> Result<(String, Vec<Point<D>>), String> {
+    let path = rest.first().ok_or("load needs a path")?;
+    let mut opts = HashMap::new();
+    opts.insert("input".to_string(), path.to_string());
+    let points = load_points::<D>(&opts)?;
+    let key = engine.ingest(&points);
+    Ok((format!("loaded n={} key={key}", points.len()), points))
+}
+
+/// The historical single-threaded REPL: one command, one response, in
+/// order, with no request-id prefix (`--workers 1`, the default).
+fn serve_sequential<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
     mut points: Vec<Point<D>>,
 ) -> Result<(), String> {
     use std::io::BufRead;
-    let key = engine.ingest(&points);
-    eprintln!("serving {} points as {key} (commands on stdin; `quit` to exit)", points.len());
-    let outcome_name = |o: CacheOutcome| match o {
-        CacheOutcome::Hit => "hit",
-        CacheOutcome::Miss => "miss",
-        CacheOutcome::Reloaded => "reloaded",
-    };
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
@@ -353,21 +384,161 @@ fn serve_repl<S: ExecSpace, const D: usize>(
             Some(c) => c,
         };
         let rest: Vec<&str> = tok.collect();
-        match serve_command(&mut engine, &mut points, cmd, &rest, &outcome_name) {
-            Ok(response) => println!("{response}"),
+        let response = if cmd == "load" {
+            load_cloud(engine, &rest).map(|(response, new_points)| {
+                points = new_points;
+                response
+            })
+        } else {
+            serve_command(engine, &points, cmd, &rest)
+        };
+        match response {
+            Ok(r) => println!("{r}"),
             Err(e) => println!("error: {e}"),
         }
     }
     Ok(())
 }
 
-/// Executes one REPL command, returning the response line.
+/// The `--workers N` REPL: commands are numbered as read and dispatched to
+/// a pool of worker threads sharing one engine, so independent queries run
+/// concurrently. Responses carry their request id (`[3] emst cache=…`) and
+/// may interleave out of order; `quit`/EOF drains every outstanding
+/// request before exiting. `load` is a barrier: the queue drains first, so
+/// earlier requests answer against the cloud they were issued under.
+fn serve_pool<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
+    points: Vec<Point<D>>,
+    workers: usize,
+) -> Result<(), String> {
+    use std::collections::VecDeque;
+    use std::io::BufRead;
+    use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+    struct PoolState {
+        queue: VecDeque<(u64, String, Vec<String>)>,
+        closed: bool,
+        in_flight: usize,
+    }
+    struct Pool {
+        state: Mutex<PoolState>,
+        /// Wakes workers when a job lands (or the pool closes).
+        work_cv: Condvar,
+        /// Wakes the dispatcher when a job completes (drain barrier).
+        idle_cv: Condvar,
+    }
+    impl Pool {
+        fn drain(&self) {
+            let mut st = self.state.lock().unwrap();
+            while !st.queue.is_empty() || st.in_flight > 0 {
+                st = self.idle_cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    let cloud = RwLock::new(Arc::new(points));
+    let pool = Pool {
+        state: Mutex::new(PoolState { queue: VecDeque::new(), closed: false, in_flight: 0 }),
+        work_cv: Condvar::new(),
+        idle_cv: Condvar::new(),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (pool, cloud) = (&pool, &cloud);
+            scope.spawn(move || loop {
+                let job = {
+                    let mut st = pool.state.lock().unwrap();
+                    loop {
+                        if let Some(job) = st.queue.pop_front() {
+                            st.in_flight += 1;
+                            break Some(job);
+                        }
+                        if st.closed {
+                            break None;
+                        }
+                        st = pool.work_cv.wait(st).unwrap();
+                    }
+                };
+                let Some((id, cmd, rest)) = job else { return };
+                // Snapshot the cloud the request was queued under; a later
+                // `load` swaps the Arc without touching this query.
+                let pts = Arc::clone(&cloud.read().unwrap());
+                let rest: Vec<&str> = rest.iter().map(String::as_str).collect();
+                match serve_command(engine, &pts, &cmd, &rest) {
+                    Ok(r) => println!("[{id}] {r}"),
+                    Err(e) => println!("[{id}] error: {e}"),
+                }
+                let mut st = pool.state.lock().unwrap();
+                st.in_flight -= 1;
+                drop(st);
+                pool.idle_cv.notify_all();
+            });
+        }
+
+        let mut io_error = None;
+        let mut next_id = 0u64;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    io_error = Some(e.to_string());
+                    break;
+                }
+            };
+            let mut tok = line.split_whitespace();
+            let cmd = match tok.next() {
+                None => continue,
+                Some("quit") | Some("exit") => break,
+                Some(c) => c,
+            };
+            let id = next_id;
+            next_id += 1;
+            if cmd == "load" {
+                pool.drain();
+                let rest: Vec<&str> = tok.collect();
+                match load_cloud(engine, &rest) {
+                    Ok((r, new_points)) => {
+                        *cloud.write().unwrap() = Arc::new(new_points);
+                        println!("[{id}] {r}");
+                    }
+                    Err(e) => println!("[{id}] error: {e}"),
+                }
+            } else {
+                let rest: Vec<String> = tok.map(str::to_string).collect();
+                pool.state.lock().unwrap().queue.push_back((id, cmd.to_string(), rest));
+                pool.work_cv.notify_one();
+            }
+        }
+        // Close the queue; workers finish what is pending, then exit (the
+        // scope joins them), so `quit` never drops an accepted request.
+        pool.state.lock().unwrap().closed = true;
+        pool.work_cv.notify_all();
+        match io_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+fn outcome_name(o: CacheOutcome) -> &'static str {
+    match o {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Reloaded => "reloaded",
+    }
+}
+
+/// Executes one REPL command (everything except `load`, which swaps the
+/// session cloud and is handled by the dispatching loop), returning the
+/// response line. Takes the engine by shared reference: any number of
+/// workers may execute commands concurrently.
 fn serve_command<S: ExecSpace, const D: usize>(
-    engine: &mut ServeEngine<S, D>,
-    points: &mut Vec<Point<D>>,
+    engine: &ServeEngine<S, D>,
+    points: &[Point<D>],
     cmd: &str,
     rest: &[&str],
-    outcome_name: &dyn Fn(CacheOutcome) -> &'static str,
 ) -> Result<String, String> {
     let parse = |what: &str, v: Option<&&str>| -> Result<usize, String> {
         let v = v.ok_or(format!("{what} is required"))?;
@@ -440,24 +611,20 @@ fn serve_command<S: ExecSpace, const D: usize>(
                 noise,
             ))
         }
-        "load" => {
-            let path = rest.first().ok_or("load needs a path")?;
-            let mut opts = HashMap::new();
-            opts.insert("input".to_string(), path.to_string());
-            *points = load_points::<D>(&opts)?;
-            let key = engine.ingest(points);
-            Ok(format!("loaded n={} key={key}", points.len()))
-        }
         "stats" => {
             let s = engine.stats();
             Ok(format!(
-                "stats resident={} bytes={} hits={} misses={} reloads={} evictions={}",
+                "stats resident={} bytes={} hits={} misses={} reloads={} evictions={} \
+                 spill_failures={} digest_collisions={} coalesced={}",
                 engine.num_resident(),
                 engine.resident_bytes(),
                 s.hits,
                 s.misses,
                 s.reloads,
                 s.evictions,
+                s.spill_failures,
+                s.digest_collisions,
+                s.coalesced,
             ))
         }
         other => Err(format!(

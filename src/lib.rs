@@ -19,7 +19,8 @@
 //! - [`serve`] — the long-lived serving engine: resident shard artifacts
 //!   behind a `(content digest, K)`-keyed cache with LRU spill eviction,
 //!   answering repeated EMST/subset/HDBSCAN/k-NN queries without
-//!   re-running the local phase;
+//!   re-running the local phase; every query takes `&self`, so N threads
+//!   share one engine by reference with bit-identical answers;
 //! - [`datasets`] — the synthetic evaluation datasets;
 //! - [`graph`] — the classical explicit-graph MST algorithms of the paper's
 //!   Background section (Borůvka, Kruskal, Prim).

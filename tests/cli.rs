@@ -225,6 +225,7 @@ fn usage_mentions_every_command_and_flag() {
         "--max-resident",
         "--k",
         "--min-cluster-size",
+        "--workers",
     ] {
         assert!(usage.contains(flag), "usage misses flag {flag}: {usage}");
     }
@@ -293,6 +294,46 @@ fn serve_answers_repeated_queries_from_the_cache() {
 }
 
 #[test]
+fn serve_worker_pool_answers_every_request_with_its_id() {
+    let pts = tmp("serve-workers-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "600", "--dim", "2"])
+        .args(["--seed", "17", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // 8 requests over 3 workers; responses may interleave in any order but
+    // every request id must be answered exactly once, and `quit` must
+    // drain the queue rather than dropping accepted requests.
+    let commands =
+        "emst\nemst\nsubset 50..550\nknn 4 0.5 0.5\nemst\nhdbscan 5 20\nstats\nemst\nquit\n";
+    let stdout =
+        serve_session(&pts, &["--shards", "4", "--max-resident", "2", "--workers", "3"], commands);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 8, "stdout: {stdout}");
+    for id in 0..8 {
+        let tag = format!("[{id}] ");
+        assert_eq!(
+            lines.iter().filter(|l| l.starts_with(&tag)).count(),
+            1,
+            "request {id} answered != once: {stdout}"
+        );
+    }
+    // The four emst answers (ids 0, 1, 4, 7) report the identical weight —
+    // concurrency must not perturb a single bit of the tree.
+    let weights: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.contains("emst cache="))
+        .map(|l| l.split("weight=").nth(1).unwrap().split_whitespace().next().unwrap())
+        .collect();
+    assert_eq!(weights.len(), 4, "stdout: {stdout}");
+    assert!(weights.iter().all(|w| w == &weights[0]), "stdout: {stdout}");
+    assert!(!stdout.contains("error:"), "stdout: {stdout}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
 fn serve_rejects_bad_commands_without_dying() {
     let pts = tmp("serve-robust-points.csv");
     assert!(bin()
@@ -326,6 +367,10 @@ fn serve_strict_argument_errors() {
     assert!(stderr.contains("--max-resident must be at least 1"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--input", "x.csv", "--max-resident", "-2"]);
     assert!(stderr.contains("invalid --max-resident"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--workers", "0"]);
+    assert!(stderr.contains("--workers must be at least 1"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--workers", "many"]);
+    assert!(stderr.contains("invalid --workers"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--input", "x.csv", "--traversal", "recursive"]);
     assert!(stderr.contains("invalid --traversal"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--shards", "2"]);

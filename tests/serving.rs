@@ -25,7 +25,7 @@ fn config_with(traversal: Traversal, shards: usize, max_resident: usize) -> Serv
 
 fn check_warm_equals_cold<S: ExecSpace>(engine_space: S, anchor_space: &S, traversal: Traversal) {
     let pts = cloud(600, 11);
-    let mut engine = ServeEngine::<_, 2>::new(engine_space, config_with(traversal, 5, 2));
+    let engine = ServeEngine::<_, 2>::new(engine_space, config_with(traversal, 5, 2));
 
     let cold = engine.emst(&pts);
     assert_eq!(cold.outcome, CacheOutcome::Miss);
@@ -75,7 +75,7 @@ fn warm_solve_is_bit_identical_on_every_backend_and_both_traversals() {
 #[test]
 fn eviction_then_requery_is_still_exact() {
     let clouds: Vec<Vec<Point<2>>> = (0..3).map(|s| cloud(400, 20 + s)).collect();
-    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+    let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
     let first: Vec<_> = clouds.iter().map(|c| engine.emst(c)).collect();
     assert_eq!(engine.num_resident(), 2, "budget must hold");
     assert_eq!(engine.stats().evictions, 1);
@@ -96,7 +96,7 @@ fn eviction_then_requery_is_still_exact() {
 #[test]
 fn mutated_input_changes_the_digest_and_invalidates() {
     let pts = cloud(500, 33);
-    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 4));
+    let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 4));
     let original = engine.emst(&pts);
 
     // Flip one coordinate by one ULP: the digest must differ and the
@@ -118,8 +118,8 @@ fn mutated_input_changes_the_digest_and_invalidates() {
 #[test]
 fn shard_count_is_part_of_the_key() {
     let pts = cloud(300, 41);
-    let mut e4 = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
-    let mut e7 = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(7, 2));
+    let e4 = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+    let e7 = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(7, 2));
     assert_ne!(e4.key(&pts), e7.key(&pts));
     // Different partitions, same tree weights.
     let a = e4.emst(&pts);
@@ -130,7 +130,7 @@ fn shard_count_is_part_of_the_key() {
 #[test]
 fn subset_queries_reuse_the_cache_and_match_brute_force() {
     let pts = cloud(500, 55);
-    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(6, 2));
+    let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(6, 2));
     engine.ingest(&pts);
 
     for (lo, hi) in [(0u32, 500u32), (100, 400), (7, 9)] {
@@ -160,7 +160,7 @@ fn sorted(mut edges: Vec<Edge>) -> Vec<Edge> {
 #[test]
 fn knn_and_hdbscan_ride_the_resident_cloud() {
     let pts = cloud(400, 71);
-    let mut engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+    let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
     engine.ingest(&pts);
 
     // k-NN against the resident shards equals the brute-force answer.
@@ -183,4 +183,73 @@ fn knn_and_hdbscan_ride_the_resident_cloud() {
     assert_eq!(served.result.num_clusters, direct.num_clusters);
     let repeat = engine.hdbscan(&pts, params);
     assert_eq!(repeat.result.labels, direct.labels);
+}
+
+/// Tentpole property: N threads hammering one shared engine — mixed query
+/// types, overlapping clouds, evictions forced by a tiny residency budget
+/// — must produce answers bit-identical to a single-threaded engine,
+/// including after the shared merge accelerator has absorbed floors and
+/// candidates from many interleaved queries.
+#[test]
+fn concurrent_mixed_queries_are_bit_identical_to_single_threaded() {
+    let clouds: Vec<Vec<Point<2>>> = (0..3).map(|s| cloud(350, 80 + s)).collect();
+    let subset: Vec<u32> = (50..300).collect();
+    let probe = Point::new([0.1f32, 0.2]);
+    let params = Hdbscan { k_pts: 4, min_cluster_size: 8 };
+
+    // Reference answers from a single-threaded engine with the same tiny
+    // budget (so its cache churns the same way), each cloud queried twice
+    // so the accel merge-back path is exercised there too.
+    let single = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+    let reference: Vec<_> = clouds
+        .iter()
+        .map(|c| {
+            let full = single.emst(c);
+            assert_eq!(single.emst(c).edges, full.edges, "single-thread warm must be stable");
+            let sub = single.emst_subset(c, &subset);
+            let knn = single.k_nearest(c, &probe, 7);
+            let hdb = single.hdbscan(c, params);
+            (full.edges, full.total_weight, sub.edges, knn.neighbors, hdb.result.labels)
+        })
+        .collect();
+
+    let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+    let (threads, rounds) = (8usize, 6usize);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (engine, clouds, reference, subset, probe) =
+                (&engine, &clouds, &reference, &subset, &probe);
+            s.spawn(move || {
+                for r in 0..rounds {
+                    let ci = (t + r) % clouds.len();
+                    let c = &clouds[ci];
+                    let (edges, weight, sub, knn, labels) = &reference[ci];
+                    match (t + r) % 4 {
+                        0 => {
+                            let q = engine.emst(c);
+                            assert_eq!(&q.edges, edges, "thread {t} round {r} cloud {ci}");
+                            assert_eq!(q.total_weight, *weight);
+                        }
+                        1 => assert_eq!(&engine.emst_subset(c, subset).edges, sub),
+                        2 => assert_eq!(&engine.k_nearest(c, probe, 7).neighbors, knn),
+                        _ => assert_eq!(&engine.hdbscan(c, params).result.labels, labels),
+                    }
+                }
+            });
+        }
+    });
+
+    // Every request terminated with exactly one cache outcome, the budget
+    // held, and churn actually happened (3 clouds over 2 slots).
+    let stats = engine.stats();
+    assert_eq!(stats.hits + stats.misses + stats.reloads, (threads * rounds) as u64);
+    assert!(engine.num_resident() <= 2);
+    assert!(stats.evictions > 0, "tiny budget must force evictions");
+    assert_eq!(stats.spill_failures, 0);
+
+    // After all the churn, fresh queries still reproduce the exact bits —
+    // the merged-back accelerator state changed the work, never the answer.
+    for (ci, c) in clouds.iter().enumerate() {
+        assert_eq!(engine.emst(c).edges, reference[ci].0);
+    }
 }

@@ -1,19 +1,26 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! The container builds without network access, so the workspace vendors the
-//! tiny API slice it actually uses: a [`Mutex`] whose `lock()` returns the
-//! guard directly (no poisoning in the type). Backed by `std::sync::Mutex`;
-//! poisoning is swallowed like `parking_lot` would (a panicked critical
-//! section does not wedge every later locker).
+//! tiny API slice it actually uses: a [`Mutex`], an [`RwLock`], and a
+//! [`Condvar`] whose lock methods return guards directly (no poisoning in the
+//! type). Backed by `std::sync` primitives; poisoning is swallowed like
+//! `parking_lot` would (a panicked critical section does not wedge every
+//! later locker).
 
-use std::sync::{MutexGuard as StdGuard, PoisonError};
+use std::sync::{
+    MutexGuard as StdGuard, PoisonError, RwLockReadGuard as StdReadGuard,
+    RwLockWriteGuard as StdWriteGuard,
+};
 
 /// A mutual-exclusion primitive with `parking_lot`'s poison-free `lock()`.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 /// RAII guard returned by [`Mutex::lock`]. Derefs to the protected data.
-pub struct MutexGuard<'a, T: ?Sized>(StdGuard<'a, T>);
+///
+/// The inner `Option` is `Some` for the guard's whole life except inside
+/// [`Condvar::wait`], which must briefly move the std guard out to re-park.
+pub struct MutexGuard<'a, T: ?Sized>(Option<StdGuard<'a, T>>);
 
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
@@ -30,7 +37,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -42,19 +49,109 @@ impl<T: ?Sized> Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.0.as_deref().expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard present outside Condvar::wait")
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s poison-free `read()`/`write()`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared-access RAII guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(StdReadGuard<'a, T>);
+
+/// Exclusive-access RAII guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(StdWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking while a writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires exclusive write access, blocking out all other guards.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
         &mut self.0
+    }
+}
+
+/// A condition variable usable with [`Mutex`]/[`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, releasing `guard`'s lock while parked and
+    /// reacquiring it before returning (spurious wakeups possible, as with
+    /// any condvar — callers loop on their predicate).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside Condvar::wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wakes one thread parked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every thread parked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use std::sync::Arc;
+
+    use super::{Condvar, Mutex, RwLock};
 
     #[test]
     fn lock_returns_guard_directly() {
@@ -62,5 +159,39 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers_and_exclusive_writers() {
+        let l = RwLock::new(vec![1u32, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 4);
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_a_parked_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            })
+        };
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
     }
 }
