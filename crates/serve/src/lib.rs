@@ -49,12 +49,16 @@
 //!   sound because any two queries that derive the same accel slot derive
 //!   the same value (see the `MergeAccel` docs), so absorb order is
 //!   irrelevant.
-//! - **Per-thread**: Borůvka/merge scratch pools, checked out of a free
-//!   list per query and returned after, so warm queries still allocate
-//!   nothing.
+//! - **Per-thread**: Borůvka/merge scratch pools, checked out of a
+//!   bounded free list per query and returned by an RAII guard on drop
+//!   (also on the panic path), so warm queries still allocate nothing.
 //! - **Single-flight builds**: concurrent requests for the same
 //!   non-resident [`CloudKey`] coalesce on one build — one leader builds
-//!   (outside all locks), the rest park on a condvar and re-check.
+//!   (outside all locks), the rest park on a condvar and re-check. The
+//!   leader itself re-checks residency *after* winning its lease
+//!   (double-checked locking): a thread that read "not resident", stalled,
+//!   and won the next lease after the prior leader landed must serve the
+//!   landed resident, not rebuild and admit a duplicate.
 //!
 //! All atomics (stats, LRU ticks) use relaxed ordering on purpose: they
 //! are advisory counters and recency hints, and every correctness-bearing
@@ -283,6 +287,41 @@ impl QueryScratch {
     }
 }
 
+/// Upper bound on pooled scratch sets. The pool otherwise grows to the
+/// peak query concurrency ever seen and each entry can retain a
+/// full-cloud accel copy, so it must not grow without bound.
+const MAX_POOLED_SCRATCH: usize = 32;
+
+/// A checked-out [`QueryScratch`] that returns itself to the pool on drop
+/// — including on the unwind path, so a panicking merge (a convergence
+/// assert, an accel debug_assert) cannot permanently leak its scratch.
+struct ScratchGuard<'a> {
+    pool: &'a Mutex<Vec<QueryScratch>>,
+    scratch: Option<QueryScratch>,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = QueryScratch;
+    fn deref(&self) -> &QueryScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut QueryScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        let mut pool = self.pool.lock();
+        if pool.len() < MAX_POOLED_SCRATCH {
+            pool.push(self.scratch.take().expect("scratch present until drop"));
+        }
+    }
+}
+
 /// Rendezvous for single-flight builds: followers park on the condvar
 /// until the leader marks the flight done.
 struct BuildFlight {
@@ -460,12 +499,9 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         }
     }
 
-    fn checkout(&self) -> QueryScratch {
-        self.scratch_pool.lock().pop().unwrap_or_else(QueryScratch::new)
-    }
-
-    fn checkin(&self, scratch: QueryScratch) {
-        self.scratch_pool.lock().push(scratch);
+    fn checkout(&self) -> ScratchGuard<'_> {
+        let scratch = self.scratch_pool.lock().pop().unwrap_or_else(QueryScratch::new);
+        ScratchGuard { pool: &self.scratch_pool, scratch: Some(scratch) }
     }
 
     /// One verified scan of the resident list for `(digest, K)`: a content
@@ -488,6 +524,29 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             salt = salt.max(r.key.salt + 1);
         }
         Lookup::Vacant(CloudKey { digest, shards, salt })
+    }
+
+    /// Extends `key.salt` past any spill file owned by a *different*
+    /// cloud, so salts stay durable across eviction: without the probe, a
+    /// distinct colliding cloud admitted after the original was spilled
+    /// would claim salt 0, and its own eviction would overwrite the
+    /// original's spill file — which a later by-key reload would then pass
+    /// off as the original (a true collision shares the digest, so the
+    /// reload digest check cannot catch it). A spill whose contents equal
+    /// `points` is this cloud's own earlier eviction: its salt is reused.
+    /// Unreadable or corrupt spill files are conservatively skipped.
+    fn durable_salt(&self, mut key: CloudKey, points: &[Point<D>]) -> CloudKey {
+        // Bounded so a spill dir that errors on every open (not per-file
+        // corruption — e.g. permissions) cannot loop forever; past the
+        // bound the eviction write itself will fail and be counted.
+        for _ in 0..1024 {
+            match spill::read_spill::<D>(&self.spill_dir, key) {
+                Ok(None) => return key,
+                Ok(Some(existing)) if existing == points => return key,
+                Ok(Some(_)) | Err(_) => key.salt += 1,
+            }
+        }
+        key
     }
 
     /// Joins (or starts) the single-flight build of `key`: `Err(flight)`
@@ -521,6 +580,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             accel: RwLock::new(accel),
             last_used: AtomicU64::new(self.tick()),
         });
+        let mut victims = Vec::new();
         {
             let mut residents = self.residents.write();
             let budget = self.config.max_resident.max(1);
@@ -533,19 +593,29 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                     .expect("residents is non-empty");
                 let victim = residents.swap_remove(lru);
                 // Single-flight means at most one build per key is ever in
-                // flight, and a key is only admitted when no verified
-                // resident holds it — so an eviction racing a re-admission
+                // flight, and the leader re-checks residency after winning
+                // its lease — so a key is only ever admitted while no
+                // resident holds it, and an eviction racing a re-admission
                 // of the same key cannot pick the key being admitted.
                 assert_ne!(victim.key, key, "evicting the key being admitted");
-                if let Err(e) = spill::write_spill(&self.spill_dir, victim.key, &victim.points) {
-                    // A failed write only costs a later `UnknownKey`,
-                    // never wrong data — but it must not be silent.
-                    self.stats.spill_failures.fetch_add(1, Relaxed);
-                    eprintln!("emst-serve: spill write failed for {}: {e}", victim.key);
-                }
-                self.stats.evictions.fetch_add(1, Relaxed);
+                victims.push(victim);
             }
             residents.push(Arc::clone(&resident));
+        }
+        // Spill writes (disk I/O, potentially many MB of CSV) happen
+        // outside the residents lock — the victim `Arc`s keep the points
+        // alive, and stalling every concurrent query on a file write would
+        // defeat the read-mostly design. The window where a victim is
+        // neither resident nor spilled only costs a transient `UnknownKey`
+        // on its key, never wrong data.
+        for victim in victims {
+            if let Err(e) = spill::write_spill(&self.spill_dir, victim.key, &victim.points) {
+                // A failed write only costs a later `UnknownKey`, never
+                // wrong data — but it must not be silent.
+                self.stats.spill_failures.fetch_add(1, Relaxed);
+                eprintln!("emst-serve: spill write failed for {}: {e}", victim.key);
+            }
+            self.stats.evictions.fetch_add(1, Relaxed);
         }
         (resident, build_work, build_timings)
     }
@@ -584,6 +654,32 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                     waited = true;
                 }
                 Ok(_lease) => {
+                    // Double-check under the lease: between our lookup and
+                    // winning the flight, the previous leader may have
+                    // landed this very key and dropped its flight. Without
+                    // the re-check the late winner would rebuild and admit
+                    // a duplicate resident — or, under salted keys, admit
+                    // a *distinct* cloud at an already-taken salt.
+                    match self.lookup(digest, points) {
+                        Lookup::Hit(r) => {
+                            self.stats.hits.fetch_add(1, Relaxed);
+                            if waited {
+                                self.stats.coalesced.fetch_add(1, Relaxed);
+                            }
+                            return (
+                                r,
+                                CacheOutcome::Hit,
+                                CounterSnapshot::default(),
+                                PhaseTimings::new(),
+                            );
+                        }
+                        // A colliding resident landed meanwhile and moved
+                        // the free salt: drop this lease (releasing any
+                        // followers to re-check) and retry with fresh keys.
+                        Lookup::Vacant(fresh) if fresh != key => continue,
+                        Lookup::Vacant(_) => {}
+                    }
+                    let key = self.durable_salt(key, points);
                     self.stats.misses.fetch_add(1, Relaxed);
                     if key.salt != 0 {
                         self.stats.digest_collisions.fetch_add(1, Relaxed);
@@ -633,6 +729,23 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                     waited = true;
                 }
                 Ok(_lease) => {
+                    // Double-check under the lease (see `resolve_digest`):
+                    // the previous leader may have admitted this key
+                    // between our residency check and winning the flight —
+                    // reloading now would admit a duplicate resident.
+                    if let Some(r) = self.residents.read().iter().find(|r| r.key == key) {
+                        self.stats.hits.fetch_add(1, Relaxed);
+                        if waited {
+                            self.stats.coalesced.fetch_add(1, Relaxed);
+                        }
+                        self.touch(r);
+                        return Ok((
+                            Arc::clone(r),
+                            CacheOutcome::Hit,
+                            CounterSnapshot::default(),
+                            PhaseTimings::new(),
+                        ));
+                    }
                     // Errors drop the lease, releasing any followers to
                     // retry (and fail) for themselves.
                     let points = spill::read_spill::<D>(&self.spill_dir, key)
@@ -664,6 +777,9 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         build_timings: PhaseTimings,
     ) -> QueryResponse {
         let mut scratch = self.checkout();
+        // One reborrow through the guard so the borrow checker can split
+        // `scratch.merge` / `scratch.accel` below.
+        let scratch = &mut *scratch;
         // Copy-out / merge / absorb-back: the accel lock is only held for
         // the two memcpy-scale critical sections, never across traversals.
         scratch.accel.copy_from(&r.accel.read());
@@ -676,7 +792,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         r.accel.write().absorb(&scratch.accel);
         let mut timings = build_timings;
         timings.absorb(&merged.stats.timings);
-        let response = QueryResponse {
+        QueryResponse {
             edges: merged.edges,
             total_weight: merged.total_weight,
             outcome,
@@ -685,9 +801,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             query_work: merged.stats.work,
             timings,
             resident_bytes: r.artifacts.resident_bytes(),
-        };
-        self.checkin(scratch);
-        response
+        }
     }
 
     /// Full EMST of `points`. Warm path (the cloud is resident): merge
@@ -727,7 +841,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         );
         let mut timings = build_timings;
         timings.absorb(&sub.stats.timings);
-        let response = QueryResponse {
+        QueryResponse {
             edges: sub.edges,
             total_weight: sub.total_weight,
             outcome,
@@ -736,9 +850,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             query_work: sub.stats.work,
             timings,
             resident_bytes: r.artifacts.resident_bytes(),
-        };
-        self.checkin(scratch);
-        response
+        }
     }
 
     /// The `k` nearest ingested points to `query`, answered from the
@@ -772,7 +884,6 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         let (r, outcome, _, _) = self.resolve(points);
         let mut scratch = self.checkout();
         let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
-        self.checkin(scratch);
         HdbscanResponse { result, outcome, key: r.key }
     }
 }
@@ -1023,5 +1134,102 @@ mod tests {
         assert_eq!(stats.misses, 1, "exactly one thread may build");
         assert_eq!(stats.hits, 5, "everyone else must hit the landed build");
         assert_eq!(engine.num_resident(), 1);
+    }
+
+    /// Regression stress for the lookup→begin_flight TOCTOU: a thread that
+    /// read "not resident", stalled, and won a lease after the prior
+    /// leader landed must re-check and serve the landed resident. Without
+    /// the double-check, the late winner re-admits the key — at budget 1
+    /// the duplicate becomes the LRU victim of its own admission and trips
+    /// the `assert_ne!` eviction guard (panicking the thread), and under
+    /// salted keys a *distinct* cloud can land on a taken salt. Colliding
+    /// digests + a tiny budget churn admissions to maximize the window.
+    #[test]
+    fn racing_admissions_never_duplicate_residents() {
+        let a = random_points_2d(120, 50);
+        let b = random_points_2d(120, 51);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 1));
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let (engine, a, b) = (&engine, &a, &b);
+                s.spawn(move || {
+                    for r in 0..20 {
+                        let pts = if (t + r) % 2 == 0 { a } else { b };
+                        let (resident, _, _, _) = engine.resolve_digest(0x99, pts);
+                        // Never the colliding cloud's data.
+                        assert_eq!(&resident.points, pts, "thread {t} round {r}");
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.num_resident(), 1, "budget must hold after the churn");
+        let stats = engine.stats();
+        assert_eq!(stats.hits + stats.misses, 8 * 20);
+    }
+
+    /// Satellite bugfix hardening: collision salts are durable across
+    /// eviction. A distinct cloud under an already-spilled digest must not
+    /// claim the spilled cloud's salt — its own eviction would overwrite
+    /// that spill file, and a later by-key reload would pass the digest
+    /// check (a true collision shares the digest) and silently serve the
+    /// wrong cloud's points.
+    #[test]
+    fn evicted_collision_spills_keep_distinct_salts() {
+        let a = random_points_2d(150, 40);
+        let b = random_points_2d(150, 41);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 1));
+        let k0 = CloudKey { digest: 0x7, shards: 3, salt: 0 };
+        let k1 = CloudKey { digest: 0x7, shards: 3, salt: 1 };
+
+        let (ra, _, _, _) = engine.resolve_digest(0x7, &a);
+        assert_eq!(ra.key, k0);
+        drop(ra);
+        engine.resolve_digest(0x8, &random_points_2d(150, 42)); // budget 1: spills `a` at salt 0
+
+        // `a` is no longer resident, so the resident scan alone would hand
+        // `b` salt 0 — the spill probe must skip past `a`'s file.
+        let (rb, ob, _, _) = engine.resolve_digest(0x7, &b);
+        assert_eq!(ob, CacheOutcome::Miss);
+        assert_eq!(rb.key, k1, "salt must skip a foreign spill");
+        assert_eq!(engine.stats().digest_collisions, 1);
+        drop(rb);
+        engine.resolve_digest(0x9, &random_points_2d(150, 43)); // spills `b` at salt 1
+
+        // Both spill files coexist, each holding its own cloud's points.
+        assert_eq!(spill::read_spill::<2>(&engine.spill_dir, k0).unwrap().unwrap(), a);
+        assert_eq!(spill::read_spill::<2>(&engine.spill_dir, k1).unwrap().unwrap(), b);
+
+        // Re-presenting an evicted cloud reuses its own spill slot rather
+        // than leaking a fresh salt per eviction cycle.
+        let (ra2, oa2, _, _) = engine.resolve_digest(0x7, &a);
+        assert_eq!(oa2, CacheOutcome::Miss);
+        assert_eq!(ra2.key, k0);
+        let (rb2, _, _, _) = engine.resolve_digest(0x7, &b);
+        assert_eq!(rb2.key, k1);
+    }
+
+    /// The scratch pool is bounded and panic-safe: guards check their
+    /// scratch back in on drop — including on the unwind path, so a
+    /// panicking merge cannot permanently leak scratch — and check-in
+    /// past the cap discards instead of growing without bound.
+    #[test]
+    fn scratch_pool_is_bounded_and_panic_safe() {
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 1));
+        {
+            let guards: Vec<_> = (0..MAX_POOLED_SCRATCH + 5).map(|_| engine.checkout()).collect();
+            drop(guards);
+        }
+        assert_eq!(engine.scratch_pool.lock().len(), MAX_POOLED_SCRATCH);
+
+        engine.scratch_pool.lock().clear();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.checkout();
+            panic!("query panicked mid-merge");
+        }));
+        std::panic::set_hook(prev);
+        assert!(caught.is_err());
+        assert_eq!(engine.scratch_pool.lock().len(), 1, "unwound scratch must return");
     }
 }
