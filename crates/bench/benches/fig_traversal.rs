@@ -62,6 +62,7 @@ fn main() {
                 traversal: cells,
                 serving: vec![],
                 serving_concurrent: vec![],
+                observability: vec![],
             };
             snap.write(std::path::Path::new(&path)).expect("write JSON");
             eprintln!("wrote {path}");

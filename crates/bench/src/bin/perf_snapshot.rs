@@ -18,13 +18,17 @@
 //! (the first count is the scaling baseline, so keep `1` first); its
 //! cells record the host's CPU count, because throughput scaling cannot
 //! exceed the cores actually available to the harness.
+//!
+//! The observability-overhead grid (instrumentation on vs off on warm
+//! queries, budget ≤5%) reuses `--serving-sizes`, the last
+//! `--serving-shards` entry and `--repeats` — no extra flags.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use emst_bench::snapshot::{
-    measure_serving_concurrent, measure_serving_grid, measure_summary, measure_traversal_grid,
-    Snapshot,
+    measure_observability, measure_serving_concurrent, measure_serving_grid, measure_summary,
+    measure_traversal_grid, Snapshot,
 };
 
 struct Args {
@@ -213,7 +217,42 @@ fn main() -> ExitCode {
         );
     }
 
-    let snap = Snapshot { repeats: args.repeats, summary, traversal, serving, serving_concurrent };
+    println!();
+    println!("# observability overhead (warm query, instrumentation on vs off, budget <= 5%)");
+    println!(
+        "{:<12} {:>10} {:>4} {:>12} {:>12} {:>9}",
+        "generator", "n", "K", "observed", "raw", "overhead"
+    );
+    let mut observability = vec![];
+    {
+        use emst_datasets::Kind;
+        let shards = *args.serving_shards.last().unwrap();
+        for (name, kind) in [("uniform", Kind::Uniform), ("dense", Kind::GeoLifeLike)] {
+            for &n in &args.serving_sizes {
+                observability.push(measure_observability(name, kind, n, shards, args.repeats));
+            }
+        }
+    }
+    for cell in &observability {
+        println!(
+            "{:<12} {:>10} {:>4} {:>10.4} s {:>10.4} s {:>7.2}%",
+            cell.generator,
+            cell.n,
+            cell.shards,
+            cell.warm_observed_s,
+            cell.warm_raw_s,
+            cell.overhead_pct(),
+        );
+    }
+
+    let snap = Snapshot {
+        repeats: args.repeats,
+        summary,
+        traversal,
+        serving,
+        serving_concurrent,
+        observability,
+    };
     if let Some(path) = &args.json {
         if let Err(e) = snap.write(path) {
             eprintln!("error: cannot write {}: {e}", path.display());

@@ -26,6 +26,13 @@
 //!   on a 1-CPU container `speedup_vs_1 ≈ 1.0` is the *correct* reading,
 //!   not a harness failure.
 //!
+//! - the **observability overhead**: median warm full-EMST query time on
+//!   two otherwise-identical resident engines, one with the `emst_obs`
+//!   instrumentation enabled (the default) and one with
+//!   `ServeConfig::observability = false` (every probe compiled to a
+//!   skipped `Option` check). The budget is ≤5% overhead on warm queries;
+//!   both engines' answers are asserted bit-identical.
+//!
 //! # JSON schema (`emst-bench-snapshot/1`)
 //!
 //! ```json
@@ -52,6 +59,10 @@
 //!     { "generator": "uniform", "n": 100000, "shards": 4, "workers": 2,
 //!       "queries": 32, "queries_per_s": 31.0, "speedup_vs_1": 1.9,
 //!       "host_cpus": 8 }
+//!   ],
+//!   "observability": [
+//!     { "generator": "uniform", "n": 100000, "shards": 4,
+//!       "warm_observed_s": 0.061, "warm_raw_s": 0.060, "overhead_pct": 1.7 }
 //!   ]
 //! }
 //! ```
@@ -88,6 +99,12 @@
 //!   `queries_per_s` (aggregate throughput), `speedup_vs_1` (throughput
 //!   over the same grid's `workers = 1` cell), `host_cpus` (cores of the
 //!   measuring host — the upper bound on honest scaling).
+//! - `observability[]` — instrumentation overhead cells (added by PR 7,
+//!   additive): `generator`, `n`, `shards`, `warm_observed_s` (median
+//!   warm query with metrics + traces enabled), `warm_raw_s` (same engine
+//!   configuration with `observability = false`), `overhead_pct` =
+//!   `(warm_observed_s / warm_raw_s − 1) × 100` — the acceptance budget
+//!   is ≤5 on warm queries.
 //!
 //! All durations are seconds. `null` replaces non-finite numbers.
 
@@ -199,6 +216,33 @@ pub struct ServingConcurrentCell {
     pub host_cpus: usize,
 }
 
+/// One `(generator, n, shards)` cell of the observability-overhead
+/// measurement: median warm full-EMST query with instrumentation on vs
+/// off on otherwise-identical resident engines.
+#[derive(Clone, Debug)]
+pub struct ObservabilityCell {
+    /// Generator name.
+    pub generator: String,
+    /// Point count.
+    pub n: usize,
+    /// Shard count (the cache key's `K`).
+    pub shards: usize,
+    /// Median warm query seconds with metrics, spans and traces enabled
+    /// (`ServeConfig::observability = true`, the default).
+    pub warm_observed_s: f64,
+    /// Median warm query seconds with every probe disabled
+    /// (`ServeConfig::observability = false`).
+    pub warm_raw_s: f64,
+}
+
+impl ObservabilityCell {
+    /// Instrumentation overhead in percent: `(observed / raw − 1) × 100`.
+    /// The acceptance budget is ≤5 on warm queries.
+    pub fn overhead_pct(&self) -> f64 {
+        (self.warm_observed_s / self.warm_raw_s - 1.0) * 100.0
+    }
+}
+
 /// A complete snapshot, ready to serialize.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -212,6 +256,8 @@ pub struct Snapshot {
     pub serving: Vec<ServingCell>,
     /// Concurrent serving (warm throughput vs worker count) cells.
     pub serving_concurrent: Vec<ServingConcurrentCell>,
+    /// Observability-overhead cells (instrumentation on vs off).
+    pub observability: Vec<ObservabilityCell>,
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -385,6 +431,57 @@ pub fn measure_serving_concurrent(
     cells
 }
 
+/// Measures one observability cell: `repeats` interleaved warm full-EMST
+/// queries against two resident engines that differ only in
+/// `ServeConfig::observability`. The instrumented engine's answers are
+/// asserted bit-identical to the raw engine's — probes must not perturb
+/// results — and the instrumented engine must actually have recorded
+/// metrics (an accidentally-dark engine would report a flattering 0%
+/// overhead).
+pub fn measure_observability(
+    generator: &str,
+    kind: Kind,
+    n: usize,
+    shards: usize,
+    repeats: usize,
+) -> ObservabilityCell {
+    use emst_serve::{ServeConfig, ServeEngine};
+    let points: Vec<Point<2>> = kind.generate(n, 0x0B5);
+    let observed = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+    let raw_config = ServeConfig { observability: false, ..ServeConfig::new(shards, 1) };
+    let raw = ServeEngine::<_, 2>::new(Threads, raw_config);
+    // Warm both engines twice so the timed loop measures the steady state
+    // (second query runs against the merged-back accelerator).
+    let reference = raw.emst(&points).edges;
+    raw.emst(&points);
+    assert_eq!(observed.emst(&points).edges, reference, "instrumentation must not perturb bits");
+    observed.emst(&points);
+    let mut observed_s = vec![];
+    let mut raw_s = vec![];
+    for _ in 0..repeats {
+        let t = std::time::Instant::now();
+        let o = observed.emst(&points);
+        observed_s.push(t.elapsed().as_secs_f64());
+        assert_eq!(o.edges, reference);
+
+        let t = std::time::Instant::now();
+        let r = raw.emst(&points);
+        raw_s.push(t.elapsed().as_secs_f64());
+        assert_eq!(r.edges, reference);
+    }
+    assert!(
+        observed.metrics_prometheus().contains("emst_serve_op_seconds_count"),
+        "instrumented engine recorded no metrics"
+    );
+    ObservabilityCell {
+        generator: generator.to_string(),
+        n,
+        shards,
+        warm_observed_s: median(&mut observed_s),
+        warm_raw_s: median(&mut raw_s),
+    }
+}
+
 /// Measures the fig1-style summary rows at one size: every solver's rate,
 /// plus phase medians for the single-tree runs.
 pub fn measure_summary(n: usize, repeats: usize) -> Vec<SummaryRow> {
@@ -540,6 +637,20 @@ impl Snapshot {
                 if i + 1 == self.serving_concurrent.len() { "" } else { "," },
             ));
         }
+        out.push_str("  ],\n  \"observability\": [\n");
+        for (i, cell) in self.observability.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"generator\": \"{}\", \"n\": {}, \"shards\": {}, \
+                 \"warm_observed_s\": {}, \"warm_raw_s\": {}, \"overhead_pct\": {} }}{}\n",
+                cell.generator,
+                cell.n,
+                cell.shards,
+                json_f64(cell.warm_observed_s),
+                json_f64(cell.warm_raw_s),
+                json_f64(cell.overhead_pct()),
+                if i + 1 == self.observability.len() { "" } else { "," },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -567,12 +678,14 @@ mod tests {
         let cell = measure_traversal_cell("uniform", Kind::Uniform, 500, 1);
         let serving = measure_serving_cell("uniform", Kind::Uniform, 600, 3, 1);
         let concurrent = measure_serving_concurrent("uniform", Kind::Uniform, 600, 3, &[1, 2], 2);
+        let obs = measure_observability("uniform", Kind::Uniform, 600, 3, 1);
         let snap = Snapshot {
             repeats: 1,
             summary: measure_summary(400, 1),
             traversal: vec![cell],
             serving: vec![serving],
             serving_concurrent: concurrent,
+            observability: vec![obs],
         };
         let json = snap.to_json();
         assert!(json.contains("\"schema\": \"emst-bench-snapshot/1\""));
@@ -580,6 +693,7 @@ mod tests {
         assert!(json.contains("\"speedup_warm\""));
         assert!(json.contains("\"speedup_vs_1\""));
         assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"overhead_pct\""));
         assert!(json.contains("single-tree (Threads)"));
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the workspace).
@@ -617,5 +731,16 @@ mod tests {
         assert_eq!(cells[1].queries, 4);
         assert!(cells.iter().all(|c| c.queries_per_s > 0.0 && c.host_cpus >= 1));
         assert!(cells[1].speedup_vs_1.is_finite());
+    }
+
+    #[test]
+    fn observability_cell_measures_both_engines() {
+        // Bit-identity between instrumented and raw engines is asserted
+        // inside the harness; at tiny n the overhead itself is pure noise,
+        // so only shape is checked here.
+        let cell = measure_observability("dense", Kind::GeoLifeLike, 700, 4, 2);
+        assert!(cell.warm_observed_s > 0.0);
+        assert!(cell.warm_raw_s > 0.0);
+        assert!(cell.overhead_pct().is_finite());
     }
 }

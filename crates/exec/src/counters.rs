@@ -142,6 +142,38 @@ impl CounterSnapshot {
         *self == CounterSnapshot::default()
     }
 
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The destructuring is deliberately exhaustive (no `..`): adding a
+    /// field to [`CounterSnapshot`] without extending this list is a
+    /// compile error, so downstream consumers that iterate the names —
+    /// the serving layer's metrics bridge, the CLI — can never silently
+    /// miss a counter.
+    pub fn named_fields(&self) -> [(&'static str, u64); 9] {
+        let CounterSnapshot {
+            distance_computations,
+            node_visits,
+            rope_hops,
+            leaf_visits,
+            subtrees_skipped,
+            queries,
+            iterations,
+            bytes_accessed,
+            heap_ops,
+        } = *self;
+        [
+            ("distance_computations", distance_computations),
+            ("node_visits", node_visits),
+            ("rope_hops", rope_hops),
+            ("leaf_visits", leaf_visits),
+            ("subtrees_skipped", subtrees_skipped),
+            ("queries", queries),
+            ("iterations", iterations),
+            ("bytes_accessed", bytes_accessed),
+            ("heap_ops", heap_ops),
+        ]
+    }
+
     /// Difference between two snapshots (`self` taken after `earlier`).
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
@@ -222,6 +254,27 @@ mod tests {
         c += CounterSnapshot::default();
         assert_eq!(c, a + b);
         assert!(CounterSnapshot::default().is_zero());
+    }
+
+    #[test]
+    fn named_fields_cover_every_counter_in_order() {
+        let snap = CounterSnapshot {
+            distance_computations: 1,
+            node_visits: 2,
+            rope_hops: 3,
+            leaf_visits: 4,
+            subtrees_skipped: 5,
+            queries: 6,
+            iterations: 7,
+            bytes_accessed: 8,
+            heap_ops: 9,
+        };
+        let fields = snap.named_fields();
+        assert_eq!(fields.len(), 9);
+        assert_eq!(fields[0], ("distance_computations", 1));
+        assert_eq!(fields[8], ("heap_ops", 9));
+        let sum: u64 = fields.iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, 45, "every field value appears exactly once");
     }
 
     #[test]

@@ -1,0 +1,544 @@
+//! Lock-free metrics: counters, gauges, log₂-bucketed histograms, and a
+//! registry with Prometheus-style and JSON exporters.
+//!
+//! # Design
+//!
+//! Recording must be safe from the serving hot path, where queries run
+//! concurrently on many threads. Every metric cell is therefore a relaxed
+//! `AtomicU64`: recording is wait-free and imposes no ordering on the
+//! code it measures. The only lock in this module guards *registration*
+//! (name → metric lookup) and *export*; callers are expected to resolve
+//! their `Arc` handles once at startup and hold them.
+//!
+//! # Histograms
+//!
+//! A [`Histogram`] buckets nanosecond latencies by `⌈log₂⌉`: value `v`
+//! lands in bucket `64 − v.leading_zeros()` (bucket 0 holds exact zeros),
+//! so bucket `i ≥ 1` covers `[2^(i−1), 2^i)` ns. 64 buckets span zero to
+//! ~584 years, which comfortably covers any latency this workspace can
+//! produce. Quantiles are read by cumulative scan and reported as the
+//! containing bucket's upper bound — the error is bounded by the factor-2
+//! bucket width, which is the usual trade for a fixed-size lock-free
+//! histogram.
+//!
+//! # Names and labels
+//!
+//! Metric names follow Prometheus conventions (`snake_case`, counters end
+//! in `_total`, latency histograms in `_seconds`). A name may carry a
+//! label clause verbatim, e.g. `emst_serve_op_seconds{op="emst"}`; the
+//! exporter splits it so `# TYPE` lines use the bare family name and
+//! histogram suffixes merge with the labels
+//! (`emst_serve_op_seconds_bucket{op="emst",le="0.25"}`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of log₂ buckets in a [`Histogram`] (bucket 0 = exact zeros).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cell: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge (current size of a pool, number of residents, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    cell: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero (concurrent decrements may race
+    /// a `set`; a gauge is advisory, so saturation beats wrap-around).
+    pub fn dec(&self) {
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free latency histogram over nanoseconds (see module docs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a nanosecond value: 0 for 0, else `⌈log₂(v+1)⌉`.
+fn bucket_index(nanos: u64) -> usize {
+    ((u64::BITS - nanos.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Upper bound (inclusive, in seconds) of bucket `idx`: `2^idx − 1` ns.
+fn bucket_le_seconds(idx: usize) -> f64 {
+    (((1u128 << idx) - 1) as f64) * 1e-9
+}
+
+impl Histogram {
+    /// Records a latency given in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records a latency given in (non-negative, finite) seconds.
+    pub fn record_secs(&self, secs: f64) {
+        if secs.is_finite() && secs >= 0.0 {
+            self.record_nanos((secs * 1e9).min(u64::MAX as f64) as u64);
+        }
+    }
+
+    /// A point-in-time copy of the cells. Concurrent recording makes the
+    /// copy only approximately consistent (count/sum/buckets may each be
+    /// a few events apart) — fine for an advisory readout.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Convenience: quantile of a fresh snapshot, in seconds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s cells.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket event counts (see [`Histogram`] for the bucket bounds).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total events recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, in nanoseconds.
+    pub sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all recorded latencies, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos as f64 * 1e-9
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in seconds, reported as the upper
+    /// bound of the containing bucket (error ≤ one factor-2 bucket).
+    /// Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_le_seconds(idx);
+            }
+        }
+        // count said more events than the buckets hold (a racing
+        // snapshot); answer with the last non-empty bucket.
+        bucket_le_seconds(
+            self.buckets.iter().rposition(|&n| n > 0).unwrap_or(HISTOGRAM_BUCKETS - 1),
+        )
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes the registry
+/// lock and returns an `Arc` handle; recording through the handle is
+/// lock-free. Asking for an existing name returns the existing metric;
+/// asking for an existing name *as a different kind* panics — that is a
+/// programming error, not a runtime condition.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Swallow mutex poisoning: metrics are advisory, and a panic on some
+/// other thread must not cascade into every thread that records.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<M>(
+        &self,
+        name: &str,
+        wrap: impl Fn(Arc<M>) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<M>>,
+    ) -> Arc<M>
+    where
+        M: Default,
+    {
+        let mut metrics = lock(&self.metrics);
+        if let Some(existing) = metrics.get(name) {
+            return unwrap(existing).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered as a {}", existing.kind())
+            });
+        }
+        let handle = Arc::new(M::default());
+        metrics.insert(name.to_string(), wrap(Arc::clone(&handle)));
+        handle
+    }
+
+    /// The counter named `name`, registering it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(name, Metric::Counter, |m| match m {
+            Metric::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        })
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(name, Metric::Gauge, |m| match m {
+            Metric::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        })
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(name, Metric::Histogram, |m| match m {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        })
+    }
+
+    /// Prometheus-style text exposition of every registered metric,
+    /// sorted by name. Histograms render the conventional
+    /// `_bucket{le=…}` / `_sum` / `_count` family (only non-empty buckets
+    /// are listed — cumulative counts stay correct) plus gauge lines
+    /// `_p50` / `_p95` / `_p99` for direct quantile readout.
+    pub fn render_prometheus(&self) -> String {
+        let metrics = lock(&self.metrics);
+        let mut out = String::new();
+        let mut typed: std::collections::BTreeSet<String> = Default::default();
+        let mut type_line = |out: &mut String, family: &str, kind: &str| {
+            if typed.insert(family.to_string()) {
+                out.push_str(&format!("# TYPE {family} {kind}\n"));
+            }
+        };
+        for (name, metric) in metrics.iter() {
+            let (family, labels) = split_labels(name);
+            match metric {
+                Metric::Counter(c) => {
+                    type_line(&mut out, family, "counter");
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    type_line(&mut out, family, "gauge");
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    type_line(&mut out, family, "histogram");
+                    let mut cumulative = 0u64;
+                    for (idx, n) in snap.buckets.iter().enumerate() {
+                        if *n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        let le = format!("{:.9}", bucket_le_seconds(idx));
+                        out.push_str(&format!(
+                            "{family}_bucket{{{}le=\"{le}\"}} {cumulative}\n",
+                            label_prefix(labels)
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{family}_bucket{{{}le=\"+Inf\"}} {}\n",
+                        label_prefix(labels),
+                        snap.count
+                    ));
+                    out.push_str(&format!(
+                        "{family}_sum{} {:.9}\n",
+                        labels_suffix(labels),
+                        snap.sum_seconds()
+                    ));
+                    out.push_str(&format!(
+                        "{family}_count{} {}\n",
+                        labels_suffix(labels),
+                        snap.count
+                    ));
+                    for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                        type_line(&mut out, &format!("{family}_{suffix}"), "gauge");
+                        out.push_str(&format!(
+                            "{family}_{suffix}{} {:.9}\n",
+                            labels_suffix(labels),
+                            snap.quantile(q)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON document of every registered metric (keys are the full
+    /// registered names, label clause included), sorted by name.
+    pub fn render_json(&self) -> String {
+        let metrics = lock(&self.metrics);
+        let mut counters = vec![];
+        let mut gauges = vec![];
+        let mut histograms = vec![];
+        for (name, metric) in metrics.iter() {
+            let key = crate::json_escape(name);
+            match metric {
+                Metric::Counter(c) => counters.push(format!("\"{key}\": {}", c.get())),
+                Metric::Gauge(g) => gauges.push(format!("\"{key}\": {}", g.get())),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    histograms.push(format!(
+                        "\"{key}\": {{ \"count\": {}, \"sum_s\": {:.9}, \"p50_s\": {:.9}, \
+                         \"p95_s\": {:.9}, \"p99_s\": {:.9} }}",
+                        snap.count,
+                        snap.sum_seconds(),
+                        snap.quantile(0.50),
+                        snap.quantile(0.95),
+                        snap.quantile(0.99),
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\n  \"counters\": {{ {} }},\n  \"gauges\": {{ {} }},\n  \"histograms\": {{ {} }}\n}}\n",
+            counters.join(", "),
+            gauges.join(", "),
+            histograms.join(", ")
+        )
+    }
+}
+
+/// Splits `emst_x{op="emst"}` into (`emst_x`, `op="emst"`); the label
+/// part is empty for unlabelled names.
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, rest.strip_suffix('}').unwrap_or(rest)),
+        None => (name, ""),
+    }
+}
+
+/// Labels followed by a comma, ready to precede `le="…"`.
+fn label_prefix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    }
+}
+
+/// Labels wrapped back in braces, or nothing.
+fn labels_suffix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let mut prev = 0;
+        for shift in 0..63 {
+            let idx = bucket_index(1u64 << shift);
+            assert!(idx >= prev);
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_distribution_respect_bucket_error() {
+        let h = Histogram::default();
+        // 1000 events at 1µs, 1000 at 1ms: p50 must land within the 1µs
+        // bucket's factor-2 bound, p99 within the 1ms bucket's.
+        for _ in 0..1000 {
+            h.record_nanos(1_000);
+        }
+        for _ in 0..1000 {
+            h.record_nanos(1_000_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2000);
+        assert_eq!(snap.sum_nanos, 1000 * 1_000 + 1000 * 1_000_000);
+        let p50 = snap.quantile(0.50);
+        assert!((1.0e-6..=2.1e-6).contains(&p50), "p50 = {p50}");
+        let p99 = snap.quantile(0.99);
+        assert!((1.0e-3..=2.1e-3).contains(&p99), "p99 = {p99}");
+        assert_eq!(snap.quantile(0.0), snap.quantile(1.0 / 2000.0));
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.snapshot().sum_seconds(), 0.0);
+    }
+
+    #[test]
+    fn eight_threads_hammering_one_histogram_keep_exact_totals() {
+        // The satellite test: 8 threads × 10k records against a single
+        // histogram. Totals must be exact (every fetch_add lands) and
+        // quantiles within the bucket-boundary error of the true values.
+        let h = Histogram::default();
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Latencies cycle 1µs..=1000µs, identical per
+                        // thread, so the merged distribution is known.
+                        let micros = (t + i) % 1000 + 1;
+                        h.record_nanos(micros * 1_000);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8 * per_thread);
+        // Per thread the cycle covers 1..=1000 µs exactly 10 times.
+        let cycle_sum: u64 = (1..=1000u64).map(|m| m * 1_000).sum();
+        assert_eq!(snap.sum_nanos, 8 * 10 * cycle_sum);
+        // True p50 = 500µs, p95 = 950µs, p99 = 990µs; buckets are
+        // factor-2, so accept [true/2, 2·true].
+        for (q, truth) in [(0.50, 500e-6), (0.95, 950e-6), (0.99, 990e-6)] {
+            let got = snap.quantile(q);
+            assert!((truth / 2.0..=truth * 2.1).contains(&got), "q{q}: got {got}, true {truth}");
+        }
+    }
+
+    #[test]
+    fn registry_returns_shared_handles_and_renders_both_formats() {
+        let reg = Registry::new();
+        reg.counter("emst_test_events_total{event=\"hit\"}").add(3);
+        reg.counter("emst_test_events_total{event=\"hit\"}").inc();
+        reg.counter("emst_test_events_total{event=\"miss\"}").inc();
+        reg.gauge("emst_test_pool_size").set(7);
+        let h = reg.histogram("emst_test_op_seconds{op=\"emst\"}");
+        h.record_secs(0.5);
+        h.record_secs(0.25);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE emst_test_events_total counter"));
+        assert!(text.contains("emst_test_events_total{event=\"hit\"} 4"));
+        assert!(text.contains("emst_test_events_total{event=\"miss\"} 1"));
+        assert!(text.contains("emst_test_pool_size 7"));
+        assert!(text.contains("emst_test_op_seconds_bucket{op=\"emst\",le=\"+Inf\"} 2"));
+        assert!(text.contains("emst_test_op_seconds_count{op=\"emst\"} 2"));
+        assert!(text.contains("emst_test_op_seconds_p50{op=\"emst\"}"));
+        assert!(text.contains("emst_test_op_seconds_p99{op=\"emst\"}"));
+        // One TYPE line per family even with two labelled children.
+        assert_eq!(text.matches("# TYPE emst_test_events_total counter").count(), 1);
+
+        let json = reg.render_json();
+        assert!(json.contains("\"emst_test_events_total{event=\\\"hit\\\"}\": 4"));
+        assert!(json.contains("\"emst_test_pool_size\": 7"));
+        assert!(json.contains("\"count\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let g = Gauge::default();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registering_the_same_name_as_a_different_kind_panics() {
+        let reg = Registry::new();
+        reg.counter("emst_test_clash");
+        reg.gauge("emst_test_clash");
+    }
+}

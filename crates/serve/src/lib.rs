@@ -94,6 +94,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+use std::time::Instant;
 
 use emst_bvh::TraversalStats;
 use emst_core::{BoruvkaScratch, Edge, EmstConfig};
@@ -101,6 +102,7 @@ use emst_exec::counters::CounterSnapshot;
 use emst_exec::{ExecSpace, PhaseTimings};
 use emst_geometry::{Point, Scalar};
 use emst_hdbscan::{Hdbscan, HdbscanResult};
+use emst_obs::{Counter, Gauge, Histogram, QueryTrace, Registry, SpanRecord, TraceRing};
 use emst_shard::{MergeAccel, MergeScratch, ShardArtifacts, ShardConfig};
 use parking_lot::{Condvar, Mutex, RwLock};
 
@@ -123,6 +125,12 @@ pub struct ServeConfig {
     /// process-unique directory under the system temp dir, removed when
     /// the engine is dropped; a caller-provided directory is left alone.
     pub spill_dir: Option<PathBuf>,
+    /// Record lock-free metrics and per-query traces (on by default; see
+    /// [`ServeEngine::metrics_prometheus`] and
+    /// [`ServeEngine::recent_traces`]). Off removes every instrumentation
+    /// probe from the query paths — the uninstrumented baseline the
+    /// benchmark's overhead measurement compares against.
+    pub observability: bool,
 }
 
 impl ServeConfig {
@@ -134,6 +142,7 @@ impl ServeConfig {
             emst: EmstConfig::default(),
             parallel_shards: true,
             spill_dir: None,
+            observability: true,
         }
     }
 }
@@ -148,6 +157,17 @@ pub enum CacheOutcome {
     /// The cloud had been evicted: points reloaded from its spill file and
     /// artifacts rebuilt (deterministically, so answers are unchanged).
     Reloaded,
+}
+
+impl CacheOutcome {
+    /// Lower-case name, as traces and the CLI report it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Reloaded => "reload",
+        }
+    }
 }
 
 /// Lifetime cache statistics of an engine.
@@ -172,6 +192,35 @@ pub struct ServeStats {
     /// same key instead of rebuilding it (single-flight coalescing); each
     /// also counts as a hit once the build lands.
     pub coalesced: u64,
+}
+
+impl ServeStats {
+    /// Every stat as a `(name, value)` pair, in declaration order.
+    ///
+    /// The destructuring is deliberately exhaustive (no `..`): adding a
+    /// field to [`ServeStats`] without extending this list is a compile
+    /// error, so consumers that iterate the names — the CLI `stats`
+    /// command, the metrics exporters — can never silently miss one.
+    pub fn named_fields(&self) -> [(&'static str, u64); 7] {
+        let ServeStats {
+            hits,
+            misses,
+            reloads,
+            evictions,
+            spill_failures,
+            digest_collisions,
+            coalesced,
+        } = *self;
+        [
+            ("hits", hits),
+            ("misses", misses),
+            ("reloads", reloads),
+            ("evictions", evictions),
+            ("spill_failures", spill_failures),
+            ("digest_collisions", digest_collisions),
+            ("coalesced", coalesced),
+        ]
+    }
 }
 
 /// Errors of the handle-based (`*_by_key`) query paths.
@@ -374,6 +423,102 @@ impl StatCells {
     }
 }
 
+/// Capacity of the per-engine trace ring: enough to inspect a recent
+/// burst of queries, bounded so a long-serving engine cannot grow.
+const TRACE_CAPACITY: usize = 256;
+
+/// The engine's observability bundle: a metrics [`Registry`] with every
+/// handle pre-resolved (recording on the query path is relaxed-atomic,
+/// never a name lookup), and the bounded ring of per-query traces. Built
+/// once per engine when [`ServeConfig::observability`] is on.
+struct ServeObs {
+    registry: Registry,
+    traces: TraceRing,
+    /// Per-op-kind latency, `emst_serve_op_seconds{op="…"}`.
+    op_emst: Arc<Histogram>,
+    op_subset: Arc<Histogram>,
+    op_knn: Arc<Histogram>,
+    op_hdbscan: Arc<Histogram>,
+    op_ingest: Arc<Histogram>,
+    /// Cache events, `emst_serve_cache_events_total{event="…"}` —
+    /// mirrors [`StatCells`] so the exposition needs no snapshot calls.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    reloads: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    evictions: Arc<Counter>,
+    spill_failures: Arc<Counter>,
+    digest_collisions: Arc<Counter>,
+    /// Algorithmic work per [`CounterSnapshot`] field,
+    /// `emst_serve_work_total{counter="…"}`, in `named_fields` order.
+    work: [Arc<Counter>; 9],
+    scratch_checkouts: Arc<Counter>,
+    scratch_pool_size: Arc<Gauge>,
+    resident_clouds: Arc<Gauge>,
+    resident_bytes: Arc<Gauge>,
+    /// Acquisition waits on the shared locks,
+    /// `emst_serve_lock_wait_seconds{lock="…"}`.
+    lock_residents_read: Arc<Histogram>,
+    lock_residents_write: Arc<Histogram>,
+    lock_accel_read: Arc<Histogram>,
+    lock_accel_write: Arc<Histogram>,
+    lease_wait: Arc<Histogram>,
+    spill_write: Arc<Histogram>,
+    eviction: Arc<Histogram>,
+}
+
+impl ServeObs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let op = |o: &str| registry.histogram(&format!("emst_serve_op_seconds{{op=\"{o}\"}}"));
+        let event =
+            |e: &str| registry.counter(&format!("emst_serve_cache_events_total{{event=\"{e}\"}}"));
+        let lock =
+            |l: &str| registry.histogram(&format!("emst_serve_lock_wait_seconds{{lock=\"{l}\"}}"));
+        let work = CounterSnapshot::default().named_fields().map(|(name, _)| {
+            registry.counter(&format!("emst_serve_work_total{{counter=\"{name}\"}}"))
+        });
+        Self {
+            traces: TraceRing::new(TRACE_CAPACITY),
+            op_emst: op("emst"),
+            op_subset: op("subset"),
+            op_knn: op("knn"),
+            op_hdbscan: op("hdbscan"),
+            op_ingest: op("ingest"),
+            hits: event("hit"),
+            misses: event("miss"),
+            reloads: event("reload"),
+            coalesced: event("coalesced"),
+            evictions: event("eviction"),
+            spill_failures: event("spill_failure"),
+            digest_collisions: event("digest_collision"),
+            work,
+            scratch_checkouts: registry.counter("emst_serve_scratch_checkouts_total"),
+            scratch_pool_size: registry.gauge("emst_serve_scratch_pool_size"),
+            resident_clouds: registry.gauge("emst_serve_resident_clouds"),
+            resident_bytes: registry.gauge("emst_serve_resident_bytes"),
+            lock_residents_read: lock("residents.read"),
+            lock_residents_write: lock("residents.write"),
+            lock_accel_read: lock("accel.read"),
+            lock_accel_write: lock("accel.write"),
+            lease_wait: registry.histogram("emst_serve_lease_wait_seconds"),
+            spill_write: registry.histogram("emst_serve_spill_write_seconds"),
+            eviction: registry.histogram("emst_serve_eviction_seconds"),
+            registry,
+        }
+    }
+
+    fn op_histogram(&self, op: &str) -> &Histogram {
+        match op {
+            "emst" => &self.op_emst,
+            "subset" => &self.op_subset,
+            "knn" => &self.op_knn,
+            "hdbscan" => &self.op_hdbscan,
+            _ => &self.op_ingest,
+        }
+    }
+}
+
 /// The serving engine. See the crate docs — in particular the
 /// "Concurrency" section for what is shared and what is per-thread.
 pub struct ServeEngine<S: ExecSpace, const D: usize> {
@@ -389,6 +534,9 @@ pub struct ServeEngine<S: ExecSpace, const D: usize> {
     spill_dir: PathBuf,
     /// Whether `spill_dir` is engine-owned (removed on drop).
     owns_spill_dir: bool,
+    /// Metrics + traces; `None` when [`ServeConfig::observability`] is
+    /// off, which compiles every probe down to a branch on a `None`.
+    obs: Option<ServeObs>,
 }
 
 /// Removes the flight from the in-flight map and releases its followers
@@ -430,6 +578,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                 (dir, true)
             }
         };
+        let obs = config.observability.then(ServeObs::new);
         Self {
             space,
             config,
@@ -440,6 +589,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             builds: Mutex::new(HashMap::new()),
             spill_dir,
             owns_spill_dir: owns,
+            obs,
         }
     }
 
@@ -451,6 +601,100 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// Lifetime cache statistics.
     pub fn stats(&self) -> ServeStats {
         self.stats.snapshot()
+    }
+
+    /// Whether this engine records metrics and traces
+    /// ([`ServeConfig::observability`]).
+    pub fn observability_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Prometheus-style text exposition of every engine metric (per-op
+    /// latency histograms with p50/p95/p99, cache events, work counters,
+    /// lock waits, pool/resident gauges). Empty when observability is off.
+    pub fn metrics_prometheus(&self) -> String {
+        match &self.obs {
+            Some(obs) => {
+                self.refresh_gauges(obs);
+                obs.registry.render_prometheus()
+            }
+            None => String::new(),
+        }
+    }
+
+    /// The same metrics as a JSON document (counters, gauges, histogram
+    /// summaries). `{}` when observability is off.
+    pub fn metrics_json(&self) -> String {
+        match &self.obs {
+            Some(obs) => {
+                self.refresh_gauges(obs);
+                obs.registry.render_json()
+            }
+            None => "{}\n".to_string(),
+        }
+    }
+
+    /// The `n` most recent per-query traces, newest first. Empty when
+    /// observability is off.
+    pub fn recent_traces(&self, n: usize) -> Vec<QueryTrace> {
+        self.obs.as_ref().map(|o| o.traces.recent(n)).unwrap_or_default()
+    }
+
+    /// Gauges are sampled at export time (their values are cheap reads of
+    /// engine state, not events) so an exposition is always current.
+    fn refresh_gauges(&self, obs: &ServeObs) {
+        obs.resident_clouds.set(self.num_resident() as u64);
+        obs.resident_bytes.set(self.resident_bytes() as u64);
+        obs.scratch_pool_size.set(self.scratch_pool.lock().len() as u64);
+    }
+
+    /// Runs `f` against the observability bundle when it exists — the
+    /// single gate every instrumentation probe sits behind.
+    #[inline]
+    fn obs_event(&self, f: impl FnOnce(&ServeObs)) {
+        if let Some(obs) = &self.obs {
+            f(obs);
+        }
+    }
+
+    /// A timestamp only when observability is on, so the off path never
+    /// pays for a clock read.
+    #[inline]
+    fn obs_now(&self) -> Option<Instant> {
+        self.obs.as_ref().map(|_| Instant::now())
+    }
+
+    /// Bridges a query's algorithmic work report into the per-counter
+    /// metrics family.
+    fn record_work(&self, work: &CounterSnapshot) {
+        if let Some(obs) = &self.obs {
+            for ((_, v), c) in work.named_fields().iter().zip(obs.work.iter()) {
+                c.add(*v);
+            }
+        }
+    }
+
+    /// Records the finished query's latency and pushes its trace.
+    fn finish_trace(
+        &self,
+        op: &'static str,
+        key: CloudKey,
+        outcome: CacheOutcome,
+        start: Option<Instant>,
+        spans: Vec<SpanRecord>,
+    ) {
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            let total = start.elapsed();
+            obs.op_histogram(op).record(total);
+            obs.traces.push(QueryTrace {
+                seq: 0,
+                op,
+                key: key.to_string(),
+                outcome: outcome.as_str(),
+                total_s: total.as_secs_f64(),
+                spans,
+            });
+        }
     }
 
     /// Number of currently resident clouds.
@@ -500,7 +744,15 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     }
 
     fn checkout(&self) -> ScratchGuard<'_> {
-        let scratch = self.scratch_pool.lock().pop().unwrap_or_else(QueryScratch::new);
+        let (scratch, pooled) = {
+            let mut pool = self.scratch_pool.lock();
+            (pool.pop(), pool.len())
+        };
+        let scratch = scratch.unwrap_or_else(QueryScratch::new);
+        self.obs_event(|o| {
+            o.scratch_checkouts.inc();
+            o.scratch_pool_size.set(pooled as u64);
+        });
         ScratchGuard { pool: &self.scratch_pool, scratch: Some(scratch) }
     }
 
@@ -509,7 +761,11 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// colliding resident so two distinct clouds never alias.
     fn lookup(&self, digest: u64, points: &[Point<D>]) -> Lookup<D> {
         let shards = self.num_shards();
+        let wait = self.obs_now();
         let residents = self.residents.read();
+        if let (Some(obs), Some(wait)) = (&self.obs, wait) {
+            obs.lock_residents_read.record(wait.elapsed());
+        }
         let mut salt = 0u32;
         for r in residents.iter() {
             if r.key.digest != digest || r.key.shards != shards {
@@ -568,10 +824,23 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         &self,
         key: CloudKey,
         points: Vec<Point<D>>,
+        spans: &mut Vec<SpanRecord>,
     ) -> (Arc<Resident<D>>, CounterSnapshot, PhaseTimings) {
+        let built = self.obs_now();
         let artifacts = ShardArtifacts::build(&self.space, &points, &self.shard_config());
         let build_work = artifacts.build_work();
         let build_timings = artifacts.build_timings().clone();
+        if let Some(built) = built {
+            spans.push(SpanRecord {
+                name: "build",
+                secs: built.elapsed().as_secs_f64(),
+                fields: vec![
+                    ("points", points.len() as u64),
+                    ("iterations", build_work.iterations),
+                    ("distances", build_work.distance_computations),
+                ],
+            });
+        }
         let accel = artifacts.new_accel();
         let resident = Arc::new(Resident {
             key,
@@ -582,7 +851,11 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         });
         let mut victims = Vec::new();
         {
+            let wait = self.obs_now();
             let mut residents = self.residents.write();
+            if let (Some(obs), Some(wait)) = (&self.obs, wait) {
+                obs.lock_residents_write.record(wait.elapsed());
+            }
             let budget = self.config.max_resident.max(1);
             while residents.len() >= budget {
                 let lru = residents
@@ -601,6 +874,8 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                 victims.push(victim);
             }
             residents.push(Arc::clone(&resident));
+            let count = residents.len() as u64;
+            self.obs_event(|o| o.resident_clouds.set(count));
         }
         // Spill writes (disk I/O, potentially many MB of CSV) happen
         // outside the residents lock — the victim `Arc`s keep the points
@@ -609,13 +884,33 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         // neither resident nor spilled only costs a transient `UnknownKey`
         // on its key, never wrong data.
         for victim in victims {
-            if let Err(e) = spill::write_spill(&self.spill_dir, victim.key, &victim.points) {
+            let evicted = self.obs_now();
+            let written = spill::write_spill(&self.spill_dir, victim.key, &victim.points);
+            if let (Some(obs), Some(evicted)) = (&self.obs, evicted) {
+                obs.spill_write.record(evicted.elapsed());
+            }
+            if let Err(e) = written {
                 // A failed write only costs a later `UnknownKey`, never
                 // wrong data — but it must not be silent.
                 self.stats.spill_failures.fetch_add(1, Relaxed);
-                eprintln!("emst-serve: spill write failed for {}: {e}", victim.key);
+                self.obs_event(|o| o.spill_failures.inc());
+                emst_obs::log::warn(
+                    "emst-serve",
+                    "spill write failed",
+                    &[("key", &victim.key.to_string()), ("error", &e.to_string())],
+                );
             }
             self.stats.evictions.fetch_add(1, Relaxed);
+            if let (Some(obs), Some(evicted)) = (&self.obs, evicted) {
+                let secs = evicted.elapsed().as_secs_f64();
+                obs.evictions.inc();
+                obs.eviction.record_secs(secs);
+                spans.push(SpanRecord {
+                    name: "spill",
+                    secs,
+                    fields: vec![("points", victim.points.len() as u64)],
+                });
+            }
         }
         (resident, build_work, build_timings)
     }
@@ -625,24 +920,46 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     fn resolve(
         &self,
         points: &[Point<D>],
+        spans: &mut Vec<SpanRecord>,
     ) -> (Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings) {
-        self.resolve_digest(digest_points(points), points)
+        let digested = self.obs_now();
+        let digest = digest_points(points);
+        if let Some(digested) = digested {
+            spans.push(SpanRecord {
+                name: "digest",
+                secs: digested.elapsed().as_secs_f64(),
+                fields: vec![("points", points.len() as u64)],
+            });
+        }
+        self.resolve_digest_traced(digest, points, spans)
     }
 
     /// [`Self::resolve`] with the digest supplied by the caller — the seam
     /// the collision tests use to alias two distinct clouds.
+    #[cfg(test)]
     fn resolve_digest(
         &self,
         digest: u64,
         points: &[Point<D>],
+    ) -> (Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings) {
+        self.resolve_digest_traced(digest, points, &mut Vec::new())
+    }
+
+    fn resolve_digest_traced(
+        &self,
+        digest: u64,
+        points: &[Point<D>],
+        spans: &mut Vec<SpanRecord>,
     ) -> (Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings) {
         let mut waited = false;
         loop {
             let key = match self.lookup(digest, points) {
                 Lookup::Hit(r) => {
                     self.stats.hits.fetch_add(1, Relaxed);
+                    self.obs_event(|o| o.hits.inc());
                     if waited {
                         self.stats.coalesced.fetch_add(1, Relaxed);
+                        self.obs_event(|o| o.coalesced.inc());
                     }
                     return (r, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new());
                 }
@@ -650,7 +967,13 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             };
             match self.begin_flight(key) {
                 Err(flight) => {
+                    let parked = self.obs_now();
                     flight.wait();
+                    if let (Some(obs), Some(parked)) = (&self.obs, parked) {
+                        let d = parked.elapsed();
+                        obs.lease_wait.record(d);
+                        spans.push(SpanRecord::new("lease.wait", d.as_secs_f64()));
+                    }
                     waited = true;
                 }
                 Ok(_lease) => {
@@ -663,8 +986,10 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                     match self.lookup(digest, points) {
                         Lookup::Hit(r) => {
                             self.stats.hits.fetch_add(1, Relaxed);
+                            self.obs_event(|o| o.hits.inc());
                             if waited {
                                 self.stats.coalesced.fetch_add(1, Relaxed);
+                                self.obs_event(|o| o.coalesced.inc());
                             }
                             return (
                                 r,
@@ -681,14 +1006,17 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                     }
                     let key = self.durable_salt(key, points);
                     self.stats.misses.fetch_add(1, Relaxed);
+                    self.obs_event(|o| o.misses.inc());
                     if key.salt != 0 {
                         self.stats.digest_collisions.fetch_add(1, Relaxed);
-                        eprintln!(
-                            "emst-serve: verified digest collision, admitting {} under salt {}",
-                            key, key.salt
+                        self.obs_event(|o| o.digest_collisions.inc());
+                        emst_obs::log::warn(
+                            "emst-serve",
+                            "verified digest collision, admitting under salted key",
+                            &[("key", &key.to_string()), ("salt", &key.salt.to_string())],
                         );
                     }
-                    let (r, work, timings) = self.build_and_admit(key, points.to_vec());
+                    let (r, work, timings) = self.build_and_admit(key, points.to_vec(), spans);
                     return (r, CacheOutcome::Miss, work, timings);
                 }
             }
@@ -699,6 +1027,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     fn resolve_key(
         &self,
         key: CloudKey,
+        spans: &mut Vec<SpanRecord>,
     ) -> Result<(Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings), ServeError> {
         // This engine's artifacts are always built with its own shard
         // count, so a key carrying any other `K` (say, minted by an engine
@@ -712,8 +1041,10 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         loop {
             if let Some(r) = self.residents.read().iter().find(|r| r.key == key) {
                 self.stats.hits.fetch_add(1, Relaxed);
+                self.obs_event(|o| o.hits.inc());
                 if waited {
                     self.stats.coalesced.fetch_add(1, Relaxed);
+                    self.obs_event(|o| o.coalesced.inc());
                 }
                 self.touch(r);
                 return Ok((
@@ -725,7 +1056,13 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             }
             match self.begin_flight(key) {
                 Err(flight) => {
+                    let parked = self.obs_now();
                     flight.wait();
+                    if let (Some(obs), Some(parked)) = (&self.obs, parked) {
+                        let d = parked.elapsed();
+                        obs.lease_wait.record(d);
+                        spans.push(SpanRecord::new("lease.wait", d.as_secs_f64()));
+                    }
                     waited = true;
                 }
                 Ok(_lease) => {
@@ -735,8 +1072,10 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                     // reloading now would admit a duplicate resident.
                     if let Some(r) = self.residents.read().iter().find(|r| r.key == key) {
                         self.stats.hits.fetch_add(1, Relaxed);
+                        self.obs_event(|o| o.hits.inc());
                         if waited {
                             self.stats.coalesced.fetch_add(1, Relaxed);
+                            self.obs_event(|o| o.coalesced.inc());
                         }
                         self.touch(r);
                         return Ok((
@@ -755,7 +1094,8 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                         return Err(ServeError::DigestMismatch(key));
                     }
                     self.stats.reloads.fetch_add(1, Relaxed);
-                    let (r, work, timings) = self.build_and_admit(key, points);
+                    self.obs_event(|o| o.reloads.inc());
+                    let (r, work, timings) = self.build_and_admit(key, points, spans);
                     return Ok((r, CacheOutcome::Reloaded, work, timings));
                 }
             }
@@ -766,7 +1106,12 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// query, returning the key future queries can use. Re-ingesting a
     /// resident cloud is a no-op hit.
     pub fn ingest(&self, points: &[Point<D>]) -> CloudKey {
-        self.resolve(points).0.key
+        let started = self.obs_now();
+        let mut spans = Vec::new();
+        let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
+        self.record_work(&build_work);
+        self.finish_trace("ingest", r.key, outcome, started, spans);
+        r.key
     }
 
     fn answer_emst(
@@ -775,6 +1120,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         outcome: CacheOutcome,
         build_work: CounterSnapshot,
         build_timings: PhaseTimings,
+        spans: &mut Vec<SpanRecord>,
     ) -> QueryResponse {
         let mut scratch = self.checkout();
         // One reborrow through the guard so the borrow checker can split
@@ -782,14 +1128,50 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         let scratch = &mut *scratch;
         // Copy-out / merge / absorb-back: the accel lock is only held for
         // the two memcpy-scale critical sections, never across traversals.
-        scratch.accel.copy_from(&r.accel.read());
+        {
+            let wait = self.obs_now();
+            let accel = r.accel.read();
+            if let (Some(obs), Some(wait)) = (&self.obs, wait) {
+                obs.lock_accel_read.record(wait.elapsed());
+            }
+            scratch.accel.copy_from(&accel);
+        }
         let merged = r.artifacts.merge_accel(
             &self.space,
             self.config.emst.traversal,
             &mut scratch.merge,
             &mut scratch.accel,
         );
-        r.accel.write().absorb(&scratch.accel);
+        if self.obs.is_some() {
+            for d in &merged.stats.round_details {
+                spans.push(SpanRecord {
+                    name: "merge.round",
+                    secs: d.secs,
+                    fields: vec![
+                        ("round", u64::from(d.round)),
+                        ("queries", d.queries),
+                        ("boundary", d.boundary),
+                        ("nodes", d.stats.nodes),
+                        ("leaves", d.stats.leaves),
+                        ("distances", d.stats.distances),
+                        ("skipped", d.stats.skipped),
+                        ("rope_hops", d.stats.rope_hops),
+                    ],
+                });
+            }
+        }
+        {
+            let wait = self.obs_now();
+            let mut accel = r.accel.write();
+            if let (Some(obs), Some(wait)) = (&self.obs, wait) {
+                obs.lock_accel_write.record(wait.elapsed());
+            }
+            let absorbed = self.obs_now();
+            accel.absorb(&scratch.accel);
+            if let Some(absorbed) = absorbed {
+                spans.push(SpanRecord::new("absorb", absorbed.elapsed().as_secs_f64()));
+            }
+        }
         let mut timings = build_timings;
         timings.absorb(&merged.stats.timings);
         QueryResponse {
@@ -809,16 +1191,26 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// bit-identical to the cold solve because both are the same
     /// deterministic merge over the same artifacts.
     pub fn emst(&self, points: &[Point<D>]) -> QueryResponse {
-        let (r, outcome, build_work, build_timings) = self.resolve(points);
-        self.answer_emst(&r, outcome, build_work, build_timings)
+        let started = self.obs_now();
+        let mut spans = Vec::new();
+        let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
+        let resp = self.answer_emst(&r, outcome, build_work, build_timings, &mut spans);
+        self.record_work(&(resp.build_work + resp.query_work));
+        self.finish_trace("emst", resp.key, outcome, started, spans);
+        resp
     }
 
     /// [`Self::emst`] by key: serves a previously ingested cloud without
     /// resending its points, transparently reloading from the spill file
     /// if the cloud was evicted.
     pub fn emst_by_key(&self, key: CloudKey) -> Result<QueryResponse, ServeError> {
-        let (r, outcome, build_work, build_timings) = self.resolve_key(key)?;
-        Ok(self.answer_emst(&r, outcome, build_work, build_timings))
+        let started = self.obs_now();
+        let mut spans = Vec::new();
+        let (r, outcome, build_work, build_timings) = self.resolve_key(key, &mut spans)?;
+        let resp = self.answer_emst(&r, outcome, build_work, build_timings, &mut spans);
+        self.record_work(&(resp.build_work + resp.query_work));
+        self.finish_trace("emst", resp.key, outcome, started, spans);
+        Ok(resp)
     }
 
     /// Exact EMST of a subset of `points` (distinct original indices),
@@ -829,8 +1221,11 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// # Panics
     /// On out-of-range or duplicate subset indices.
     pub fn emst_subset(&self, points: &[Point<D>], subset: &[u32]) -> QueryResponse {
-        let (r, outcome, build_work, build_timings) = self.resolve(points);
+        let started = self.obs_now();
+        let mut spans = Vec::new();
+        let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
         let mut scratch = self.checkout();
+        let solved = self.obs_now();
         // The resident copy is the authoritative cloud (it digested equal).
         let sub = r.artifacts.merge_subset(
             &self.space,
@@ -839,9 +1234,16 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             &self.config.emst,
             &mut scratch.boruvka,
         );
+        if let Some(solved) = solved {
+            spans.push(SpanRecord {
+                name: "subset.solve",
+                secs: solved.elapsed().as_secs_f64(),
+                fields: vec![("subset", subset.len() as u64)],
+            });
+        }
         let mut timings = build_timings;
         timings.absorb(&sub.stats.timings);
-        QueryResponse {
+        let resp = QueryResponse {
             edges: sub.edges,
             total_weight: sub.total_weight,
             outcome,
@@ -850,16 +1252,21 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             query_work: sub.stats.work,
             timings,
             resident_bytes: r.artifacts.resident_bytes(),
-        }
+        };
+        self.record_work(&(resp.build_work + resp.query_work));
+        self.finish_trace("subset", resp.key, outcome, started, spans);
+        resp
     }
 
     /// The `k` nearest ingested points to `query`, answered from the
     /// resident per-shard BVHs.
     pub fn k_nearest(&self, points: &[Point<D>], query: &Point<D>, k: usize) -> KnnResponse {
-        let (r, outcome, build_work, _) = self.resolve(points);
+        let started = self.obs_now();
+        let mut spans = Vec::new();
+        let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
         let mut stats = TraversalStats::default();
         let neighbors = r.artifacts.k_nearest(query, k, &mut stats);
-        KnnResponse {
+        let resp = KnnResponse {
             neighbors,
             outcome,
             key: r.key,
@@ -873,7 +1280,10 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                 queries: 1,
                 ..CounterSnapshot::default()
             },
-        }
+        };
+        self.record_work(&(resp.build_work + resp.query_work));
+        self.finish_trace("knn", resp.key, outcome, started, spans);
+        resp
     }
 
     /// HDBSCAN* clustering of `points`, drawing the EMST pass's working
@@ -881,9 +1291,13 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// repeated clusterings (parameter sweeps) stop paying per-call
     /// allocation, and the cloud stays resident for EMST/k-NN traffic.
     pub fn hdbscan(&self, points: &[Point<D>], params: Hdbscan) -> HdbscanResponse {
-        let (r, outcome, _, _) = self.resolve(points);
+        let started = self.obs_now();
+        let mut spans = Vec::new();
+        let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
         let mut scratch = self.checkout();
         let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
+        self.record_work(&build_work);
+        self.finish_trace("hdbscan", r.key, outcome, started, spans);
         HdbscanResponse { result, outcome, key: r.key }
     }
 }
@@ -1088,7 +1502,13 @@ mod tests {
 
     fn answer(engine: &ServeEngine<Serial, 2>, r: &Resident<2>) -> Vec<Edge> {
         engine
-            .answer_emst(r, CacheOutcome::Hit, CounterSnapshot::default(), PhaseTimings::new())
+            .answer_emst(
+                r,
+                CacheOutcome::Hit,
+                CounterSnapshot::default(),
+                PhaseTimings::new(),
+                &mut vec![],
+            )
             .edges
     }
 
@@ -1231,5 +1651,115 @@ mod tests {
         std::panic::set_hook(prev);
         assert!(caught.is_err());
         assert_eq!(engine.scratch_pool.lock().len(), 1, "unwound scratch must return");
+    }
+
+    /// Tentpole: queries populate the per-op histograms, cache-event
+    /// counters, work counters and the trace ring, and the exposition
+    /// carries quantile lines for the op family.
+    #[test]
+    fn queries_populate_metrics_and_traces() {
+        let pts = random_points_2d(600, 60);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+        assert!(engine.observability_enabled());
+        engine.emst(&pts); // miss
+        engine.emst(&pts); // hit
+        engine.k_nearest(&pts, &pts[0], 3);
+
+        let text = engine.metrics_prometheus();
+        assert!(text.contains("emst_serve_op_seconds_count{op=\"emst\"} 2"), "{text}");
+        assert!(text.contains("emst_serve_op_seconds_p50{op=\"emst\"}"));
+        assert!(text.contains("emst_serve_op_seconds_p99{op=\"emst\"}"));
+        assert!(text.contains("emst_serve_op_seconds_count{op=\"knn\"} 1"));
+        assert!(text.contains("emst_serve_cache_events_total{event=\"hit\"} 2"));
+        assert!(text.contains("emst_serve_cache_events_total{event=\"miss\"} 1"));
+        assert!(text.contains("emst_serve_scratch_checkouts_total 2"));
+        assert!(text.contains("emst_serve_resident_clouds 1"));
+        // Work counters bridge the exec counter snapshot field-for-field.
+        assert!(text.contains("emst_serve_work_total{counter=\"distance_computations\"}"));
+        assert!(text.contains("emst_serve_work_total{counter=\"heap_ops\"}"));
+
+        let json = engine.metrics_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("p99_s"));
+
+        // Newest-first traces: knn, then the warm emst with its merge
+        // rounds and absorb, then the cold emst with its build span.
+        let traces = engine.recent_traces(10);
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].op, "knn");
+        assert_eq!(traces[1].op, "emst");
+        assert_eq!(traces[1].outcome, "hit");
+        assert!(traces[1].spans.iter().any(|s| s.name == "digest"));
+        assert!(traces[1].spans.iter().any(|s| s.name == "absorb"));
+        let round = traces[1]
+            .spans
+            .iter()
+            .find(|s| s.name == "merge.round")
+            .expect("warm emst records merge rounds");
+        assert_eq!(round.field("round"), Some(1));
+        assert!(round.field("queries").is_some());
+        assert!(round.field("distances").is_some());
+        assert_eq!(traces[2].outcome, "miss");
+        assert!(traces[2].spans.iter().any(|s| s.name == "build"));
+    }
+
+    /// The observability switch really removes the probes: answers stay
+    /// bit-identical, exporters return empty documents.
+    #[test]
+    fn observability_off_serves_identically_with_empty_exporters() {
+        let pts = random_points_2d(500, 61);
+        let on = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+        let mut cfg = ServeConfig::new(4, 2);
+        cfg.observability = false;
+        let off = ServeEngine::<_, 2>::new(Serial, cfg);
+        assert!(!off.observability_enabled());
+
+        let (a, b) = (on.emst(&pts), off.emst(&pts));
+        assert_eq!(a.edges, b.edges);
+        let (a, b) = (on.emst(&pts), off.emst(&pts));
+        assert_eq!(a.edges, b.edges);
+
+        assert_eq!(off.metrics_prometheus(), "");
+        assert_eq!(off.metrics_json(), "{}\n");
+        assert!(off.recent_traces(5).is_empty());
+        // ServeStats are part of the serving contract, not observability:
+        // both engines count identically.
+        assert_eq!(on.stats(), off.stats());
+    }
+
+    /// `ServeStats::named_fields` is the reflection seam the CLI `stats`
+    /// command prints from; it must cover every field exactly once.
+    #[test]
+    fn serve_stats_named_fields_cover_every_field() {
+        let stats = ServeStats {
+            hits: 1,
+            misses: 2,
+            reloads: 3,
+            evictions: 4,
+            spill_failures: 5,
+            digest_collisions: 6,
+            coalesced: 7,
+        };
+        let fields = stats.named_fields();
+        assert_eq!(fields.len(), 7);
+        let sum: u64 = fields.iter().map(|&(_, v)| v).sum();
+        assert_eq!(sum, 28, "every field value appears exactly once");
+        assert!(fields.iter().any(|&(n, v)| n == "digest_collisions" && v == 6));
+        assert!(fields.iter().any(|&(n, v)| n == "coalesced" && v == 7));
+    }
+
+    /// Evictions record spill-write durations and eviction events in the
+    /// metrics, and the admitting query's trace carries the spill span.
+    #[test]
+    fn evictions_show_up_in_metrics_and_traces() {
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 1));
+        engine.emst(&random_points_2d(200, 62));
+        engine.emst(&random_points_2d(200, 63)); // budget 1: evicts the first
+        let text = engine.metrics_prometheus();
+        assert!(text.contains("emst_serve_cache_events_total{event=\"eviction\"} 1"), "{text}");
+        assert!(text.contains("emst_serve_spill_write_seconds_count 1"));
+        assert!(text.contains("emst_serve_eviction_seconds_count 1"));
+        let traces = engine.recent_traces(1);
+        assert!(traces[0].spans.iter().any(|s| s.name == "spill"));
     }
 }

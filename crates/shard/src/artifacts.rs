@@ -304,6 +304,7 @@ impl<const D: usize> ShardArtifacts<D> {
         result.edges = outcome.edges;
         result.stats.boundary_candidates = outcome.boundary_candidates;
         result.stats.merge_rounds = outcome.rounds;
+        result.stats.round_details = outcome.round_details;
         result.stats.timings = timings;
         result.stats.work = counters.snapshot();
         result
@@ -443,6 +444,7 @@ impl<const D: usize> ShardArtifacts<D> {
         result.edges = edges;
         result.stats.boundary_candidates = outcome.boundary_candidates;
         result.stats.merge_rounds = outcome.rounds;
+        result.stats.round_details = outcome.round_details;
         result.stats.timings = timings;
         result.stats.work = local_work + counters.snapshot();
         result

@@ -48,7 +48,7 @@ pub mod plan;
 pub mod stream;
 
 pub use artifacts::ShardArtifacts;
-pub use merge::{MergeAccel, MergeScratch};
+pub use merge::{MergeAccel, MergeRoundDetail, MergeScratch};
 pub use plan::ShardPlan;
 pub use stream::{emst_sharded_csv, StreamConfig};
 
@@ -90,6 +90,10 @@ pub struct ShardStats {
     pub boundary_candidates: u64,
     /// Borůvka rounds of the cross-shard merge.
     pub merge_rounds: u32,
+    /// Per-round merge breakdown (wall-clock, queries fired, boundary
+    /// candidates, traversal deltas), in execution order. Empty only when
+    /// the merge ran zero rounds (`n < 2`).
+    pub round_details: Vec<MergeRoundDetail>,
     /// Peak number of points resident at once (only meaningful for the
     /// out-of-core path; equals `n` for in-memory solves).
     pub peak_resident: usize,

@@ -116,6 +116,29 @@ pub(crate) struct MergeOutcome {
     /// were not pruned at the other shard's root) — the effective boundary
     /// candidate count.
     pub boundary_candidates: u64,
+    /// Per-round breakdown, in execution order (one entry per round).
+    pub round_details: Vec<MergeRoundDetail>,
+}
+
+/// The work profile of one cross-shard Borůvka round: wall-clock time of
+/// the whole round (labels + seeds + query + select + union) plus the
+/// query phase's traversal deltas. Always collected — a merge runs a
+/// handful of rounds, so the record is a few hundred bytes — and surfaced
+/// through `ShardStats::round_details` so the serving layer's per-query
+/// traces can show where a warm merge spent its time.
+#[derive(Clone, Copy, Debug)]
+pub struct MergeRoundDetail {
+    /// 1-based round number.
+    pub round: u32,
+    /// Wall-clock seconds of the round.
+    pub secs: f64,
+    /// Cross-shard nearest-neighbour queries actually fired this round
+    /// (after the reach/candidate skips).
+    pub queries: u64,
+    /// Queries that tested at least one leaf (boundary candidates).
+    pub boundary: u64,
+    /// Merged traversal statistics of the round's query phase.
+    pub stats: TraversalStats,
 }
 
 /// Per-query accumulation for the reduction: traversal work plus the count
@@ -527,7 +550,12 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
         "shards must partition the vertex set"
     );
     if n_vertices < 2 {
-        return MergeOutcome { edges: vec![], rounds: 0, boundary_candidates: 0 };
+        return MergeOutcome {
+            edges: vec![],
+            rounds: 0,
+            boundary_candidates: 0,
+            round_details: vec![],
+        };
     }
 
     let stride = shards.len();
@@ -585,9 +613,11 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     let mut edges: Vec<Edge> = Vec::with_capacity(n_vertices - 1);
     let mut rounds = 0u32;
     let mut boundary_candidates = 0u64;
+    let mut round_details: Vec<MergeRoundDetail> = vec![];
     let mut num_components = n_vertices;
 
     while num_components > 1 {
+        let round_start = std::time::Instant::now();
         rounds += 1;
         assert!(
             rounds as usize <= usize::BITS as usize * 2,
@@ -701,7 +731,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
         // Phase 3: one constrained nearest-neighbour query per point per
         // *other* shard, tracking the best candidate under the global
         // `(weight, min, max)` order inside the leaf callback.
-        timings.time("merge.query", || {
+        let work = timings.time("merge.query", || {
             let labels = &labels;
             let node_labels = &node_labels;
             let upper = &upper;
@@ -712,7 +742,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
             let cand_b_s = SyncUnsafeSlice::new(cand_b.as_mut_slice());
             let reach_s = SyncUnsafeSlice::new(reach.as_mut_slice());
             let cross_s = SyncUnsafeSlice::new(cross_dist.as_mut_slice());
-            let work = space.parallel_reduce(
+            space.parallel_reduce(
                 n_vertices,
                 QueryWork::default(),
                 |v| {
@@ -822,15 +852,15 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
                     work
                 },
                 QueryWork::combine,
-            );
-            boundary_candidates += work.boundary;
-            counters.add_queries(work.queries);
-            counters.add_node_visits(work.stats.nodes);
-            counters.add_rope_hops(work.stats.rope_hops);
-            counters.add_leaf_visits(work.stats.leaves);
-            counters.add_distance_computations(work.stats.distances);
-            counters.add_subtrees_skipped(work.stats.skipped);
+            )
         });
+        boundary_candidates += work.boundary;
+        counters.add_queries(work.queries);
+        counters.add_node_visits(work.stats.nodes);
+        counters.add_rope_hops(work.stats.rope_hops);
+        counters.add_leaf_visits(work.stats.leaves);
+        counters.add_distance_computations(work.stats.distances);
+        counters.add_subtrees_skipped(work.stats.skipped);
 
         // Round 1's post-query working state is durable (see [`MergeAccel`]
         // docs): snapshot it before any label-dependent round can taint the
@@ -943,10 +973,17 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
         });
 
         num_components = reps.len();
+        round_details.push(MergeRoundDetail {
+            round: rounds,
+            secs: round_start.elapsed().as_secs_f64(),
+            queries: work.queries,
+            boundary: work.boundary,
+            stats: work.stats,
+        });
     }
 
     assert_eq!(edges.len(), n_vertices - 1, "merge did not produce a spanning tree");
-    MergeOutcome { edges, rounds, boundary_candidates }
+    MergeOutcome { edges, rounds, boundary_candidates, round_details }
 }
 
 #[cfg(test)]
@@ -992,6 +1029,18 @@ mod tests {
         );
         assert_eq!(out.edges.len(), 59);
         verify_spanning_tree(60, &out.edges).unwrap();
+        // One detail record per round, rounds numbered from 1, and the
+        // per-round boundary counts must sum to the outcome's total.
+        assert_eq!(out.round_details.len() as u32, out.rounds);
+        assert!(out
+            .round_details
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.round == i as u32 + 1 && d.secs >= 0.0));
+        assert_eq!(
+            out.round_details.iter().map(|d| d.boundary).sum::<u64>(),
+            out.boundary_candidates
+        );
 
         // Oracle: Kruskal over all cross edges only.
         let mut cross: Vec<Edge> = vec![];

@@ -336,6 +336,9 @@ fn stream_shards<S: ExecSpace, const D: usize>(
             local_iterations,
             boundary_candidates,
             merge_rounds,
+            // Per-round details are a per-merge concept; the streamed path
+            // runs many independent pairwise merges, so it reports none.
+            round_details: vec![],
             peak_resident,
             timings: std::mem::take(timings),
             work: local_work + counters.snapshot(),

@@ -18,8 +18,15 @@
 //! answered by the cross-shard merge alone. Commands, one per line on
 //! stdin: `emst [out.csv]`, `subset <lo>..<hi>`, `knn <k> <x> <y> [<z>]`,
 //! `hdbscan <k_pts> <min_cluster_size>`, `load <points.csv>`, `stats`,
-//! `quit`. Responses go to stdout (`cache=hit|miss|reloaded` tells whether
-//! the local phase ran); malformed commands print an error and continue.
+//! `metrics [json]`, `trace [n]`, `quit`. Responses go to stdout
+//! (`cache=hit|miss|reloaded` tells whether the local phase ran);
+//! malformed commands print an error and continue.
+//!
+//! Serve diagnostics go through the `emst::obs` structured logger —
+//! `--log-format json` turns them into machine-parseable JSON lines — and
+//! `--metrics-file <path>` keeps a Prometheus-style exposition of the
+//! engine's metrics current on disk (rewritten after each sequential
+//! command and at exit).
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -50,9 +57,10 @@ fn usage() -> ExitCode {
   emst-cli serve    --input <points.csv> [--dim 2|3] [--shards <K>]
                     [--max-resident <clouds>] [--backend serial|threads|gpusim]
                     [--traversal stackless|stack] [--workers <N>]
+                    [--log-format text|json] [--metrics-file <metrics.prom>]
                     stdin commands: emst [out.csv] | subset <lo>..<hi> |
                     knn <k> <x> <y> [<z>] | hdbscan <k_pts> <min_cluster_size> |
-                    load <points.csv> | stats | quit"
+                    load <points.csv> | stats | metrics [json] | trace [n] | quit"
     );
     ExitCode::FAILURE
 }
@@ -324,14 +332,36 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
     if workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    let log_format = opts.get("log-format").map(String::as_str).unwrap_or("text");
+    let log_format = emst::obs::log::Format::parse(log_format)
+        .ok_or(format!("invalid --log-format value {log_format:?} (expected text or json)"))?;
+    emst::obs::log::set_format(log_format);
+    let metrics_file = opts.get("metrics-file").map(PathBuf::from);
     let points = load_points::<D>(opts)?;
     let mut config = ServeConfig::new(shards, max_resident);
     config.emst = EmstConfig { traversal, ..EmstConfig::default() };
+    let metrics = metrics_file.as_deref();
     match backend {
-        "serial" => serve_repl(&ServeEngine::<_, D>::new(Serial, config), points, workers),
-        "threads" => serve_repl(&ServeEngine::<_, D>::new(Threads, config), points, workers),
-        "gpusim" => serve_repl(&ServeEngine::<_, D>::new(GpuSim::new(), config), points, workers),
+        "serial" => serve_repl(&ServeEngine::<_, D>::new(Serial, config), points, workers, metrics),
+        "threads" => {
+            serve_repl(&ServeEngine::<_, D>::new(Threads, config), points, workers, metrics)
+        }
+        "gpusim" => {
+            serve_repl(&ServeEngine::<_, D>::new(GpuSim::new(), config), points, workers, metrics)
+        }
         other => Err(format!("unknown --backend {other}")),
+    }
+}
+
+/// Rewrites the `--metrics-file` exposition; failures are logged, never
+/// fatal (a full disk must not take the serving loop down).
+fn write_metrics_file<S: ExecSpace, const D: usize>(engine: &ServeEngine<S, D>, path: &Path) {
+    if let Err(e) = std::fs::write(path, engine.metrics_prometheus()) {
+        emst::obs::log::warn(
+            "emst-cli",
+            "metrics file write failed",
+            &[("path", &path.display().to_string()), ("error", &e.to_string())],
+        );
     }
 }
 
@@ -339,18 +369,27 @@ fn serve_repl<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     points: Vec<Point<D>>,
     workers: usize,
+    metrics_file: Option<&Path>,
 ) -> Result<(), String> {
     let key = engine.ingest(&points);
-    eprintln!(
-        "serving {} points as {key} with {workers} worker{} (commands on stdin; `quit` to exit)",
-        points.len(),
-        if workers == 1 { "" } else { "s" },
+    emst::obs::log::info(
+        "emst-cli",
+        "serving (commands on stdin; `quit` to exit)",
+        &[
+            ("points", &points.len().to_string()),
+            ("key", &key.to_string()),
+            ("workers", &workers.to_string()),
+        ],
     );
-    if workers == 1 {
-        serve_sequential(engine, points)
+    let result = if workers == 1 {
+        serve_sequential(engine, points, metrics_file)
     } else {
         serve_pool(engine, points, workers)
+    };
+    if let Some(path) = metrics_file {
+        write_metrics_file(engine, path);
     }
+    result
 }
 
 /// Loads a new cloud for the REPL's `load` command; returns the response
@@ -372,6 +411,7 @@ fn load_cloud<S: ExecSpace, const D: usize>(
 fn serve_sequential<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     mut points: Vec<Point<D>>,
+    metrics_file: Option<&Path>,
 ) -> Result<(), String> {
     use std::io::BufRead;
     let stdin = std::io::stdin();
@@ -395,6 +435,9 @@ fn serve_sequential<S: ExecSpace, const D: usize>(
         match response {
             Ok(r) => println!("{r}"),
             Err(e) => println!("error: {e}"),
+        }
+        if let Some(path) = metrics_file {
+            write_metrics_file(engine, path);
         }
     }
     Ok(())
@@ -612,24 +655,42 @@ fn serve_command<S: ExecSpace, const D: usize>(
             ))
         }
         "stats" => {
+            // Iterate `named_fields` instead of naming fields by hand:
+            // `ServeStats::named_fields` destructures exhaustively, so adding
+            // a field to `ServeStats` without surfacing it here is a compile
+            // error in the library and a test failure in tests/cli.rs.
             let s = engine.stats();
-            Ok(format!(
-                "stats resident={} bytes={} hits={} misses={} reloads={} evictions={} \
-                 spill_failures={} digest_collisions={} coalesced={}",
+            let mut line = format!(
+                "stats resident={} bytes={}",
                 engine.num_resident(),
-                engine.resident_bytes(),
-                s.hits,
-                s.misses,
-                s.reloads,
-                s.evictions,
-                s.spill_failures,
-                s.digest_collisions,
-                s.coalesced,
-            ))
+                engine.resident_bytes()
+            );
+            for (name, value) in s.named_fields() {
+                line.push_str(&format!(" {name}={value}"));
+            }
+            Ok(line)
+        }
+        "metrics" => match rest.first() {
+            None => Ok(engine.metrics_prometheus().trim_end().to_string()),
+            Some(&"json") => Ok(engine.metrics_json().trim_end().to_string()),
+            Some(other) => Err(format!("invalid metrics format {other:?} (expected json)")),
+        },
+        "trace" => {
+            let n = match rest.first() {
+                None => 5,
+                Some(v) => v.parse().map_err(|_| format!("invalid trace count {v:?}"))?,
+            };
+            let traces = engine.recent_traces(n);
+            if traces.is_empty() {
+                return Ok("no traces recorded".into());
+            }
+            let rendered: Vec<String> = traces.iter().map(|t| t.render_text()).collect();
+            Ok(rendered.join("\n").trim_end().to_string())
         }
         other => Err(format!(
             "unknown command {other:?} (emst [out.csv] | subset <lo>..<hi> | knn <k> <x> <y> \
-             [<z>] | hdbscan <k_pts> <min_cluster_size> | load <points.csv> | stats | quit)"
+             [<z>] | hdbscan <k_pts> <min_cluster_size> | load <points.csv> | stats | \
+             metrics [json] | trace [n] | quit)"
         )),
     }
 }

@@ -21,6 +21,11 @@
 //!   answering repeated EMST/subset/HDBSCAN/k-NN queries without
 //!   re-running the local phase; every query takes `&self`, so N threads
 //!   share one engine by reference with bit-identical answers;
+//! - [`obs`] — the observability layer behind the serving engine:
+//!   lock-free metrics (counters, gauges, log₂-bucketed latency
+//!   histograms with p50/p95/p99), a bounded ring of per-query phase
+//!   traces, a leveled text/JSON logger, and Prometheus-style + JSON
+//!   exporters;
 //! - [`datasets`] — the synthetic evaluation datasets;
 //! - [`graph`] — the classical explicit-graph MST algorithms of the paper's
 //!   Background section (Borůvka, Kruskal, Prim).
@@ -48,6 +53,7 @@ pub use emst_graph as graph;
 pub use emst_hdbscan as hdbscan;
 pub use emst_kdtree as kdtree;
 pub use emst_morton as morton;
+pub use emst_obs as obs;
 pub use emst_serve as serve;
 pub use emst_shard as shard;
 pub use emst_wspd as wspd;

@@ -226,11 +226,13 @@ fn usage_mentions_every_command_and_flag() {
         "--k",
         "--min-cluster-size",
         "--workers",
+        "--log-format",
+        "--metrics-file",
     ] {
         assert!(usage.contains(flag), "usage misses flag {flag}: {usage}");
     }
     // And the serve REPL's command vocabulary is spelled out.
-    for repl in ["subset", "knn", "stats", "quit"] {
+    for repl in ["subset", "knn", "stats", "metrics", "trace", "quit"] {
         assert!(usage.contains(repl), "usage misses serve command {repl}: {usage}");
     }
 }
@@ -373,10 +375,129 @@ fn serve_strict_argument_errors() {
     assert!(stderr.contains("invalid --workers"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--input", "x.csv", "--traversal", "recursive"]);
     assert!(stderr.contains("invalid --traversal"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--log-format", "yaml"]);
+    assert!(stderr.contains("invalid --log-format"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--shards", "2"]);
     assert!(stderr.contains("--input is required"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--input", "/no/such/file.csv"]);
     assert!(stderr.contains("/no/such/file.csv"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_stats_line_covers_every_serve_stats_field() {
+    // Driven by `ServeStats::named_fields()` so that adding a field to
+    // `ServeStats` without printing it in the CLI `stats` line fails this
+    // test (the exhaustive destructure inside `named_fields` already makes
+    // forgetting to *export* the field a compile error).
+    let pts = tmp("serve-statsline-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "200", "--dim", "2"])
+        .args(["--seed", "21", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let stdout = serve_session(&pts, &[], "emst\nstats\nquit\n");
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("stats "))
+        .unwrap_or_else(|| panic!("no stats line in: {stdout}"));
+    assert!(line.contains("resident=1"), "stats line: {line}");
+    assert!(line.contains("bytes="), "stats line: {line}");
+    for (name, _) in emst::serve::ServeStats::default().named_fields() {
+        assert!(line.contains(&format!(" {name}=")), "stats line misses {name}: {line}");
+    }
+    // The two fields PR 6 added must be among them — a regression guard on
+    // `named_fields` itself going stale.
+    assert!(line.contains("digest_collisions="), "stats line: {line}");
+    assert!(line.contains("coalesced="), "stats line: {line}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn serve_metrics_and_trace_commands_report_populated_observability() {
+    let pts = tmp("serve-metrics-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "300", "--dim", "2"])
+        .args(["--seed", "23", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let stdout = serve_session(
+        &pts,
+        &["--shards", "2"],
+        "emst\nemst\nknn 2 0.5 0.5\nmetrics\ntrace\nmetrics json\nmetrics yaml\nquit\n",
+    );
+
+    // Prometheus exposition: per-op latency histograms with quantiles.
+    assert!(stdout.contains("# TYPE emst_serve_op_seconds histogram"), "stdout: {stdout}");
+    assert!(stdout.contains("emst_serve_op_seconds_count{op=\"emst\"} 2"), "stdout: {stdout}");
+    assert!(stdout.contains("emst_serve_op_seconds_count{op=\"knn\"} 1"), "stdout: {stdout}");
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            stdout.contains(&format!("emst_serve_op_seconds_{q}{{op=\"emst\"}}")),
+            "missing {q}: {stdout}"
+        );
+    }
+    assert!(stdout.contains("emst_serve_cache_events_total{event=\"hit\"}"), "stdout: {stdout}");
+    assert!(stdout.contains("emst_serve_resident_clouds 1"), "stdout: {stdout}");
+
+    // Traces: newest-first, so the knn query renders before the emst ones,
+    // and the span breakdown is attached.
+    let knn_at = stdout.find("op=knn").unwrap_or_else(|| panic!("no knn trace: {stdout}"));
+    let emst_at = stdout.find("op=emst").unwrap_or_else(|| panic!("no emst trace: {stdout}"));
+    assert!(knn_at < emst_at, "traces not newest-first: {stdout}");
+    assert!(stdout.contains("query #"), "stdout: {stdout}");
+    assert!(stdout.contains("digest"), "stdout: {stdout}");
+
+    // JSON exporter answers too, and a bad format is a clean error.
+    assert!(stdout.contains("\"emst_serve_op_seconds{op=\\\"emst\\\"}\""), "stdout: {stdout}");
+    assert!(stdout.contains("error: invalid metrics format \"yaml\""), "stdout: {stdout}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn serve_metrics_file_and_json_log_format() {
+    let pts = tmp("serve-metricsfile-points.csv");
+    let metrics = tmp("serve-metricsfile.prom");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "200", "--dim", "2"])
+        .args(["--seed", "27", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(["serve", "--input", pts.to_str().unwrap()])
+        .args(["--log-format", "json", "--metrics-file", metrics.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"emst\nknn 3 0.1 0.9\nquit\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The metrics file holds a full exposition snapshot from after the last
+    // command.
+    let exposition = std::fs::read_to_string(&metrics).unwrap();
+    assert!(exposition.contains("# TYPE emst_serve_op_seconds histogram"), "{exposition}");
+    assert!(exposition.contains("emst_serve_op_seconds_count{op=\"knn\"} 1"), "{exposition}");
+    assert!(exposition.contains("emst_serve_cache_events_total"), "{exposition}");
+
+    // --log-format json turns the serve banner into a JSON line on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let banner = stderr
+        .lines()
+        .find(|l| l.contains("\"msg\""))
+        .unwrap_or_else(|| panic!("no JSON log line in: {stderr}"));
+    assert!(banner.starts_with("{\"ts\":"), "banner: {banner}");
+    assert!(banner.contains("\"level\":\"info\""), "banner: {banner}");
+    assert!(banner.contains("\"target\":\"emst-cli\""), "banner: {banner}");
+    std::fs::remove_file(&pts).ok();
+    std::fs::remove_file(&metrics).ok();
 }
 
 #[test]

@@ -252,4 +252,58 @@ fn concurrent_mixed_queries_are_bit_identical_to_single_threaded() {
     for (ci, c) in clouds.iter().enumerate() {
         assert_eq!(engine.emst(c).edges, reference[ci].0);
     }
+
+    // The whole hammering ran with instrumentation live (observability
+    // defaults on): the per-op histograms saw every request and the trace
+    // ring holds the most recent queries — proving the metrics path is
+    // concurrency-safe without perturbing a single answered bit.
+    assert!(engine.observability_enabled());
+    let prom = engine.metrics_prometheus();
+    let count_of = |op: &str| -> u64 {
+        let needle = format!("emst_serve_op_seconds_count{{op=\"{op}\"}} ");
+        let at = prom.find(&needle).unwrap_or_else(|| panic!("missing {needle} in {prom}"));
+        prom[at + needle.len()..].split_whitespace().next().unwrap().parse().unwrap()
+    };
+    // 3 extra emst queries came from the re-check loop above.
+    let total = count_of("emst") + count_of("subset") + count_of("knn") + count_of("hdbscan");
+    assert_eq!(total, (threads * rounds) as u64 + 3);
+    assert!(prom.contains("emst_serve_cache_events_total{event=\"eviction\"}"));
+    let traces = engine.recent_traces(16);
+    assert_eq!(traces.len(), 16, "ring must retain the most recent queries");
+    assert!(traces.windows(2).all(|w| w[0].seq > w[1].seq), "traces must be newest-first");
+}
+
+/// Warm queries carry a full span breakdown: digest, per-round merge
+/// deltas from the shard layer's `MergeRoundDetail`, and the accel
+/// absorb — the per-query flight recorder the tentpole promises.
+#[test]
+fn warm_query_traces_expose_merge_round_spans() {
+    let pts = cloud(500, 97);
+    let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+    engine.ingest(&pts);
+    engine.emst(&pts);
+    let trace = engine.recent_traces(1).pop().expect("trace recorded");
+    assert_eq!(trace.op, "emst");
+    assert_eq!(trace.outcome, "hit");
+    assert!(trace.total_s > 0.0);
+    let span = |name: &str| {
+        trace
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing span {name:?} in {:?}", trace.spans))
+    };
+    assert!(span("digest").fields.iter().any(|&(k, v)| k == "points" && v == 500));
+    let round = span("merge.round");
+    for key in ["round", "queries", "nodes", "distances"] {
+        assert!(round.fields.iter().any(|&(k, _)| k == key), "merge.round misses {key}");
+    }
+    assert!(round.fields.iter().any(|&(k, v)| k == "round" && v == 1));
+    span("absorb");
+    // A cold query on a fresh engine additionally records the build span.
+    let fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(4, 2));
+    fresh.emst(&pts);
+    let cold = fresh.recent_traces(1).pop().unwrap();
+    assert_eq!(cold.outcome, "miss");
+    assert!(cold.spans.iter().any(|s| s.name == "build"));
 }
