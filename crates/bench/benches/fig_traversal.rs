@@ -63,6 +63,7 @@ fn main() {
                 serving: vec![],
                 serving_concurrent: vec![],
                 observability: vec![],
+                fault_tolerance: vec![],
             };
             snap.write(std::path::Path::new(&path)).expect("write JSON");
             eprintln!("wrote {path}");

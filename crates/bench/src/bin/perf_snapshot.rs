@@ -21,14 +21,16 @@
 //!
 //! The observability-overhead grid (instrumentation on vs off on warm
 //! queries, budget ≤5%) reuses `--serving-sizes`, the last
-//! `--serving-shards` entry and `--repeats` — no extra flags.
+//! `--serving-shards` entry and `--repeats` — no extra flags. So does the
+//! fault-tolerance reload grid (artifact restore vs deterministic rebuild
+//! of an evicted cloud, faults disabled).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use emst_bench::snapshot::{
-    measure_observability, measure_serving_concurrent, measure_serving_grid, measure_summary,
-    measure_traversal_grid, Snapshot,
+    measure_fault_tolerance, measure_observability, measure_serving_concurrent,
+    measure_serving_grid, measure_summary, measure_traversal_grid, Snapshot,
 };
 
 struct Args {
@@ -245,6 +247,34 @@ fn main() -> ExitCode {
         );
     }
 
+    println!();
+    println!("# fault tolerance (reload of an evicted cloud: artifact restore vs rebuild)");
+    println!(
+        "{:<12} {:>10} {:>4} {:>12} {:>12} {:>9}",
+        "generator", "n", "K", "restore", "rebuild", "speedup"
+    );
+    let mut fault_tolerance = vec![];
+    {
+        use emst_datasets::Kind;
+        let shards = *args.serving_shards.last().unwrap();
+        for (name, kind) in [("uniform", Kind::Uniform), ("dense", Kind::GeoLifeLike)] {
+            for &n in &args.serving_sizes {
+                fault_tolerance.push(measure_fault_tolerance(name, kind, n, shards, args.repeats));
+            }
+        }
+    }
+    for cell in &fault_tolerance {
+        println!(
+            "{:<12} {:>10} {:>4} {:>10.4} s {:>10.4} s {:>8.2}x",
+            cell.generator,
+            cell.n,
+            cell.shards,
+            cell.restore_reload_s,
+            cell.rebuild_reload_s,
+            cell.restore_speedup(),
+        );
+    }
+
     let snap = Snapshot {
         repeats: args.repeats,
         summary,
@@ -252,6 +282,7 @@ fn main() -> ExitCode {
         serving,
         serving_concurrent,
         observability,
+        fault_tolerance,
     };
     if let Some(path) = &args.json {
         if let Err(e) = snap.write(path) {

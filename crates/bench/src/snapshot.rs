@@ -33,6 +33,18 @@
 //!   skipped `Option` check). The budget is ≤5% overhead on warm queries;
 //!   both engines' answers are asserted bit-identical.
 //!
+//! - the **fault-tolerance reload ablation**: median reload time of an
+//!   evicted cloud on two otherwise-identical engines, one spilling
+//!   durable artifacts next to the points (`spill_artifacts = true`, the
+//!   default — reload is a checksum-verified read plus deserialize) and
+//!   one spilling points only (`spill_artifacts = false` — reload re-runs
+//!   the deterministic plan + local solves). Both answers are asserted
+//!   bit-identical to the resident reference, the restoring engine's
+//!   reload must report zero build work, and the rebuilding engine's must
+//!   not — the harness refuses to report a speedup for a mislabeled path.
+//!   No faults are injected (`fault_plan` stays `None`), so this grid
+//!   also pins the happy-path cost of the robustness layer.
+//!
 //! # JSON schema (`emst-bench-snapshot/1`)
 //!
 //! ```json
@@ -63,6 +75,11 @@
 //!   "observability": [
 //!     { "generator": "uniform", "n": 100000, "shards": 4,
 //!       "warm_observed_s": 0.061, "warm_raw_s": 0.060, "overhead_pct": 1.7 }
+//!   ],
+//!   "fault_tolerance": [
+//!     { "generator": "uniform", "n": 100000, "shards": 4,
+//!       "restore_reload_s": 0.02, "rebuild_reload_s": 0.31,
+//!       "restore_speedup": 15.5 }
 //!   ]
 //! }
 //! ```
@@ -105,6 +122,13 @@
 //!   configuration with `observability = false`), `overhead_pct` =
 //!   `(warm_observed_s / warm_raw_s − 1) × 100` — the acceptance budget
 //!   is ≤5 on warm queries.
+//! - `fault_tolerance[]` — artifact-restore-vs-rebuild reload cells
+//!   (added by PR 8, additive): `generator`, `n`, `shards`,
+//!   `restore_reload_s` (median reload of an evicted cloud from a spill
+//!   carrying durable artifacts — verified read + deserialize),
+//!   `rebuild_reload_s` (same reload with points-only spills —
+//!   deterministic plan + local solves re-run), `restore_speedup` =
+//!   `rebuild_reload_s / restore_reload_s`.
 //!
 //! All durations are seconds. `null` replaces non-finite numbers.
 
@@ -243,6 +267,34 @@ impl ObservabilityCell {
     }
 }
 
+/// One `(generator, n, shards)` cell of the fault-tolerance reload
+/// ablation: median reload of an evicted cloud from an artifact-bearing
+/// spill (verified read + deserialize) vs a points-only spill
+/// (deterministic rebuild), on otherwise-identical engines with no
+/// faults injected.
+#[derive(Clone, Debug)]
+pub struct FaultToleranceCell {
+    /// Generator name.
+    pub generator: String,
+    /// Point count.
+    pub n: usize,
+    /// Shard count (the cache key's `K`).
+    pub shards: usize,
+    /// Median reload seconds when the spill carries durable artifacts
+    /// (`ServeConfig::spill_artifacts = true`, the default).
+    pub restore_reload_s: f64,
+    /// Median reload seconds when the spill carries points only and the
+    /// engine re-runs plan + local solves (`spill_artifacts = false`).
+    pub rebuild_reload_s: f64,
+}
+
+impl FaultToleranceCell {
+    /// `rebuild / restore` — how much durable artifacts buy a reload.
+    pub fn restore_speedup(&self) -> f64 {
+        self.rebuild_reload_s / self.restore_reload_s
+    }
+}
+
 /// A complete snapshot, ready to serialize.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -258,6 +310,8 @@ pub struct Snapshot {
     pub serving_concurrent: Vec<ServingConcurrentCell>,
     /// Observability-overhead cells (instrumentation on vs off).
     pub observability: Vec<ObservabilityCell>,
+    /// Fault-tolerance reload cells (artifact restore vs rebuild).
+    pub fault_tolerance: Vec<FaultToleranceCell>,
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -482,6 +536,72 @@ pub fn measure_observability(
     }
 }
 
+/// Measures one fault-tolerance reload cell: `repeats` interleaved
+/// evict-then-reload cycles on two engines that differ only in
+/// `ServeConfig::spill_artifacts`. Each cycle evicts the measured cloud
+/// by querying a decoy through the single residency slot, then times the
+/// by-key reload. Panics if any reloaded answer is not bit-identical to
+/// the reference, if the restoring engine reports build work (it must
+/// deserialize, not rebuild), or if the rebuilding engine reports none —
+/// a mislabeled path would make the speedup meaningless.
+pub fn measure_fault_tolerance(
+    generator: &str,
+    kind: Kind,
+    n: usize,
+    shards: usize,
+    repeats: usize,
+) -> FaultToleranceCell {
+    use emst_serve::{CacheOutcome, ServeConfig, ServeEngine};
+    let points: Vec<Point<2>> = kind.generate(n, 0xFA17);
+    // The decoy only exists to push the measured cloud out of the single
+    // residency slot; a smaller cloud keeps eviction churn cheap.
+    let decoy: Vec<Point<2>> = kind.generate((n / 4).max(64), 0xDEC0);
+
+    let restoring = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(shards, 1));
+    let rebuild_cfg = ServeConfig { spill_artifacts: false, ..ServeConfig::new(shards, 1) };
+    let rebuilding = ServeEngine::<_, 2>::new(Threads, rebuild_cfg);
+    let reference = restoring.emst(&points).edges;
+    assert_eq!(rebuilding.emst(&points).edges, reference, "engines must agree before eviction");
+    let key_restore = restoring.key(&points);
+    let key_rebuild = rebuilding.key(&points);
+
+    let mut restore_s = vec![];
+    let mut rebuild_s = vec![];
+    for _ in 0..repeats {
+        restoring.emst(&decoy); // evict `points` into its artifact spill
+        let t = std::time::Instant::now();
+        let resp = restoring.emst_by_key(key_restore).expect("fault-free restore reload");
+        restore_s.push(t.elapsed().as_secs_f64());
+        assert_eq!(resp.outcome, CacheOutcome::Reloaded);
+        assert_eq!(resp.edges, reference, "restored answer must be bit-identical");
+        assert!(resp.build_work.is_zero(), "artifact restore must not rebuild");
+
+        rebuilding.emst(&decoy); // evict `points` into its points-only spill
+        let t = std::time::Instant::now();
+        let resp = rebuilding.emst_by_key(key_rebuild).expect("fault-free rebuild reload");
+        rebuild_s.push(t.elapsed().as_secs_f64());
+        assert_eq!(resp.outcome, CacheOutcome::Reloaded);
+        assert_eq!(resp.edges, reference, "rebuilt answer must be bit-identical");
+        assert!(!resp.build_work.is_zero(), "a points-only reload must rebuild");
+    }
+    // The ladder accounting must agree with what was asserted per cycle:
+    // only restores on one engine, only rebuilds on the other, and no
+    // storage failures anywhere (this grid runs with faults disabled).
+    let (rs, bs) = (restoring.stats(), rebuilding.stats());
+    assert!(rs.artifact_restores >= repeats as u64 && rs.artifact_rebuilds == 0, "{rs:?}");
+    assert!(bs.artifact_rebuilds >= repeats as u64 && bs.artifact_restores == 0, "{bs:?}");
+    assert_eq!(rs.checksum_failures + bs.checksum_failures, 0, "no faults were injected");
+    assert_eq!(rs.spill_failures + bs.spill_failures, 0, "no faults were injected");
+
+    FaultToleranceCell {
+        generator: generator.to_string(),
+        n,
+        shards,
+        restore_reload_s: median(&mut restore_s),
+        rebuild_reload_s: median(&mut rebuild_s),
+    }
+}
+
 /// Measures the fig1-style summary rows at one size: every solver's rate,
 /// plus phase medians for the single-tree runs.
 pub fn measure_summary(n: usize, repeats: usize) -> Vec<SummaryRow> {
@@ -651,6 +771,21 @@ impl Snapshot {
                 if i + 1 == self.observability.len() { "" } else { "," },
             ));
         }
+        out.push_str("  ],\n  \"fault_tolerance\": [\n");
+        for (i, cell) in self.fault_tolerance.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"generator\": \"{}\", \"n\": {}, \"shards\": {}, \
+                 \"restore_reload_s\": {}, \"rebuild_reload_s\": {}, \
+                 \"restore_speedup\": {} }}{}\n",
+                cell.generator,
+                cell.n,
+                cell.shards,
+                json_f64(cell.restore_reload_s),
+                json_f64(cell.rebuild_reload_s),
+                json_f64(cell.restore_speedup()),
+                if i + 1 == self.fault_tolerance.len() { "" } else { "," },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -679,6 +814,7 @@ mod tests {
         let serving = measure_serving_cell("uniform", Kind::Uniform, 600, 3, 1);
         let concurrent = measure_serving_concurrent("uniform", Kind::Uniform, 600, 3, &[1, 2], 2);
         let obs = measure_observability("uniform", Kind::Uniform, 600, 3, 1);
+        let ft = measure_fault_tolerance("uniform", Kind::Uniform, 600, 3, 1);
         let snap = Snapshot {
             repeats: 1,
             summary: measure_summary(400, 1),
@@ -686,6 +822,7 @@ mod tests {
             serving: vec![serving],
             serving_concurrent: concurrent,
             observability: vec![obs],
+            fault_tolerance: vec![ft],
         };
         let json = snap.to_json();
         assert!(json.contains("\"schema\": \"emst-bench-snapshot/1\""));
@@ -694,6 +831,7 @@ mod tests {
         assert!(json.contains("\"speedup_vs_1\""));
         assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("\"overhead_pct\""));
+        assert!(json.contains("\"restore_speedup\""));
         assert!(json.contains("single-tree (Threads)"));
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the workspace).
@@ -731,6 +869,17 @@ mod tests {
         assert_eq!(cells[1].queries, 4);
         assert!(cells.iter().all(|c| c.queries_per_s > 0.0 && c.host_cpus >= 1));
         assert!(cells[1].speedup_vs_1.is_finite());
+    }
+
+    #[test]
+    fn fault_tolerance_cell_measures_both_reload_paths() {
+        // Bit-identity, restore-reports-zero-build-work and
+        // rebuild-reports-nonzero are all asserted inside the harness; at
+        // tiny n the speedup itself is noise, so only shape is checked.
+        let cell = measure_fault_tolerance("dense", Kind::GeoLifeLike, 700, 4, 2);
+        assert!(cell.restore_reload_s > 0.0);
+        assert!(cell.rebuild_reload_s > 0.0);
+        assert!(cell.restore_speedup().is_finite());
     }
 
     #[test]

@@ -44,21 +44,21 @@ use crate::wide::WideBvh;
 /// traversal ([`Bvh::nearest_stackless`]).
 #[derive(Clone, Debug)]
 pub struct Bvh<const D: usize> {
-    layout: Layout,
-    scene: Aabb<D>,
+    pub(crate) layout: Layout,
+    pub(crate) scene: Aabb<D>,
     /// Points permuted into Morton order (leaf rank -> point).
-    leaf_points: Vec<Point<D>>,
+    pub(crate) leaf_points: Vec<Point<D>>,
     /// Morton rank -> original point index.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Both children of each internal node (`[left, right]`).
-    children: Vec<[NodeId; 2]>,
+    pub(crate) children: Vec<[NodeId; 2]>,
     /// Parent of every node (`INVALID_NODE` for the root).
-    parent: Vec<NodeId>,
+    pub(crate) parent: Vec<NodeId>,
     /// Bounding boxes of the internal nodes.
-    bounds: Vec<Aabb<D>>,
+    pub(crate) bounds: Vec<Aabb<D>>,
     /// The 4-wide collapsed form with rope/escape pointers.
-    wide: WideBvh<D>,
-    root: NodeId,
+    pub(crate) wide: WideBvh<D>,
+    pub(crate) root: NodeId,
 }
 
 /// Z-curve resolution of the construction.

@@ -1,0 +1,362 @@
+//! Exact binary serialization of a built [`Bvh`] — the artifact-restore
+//! half of the serving layer's durable spill format.
+//!
+//! Construction is a deterministic pure function of the point sequence, so
+//! a spilled cloud *can* always be rebuilt; this module makes the cheaper
+//! path possible: persist the built storage (binary SoA arrays plus the
+//! 4-wide collapse) and reload it as a verified read. The encoding is the
+//! in-memory representation written field by field in little-endian order —
+//! [`Bvh::deserialize`] reproduces a bit-identical hierarchy, which the
+//! round-trip tests assert via [`WideBvh`]'s `PartialEq`.
+//!
+//! Integrity is layered: callers wrap the blob in a checksummed section
+//! (the serve spill format), and the decoder itself validates every length
+//! and node-id range so bytes that lie about their structure yield a typed
+//! [`DecodeError`], never a panic or out-of-bounds index downstream. The
+//! decoder is the trust boundary — after `Ok`, traversals may index freely.
+
+use emst_geometry::{Aabb, Point, Scalar};
+
+use crate::build::Bvh;
+use crate::node::{Layout, INVALID_NODE};
+use crate::wide::{WideBvh, WideNode, WIDTH};
+
+/// Format version written ahead of every blob; bumped on layout changes so
+/// stale artifact bytes fail decode (and the caller falls back to rebuild)
+/// instead of being misread.
+const VERSION: u32 = 1;
+
+/// A structurally invalid or truncated [`Bvh`] blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bvh blob: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: Scalar) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_point<const D: usize>(out: &mut Vec<u8>, p: &Point<D>) {
+    for d in 0..D {
+        put_f32(out, p[d]);
+    }
+}
+
+/// Little-endian cursor over a blob; every read is length-checked.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError("length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(DecodeError("truncated"));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<Scalar, DecodeError> {
+        Ok(Scalar::from_bits(u32::from_le_bytes(self.take(4)?.try_into().unwrap())))
+    }
+
+    fn point<const D: usize>(&mut self) -> Result<Point<D>, DecodeError> {
+        let mut coords = [0.0 as Scalar; D];
+        for c in coords.iter_mut() {
+            *c = self.f32()?;
+        }
+        Ok(Point::new(coords))
+    }
+
+    fn len(&mut self, cap: usize, what: &'static str) -> Result<usize, DecodeError> {
+        let v = self.u64()?;
+        if v > cap as u64 {
+            return Err(DecodeError(what));
+        }
+        Ok(v as usize)
+    }
+
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes"))
+        }
+    }
+}
+
+impl<const D: usize> Bvh<D> {
+    /// Appends the exact binary encoding of this hierarchy to `out`. The
+    /// inverse is [`Bvh::deserialize`]; round-trips are bit-identical.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let n = self.layout.n;
+        put_u32(out, VERSION);
+        put_u64(out, n as u64);
+        put_u32(out, self.root);
+        put_point(out, &self.scene.min);
+        put_point(out, &self.scene.max);
+        for p in &self.leaf_points {
+            put_point(out, p);
+        }
+        for &o in &self.order {
+            put_u32(out, o);
+        }
+        for &[l, r] in &self.children {
+            put_u32(out, l);
+            put_u32(out, r);
+        }
+        for &p in &self.parent {
+            put_u32(out, p);
+        }
+        for bb in &self.bounds {
+            put_point(out, &bb.min);
+            put_point(out, &bb.max);
+        }
+        put_u64(out, self.wide.nodes().len() as u64);
+        for w in self.wide.nodes() {
+            for d in 0..D {
+                for k in 0..WIDTH {
+                    put_f32(out, w.lo[d][k]);
+                }
+            }
+            for d in 0..D {
+                for k in 0..WIDTH {
+                    put_f32(out, w.hi[d][k]);
+                }
+            }
+            for d in 0..D {
+                put_f32(out, w.self_lo[d]);
+            }
+            for d in 0..D {
+                put_f32(out, w.self_hi[d]);
+            }
+            put_u32(out, w.self_bin);
+            put_u32(out, w.escape);
+            put_u32(out, w.occupied);
+            for k in 0..WIDTH {
+                put_u32(out, w.child[k]);
+            }
+            for k in 0..WIDTH {
+                put_u32(out, w.bin[k]);
+            }
+        }
+    }
+
+    /// Decodes a blob produced by [`Bvh::serialize_into`], validating every
+    /// length and node-id range so no later traversal can index out of
+    /// bounds. `bytes` must be exactly one blob (no trailing data).
+    pub fn deserialize(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != VERSION {
+            return Err(DecodeError("unknown version"));
+        }
+        // Cap `n` by what the blob could possibly hold (each leaf costs at
+        // least a point), so a lying header cannot drive huge allocations.
+        let n = r.len(bytes.len(), "implausible leaf count")?;
+        if n == 0 {
+            return Err(DecodeError("zero leaves"));
+        }
+        let layout = Layout { n };
+        let node_count = layout.node_count() as u32;
+        let ni = layout.internal_count();
+        let root = r.u32()?;
+        if root >= node_count {
+            return Err(DecodeError("root out of range"));
+        }
+        let scene = Aabb { min: r.point::<D>()?, max: r.point::<D>()? };
+        let mut leaf_points = Vec::with_capacity(n);
+        for _ in 0..n {
+            leaf_points.push(r.point::<D>()?);
+        }
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            let o = r.u32()?;
+            if o >= n as u32 {
+                return Err(DecodeError("morton order entry out of range"));
+            }
+            order.push(o);
+        }
+        let mut children = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            let l = r.u32()?;
+            let rr = r.u32()?;
+            if l >= node_count || rr >= node_count {
+                return Err(DecodeError("child id out of range"));
+            }
+            children.push([l, rr]);
+        }
+        let mut parent = Vec::with_capacity(node_count as usize);
+        for _ in 0..node_count {
+            let p = r.u32()?;
+            if p != INVALID_NODE && p >= node_count {
+                return Err(DecodeError("parent id out of range"));
+            }
+            parent.push(p);
+        }
+        let mut bounds = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            bounds.push(Aabb { min: r.point::<D>()?, max: r.point::<D>()? });
+        }
+        let num_wide = r.len(bytes.len(), "implausible wide-node count")? as u32;
+        let mut nodes: Vec<WideNode<D>> = Vec::with_capacity(num_wide as usize);
+        for _ in 0..num_wide {
+            let mut lo = [[0.0 as Scalar; WIDTH]; D];
+            let mut hi = [[0.0 as Scalar; WIDTH]; D];
+            for row in lo.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = r.f32()?;
+                }
+            }
+            for row in hi.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = r.f32()?;
+                }
+            }
+            let mut self_lo = [0.0 as Scalar; D];
+            let mut self_hi = [0.0 as Scalar; D];
+            for v in self_lo.iter_mut() {
+                *v = r.f32()?;
+            }
+            for v in self_hi.iter_mut() {
+                *v = r.f32()?;
+            }
+            let self_bin = r.u32()?;
+            let escape = r.u32()?;
+            let occupied = r.u32()?;
+            if self_bin >= node_count || (escape != INVALID_NODE && escape >= num_wide) {
+                return Err(DecodeError("wide link out of range"));
+            }
+            let mut child = [0u32; WIDTH];
+            let mut bin = [0u32; WIDTH];
+            for c in child.iter_mut() {
+                *c = r.u32()?;
+            }
+            for b in bin.iter_mut() {
+                *b = r.u32()?;
+            }
+            const LEAF_BIT: u32 = 1 << 31;
+            for k in 0..WIDTH {
+                let c = child[k];
+                let ok = c == u32::MAX
+                    || (c & LEAF_BIT != 0 && (c & !LEAF_BIT) < n as u32)
+                    || (c & LEAF_BIT == 0 && c < num_wide);
+                if !ok || (bin[k] != INVALID_NODE && bin[k] >= node_count) {
+                    return Err(DecodeError("wide lane out of range"));
+                }
+            }
+            nodes.push(WideNode {
+                lo,
+                hi,
+                self_lo,
+                self_hi,
+                self_bin,
+                escape,
+                occupied,
+                child,
+                bin,
+            });
+        }
+        r.done()?;
+        Ok(Self {
+            layout,
+            scene,
+            leaf_points,
+            order,
+            children,
+            parent,
+            bounds,
+            wide: WideBvh::from_nodes(nodes),
+            root,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emst_exec::Serial;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points_2d(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        for n in [1usize, 2, 5, 333] {
+            let pts = random_points_2d(n, 7);
+            let bvh = Bvh::build(&Serial, &pts);
+            let mut blob = vec![];
+            bvh.serialize_into(&mut blob);
+            let back = Bvh::<2>::deserialize(&blob).unwrap();
+            assert_eq!(back.morton_order(), bvh.morton_order());
+            assert_eq!(back.leaf_points(), bvh.leaf_points());
+            assert_eq!(back.root(), bvh.root());
+            assert_eq!(back.parents(), bvh.parents());
+            assert_eq!(back.wide(), bvh.wide(), "wide collapse must round-trip exactly");
+            back.validate().unwrap();
+            // And re-serializing reproduces the same bytes.
+            let mut blob2 = vec![];
+            back.serialize_into(&mut blob2);
+            assert_eq!(blob, blob2);
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_blobs_are_typed_errors_not_panics() {
+        let pts = random_points_2d(60, 9);
+        let bvh = Bvh::build(&Serial, &pts);
+        let mut blob = vec![];
+        bvh.serialize_into(&mut blob);
+        // Every truncation point decodes to an error.
+        for cut in [0usize, 3, 4, 11, blob.len() / 2, blob.len() - 1] {
+            assert!(Bvh::<2>::deserialize(&blob[..cut]).is_err(), "cut={cut}");
+        }
+        // Trailing garbage is rejected.
+        let mut long = blob.clone();
+        long.push(0);
+        assert!(Bvh::<2>::deserialize(&long).is_err());
+        // A lying leaf count cannot cause a huge allocation or a panic.
+        let mut lying = blob.clone();
+        lying[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Bvh::<2>::deserialize(&lying).is_err());
+        // An out-of-range node id is caught at decode time.
+        let mut bad_root = blob.clone();
+        bad_root[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Bvh::<2>::deserialize(&bad_root);
+        assert!(err.is_err());
+    }
+}

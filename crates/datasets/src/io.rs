@@ -143,6 +143,193 @@ pub fn read_points_chunked<const D: usize>(
     Ok(total)
 }
 
+// ---------------------------------------------------------------------------
+// Checksummed binary blobs
+// ---------------------------------------------------------------------------
+//
+// The serving layer's durable spill format and the shard-artifact blob are
+// both built from the same primitive: a magic header followed by tagged
+// sections, each carrying its own FNV-1a checksum so corruption is localized
+// (a flipped bit in the artifact section must not poison the verified point
+// bytes next to it). These helpers are deliberately storage-agnostic — they
+// build and parse in-memory byte vectors; durability policy (retry, backoff,
+// relocation, fault injection) lives with the caller.
+
+/// FNV-1a 64-bit over a byte slice — the same hash family the serving layer
+/// uses for content digests; stable across platforms and fast enough that
+/// checksumming never shows up next to the file I/O it guards.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Little-endian primitive encoder for blob payloads.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian primitive decoder; every read is length-checked and returns
+/// a typed [`io::Error`] (`InvalidData`) on truncation, never a panic.
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn invalid(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| invalid("blob length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(invalid("blob truncated"));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_bits(u32::from_le_bytes(self.take(4)?.try_into().unwrap())))
+    }
+
+    /// Reads a u64 length field and sanity-caps it against `cap` so a lying
+    /// header cannot drive a huge allocation.
+    pub fn len_capped(&mut self, cap: usize, what: &str) -> io::Result<usize> {
+        let v = self.u64()?;
+        if v > cap as u64 {
+            return Err(invalid(what));
+        }
+        Ok(v as usize)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    pub fn done(&self) -> io::Result<()> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(invalid("blob has trailing bytes"))
+        }
+    }
+}
+
+/// Builds a blob: magic, then tagged sections each framed as
+/// `tag[4] | len u64 | payload | fnv1a_64(payload) u64`.
+pub struct BlobWriter {
+    buf: Vec<u8>,
+}
+
+impl BlobWriter {
+    pub fn new(magic: &[u8; 8]) -> Self {
+        Self { buf: magic.to_vec() }
+    }
+
+    pub fn section(&mut self, tag: &[u8; 4], payload: &[u8]) {
+        self.buf.extend_from_slice(tag);
+        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.buf.extend_from_slice(&fnv1a_64(payload).to_le_bytes());
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential reader over a [`BlobWriter`]-framed blob. Section order is part
+/// of the format: callers ask for the tag they expect next and get a typed
+/// error on mismatch, truncation, or checksum failure.
+pub struct BlobReader<'a> {
+    inner: ByteReader<'a>,
+}
+
+impl<'a> BlobReader<'a> {
+    /// Opens the blob, verifying its magic.
+    pub fn open(bytes: &'a [u8], magic: &[u8; 8]) -> io::Result<Self> {
+        let mut inner = ByteReader::new(bytes);
+        if inner.take(8)? != magic {
+            return Err(invalid("blob magic mismatch"));
+        }
+        Ok(Self { inner })
+    }
+
+    /// Reads the next section, requiring tag `tag`; verifies the payload
+    /// checksum before handing the bytes back.
+    pub fn section(&mut self, tag: &[u8; 4]) -> io::Result<&'a [u8]> {
+        let got = self.inner.take(4)?;
+        if got != tag {
+            return Err(invalid("blob section tag mismatch"));
+        }
+        let len = self.inner.len_capped(self.inner.remaining(), "blob section length")?;
+        let payload = self.inner.take(len)?;
+        let want = self.inner.u64()?;
+        if fnv1a_64(payload) != want {
+            return Err(invalid("blob section checksum mismatch"));
+        }
+        Ok(payload)
+    }
+
+    /// Like [`BlobReader::section`] but returns `Ok(None)` when the blob ends
+    /// before another section starts — for trailing optional sections.
+    pub fn optional_section(&mut self, tag: &[u8; 4]) -> io::Result<Option<&'a [u8]>> {
+        if self.inner.remaining() == 0 {
+            return Ok(None);
+        }
+        self.section(tag).map(Some)
+    }
+
+    pub fn done(&self) -> io::Result<()> {
+        self.inner.done()
+    }
+}
+
 fn load_delimited<const D: usize>(path: &Path, delim: u8) -> io::Result<Vec<Point<D>>> {
     let reader = BufReader::new(File::open(path)?);
     let mut out = vec![];
@@ -282,6 +469,78 @@ mod tests {
         let err = read_points_chunked::<2>(&path, 64, |_, _| Ok(())).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn blob_round_trips_and_detects_every_single_byte_flip() {
+        const MAGIC: &[u8; 8] = b"EMSTTST1";
+        let mut w = ByteWriter::new();
+        w.u32(7);
+        w.u64(u64::MAX);
+        w.f32(-0.0);
+        let payload_a = w.into_vec();
+        let payload_b = vec![0xAB; 33];
+        let mut blob = BlobWriter::new(MAGIC);
+        blob.section(b"AAAA", &payload_a);
+        blob.section(b"BBBB", &payload_b);
+        let bytes = blob.finish();
+
+        let mut r = BlobReader::open(&bytes, MAGIC).unwrap();
+        let a = r.section(b"AAAA").unwrap();
+        let mut br = ByteReader::new(a);
+        assert_eq!(br.u32().unwrap(), 7);
+        assert_eq!(br.u64().unwrap(), u64::MAX);
+        assert_eq!(br.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        br.done().unwrap();
+        assert_eq!(r.section(b"BBBB").unwrap(), &payload_b[..]);
+        r.done().unwrap();
+
+        // Flip every byte in turn: each corruption must surface as an error
+        // somewhere in the read sequence — never as silently wrong payloads.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            let result = (|| -> io::Result<()> {
+                let mut r = BlobReader::open(&bad, MAGIC)?;
+                let a2 = r.section(b"AAAA")?;
+                let b2 = r.section(b"BBBB")?;
+                r.done()?;
+                if a2 != payload_a || b2 != payload_b {
+                    return Err(invalid("wrong payload escaped the checksum"));
+                }
+                Ok(())
+            })();
+            assert!(result.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn blob_truncation_wrong_tag_and_optional_sections() {
+        const MAGIC: &[u8; 8] = b"EMSTTST2";
+        let mut blob = BlobWriter::new(MAGIC);
+        blob.section(b"ONLY", b"hello");
+        let bytes = blob.finish();
+        for cut in 0..bytes.len() {
+            let mut r = match BlobReader::open(&bytes[..cut], MAGIC) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            assert!(r.section(b"ONLY").is_err(), "cut={cut}");
+        }
+        let mut r = BlobReader::open(&bytes, MAGIC).unwrap();
+        assert!(r.section(b"ELSE").is_err());
+        // Optional trailing section: absent → None, present → Some.
+        let mut r = BlobReader::open(&bytes, MAGIC).unwrap();
+        r.section(b"ONLY").unwrap();
+        assert_eq!(r.optional_section(b"OPTL").unwrap(), None);
+        let mut blob = BlobWriter::new(MAGIC);
+        blob.section(b"ONLY", b"hello");
+        blob.section(b"OPTL", b"extra");
+        let bytes = blob.finish();
+        let mut r = BlobReader::open(&bytes, MAGIC).unwrap();
+        r.section(b"ONLY").unwrap();
+        assert_eq!(r.optional_section(b"OPTL").unwrap(), Some(&b"extra"[..]));
+        r.done().unwrap();
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Deterministic fault injection for the spill/reload paths.
+//!
+//! A [`FaultPlan`] is a seeded set of rules, one decision per I/O
+//! operation: every spill write and every spill read asks the plan whether
+//! (and how) to fail. Decisions are a pure function of `(seed, site,
+//! operation ordinal, rule index)` — the same plan replayed over the same
+//! operation sequence injects the same faults, which is what lets the chaos
+//! suite assert exact outcomes and lets a CI failure be reproduced from its
+//! seed alone.
+//!
+//! The plan deliberately covers the two failure shapes a storage layer must
+//! survive:
+//!
+//! - **honest errors** ([`FaultKind::Eio`], [`FaultKind::Enospc`]): the
+//!   syscall reports failure — retry/backoff/relocation territory;
+//! - **silent corruption** ([`FaultKind::ShortWrite`],
+//!   [`FaultKind::BitFlip`]): the syscall reports success and the bytes are
+//!   wrong — checksum territory; nothing but verification can catch it;
+//! - plus [`FaultKind::Stall`] for latency, which must never corrupt
+//!   anything, only cost time.
+//!
+//! Plans parse from a compact spec string (the CLI's `--fault-plan`):
+//!
+//! ```text
+//! seed=42;write=eio@0.5;read=bitflip@0.25;write=stall:10@0.1
+//! ```
+//!
+//! reads as: seed 42; each write fails with EIO with probability 0.5, else
+//! stalls 10 ms with probability 0.1; each read bit-flips with probability
+//! 0.25. Rules are evaluated in spec order per site; the first that fires
+//! wins, so at most one fault applies per operation.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Where in the storage path a fault decision is being made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A spill-file write (eviction persistence).
+    Write,
+    /// A spill-file read (reload, salt probing).
+    Read,
+}
+
+/// The failure to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation errors with `EIO` (nothing is written/read).
+    Eio,
+    /// A write lands a partial file, then errors with `ENOSPC`; a read
+    /// errors the same way (quota exceeded mid-read).
+    Enospc,
+    /// Silent truncation: the operation *succeeds* but only a prefix of
+    /// the bytes makes it through.
+    ShortWrite,
+    /// Silent corruption: the operation succeeds with exactly one bit
+    /// flipped somewhere in the payload.
+    BitFlip,
+    /// The operation stalls this many milliseconds, then succeeds cleanly.
+    Stall(u64),
+}
+
+#[derive(Debug)]
+struct Rule {
+    site: FaultSite,
+    kind: FaultKind,
+    /// Probability in `[0, 1]` that this rule fires on a given operation.
+    prob: f64,
+}
+
+/// A seeded, deterministic fault-injection plan. Cheap to share behind an
+/// `Arc`; thread-safe (the per-site ordinals are atomics — under
+/// concurrency the *assignment* of ordinals to operations races, but every
+/// ordinal is still decided exactly once, so the injected fault *count*
+/// distribution is stable and a serialized replay is fully reproducible).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+impl FaultPlan {
+    /// An empty plan (no rules — never injects) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: vec![],
+            write_ops: AtomicU64::new(0),
+            read_ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a rule: at `site`, inject `kind` with probability `prob`
+    /// (clamped to `[0, 1]`). Rules are consulted in insertion order.
+    pub fn with_rule(mut self, site: FaultSite, kind: FaultKind, prob: f64) -> Self {
+        self.rules.push(Rule { site, kind, prob: prob.clamp(0.0, 1.0) });
+        self
+    }
+
+    /// Parses the CLI spec format (see the module docs):
+    /// `seed=N;<site>=<kind>[:ms]@<prob>;...` where `site` is
+    /// `write`/`read` and `kind` is `eio`, `enospc`, `shortwrite`,
+    /// `bitflip` or `stall:<ms>`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new(0);
+        let mut saw_seed = false;
+        for part in spec.split(';').map(str::trim).filter(|p| !p.is_empty()) {
+            let (lhs, rhs) =
+                part.split_once('=').ok_or_else(|| format!("fault-plan: `{part}` is not k=v"))?;
+            if lhs == "seed" {
+                plan.seed = rhs.parse().map_err(|_| format!("fault-plan: bad seed `{rhs}`"))?;
+                saw_seed = true;
+                continue;
+            }
+            let site = match lhs {
+                "write" => FaultSite::Write,
+                "read" => FaultSite::Read,
+                _ => return Err(format!("fault-plan: unknown site `{lhs}`")),
+            };
+            let (kind_s, prob_s) = rhs
+                .split_once('@')
+                .ok_or_else(|| format!("fault-plan: `{rhs}` is missing `@prob`"))?;
+            let kind = match kind_s.split_once(':') {
+                Some(("stall", ms)) => FaultKind::Stall(
+                    ms.parse().map_err(|_| format!("fault-plan: bad stall ms `{ms}`"))?,
+                ),
+                None => match kind_s {
+                    "eio" => FaultKind::Eio,
+                    "enospc" => FaultKind::Enospc,
+                    "shortwrite" => FaultKind::ShortWrite,
+                    "bitflip" => FaultKind::BitFlip,
+                    _ => return Err(format!("fault-plan: unknown kind `{kind_s}`")),
+                },
+                Some(_) => return Err(format!("fault-plan: unknown kind `{kind_s}`")),
+            };
+            let prob: f64 =
+                prob_s.parse().map_err(|_| format!("fault-plan: bad probability `{prob_s}`"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!("fault-plan: probability {prob} outside [0, 1]"));
+            }
+            plan.rules.push(Rule { site, kind, prob });
+        }
+        if !saw_seed && !plan.rules.is_empty() {
+            return Err("fault-plan: missing `seed=N`".to_string());
+        }
+        Ok(plan)
+    }
+
+    /// Decides the fate of the next operation at `site`: `None` means run
+    /// cleanly. Consumes one ordinal per call regardless of outcome.
+    pub(crate) fn decide(&self, site: FaultSite) -> Option<FaultKind> {
+        let ops = match site {
+            FaultSite::Write => &self.write_ops,
+            FaultSite::Read => &self.read_ops,
+        };
+        let op = ops.fetch_add(1, Relaxed);
+        for (i, rule) in self.rules.iter().enumerate() {
+            if rule.site != site {
+                continue;
+            }
+            let h = fnv1a(&[self.seed, site as u64, op, i as u64]);
+            // Map the hash to [0, 1) and compare against the rule's odds.
+            if (h >> 11) as f64 / ((1u64 << 53) as f64) < rule.prob {
+                self.injected.fetch_add(1, Relaxed);
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+
+    /// A deterministic "random" index in `0..len` for this operation —
+    /// where a bit flip or short write lands. Varies per op ordinal via a
+    /// side hash so corruption doesn't always hit the same byte.
+    pub(crate) fn position(&self, site: FaultSite, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        let ops = match site {
+            FaultSite::Write => &self.write_ops,
+            FaultSite::Read => &self.read_ops,
+        };
+        // `decide` already consumed the ordinal for this op; reuse it.
+        let op = ops.load(Relaxed);
+        (fnv1a(&[self.seed ^ 0x9e3779b97f4a7c15, site as u64, op]) % len as u64) as usize
+    }
+
+    /// Total faults injected so far — the chaos tests' sanity check that
+    /// the plan actually fired.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_probability_shaped() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::new(seed).with_rule(FaultSite::Write, FaultKind::Eio, 0.5);
+            (0..1000).map(|_| plan.decide(FaultSite::Write).is_some()).collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same decisions");
+        assert_ne!(a, run(8), "different seed, different decisions");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((300..700).contains(&hits), "p=0.5 over 1000 ops fired {hits} times");
+        // Reads are an independent stream: no write rule applies.
+        let plan = FaultPlan::new(7).with_rule(FaultSite::Write, FaultKind::Eio, 1.0);
+        assert_eq!(plan.decide(FaultSite::Read), None);
+        assert_eq!(plan.decide(FaultSite::Write), Some(FaultKind::Eio));
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(1).with_rule(FaultSite::Read, FaultKind::BitFlip, 1.0).with_rule(
+            FaultSite::Read,
+            FaultKind::Eio,
+            1.0,
+        );
+        for _ in 0..10 {
+            assert_eq!(plan.decide(FaultSite::Read), Some(FaultKind::BitFlip));
+        }
+    }
+
+    #[test]
+    fn spec_parsing_round_trips_the_documented_example() {
+        let plan =
+            FaultPlan::parse("seed=42;write=eio@0.5;read=bitflip@0.25;write=stall:10@0.1").unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[2].kind, FaultKind::Stall(10));
+        assert!(FaultPlan::parse("").unwrap().rules.is_empty());
+        for bad in [
+            "write=eio@0.5",            // missing seed
+            "seed=x",                   // bad seed
+            "seed=1;flush=eio@0.5",     // unknown site
+            "seed=1;write=explode@0.5", // unknown kind
+            "seed=1;write=eio@1.5",     // probability out of range
+            "seed=1;write=eio",         // missing probability
+            "seed=1;write=stall:abc@1", // bad stall duration
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn positions_stay_in_bounds() {
+        let plan = FaultPlan::new(3).with_rule(FaultSite::Write, FaultKind::BitFlip, 1.0);
+        for len in [1usize, 2, 100, 4096] {
+            plan.decide(FaultSite::Write);
+            assert!(plan.position(FaultSite::Write, len) < len);
+        }
+        assert_eq!(plan.position(FaultSite::Write, 0), 0);
+    }
+}

@@ -88,13 +88,15 @@
 //! assert_eq!(engine.emst(&other).outcome, CacheOutcome::Miss);
 //! ```
 
+pub mod fault;
 pub mod spill;
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use emst_bvh::TraversalStats;
 use emst_core::{BoruvkaScratch, Edge, EmstConfig};
@@ -106,6 +108,7 @@ use emst_obs::{Counter, Gauge, Histogram, QueryTrace, Registry, SpanRecord, Trac
 use emst_shard::{MergeAccel, MergeScratch, ShardArtifacts, ShardConfig};
 use parking_lot::{Condvar, Mutex, RwLock};
 
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use spill::{digest_points, CloudKey};
 
 /// Configuration of a serving engine.
@@ -131,6 +134,36 @@ pub struct ServeConfig {
     /// probe from the query paths — the uninstrumented baseline the
     /// benchmark's overhead measurement compares against.
     pub observability: bool,
+    /// Secondary spill directory. When every retry against the primary
+    /// spill dir fails, the write relocates here before the cloud is
+    /// declared non-durable; reloads probe both directories. `None` (the
+    /// default) disables relocation.
+    pub fallback_spill_dir: Option<PathBuf>,
+    /// Persist serialized artifacts (plan, per-shard BVHs, local MSTs,
+    /// cross bounds) alongside the points in spill files, so a reload is a
+    /// checksum-verified read instead of a rebuild. On by default; a
+    /// corrupt or absent artifact section always degrades to the
+    /// deterministic rebuild, never to wrong bits.
+    pub spill_artifacts: bool,
+    /// Retries per spill-write attempt *per directory*, with exponential
+    /// backoff (1 ms base, doubling, capped at 20 ms). `0` means one
+    /// attempt and no retry.
+    pub spill_retries: u32,
+    /// Per-query wall-clock budget for the fallible (`try_*` / `*_by_key`)
+    /// EMST paths. Checked at merge-round boundaries: an over-budget query
+    /// returns [`ServeError::DeadlineExceeded`] instead of a late answer.
+    /// `None` (the default) disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Admission control for the fallible query paths: more than this many
+    /// in-flight guarded queries sheds the excess with
+    /// [`ServeError::Overloaded`] instead of queueing. `0` (the default)
+    /// disables shedding.
+    pub max_in_flight: usize,
+    /// Deterministic fault injection applied to every spill write/read
+    /// (see [`fault`]). `None` (the default) runs clean; production
+    /// configs leave this unset — it exists for chaos tests and the CLI's
+    /// `--fault-plan`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ServeConfig {
@@ -143,6 +176,12 @@ impl ServeConfig {
             parallel_shards: true,
             spill_dir: None,
             observability: true,
+            fallback_spill_dir: None,
+            spill_artifacts: true,
+            spill_retries: 3,
+            deadline: None,
+            max_in_flight: 0,
+            fault_plan: None,
         }
     }
 }
@@ -154,8 +193,10 @@ pub enum CacheOutcome {
     Hit,
     /// The cloud was unknown: ingested (plan + local solves) on this call.
     Miss,
-    /// The cloud had been evicted: points reloaded from its spill file and
-    /// artifacts rebuilt (deterministically, so answers are unchanged).
+    /// The cloud had been evicted: points reloaded from its (verified)
+    /// spill file, artifacts restored from the spilled blob — or rebuilt
+    /// deterministically when the blob is absent or corrupt. Either way
+    /// the answers are bit-identical to the original build.
     Reloaded,
 }
 
@@ -192,6 +233,31 @@ pub struct ServeStats {
     /// same key instead of rebuilding it (single-flight coalescing); each
     /// also counts as a hit once the build lands.
     pub coalesced: u64,
+    /// Spill-write attempts retried after a failure (backoff included).
+    pub spill_retries: u64,
+    /// Spill writes that relocated to the fallback directory after the
+    /// primary directory's retries were exhausted.
+    pub spill_relocations: u64,
+    /// Reload reads rejected by verification — framing/section-checksum
+    /// failures and key-digest mismatches. Every one of these is a
+    /// would-have-been-wrong-bits event turned into a typed error.
+    pub checksum_failures: u64,
+    /// Reloads answered by restoring verified artifact bytes from the
+    /// spill file (no rebuild ran).
+    pub artifact_restores: u64,
+    /// Reloads that fell back to the deterministic rebuild because the
+    /// spill carried no intact artifact section.
+    /// `artifact_restores + artifact_rebuilds == reloads` always.
+    pub artifact_rebuilds: u64,
+    /// Guarded queries that ran over their deadline budget and returned
+    /// [`ServeError::DeadlineExceeded`] at a merge-round boundary.
+    pub deadline_exceeded: u64,
+    /// Guarded queries shed by admission control
+    /// ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Guarded queries that panicked and were isolated to a
+    /// [`ServeError::QueryPanic`] instead of unwinding the caller.
+    pub query_panics: u64,
 }
 
 impl ServeStats {
@@ -201,7 +267,7 @@ impl ServeStats {
     /// field to [`ServeStats`] without extending this list is a compile
     /// error, so consumers that iterate the names — the CLI `stats`
     /// command, the metrics exporters — can never silently miss one.
-    pub fn named_fields(&self) -> [(&'static str, u64); 7] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 15] {
         let ServeStats {
             hits,
             misses,
@@ -210,6 +276,14 @@ impl ServeStats {
             spill_failures,
             digest_collisions,
             coalesced,
+            spill_retries,
+            spill_relocations,
+            checksum_failures,
+            artifact_restores,
+            artifact_rebuilds,
+            deadline_exceeded,
+            shed,
+            query_panics,
         } = *self;
         [
             ("hits", hits),
@@ -219,6 +293,14 @@ impl ServeStats {
             ("spill_failures", spill_failures),
             ("digest_collisions", digest_collisions),
             ("coalesced", coalesced),
+            ("spill_retries", spill_retries),
+            ("spill_relocations", spill_relocations),
+            ("checksum_failures", checksum_failures),
+            ("artifact_restores", artifact_restores),
+            ("artifact_rebuilds", artifact_rebuilds),
+            ("deadline_exceeded", deadline_exceeded),
+            ("shed", shed),
+            ("query_panics", query_panics),
         ]
     }
 }
@@ -234,6 +316,16 @@ pub enum ServeError {
     /// The spill file's contents no longer digest to the key — on-disk
     /// corruption; the engine refuses to serve wrong bits.
     DigestMismatch(CloudKey),
+    /// The query ran past its [`ServeConfig::deadline`] budget; detected
+    /// at a merge-round boundary and returned instead of a late answer.
+    DeadlineExceeded(CloudKey),
+    /// Shed by admission control: [`ServeConfig::max_in_flight`] guarded
+    /// queries were already running. Graceful degradation — retry later.
+    Overloaded,
+    /// The query panicked; the panic was contained to this query (scratch
+    /// returned to the pool, no engine state poisoned) and its payload is
+    /// carried here instead of unwinding the caller.
+    QueryPanic(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -242,6 +334,11 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownKey(k) => write!(f, "unknown cloud {k}"),
             ServeError::Spill(e) => write!(f, "spill file unreadable: {e}"),
             ServeError::DigestMismatch(k) => write!(f, "spill file for {k} fails its digest"),
+            ServeError::DeadlineExceeded(k) => {
+                write!(f, "query deadline exceeded merging cloud {k}")
+            }
+            ServeError::Overloaded => write!(f, "shed by admission control: too many in-flight"),
+            ServeError::QueryPanic(msg) => write!(f, "query panicked: {msg}"),
         }
     }
 }
@@ -407,6 +504,14 @@ struct StatCells {
     spill_failures: AtomicU64,
     digest_collisions: AtomicU64,
     coalesced: AtomicU64,
+    spill_retries: AtomicU64,
+    spill_relocations: AtomicU64,
+    checksum_failures: AtomicU64,
+    artifact_restores: AtomicU64,
+    artifact_rebuilds: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    shed: AtomicU64,
+    query_panics: AtomicU64,
 }
 
 impl StatCells {
@@ -419,6 +524,14 @@ impl StatCells {
             spill_failures: self.spill_failures.load(Relaxed),
             digest_collisions: self.digest_collisions.load(Relaxed),
             coalesced: self.coalesced.load(Relaxed),
+            spill_retries: self.spill_retries.load(Relaxed),
+            spill_relocations: self.spill_relocations.load(Relaxed),
+            checksum_failures: self.checksum_failures.load(Relaxed),
+            artifact_restores: self.artifact_restores.load(Relaxed),
+            artifact_rebuilds: self.artifact_rebuilds.load(Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Relaxed),
+            shed: self.shed.load(Relaxed),
+            query_panics: self.query_panics.load(Relaxed),
         }
     }
 }
@@ -449,6 +562,14 @@ struct ServeObs {
     evictions: Arc<Counter>,
     spill_failures: Arc<Counter>,
     digest_collisions: Arc<Counter>,
+    spill_retries: Arc<Counter>,
+    spill_relocations: Arc<Counter>,
+    checksum_failures: Arc<Counter>,
+    artifact_restores: Arc<Counter>,
+    artifact_rebuilds: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    shed: Arc<Counter>,
+    query_panics: Arc<Counter>,
     /// Algorithmic work per [`CounterSnapshot`] field,
     /// `emst_serve_work_total{counter="…"}`, in `named_fields` order.
     work: [Arc<Counter>; 9],
@@ -465,6 +586,11 @@ struct ServeObs {
     lease_wait: Arc<Histogram>,
     spill_write: Arc<Histogram>,
     eviction: Arc<Histogram>,
+    /// Reload-path latencies split by how the artifacts came back,
+    /// `emst_serve_reload_seconds{path="restore"|"rebuild"}` — the seam
+    /// the benchmark's artifact-restore-vs-rebuild comparison reads.
+    reload_restore: Arc<Histogram>,
+    reload_rebuild: Arc<Histogram>,
 }
 
 impl ServeObs {
@@ -492,6 +618,14 @@ impl ServeObs {
             evictions: event("eviction"),
             spill_failures: event("spill_failure"),
             digest_collisions: event("digest_collision"),
+            spill_retries: event("spill_retry"),
+            spill_relocations: event("spill_relocation"),
+            checksum_failures: event("checksum_failure"),
+            artifact_restores: event("artifact_restore"),
+            artifact_rebuilds: event("artifact_rebuild"),
+            deadline_exceeded: event("deadline_exceeded"),
+            shed: event("shed"),
+            query_panics: event("query_panic"),
             work,
             scratch_checkouts: registry.counter("emst_serve_scratch_checkouts_total"),
             scratch_pool_size: registry.gauge("emst_serve_scratch_pool_size"),
@@ -504,6 +638,8 @@ impl ServeObs {
             lease_wait: registry.histogram("emst_serve_lease_wait_seconds"),
             spill_write: registry.histogram("emst_serve_spill_write_seconds"),
             eviction: registry.histogram("emst_serve_eviction_seconds"),
+            reload_restore: registry.histogram("emst_serve_reload_seconds{path=\"restore\"}"),
+            reload_rebuild: registry.histogram("emst_serve_reload_seconds{path=\"rebuild\"}"),
             registry,
         }
     }
@@ -534,6 +670,8 @@ pub struct ServeEngine<S: ExecSpace, const D: usize> {
     spill_dir: PathBuf,
     /// Whether `spill_dir` is engine-owned (removed on drop).
     owns_spill_dir: bool,
+    /// In-flight guarded queries, for [`ServeConfig::max_in_flight`].
+    in_flight: AtomicU64,
     /// Metrics + traces; `None` when [`ServeConfig::observability`] is
     /// off, which compiles every probe down to a branch on a `None`.
     obs: Option<ServeObs>,
@@ -589,6 +727,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             builds: Mutex::new(HashMap::new()),
             spill_dir,
             owns_spill_dir: owns,
+            in_flight: AtomicU64::new(0),
             obs,
         }
     }
@@ -607,6 +746,13 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     /// ([`ServeConfig::observability`]).
     pub fn observability_enabled(&self) -> bool {
         self.obs.is_some()
+    }
+
+    /// The engine's metrics registry, for callers that want to register
+    /// their own counters (e.g. the CLI's metrics-file failure counter)
+    /// into the same exposition. `None` when observability is off.
+    pub fn obs_registry(&self) -> Option<&Registry> {
+        self.obs.as_ref().map(|o| &o.registry)
     }
 
     /// Prometheus-style text exposition of every engine metric (per-op
@@ -662,6 +808,19 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     #[inline]
     fn obs_now(&self) -> Option<Instant> {
         self.obs.as_ref().map(|_| Instant::now())
+    }
+
+    /// Counts (and logs) one detected-corruption event — the accounting
+    /// behind the "never wrong bits" guarantee: every rejected read shows
+    /// up here instead of in an answer.
+    fn count_checksum_failure(&self, key: CloudKey, what: &str) {
+        self.stats.checksum_failures.fetch_add(1, Relaxed);
+        self.obs_event(|o| o.checksum_failures.inc());
+        emst_obs::log::warn(
+            "emst-serve",
+            "spill verification failed",
+            &[("key", &key.to_string()), ("detail", what)],
+        );
     }
 
     /// Bridges a query's algorithmic work report into the per-counter
@@ -794,15 +953,72 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     fn durable_salt(&self, mut key: CloudKey, points: &[Point<D>]) -> CloudKey {
         // Bounded so a spill dir that errors on every open (not per-file
         // corruption — e.g. permissions) cannot loop forever; past the
-        // bound the eviction write itself will fail and be counted.
-        for _ in 0..1024 {
-            match spill::read_spill::<D>(&self.spill_dir, key) {
-                Ok(None) => return key,
-                Ok(Some(existing)) if existing == points => return key,
-                Ok(Some(_)) | Err(_) => key.salt += 1,
+        // bound the eviction write itself will fail and be counted. Both
+        // spill directories are probed: a relocated spill claims its salt
+        // just as firmly as a primary one.
+        'salts: for _ in 0..1024 {
+            for dir in self.spill_dirs() {
+                match spill::read_spill::<D>(dir, key, self.fault_plan()) {
+                    Ok(None) => {}
+                    Ok(Some(existing)) if existing.points == points => return key,
+                    Ok(Some(_)) | Err(_) => {
+                        key.salt += 1;
+                        continue 'salts;
+                    }
+                }
             }
+            return key;
         }
         key
+    }
+
+    /// Spill directories in probe/write order: primary, then fallback.
+    fn spill_dirs(&self) -> impl Iterator<Item = &Path> {
+        std::iter::once(self.spill_dir.as_path()).chain(self.config.fallback_spill_dir.as_deref())
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.config.fault_plan.as_deref()
+    }
+
+    /// Durable spill write: capped-exponential-backoff retries
+    /// ([`ServeConfig::spill_retries`]; 1 ms base, doubling, ≤ 20 ms per
+    /// sleep) against the primary directory, then the same ladder against
+    /// the fallback directory. Errs only when every attempt in every
+    /// directory failed — the caller then counts the durability loss.
+    fn write_spill_durable(
+        &self,
+        key: CloudKey,
+        points: &[Point<D>],
+        artifacts: Option<&[u8]>,
+    ) -> std::io::Result<()> {
+        let attempts = u64::from(self.config.spill_retries) + 1;
+        let mut last_err = None;
+        for (which, dir) in self.spill_dirs().enumerate() {
+            for attempt in 0..attempts {
+                if attempt > 0 {
+                    self.stats.spill_retries.fetch_add(1, Relaxed);
+                    self.obs_event(|o| o.spill_retries.inc());
+                    std::thread::sleep(Duration::from_millis((1u64 << (attempt - 1)).min(20)));
+                }
+                match spill::write_spill(dir, key, points, artifacts, self.fault_plan()) {
+                    Ok(()) => {
+                        if which > 0 {
+                            self.stats.spill_relocations.fetch_add(1, Relaxed);
+                            self.obs_event(|o| o.spill_relocations.inc());
+                            emst_obs::log::warn(
+                                "emst-serve",
+                                "spill relocated to fallback dir",
+                                &[("key", &key.to_string()), ("dir", &dir.display().to_string())],
+                            );
+                        }
+                        return Ok(());
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        Err(last_err.expect("at least one write attempt ran"))
     }
 
     /// Joins (or starts) the single-flight build of `key`: `Err(flight)`
@@ -841,6 +1057,18 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                 ],
             });
         }
+        (self.admit(key, points, artifacts, spans), build_work, build_timings)
+    }
+
+    /// Admits already-built (or restored) artifacts as a resident,
+    /// evicting LRU clouds first when over budget.
+    fn admit(
+        &self,
+        key: CloudKey,
+        points: Vec<Point<D>>,
+        artifacts: ShardArtifacts<D>,
+        spans: &mut Vec<SpanRecord>,
+    ) -> Arc<Resident<D>> {
         let accel = artifacts.new_accel();
         let resident = Arc::new(Resident {
             key,
@@ -877,15 +1105,21 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             let count = residents.len() as u64;
             self.obs_event(|o| o.resident_clouds.set(count));
         }
-        // Spill writes (disk I/O, potentially many MB of CSV) happen
-        // outside the residents lock — the victim `Arc`s keep the points
-        // alive, and stalling every concurrent query on a file write would
-        // defeat the read-mostly design. The window where a victim is
-        // neither resident nor spilled only costs a transient `UnknownKey`
-        // on its key, never wrong data.
+        // Spill writes (disk I/O, potentially many MB) happen outside the
+        // residents lock — the victim `Arc`s keep the points alive, and
+        // stalling every concurrent query on a file write would defeat the
+        // read-mostly design. The window where a victim is neither
+        // resident nor spilled only costs a transient `UnknownKey` on its
+        // key, never wrong data.
         for victim in victims {
             let evicted = self.obs_now();
-            let written = spill::write_spill(&self.spill_dir, victim.key, &victim.points);
+            let artifact_bytes = self.config.spill_artifacts.then(|| {
+                let mut bytes = Vec::new();
+                victim.artifacts.serialize_into(&mut bytes);
+                bytes
+            });
+            let written =
+                self.write_spill_durable(victim.key, &victim.points, artifact_bytes.as_deref());
             if let (Some(obs), Some(evicted)) = (&self.obs, evicted) {
                 obs.spill_write.record(evicted.elapsed());
             }
@@ -912,7 +1146,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                 });
             }
         }
-        (resident, build_work, build_timings)
+        resident
     }
 
     /// Resolves `points` to a resident, admitting on a miss (coalescing
@@ -1086,16 +1320,85 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
                         ));
                     }
                     // Errors drop the lease, releasing any followers to
-                    // retry (and fail) for themselves.
-                    let points = spill::read_spill::<D>(&self.spill_dir, key)
-                        .map_err(ServeError::Spill)?
-                        .ok_or(ServeError::UnknownKey(key))?;
-                    if digest_points(&points) != key.digest {
-                        return Err(ServeError::DigestMismatch(key));
+                    // retry (and fail) for themselves. The reload
+                    // degradation ladder: primary read → fallback read →
+                    // artifact restore → deterministic rebuild → typed
+                    // error. Corruption at any rung is *detected*
+                    // (section checksums, key digest), counted, and
+                    // degrades to the next rung — never decoded into
+                    // wrong bits.
+                    let reload_started = self.obs_now();
+                    let mut corrupt = false;
+                    let mut io_err: Option<std::io::Error> = None;
+                    let mut found: Option<spill::SpillContents<D>> = None;
+                    for dir in self.spill_dirs() {
+                        match spill::read_spill::<D>(dir, key, self.fault_plan()) {
+                            Ok(Some(c)) => {
+                                if digest_points(&c.points) == key.digest {
+                                    found = Some(c);
+                                    break;
+                                }
+                                self.count_checksum_failure(key, "points digest mismatch");
+                                corrupt = true;
+                            }
+                            Ok(None) => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                                self.count_checksum_failure(key, "spill frame corrupt");
+                                corrupt = true;
+                            }
+                            Err(e) => io_err = Some(e),
+                        }
                     }
+                    let contents = match found {
+                        Some(c) => c,
+                        None => {
+                            return Err(if corrupt {
+                                ServeError::DigestMismatch(key)
+                            } else if let Some(e) = io_err {
+                                ServeError::Spill(e)
+                            } else {
+                                ServeError::UnknownKey(key)
+                            });
+                        }
+                    };
                     self.stats.reloads.fetch_add(1, Relaxed);
                     self.obs_event(|o| o.reloads.inc());
-                    let (r, work, timings) = self.build_and_admit(key, points, spans);
+                    if contents.artifact_corrupt {
+                        self.count_checksum_failure(key, "artifact section corrupt");
+                    }
+                    // Artifact restore is best-effort: the blob decodes
+                    // with full structural validation, and its point count
+                    // must match the verified points. Anything short of
+                    // that rebuilds — same bits, more work.
+                    let restored = contents.artifacts.as_deref().and_then(|bytes| {
+                        match ShardArtifacts::<D>::deserialize(bytes) {
+                            Ok(a) if a.num_points() == contents.points.len() => Some(a),
+                            Ok(_) | Err(_) => {
+                                self.count_checksum_failure(key, "artifact blob invalid");
+                                None
+                            }
+                        }
+                    });
+                    let (r, work, timings) = match restored {
+                        Some(artifacts) => {
+                            self.stats.artifact_restores.fetch_add(1, Relaxed);
+                            self.obs_event(|o| o.artifact_restores.inc());
+                            let r = self.admit(key, contents.points, artifacts, spans);
+                            if let (Some(obs), Some(t)) = (&self.obs, reload_started) {
+                                obs.reload_restore.record(t.elapsed());
+                            }
+                            (r, CounterSnapshot::default(), PhaseTimings::new())
+                        }
+                        None => {
+                            self.stats.artifact_rebuilds.fetch_add(1, Relaxed);
+                            self.obs_event(|o| o.artifact_rebuilds.inc());
+                            let out = self.build_and_admit(key, contents.points, spans);
+                            if let (Some(obs), Some(t)) = (&self.obs, reload_started) {
+                                obs.reload_rebuild.record(t.elapsed());
+                            }
+                            out
+                        }
+                    };
                     return Ok((r, CacheOutcome::Reloaded, work, timings));
                 }
             }
@@ -1122,6 +1425,19 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         build_timings: PhaseTimings,
         spans: &mut Vec<SpanRecord>,
     ) -> QueryResponse {
+        self.answer_emst_deadline(r, outcome, build_work, build_timings, spans, None)
+            .expect("no deadline was set")
+    }
+
+    fn answer_emst_deadline(
+        &self,
+        r: &Resident<D>,
+        outcome: CacheOutcome,
+        build_work: CounterSnapshot,
+        build_timings: PhaseTimings,
+        spans: &mut Vec<SpanRecord>,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResponse, ServeError> {
         let mut scratch = self.checkout();
         // One reborrow through the guard so the borrow checker can split
         // `scratch.merge` / `scratch.accel` below.
@@ -1136,12 +1452,24 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             }
             scratch.accel.copy_from(&accel);
         }
-        let merged = r.artifacts.merge_accel(
+        let merged = match r.artifacts.merge_accel_deadline(
             &self.space,
             self.config.emst.traversal,
             &mut scratch.merge,
             &mut scratch.accel,
-        );
+            deadline,
+        ) {
+            Ok(merged) => merged,
+            Err(_) => {
+                // Over budget at a round boundary. The accel copy may hold
+                // a partial round's learning; it is simply not absorbed —
+                // the shared accel stays exactly as it was, and the
+                // scratch guard returns the pools on drop.
+                self.stats.deadline_exceeded.fetch_add(1, Relaxed);
+                self.obs_event(|o| o.deadline_exceeded.inc());
+                return Err(ServeError::DeadlineExceeded(r.key));
+            }
+        };
         if self.obs.is_some() {
             for d in &merged.stats.round_details {
                 spans.push(SpanRecord {
@@ -1174,7 +1502,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         }
         let mut timings = build_timings;
         timings.absorb(&merged.stats.timings);
-        QueryResponse {
+        Ok(QueryResponse {
             edges: merged.edges,
             total_weight: merged.total_weight,
             outcome,
@@ -1183,7 +1511,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             query_work: merged.stats.work,
             timings,
             resident_bytes: r.artifacts.resident_bytes(),
-        }
+        })
     }
 
     /// Full EMST of `points`. Warm path (the cloud is resident): merge
@@ -1202,15 +1530,25 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
 
     /// [`Self::emst`] by key: serves a previously ingested cloud without
     /// resending its points, transparently reloading from the spill file
-    /// if the cloud was evicted.
+    /// if the cloud was evicted. Guarded: runs under admission control,
+    /// the configured deadline, and panic isolation (see [`ServeError`]).
     pub fn emst_by_key(&self, key: CloudKey) -> Result<QueryResponse, ServeError> {
-        let started = self.obs_now();
-        let mut spans = Vec::new();
-        let (r, outcome, build_work, build_timings) = self.resolve_key(key, &mut spans)?;
-        let resp = self.answer_emst(&r, outcome, build_work, build_timings, &mut spans);
-        self.record_work(&(resp.build_work + resp.query_work));
-        self.finish_trace("emst", resp.key, outcome, started, spans);
-        Ok(resp)
+        self.run_guarded(|deadline| {
+            let started = self.obs_now();
+            let mut spans = Vec::new();
+            let (r, outcome, build_work, build_timings) = self.resolve_key(key, &mut spans)?;
+            let resp = self.answer_emst_deadline(
+                &r,
+                outcome,
+                build_work,
+                build_timings,
+                &mut spans,
+                deadline,
+            )?;
+            self.record_work(&(resp.build_work + resp.query_work));
+            self.finish_trace("emst", resp.key, outcome, started, spans);
+            Ok(resp)
+        })
     }
 
     /// Exact EMST of a subset of `points` (distinct original indices),
@@ -1224,16 +1562,42 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         let started = self.obs_now();
         let mut spans = Vec::new();
         let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
+        self.answer_subset(&r, subset, outcome, build_work, build_timings, &mut spans, None)
+            .inspect(|resp| {
+                self.finish_trace("subset", resp.key, outcome, started, spans);
+            })
+            .expect("no deadline was set")
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal answer path; the args are one resolve result
+    fn answer_subset(
+        &self,
+        r: &Resident<D>,
+        subset: &[u32],
+        outcome: CacheOutcome,
+        build_work: CounterSnapshot,
+        build_timings: PhaseTimings,
+        spans: &mut Vec<SpanRecord>,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResponse, ServeError> {
         let mut scratch = self.checkout();
         let solved = self.obs_now();
         // The resident copy is the authoritative cloud (it digested equal).
-        let sub = r.artifacts.merge_subset(
+        let sub = match r.artifacts.merge_subset_deadline(
             &self.space,
             &r.points,
             subset,
             &self.config.emst,
             &mut scratch.boruvka,
-        );
+            deadline,
+        ) {
+            Ok(sub) => sub,
+            Err(_) => {
+                self.stats.deadline_exceeded.fetch_add(1, Relaxed);
+                self.obs_event(|o| o.deadline_exceeded.inc());
+                return Err(ServeError::DeadlineExceeded(r.key));
+            }
+        };
         if let Some(solved) = solved {
             spans.push(SpanRecord {
                 name: "subset.solve",
@@ -1254,8 +1618,7 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
             resident_bytes: r.artifacts.resident_bytes(),
         };
         self.record_work(&(resp.build_work + resp.query_work));
-        self.finish_trace("subset", resp.key, outcome, started, spans);
-        resp
+        Ok(resp)
     }
 
     /// The `k` nearest ingested points to `query`, answered from the
@@ -1299,6 +1662,227 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         self.record_work(&build_work);
         self.finish_trace("hdbscan", r.key, outcome, started, spans);
         HdbscanResponse { result, outcome, key: r.key }
+    }
+
+    // ------------------------------------------------------------------
+    // Guarded (fault-tolerant) query paths
+    //
+    // Every `try_*` / `*_by_key` method runs under [`Self::run_guarded`]:
+    // admission control ([`ServeConfig::max_in_flight`] → `Overloaded`),
+    // the per-query deadline ([`ServeConfig::deadline`] →
+    // `DeadlineExceeded`, checked at merge-round boundaries), and panic
+    // isolation (a panicking query returns `QueryPanic`; RAII guards
+    // return scratch to the pool and release single-flight leases on the
+    // unwind path, so the engine stays fully servable). The infallible
+    // positional methods above are unchanged — they are the happy path
+    // the benchmark holds to its PR 7 numbers.
+    // ------------------------------------------------------------------
+
+    /// Admission + deadline + panic isolation around a query body.
+    fn run_guarded<T>(
+        &self,
+        f: impl FnOnce(Option<Instant>) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let _gate = self.admission_gate()?;
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(deadline))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                self.stats.query_panics.fetch_add(1, Relaxed);
+                self.obs_event(|o| o.query_panics.inc());
+                emst_obs::log::warn(
+                    "emst-serve",
+                    "query panicked; isolated to an error",
+                    &[("panic", &msg)],
+                );
+                Err(ServeError::QueryPanic(msg))
+            }
+        }
+    }
+
+    /// Claims an in-flight slot, shedding with [`ServeError::Overloaded`]
+    /// past [`ServeConfig::max_in_flight`]. The token is claimed *before*
+    /// the bound check (fetch_add, then compare), so two racing arrivals
+    /// at the last slot can both be shed but can never both be admitted.
+    fn admission_gate(&self) -> Result<Option<InFlightGuard<'_>>, ServeError> {
+        let max = self.config.max_in_flight;
+        if max == 0 {
+            return Ok(None);
+        }
+        let prev = self.in_flight.fetch_add(1, Relaxed);
+        let guard = InFlightGuard(&self.in_flight);
+        if prev >= max as u64 {
+            drop(guard);
+            self.stats.shed.fetch_add(1, Relaxed);
+            self.obs_event(|o| o.shed.inc());
+            return Err(ServeError::Overloaded);
+        }
+        Ok(Some(guard))
+    }
+
+    /// [`Self::emst`] under the robustness contract (admission control,
+    /// deadline, panic isolation).
+    pub fn try_emst(&self, points: &[Point<D>]) -> Result<QueryResponse, ServeError> {
+        self.run_guarded(|deadline| {
+            let started = self.obs_now();
+            let mut spans = Vec::new();
+            let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
+            let resp = self.answer_emst_deadline(
+                &r,
+                outcome,
+                build_work,
+                build_timings,
+                &mut spans,
+                deadline,
+            )?;
+            self.record_work(&(resp.build_work + resp.query_work));
+            self.finish_trace("emst", resp.key, outcome, started, spans);
+            Ok(resp)
+        })
+    }
+
+    /// [`Self::emst_subset`] under the robustness contract.
+    pub fn try_emst_subset(
+        &self,
+        points: &[Point<D>],
+        subset: &[u32],
+    ) -> Result<QueryResponse, ServeError> {
+        self.run_guarded(|deadline| {
+            let started = self.obs_now();
+            let mut spans = Vec::new();
+            let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
+            let resp = self.answer_subset(
+                &r,
+                subset,
+                outcome,
+                build_work,
+                build_timings,
+                &mut spans,
+                deadline,
+            )?;
+            self.finish_trace("subset", resp.key, outcome, started, spans);
+            Ok(resp)
+        })
+    }
+
+    /// [`Self::emst_subset`] by key (guarded): subset EMST of a previously
+    /// ingested cloud, reloading from spill on demand.
+    pub fn emst_subset_by_key(
+        &self,
+        key: CloudKey,
+        subset: &[u32],
+    ) -> Result<QueryResponse, ServeError> {
+        self.run_guarded(|deadline| {
+            let started = self.obs_now();
+            let mut spans = Vec::new();
+            let (r, outcome, build_work, build_timings) = self.resolve_key(key, &mut spans)?;
+            let resp = self.answer_subset(
+                &r,
+                subset,
+                outcome,
+                build_work,
+                build_timings,
+                &mut spans,
+                deadline,
+            )?;
+            self.finish_trace("subset", resp.key, outcome, started, spans);
+            Ok(resp)
+        })
+    }
+
+    /// [`Self::k_nearest`] under the robustness contract. k-NN has no
+    /// merge rounds, so the deadline only gates admission-to-start.
+    pub fn try_k_nearest(
+        &self,
+        points: &[Point<D>],
+        query: &Point<D>,
+        k: usize,
+    ) -> Result<KnnResponse, ServeError> {
+        self.run_guarded(|_deadline| Ok(self.k_nearest(points, query, k)))
+    }
+
+    /// [`Self::k_nearest`] by key (guarded), reloading from spill on
+    /// demand.
+    pub fn k_nearest_by_key(
+        &self,
+        key: CloudKey,
+        query: &Point<D>,
+        k: usize,
+    ) -> Result<KnnResponse, ServeError> {
+        self.run_guarded(|_deadline| {
+            let started = self.obs_now();
+            let mut spans = Vec::new();
+            let (r, outcome, build_work, _) = self.resolve_key(key, &mut spans)?;
+            let mut stats = TraversalStats::default();
+            let neighbors = r.artifacts.k_nearest(query, k, &mut stats);
+            let resp = KnnResponse {
+                neighbors,
+                outcome,
+                key: r.key,
+                build_work,
+                query_work: CounterSnapshot {
+                    distance_computations: stats.distances,
+                    node_visits: stats.nodes,
+                    rope_hops: stats.rope_hops,
+                    leaf_visits: stats.leaves,
+                    subtrees_skipped: stats.skipped,
+                    queries: 1,
+                    ..CounterSnapshot::default()
+                },
+            };
+            self.record_work(&(resp.build_work + resp.query_work));
+            self.finish_trace("knn", resp.key, outcome, started, spans);
+            Ok(resp)
+        })
+    }
+
+    /// [`Self::hdbscan`] under the robustness contract.
+    pub fn try_hdbscan(
+        &self,
+        points: &[Point<D>],
+        params: Hdbscan,
+    ) -> Result<HdbscanResponse, ServeError> {
+        self.run_guarded(|_deadline| Ok(self.hdbscan(points, params)))
+    }
+
+    /// [`Self::hdbscan`] by key (guarded), reloading from spill on demand.
+    pub fn hdbscan_by_key(
+        &self,
+        key: CloudKey,
+        params: Hdbscan,
+    ) -> Result<HdbscanResponse, ServeError> {
+        self.run_guarded(|_deadline| {
+            let started = self.obs_now();
+            let mut spans = Vec::new();
+            let (r, outcome, build_work, _) = self.resolve_key(key, &mut spans)?;
+            let mut scratch = self.checkout();
+            let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
+            self.record_work(&build_work);
+            self.finish_trace("hdbscan", r.key, outcome, started, spans);
+            Ok(HdbscanResponse { result, outcome, key: r.key })
+        })
+    }
+}
+
+/// Releases an in-flight admission slot on drop — including on the
+/// unwind path of a panicking query.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Relaxed);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -1616,8 +2200,8 @@ mod tests {
         engine.resolve_digest(0x9, &random_points_2d(150, 43)); // spills `b` at salt 1
 
         // Both spill files coexist, each holding its own cloud's points.
-        assert_eq!(spill::read_spill::<2>(&engine.spill_dir, k0).unwrap().unwrap(), a);
-        assert_eq!(spill::read_spill::<2>(&engine.spill_dir, k1).unwrap().unwrap(), b);
+        assert_eq!(spill::read_spill::<2>(&engine.spill_dir, k0, None).unwrap().unwrap().points, a);
+        assert_eq!(spill::read_spill::<2>(&engine.spill_dir, k1, None).unwrap().unwrap().points, b);
 
         // Re-presenting an evicted cloud reuses its own spill slot rather
         // than leaking a fresh salt per eviction cycle.
@@ -1739,13 +2323,301 @@ mod tests {
             spill_failures: 5,
             digest_collisions: 6,
             coalesced: 7,
+            spill_retries: 8,
+            spill_relocations: 9,
+            checksum_failures: 10,
+            artifact_restores: 11,
+            artifact_rebuilds: 12,
+            deadline_exceeded: 13,
+            shed: 14,
+            query_panics: 15,
         };
         let fields = stats.named_fields();
-        assert_eq!(fields.len(), 7);
+        assert_eq!(fields.len(), 15);
         let sum: u64 = fields.iter().map(|&(_, v)| v).sum();
-        assert_eq!(sum, 28, "every field value appears exactly once");
+        assert_eq!(sum, (1..=15).sum(), "every field value appears exactly once");
         assert!(fields.iter().any(|&(n, v)| n == "digest_collisions" && v == 6));
         assert!(fields.iter().any(|&(n, v)| n == "coalesced" && v == 7));
+        assert!(fields.iter().any(|&(n, v)| n == "checksum_failures" && v == 10));
+        assert!(fields.iter().any(|&(n, v)| n == "query_panics" && v == 15));
+    }
+
+    /// Tentpole: an evicted cloud reloads by *restoring* its serialized
+    /// artifacts — no rebuild runs, and the answers are bit-identical.
+    #[test]
+    fn reload_restores_artifacts_without_rebuilding() {
+        let a = random_points_2d(400, 70);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 1));
+        let cold = engine.emst(&a);
+        engine.emst(&random_points_2d(400, 71)); // budget 1: evicts `a`
+        let back = engine.emst_by_key(cold.key).unwrap();
+        assert_eq!(back.outcome, CacheOutcome::Reloaded);
+        assert_eq!(back.edges, cold.edges);
+        assert_eq!(back.total_weight, cold.total_weight);
+        // Restored, not rebuilt: zero build work, zero local-phase time.
+        assert!(back.build_work.is_zero());
+        assert_eq!(back.timings.get("local"), 0.0);
+        let stats = engine.stats();
+        assert_eq!(stats.reloads, 1);
+        assert_eq!(stats.artifact_restores, 1);
+        assert_eq!(stats.artifact_rebuilds, 0);
+        assert_eq!(stats.checksum_failures, 0);
+        let text = engine.metrics_prometheus();
+        assert!(text.contains("emst_serve_reload_seconds_count{path=\"restore\"} 1"), "{text}");
+        assert!(text.contains("emst_serve_cache_events_total{event=\"artifact_restore\"} 1"));
+    }
+
+    /// With artifact persistence off, reloads fall back to the
+    /// deterministic rebuild — same bits, counted as a rebuild.
+    #[test]
+    fn reload_without_artifacts_rebuilds_bit_identically() {
+        let a = random_points_2d(400, 72);
+        let mut cfg = ServeConfig::new(3, 1);
+        cfg.spill_artifacts = false;
+        let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+        let cold = engine.emst(&a);
+        engine.emst(&random_points_2d(400, 73));
+        let back = engine.emst_by_key(cold.key).unwrap();
+        assert_eq!(back.outcome, CacheOutcome::Reloaded);
+        assert_eq!(back.edges, cold.edges);
+        assert!(back.build_work.iterations > 0, "the rebuild really ran");
+        let stats = engine.stats();
+        assert_eq!((stats.artifact_restores, stats.artifact_rebuilds), (0, 1));
+        assert_eq!(stats.artifact_restores + stats.artifact_rebuilds, stats.reloads);
+    }
+
+    /// Satellite: a corrupted spill file is a typed error on every query
+    /// path — emst, subset, knn, hdbscan — never wrong edges. Truncation,
+    /// a flipped byte, and a wrong-length file all land in
+    /// `DigestMismatch` (detected corruption) with `checksum_failures`
+    /// counted; re-presenting the points recovers.
+    #[test]
+    fn corrupted_spills_error_on_every_query_path() {
+        let a = random_points_2d(300, 74);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 1));
+        let cold = engine.emst(&a);
+        let key = cold.key;
+        engine.emst(&random_points_2d(300, 75)); // evicts `a`
+        let path = spill::spill_path(&engine.spill_dir, key);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // 300 2-D points: the PNTS payload spans bytes 72..2472, so a cut
+        // at 500 and a flip at 100 both damage the *points*, which must be
+        // a hard error (a flip in the trailing ARTS blob only degrades).
+        let corruptions: [(&str, Vec<u8>); 3] = [
+            ("truncated", pristine[..500].to_vec()),
+            ("flipped byte", {
+                let mut v = pristine.clone();
+                v[100] ^= 0x20;
+                v
+            }),
+            ("wrong length", {
+                let mut v = pristine.clone();
+                v.extend_from_slice(b"extra");
+                v
+            }),
+        ];
+        for (what, bytes) in &corruptions {
+            std::fs::write(&path, bytes).unwrap();
+            assert!(
+                matches!(
+                    engine.emst_by_key(key),
+                    Err(ServeError::DigestMismatch(_) | ServeError::Spill(_))
+                ),
+                "emst: {what}"
+            );
+            assert!(
+                matches!(
+                    engine.emst_subset_by_key(key, &[0, 1, 2]),
+                    Err(ServeError::DigestMismatch(_) | ServeError::Spill(_))
+                ),
+                "subset: {what}"
+            );
+            assert!(
+                matches!(
+                    engine.k_nearest_by_key(key, &Point::new([0.0, 0.0]), 3),
+                    Err(ServeError::DigestMismatch(_) | ServeError::Spill(_))
+                ),
+                "knn: {what}"
+            );
+            assert!(
+                matches!(
+                    engine.hdbscan_by_key(key, Hdbscan::default()),
+                    Err(ServeError::DigestMismatch(_) | ServeError::Spill(_))
+                ),
+                "hdbscan: {what}"
+            );
+        }
+        let stats = engine.stats();
+        assert!(stats.checksum_failures >= 12, "every rejection counted: {stats:?}");
+        assert_eq!(stats.reloads, 0, "nothing corrupt was ever admitted");
+
+        // Recovery: the pristine bytes serve again, bit-identically.
+        std::fs::write(&path, &pristine).unwrap();
+        let back = engine.emst_by_key(key).unwrap();
+        assert_eq!(back.edges, cold.edges);
+        // And re-presenting the points always works, even with the spill
+        // corrupted again.
+        std::fs::write(&path, &corruptions[0].1).unwrap();
+        assert_eq!(engine.emst(&a).edges, cold.edges);
+    }
+
+    /// Corruption confined to the artifact section only *degrades*: the
+    /// reload still answers (bit-identically) via rebuild, with the
+    /// failure counted.
+    #[test]
+    fn corrupt_artifact_section_degrades_to_rebuild() {
+        let a = random_points_2d(300, 76);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 1));
+        let cold = engine.emst(&a);
+        engine.emst(&random_points_2d(300, 77)); // evicts `a`
+        let path = spill::spill_path(&engine.spill_dir, cold.key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 20] ^= 0x40; // inside the trailing ARTS payload/checksum
+        std::fs::write(&path, &bytes).unwrap();
+        let back = engine.emst_by_key(cold.key).unwrap();
+        assert_eq!(back.outcome, CacheOutcome::Reloaded);
+        assert_eq!(back.edges, cold.edges);
+        let stats = engine.stats();
+        assert_eq!(stats.artifact_rebuilds, 1);
+        assert_eq!(stats.artifact_restores, 0);
+        assert!(stats.checksum_failures >= 1);
+    }
+
+    /// Tentpole: spill writes retry with backoff and relocate to the
+    /// fallback directory; the cloud stays durable and reloads from there.
+    #[test]
+    fn spill_relocates_to_fallback_dir_and_reloads() {
+        let blocker =
+            std::env::temp_dir().join(format!("emst-serve-reloc-blocker-{}", std::process::id()));
+        let fallback =
+            std::env::temp_dir().join(format!("emst-serve-reloc-fallback-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let mut cfg = ServeConfig::new(3, 1);
+        cfg.spill_dir = Some(blocker.join("spills")); // every primary write fails
+        cfg.fallback_spill_dir = Some(fallback.clone());
+        cfg.spill_retries = 2;
+        let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+
+        let a = random_points_2d(250, 78);
+        let cold = engine.emst(&a);
+        engine.emst(&random_points_2d(250, 79)); // evicts `a`
+        let stats = engine.stats();
+        assert_eq!(stats.spill_failures, 0, "the fallback saved durability");
+        assert_eq!(stats.spill_relocations, 1);
+        assert_eq!(stats.spill_retries, 2, "primary retried before relocating");
+        assert!(spill::spill_path(&fallback, cold.key).exists());
+
+        let back = engine.emst_by_key(cold.key).unwrap();
+        assert_eq!(back.outcome, CacheOutcome::Reloaded);
+        assert_eq!(back.edges, cold.edges);
+        assert_eq!(engine.stats().artifact_restores, 1);
+        std::fs::remove_file(&blocker).ok();
+        std::fs::remove_dir_all(&fallback).ok();
+    }
+
+    /// Tentpole: an expired deadline is an honest `DeadlineExceeded` at a
+    /// merge-round boundary — and the engine (accel, scratch, residency)
+    /// stays fully servable afterwards.
+    #[test]
+    fn deadline_exceeded_is_honest_and_recoverable() {
+        let a = random_points_2d(500, 80);
+        let mut cfg = ServeConfig::new(3, 2);
+        cfg.deadline = Some(Duration::ZERO); // every guarded merge is late
+        let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+        let key = engine.ingest(&a);
+        assert!(matches!(engine.try_emst(&a), Err(ServeError::DeadlineExceeded(k)) if k == key));
+        assert!(matches!(engine.emst_by_key(key), Err(ServeError::DeadlineExceeded(_))));
+        assert!(matches!(
+            engine.emst_subset_by_key(key, &(0..100).collect::<Vec<_>>()),
+            Err(ServeError::DeadlineExceeded(_))
+        ));
+        assert_eq!(engine.stats().deadline_exceeded, 3);
+        // The infallible happy path is not deadline-gated and still serves.
+        let full = engine.emst(&a);
+        assert_eq!(full.edges.len(), 499);
+        // k-NN has no merge rounds: even guarded it answers.
+        assert!(engine.k_nearest_by_key(key, &a[0], 3).is_ok());
+        assert_eq!(engine.scratch_pool.lock().len(), 1, "no scratch leaked past the deadline");
+    }
+
+    /// Tentpole: admission control sheds excess in-flight queries with
+    /// `Overloaded` instead of queueing them.
+    #[test]
+    fn admission_control_sheds_over_the_in_flight_cap() {
+        let a = random_points_2d(200, 81);
+        let mut cfg = ServeConfig::new(2, 2);
+        cfg.max_in_flight = 1;
+        let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+        let key = engine.ingest(&a);
+        let gate = engine.admission_gate().unwrap(); // occupy the only slot
+        assert!(matches!(engine.emst_by_key(key), Err(ServeError::Overloaded)));
+        assert!(matches!(engine.try_emst(&a), Err(ServeError::Overloaded)));
+        assert_eq!(engine.stats().shed, 2);
+        drop(gate); // slot freed: queries admit again
+        assert!(engine.emst_by_key(key).is_ok());
+        assert_eq!(engine.stats().shed, 2);
+        assert_eq!(engine.in_flight.load(Relaxed), 0, "every token released");
+    }
+
+    /// Tentpole: a panicking query is isolated to `QueryPanic` — the
+    /// caller's thread survives, scratch returns to the pool, and the
+    /// engine keeps serving.
+    #[test]
+    fn query_panics_are_isolated_to_errors() {
+        let a = random_points_2d(200, 82);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(2, 2));
+        let key = engine.ingest(&a);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+                                                // An out-of-range subset index panics inside the merge machinery.
+        let result = engine.emst_subset_by_key(key, &[0, 9999]);
+        std::panic::set_hook(prev);
+        match result {
+            Err(ServeError::QueryPanic(msg)) => {
+                assert!(msg.contains("out of range"), "payload carried through: {msg}")
+            }
+            other => panic!("expected QueryPanic, got {other:?}"),
+        }
+        assert_eq!(engine.stats().query_panics, 1);
+        assert_eq!(engine.in_flight.load(Relaxed), 0);
+        // Still serving, bit-identically, on the same resident.
+        let ok = engine.emst_by_key(key).unwrap();
+        assert_eq!(ok.outcome, CacheOutcome::Hit);
+        assert_eq!(ok.edges.len(), 199);
+    }
+
+    /// Injected read faults surface as typed errors (or clean retries on
+    /// re-presentation), and the fault plan's decisions are live.
+    #[test]
+    fn fault_plan_wired_through_the_engine() {
+        let a = random_points_2d(250, 83);
+        let plan = Arc::new(FaultPlan::new(11).with_rule(FaultSite::Read, FaultKind::BitFlip, 1.0));
+        let mut cfg = ServeConfig::new(3, 1);
+        cfg.fault_plan = Some(Arc::clone(&plan));
+        let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+        let cold = engine.emst(&a);
+        engine.emst(&random_points_2d(250, 84)); // evicts `a` (write is clean)
+                                                 // Every reload read has one bit flipped somewhere in the image.
+                                                 // Wherever it lands the outcome must be *honest*: a typed error
+                                                 // (header/points damage) or a bit-identical answer via rebuild
+                                                 // (artifact-blob damage) — never wrong edges.
+        match engine.emst_by_key(cold.key) {
+            Ok(resp) => {
+                assert_eq!(resp.edges, cold.edges);
+                assert_eq!(engine.stats().artifact_rebuilds, 1);
+            }
+            Err(e) => assert!(
+                matches!(e, ServeError::DigestMismatch(_) | ServeError::Spill(_)),
+                "unexpected error: {e}"
+            ),
+        }
+        assert!(plan.injected() > 0, "the plan really fired");
+        assert!(engine.stats().checksum_failures >= 1, "the flip was detected and counted");
+        // Re-presenting the points always recovers, whatever the read path
+        // is doing.
+        assert_eq!(engine.emst(&a).edges, cold.edges);
     }
 
     /// Evictions record spill-write durations and eviction events in the

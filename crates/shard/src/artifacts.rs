@@ -48,15 +48,21 @@
 //! Morton-contiguous subsets (spatial range queries) therefore touch the
 //! local phase only at their two boundary shards.
 
-use emst_bvh::{Traversal, TraversalStats};
+use std::io;
+use std::time::Instant;
+
+use emst_bvh::{Bvh, Traversal, TraversalStats};
 use emst_core::edge::total_weight;
 use emst_core::{BoruvkaScratch, Edge, EmstConfig, SingleTreeBoruvka};
+use emst_datasets::io::{BlobReader, BlobWriter, ByteReader, ByteWriter};
 use emst_exec::counters::CounterSnapshot;
 use emst_exec::{Counters, ExecSpace, PhaseTimings};
 use emst_geometry::{Point, Scalar};
 use rayon::prelude::*;
 
-use crate::merge::{cross_shard_boruvka, CrossBounds, MergeAccel, MergeShard, MergeShardView};
+use crate::merge::{
+    cross_shard_boruvka, CrossBounds, MergeAccel, MergeDeadlineExceeded, MergeShard, MergeShardView,
+};
 use crate::plan::ShardPlan;
 use crate::{MergeScratch, ShardConfig, ShardStats, ShardedResult};
 
@@ -236,7 +242,7 @@ impl<const D: usize> ShardArtifacts<D> {
         traversal: Traversal,
         scratch: &mut MergeScratch,
     ) -> ShardedResult {
-        self.merge_with(space, traversal, scratch, None)
+        self.merge_with(space, traversal, scratch, None, None).expect("no deadline was set")
     }
 
     /// A pristine [`MergeAccel`] for this cloud: floors seeded from the
@@ -257,7 +263,23 @@ impl<const D: usize> ShardArtifacts<D> {
         scratch: &mut MergeScratch,
         accel: &mut MergeAccel,
     ) -> ShardedResult {
-        self.merge_with(space, traversal, scratch, Some(accel))
+        self.merge_with(space, traversal, scratch, Some(accel), None).expect("no deadline was set")
+    }
+
+    /// [`Self::merge_accel`] under a wall-clock deadline, checked at every
+    /// merge-round boundary. On [`MergeDeadlineExceeded`] no partial result
+    /// escapes: the accelerator and scratch are exactly as reusable as
+    /// before the call (the round-1 harvest of an abandoned merge is
+    /// discarded with it).
+    pub fn merge_accel_deadline<S: ExecSpace>(
+        &self,
+        space: &S,
+        traversal: Traversal,
+        scratch: &mut MergeScratch,
+        accel: &mut MergeAccel,
+        deadline: Option<Instant>,
+    ) -> Result<ShardedResult, MergeDeadlineExceeded> {
+        self.merge_with(space, traversal, scratch, Some(accel), deadline)
     }
 
     fn merge_with<S: ExecSpace>(
@@ -266,7 +288,8 @@ impl<const D: usize> ShardArtifacts<D> {
         traversal: Traversal,
         scratch: &mut MergeScratch,
         accel: Option<&mut MergeAccel>,
-    ) -> ShardedResult {
+        deadline: Option<Instant>,
+    ) -> Result<ShardedResult, MergeDeadlineExceeded> {
         let mut timings = PhaseTimings::new();
         let counters = Counters::new();
         let mut result = ShardedResult {
@@ -280,7 +303,7 @@ impl<const D: usize> ShardArtifacts<D> {
             },
         };
         if self.n < 2 {
-            return result;
+            return Ok(result);
         }
         let views: Vec<MergeShardView<'_, D>> =
             self.locals.iter().map(|l| l.merge.view()).collect();
@@ -295,8 +318,9 @@ impl<const D: usize> ShardArtifacts<D> {
             &mut timings,
             Some(&self.bounds),
             accel,
+            deadline,
             scratch,
-        );
+        )?;
         timings.record("merge", mst_start.elapsed().as_secs_f64());
         debug_assert_eq!(outcome.edges.len(), self.n - 1);
 
@@ -307,7 +331,7 @@ impl<const D: usize> ShardArtifacts<D> {
         result.stats.round_details = outcome.round_details;
         result.stats.timings = timings;
         result.stats.work = counters.snapshot();
-        result
+        Ok(result)
     }
 
     /// Exact EMST of a **subset** of the ingested points, reusing the
@@ -331,6 +355,23 @@ impl<const D: usize> ShardArtifacts<D> {
         config: &EmstConfig,
         scratch: &mut BoruvkaScratch,
     ) -> ShardedResult {
+        self.merge_subset_deadline(space, points, subset, config, scratch, None)
+            .expect("no deadline was set")
+    }
+
+    /// [`Self::merge_subset`] under a wall-clock deadline, checked at every
+    /// merge-round boundary (the local re-solve phase of partially covered
+    /// shards runs to completion first — it is bounded by the build cost,
+    /// which the caller already accepted).
+    pub fn merge_subset_deadline<S: ExecSpace>(
+        &self,
+        space: &S,
+        points: &[Point<D>],
+        subset: &[u32],
+        config: &EmstConfig,
+        scratch: &mut BoruvkaScratch,
+        deadline: Option<Instant>,
+    ) -> Result<ShardedResult, MergeDeadlineExceeded> {
         assert_eq!(points.len(), self.n, "points are not the ingested cloud");
         let m = subset.len();
         let mut timings = PhaseTimings::new();
@@ -404,7 +445,7 @@ impl<const D: usize> ShardArtifacts<D> {
         };
         if m < 2 {
             result.stats.timings = timings;
-            return result;
+            return Ok(result);
         }
 
         let views: Vec<MergeShardView<'_, D>> = subs
@@ -429,8 +470,9 @@ impl<const D: usize> ShardArtifacts<D> {
             // full-cloud bounds nor any accelerator applies.
             None,
             None,
+            deadline,
             &mut MergeScratch::new(),
-        );
+        )?;
         timings.record("merge", mst_start.elapsed().as_secs_f64());
         debug_assert_eq!(outcome.edges.len(), m - 1);
 
@@ -447,7 +489,7 @@ impl<const D: usize> ShardArtifacts<D> {
         result.stats.round_details = outcome.round_details;
         result.stats.timings = timings;
         result.stats.work = local_work + counters.snapshot();
-        result
+        Ok(result)
     }
 
     /// The `k` nearest ingested points to `query` as `(original index,
@@ -475,7 +517,199 @@ impl<const D: usize> ShardArtifacts<D> {
         all.truncate(k);
         all
     }
+
+    /// Appends the durable binary encoding of these artifacts to `out` —
+    /// the plan, every local's seeds and BVH, and the precomputed merge
+    /// bounds, framed as checksummed sections (magic `EMSTART1`).
+    ///
+    /// Only state that cannot be derived from the rest is stored:
+    /// `vertex_of_rank`, the vertex→shard maps, `shard_sizes` and
+    /// `flat_seeds` are all recomputed by [`Self::deserialize`]. Build-time
+    /// accounting (`build_work`, `build_timings`) is deliberately **not**
+    /// persisted — a restore did no build work, and reporting zeros is the
+    /// honest signature the serving stats rely on.
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        let mut blob = BlobWriter::new(ARTIFACT_MAGIC);
+        let mut plan = ByteWriter::new();
+        plan.u64(self.n as u64);
+        plan.u64(self.plan.num_shards() as u64);
+        for &o in self.plan.order() {
+            plan.u32(o);
+        }
+        for &b in self.plan.cut_bounds() {
+            plan.u64(b as u64);
+        }
+        blob.section(b"PLAN", &plan.into_vec());
+
+        let mut locs = ByteWriter::new();
+        locs.u64(self.locals.len() as u64);
+        for (l, &iters) in self.locals.iter().zip(&self.local_iterations) {
+            locs.u32(l.shard as u32);
+            locs.u32(iters);
+            locs.u64(l.seeds.len() as u64);
+            for e in &l.seeds {
+                locs.u32(e.u);
+                locs.u32(e.v);
+                locs.f32(e.weight_sq);
+            }
+            let mut bvh = vec![];
+            l.merge.bvh.serialize_into(&mut bvh);
+            locs.u64(bvh.len() as u64);
+            locs.bytes(&bvh);
+        }
+        blob.section(b"LOCS", &locs.into_vec());
+
+        let mut bnds = ByteWriter::new();
+        for &d in &self.bounds.cross_dist {
+            bnds.f32(d);
+        }
+        for &r in &self.bounds.reach {
+            bnds.f32(r);
+        }
+        blob.section(b"BNDS", &bnds.into_vec());
+        out.extend_from_slice(&blob.finish());
+    }
+
+    /// Decodes a blob written by [`Self::serialize_into`], re-deriving all
+    /// the redundant state. Every length, id range and structural invariant
+    /// is validated — corrupt or foreign bytes yield an `InvalidData` error
+    /// (the serving layer's cue to fall back to the deterministic rebuild),
+    /// never a panic or wrong artifacts downstream.
+    ///
+    /// The caller is responsible for the blob belonging to the point cloud
+    /// it will be merged against; the serving layer guarantees this by
+    /// storing artifact bytes inside the same digest-named spill file as
+    /// the points themselves.
+    pub fn deserialize(bytes: &[u8]) -> io::Result<Self> {
+        let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+        let mut blob = BlobReader::open(bytes, ARTIFACT_MAGIC)?;
+
+        let plan_bytes = blob.section(b"PLAN")?;
+        let mut r = ByteReader::new(plan_bytes);
+        let n = r.len_capped(plan_bytes.len() / 4, "artifact plan: implausible point count")?;
+        let k = r.len_capped(plan_bytes.len() / 8, "artifact plan: implausible shard count")?;
+        if k == 0 {
+            return Err(bad("artifact plan: zero shards"));
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let o = r.u32()?;
+            if o as usize >= n || std::mem::replace(&mut seen[o as usize], true) {
+                return Err(bad("artifact plan: order is not a permutation"));
+            }
+            order.push(o);
+        }
+        let mut cut_bounds = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            cut_bounds.push(r.u64()? as usize);
+        }
+        r.done()?;
+        if cut_bounds[0] != 0 || cut_bounds[k] != n || cut_bounds.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("artifact plan: cut table is not monotone over 0..n"));
+        }
+        let plan = ShardPlan::from_parts(order, cut_bounds);
+        let shard_sizes = plan.shard_sizes();
+
+        let locs_bytes = blob.section(b"LOCS")?;
+        let mut r = ByteReader::new(locs_bytes);
+        let num_locals = r.len_capped(k, "artifact locals: more locals than shards")?;
+        let mut locals: Vec<LocalArtifact<D>> = Vec::with_capacity(num_locals);
+        let mut local_iterations = Vec::with_capacity(num_locals);
+        for _ in 0..num_locals {
+            let shard = r.u32()? as usize;
+            if shard >= k || shard_sizes[shard] == 0 {
+                return Err(bad("artifact locals: local for an empty or out-of-range shard"));
+            }
+            if locals.iter().any(|l: &LocalArtifact<D>| l.shard == shard) {
+                return Err(bad("artifact locals: duplicate shard"));
+            }
+            local_iterations.push(r.u32()?);
+            let num_seeds = r.len_capped(shard_sizes[shard], "artifact locals: seed count")?;
+            let mut seeds = Vec::with_capacity(num_seeds);
+            for _ in 0..num_seeds {
+                let u = r.u32()?;
+                let v = r.u32()?;
+                let w = r.f32()?;
+                if u as usize >= n || v as usize >= n {
+                    return Err(bad("artifact locals: seed endpoint out of range"));
+                }
+                seeds.push(Edge::new(u, v, w));
+            }
+            let blob_len = r.len_capped(r.remaining(), "artifact locals: bvh blob length")?;
+            let bvh = Bvh::<D>::deserialize(r.take(blob_len)?)
+                .map_err(|e| bad(&format!("artifact locals: {e}")))?;
+            if bvh.num_leaves() != shard_sizes[shard] {
+                return Err(bad("artifact locals: bvh leaf count disagrees with the plan"));
+            }
+            // vertex_of_rank is derived, exactly as MergeShard::build does.
+            let ids = plan.shard_indices(shard);
+            let vertex_of_rank =
+                (0..bvh.num_leaves() as u32).map(|r| ids[bvh.point_index(r) as usize]).collect();
+            let merge = MergeShard { bvh, vertex_of_rank };
+            locals.push(LocalArtifact { shard, merge, seeds });
+        }
+        r.done()?;
+        if locals.len() != (0..k).filter(|&s| shard_sizes[s] > 0).count() {
+            return Err(bad("artifact locals: missing a non-empty shard's local"));
+        }
+
+        let bnds_bytes = blob.section(b"BNDS")?;
+        blob.done()?;
+        let stride = locals.len();
+        let expect = n
+            .checked_mul(stride)
+            .and_then(|c| c.checked_add(n))
+            .and_then(|c| c.checked_mul(4))
+            .ok_or_else(|| bad("artifact bounds: size overflow"))?;
+        if bnds_bytes.len() != expect {
+            return Err(bad("artifact bounds: wrong length"));
+        }
+        let mut r = ByteReader::new(bnds_bytes);
+        let mut cross_dist = Vec::with_capacity(n * stride);
+        for _ in 0..n * stride {
+            cross_dist.push(r.f32()?);
+        }
+        let mut reach = Vec::with_capacity(n);
+        for _ in 0..n {
+            reach.push(r.f32()?);
+        }
+        r.done()?;
+        // shard_of / rank_of are derived from the rank maps (local index,
+        // not plan shard index — mirroring CrossBounds::compute, which the
+        // merge's cross_dist indexing depends on).
+        let mut shard_of = vec![0u32; n];
+        let mut rank_of = vec![0u32; n];
+        let mut covered = vec![false; n];
+        for (s, l) in locals.iter().enumerate() {
+            for (rank, &v) in l.merge.vertex_of_rank.iter().enumerate() {
+                shard_of[v as usize] = s as u32;
+                rank_of[v as usize] = rank as u32;
+                covered[v as usize] = true;
+            }
+        }
+        if n > 0 && !covered.iter().all(|&c| c) {
+            return Err(bad("artifact locals: rank maps do not cover every vertex"));
+        }
+        let bounds = CrossBounds { shard_of, rank_of, cross_dist, reach };
+        let flat_seeds = locals.iter().flat_map(|l| l.seeds.iter().copied()).collect();
+
+        Ok(Self {
+            plan,
+            locals,
+            n,
+            shard_sizes,
+            local_iterations,
+            build_work: CounterSnapshot::default(),
+            build_timings: PhaseTimings::new(),
+            bounds,
+            flat_seeds,
+        })
+    }
 }
+
+/// Magic of the serialized-artifact blob ([`ShardArtifacts::serialize_into`]).
+pub const ARTIFACT_MAGIC: &[u8; 8] = b"EMSTART1";
 
 #[cfg(test)]
 mod tests {
@@ -596,6 +830,110 @@ mod tests {
             &EmstConfig::default(),
             &mut BoruvkaScratch::new(),
         );
+    }
+
+    #[test]
+    fn serialized_artifacts_restore_to_bit_identical_merges() {
+        let pts = random_points_2d(700, 21);
+        let built = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(6));
+        let mut blob = vec![];
+        built.serialize_into(&mut blob);
+        let restored = ShardArtifacts::<2>::deserialize(&blob).unwrap();
+
+        // Restored state mirrors the build, minus the build accounting.
+        assert_eq!(restored.num_points(), built.num_points());
+        assert_eq!(restored.shard_sizes(), built.shard_sizes());
+        assert_eq!(restored.local_iterations(), built.local_iterations());
+        assert_eq!(restored.resident_bytes(), built.resident_bytes());
+        assert_eq!(restored.build_work().iterations, 0);
+
+        // Full-cloud merge, subset merge, and knn are all bit-identical.
+        let a = built.merge(&Serial, Traversal::default());
+        let b = restored.merge(&Serial, Traversal::default());
+        assert_eq!(a.edges, b.edges);
+        let subset: Vec<u32> = (0..700).step_by(3).collect();
+        let mut scratch = BoruvkaScratch::new();
+        let sa = built.merge_subset(&Serial, &pts, &subset, &EmstConfig::default(), &mut scratch);
+        let sb =
+            restored.merge_subset(&Serial, &pts, &subset, &EmstConfig::default(), &mut scratch);
+        assert_eq!(sa.edges, sb.edges);
+        let mut st = TraversalStats::default();
+        assert_eq!(built.k_nearest(&pts[17], 5, &mut st), restored.k_nearest(&pts[17], 5, &mut st));
+        // Accelerated merges over the restored bounds stay bit-identical.
+        let mut accel = restored.new_accel();
+        let mut ms = MergeScratch::new();
+        let c = restored.merge_accel(&Serial, Traversal::default(), &mut ms, &mut accel);
+        assert_eq!(a.edges, c.edges);
+
+        // Re-serializing the restored artifacts reproduces the same bytes.
+        let mut blob2 = vec![];
+        restored.serialize_into(&mut blob2);
+        assert_eq!(blob, blob2);
+    }
+
+    #[test]
+    fn corrupt_artifact_blobs_are_errors_not_panics() {
+        let pts = random_points_2d(120, 23);
+        let built = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(3));
+        let mut blob = vec![];
+        built.serialize_into(&mut blob);
+        assert!(ShardArtifacts::<2>::deserialize(&[]).is_err());
+        for cut in [7usize, 12, blob.len() / 2, blob.len() - 1] {
+            assert!(ShardArtifacts::<2>::deserialize(&blob[..cut]).is_err(), "cut={cut}");
+        }
+        // A flipped byte anywhere is caught (section checksums), including
+        // deep inside the BVH bytes.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let i = rng.random_range(0..blob.len());
+            let mut bad = blob.clone();
+            bad[i] ^= 0x20;
+            if bad == blob {
+                continue;
+            }
+            assert!(ShardArtifacts::<2>::deserialize(&bad).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_error_and_leaves_state_reusable() {
+        let pts = random_points_2d(500, 29);
+        let artifacts = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(4));
+        let mut scratch = MergeScratch::new();
+        let mut accel = artifacts.new_accel();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = artifacts.merge_accel_deadline(
+            &Serial,
+            Traversal::default(),
+            &mut scratch,
+            &mut accel,
+            Some(past),
+        );
+        assert_eq!(err.unwrap_err(), MergeDeadlineExceeded);
+        let mut bs = BoruvkaScratch::new();
+        let sub: Vec<u32> = (0..100).collect();
+        let err = artifacts.merge_subset_deadline(
+            &Serial,
+            &pts,
+            &sub,
+            &EmstConfig::default(),
+            &mut bs,
+            Some(past),
+        );
+        assert_eq!(err.unwrap_err(), MergeDeadlineExceeded);
+        // A generous deadline succeeds, bit-identically, with the same
+        // scratch and accelerator the failed attempts touched.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let ok = artifacts
+            .merge_accel_deadline(
+                &Serial,
+                Traversal::default(),
+                &mut scratch,
+                &mut accel,
+                Some(far),
+            )
+            .unwrap();
+        assert_eq!(ok.edges, artifacts.merge(&Serial, Traversal::default()).edges);
     }
 
     #[test]

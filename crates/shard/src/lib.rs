@@ -47,8 +47,8 @@ mod merge;
 pub mod plan;
 pub mod stream;
 
-pub use artifacts::ShardArtifacts;
-pub use merge::{MergeAccel, MergeRoundDetail, MergeScratch};
+pub use artifacts::{ShardArtifacts, ARTIFACT_MAGIC};
+pub use merge::{MergeAccel, MergeDeadlineExceeded, MergeRoundDetail, MergeScratch};
 pub use plan::ShardPlan;
 pub use stream::{emst_sharded_csv, StreamConfig};
 

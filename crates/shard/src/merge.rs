@@ -71,6 +71,24 @@ use emst_exec::atomic::{pack_dist_payload, unpack_dist_payload};
 use emst_exec::{AtomicU64Min, Counters, ExecSpace, PhaseTimings, SyncUnsafeSlice};
 use emst_geometry::{nonneg_f32_to_ordered_bits, Point, Scalar};
 
+/// A merge gave up because its per-query deadline passed.
+///
+/// Raised only at round boundaries — a round that has started runs to
+/// completion, so the partially-built working state (scratch, labels, DSU)
+/// is internally consistent and simply discarded; nothing observable leaks
+/// into the caller's caches. The serving layer maps this to
+/// `ServeError::DeadlineExceeded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeDeadlineExceeded;
+
+impl std::fmt::Display for MergeDeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("merge deadline exceeded at a round boundary")
+    }
+}
+
+impl std::error::Error for MergeDeadlineExceeded {}
+
 /// A shard resident in memory for the merge: its BVH plus the caller's
 /// vertex id for every Morton rank. Vertex ids must be unique across all
 /// shards and contiguous in `0..n_vertices`.
@@ -541,8 +559,9 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     timings: &mut PhaseTimings,
     bounds: Option<&CrossBounds>,
     mut accel: Option<&mut MergeAccel>,
+    deadline: Option<std::time::Instant>,
     scratch: &mut MergeScratch,
-) -> MergeOutcome {
+) -> Result<MergeOutcome, MergeDeadlineExceeded> {
     debug_assert!(shards.iter().all(|s| s.bvh.num_leaves() > 0));
     debug_assert_eq!(
         shards.iter().map(|s| s.bvh.num_leaves()).sum::<usize>(),
@@ -550,12 +569,12 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
         "shards must partition the vertex set"
     );
     if n_vertices < 2 {
-        return MergeOutcome {
+        return Ok(MergeOutcome {
             edges: vec![],
             rounds: 0,
             boundary_candidates: 0,
             round_details: vec![],
-        };
+        });
     }
 
     let stride = shards.len();
@@ -618,6 +637,15 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
 
     while num_components > 1 {
         let round_start = std::time::Instant::now();
+        // The deadline is honoured at round granularity: a check here keeps
+        // the hot inner kernels free of clock reads, and a round that has
+        // begun always completes, so giving up never leaves the scratch in a
+        // half-written state.
+        if let Some(d) = deadline {
+            if round_start >= d {
+                return Err(MergeDeadlineExceeded);
+            }
+        }
         rounds += 1;
         assert!(
             rounds as usize <= usize::BITS as usize * 2,
@@ -983,7 +1011,7 @@ pub(crate) fn cross_shard_boruvka<S: ExecSpace, const D: usize>(
     }
 
     assert_eq!(edges.len(), n_vertices - 1, "merge did not produce a spanning tree");
-    MergeOutcome { edges, rounds, boundary_candidates, round_details }
+    Ok(MergeOutcome { edges, rounds, boundary_candidates, round_details })
 }
 
 #[cfg(test)]
@@ -1025,8 +1053,10 @@ mod tests {
             &mut timings,
             None,
             None,
+            None,
             &mut MergeScratch::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.edges.len(), 59);
         verify_spanning_tree(60, &out.edges).unwrap();
         // One detail record per round, rounds numbered from 1, and the
@@ -1075,8 +1105,10 @@ mod tests {
             &mut timings,
             None,
             None,
+            None,
             &mut MergeScratch::new(),
-        );
+        )
+        .unwrap();
         verify_spanning_tree(120, &out.edges).unwrap();
         assert_eq!(weight_multiset(&out.edges), weight_multiset(&seeds));
         assert_eq!(out.boundary_candidates, 0);
@@ -1115,8 +1147,10 @@ mod tests {
                 &mut timings,
                 Some(&bounds),
                 accel,
+                None,
                 &mut scratch,
             )
+            .unwrap()
             .edges
         };
         let baseline = run(None);
@@ -1164,8 +1198,10 @@ mod tests {
             &mut timings,
             None,
             None,
+            None,
             &mut MergeScratch::new(),
-        );
+        )
+        .unwrap();
         assert!(out.edges.is_empty());
         assert_eq!(out.rounds, 0);
     }

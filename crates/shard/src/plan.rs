@@ -94,6 +94,24 @@ impl ShardPlan {
         (0..self.num_shards()).map(|s| self.bounds[s + 1] - self.bounds[s]).collect()
     }
 
+    /// Reassembles a plan from its raw parts — the artifact-restore path.
+    /// The caller (the artifact decoder) has already validated that `order`
+    /// is a permutation and `bounds` a monotone cut table ending at
+    /// `order.len()`.
+    pub(crate) fn from_parts(order: Vec<u32>, bounds: Vec<usize>) -> Self {
+        Self { order, bounds }
+    }
+
+    /// The sorted original-index order (artifact serialization).
+    pub(crate) fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The cut table (artifact serialization); `K + 1` entries.
+    pub(crate) fn cut_bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
     /// Heap bytes held by the plan (the sorted order plus the cut table) —
     /// its share of a resident cache entry's budget.
     pub fn resident_bytes(&self) -> usize {

@@ -307,8 +307,10 @@ fn stream_shards<S: ExecSpace, const D: usize>(
                 timings,
                 None,
                 None,
+                None,
                 &mut merge_scratch,
-            );
+            )
+            .expect("no deadline was set");
             merge_rounds += out.rounds;
             boundary_candidates += out.boundary_candidates;
             candidates.extend(

@@ -26,7 +26,18 @@
 //! `--log-format json` turns them into machine-parseable JSON lines — and
 //! `--metrics-file <path>` keeps a Prometheus-style exposition of the
 //! engine's metrics current on disk (rewritten after each sequential
-//! command and at exit).
+//! command and at exit; write failures are logged and counted, never
+//! fatal).
+//!
+//! Fault tolerance: `--spill-dir`/`--fallback-spill-dir` choose where
+//! evicted clouds are persisted (both are probed for writability at
+//! startup, so a dead disk fails the launch, not the first eviction),
+//! `--spill-retries` bounds the write retry-with-backoff, `--deadline-ms`
+//! gives every query a wall-clock budget (late queries return an error at
+//! a merge-round boundary instead of a late answer), `--max-in-flight`
+//! sheds excess concurrent queries instead of queueing them, and
+//! `--fault-plan "seed=42;write=eio@0.5;read=bitflip@0.25"` injects
+//! deterministic storage faults for chaos drills.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -39,7 +50,7 @@ use emst::datasets::{self, Kind};
 use emst::exec::{ExecSpace, GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::hdbscan::Hdbscan;
-use emst::serve::{CacheOutcome, ServeConfig, ServeEngine};
+use emst::serve::{CacheOutcome, FaultPlan, ServeConfig, ServeEngine};
 use emst::shard::{emst_sharded_csv, emst_sharded_with, ShardConfig, ShardStats, StreamConfig};
 
 fn usage() -> ExitCode {
@@ -58,6 +69,9 @@ fn usage() -> ExitCode {
                     [--max-resident <clouds>] [--backend serial|threads|gpusim]
                     [--traversal stackless|stack] [--workers <N>]
                     [--log-format text|json] [--metrics-file <metrics.prom>]
+                    [--spill-dir <dir>] [--fallback-spill-dir <dir>]
+                    [--spill-retries <N>] [--deadline-ms <ms>]
+                    [--max-in-flight <N>] [--fault-plan <spec>]
                     stdin commands: emst [out.csv] | subset <lo>..<hi> |
                     knn <k> <x> <y> [<z>] | hdbscan <k_pts> <min_cluster_size> |
                     load <points.csv> | stats | metrics [json] | trace [n] | quit"
@@ -337,9 +351,34 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
         .ok_or(format!("invalid --log-format value {log_format:?} (expected text or json)"))?;
     emst::obs::log::set_format(log_format);
     let metrics_file = opts.get("metrics-file").map(PathBuf::from);
+    let spill_dir = opts.get("spill-dir").map(PathBuf::from);
+    let fallback_spill_dir = opts.get("fallback-spill-dir").map(PathBuf::from);
+    let spill_retries: u32 = parse_opt(opts, "spill-retries", 3)?;
+    let deadline_ms: u64 = parse_opt(opts, "deadline-ms", 0)?;
+    let max_in_flight: usize = parse_opt(opts, "max-in-flight", 0)?;
+    let fault_plan = match opts.get("fault-plan") {
+        None => None,
+        Some(spec) => Some(std::sync::Arc::new(
+            FaultPlan::parse(spec).map_err(|e| format!("invalid --fault-plan: {e}"))?,
+        )),
+    };
+    // Probe every spill destination now: an unwritable disk must fail the
+    // launch with a clear message, not the first eviction mid-serve.
+    if let Some(dir) = &spill_dir {
+        validate_spill_dir("spill-dir", dir)?;
+    }
+    if let Some(dir) = &fallback_spill_dir {
+        validate_spill_dir("fallback-spill-dir", dir)?;
+    }
     let points = load_points::<D>(opts)?;
     let mut config = ServeConfig::new(shards, max_resident);
     config.emst = EmstConfig { traversal, ..EmstConfig::default() };
+    config.spill_dir = spill_dir;
+    config.fallback_spill_dir = fallback_spill_dir;
+    config.spill_retries = spill_retries;
+    config.deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
+    config.max_in_flight = max_in_flight;
+    config.fault_plan = fault_plan;
     let metrics = metrics_file.as_deref();
     match backend {
         "serial" => serve_repl(&ServeEngine::<_, D>::new(Serial, config), points, workers, metrics),
@@ -353,10 +392,25 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
     }
 }
 
-/// Rewrites the `--metrics-file` exposition; failures are logged, never
-/// fatal (a full disk must not take the serving loop down).
+/// Checks that `dir` exists (creating it if needed) and takes writes, so
+/// spill durability is established before the engine starts serving.
+fn validate_spill_dir(flag: &str, dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("--{flag} {}: cannot create directory: {e}", dir.display()))?;
+    let probe = dir.join(format!(".emst-writable-probe-{}", std::process::id()));
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("--{flag} {} is not writable: {e}", dir.display()))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
+/// Rewrites the `--metrics-file` exposition; failures are logged and
+/// counted, never fatal (a full disk must not take the serving loop down).
 fn write_metrics_file<S: ExecSpace, const D: usize>(engine: &ServeEngine<S, D>, path: &Path) {
     if let Err(e) = std::fs::write(path, engine.metrics_prometheus()) {
+        if let Some(registry) = engine.obs_registry() {
+            registry.counter("emst_cli_metrics_file_write_failures_total").inc();
+        }
         emst::obs::log::warn(
             "emst-cli",
             "metrics file write failed",
@@ -576,7 +630,10 @@ fn outcome_name(o: CacheOutcome) -> &'static str {
 /// Executes one REPL command (everything except `load`, which swaps the
 /// session cloud and is handled by the dispatching loop), returning the
 /// response line. Takes the engine by shared reference: any number of
-/// workers may execute commands concurrently.
+/// workers may execute commands concurrently. Queries go through the
+/// guarded `try_*` entry points, so `--deadline-ms`, `--max-in-flight`
+/// and panic isolation all apply: a late, shed or panicking query prints
+/// an error line and the server keeps going.
 fn serve_command<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     points: &[Point<D>],
@@ -589,7 +646,7 @@ fn serve_command<S: ExecSpace, const D: usize>(
     };
     match cmd {
         "emst" => {
-            let r = engine.emst(points);
+            let r = engine.try_emst(points).map_err(|e| e.to_string())?;
             if let Some(path) = rest.first() {
                 write_edges(Path::new(path), &r.edges)?;
             }
@@ -614,7 +671,7 @@ fn serve_command<S: ExecSpace, const D: usize>(
                 return Err(format!("subset {lo}..{hi} out of range for {} points", points.len()));
             }
             let subset: Vec<u32> = (lo..hi).collect();
-            let r = engine.emst_subset(points, &subset);
+            let r = engine.try_emst_subset(points, &subset).map_err(|e| e.to_string())?;
             Ok(format!(
                 "subset cache={} m={} edges={} weight={:.6} local={:.3}s merge={:.3}s",
                 outcome_name(r.outcome),
@@ -634,7 +691,8 @@ fn serve_command<S: ExecSpace, const D: usize>(
             for (c, v) in coords.iter_mut().zip(&rest[1..]) {
                 *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
             }
-            let r = engine.k_nearest(points, &Point::new(coords), k);
+            let r =
+                engine.try_k_nearest(points, &Point::new(coords), k).map_err(|e| e.to_string())?;
             let hits: Vec<String> =
                 r.neighbors.iter().map(|(i, d)| format!("{i}:{:.6}", d.sqrt())).collect();
             Ok(format!("knn cache={} {}", outcome_name(r.outcome), hits.join(" ")))
@@ -645,7 +703,9 @@ fn serve_command<S: ExecSpace, const D: usize>(
             if k_pts < 1 || min_cluster_size < 2 {
                 return Err("hdbscan needs k_pts >= 1 and min_cluster_size >= 2".into());
             }
-            let r = engine.hdbscan(points, Hdbscan { k_pts, min_cluster_size });
+            let r = engine
+                .try_hdbscan(points, Hdbscan { k_pts, min_cluster_size })
+                .map_err(|e| e.to_string())?;
             let noise = r.result.labels.iter().filter(|&&l| l == emst::hdbscan::NOISE).count();
             Ok(format!(
                 "hdbscan cache={} clusters={} noise={}",

@@ -1,0 +1,228 @@
+//! Seeded chaos stress: many threads hammer one serving engine while a
+//! deterministic [`FaultPlan`] injects storage failures (EIO, short
+//! writes, bit flips, stalls) into every spill write and reload read.
+//!
+//! The robustness contract under test: **every answer is either
+//! bit-identical to the fault-free reference or an honest typed error** —
+//! never silently wrong edges, never a panic, never a wedged engine.
+//!
+//! The seed comes from `EMST_CHAOS_SEED` (default 42) so CI can sweep a
+//! matrix and a failure reproduces from the seed alone.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+use emst::datasets::{generate_2d, DatasetSpec};
+use emst::exec::Serial;
+use emst::geometry::Point;
+use emst::hdbscan::Hdbscan;
+use emst::serve::{FaultKind, FaultPlan, FaultSite, ServeConfig, ServeEngine, ServeError};
+
+fn chaos_seed() -> u64 {
+    std::env::var("EMST_CHAOS_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+fn cloud(n: usize, seed: u64) -> Vec<Point<2>> {
+    generate_2d(&DatasetSpec::hacc_like(n, seed))
+}
+
+/// An error is "honest" when it names a detected failure; anything else
+/// (or a wrong answer) is a contract violation.
+fn is_honest(e: &ServeError) -> bool {
+    matches!(
+        e,
+        ServeError::UnknownKey(_)
+            | ServeError::Spill(_)
+            | ServeError::DigestMismatch(_)
+            | ServeError::DeadlineExceeded(_)
+            | ServeError::Overloaded
+            | ServeError::QueryPanic(_)
+    )
+}
+
+/// Storage chaos: injected write/read faults while 8 threads run mixed
+/// positional and by-key queries over more clouds than the residency
+/// budget holds, so eviction→spill→reload churn passes through the fault
+/// plan constantly.
+#[test]
+fn storage_faults_never_produce_wrong_bits() {
+    let seed = chaos_seed();
+    let clouds: Vec<Vec<Point<2>>> = (0..3).map(|s| cloud(350, 100 + s)).collect();
+    let subset: Vec<u32> = (40..310).collect();
+    let probe = Point::new([0.3f32, -0.2]);
+    let params = Hdbscan { k_pts: 4, min_cluster_size: 8 };
+
+    // Fault-free reference bits, from an engine with the same shard count.
+    let clean = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 3));
+    let reference: Vec<_> = clouds
+        .iter()
+        .map(|c| {
+            (
+                clean.emst(c).edges,
+                clean.emst_subset(c, &subset).edges,
+                clean.k_nearest(c, &probe, 7).neighbors,
+                clean.hdbscan(c, params).result.labels,
+            )
+        })
+        .collect();
+
+    let plan = Arc::new(
+        FaultPlan::new(seed)
+            .with_rule(FaultSite::Write, FaultKind::Eio, 0.10)
+            .with_rule(FaultSite::Write, FaultKind::ShortWrite, 0.10)
+            .with_rule(FaultSite::Write, FaultKind::BitFlip, 0.10)
+            .with_rule(FaultSite::Write, FaultKind::Stall(1), 0.05)
+            .with_rule(FaultSite::Read, FaultKind::BitFlip, 0.20)
+            .with_rule(FaultSite::Read, FaultKind::Eio, 0.10),
+    );
+    let mut cfg = ServeConfig::new(4, 2); // 3 clouds over 2 slots: constant churn
+    cfg.fault_plan = Some(Arc::clone(&plan));
+    cfg.spill_retries = 1;
+    let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+    let keys: Vec<_> = clouds.iter().map(|c| engine.key(c)).collect();
+
+    let honest_errors = AtomicU64::new(0);
+    let answers = AtomicU64::new(0);
+    let (threads, rounds) = (8usize, 8usize);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (engine, clouds, keys, reference, subset, probe) =
+                (&engine, &clouds, &keys, &reference, &subset, &probe);
+            let (honest_errors, answers) = (&honest_errors, &answers);
+            s.spawn(move || {
+                for r in 0..rounds {
+                    let ci = (t + r) % clouds.len();
+                    let c = &clouds[ci];
+                    let (edges, sub, knn, labels) = &reference[ci];
+                    // Positional queries rebuild from the presented points
+                    // on any storage failure, so they must *always* answer
+                    // with the reference bits; by-key queries may hit a
+                    // poisoned spill and are allowed an honest error.
+                    let outcome: Result<(), ServeError> = match (t + r) % 5 {
+                        0 => {
+                            assert_eq!(&engine.emst(c).edges, edges, "t{t} r{r} cloud {ci}");
+                            Ok(())
+                        }
+                        1 => engine.emst_by_key(keys[ci]).map(|resp| {
+                            assert_eq!(&resp.edges, edges, "t{t} r{r} cloud {ci} by key");
+                        }),
+                        2 => engine.emst_subset_by_key(keys[ci], subset).map(|resp| {
+                            assert_eq!(&resp.edges, sub, "t{t} r{r} cloud {ci} subset");
+                        }),
+                        3 => engine.k_nearest_by_key(keys[ci], probe, 7).map(|resp| {
+                            assert_eq!(&resp.neighbors, knn, "t{t} r{r} cloud {ci} knn");
+                        }),
+                        _ => engine.hdbscan_by_key(keys[ci], params).map(|resp| {
+                            assert_eq!(&resp.result.labels, labels, "t{t} r{r} cloud {ci} hdbscan");
+                        }),
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            answers.fetch_add(1, Relaxed);
+                        }
+                        Err(e) => {
+                            assert!(is_honest(&e), "dishonest error at t{t} r{r}: {e}");
+                            honest_errors.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Every request terminated, one way or the other.
+    assert_eq!(
+        answers.load(Relaxed) + honest_errors.load(Relaxed),
+        (threads * rounds) as u64,
+        "no request may vanish"
+    );
+    assert!(plan.injected() > 0, "the chaos plan never fired — the test is vacuous");
+    let stats = engine.stats();
+    assert_eq!(
+        stats.artifact_restores + stats.artifact_rebuilds,
+        stats.reloads,
+        "every reload is exactly one restore or one rebuild: {stats:?}"
+    );
+    assert!(stats.evictions > 0, "3 clouds over 2 slots must churn");
+
+    // The engine is not wedged: with faults still active, positional
+    // queries keep reproducing the exact reference bits.
+    for (ci, c) in clouds.iter().enumerate() {
+        assert_eq!(engine.emst(c).edges, reference[ci].0, "post-chaos cloud {ci}");
+    }
+}
+
+/// Pressure chaos: admission control and zero deadlines on top of storage
+/// faults. Guarded queries must split cleanly into exact answers and
+/// honest `DeadlineExceeded`/`Overloaded`/storage errors, the in-flight
+/// gate must drain back to zero, and unguarded positional queries must
+/// stay exact throughout.
+#[test]
+fn pressure_and_deadlines_shed_honestly() {
+    let seed = chaos_seed().wrapping_add(1);
+    let pts = cloud(400, 200);
+    let reference = {
+        let clean = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 2));
+        clean.emst(&pts).edges
+    };
+
+    let plan =
+        Arc::new(FaultPlan::new(seed).with_rule(FaultSite::Write, FaultKind::Eio, 0.15).with_rule(
+            FaultSite::Read,
+            FaultKind::BitFlip,
+            0.15,
+        ));
+    let mut cfg = ServeConfig::new(4, 2);
+    cfg.fault_plan = Some(plan);
+    cfg.max_in_flight = 4; // half the hammering threads
+    cfg.deadline = Some(Duration::ZERO); // every guarded merge is late
+    let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+    let key = engine.ingest(&pts);
+
+    let exact = AtomicU64::new(0);
+    let honest = AtomicU64::new(0);
+    let threads = 8usize;
+    let rounds = 6usize;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (engine, pts, reference) = (&engine, &pts, &reference);
+            let (exact, honest) = (&exact, &honest);
+            s.spawn(move || {
+                for r in 0..rounds {
+                    if (t + r) % 2 == 0 {
+                        // Unguarded positional query: no deadline, no gate —
+                        // must answer exactly even under storage faults.
+                        assert_eq!(&engine.emst(pts).edges, reference, "t{t} r{r}");
+                        exact.fetch_add(1, Relaxed);
+                    } else {
+                        match engine.emst_by_key(key) {
+                            Ok(resp) => {
+                                assert_eq!(&resp.edges, reference, "t{t} r{r} guarded");
+                                exact.fetch_add(1, Relaxed);
+                            }
+                            Err(e) => {
+                                assert!(is_honest(&e), "dishonest error at t{t} r{r}: {e}");
+                                honest.fetch_add(1, Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(exact.load(Relaxed) + honest.load(Relaxed), (threads * rounds) as u64);
+    let stats = engine.stats();
+    // A zero deadline means a guarded query that reaches its merge always
+    // errs, so every guarded request landed in an honest bucket (either
+    // shed at the gate, failed reload, or the deadline itself).
+    assert_eq!(honest.load(Relaxed), (threads * rounds / 2) as u64);
+    assert!(stats.deadline_exceeded > 0, "the deadline must actually fire: {stats:?}");
+    // The gate drained: a fresh guarded query is admitted (and then honest).
+    match engine.emst_by_key(key) {
+        Err(ServeError::Overloaded) => panic!("in-flight tokens leaked"),
+        Err(e) => assert!(is_honest(&e), "{e}"),
+        Ok(resp) => assert_eq!(resp.edges, reference),
+    }
+}

@@ -228,6 +228,12 @@ fn usage_mentions_every_command_and_flag() {
         "--workers",
         "--log-format",
         "--metrics-file",
+        "--spill-dir",
+        "--fallback-spill-dir",
+        "--spill-retries",
+        "--deadline-ms",
+        "--max-in-flight",
+        "--fault-plan",
     ] {
         assert!(usage.contains(flag), "usage misses flag {flag}: {usage}");
     }
@@ -381,6 +387,107 @@ fn serve_strict_argument_errors() {
     assert!(stderr.contains("--input is required"), "stderr: {stderr}");
     let stderr = expect_error(&["serve", "--input", "/no/such/file.csv"]);
     assert!(stderr.contains("/no/such/file.csv"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_validates_spill_dirs_at_startup() {
+    // An unwritable spill destination must fail the *launch* with a clear
+    // message naming the flag — not the first eviction mid-serve. A file
+    // in the way makes the path impossible to create as a directory.
+    let blocker = tmp("serve-spilldir-blocker");
+    std::fs::write(&blocker, b"in the way").unwrap();
+    let under_file = blocker.join("spills");
+    let stderr =
+        expect_error(&["serve", "--input", "x.csv", "--spill-dir", under_file.to_str().unwrap()]);
+    assert!(stderr.contains("--spill-dir"), "stderr: {stderr}");
+    assert!(stderr.contains("cannot create directory"), "stderr: {stderr}");
+    let stderr = expect_error(&[
+        "serve",
+        "--input",
+        "x.csv",
+        "--fallback-spill-dir",
+        under_file.to_str().unwrap(),
+    ]);
+    assert!(stderr.contains("--fallback-spill-dir"), "stderr: {stderr}");
+    std::fs::remove_file(&blocker).ok();
+
+    // Flag validation still precedes input loading for the new flags.
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--deadline-ms", "soon"]);
+    assert!(stderr.contains("invalid --deadline-ms"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--max-in-flight", "-1"]);
+    assert!(stderr.contains("invalid --max-in-flight"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--spill-retries", "lots"]);
+    assert!(stderr.contains("invalid --spill-retries"), "stderr: {stderr}");
+    let stderr = expect_error(&["serve", "--input", "x.csv", "--fault-plan", "write=eio@0.5"]);
+    assert!(stderr.contains("invalid --fault-plan"), "stderr: {stderr}");
+    assert!(stderr.contains("missing `seed=N`"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_deadline_returns_honest_errors_and_keeps_serving() {
+    let pts = tmp("serve-deadline-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "500", "--dim", "2"])
+        .args(["--seed", "31", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    // A 0... ms budget is floored at "no deadline"; 1 ns is not expressible,
+    // so use 1 ms with a cloud large enough that the merge spans rounds —
+    // but to make the outcome deterministic the test drives the *zero*
+    // budget through the engine API instead. Here the CLI contract under
+    // test is: a deadline error is a command error line, not a dead server.
+    let stdout =
+        serve_session(&pts, &["--shards", "4", "--deadline-ms", "1"], "emst\nemst\nstats\nquit\n");
+    // Whatever the machine's speed, every emst line is either a served
+    // answer or an honest deadline error — and stats still answers, so the
+    // server survived.
+    for line in stdout.lines().filter(|l| !l.starts_with("stats")) {
+        assert!(
+            line.starts_with("emst cache=") || line.contains("deadline exceeded"),
+            "unexpected line: {line}"
+        );
+    }
+    assert!(stdout.contains("stats resident=1"), "stdout: {stdout}");
+    assert!(stdout.contains("deadline_exceeded="), "stdout: {stdout}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn serve_fault_plan_injects_and_stats_report_it() {
+    let a = tmp("serve-chaos-a.csv");
+    let b = tmp("serve-chaos-b.csv");
+    for (path, seed) in [(&a, "41"), (&b, "43")] {
+        assert!(bin()
+            .args(["generate", "--kind", "uniform", "--n", "300", "--dim", "2"])
+            .args(["--seed", seed, "--output", path.to_str().unwrap()])
+            .status()
+            .unwrap()
+            .success());
+    }
+    // Every spill write fails with EIO: loading a second cloud over a
+    // one-slot budget forces an eviction whose spill write is injected to
+    // fail (all retries included) — counted, logged, and survivable.
+    let commands = format!("emst\nload {}\nemst\nstats\nquit\n", b.to_str().unwrap());
+    let stdout = serve_session(
+        &a,
+        &["--max-resident", "1", "--fault-plan", "seed=5;write=eio@1.0"],
+        &commands,
+    );
+    assert!(stdout.contains("loaded n=300"), "stdout: {stdout}");
+    // Both clouds answered despite the storage chaos.
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("emst cache=")).count(), 2, "{stdout}");
+    let stats_line = stdout.lines().find(|l| l.starts_with("stats ")).unwrap().to_string();
+    let field = |name: &str| -> u64 {
+        let needle = format!(" {name}=");
+        let at = stats_line.find(&needle).unwrap() + needle.len();
+        stats_line[at..].split_whitespace().next().unwrap().parse().unwrap()
+    };
+    assert_eq!(field("evictions"), 1, "stats: {stats_line}");
+    assert_eq!(field("spill_failures"), 1, "stats: {stats_line}");
+    assert!(field("spill_retries") >= 1, "retries must have run: {stats_line}");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
 }
 
 #[test]
