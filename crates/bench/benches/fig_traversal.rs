@@ -64,6 +64,7 @@ fn main() {
                 serving_concurrent: vec![],
                 observability: vec![],
                 fault_tolerance: vec![],
+                serving_network: vec![],
             };
             snap.write(std::path::Path::new(&path)).expect("write JSON");
             eprintln!("wrote {path}");

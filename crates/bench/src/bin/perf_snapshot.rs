@@ -10,6 +10,7 @@
 //!               [--summary-n 100000] [--repeats 3]
 //!               [--serving-sizes 10000,100000] [--serving-shards 2,4]
 //!               [--concurrent-workers 1,2,4] [--concurrent-queries 8]
+//!               [--net-clients 8] [--net-requests 32]
 //! ```
 //!
 //! Without `--json` the tables are printed only. CI runs this at tiny
@@ -23,14 +24,17 @@
 //! queries, budget ≤5%) reuses `--serving-sizes`, the last
 //! `--serving-shards` entry and `--repeats` — no extra flags. So does the
 //! fault-tolerance reload grid (artifact restore vs deterministic rebuild
-//! of an evicted cloud, faults disabled).
+//! of an evicted cloud, faults disabled), and the network serving grid
+//! (warm wire latency vs in-process, plus a `--net-clients`-wide same-key
+//! coalescing storm; every wire reply is byte-verified).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use emst_bench::snapshot::{
     measure_fault_tolerance, measure_observability, measure_serving_concurrent,
-    measure_serving_grid, measure_summary, measure_traversal_grid, Snapshot,
+    measure_serving_grid, measure_serving_network, measure_summary, measure_traversal_grid,
+    Snapshot,
 };
 
 struct Args {
@@ -40,6 +44,8 @@ struct Args {
     serving_shards: Vec<usize>,
     concurrent_workers: Vec<usize>,
     concurrent_queries: usize,
+    net_clients: usize,
+    net_requests: usize,
     summary_n: usize,
     repeats: usize,
 }
@@ -52,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         serving_shards: vec![2, 4],
         concurrent_workers: vec![1, 2, 4],
         concurrent_queries: 8,
+        net_clients: 8,
+        net_requests: 32,
         summary_n: 50_000,
         repeats: 3,
     };
@@ -88,6 +96,13 @@ fn parse_args() -> Result<Args, String> {
                 args.concurrent_queries =
                     value()?.parse().map_err(|_| "bad --concurrent-queries".to_string())?;
             }
+            "--net-clients" => {
+                args.net_clients = value()?.parse().map_err(|_| "bad --net-clients".to_string())?;
+            }
+            "--net-requests" => {
+                args.net_requests =
+                    value()?.parse().map_err(|_| "bad --net-requests".to_string())?;
+            }
             "--summary-n" => {
                 args.summary_n = value()?.parse().map_err(|_| "bad --summary-n".to_string())?;
             }
@@ -109,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err("--concurrent-workers and --concurrent-queries must be positive".into());
     }
+    if args.net_clients == 0 || args.net_requests == 0 {
+        return Err("--net-clients and --net-requests must be positive".into());
+    }
     Ok(args)
 }
 
@@ -120,7 +138,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: perf_snapshot [--json out.json] [--sizes n1,n2,...] [--summary-n n] \
                  [--repeats r] [--serving-sizes n1,n2,...] [--serving-shards k] \
-                 [--concurrent-workers w1,w2,...] [--concurrent-queries q]"
+                 [--concurrent-workers w1,w2,...] [--concurrent-queries q] \
+                 [--net-clients c] [--net-requests q]"
             );
             return ExitCode::FAILURE;
         }
@@ -275,6 +294,45 @@ fn main() -> ExitCode {
         );
     }
 
+    println!();
+    println!(
+        "# network serving (warm wire latency vs in-process, {} clients storm)",
+        args.net_clients
+    );
+    println!(
+        "{:<12} {:>10} {:>4} {:>12} {:>12} {:>9} {:>10}",
+        "generator", "n", "K", "wire", "in-proc", "overhead", "coalesced"
+    );
+    let mut serving_network = vec![];
+    {
+        use emst_datasets::Kind;
+        let shards = *args.serving_shards.last().unwrap();
+        for (name, kind) in [("uniform", Kind::Uniform), ("dense", Kind::GeoLifeLike)] {
+            for &n in &args.serving_sizes {
+                serving_network.push(measure_serving_network(
+                    name,
+                    kind,
+                    n,
+                    shards,
+                    args.net_clients,
+                    args.net_requests,
+                ));
+            }
+        }
+    }
+    for cell in &serving_network {
+        println!(
+            "{:<12} {:>10} {:>4} {:>10.6} s {:>10.6} s {:>8.2}x {:>10}",
+            cell.generator,
+            cell.n,
+            cell.shards,
+            cell.warm_net_s,
+            cell.warm_inproc_s,
+            cell.wire_overhead(),
+            cell.coalesced,
+        );
+    }
+
     let snap = Snapshot {
         repeats: args.repeats,
         summary,
@@ -283,6 +341,7 @@ fn main() -> ExitCode {
         serving_concurrent,
         observability,
         fault_tolerance,
+        serving_network,
     };
     if let Some(path) = &args.json {
         if let Err(e) = snap.write(path) {

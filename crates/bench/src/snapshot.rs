@@ -45,6 +45,16 @@
 //!   No faults are injected (`fault_plan` stays `None`), so this grid
 //!   also pins the happy-path cost of the robustness layer.
 //!
+//! - the **network serving overhead**: median warm full-EMST request
+//!   latency through `emst_serve::ServeServer`'s TCP front-end vs the
+//!   same request executed by the in-process protocol function
+//!   (`emst_serve::net::respond`) on the same engine — the wire reply is
+//!   asserted byte-identical to the in-process bytes before any latency
+//!   is reported. Each cell also fires a same-key storm of `clients`
+//!   identical cold queries and records how many coalesced onto one
+//!   in-flight execution (`coalesced`; `0` is an honest reading on a
+//!   host too fast or too serial for the storm to overlap).
+//!
 //! # JSON schema (`emst-bench-snapshot/1`)
 //!
 //! ```json
@@ -80,6 +90,11 @@
 //!     { "generator": "uniform", "n": 100000, "shards": 4,
 //!       "restore_reload_s": 0.02, "rebuild_reload_s": 0.31,
 //!       "restore_speedup": 15.5 }
+//!   ],
+//!   "serving_network": [
+//!     { "generator": "uniform", "n": 100000, "shards": 4, "clients": 8,
+//!       "requests": 32, "warm_net_s": 0.061, "warm_inproc_s": 0.060,
+//!       "wire_overhead": 1.02, "coalesced": 7 }
 //!   ]
 //! }
 //! ```
@@ -129,6 +144,15 @@
 //!   `rebuild_reload_s` (same reload with points-only spills —
 //!   deterministic plan + local solves re-run), `restore_speedup` =
 //!   `rebuild_reload_s / restore_reload_s`.
+//! - `serving_network[]` — TCP front-end cells (added by PR 9, additive):
+//!   `generator`, `n`, `shards`, `clients` (concurrent connections in the
+//!   coalescing storm, also the server's worker count), `requests`
+//!   (sequential warm round-trips behind each latency median),
+//!   `warm_net_s` (median warm full-EMST request over a real socket),
+//!   `warm_inproc_s` (the same request through `respond` directly),
+//!   `wire_overhead` = `warm_net_s / warm_inproc_s`, `coalesced`
+//!   (same-key storm queries that shared one execution; may honestly be
+//!   `0` on a host where the storm never overlapped).
 //!
 //! All durations are seconds. `null` replaces non-finite numbers.
 
@@ -295,6 +319,43 @@ impl FaultToleranceCell {
     }
 }
 
+/// One `(generator, n, shards)` cell of the network serving measurement:
+/// median warm full-EMST request latency over a real TCP socket vs the
+/// same request through the in-process protocol function, plus the
+/// coalesced count of a same-key query storm.
+#[derive(Clone, Debug)]
+pub struct ServingNetworkCell {
+    /// Generator name.
+    pub generator: String,
+    /// Point count.
+    pub n: usize,
+    /// Shard count (the cache key's `K`).
+    pub shards: usize,
+    /// Concurrent connections in the coalescing storm (also the server's
+    /// worker-thread count).
+    pub clients: usize,
+    /// Sequential warm round-trips behind each latency median.
+    pub requests: usize,
+    /// Median seconds of a warm full-EMST request over the socket
+    /// (write line → read reply, one connection, byte-verified).
+    pub warm_net_s: f64,
+    /// Median seconds of the identical request through
+    /// `emst_serve::net::respond` on the same engine.
+    pub warm_inproc_s: f64,
+    /// Same-key storm queries that shared one in-flight execution
+    /// (`ServeStats::query_coalesced` delta). `0` is an honest reading on
+    /// a host where the storm never overlapped.
+    pub coalesced: u64,
+}
+
+impl ServingNetworkCell {
+    /// `net / inproc` — what the socket round-trip costs on top of the
+    /// query itself.
+    pub fn wire_overhead(&self) -> f64 {
+        self.warm_net_s / self.warm_inproc_s
+    }
+}
+
 /// A complete snapshot, ready to serialize.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -312,6 +373,8 @@ pub struct Snapshot {
     pub observability: Vec<ObservabilityCell>,
     /// Fault-tolerance reload cells (artifact restore vs rebuild).
     pub fault_tolerance: Vec<FaultToleranceCell>,
+    /// Network serving cells (wire latency vs in-process + coalescing).
+    pub serving_network: Vec<ServingNetworkCell>,
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -602,6 +665,101 @@ pub fn measure_fault_tolerance(
     }
 }
 
+/// Measures one network serving cell: warm full-EMST request latency
+/// over a real loopback socket vs the identical request through the
+/// in-process protocol function on the same engine, then a same-key
+/// storm of `clients` identical cold queries to count coalescing.
+/// Panics if any wire reply is not byte-identical to the in-process
+/// bytes — the harness refuses to report latency for wrong bits.
+pub fn measure_serving_network(
+    generator: &str,
+    kind: Kind,
+    n: usize,
+    shards: usize,
+    clients: usize,
+    requests: usize,
+) -> ServingNetworkCell {
+    use emst_exec::Serial;
+    use emst_serve::net::respond;
+    use emst_serve::{NetConfig, NetSession, ServeConfig, ServeEngine, ServeServer};
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    let clients = clients.max(1);
+    let points: Arc<Vec<Point<2>>> = Arc::new(kind.generate(n, 0x9E7));
+    let engine = Arc::new(ServeEngine::<_, 2>::new(Serial, ServeConfig::new(shards, 2)));
+    engine.ingest(&points);
+    // Warm twice (steady state) and capture the expected warm wire bytes
+    // from the in-process protocol function — the oracle for every
+    // socket reply below.
+    let mut session = NetSession::new(Arc::clone(&points));
+    let _ = respond(engine.as_ref(), &mut session, "emst");
+    let expected = respond(engine.as_ref(), &mut session, "emst").text;
+    assert!(expected.starts_with("ok emst cache=hit "), "warm-up failed: {expected}");
+
+    let mut inproc = vec![];
+    for _ in 0..requests {
+        let t = std::time::Instant::now();
+        let r = respond(engine.as_ref(), &mut session, "emst");
+        inproc.push(t.elapsed().as_secs_f64());
+        assert_eq!(r.text, expected);
+    }
+
+    let server = ServeServer::bind(
+        Arc::clone(&engine),
+        Arc::clone(&points),
+        "127.0.0.1:0",
+        NetConfig { workers: clients, max_pending: 2 * clients },
+    )
+    .expect("bind an ephemeral loopback port");
+
+    let mut net = vec![];
+    {
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for _ in 0..requests {
+            let t = std::time::Instant::now();
+            writer.write_all(b"emst\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            net.push(t.elapsed().as_secs_f64());
+            assert_eq!(line, expected, "wire reply must match the in-process bytes");
+        }
+    }
+
+    // Same-key storm: concurrent identical cold queries; overlapping
+    // executions coalesce onto one flight and share its reply.
+    let before = engine.stats().query_coalesced;
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let addr = server.local_addr();
+            scope.spawn(move || {
+                let mut c = TcpStream::connect(addr).unwrap();
+                c.write_all(b"hdbscan 4 8\nquit\n").unwrap();
+                let mut got = String::new();
+                c.read_to_string(&mut got).unwrap();
+                assert!(got.starts_with("ok hdbscan cache="), "{got}");
+            });
+        }
+    });
+    let coalesced = engine.stats().query_coalesced - before;
+    server.shutdown();
+
+    ServingNetworkCell {
+        generator: generator.to_string(),
+        n,
+        shards,
+        clients,
+        requests,
+        warm_net_s: median(&mut net),
+        warm_inproc_s: median(&mut inproc),
+        coalesced,
+    }
+}
+
 /// Measures the fig1-style summary rows at one size: every solver's rate,
 /// plus phase medians for the single-tree runs.
 pub fn measure_summary(n: usize, repeats: usize) -> Vec<SummaryRow> {
@@ -786,6 +944,24 @@ impl Snapshot {
                 if i + 1 == self.fault_tolerance.len() { "" } else { "," },
             ));
         }
+        out.push_str("  ],\n  \"serving_network\": [\n");
+        for (i, cell) in self.serving_network.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"generator\": \"{}\", \"n\": {}, \"shards\": {}, \"clients\": {}, \
+                 \"requests\": {}, \"warm_net_s\": {}, \"warm_inproc_s\": {}, \
+                 \"wire_overhead\": {}, \"coalesced\": {} }}{}\n",
+                cell.generator,
+                cell.n,
+                cell.shards,
+                cell.clients,
+                cell.requests,
+                json_f64(cell.warm_net_s),
+                json_f64(cell.warm_inproc_s),
+                json_f64(cell.wire_overhead()),
+                cell.coalesced,
+                if i + 1 == self.serving_network.len() { "" } else { "," },
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -815,6 +991,7 @@ mod tests {
         let concurrent = measure_serving_concurrent("uniform", Kind::Uniform, 600, 3, &[1, 2], 2);
         let obs = measure_observability("uniform", Kind::Uniform, 600, 3, 1);
         let ft = measure_fault_tolerance("uniform", Kind::Uniform, 600, 3, 1);
+        let net = measure_serving_network("uniform", Kind::Uniform, 600, 3, 2, 2);
         let snap = Snapshot {
             repeats: 1,
             summary: measure_summary(400, 1),
@@ -823,6 +1000,7 @@ mod tests {
             serving_concurrent: concurrent,
             observability: vec![obs],
             fault_tolerance: vec![ft],
+            serving_network: vec![net],
         };
         let json = snap.to_json();
         assert!(json.contains("\"schema\": \"emst-bench-snapshot/1\""));
@@ -832,6 +1010,8 @@ mod tests {
         assert!(json.contains("\"host_cpus\""));
         assert!(json.contains("\"overhead_pct\""));
         assert!(json.contains("\"restore_speedup\""));
+        assert!(json.contains("\"wire_overhead\""));
+        assert!(json.contains("\"coalesced\""));
         assert!(json.contains("single-tree (Threads)"));
         // Balanced braces/brackets (cheap well-formedness check without a
         // JSON parser in the workspace).
@@ -880,6 +1060,19 @@ mod tests {
         assert!(cell.restore_reload_s > 0.0);
         assert!(cell.rebuild_reload_s > 0.0);
         assert!(cell.restore_speedup().is_finite());
+    }
+
+    #[test]
+    fn serving_network_cell_verifies_wire_bytes_and_measures_both_paths() {
+        // Byte-identity of every socket reply against the in-process
+        // oracle is asserted inside the harness; at tiny n the latency
+        // ratio is noise (and `coalesced` may honestly be 0), so only
+        // shape is checked here.
+        let cell = measure_serving_network("dense", Kind::GeoLifeLike, 600, 3, 2, 3);
+        assert!(cell.warm_net_s > 0.0);
+        assert!(cell.warm_inproc_s > 0.0);
+        assert!(cell.wire_overhead().is_finite());
+        assert_eq!((cell.clients, cell.requests), (2, 3));
     }
 
     #[test]

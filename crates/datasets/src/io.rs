@@ -331,18 +331,32 @@ impl<'a> BlobReader<'a> {
 }
 
 fn load_delimited<const D: usize>(path: &Path, delim: u8) -> io::Result<Vec<Point<D>>> {
-    let reader = BufReader::new(File::open(path)?);
+    parse_delimited(&std::fs::read(path)?, delim, &path.display().to_string())
+}
+
+/// Parses CSV point bytes — the in-memory core of [`load_csv`], exposed so
+/// callers that route the file read itself through fault injection (the
+/// serving stack's ingest path) can parse exactly the bytes they read.
+/// `origin` names the source in error messages.
+pub fn parse_csv<const D: usize>(bytes: &[u8], origin: &str) -> io::Result<Vec<Point<D>>> {
+    parse_delimited(bytes, b',', origin)
+}
+
+/// Parses XYZ point bytes (whitespace-separated); see [`parse_csv`].
+pub fn parse_xyz<const D: usize>(bytes: &[u8], origin: &str) -> io::Result<Vec<Point<D>>> {
+    parse_delimited(bytes, b' ', origin)
+}
+
+fn parse_delimited<const D: usize>(
+    bytes: &[u8],
+    delim: u8,
+    origin: &str,
+) -> io::Result<Vec<Point<D>>> {
+    let text = String::from_utf8_lossy(bytes);
     let mut out = vec![];
-    let mut line_buf = String::new();
-    let mut reader = reader;
-    let mut line_no = 0usize;
-    loop {
-        line_buf.clear();
-        if reader.read_line(&mut line_buf)? == 0 {
-            break;
-        }
-        line_no += 1;
-        let line = line_buf.trim();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
         if line.is_empty() {
             continue;
         }
@@ -352,7 +366,7 @@ fn load_delimited<const D: usize>(path: &Path, delim: u8) -> io::Result<Vec<Poin
             None => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("{}:{line_no}: expected {D} numeric fields", path.display()),
+                    format!("{origin}:{line_no}: expected {D} numeric fields"),
                 ));
             }
         }

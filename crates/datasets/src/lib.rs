@@ -37,7 +37,7 @@ pub use generators::{
     geolife_like, hacc_like, ngsim_like, normal, portotaxi_like, roadnetwork_like,
     sample_preserving_distribution, uniform, visualvar,
 };
-pub use io::{load_csv, load_xyz, save_csv, save_xyz};
+pub use io::{load_csv, load_xyz, parse_csv, parse_xyz, save_csv, save_xyz};
 pub use paper::{PaperDataset, PointCloud};
 
 use emst_geometry::Point;

@@ -39,6 +39,10 @@ pub enum FaultSite {
     Write,
     /// A spill-file read (reload, salt probing).
     Read,
+    /// A `--metrics-file` snapshot write.
+    MetricsWrite,
+    /// A dataset ingest read (CSV/XYZ bytes before parsing).
+    IngestRead,
 }
 
 /// The failure to inject.
@@ -78,6 +82,8 @@ pub struct FaultPlan {
     rules: Vec<Rule>,
     write_ops: AtomicU64,
     read_ops: AtomicU64,
+    metrics_write_ops: AtomicU64,
+    ingest_read_ops: AtomicU64,
     injected: AtomicU64,
 }
 
@@ -100,6 +106,8 @@ impl FaultPlan {
             rules: vec![],
             write_ops: AtomicU64::new(0),
             read_ops: AtomicU64::new(0),
+            metrics_write_ops: AtomicU64::new(0),
+            ingest_read_ops: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         }
     }
@@ -129,6 +137,8 @@ impl FaultPlan {
             let site = match lhs {
                 "write" => FaultSite::Write,
                 "read" => FaultSite::Read,
+                "metrics" => FaultSite::MetricsWrite,
+                "ingest" => FaultSite::IngestRead,
                 _ => return Err(format!("fault-plan: unknown site `{lhs}`")),
             };
             let (kind_s, prob_s) = rhs
@@ -160,14 +170,19 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Decides the fate of the next operation at `site`: `None` means run
-    /// cleanly. Consumes one ordinal per call regardless of outcome.
-    pub(crate) fn decide(&self, site: FaultSite) -> Option<FaultKind> {
-        let ops = match site {
+    fn ordinal(&self, site: FaultSite) -> &AtomicU64 {
+        match site {
             FaultSite::Write => &self.write_ops,
             FaultSite::Read => &self.read_ops,
-        };
-        let op = ops.fetch_add(1, Relaxed);
+            FaultSite::MetricsWrite => &self.metrics_write_ops,
+            FaultSite::IngestRead => &self.ingest_read_ops,
+        }
+    }
+
+    /// Decides the fate of the next operation at `site`: `None` means run
+    /// cleanly. Consumes one ordinal per call regardless of outcome.
+    pub fn decide(&self, site: FaultSite) -> Option<FaultKind> {
+        let op = self.ordinal(site).fetch_add(1, Relaxed);
         for (i, rule) in self.rules.iter().enumerate() {
             if rule.site != site {
                 continue;
@@ -185,16 +200,12 @@ impl FaultPlan {
     /// A deterministic "random" index in `0..len` for this operation —
     /// where a bit flip or short write lands. Varies per op ordinal via a
     /// side hash so corruption doesn't always hit the same byte.
-    pub(crate) fn position(&self, site: FaultSite, len: usize) -> usize {
+    pub fn position(&self, site: FaultSite, len: usize) -> usize {
         if len == 0 {
             return 0;
         }
-        let ops = match site {
-            FaultSite::Write => &self.write_ops,
-            FaultSite::Read => &self.read_ops,
-        };
         // `decide` already consumed the ordinal for this op; reuse it.
-        let op = ops.load(Relaxed);
+        let op = self.ordinal(site).load(Relaxed);
         (fnv1a(&[self.seed ^ 0x9e3779b97f4a7c15, site as u64, op]) % len as u64) as usize
     }
 
@@ -202,6 +213,79 @@ impl FaultPlan {
     /// the plan actually fired.
     pub fn injected(&self) -> u64 {
         self.injected.load(Relaxed)
+    }
+}
+
+/// Writes `bytes` to `path` through the plan's fault decision at `site`
+/// (pass [`FaultSite::MetricsWrite`] for metrics snapshots). `None` plan
+/// writes cleanly. Mirrors the spill-layer fault semantics: `Eio` writes
+/// nothing, `Enospc` lands a partial file then errors, `ShortWrite` and
+/// `BitFlip` *succeed* with corrupted bytes, `Stall` sleeps then succeeds.
+pub fn faulted_write(
+    plan: Option<&FaultPlan>,
+    site: FaultSite,
+    path: &std::path::Path,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    let Some(plan) = plan else { return std::fs::write(path, bytes) };
+    match plan.decide(site) {
+        None => std::fs::write(path, bytes),
+        Some(FaultKind::Eio) => Err(std::io::Error::from_raw_os_error(5)),
+        Some(FaultKind::Enospc) => {
+            let cut = plan.position(site, bytes.len());
+            let _ = std::fs::write(path, &bytes[..cut]);
+            Err(std::io::Error::from_raw_os_error(28))
+        }
+        Some(FaultKind::ShortWrite) => {
+            std::fs::write(path, &bytes[..plan.position(site, bytes.len())])
+        }
+        Some(FaultKind::BitFlip) => {
+            let mut image = bytes.to_vec();
+            if !image.is_empty() {
+                let pos = plan.position(site, image.len());
+                image[pos] ^= 1 << (pos % 8);
+            }
+            std::fs::write(path, &image)
+        }
+        Some(FaultKind::Stall(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            std::fs::write(path, bytes)
+        }
+    }
+}
+
+/// Reads `path` through the plan's fault decision at `site` (pass
+/// [`FaultSite::IngestRead`] for dataset ingest). `None` plan reads
+/// cleanly. `Eio`/`Enospc` error before reading; `ShortWrite` silently
+/// truncates the returned bytes; `BitFlip` silently flips one bit; `Stall`
+/// sleeps then reads cleanly.
+pub fn faulted_read(
+    plan: Option<&FaultPlan>,
+    site: FaultSite,
+    path: &std::path::Path,
+) -> std::io::Result<Vec<u8>> {
+    let Some(plan) = plan else { return std::fs::read(path) };
+    match plan.decide(site) {
+        None => std::fs::read(path),
+        Some(FaultKind::Eio) => Err(std::io::Error::from_raw_os_error(5)),
+        Some(FaultKind::Enospc) => Err(std::io::Error::from_raw_os_error(28)),
+        Some(FaultKind::ShortWrite) => {
+            let mut bytes = std::fs::read(path)?;
+            bytes.truncate(plan.position(site, bytes.len()));
+            Ok(bytes)
+        }
+        Some(FaultKind::BitFlip) => {
+            let mut bytes = std::fs::read(path)?;
+            if !bytes.is_empty() {
+                let pos = plan.position(site, bytes.len());
+                bytes[pos] ^= 1 << (pos % 8);
+            }
+            Ok(bytes)
+        }
+        Some(FaultKind::Stall(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            std::fs::read(path)
+        }
     }
 }
 
@@ -258,6 +342,57 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn metrics_and_ingest_sites_are_independent_streams() {
+        let plan = FaultPlan::parse("seed=9;metrics=eio@1.0;ingest=bitflip@1.0").unwrap();
+        // The new sites fire on their own ordinals without touching the
+        // spill streams.
+        assert_eq!(plan.decide(FaultSite::Write), None);
+        assert_eq!(plan.decide(FaultSite::Read), None);
+        assert_eq!(plan.decide(FaultSite::MetricsWrite), Some(FaultKind::Eio));
+        assert_eq!(plan.decide(FaultSite::IngestRead), Some(FaultKind::BitFlip));
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn faulted_write_and_read_honour_the_plan() {
+        let dir = std::env::temp_dir().join(format!("emst_fault_helpers_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let payload = b"emst_serve_hits_total 3\n";
+
+        // Eio: honest error, nothing written.
+        let plan = FaultPlan::new(4).with_rule(FaultSite::MetricsWrite, FaultKind::Eio, 1.0);
+        let err = faulted_write(Some(&plan), FaultSite::MetricsWrite, &path, payload).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(5));
+        assert!(!path.exists());
+
+        // Clean plan (no rules) and no plan both write faithfully.
+        faulted_write(Some(&FaultPlan::new(1)), FaultSite::MetricsWrite, &path, payload).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), payload);
+        faulted_write(None, FaultSite::MetricsWrite, &path, payload).unwrap();
+
+        // ShortWrite: success reported, prefix landed.
+        let plan = FaultPlan::new(4).with_rule(FaultSite::MetricsWrite, FaultKind::ShortWrite, 1.0);
+        faulted_write(Some(&plan), FaultSite::MetricsWrite, &path, payload).unwrap();
+        let written = std::fs::read(&path).unwrap();
+        assert!(written.len() < payload.len());
+        assert_eq!(&payload[..written.len()], &written[..]);
+
+        // Ingest reads: Eio errors, BitFlip corrupts exactly one bit.
+        std::fs::write(&path, payload).unwrap();
+        let plan = FaultPlan::new(4).with_rule(FaultSite::IngestRead, FaultKind::Eio, 1.0);
+        assert!(faulted_read(Some(&plan), FaultSite::IngestRead, &path).is_err());
+        let plan = FaultPlan::new(4).with_rule(FaultSite::IngestRead, FaultKind::BitFlip, 1.0);
+        let corrupted = faulted_read(Some(&plan), FaultSite::IngestRead, &path).unwrap();
+        assert_eq!(corrupted.len(), payload.len());
+        let flipped: u32 = corrupted.iter().zip(payload).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1);
+        assert_eq!(faulted_read(None, FaultSite::IngestRead, &path).unwrap(), payload);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -89,6 +89,7 @@
 //! ```
 
 pub mod fault;
+pub mod net;
 pub mod spill;
 
 use std::collections::HashMap;
@@ -109,6 +110,7 @@ use emst_shard::{MergeAccel, MergeScratch, ShardArtifacts, ShardConfig};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 pub use fault::{FaultKind, FaultPlan, FaultSite};
+pub use net::{NetConfig, NetReply, NetSession, ServeServer};
 pub use spill::{digest_points, CloudKey};
 
 /// Configuration of a serving engine.
@@ -258,6 +260,12 @@ pub struct ServeStats {
     /// Guarded queries that panicked and were isolated to a
     /// [`ServeError::QueryPanic`] instead of unwinding the caller.
     pub query_panics: u64,
+    /// Network requests that rode another identical in-flight request's
+    /// execution instead of running themselves: same [`CloudKey`], same
+    /// verb, same arguments, concurrent — all receive the one result's
+    /// bytes (see [`net`]). Distinct from [`ServeStats::coalesced`], which
+    /// counts single-flight *build* coalescing inside the engine.
+    pub query_coalesced: u64,
 }
 
 impl ServeStats {
@@ -267,7 +275,7 @@ impl ServeStats {
     /// field to [`ServeStats`] without extending this list is a compile
     /// error, so consumers that iterate the names — the CLI `stats`
     /// command, the metrics exporters — can never silently miss one.
-    pub fn named_fields(&self) -> [(&'static str, u64); 15] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 16] {
         let ServeStats {
             hits,
             misses,
@@ -284,6 +292,7 @@ impl ServeStats {
             deadline_exceeded,
             shed,
             query_panics,
+            query_coalesced,
         } = *self;
         [
             ("hits", hits),
@@ -301,6 +310,7 @@ impl ServeStats {
             ("deadline_exceeded", deadline_exceeded),
             ("shed", shed),
             ("query_panics", query_panics),
+            ("query_coalesced", query_coalesced),
         ]
     }
 }
@@ -512,6 +522,7 @@ struct StatCells {
     deadline_exceeded: AtomicU64,
     shed: AtomicU64,
     query_panics: AtomicU64,
+    query_coalesced: AtomicU64,
 }
 
 impl StatCells {
@@ -532,6 +543,7 @@ impl StatCells {
             deadline_exceeded: self.deadline_exceeded.load(Relaxed),
             shed: self.shed.load(Relaxed),
             query_panics: self.query_panics.load(Relaxed),
+            query_coalesced: self.query_coalesced.load(Relaxed),
         }
     }
 }
@@ -570,6 +582,7 @@ struct ServeObs {
     deadline_exceeded: Arc<Counter>,
     shed: Arc<Counter>,
     query_panics: Arc<Counter>,
+    query_coalesced: Arc<Counter>,
     /// Algorithmic work per [`CounterSnapshot`] field,
     /// `emst_serve_work_total{counter="…"}`, in `named_fields` order.
     work: [Arc<Counter>; 9],
@@ -626,6 +639,7 @@ impl ServeObs {
             deadline_exceeded: event("deadline_exceeded"),
             shed: event("shed"),
             query_panics: event("query_panic"),
+            query_coalesced: event("query_coalesced"),
             work,
             scratch_checkouts: registry.counter("emst_serve_scratch_checkouts_total"),
             scratch_pool_size: registry.gauge("emst_serve_scratch_pool_size"),
@@ -808,6 +822,14 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
     #[inline]
     fn obs_now(&self) -> Option<Instant> {
         self.obs.as_ref().map(|_| Instant::now())
+    }
+
+    /// Counts one network-level same-key query coalescing event: a request
+    /// that received an identical in-flight request's result bytes instead
+    /// of executing (see [`net`]).
+    pub(crate) fn count_query_coalesced(&self) {
+        self.stats.query_coalesced.fetch_add(1, Relaxed);
+        self.obs_event(|o| o.query_coalesced.inc());
     }
 
     /// Counts (and logs) one detected-corruption event — the accounting
@@ -2331,15 +2353,17 @@ mod tests {
             deadline_exceeded: 13,
             shed: 14,
             query_panics: 15,
+            query_coalesced: 16,
         };
         let fields = stats.named_fields();
-        assert_eq!(fields.len(), 15);
+        assert_eq!(fields.len(), 16);
         let sum: u64 = fields.iter().map(|&(_, v)| v).sum();
-        assert_eq!(sum, (1..=15).sum(), "every field value appears exactly once");
+        assert_eq!(sum, (1..=16).sum(), "every field value appears exactly once");
         assert!(fields.iter().any(|&(n, v)| n == "digest_collisions" && v == 6));
         assert!(fields.iter().any(|&(n, v)| n == "coalesced" && v == 7));
         assert!(fields.iter().any(|&(n, v)| n == "checksum_failures" && v == 10));
         assert!(fields.iter().any(|&(n, v)| n == "query_panics" && v == 15));
+        assert!(fields.iter().any(|&(n, v)| n == "query_coalesced" && v == 16));
     }
 
     /// Tentpole: an evicted cloud reloads by *restoring* its serialized

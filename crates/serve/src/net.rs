@@ -1,0 +1,877 @@
+//! Network serving front-end: a std-only TCP listener over [`ServeEngine`].
+//!
+//! [`ServeServer`] binds a [`std::net::TcpListener`] and speaks a
+//! line-based request/response protocol with the same verbs as the CLI
+//! REPL (`emst`, `subset`, `knn`, `hdbscan`, `load`, `stats`,
+//! `metrics [json]`, `trace [n]`, plus `ping` and `quit`). Every request
+//! is one `\n`-terminated line; every reply is one `ok …`/`err …` line
+//! (multi-line payloads are length-framed as `ok body <len>\n<bytes>`).
+//! The full grammar lives in `docs/serving-protocol.md`.
+//!
+//! Design constraints and how they are met:
+//!
+//! - **No async runtime** (the container has no crates.io access): a
+//!   blocking acceptor thread feeds a bounded queue drained by N worker
+//!   threads. The engine's `Send + Sync` blocking core was built for
+//!   exactly this shape.
+//! - **Backpressure, never hangs**: when [`NetConfig::max_pending`]
+//!   connections are already queued, a new connection gets one honest
+//!   `err overloaded …` line and is closed — admission control at the
+//!   socket layer, mirroring the engine's in-flight gate one layer down.
+//! - **Robustness contract over the wire**: queries go through the
+//!   guarded `try_*` entry points, so deadlines, admission shedding and
+//!   panic isolation from the fault-tolerance layer all apply; their
+//!   typed errors become `err …` lines. Connection handling itself is
+//!   wrapped in `catch_unwind`, so a protocol bug can never take down the
+//!   acceptor or the other workers.
+//! - **Graceful shutdown**: [`ServeServer::shutdown`] stops accepting,
+//!   lets every in-flight request finish and flush its reply, sends
+//!   queued-but-unstarted connections one `err shutting down` line, and
+//!   joins every thread.
+//!
+//! # Same-key query coalescing
+//!
+//! The headline optimisation generalizes the engine's single-flight
+//! *build* coalescing to whole *queries*: concurrent identical requests —
+//! same [`CloudKey`] (the content digest of the session's cloud) and the
+//! same canonicalized command line — register on one in-flight flight.
+//! The first becomes the leader and executes; the rest park on a condvar
+//! and receive a byte-for-byte copy of the leader's reply, counted in
+//! [`ServeStats::query_coalesced`](crate::ServeStats::query_coalesced)
+//! and the `emst_serve_cache_events_total{event="query_coalesced"}`
+//! metric. This is sound because only the deterministic read-only verbs
+//! (`emst`, `subset`, `knn`, `hdbscan`) coalesce, their replies are pure
+//! functions of `(cloud bytes, command line)` by the engine's
+//! bit-identity guarantee, and the reply format contains no wall-clock
+//! fields. The one observable sharing artifact is the `cache=` outcome
+//! (a follower may see the leader's `miss`) and error replies (a
+//! follower shares the leader's honest `err …`, which an identical
+//! concurrent request could equally have earned itself).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use emst_core::Edge;
+use emst_datasets::io::{fnv1a_64, parse_csv, parse_xyz};
+use emst_exec::ExecSpace;
+use emst_geometry::Point;
+use emst_hdbscan::Hdbscan;
+use emst_obs::{Counter, Gauge, Histogram};
+use parking_lot::{Condvar, Mutex};
+
+use crate::fault::{faulted_read, FaultSite};
+use crate::{CacheOutcome, CloudKey, ServeEngine};
+
+/// Longest accepted request line; anything longer gets one
+/// `err line too long …` reply and the connection is closed.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// How often a blocked worker re-checks the shutdown flag while waiting
+/// for client bytes.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Network front-end sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Worker threads draining the connection queue (clamped to >= 1).
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before new arrivals are
+    /// shed with an honest `err overloaded` line (clamped to >= 1).
+    pub max_pending: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self { workers: 4, max_pending: 64 }
+    }
+}
+
+/// One reply on the wire: the exact bytes to send (always ending in a
+/// newline) and whether the connection closes afterwards (`quit`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetReply {
+    /// Full wire bytes of the reply, including the trailing newline (and,
+    /// for `ok body <len>` framing, the raw body bytes).
+    pub text: String,
+    /// The server closes the connection after sending this reply.
+    pub close: bool,
+}
+
+impl NetReply {
+    fn ok(payload: impl AsRef<str>) -> Self {
+        Self { text: format!("ok {}\n", payload.as_ref()), close: false }
+    }
+
+    fn err(message: impl AsRef<str>) -> Self {
+        Self { text: format!("err {}\n", message.as_ref()), close: false }
+    }
+
+    /// Length-framed multi-line payload: `ok body <len>\n` followed by
+    /// exactly `<len>` raw bytes (normalized to end in one newline).
+    fn body(mut body: String) -> Self {
+        while body.ends_with('\n') {
+            body.pop();
+        }
+        body.push('\n');
+        Self { text: format!("ok body {}\n{body}", body.len()), close: false }
+    }
+
+    /// Whether this is an `err …` reply (drives the error-reply counter).
+    pub fn is_err(&self) -> bool {
+        self.text.starts_with("err ")
+    }
+
+    /// The reply as raw wire bytes.
+    pub fn bytes(&self) -> &[u8] {
+        self.text.as_bytes()
+    }
+}
+
+/// Per-connection state: the cloud this session queries. Starts as the
+/// server's initial cloud; `load <path>` swaps it (for this connection
+/// only), exactly like the REPL's session cloud.
+pub struct NetSession<const D: usize> {
+    points: Arc<Vec<Point<D>>>,
+}
+
+impl<const D: usize> NetSession<D> {
+    /// A session serving `points`.
+    pub fn new(points: Arc<Vec<Point<D>>>) -> Self {
+        Self { points }
+    }
+
+    /// The cloud the session currently queries.
+    pub fn points(&self) -> &Arc<Vec<Point<D>>> {
+        &self.points
+    }
+}
+
+fn outcome_name(o: CacheOutcome) -> &'static str {
+    match o {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Reloaded => "reloaded",
+    }
+}
+
+/// Content check over an edge list: FNV-1a across `(u, v, weight_sq)` in
+/// index order. Lets a client (and the bit-identity tests) compare trees
+/// across transports without shipping every edge.
+fn edges_check(edges: &[Edge]) -> u64 {
+    let mut bytes = Vec::with_capacity(edges.len() * 12);
+    for e in edges {
+        bytes.extend_from_slice(&e.u.to_le_bytes());
+        bytes.extend_from_slice(&e.v.to_le_bytes());
+        bytes.extend_from_slice(&e.weight_sq.to_bits().to_le_bytes());
+    }
+    fnv1a_64(&bytes)
+}
+
+/// Content check over HDBSCAN labels (FNV-1a across the `i32` labels).
+fn labels_check(labels: &[i32]) -> u64 {
+    let mut bytes = Vec::with_capacity(labels.len() * 4);
+    for &l in labels {
+        bytes.extend_from_slice(&l.to_le_bytes());
+    }
+    fnv1a_64(&bytes)
+}
+
+/// Executes one request line against the engine and formats the wire
+/// reply. This is the whole protocol in one pure-ish function: the
+/// integration tests run it in-process to compute the bytes the socket
+/// path must reproduce bit-for-bit.
+///
+/// Unlike the REPL, replies carry **no wall-clock fields** — instead the
+/// tree-shaped answers carry a `check=` content digest — so identical
+/// requests against identical clouds produce identical bytes, which is
+/// what makes both the bit-identity proof and same-key coalescing
+/// possible.
+pub fn respond<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
+    session: &mut NetSession<D>,
+    line: &str,
+) -> NetReply {
+    let mut tok = line.split_whitespace();
+    let Some(cmd) = tok.next() else { return NetReply::err("empty command") };
+    let rest: Vec<&str> = tok.collect();
+    match execute(engine, session, cmd, &rest) {
+        Ok(reply) => reply,
+        Err(msg) => NetReply::err(msg),
+    }
+}
+
+fn execute<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
+    session: &mut NetSession<D>,
+    cmd: &str,
+    rest: &[&str],
+) -> Result<NetReply, String> {
+    let parse = |what: &str, v: Option<&&str>| -> Result<usize, String> {
+        let v = v.ok_or(format!("{what} is required"))?;
+        v.parse().map_err(|_| format!("invalid {what} {v:?}"))
+    };
+    let points = Arc::clone(&session.points);
+    match cmd {
+        "ping" => Ok(NetReply::ok("pong")),
+        "quit" | "exit" => Ok(NetReply { text: "ok bye\n".to_string(), close: true }),
+        "emst" => {
+            if !rest.is_empty() {
+                return Err("emst takes no arguments over the wire".to_string());
+            }
+            let r = engine.try_emst(&points).map_err(|e| e.to_string())?;
+            Ok(NetReply::ok(format!(
+                "emst cache={} n={} edges={} weight={:.6} check={:016x}",
+                outcome_name(r.outcome),
+                points.len(),
+                r.edges.len(),
+                r.total_weight,
+                edges_check(&r.edges),
+            )))
+        }
+        "subset" => {
+            let range = rest.first().ok_or("subset needs <lo>..<hi>")?;
+            let (lo, hi) = range
+                .split_once("..")
+                .and_then(|(a, b)| Some((a.parse::<u32>().ok()?, b.parse::<u32>().ok()?)))
+                .ok_or(format!("invalid subset range {range:?} (expected <lo>..<hi>)"))?;
+            if lo >= hi || hi as usize > points.len() {
+                return Err(format!("subset {lo}..{hi} out of range for {} points", points.len()));
+            }
+            let subset: Vec<u32> = (lo..hi).collect();
+            let r = engine.try_emst_subset(&points, &subset).map_err(|e| e.to_string())?;
+            Ok(NetReply::ok(format!(
+                "subset cache={} m={} edges={} weight={:.6} check={:016x}",
+                outcome_name(r.outcome),
+                subset.len(),
+                r.edges.len(),
+                r.total_weight,
+                edges_check(&r.edges),
+            )))
+        }
+        "knn" => {
+            let k = parse("<k>", rest.first())?;
+            if rest.len() != 1 + D {
+                return Err(format!("knn needs <k> and {D} coordinates"));
+            }
+            let mut coords = [0.0f32; D];
+            for (c, v) in coords.iter_mut().zip(&rest[1..]) {
+                *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
+            }
+            let r =
+                engine.try_k_nearest(&points, &Point::new(coords), k).map_err(|e| e.to_string())?;
+            let hits: Vec<String> =
+                r.neighbors.iter().map(|(i, d)| format!("{i}:{:.6}", d.sqrt())).collect();
+            Ok(NetReply::ok(format!(
+                "knn cache={} k={} {}",
+                outcome_name(r.outcome),
+                k,
+                hits.join(" ")
+            )))
+        }
+        "hdbscan" => {
+            let k_pts = parse("<k_pts>", rest.first())?;
+            let min_cluster_size = parse("<min_cluster_size>", rest.get(1))?;
+            if k_pts < 1 || min_cluster_size < 2 {
+                return Err("hdbscan needs k_pts >= 1 and min_cluster_size >= 2".into());
+            }
+            let r = engine
+                .try_hdbscan(&points, Hdbscan { k_pts, min_cluster_size })
+                .map_err(|e| e.to_string())?;
+            let noise = r.result.labels.iter().filter(|&&l| l == emst_hdbscan::NOISE).count();
+            Ok(NetReply::ok(format!(
+                "hdbscan cache={} clusters={} noise={} check={:016x}",
+                outcome_name(r.outcome),
+                r.result.num_clusters,
+                noise,
+                labels_check(&r.result.labels),
+            )))
+        }
+        "load" => {
+            let path = rest.first().ok_or("load needs a path")?;
+            // Ingest reads go through the fault plan: chaos drills cover the
+            // network load path with the same injector as spill storage.
+            let plan = engine.config.fault_plan.as_deref();
+            let bytes = faulted_read(plan, FaultSite::IngestRead, Path::new(path))
+                .map_err(|e| format!("{path}: {e}"))?;
+            let new_points: Vec<Point<D>> = if path.ends_with(".xyz") {
+                parse_xyz(&bytes, path)
+            } else {
+                parse_csv(&bytes, path)
+            }
+            .map_err(|e| e.to_string())?;
+            if new_points.is_empty() {
+                return Err(format!("{path}: no points"));
+            }
+            let key = engine.ingest(&new_points);
+            session.points = Arc::new(new_points);
+            Ok(NetReply::ok(format!("loaded n={} key={key}", session.points.len())))
+        }
+        "stats" => {
+            let s = engine.stats();
+            let mut line = format!(
+                "stats resident={} bytes={}",
+                engine.num_resident(),
+                engine.resident_bytes()
+            );
+            for (name, value) in s.named_fields() {
+                line.push_str(&format!(" {name}={value}"));
+            }
+            Ok(NetReply::ok(line))
+        }
+        "metrics" => match rest.first() {
+            None => Ok(NetReply::body(engine.metrics_prometheus())),
+            Some(&"json") => Ok(NetReply::body(engine.metrics_json())),
+            Some(other) => Err(format!("invalid metrics format {other:?} (expected json)")),
+        },
+        "trace" => {
+            let n = match rest.first() {
+                None => 5,
+                Some(v) => v.parse().map_err(|_| format!("invalid trace count {v:?}"))?,
+            };
+            let traces = engine.recent_traces(n);
+            if traces.is_empty() {
+                return Ok(NetReply::ok("no traces recorded"));
+            }
+            let rendered: Vec<String> = traces.iter().map(|t| t.render_text()).collect();
+            Ok(NetReply::body(rendered.join("\n")))
+        }
+        other => Err(format!(
+            "unknown command {other:?} (ping | emst | subset <lo>..<hi> | knn <k> <x> <y> [<z>] \
+             | hdbscan <k_pts> <min_cluster_size> | load <points.csv> | stats | metrics [json] | \
+             trace [n] | quit)"
+        )),
+    }
+}
+
+/// Verbs eligible for same-key coalescing: deterministic, read-only, and
+/// replies that are pure functions of `(cloud, line)`. `load` mutates the
+/// session, `stats`/`metrics`/`trace` read mutable observability state —
+/// none of those may share a reply.
+fn coalescable(verb: &str) -> bool {
+    matches!(verb, "emst" | "subset" | "knn" | "hdbscan")
+}
+
+type FlightKey = (CloudKey, String);
+
+/// One in-flight coalesced query: the leader publishes its reply here and
+/// wakes every parked follower.
+struct QueryFlight {
+    reply: Mutex<Option<NetReply>>,
+    published: Condvar,
+}
+
+/// The leader's obligation to publish. Dropping without publishing (the
+/// leader's execution panicked out from under it) publishes an honest
+/// internal error so followers can never wedge.
+struct FlightLease<'a> {
+    flights: &'a Mutex<HashMap<FlightKey, Arc<QueryFlight>>>,
+    key: Option<FlightKey>,
+    flight: Arc<QueryFlight>,
+}
+
+impl FlightLease<'_> {
+    fn settle(&mut self, reply: NetReply) {
+        let Some(key) = self.key.take() else { return };
+        // Remove before publishing: a request arriving after removal
+        // starts a fresh flight, which is correct — the coalescing window
+        // is exactly "concurrent with the leader's execution".
+        self.flights.lock().remove(&key);
+        *self.flight.reply.lock() = Some(reply);
+        self.flight.published.notify_all();
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        self.settle(NetReply::err("internal error: coalesced request aborted"));
+    }
+}
+
+/// Handles owned by the server when observability is on. All metrics live
+/// in the engine's registry, so `metrics`/`metrics json` over the wire —
+/// and the `--metrics-file` exposition — include the network layer.
+struct NetObs {
+    /// Acceptor-side wait per accepted connection.
+    accept: Arc<Histogram>,
+    /// Time a connection spent queued before a worker picked it up.
+    queue_wait: Arc<Histogram>,
+    /// Wall time per request (read done → reply written).
+    request: Arc<Histogram>,
+    /// Connections currently being served by workers.
+    active: Arc<Gauge>,
+    /// Connections currently waiting in the accept queue.
+    queued: Arc<Gauge>,
+    connections: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    requests: Arc<Counter>,
+    error_replies: Arc<Counter>,
+}
+
+impl NetObs {
+    fn new<S: ExecSpace, const D: usize>(engine: &ServeEngine<S, D>) -> Option<Self> {
+        let registry = engine.obs_registry()?;
+        Some(Self {
+            accept: registry.histogram("emst_serve_net_accept_seconds"),
+            queue_wait: registry.histogram("emst_serve_net_queue_wait_seconds"),
+            request: registry.histogram("emst_serve_net_request_seconds"),
+            active: registry.gauge("emst_serve_net_connections_active"),
+            queued: registry.gauge("emst_serve_net_connections_queued"),
+            connections: registry.counter("emst_serve_net_connections_total"),
+            overloaded: registry.counter("emst_serve_net_overloaded_total"),
+            requests: registry.counter("emst_serve_net_requests_total"),
+            error_replies: registry.counter("emst_serve_net_error_replies_total"),
+        })
+    }
+}
+
+/// State shared by the acceptor, the workers and the shutdown path.
+struct NetShared<S: ExecSpace, const D: usize> {
+    engine: Arc<ServeEngine<S, D>>,
+    initial: Arc<Vec<Point<D>>>,
+    max_pending: usize,
+    /// Accepted connections waiting for a worker, with their enqueue time.
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    queue_ready: Condvar,
+    shutdown: AtomicBool,
+    flights: Mutex<HashMap<FlightKey, Arc<QueryFlight>>>,
+    active: AtomicU64,
+    obs: Option<NetObs>,
+}
+
+/// The TCP front-end. See the module docs for the protocol and the
+/// coalescing argument; see [`ServeServer::bind`] to start one.
+pub struct ServeServer<S: ExecSpace + Send + Sync + 'static, const D: usize> {
+    shared: Arc<NetShared<S, D>>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: ExecSpace + Send + Sync + 'static, const D: usize> ServeServer<S, D> {
+    /// Binds `addr` (use port 0 for an ephemeral port — [`Self::local_addr`]
+    /// reports the real one) and starts the acceptor plus
+    /// [`NetConfig::workers`] worker threads. `initial` is the cloud every
+    /// new connection's session starts on; the caller is expected to have
+    /// ingested it already (the server never ingests on its own).
+    pub fn bind(
+        engine: Arc<ServeEngine<S, D>>,
+        initial: Arc<Vec<Point<D>>>,
+        addr: &str,
+        config: NetConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let obs = NetObs::new(engine.as_ref());
+        let shared = Arc::new(NetShared {
+            engine,
+            initial,
+            max_pending: config.max_pending.max(1),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            flights: Mutex::new(HashMap::new()),
+            active: AtomicU64::new(0),
+            obs,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Self { shared, addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the server.
+    pub fn engine(&self) -> &Arc<ServeEngine<S, D>> {
+        &self.shared.engine
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight requests and
+    /// flush their replies, answer queued-but-unstarted connections with
+    /// one `err shutting down` line, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Relaxed) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.queue_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Workers are gone: whatever is still queued never started, and
+        // gets the honest line instead of a silent hang.
+        let mut queue = self.shared.queue.lock();
+        for (mut stream, _) in queue.drain(..) {
+            let _ = stream.write_all(b"err shutting down\n");
+        }
+    }
+}
+
+impl<S: ExecSpace + Send + Sync + 'static, const D: usize> Drop for ServeServer<S, D> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop<S: ExecSpace, const D: usize>(shared: &NetShared<S, D>, listener: &TcpListener) {
+    loop {
+        let idle_from = Instant::now();
+        let accepted = listener.accept();
+        if shared.shutdown.load(Relaxed) {
+            // Usually the shutdown wake-up connection; a real client
+            // racing shutdown gets the honest line either way.
+            if let Ok((mut stream, _)) = accepted {
+                let _ = stream.write_all(b"err shutting down\n");
+            }
+            return;
+        }
+        let Ok((mut stream, _)) = accepted else { continue };
+        if let Some(obs) = &shared.obs {
+            obs.accept.record(idle_from.elapsed());
+            obs.connections.inc();
+        }
+        let mut queue = shared.queue.lock();
+        if queue.len() >= shared.max_pending {
+            drop(queue);
+            if let Some(obs) = &shared.obs {
+                obs.overloaded.inc();
+            }
+            let _ = stream.write_all(
+                format!("err overloaded: {} connections already pending\n", shared.max_pending)
+                    .as_bytes(),
+            );
+            continue; // dropping the stream closes it
+        }
+        queue.push_back((stream, Instant::now()));
+        if let Some(obs) = &shared.obs {
+            obs.queued.set(queue.len() as u64);
+        }
+        drop(queue);
+        shared.queue_ready.notify_one();
+    }
+}
+
+fn worker_loop<S: ExecSpace, const D: usize>(shared: &NetShared<S, D>) {
+    loop {
+        let (stream, enqueued) = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if shared.shutdown.load(Relaxed) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    if let Some(obs) = &shared.obs {
+                        obs.queued.set(queue.len() as u64);
+                    }
+                    break job;
+                }
+                shared.queue_ready.wait(&mut queue);
+            }
+        };
+        if let Some(obs) = &shared.obs {
+            obs.queue_wait.record(enqueued.elapsed());
+            obs.active.set(shared.active.fetch_add(1, Relaxed) + 1);
+        }
+        // Panic isolation per connection: the guarded query paths already
+        // contain query panics, so this only catches protocol-layer bugs —
+        // and even then the worker survives to serve the next connection.
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &stream)));
+        if outcome.is_err() {
+            let _ = (&stream).write_all(b"err internal error: connection handler panicked\n");
+        }
+        if let Some(obs) = &shared.obs {
+            obs.active.set(shared.active.fetch_sub(1, Relaxed).saturating_sub(1));
+        }
+    }
+}
+
+/// What the incremental line reader produced.
+enum ReadEvent {
+    /// One request line (terminator stripped; lossy UTF-8).
+    Line(String),
+    /// Clean end of stream with no buffered partial line.
+    Eof,
+    /// The server is shutting down; stop reading.
+    Shutdown,
+    /// The buffered line exceeded [`MAX_LINE_BYTES`] with no terminator.
+    TooLong,
+}
+
+/// Reads the next `\n`-terminated line from `reader`, polling `shutdown`
+/// on every read timeout. Split and partial writes are handled naturally
+/// (bytes accumulate in `buf` across reads); a final unterminated line at
+/// EOF is served as a line. `reader` must be in timeout mode for the
+/// shutdown poll to fire (the unit tests drive it with plain readers,
+/// which simply never time out).
+fn next_line<R: Read>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> io::Result<ReadEvent> {
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = buf.drain(..=pos).collect();
+            line.pop(); // the terminator
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(ReadEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            return Ok(ReadEvent::TooLong);
+        }
+        let mut chunk = [0u8; 4096];
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(ReadEvent::Eof);
+                }
+                let line = std::mem::take(buf);
+                return Ok(ReadEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shutdown.load(Relaxed) {
+                    return Ok(ReadEvent::Shutdown);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection<S: ExecSpace, const D: usize>(shared: &NetShared<S, D>, stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut session = NetSession::new(Arc::clone(&shared.initial));
+    let mut buf = Vec::new();
+    let mut reader = stream;
+    loop {
+        match next_line(&mut reader, &mut buf, &shared.shutdown) {
+            Ok(ReadEvent::Line(line)) => {
+                let started = Instant::now();
+                let reply = respond_coalesced(shared, &mut session, &line);
+                if let Some(obs) = &shared.obs {
+                    obs.requests.inc();
+                    obs.request.record(started.elapsed());
+                    if reply.is_err() {
+                        obs.error_replies.inc();
+                    }
+                }
+                // A client gone mid-response is its own problem: close
+                // this connection, keep serving the rest.
+                if (&*stream).write_all(reply.bytes()).is_err() || reply.close {
+                    return;
+                }
+            }
+            Ok(ReadEvent::Eof) => return,
+            Ok(ReadEvent::Shutdown) => {
+                let _ = (&*stream).write_all(b"err shutting down\n");
+                return;
+            }
+            Ok(ReadEvent::TooLong) => {
+                let _ = (&*stream).write_all(
+                    format!("err line too long (max {MAX_LINE_BYTES} bytes)\n").as_bytes(),
+                );
+                if let Some(obs) = &shared.obs {
+                    obs.error_replies.inc();
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// [`respond`] with same-key coalescing on top: identical concurrent
+/// requests for the deterministic verbs share one execution.
+fn respond_coalesced<S: ExecSpace, const D: usize>(
+    shared: &NetShared<S, D>,
+    session: &mut NetSession<D>,
+    line: &str,
+) -> NetReply {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.first() {
+        Some(verb) if coalescable(verb) => {}
+        _ => return respond(shared.engine.as_ref(), session, line),
+    }
+    let key: FlightKey = (shared.engine.key(&session.points), tokens.join(" "));
+    enum Role<'a> {
+        Leader(FlightLease<'a>),
+        Follower(Arc<QueryFlight>),
+    }
+    let role = {
+        let mut flights = shared.flights.lock();
+        match flights.get(&key) {
+            Some(flight) => Role::Follower(Arc::clone(flight)),
+            None => {
+                let flight =
+                    Arc::new(QueryFlight { reply: Mutex::new(None), published: Condvar::new() });
+                flights.insert(key.clone(), Arc::clone(&flight));
+                Role::Leader(FlightLease { flights: &shared.flights, key: Some(key), flight })
+            }
+        }
+    };
+    match role {
+        Role::Leader(mut lease) => {
+            let reply = respond(shared.engine.as_ref(), session, line);
+            lease.settle(reply.clone());
+            reply
+        }
+        Role::Follower(flight) => {
+            let mut slot = flight.reply.lock();
+            while slot.is_none() {
+                flight.published.wait(&mut slot);
+            }
+            shared.engine.count_query_coalesced();
+            slot.clone().expect("flight published")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use emst_datasets::{generate_2d, DatasetSpec};
+    use emst_exec::Serial;
+
+    fn engine() -> (ServeEngine<Serial, 2>, Arc<Vec<Point<2>>>) {
+        let pts = Arc::new(generate_2d(&DatasetSpec::uniform(200, 7)));
+        let engine = ServeEngine::new(Serial, ServeConfig::new(4, 2));
+        engine.ingest(&pts);
+        (engine, pts)
+    }
+
+    #[test]
+    fn replies_are_deterministic_and_newline_terminated() {
+        let (engine, pts) = engine();
+        let mut session = NetSession::new(Arc::clone(&pts));
+        let warm = respond(&engine, &mut session, "emst");
+        let again = respond(&engine, &mut session, "emst");
+        assert_eq!(warm, again, "warm replies must be byte-identical");
+        assert!(warm.text.starts_with("ok emst cache=hit "));
+        assert!(warm.text.ends_with('\n'));
+        assert!(warm.text.contains(" check="));
+        assert!(!warm.close);
+
+        let knn = respond(&engine, &mut session, "knn 3 0.5 0.5");
+        assert!(knn.text.starts_with("ok knn cache=hit k=3 "), "{}", knn.text);
+        let sub = respond(&engine, &mut session, "subset 10..50");
+        assert!(sub.text.starts_with("ok subset cache=hit m=40 "), "{}", sub.text);
+        let hdb = respond(&engine, &mut session, "hdbscan 4 8");
+        assert!(hdb.text.starts_with("ok hdbscan cache=hit clusters="), "{}", hdb.text);
+    }
+
+    #[test]
+    fn malformed_lines_get_one_err_reply_mirroring_the_repl() {
+        let (engine, pts) = engine();
+        let mut session = NetSession::new(pts);
+        for (line, expect) in [
+            ("", "err empty command\n"),
+            ("   ", "err empty command\n"),
+            ("subset", "err subset needs <lo>..<hi>\n"),
+            ("subset 9..3", "err subset 9..3 out of range for 200 points\n"),
+            ("knn five 0 0", "err invalid <k> \"five\"\n"),
+            ("knn 3 0.5", "err knn needs <k> and 2 coordinates\n"),
+            ("hdbscan 0 8", "err hdbscan needs k_pts >= 1 and min_cluster_size >= 2\n"),
+            ("metrics yaml", "err invalid metrics format \"yaml\" (expected json)\n"),
+            ("load", "err load needs a path\n"),
+        ] {
+            let reply = respond(&engine, &mut session, line);
+            assert_eq!(reply.text, expect, "line {line:?}");
+            assert!(reply.is_err());
+            assert!(!reply.close);
+        }
+        let unknown = respond(&engine, &mut session, "frobnicate");
+        assert!(unknown.text.starts_with("err unknown command \"frobnicate\""));
+    }
+
+    #[test]
+    fn ping_quit_and_body_framing() {
+        let (engine, pts) = engine();
+        let mut session = NetSession::new(pts);
+        assert_eq!(respond(&engine, &mut session, "ping").text, "ok pong\n");
+        let bye = respond(&engine, &mut session, "quit");
+        assert_eq!(bye.text, "ok bye\n");
+        assert!(bye.close);
+
+        // `metrics` without observability still frames an exposition body.
+        let reply = respond(&engine, &mut session, "metrics");
+        let (header, body) = reply.text.split_once('\n').unwrap();
+        let len: usize = header.strip_prefix("ok body ").unwrap().parse().unwrap();
+        assert_eq!(body.len(), len, "framed length must match the body bytes");
+        assert!(body.ends_with('\n'));
+    }
+
+    #[test]
+    fn line_reader_handles_splits_junk_and_oversize() {
+        let quiet = AtomicBool::new(false);
+        // Split writes: one line delivered across reads, CRLF stripped.
+        let mut src: &[u8] = b"pi";
+        let mut buf = Vec::new();
+        assert!(
+            matches!(next_line(&mut src, &mut buf, &quiet).unwrap(), ReadEvent::Line(l) if l == "pi")
+        );
+        let mut src: &[u8] = b"ng\r\nquit\n";
+        buf.clear();
+        buf.extend_from_slice(b"pi");
+        match next_line(&mut src, &mut buf, &quiet).unwrap() {
+            ReadEvent::Line(l) => assert_eq!(l, "ping"),
+            _ => panic!("expected a line"),
+        }
+        match next_line(&mut src, &mut buf, &quiet).unwrap() {
+            ReadEvent::Line(l) => assert_eq!(l, "quit"),
+            _ => panic!("expected a line"),
+        }
+        assert!(matches!(next_line(&mut src, &mut buf, &quiet).unwrap(), ReadEvent::Eof));
+
+        // Arbitrary junk (invalid UTF-8) still yields exactly one line.
+        let mut src: &[u8] = b"\xff\xfe\x00garbage\n";
+        buf.clear();
+        assert!(matches!(next_line(&mut src, &mut buf, &quiet).unwrap(), ReadEvent::Line(_)));
+
+        // Oversized unterminated line is rejected, not buffered forever.
+        let big = vec![b'a'; MAX_LINE_BYTES + 2];
+        let mut src: &[u8] = &big;
+        buf.clear();
+        assert!(matches!(next_line(&mut src, &mut buf, &quiet).unwrap(), ReadEvent::TooLong));
+    }
+
+    #[test]
+    fn coalescing_key_canonicalizes_whitespace() {
+        let tokens_a: Vec<&str> = "  knn   3  0.5 0.5 ".split_whitespace().collect();
+        let tokens_b: Vec<&str> = "knn 3 0.5 0.5".split_whitespace().collect();
+        assert_eq!(tokens_a.join(" "), tokens_b.join(" "));
+        assert!(coalescable("emst") && coalescable("hdbscan"));
+        assert!(!coalescable("load") && !coalescable("stats") && !coalescable("metrics"));
+    }
+}

@@ -50,7 +50,10 @@ use emst::datasets::{self, Kind};
 use emst::exec::{ExecSpace, GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::hdbscan::Hdbscan;
-use emst::serve::{CacheOutcome, FaultPlan, ServeConfig, ServeEngine};
+use emst::serve::fault::{faulted_read, faulted_write};
+use emst::serve::{
+    CacheOutcome, FaultPlan, FaultSite, NetConfig, ServeConfig, ServeEngine, ServeServer,
+};
 use emst::shard::{emst_sharded_csv, emst_sharded_with, ShardConfig, ShardStats, StreamConfig};
 
 fn usage() -> ExitCode {
@@ -72,9 +75,13 @@ fn usage() -> ExitCode {
                     [--spill-dir <dir>] [--fallback-spill-dir <dir>]
                     [--spill-retries <N>] [--deadline-ms <ms>]
                     [--max-in-flight <N>] [--fault-plan <spec>]
+                    [--listen <addr>] [--net-workers <N>] [--max-pending <M>]
                     stdin commands: emst [out.csv] | subset <lo>..<hi> |
                     knn <k> <x> <y> [<z>] | hdbscan <k_pts> <min_cluster_size> |
-                    load <points.csv> | stats | metrics [json] | trace [n] | quit"
+                    load <points.csv> | stats | metrics [json] | trace [n] | quit
+                    --listen serves the same verbs over TCP (one line per
+                    request/reply; see docs/serving-protocol.md); stdin still
+                    works and `quit`/EOF shuts the listener down gracefully"
     );
     ExitCode::FAILURE
 }
@@ -171,11 +178,22 @@ fn generate<const D: usize>(opts: &HashMap<String, String>) -> Result<(), String
 
 fn load_points<const D: usize>(opts: &HashMap<String, String>) -> Result<Vec<Point<D>>, String> {
     let input = opts.get("input").ok_or("--input is required")?;
-    let path = PathBuf::from(input);
+    load_points_from::<D>(input, None)
+}
+
+/// Loads a point file, routing the read itself through the fault plan's
+/// ingest site (serve mode passes its `--fault-plan`, so chaos drills
+/// cover dataset ingest with the same injector as spill storage).
+fn load_points_from<const D: usize>(
+    input: &str,
+    plan: Option<&FaultPlan>,
+) -> Result<Vec<Point<D>>, String> {
+    let bytes = faulted_read(plan, FaultSite::IngestRead, Path::new(input))
+        .map_err(|e| format!("{input}: {e}"))?;
     let points = if input.ends_with(".xyz") {
-        datasets::load_xyz::<D>(&path)
+        datasets::parse_xyz::<D>(&bytes, input)
     } else {
-        datasets::load_csv::<D>(&path)
+        datasets::parse_csv::<D>(&bytes, input)
     }
     .map_err(|e| format!("{input}: {e}"))?;
     if points.is_empty() {
@@ -362,6 +380,15 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
             FaultPlan::parse(spec).map_err(|e| format!("invalid --fault-plan: {e}"))?,
         )),
     };
+    let listen = opts.get("listen").cloned();
+    let net_workers: usize = parse_opt(opts, "net-workers", 4)?;
+    let max_pending: usize = parse_opt(opts, "max-pending", 64)?;
+    if net_workers == 0 {
+        return Err("--net-workers must be at least 1".into());
+    }
+    if max_pending == 0 {
+        return Err("--max-pending must be at least 1".into());
+    }
     // Probe every spill destination now: an unwritable disk must fail the
     // launch with a clear message, not the first eviction mid-serve.
     if let Some(dir) = &spill_dir {
@@ -370,7 +397,8 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
     if let Some(dir) = &fallback_spill_dir {
         validate_spill_dir("fallback-spill-dir", dir)?;
     }
-    let points = load_points::<D>(opts)?;
+    let input = opts.get("input").ok_or("--input is required")?;
+    let points = load_points_from::<D>(input, fault_plan.as_deref())?;
     let mut config = ServeConfig::new(shards, max_resident);
     config.emst = EmstConfig { traversal, ..EmstConfig::default() };
     config.spill_dir = spill_dir;
@@ -378,18 +406,82 @@ fn run_serve<const D: usize>(opts: &HashMap<String, String>) -> Result<(), Strin
     config.spill_retries = spill_retries;
     config.deadline = (deadline_ms > 0).then(|| std::time::Duration::from_millis(deadline_ms));
     config.max_in_flight = max_in_flight;
-    config.fault_plan = fault_plan;
-    let metrics = metrics_file.as_deref();
+    config.fault_plan = fault_plan.clone();
+    let session = ServeSession {
+        workers,
+        metrics: metrics_file.as_deref(),
+        plan: fault_plan.as_deref(),
+        listen: listen.as_deref(),
+        net: NetConfig { workers: net_workers, max_pending },
+    };
     match backend {
-        "serial" => serve_repl(&ServeEngine::<_, D>::new(Serial, config), points, workers, metrics),
-        "threads" => {
-            serve_repl(&ServeEngine::<_, D>::new(Threads, config), points, workers, metrics)
-        }
-        "gpusim" => {
-            serve_repl(&ServeEngine::<_, D>::new(GpuSim::new(), config), points, workers, metrics)
-        }
+        "serial" => serve_entry(Serial, config, points, &session),
+        "threads" => serve_entry(Threads, config, points, &session),
+        "gpusim" => serve_entry(GpuSim::new(), config, points, &session),
         other => Err(format!("unknown --backend {other}")),
     }
+}
+
+/// Everything `serve` needs besides the engine itself: REPL sizing, the
+/// metrics sink, the fault plan (for metrics writes and ingest reads) and
+/// the optional network front-end.
+struct ServeSession<'a> {
+    workers: usize,
+    metrics: Option<&'a Path>,
+    plan: Option<&'a FaultPlan>,
+    listen: Option<&'a str>,
+    net: NetConfig,
+}
+
+/// Starts the engine and serves: stdin REPL always, plus the TCP
+/// front-end when `--listen` is set. In listen mode the engine lives in
+/// an `Arc` shared with the server's worker threads; stdin `quit`/EOF
+/// triggers the server's graceful shutdown (in-flight requests drain).
+fn serve_entry<S: ExecSpace + Send + Sync + 'static, const D: usize>(
+    space: S,
+    config: ServeConfig,
+    points: Vec<Point<D>>,
+    session: &ServeSession<'_>,
+) -> Result<(), String> {
+    let Some(addr) = session.listen else {
+        return serve_repl(
+            &ServeEngine::<_, D>::new(space, config),
+            points,
+            session.workers,
+            session.metrics,
+            session.plan,
+        );
+    };
+    let engine = std::sync::Arc::new(ServeEngine::<S, D>::new(space, config));
+    let cloud = std::sync::Arc::new(points);
+    let key = engine.ingest(&cloud);
+    let server = ServeServer::bind(
+        std::sync::Arc::clone(&engine),
+        std::sync::Arc::clone(&cloud),
+        addr,
+        session.net,
+    )
+    .map_err(|e| format!("--listen {addr}: {e}"))?;
+    // The bound address goes to stdout so scripts driving `--listen
+    // 127.0.0.1:0` can discover the ephemeral port.
+    println!("listening {}", server.local_addr());
+    emst::obs::log::info(
+        "emst-cli",
+        "serving over TCP (stdin commands still work; `quit` to exit)",
+        &[
+            ("addr", &server.local_addr().to_string()),
+            ("points", &cloud.len().to_string()),
+            ("key", &key.to_string()),
+            ("net_workers", &session.net.workers.to_string()),
+            ("max_pending", &session.net.max_pending.to_string()),
+        ],
+    );
+    let result = serve_sequential(&engine, cloud.as_ref().clone(), session.metrics, session.plan);
+    server.shutdown();
+    if let Some(path) = session.metrics {
+        write_metrics_file(&engine, path, session.plan);
+    }
+    result
 }
 
 /// Checks that `dir` exists (creating it if needed) and takes writes, so
@@ -405,9 +497,16 @@ fn validate_spill_dir(flag: &str, dir: &Path) -> Result<(), String> {
 }
 
 /// Rewrites the `--metrics-file` exposition; failures are logged and
-/// counted, never fatal (a full disk must not take the serving loop down).
-fn write_metrics_file<S: ExecSpace, const D: usize>(engine: &ServeEngine<S, D>, path: &Path) {
-    if let Err(e) = std::fs::write(path, engine.metrics_prometheus()) {
+/// counted, never fatal (a full disk must not take the serving loop
+/// down). The write goes through the fault plan's metrics site, so chaos
+/// drills cover this path too.
+fn write_metrics_file<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
+    path: &Path,
+    plan: Option<&FaultPlan>,
+) {
+    let payload = engine.metrics_prometheus();
+    if let Err(e) = faulted_write(plan, FaultSite::MetricsWrite, path, payload.as_bytes()) {
         if let Some(registry) = engine.obs_registry() {
             registry.counter("emst_cli_metrics_file_write_failures_total").inc();
         }
@@ -424,6 +523,7 @@ fn serve_repl<S: ExecSpace, const D: usize>(
     points: Vec<Point<D>>,
     workers: usize,
     metrics_file: Option<&Path>,
+    plan: Option<&FaultPlan>,
 ) -> Result<(), String> {
     let key = engine.ingest(&points);
     emst::obs::log::info(
@@ -436,12 +536,12 @@ fn serve_repl<S: ExecSpace, const D: usize>(
         ],
     );
     let result = if workers == 1 {
-        serve_sequential(engine, points, metrics_file)
+        serve_sequential(engine, points, metrics_file, plan)
     } else {
-        serve_pool(engine, points, workers)
+        serve_pool(engine, points, workers, plan)
     };
     if let Some(path) = metrics_file {
-        write_metrics_file(engine, path);
+        write_metrics_file(engine, path, plan);
     }
     result
 }
@@ -451,11 +551,10 @@ fn serve_repl<S: ExecSpace, const D: usize>(
 fn load_cloud<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     rest: &[&str],
+    plan: Option<&FaultPlan>,
 ) -> Result<(String, Vec<Point<D>>), String> {
     let path = rest.first().ok_or("load needs a path")?;
-    let mut opts = HashMap::new();
-    opts.insert("input".to_string(), path.to_string());
-    let points = load_points::<D>(&opts)?;
+    let points = load_points_from::<D>(path, plan)?;
     let key = engine.ingest(&points);
     Ok((format!("loaded n={} key={key}", points.len()), points))
 }
@@ -466,6 +565,7 @@ fn serve_sequential<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     mut points: Vec<Point<D>>,
     metrics_file: Option<&Path>,
+    plan: Option<&FaultPlan>,
 ) -> Result<(), String> {
     use std::io::BufRead;
     let stdin = std::io::stdin();
@@ -479,7 +579,7 @@ fn serve_sequential<S: ExecSpace, const D: usize>(
         };
         let rest: Vec<&str> = tok.collect();
         let response = if cmd == "load" {
-            load_cloud(engine, &rest).map(|(response, new_points)| {
+            load_cloud(engine, &rest, plan).map(|(response, new_points)| {
                 points = new_points;
                 response
             })
@@ -491,7 +591,7 @@ fn serve_sequential<S: ExecSpace, const D: usize>(
             Err(e) => println!("error: {e}"),
         }
         if let Some(path) = metrics_file {
-            write_metrics_file(engine, path);
+            write_metrics_file(engine, path, plan);
         }
     }
     Ok(())
@@ -507,6 +607,7 @@ fn serve_pool<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     points: Vec<Point<D>>,
     workers: usize,
+    plan: Option<&FaultPlan>,
 ) -> Result<(), String> {
     use std::collections::VecDeque;
     use std::io::BufRead;
@@ -595,7 +696,7 @@ fn serve_pool<S: ExecSpace, const D: usize>(
             if cmd == "load" {
                 pool.drain();
                 let rest: Vec<&str> = tok.collect();
-                match load_cloud(engine, &rest) {
+                match load_cloud(engine, &rest, plan) {
                     Ok((r, new_points)) => {
                         *cloud.write().unwrap() = Arc::new(new_points);
                         println!("[{id}] {r}");

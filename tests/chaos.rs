@@ -226,3 +226,188 @@ fn pressure_and_deadlines_shed_honestly() {
         Ok(resp) => assert_eq!(resp.edges, reference),
     }
 }
+
+/// Network chaos: the same contract holds over the wire. Storage faults
+/// on spill write/read and ingest EIO/stalls, plus clients that write
+/// byte-by-byte or vanish mid-response — every reply line is either
+/// byte-identical to the fault-free in-process oracle (modulo the
+/// legitimate `cache=` outcome) or one honest `err …` line, and the
+/// server is never wedged for the clients that stay.
+#[test]
+fn network_chaos_keeps_replies_exact_or_honest() {
+    use emst::serve::net::respond;
+    use emst::serve::{NetConfig, NetSession, ServeServer};
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::TcpStream;
+
+    let seed = chaos_seed().wrapping_add(2);
+    let dir = std::env::temp_dir().join(format!("emst_net_chaos_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let clouds: Vec<Vec<Point<2>>> = (0..3u64).map(|s| cloud(300, 400 + s)).collect();
+    // `save_csv` round-trips bits exactly, so the CSV a client `load`s is
+    // the same cloud the oracle answers for.
+    let paths: Vec<String> = clouds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let p = dir.join(format!("cloud{i}.csv"));
+            emst::datasets::save_csv(&p, c).unwrap();
+            p.display().to_string()
+        })
+        .collect();
+
+    // Fault-free oracle replies per cloud: the `load` line plus every
+    // query, with the `cache=` token stripped (a reply may legitimately
+    // be a hit on one engine and a miss/reload on the other).
+    let queries = ["emst", "subset 20..200", "knn 5 0.25 -0.1", "hdbscan 4 8"];
+    let strip_cache = |reply: &str| -> String {
+        reply.split_whitespace().filter(|t| !t.starts_with("cache=")).collect::<Vec<_>>().join(" ")
+    };
+    let clean = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 3));
+    let reference: Vec<Vec<String>> = paths
+        .iter()
+        .map(|p| {
+            let mut s = NetSession::new(Arc::new(clouds[0].clone()));
+            let mut replies = vec![respond(&clean, &mut s, &format!("load {p}")).text];
+            replies.extend(queries.iter().map(|q| respond(&clean, &mut s, q).text));
+            replies.iter().map(|r| strip_cache(r.trim_end())).collect()
+        })
+        .collect();
+
+    // The chaos server: 3 clouds over 2 residency slots (spill churn) with
+    // faults on spill storage and on ingest reads. No ingest BitFlip: a
+    // flipped CSV digit would be a *different valid cloud*, which the
+    // digest in the `load` reply exposes but this exact-bytes harness
+    // does not model.
+    let plan = Arc::new(
+        FaultPlan::new(seed)
+            .with_rule(FaultSite::Write, FaultKind::Eio, 0.12)
+            .with_rule(FaultSite::Write, FaultKind::ShortWrite, 0.10)
+            .with_rule(FaultSite::Read, FaultKind::BitFlip, 0.15)
+            .with_rule(FaultSite::IngestRead, FaultKind::Eio, 0.25)
+            .with_rule(FaultSite::IngestRead, FaultKind::Stall(1), 0.10),
+    );
+    let mut cfg = ServeConfig::new(4, 2);
+    cfg.fault_plan = Some(Arc::clone(&plan));
+    cfg.spill_retries = 1;
+    let engine = Arc::new(ServeEngine::<_, 2>::new(Serial, cfg));
+    let initial = Arc::new(clouds[0].clone());
+    engine.ingest(&initial);
+    let server = ServeServer::bind(
+        Arc::clone(&engine),
+        Arc::clone(&initial),
+        "127.0.0.1:0",
+        NetConfig { workers: 6, max_pending: 32 },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let connect = || {
+        let s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(std::time::Duration::from_secs(30))).unwrap();
+        s
+    };
+    // Writes a line either in one shot or byte-by-byte (a slow client).
+    let send = |stream: &mut TcpStream, line: &str, slow: bool| {
+        let bytes = format!("{line}\n");
+        if slow {
+            for b in bytes.as_bytes() {
+                stream.write_all(std::slice::from_ref(b)).unwrap();
+            }
+        } else {
+            stream.write_all(bytes.as_bytes()).unwrap();
+        }
+    };
+
+    let answered = AtomicU64::new(0);
+    let honest_errs = AtomicU64::new(0);
+    let (threads, rounds) = (6usize, 6usize);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (paths, reference, engine) = (&paths, &reference, &engine);
+            let (answered, honest_errs, connect, send) = (&answered, &honest_errs, &connect, &send);
+            s.spawn(move || {
+                // Deterministic per-thread LCG driving slow/drop behavior.
+                let mut rng = seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(t as u64 + 1));
+                let mut next = move || {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    rng >> 33
+                };
+                let mut conn = BufReader::new(connect());
+                let mut current = 0usize; // sessions start on clouds[0]
+                let read_reply = |conn: &mut BufReader<TcpStream>| -> String {
+                    let mut line = String::new();
+                    conn.read_line(&mut line).unwrap();
+                    assert!(!line.is_empty(), "t{t}: server closed unexpectedly");
+                    line.trim_end().to_string()
+                };
+                for r in 0..rounds {
+                    let ci = (t + r) % paths.len();
+                    send(conn.get_mut(), &format!("load {}", paths[ci]), next() % 4 == 0);
+                    let reply = read_reply(&mut conn);
+                    if strip_cache(&reply) == reference[ci][0] {
+                        current = ci;
+                        answered.fetch_add(1, Relaxed);
+                    } else {
+                        assert!(
+                            reply.starts_with("err ") && !reply.contains("internal error"),
+                            "t{t} r{r}: load answered wrong bits: {reply:?}"
+                        );
+                        honest_errs.fetch_add(1, Relaxed);
+                    }
+                    for qi in 0..2 {
+                        let q = queries[(t + r + qi) % queries.len()];
+                        if next() % 5 == 0 {
+                            // Vanish mid-response: ask, drop without
+                            // reading, reconnect. The fresh session is
+                            // back on the initial cloud.
+                            send(conn.get_mut(), q, false);
+                            conn = BufReader::new(connect());
+                            current = 0;
+                            continue;
+                        }
+                        send(conn.get_mut(), q, next() % 4 == 0);
+                        let reply = read_reply(&mut conn);
+                        if strip_cache(&reply)
+                            == reference[current][1 + (t + r + qi) % queries.len()]
+                        {
+                            answered.fetch_add(1, Relaxed);
+                        } else {
+                            assert!(
+                                reply.starts_with("err ") && !reply.contains("internal error"),
+                                "t{t} r{r}: query {q:?} answered wrong bits: {reply:?}"
+                            );
+                            honest_errs.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+                let _ = engine; // keep the borrow shape uniform
+            });
+        }
+    });
+
+    assert!(plan.injected() > 0, "the chaos plan never fired — the test is vacuous");
+    assert!(answered.load(Relaxed) > 0, "some requests must answer exactly");
+    // The server is not wedged: a fresh client still gets exact bytes for
+    // every cloud, with faults still active (retrying past injected EIOs).
+    let mut conn = BufReader::new(connect());
+    for (ci, p) in paths.iter().enumerate() {
+        for attempt in 0..20 {
+            send(conn.get_mut(), &format!("load {p}"), false);
+            let mut reply = String::new();
+            conn.read_line(&mut reply).unwrap();
+            if strip_cache(reply.trim_end()) == reference[ci][0] {
+                break;
+            }
+            assert!(reply.starts_with("err "), "cloud {ci}: {reply:?}");
+            assert!(attempt < 19, "cloud {ci}: ingest never succeeded post-chaos");
+        }
+        send(conn.get_mut(), "emst", false);
+        let mut reply = String::new();
+        conn.read_line(&mut reply).unwrap();
+        assert_eq!(strip_cache(reply.trim_end()), reference[ci][1], "post-chaos cloud {ci}");
+    }
+    send(conn.get_mut(), "quit", false);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
