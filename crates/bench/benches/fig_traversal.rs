@@ -65,6 +65,7 @@ fn main() {
                 observability: vec![],
                 fault_tolerance: vec![],
                 serving_network: vec![],
+                incremental: vec![],
             };
             snap.write(std::path::Path::new(&path)).expect("write JSON");
             eprintln!("wrote {path}");

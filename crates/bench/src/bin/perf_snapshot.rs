@@ -11,6 +11,7 @@
 //!               [--serving-sizes 10000,100000] [--serving-shards 2,4]
 //!               [--concurrent-workers 1,2,4] [--concurrent-queries 8]
 //!               [--net-clients 8] [--net-requests 32]
+//!               [--incremental-shards 16]
 //! ```
 //!
 //! Without `--json` the tables are printed only. CI runs this at tiny
@@ -27,14 +28,23 @@
 //! of an evicted cloud, faults disabled), and the network serving grid
 //! (warm wire latency vs in-process, plus a `--net-clients`-wide same-key
 //! coalescing storm; every wire reply is byte-verified).
+//!
+//! The incremental-update grid (1% clustered insert delta-solved against
+//! a resident engine vs a cold rebuild of the same mutated cloud, weight
+//! multisets asserted bit-identical) reuses `--serving-sizes` and
+//! `--repeats` but takes its own `--incremental-shards` count: the
+//! update's advantage scales with the fraction of shards left clean
+//! (the exact cross-shard merge is paid by both paths and dominates the
+//! update, so coarse shardings cap the speedup), so it is measured at a
+//! finer sharding than the cold/warm grid's sweep.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use emst_bench::snapshot::{
-    measure_fault_tolerance, measure_observability, measure_serving_concurrent,
-    measure_serving_grid, measure_serving_network, measure_summary, measure_traversal_grid,
-    Snapshot,
+    measure_fault_tolerance, measure_incremental, measure_observability,
+    measure_serving_concurrent, measure_serving_grid, measure_serving_network, measure_summary,
+    measure_traversal_grid, Snapshot,
 };
 
 struct Args {
@@ -46,6 +56,7 @@ struct Args {
     concurrent_queries: usize,
     net_clients: usize,
     net_requests: usize,
+    incremental_shards: usize,
     summary_n: usize,
     repeats: usize,
 }
@@ -60,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         concurrent_queries: 8,
         net_clients: 8,
         net_requests: 32,
+        incremental_shards: 16,
         summary_n: 50_000,
         repeats: 3,
     };
@@ -103,6 +115,10 @@ fn parse_args() -> Result<Args, String> {
                 args.net_requests =
                     value()?.parse().map_err(|_| "bad --net-requests".to_string())?;
             }
+            "--incremental-shards" => {
+                args.incremental_shards =
+                    value()?.parse().map_err(|_| "bad --incremental-shards".to_string())?;
+            }
             "--summary-n" => {
                 args.summary_n = value()?.parse().map_err(|_| "bad --summary-n".to_string())?;
             }
@@ -127,6 +143,9 @@ fn parse_args() -> Result<Args, String> {
     if args.net_clients == 0 || args.net_requests == 0 {
         return Err("--net-clients and --net-requests must be positive".into());
     }
+    if args.incremental_shards == 0 {
+        return Err("--incremental-shards must be positive".into());
+    }
     Ok(args)
 }
 
@@ -139,7 +158,7 @@ fn main() -> ExitCode {
                 "usage: perf_snapshot [--json out.json] [--sizes n1,n2,...] [--summary-n n] \
                  [--repeats r] [--serving-sizes n1,n2,...] [--serving-shards k] \
                  [--concurrent-workers w1,w2,...] [--concurrent-queries q] \
-                 [--net-clients c] [--net-requests q]"
+                 [--net-clients c] [--net-requests q] [--incremental-shards k]"
             );
             return ExitCode::FAILURE;
         }
@@ -333,6 +352,44 @@ fn main() -> ExitCode {
         );
     }
 
+    println!();
+    println!(
+        "# incremental updates (1% clustered insert delta-solve vs cold rebuild, K = {})",
+        args.incremental_shards
+    );
+    println!(
+        "{:<12} {:>10} {:>4} {:>8} {:>6} {:>12} {:>12} {:>9}",
+        "generator", "n", "K", "mutated", "dirty", "update", "rebuild", "speedup"
+    );
+    let mut incremental = vec![];
+    {
+        use emst_datasets::Kind;
+        for (name, kind) in [("uniform", Kind::Uniform), ("dense", Kind::GeoLifeLike)] {
+            for &n in &args.serving_sizes {
+                incremental.push(measure_incremental(
+                    name,
+                    kind,
+                    n,
+                    args.incremental_shards,
+                    args.repeats,
+                ));
+            }
+        }
+    }
+    for cell in &incremental {
+        println!(
+            "{:<12} {:>10} {:>4} {:>8} {:>6} {:>10.4} s {:>10.4} s {:>8.2}x",
+            cell.generator,
+            cell.n,
+            cell.shards,
+            cell.mutated,
+            cell.dirty_shards,
+            cell.update_s,
+            cell.rebuild_s,
+            cell.speedup_update(),
+        );
+    }
+
     let snap = Snapshot {
         repeats: args.repeats,
         summary,
@@ -342,6 +399,7 @@ fn main() -> ExitCode {
         observability,
         fault_tolerance,
         serving_network,
+        incremental,
     };
     if let Some(path) = &args.json {
         if let Err(e) = snap.write(path) {

@@ -33,6 +33,36 @@
 //! - [`ServeEngine::hdbscan`] reuses a warm scratch pool via
 //!   [`emst_hdbscan::Hdbscan::fit_scratch`].
 //!
+//! # The execution API
+//!
+//! Every verb — the four queries, cloud loading, stats, and the mutation
+//! pair — is one [`ServeRequest`] executed by [`ServeEngine::execute`],
+//! which applies the guard surface (admission control, per-query
+//! deadline, panic isolation) uniformly. The named methods ([`emst`],
+//! [`try_emst`], [`emst_by_key`], …) are thin wrappers that build the
+//! request and unwrap the matching [`ServeResponse`] arm; the serve
+//! REPL and the wire protocol ([`net::respond`]) dispatch through the
+//! same `execute`, so in-process, REPL and network traffic are provably
+//! one code path.
+//!
+//! [`emst`]: ServeEngine::emst
+//! [`try_emst`]: ServeEngine::try_emst
+//! [`emst_by_key`]: ServeEngine::emst_by_key
+//!
+//! # Incremental updates
+//!
+//! [`ServeRequest::Insert`] / [`ServeRequest::Delete`] mutate a resident
+//! cloud *incrementally*: each changed point routes to its Morton shard
+//! under the parent's plan, only the dirty shards re-solve
+//! ([`emst_shard::ShardArtifacts::apply_update`]), clean shards keep
+//! their BVHs, local MSTs and harvested accel floors (the bounds are
+//! label-independent geometry, so surviving rows transfer verbatim), and
+//! the exact cross-shard merge re-runs. The mutated cloud is a **new**
+//! [`CloudKey`] (content digest changes) admitted alongside the parent,
+//! so cache/spill/fault semantics are unchanged — the parent stays
+//! servable and the edge-weight multiset of the child is bit-identical
+//! to a from-scratch solve.
+//!
 //! # Concurrency
 //!
 //! Every query method takes `&self`: the engine is [`Sync`] and N threads
@@ -106,7 +136,7 @@ use emst_exec::{ExecSpace, PhaseTimings};
 use emst_geometry::{Point, Scalar};
 use emst_hdbscan::{Hdbscan, HdbscanResult};
 use emst_obs::{Counter, Gauge, Histogram, QueryTrace, Registry, SpanRecord, TraceRing};
-use emst_shard::{MergeAccel, MergeScratch, ShardArtifacts, ShardConfig};
+use emst_shard::{MergeAccel, MergeScratch, ShardArtifacts, ShardConfig, UpdateReport};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 pub use fault::{FaultKind, FaultPlan, FaultSite};
@@ -266,6 +296,12 @@ pub struct ServeStats {
     /// bytes (see [`net`]). Distinct from [`ServeStats::coalesced`], which
     /// counts single-flight *build* coalescing inside the engine.
     pub query_coalesced: u64,
+    /// Incremental point insertions that derived and admitted (or hit) a
+    /// child cloud ([`ServeRequest::Insert`]).
+    pub inserts: u64,
+    /// Incremental point deletions that derived and admitted (or hit) a
+    /// child cloud ([`ServeRequest::Delete`]).
+    pub deletes: u64,
 }
 
 impl ServeStats {
@@ -275,7 +311,7 @@ impl ServeStats {
     /// field to [`ServeStats`] without extending this list is a compile
     /// error, so consumers that iterate the names — the CLI `stats`
     /// command, the metrics exporters — can never silently miss one.
-    pub fn named_fields(&self) -> [(&'static str, u64); 16] {
+    pub fn named_fields(&self) -> [(&'static str, u64); 18] {
         let ServeStats {
             hits,
             misses,
@@ -293,6 +329,8 @@ impl ServeStats {
             shed,
             query_panics,
             query_coalesced,
+            inserts,
+            deletes,
         } = *self;
         [
             ("hits", hits),
@@ -311,6 +349,8 @@ impl ServeStats {
             ("shed", shed),
             ("query_panics", query_panics),
             ("query_coalesced", query_coalesced),
+            ("inserts", inserts),
+            ("deletes", deletes),
         ]
     }
 }
@@ -336,6 +376,10 @@ pub enum ServeError {
     /// returned to the pool, no engine state poisoned) and its payload is
     /// carried here instead of unwinding the caller.
     QueryPanic(String),
+    /// The request itself is malformed — an out-of-range or duplicate
+    /// delete id, a mutation that would leave fewer than two points.
+    /// Rejected before any engine state changes.
+    InvalidRequest(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -349,6 +393,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Overloaded => write!(f, "shed by admission control: too many in-flight"),
             ServeError::QueryPanic(msg) => write!(f, "query panicked: {msg}"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
         }
     }
 }
@@ -404,6 +449,157 @@ pub struct HdbscanResponse {
     pub outcome: CacheOutcome,
     /// The queried cloud's key.
     pub key: CloudKey,
+}
+
+/// How a request names its cloud: by sending the points (resolved by
+/// content digest, ingesting on a miss) or by a [`CloudKey`] handle from
+/// an earlier response (reloading from spill on demand).
+#[derive(Clone, Copy, Debug)]
+pub enum CloudRef<'a, const D: usize> {
+    /// The full point cloud; digested and admitted if not yet resident.
+    Points(&'a [Point<D>]),
+    /// A previously minted key; errors with [`ServeError::UnknownKey`]
+    /// when neither resident nor spilled.
+    Key(CloudKey),
+}
+
+/// One typed serving request — the single argument of
+/// [`ServeEngine::execute`], covering every verb the engine speaks.
+/// The named convenience methods and both transports (REPL, wire) build
+/// exactly these values, so behavior can never diverge per entry point.
+#[derive(Debug)]
+pub enum ServeRequest<'a, const D: usize> {
+    /// Full EMST of the cloud (warm path: merge only).
+    Emst {
+        /// The cloud to solve.
+        cloud: CloudRef<'a, D>,
+    },
+    /// Exact EMST of a subset of the cloud's points (distinct original
+    /// indices), re-merging only the touched shards.
+    Subset {
+        /// The cloud to solve within.
+        cloud: CloudRef<'a, D>,
+        /// Distinct original point indices of the subset.
+        subset: &'a [u32],
+    },
+    /// The `k` nearest ingested points to `query`.
+    KNearest {
+        /// The cloud to search.
+        cloud: CloudRef<'a, D>,
+        /// The query position.
+        query: Point<D>,
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// HDBSCAN* clustering of the cloud.
+    Hdbscan {
+        /// The cloud to cluster.
+        cloud: CloudRef<'a, D>,
+        /// Clustering parameters.
+        params: Hdbscan,
+    },
+    /// Incremental insertion: append `points` to the cloud, delta-solve
+    /// only the Morton shards they land in, and admit the result as a new
+    /// cloud (the parent stays resident and servable).
+    Insert {
+        /// The parent cloud to extend.
+        cloud: CloudRef<'a, D>,
+        /// Points to append (their indices continue the parent's).
+        points: &'a [Point<D>],
+    },
+    /// Incremental deletion: remove the points at `ids` (parent-cloud
+    /// indices; survivors are compacted in order), delta-solve only the
+    /// shards that lost points, and admit the result as a new cloud.
+    Delete {
+        /// The parent cloud to shrink.
+        cloud: CloudRef<'a, D>,
+        /// Distinct in-range parent point indices to remove.
+        ids: &'a [u32],
+    },
+    /// Ingest a cloud (build + admit artifacts) without running a query.
+    Load {
+        /// The cloud to admit.
+        points: &'a [Point<D>],
+    },
+    /// Lifetime cache statistics and residency accounting.
+    Stats,
+}
+
+/// One typed serving response — each [`ServeRequest`] verb returns its
+/// matching arm.
+#[derive(Debug)]
+pub enum ServeResponse<const D: usize> {
+    /// Answer of [`ServeRequest::Emst`].
+    Emst(QueryResponse),
+    /// Answer of [`ServeRequest::Subset`].
+    Subset(QueryResponse),
+    /// Answer of [`ServeRequest::KNearest`].
+    KNearest(KnnResponse),
+    /// Answer of [`ServeRequest::Hdbscan`].
+    Hdbscan(HdbscanResponse),
+    /// Answer of [`ServeRequest::Insert`] / [`ServeRequest::Delete`].
+    Mutated(MutateResponse<D>),
+    /// Answer of [`ServeRequest::Load`].
+    Loaded {
+        /// The admitted cloud's key.
+        key: CloudKey,
+    },
+    /// Answer of [`ServeRequest::Stats`].
+    Stats(StatsResponse),
+}
+
+/// Response of an incremental mutation: the child cloud's identity, the
+/// post-mutation point set, how much of the parent's work was reused,
+/// and a full EMST answer over the child (which also warms its accel and
+/// gives callers a check digest in one round trip).
+#[derive(Clone, Debug)]
+pub struct MutateResponse<const D: usize> {
+    /// Key of the mutated (child) cloud — use it for follow-up queries.
+    pub key: CloudKey,
+    /// The child cloud's points (parent order, survivors compacted,
+    /// inserts appended) — what a session should now consider "the"
+    /// cloud.
+    pub points: Vec<Point<D>>,
+    /// Point count of the child cloud.
+    pub n: usize,
+    /// Plan-shard indices whose local solve re-ran. Empty when the child
+    /// was already resident (a repeated identical mutation hits).
+    pub dirty_shards: Vec<usize>,
+    /// Non-empty shards whose BVH + local MST transferred verbatim.
+    pub reused_shards: usize,
+    /// The mutation changed the set of non-empty shards and fell back to
+    /// a full (still deterministic) rebuild.
+    pub full_rebuild: bool,
+    /// Full EMST of the child cloud, merge-exact (edge-weight multiset
+    /// bit-identical to a from-scratch solve of the same points).
+    pub update: QueryResponse,
+}
+
+/// Response of [`ServeRequest::Stats`].
+#[derive(Clone, Debug)]
+pub struct StatsResponse {
+    /// Number of currently resident clouds.
+    pub resident: usize,
+    /// Total heap bytes of resident artifacts + accelerators.
+    pub resident_bytes: usize,
+    /// Lifetime cache statistics.
+    pub stats: ServeStats,
+}
+
+/// Internal shape of the two mutation verbs once argument validation has
+/// produced the child point set.
+enum Mutation<'a, const D: usize> {
+    Insert(&'a [Point<D>]),
+    Delete(&'a [u32]),
+}
+
+impl<const D: usize> Mutation<'_, D> {
+    fn verb(&self) -> &'static str {
+        match self {
+            Mutation::Insert(_) => "insert",
+            Mutation::Delete(_) => "delete",
+        }
+    }
 }
 
 /// One resident cloud. `key`, `points` and `artifacts` are immutable for
@@ -523,6 +719,8 @@ struct StatCells {
     shed: AtomicU64,
     query_panics: AtomicU64,
     query_coalesced: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
 }
 
 impl StatCells {
@@ -544,6 +742,8 @@ impl StatCells {
             shed: self.shed.load(Relaxed),
             query_panics: self.query_panics.load(Relaxed),
             query_coalesced: self.query_coalesced.load(Relaxed),
+            inserts: self.inserts.load(Relaxed),
+            deletes: self.deletes.load(Relaxed),
         }
     }
 }
@@ -564,6 +764,8 @@ struct ServeObs {
     op_subset: Arc<Histogram>,
     op_knn: Arc<Histogram>,
     op_hdbscan: Arc<Histogram>,
+    op_insert: Arc<Histogram>,
+    op_delete: Arc<Histogram>,
     op_ingest: Arc<Histogram>,
     /// Cache events, `emst_serve_cache_events_total{event="…"}` —
     /// mirrors [`StatCells`] so the exposition needs no snapshot calls.
@@ -583,6 +785,8 @@ struct ServeObs {
     shed: Arc<Counter>,
     query_panics: Arc<Counter>,
     query_coalesced: Arc<Counter>,
+    inserts: Arc<Counter>,
+    deletes: Arc<Counter>,
     /// Algorithmic work per [`CounterSnapshot`] field,
     /// `emst_serve_work_total{counter="…"}`, in `named_fields` order.
     work: [Arc<Counter>; 9],
@@ -623,6 +827,8 @@ impl ServeObs {
             op_subset: op("subset"),
             op_knn: op("knn"),
             op_hdbscan: op("hdbscan"),
+            op_insert: op("insert"),
+            op_delete: op("delete"),
             op_ingest: op("ingest"),
             hits: event("hit"),
             misses: event("miss"),
@@ -640,6 +846,8 @@ impl ServeObs {
             shed: event("shed"),
             query_panics: event("query_panic"),
             query_coalesced: event("query_coalesced"),
+            inserts: event("insert"),
+            deletes: event("delete"),
             work,
             scratch_checkouts: registry.counter("emst_serve_scratch_checkouts_total"),
             scratch_pool_size: registry.gauge("emst_serve_scratch_pool_size"),
@@ -664,6 +872,8 @@ impl ServeObs {
             "subset" => &self.op_subset,
             "knn" => &self.op_knn,
             "hdbscan" => &self.op_hdbscan,
+            "insert" => &self.op_insert,
+            "delete" => &self.op_delete,
             _ => &self.op_ingest,
         }
     }
@@ -1427,30 +1637,6 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         }
     }
 
-    /// Ingests `points` (builds and admits artifacts) without running a
-    /// query, returning the key future queries can use. Re-ingesting a
-    /// resident cloud is a no-op hit.
-    pub fn ingest(&self, points: &[Point<D>]) -> CloudKey {
-        let started = self.obs_now();
-        let mut spans = Vec::new();
-        let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
-        self.record_work(&build_work);
-        self.finish_trace("ingest", r.key, outcome, started, spans);
-        r.key
-    }
-
-    fn answer_emst(
-        &self,
-        r: &Resident<D>,
-        outcome: CacheOutcome,
-        build_work: CounterSnapshot,
-        build_timings: PhaseTimings,
-        spans: &mut Vec<SpanRecord>,
-    ) -> QueryResponse {
-        self.answer_emst_deadline(r, outcome, build_work, build_timings, spans, None)
-            .expect("no deadline was set")
-    }
-
     fn answer_emst_deadline(
         &self,
         r: &Resident<D>,
@@ -1536,61 +1722,6 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         })
     }
 
-    /// Full EMST of `points`. Warm path (the cloud is resident): merge
-    /// only — no plan, no local solves, no tree builds; the edges are
-    /// bit-identical to the cold solve because both are the same
-    /// deterministic merge over the same artifacts.
-    pub fn emst(&self, points: &[Point<D>]) -> QueryResponse {
-        let started = self.obs_now();
-        let mut spans = Vec::new();
-        let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
-        let resp = self.answer_emst(&r, outcome, build_work, build_timings, &mut spans);
-        self.record_work(&(resp.build_work + resp.query_work));
-        self.finish_trace("emst", resp.key, outcome, started, spans);
-        resp
-    }
-
-    /// [`Self::emst`] by key: serves a previously ingested cloud without
-    /// resending its points, transparently reloading from the spill file
-    /// if the cloud was evicted. Guarded: runs under admission control,
-    /// the configured deadline, and panic isolation (see [`ServeError`]).
-    pub fn emst_by_key(&self, key: CloudKey) -> Result<QueryResponse, ServeError> {
-        self.run_guarded(|deadline| {
-            let started = self.obs_now();
-            let mut spans = Vec::new();
-            let (r, outcome, build_work, build_timings) = self.resolve_key(key, &mut spans)?;
-            let resp = self.answer_emst_deadline(
-                &r,
-                outcome,
-                build_work,
-                build_timings,
-                &mut spans,
-                deadline,
-            )?;
-            self.record_work(&(resp.build_work + resp.query_work));
-            self.finish_trace("emst", resp.key, outcome, started, spans);
-            Ok(resp)
-        })
-    }
-
-    /// Exact EMST of a subset of `points` (distinct original indices),
-    /// re-merging only the touched shards; fully-covered shards reuse
-    /// their resident BVH + local MST (see
-    /// [`emst_shard::ShardArtifacts::merge_subset`]).
-    ///
-    /// # Panics
-    /// On out-of-range or duplicate subset indices.
-    pub fn emst_subset(&self, points: &[Point<D>], subset: &[u32]) -> QueryResponse {
-        let started = self.obs_now();
-        let mut spans = Vec::new();
-        let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
-        self.answer_subset(&r, subset, outcome, build_work, build_timings, &mut spans, None)
-            .inspect(|resp| {
-                self.finish_trace("subset", resp.key, outcome, started, spans);
-            })
-            .expect("no deadline was set")
-    }
-
     #[allow(clippy::too_many_arguments)] // internal answer path; the args are one resolve result
     fn answer_subset(
         &self,
@@ -1643,62 +1774,372 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         Ok(resp)
     }
 
-    /// The `k` nearest ingested points to `query`, answered from the
-    /// resident per-shard BVHs.
-    pub fn k_nearest(&self, points: &[Point<D>], query: &Point<D>, k: usize) -> KnnResponse {
-        let started = self.obs_now();
-        let mut spans = Vec::new();
-        let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
-        let mut stats = TraversalStats::default();
-        let neighbors = r.artifacts.k_nearest(query, k, &mut stats);
-        let resp = KnnResponse {
-            neighbors,
-            outcome,
-            key: r.key,
-            build_work,
-            query_work: CounterSnapshot {
-                distance_computations: stats.distances,
-                node_visits: stats.nodes,
-                rope_hops: stats.rope_hops,
-                leaf_visits: stats.leaves,
-                subtrees_skipped: stats.skipped,
-                queries: 1,
-                ..CounterSnapshot::default()
-            },
-        };
-        self.record_work(&(resp.build_work + resp.query_work));
-        self.finish_trace("knn", resp.key, outcome, started, spans);
-        resp
-    }
-
-    /// HDBSCAN* clustering of `points`, drawing the EMST pass's working
-    /// arrays from a warm [`BoruvkaScratch`] ([`Hdbscan::fit_scratch`]) —
-    /// repeated clusterings (parameter sweeps) stop paying per-call
-    /// allocation, and the cloud stays resident for EMST/k-NN traffic.
-    pub fn hdbscan(&self, points: &[Point<D>], params: Hdbscan) -> HdbscanResponse {
-        let started = self.obs_now();
-        let mut spans = Vec::new();
-        let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
-        let mut scratch = self.checkout();
-        let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
-        self.record_work(&build_work);
-        self.finish_trace("hdbscan", r.key, outcome, started, spans);
-        HdbscanResponse { result, outcome, key: r.key }
-    }
-
     // ------------------------------------------------------------------
-    // Guarded (fault-tolerant) query paths
+    // The execution API
     //
-    // Every `try_*` / `*_by_key` method runs under [`Self::run_guarded`]:
-    // admission control ([`ServeConfig::max_in_flight`] → `Overloaded`),
-    // the per-query deadline ([`ServeConfig::deadline`] →
-    // `DeadlineExceeded`, checked at merge-round boundaries), and panic
-    // isolation (a panicking query returns `QueryPanic`; RAII guards
-    // return scratch to the pool and release single-flight leases on the
-    // unwind path, so the engine stays fully servable). The infallible
-    // positional methods above are unchanged — they are the happy path
-    // the benchmark holds to its PR 7 numbers.
+    // `execute` is the one entry point every fallible verb flows
+    // through — the `try_*`/`*_by_key` wrappers, `insert`/`delete`, the
+    // serve REPL, and the wire protocol all build a `ServeRequest` and
+    // call it. (The legacy infallible positional wrappers run the same
+    // `dispatch_guarded` table with the guards off — see the wrapper
+    // block.) `Load`/`Stats` run unguarded (`Stats`
+    // is a lock-free snapshot; `Load` is the explicit admission path —
+    // shedding or deadline-aborting an ingest is an operator capacity
+    // decision, not a per-query guard). Every other verb runs under
+    // [`Self::run_guarded`]: admission control
+    // ([`ServeConfig::max_in_flight`] → `Overloaded`), the per-query
+    // deadline ([`ServeConfig::deadline`] → `DeadlineExceeded`, checked
+    // at merge-round boundaries and before each dirty-shard re-solve),
+    // and panic isolation (a panicking query returns `QueryPanic`; RAII
+    // guards return scratch to the pool and release single-flight leases
+    // on the unwind path, so the engine stays fully servable).
     // ------------------------------------------------------------------
+
+    /// Executes one typed [`ServeRequest`] — the single code path behind
+    /// every named method, the serve REPL, and [`net::respond`].
+    ///
+    /// Query and mutation verbs run under the uniform guard surface
+    /// (admission control, deadline, panic isolation — see
+    /// [`ServeError`]); [`ServeRequest::Load`] and [`ServeRequest::Stats`]
+    /// execute unguarded. Each verb returns its matching
+    /// [`ServeResponse`] arm.
+    pub fn execute(&self, req: ServeRequest<'_, D>) -> Result<ServeResponse<D>, ServeError> {
+        match req {
+            ServeRequest::Load { points } => {
+                let started = self.obs_now();
+                let mut spans = Vec::new();
+                let (r, outcome, build_work, _) = self.resolve(points, &mut spans);
+                self.record_work(&build_work);
+                self.finish_trace("ingest", r.key, outcome, started, spans);
+                Ok(ServeResponse::Loaded { key: r.key })
+            }
+            ServeRequest::Stats => Ok(ServeResponse::Stats(StatsResponse {
+                resident: self.num_resident(),
+                resident_bytes: self.resident_bytes(),
+                stats: self.stats(),
+            })),
+            req => self.run_guarded(|deadline| self.dispatch_guarded(req, deadline)),
+        }
+    }
+
+    /// The query/mutation dispatch table shared by the guarded
+    /// [`Self::execute`] path (which mints the deadline and holds the
+    /// admission slot) and the legacy unguarded positional wrappers
+    /// (which pass `deadline: None` and skip the gate — an infallible
+    /// signature cannot report an honest shed).
+    fn dispatch_guarded(
+        &self,
+        req: ServeRequest<'_, D>,
+        deadline: Option<Instant>,
+    ) -> Result<ServeResponse<D>, ServeError> {
+        match req {
+            ServeRequest::Emst { cloud } => {
+                let started = self.obs_now();
+                let mut spans = Vec::new();
+                let (r, outcome, build_work, build_timings) =
+                    self.resolve_cloud(cloud, &mut spans)?;
+                let resp = self.answer_emst_deadline(
+                    &r,
+                    outcome,
+                    build_work,
+                    build_timings,
+                    &mut spans,
+                    deadline,
+                )?;
+                self.record_work(&(resp.build_work + resp.query_work));
+                self.finish_trace("emst", resp.key, outcome, started, spans);
+                Ok(ServeResponse::Emst(resp))
+            }
+            ServeRequest::Subset { cloud, subset } => {
+                let started = self.obs_now();
+                let mut spans = Vec::new();
+                let (r, outcome, build_work, build_timings) =
+                    self.resolve_cloud(cloud, &mut spans)?;
+                let resp = self.answer_subset(
+                    &r,
+                    subset,
+                    outcome,
+                    build_work,
+                    build_timings,
+                    &mut spans,
+                    deadline,
+                )?;
+                self.finish_trace("subset", resp.key, outcome, started, spans);
+                Ok(ServeResponse::Subset(resp))
+            }
+            // k-NN has no merge rounds and HDBSCAN*'s fit is one
+            // uninterruptible pass: for both, the deadline only gates
+            // admission-to-start.
+            ServeRequest::KNearest { cloud, query, k } => {
+                let started = self.obs_now();
+                let mut spans = Vec::new();
+                let (r, outcome, build_work, _) = self.resolve_cloud(cloud, &mut spans)?;
+                let mut stats = TraversalStats::default();
+                let neighbors = r.artifacts.k_nearest(&query, k, &mut stats);
+                let resp = KnnResponse {
+                    neighbors,
+                    outcome,
+                    key: r.key,
+                    build_work,
+                    query_work: CounterSnapshot {
+                        distance_computations: stats.distances,
+                        node_visits: stats.nodes,
+                        rope_hops: stats.rope_hops,
+                        leaf_visits: stats.leaves,
+                        subtrees_skipped: stats.skipped,
+                        queries: 1,
+                        ..CounterSnapshot::default()
+                    },
+                };
+                self.record_work(&(resp.build_work + resp.query_work));
+                self.finish_trace("knn", resp.key, outcome, started, spans);
+                Ok(ServeResponse::KNearest(resp))
+            }
+            ServeRequest::Hdbscan { cloud, params } => {
+                let started = self.obs_now();
+                let mut spans = Vec::new();
+                let (r, outcome, build_work, _) = self.resolve_cloud(cloud, &mut spans)?;
+                let mut scratch = self.checkout();
+                let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
+                self.record_work(&build_work);
+                self.finish_trace("hdbscan", r.key, outcome, started, spans);
+                Ok(ServeResponse::Hdbscan(HdbscanResponse { result, outcome, key: r.key }))
+            }
+            ServeRequest::Insert { cloud, points } => {
+                self.answer_mutation(cloud, Mutation::Insert(points), deadline)
+            }
+            ServeRequest::Delete { cloud, ids } => {
+                self.answer_mutation(cloud, Mutation::Delete(ids), deadline)
+            }
+            ServeRequest::Load { .. } | ServeRequest::Stats => {
+                unreachable!("handled unguarded in execute")
+            }
+        }
+    }
+
+    /// Resolves either cloud naming to a resident: points by content
+    /// digest (admitting on a miss), a key via residency + spill reload.
+    fn resolve_cloud(
+        &self,
+        cloud: CloudRef<'_, D>,
+        spans: &mut Vec<SpanRecord>,
+    ) -> Result<(Arc<Resident<D>>, CacheOutcome, CounterSnapshot, PhaseTimings), ServeError> {
+        match cloud {
+            CloudRef::Points(points) => Ok(self.resolve(points, spans)),
+            CloudRef::Key(key) => self.resolve_key(key, spans),
+        }
+    }
+
+    /// The incremental mutation path. Resolves the parent, validates the
+    /// mutation into a child point set + `parent_of` map, then resolves
+    /// the child under single-flight: a hit (repeated identical mutation)
+    /// serves the landed child; a vacancy derives child artifacts from
+    /// the parent via [`emst_shard::ShardArtifacts::apply_update`] —
+    /// re-solving only dirty shards, inheriting clean shards' BVHs/local
+    /// MSTs and the parent accel's harvested floors — and admits it as a
+    /// new resident. Finishes with a full (deadline-checked) EMST of the
+    /// child, which warms the child accel and hands the caller edges +
+    /// check digest in the same round trip.
+    fn answer_mutation(
+        &self,
+        cloud: CloudRef<'_, D>,
+        mutation: Mutation<'_, D>,
+        deadline: Option<Instant>,
+    ) -> Result<ServeResponse<D>, ServeError> {
+        let started = self.obs_now();
+        let verb = mutation.verb();
+        let mut spans = Vec::new();
+        let (parent, _, _, _) = self.resolve_cloud(cloud, &mut spans)?;
+        let (new_points, parent_of) = match &mutation {
+            Mutation::Insert(extra) => {
+                let mut pts = Vec::with_capacity(parent.points.len() + extra.len());
+                pts.extend_from_slice(&parent.points);
+                pts.extend_from_slice(extra);
+                let mut parent_of: Vec<u32> = (0..parent.points.len() as u32).collect();
+                parent_of.resize(pts.len(), u32::MAX);
+                (pts, parent_of)
+            }
+            Mutation::Delete(ids) => {
+                let n = parent.points.len();
+                let mut del = vec![false; n];
+                for &id in *ids {
+                    let slot = del.get_mut(id as usize).ok_or_else(|| {
+                        ServeError::InvalidRequest(format!(
+                            "delete id {id} out of range for cloud of {n} points"
+                        ))
+                    })?;
+                    if *slot {
+                        return Err(ServeError::InvalidRequest(format!(
+                            "duplicate delete id {id}"
+                        )));
+                    }
+                    *slot = true;
+                }
+                let mut pts = Vec::with_capacity(n - ids.len());
+                let mut parent_of = Vec::with_capacity(n - ids.len());
+                for (i, p) in parent.points.iter().enumerate() {
+                    if !del[i] {
+                        pts.push(*p);
+                        parent_of.push(i as u32);
+                    }
+                }
+                (pts, parent_of)
+            }
+        };
+        if new_points.len() < 2 {
+            return Err(ServeError::InvalidRequest(format!(
+                "mutation leaves {} point(s); a servable cloud needs at least 2",
+                new_points.len()
+            )));
+        }
+        // Child resolution mirrors `resolve_digest_traced`, with the
+        // build replaced by the incremental derivation.
+        let digest = digest_points(&new_points);
+        let mut waited = false;
+        let (child, outcome, build_work, build_timings, report) = loop {
+            let key = match self.lookup(digest, &new_points) {
+                Lookup::Hit(child) => {
+                    self.stats.hits.fetch_add(1, Relaxed);
+                    self.obs_event(|o| o.hits.inc());
+                    if waited {
+                        self.stats.coalesced.fetch_add(1, Relaxed);
+                        self.obs_event(|o| o.coalesced.inc());
+                    }
+                    break (
+                        child,
+                        CacheOutcome::Hit,
+                        CounterSnapshot::default(),
+                        PhaseTimings::new(),
+                        UpdateReport::default(),
+                    );
+                }
+                Lookup::Vacant(key) => key,
+            };
+            match self.begin_flight(key) {
+                Err(flight) => {
+                    let parked = self.obs_now();
+                    flight.wait();
+                    if let (Some(obs), Some(parked)) = (&self.obs, parked) {
+                        let d = parked.elapsed();
+                        obs.lease_wait.record(d);
+                        spans.push(SpanRecord::new("lease.wait", d.as_secs_f64()));
+                    }
+                    waited = true;
+                }
+                Ok(_lease) => {
+                    match self.lookup(digest, &new_points) {
+                        Lookup::Hit(child) => {
+                            self.stats.hits.fetch_add(1, Relaxed);
+                            self.obs_event(|o| o.hits.inc());
+                            if waited {
+                                self.stats.coalesced.fetch_add(1, Relaxed);
+                                self.obs_event(|o| o.coalesced.inc());
+                            }
+                            break (
+                                child,
+                                CacheOutcome::Hit,
+                                CounterSnapshot::default(),
+                                PhaseTimings::new(),
+                                UpdateReport::default(),
+                            );
+                        }
+                        Lookup::Vacant(fresh) if fresh != key => continue,
+                        Lookup::Vacant(_) => {}
+                    }
+                    let key = self.durable_salt(key, &new_points);
+                    self.stats.misses.fetch_add(1, Relaxed);
+                    self.obs_event(|o| o.misses.inc());
+                    if key.salt != 0 {
+                        self.stats.digest_collisions.fetch_add(1, Relaxed);
+                        self.obs_event(|o| o.digest_collisions.inc());
+                        emst_obs::log::warn(
+                            "emst-serve",
+                            "verified digest collision, admitting under salted key",
+                            &[("key", &key.to_string()), ("salt", &key.salt.to_string())],
+                        );
+                    }
+                    let derived = self.obs_now();
+                    let (artifacts, report) = {
+                        let mut scratch = self.checkout();
+                        let scratch = &mut *scratch;
+                        // Copy the parent's accel out so its harvested
+                        // floors seed the child's bounds without holding
+                        // the parent's lock across the dirty solves.
+                        {
+                            let wait = self.obs_now();
+                            let accel = parent.accel.read();
+                            if let (Some(obs), Some(wait)) = (&self.obs, wait) {
+                                obs.lock_accel_read.record(wait.elapsed());
+                            }
+                            scratch.accel.copy_from(&accel);
+                        }
+                        match parent.artifacts.apply_update(
+                            &self.space,
+                            &parent.points,
+                            &new_points,
+                            &parent_of,
+                            &self.shard_config(),
+                            &mut scratch.boruvka,
+                            Some(&scratch.accel),
+                            deadline,
+                        ) {
+                            Ok(out) => out,
+                            Err(_) => {
+                                self.stats.deadline_exceeded.fetch_add(1, Relaxed);
+                                self.obs_event(|o| o.deadline_exceeded.inc());
+                                return Err(ServeError::DeadlineExceeded(parent.key));
+                            }
+                        }
+                    };
+                    let build_work = artifacts.build_work();
+                    let build_timings = artifacts.build_timings().clone();
+                    if let Some(derived) = derived {
+                        spans.push(SpanRecord {
+                            name: "update",
+                            secs: derived.elapsed().as_secs_f64(),
+                            fields: vec![
+                                ("points", new_points.len() as u64),
+                                ("dirty", report.dirty_shards.len() as u64),
+                                ("reused", report.reused_shards as u64),
+                                ("rebuild", u64::from(report.full_rebuild)),
+                            ],
+                        });
+                    }
+                    let child = self.admit(key, new_points.clone(), artifacts, &mut spans);
+                    break (child, CacheOutcome::Miss, build_work, build_timings, report);
+                }
+            }
+        };
+        let update = self.answer_emst_deadline(
+            &child,
+            outcome,
+            build_work,
+            build_timings,
+            &mut spans,
+            deadline,
+        )?;
+        self.record_work(&(update.build_work + update.query_work));
+        match &mutation {
+            Mutation::Insert(_) => {
+                self.stats.inserts.fetch_add(1, Relaxed);
+                self.obs_event(|o| o.inserts.inc());
+            }
+            Mutation::Delete(_) => {
+                self.stats.deletes.fetch_add(1, Relaxed);
+                self.obs_event(|o| o.deletes.inc());
+            }
+        }
+        self.finish_trace(verb, child.key, outcome, started, spans);
+        Ok(ServeResponse::Mutated(MutateResponse {
+            key: child.key,
+            n: new_points.len(),
+            points: new_points,
+            dirty_shards: report.dirty_shards,
+            reused_shards: report.reused_shards,
+            full_rebuild: report.full_rebuild,
+            update,
+        }))
+    }
 
     /// Admission + deadline + panic isolation around a query body.
     fn run_guarded<T>(
@@ -1743,148 +2184,223 @@ impl<S: ExecSpace, const D: usize> ServeEngine<S, D> {
         Ok(Some(guard))
     }
 
-    /// [`Self::emst`] under the robustness contract (admission control,
-    /// deadline, panic isolation).
-    pub fn try_emst(&self, points: &[Point<D>]) -> Result<QueryResponse, ServeError> {
-        self.run_guarded(|deadline| {
-            let started = self.obs_now();
-            let mut spans = Vec::new();
-            let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
-            let resp = self.answer_emst_deadline(
-                &r,
-                outcome,
-                build_work,
-                build_timings,
-                &mut spans,
-                deadline,
-            )?;
-            self.record_work(&(resp.build_work + resp.query_work));
-            self.finish_trace("emst", resp.key, outcome, started, spans);
-            Ok(resp)
-        })
+    // BEGIN WRAPPERS OVER EXECUTE ---------------------------------------
+    //
+    // Every named method below is a one-line wrapper: build the
+    // `ServeRequest`, run it through the `execute` dispatch table, unwrap
+    // the matching `ServeResponse` arm. No query logic lives here — CI
+    // greps this block's markers and fails if a new `pub fn try_*`
+    // appears outside it. The fallible surface (`try_*`, `*_by_key`,
+    // `insert`/`delete`) calls [`Self::execute`] and inherits its full
+    // guard surface. The infallible positional signatures run the same
+    // dispatch *unguarded* — no admission gate, no deadline — because an
+    // infallible signature cannot report an honest shed; they surface
+    // the remaining errors (invalid requests) by panicking with the
+    // `Display`, preserving the historical panic contracts.
+
+    /// Ingests `points` (builds and admits artifacts) without running a
+    /// query, returning the key future queries can use. Re-ingesting a
+    /// resident cloud is a no-op hit. Wrapper over
+    /// [`ServeRequest::Load`] via [`Self::execute`].
+    pub fn ingest(&self, points: &[Point<D>]) -> CloudKey {
+        match self.execute(ServeRequest::Load { points }) {
+            Ok(ServeResponse::Loaded { key }) => key,
+            other => unreachable!("Load is infallible and returns Loaded: {other:?}"),
+        }
     }
 
-    /// [`Self::emst_subset`] under the robustness contract.
+    /// Full EMST of `points`. Warm path (the cloud is resident): merge
+    /// only — no plan, no local solves, no tree builds; the edges are
+    /// bit-identical to the cold solve because both are the same
+    /// deterministic merge over the same artifacts. Unguarded wrapper
+    /// over [`ServeRequest::Emst`]: no admission gate, no deadline — use
+    /// [`Self::try_emst`] / [`Self::emst_by_key`] for the guarded
+    /// surface.
+    pub fn emst(&self, points: &[Point<D>]) -> QueryResponse {
+        match self.dispatch_guarded(ServeRequest::Emst { cloud: CloudRef::Points(points) }, None) {
+            Ok(ServeResponse::Emst(r)) => r,
+            Ok(other) => unreachable!("Emst returns Emst: {other:?}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::emst`] under the fallible signature. Wrapper over
+    /// [`ServeRequest::Emst`] via [`Self::execute`].
+    pub fn try_emst(&self, points: &[Point<D>]) -> Result<QueryResponse, ServeError> {
+        match self.execute(ServeRequest::Emst { cloud: CloudRef::Points(points) })? {
+            ServeResponse::Emst(r) => Ok(r),
+            other => unreachable!("Emst returns Emst: {other:?}"),
+        }
+    }
+
+    /// [`Self::emst`] by key: serves a previously ingested cloud without
+    /// resending its points, transparently reloading from the spill file
+    /// if the cloud was evicted. Wrapper over [`ServeRequest::Emst`] via
+    /// [`Self::execute`].
+    pub fn emst_by_key(&self, key: CloudKey) -> Result<QueryResponse, ServeError> {
+        match self.execute(ServeRequest::Emst { cloud: CloudRef::Key(key) })? {
+            ServeResponse::Emst(r) => Ok(r),
+            other => unreachable!("Emst returns Emst: {other:?}"),
+        }
+    }
+
+    /// Exact EMST of a subset of `points` (distinct original indices),
+    /// re-merging only the touched shards; fully-covered shards reuse
+    /// their resident BVH + local MST (see
+    /// [`emst_shard::ShardArtifacts::merge_subset`]). Unguarded wrapper
+    /// over [`ServeRequest::Subset`] (no gate, no deadline) — use
+    /// [`Self::try_emst_subset`] / [`Self::emst_subset_by_key`] for the
+    /// guarded surface.
+    ///
+    /// # Panics
+    /// On out-of-range or duplicate subset indices.
+    pub fn emst_subset(&self, points: &[Point<D>], subset: &[u32]) -> QueryResponse {
+        let req = ServeRequest::Subset { cloud: CloudRef::Points(points), subset };
+        match self.dispatch_guarded(req, None) {
+            Ok(ServeResponse::Subset(r)) => r,
+            Ok(other) => unreachable!("Subset returns Subset: {other:?}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::emst_subset`] under the fallible signature. Wrapper over
+    /// [`ServeRequest::Subset`] via [`Self::execute`].
     pub fn try_emst_subset(
         &self,
         points: &[Point<D>],
         subset: &[u32],
     ) -> Result<QueryResponse, ServeError> {
-        self.run_guarded(|deadline| {
-            let started = self.obs_now();
-            let mut spans = Vec::new();
-            let (r, outcome, build_work, build_timings) = self.resolve(points, &mut spans);
-            let resp = self.answer_subset(
-                &r,
-                subset,
-                outcome,
-                build_work,
-                build_timings,
-                &mut spans,
-                deadline,
-            )?;
-            self.finish_trace("subset", resp.key, outcome, started, spans);
-            Ok(resp)
-        })
+        match self.execute(ServeRequest::Subset { cloud: CloudRef::Points(points), subset })? {
+            ServeResponse::Subset(r) => Ok(r),
+            other => unreachable!("Subset returns Subset: {other:?}"),
+        }
     }
 
-    /// [`Self::emst_subset`] by key (guarded): subset EMST of a previously
-    /// ingested cloud, reloading from spill on demand.
+    /// [`Self::emst_subset`] by key: subset EMST of a previously ingested
+    /// cloud, reloading from spill on demand. Wrapper over
+    /// [`ServeRequest::Subset`] via [`Self::execute`].
     pub fn emst_subset_by_key(
         &self,
         key: CloudKey,
         subset: &[u32],
     ) -> Result<QueryResponse, ServeError> {
-        self.run_guarded(|deadline| {
-            let started = self.obs_now();
-            let mut spans = Vec::new();
-            let (r, outcome, build_work, build_timings) = self.resolve_key(key, &mut spans)?;
-            let resp = self.answer_subset(
-                &r,
-                subset,
-                outcome,
-                build_work,
-                build_timings,
-                &mut spans,
-                deadline,
-            )?;
-            self.finish_trace("subset", resp.key, outcome, started, spans);
-            Ok(resp)
-        })
+        match self.execute(ServeRequest::Subset { cloud: CloudRef::Key(key), subset })? {
+            ServeResponse::Subset(r) => Ok(r),
+            other => unreachable!("Subset returns Subset: {other:?}"),
+        }
     }
 
-    /// [`Self::k_nearest`] under the robustness contract. k-NN has no
-    /// merge rounds, so the deadline only gates admission-to-start.
+    /// The `k` nearest ingested points to `query`, answered from the
+    /// resident per-shard BVHs. Unguarded wrapper over
+    /// [`ServeRequest::KNearest`] (no gate, no deadline) — use
+    /// [`Self::try_k_nearest`] / [`Self::k_nearest_by_key`] for the
+    /// guarded surface.
+    pub fn k_nearest(&self, points: &[Point<D>], query: &Point<D>, k: usize) -> KnnResponse {
+        let req = ServeRequest::KNearest { cloud: CloudRef::Points(points), query: *query, k };
+        match self.dispatch_guarded(req, None) {
+            Ok(ServeResponse::KNearest(r)) => r,
+            Ok(other) => unreachable!("KNearest returns KNearest: {other:?}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::k_nearest`] under the fallible signature. Wrapper over
+    /// [`ServeRequest::KNearest`] via [`Self::execute`].
     pub fn try_k_nearest(
         &self,
         points: &[Point<D>],
         query: &Point<D>,
         k: usize,
     ) -> Result<KnnResponse, ServeError> {
-        self.run_guarded(|_deadline| Ok(self.k_nearest(points, query, k)))
+        let req = ServeRequest::KNearest { cloud: CloudRef::Points(points), query: *query, k };
+        match self.execute(req)? {
+            ServeResponse::KNearest(r) => Ok(r),
+            other => unreachable!("KNearest returns KNearest: {other:?}"),
+        }
     }
 
-    /// [`Self::k_nearest`] by key (guarded), reloading from spill on
-    /// demand.
+    /// [`Self::k_nearest`] by key, reloading from spill on demand.
+    /// Wrapper over [`ServeRequest::KNearest`] via [`Self::execute`].
     pub fn k_nearest_by_key(
         &self,
         key: CloudKey,
         query: &Point<D>,
         k: usize,
     ) -> Result<KnnResponse, ServeError> {
-        self.run_guarded(|_deadline| {
-            let started = self.obs_now();
-            let mut spans = Vec::new();
-            let (r, outcome, build_work, _) = self.resolve_key(key, &mut spans)?;
-            let mut stats = TraversalStats::default();
-            let neighbors = r.artifacts.k_nearest(query, k, &mut stats);
-            let resp = KnnResponse {
-                neighbors,
-                outcome,
-                key: r.key,
-                build_work,
-                query_work: CounterSnapshot {
-                    distance_computations: stats.distances,
-                    node_visits: stats.nodes,
-                    rope_hops: stats.rope_hops,
-                    leaf_visits: stats.leaves,
-                    subtrees_skipped: stats.skipped,
-                    queries: 1,
-                    ..CounterSnapshot::default()
-                },
-            };
-            self.record_work(&(resp.build_work + resp.query_work));
-            self.finish_trace("knn", resp.key, outcome, started, spans);
-            Ok(resp)
-        })
+        let req = ServeRequest::KNearest { cloud: CloudRef::Key(key), query: *query, k };
+        match self.execute(req)? {
+            ServeResponse::KNearest(r) => Ok(r),
+            other => unreachable!("KNearest returns KNearest: {other:?}"),
+        }
     }
 
-    /// [`Self::hdbscan`] under the robustness contract.
+    /// HDBSCAN* clustering of `points`, drawing the EMST pass's working
+    /// arrays from a warm scratch pool ([`Hdbscan::fit_scratch`]).
+    /// Unguarded wrapper over [`ServeRequest::Hdbscan`] (no gate, no
+    /// deadline) — use [`Self::try_hdbscan`] / [`Self::hdbscan_by_key`]
+    /// for the guarded surface.
+    pub fn hdbscan(&self, points: &[Point<D>], params: Hdbscan) -> HdbscanResponse {
+        let req = ServeRequest::Hdbscan { cloud: CloudRef::Points(points), params };
+        match self.dispatch_guarded(req, None) {
+            Ok(ServeResponse::Hdbscan(r)) => r,
+            Ok(other) => unreachable!("Hdbscan returns Hdbscan: {other:?}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::hdbscan`] under the fallible signature. Wrapper over
+    /// [`ServeRequest::Hdbscan`] via [`Self::execute`].
     pub fn try_hdbscan(
         &self,
         points: &[Point<D>],
         params: Hdbscan,
     ) -> Result<HdbscanResponse, ServeError> {
-        self.run_guarded(|_deadline| Ok(self.hdbscan(points, params)))
+        match self.execute(ServeRequest::Hdbscan { cloud: CloudRef::Points(points), params })? {
+            ServeResponse::Hdbscan(r) => Ok(r),
+            other => unreachable!("Hdbscan returns Hdbscan: {other:?}"),
+        }
     }
 
-    /// [`Self::hdbscan`] by key (guarded), reloading from spill on demand.
+    /// [`Self::hdbscan`] by key, reloading from spill on demand. Wrapper
+    /// over [`ServeRequest::Hdbscan`] via [`Self::execute`].
     pub fn hdbscan_by_key(
         &self,
         key: CloudKey,
         params: Hdbscan,
     ) -> Result<HdbscanResponse, ServeError> {
-        self.run_guarded(|_deadline| {
-            let started = self.obs_now();
-            let mut spans = Vec::new();
-            let (r, outcome, build_work, _) = self.resolve_key(key, &mut spans)?;
-            let mut scratch = self.checkout();
-            let result = params.fit_scratch(&self.space, &r.points, &mut scratch.boruvka);
-            self.record_work(&build_work);
-            self.finish_trace("hdbscan", r.key, outcome, started, spans);
-            Ok(HdbscanResponse { result, outcome, key: r.key })
-        })
+        match self.execute(ServeRequest::Hdbscan { cloud: CloudRef::Key(key), params })? {
+            ServeResponse::Hdbscan(r) => Ok(r),
+            other => unreachable!("Hdbscan returns Hdbscan: {other:?}"),
+        }
     }
+
+    /// Incrementally inserts `points` into the cloud at `key`, deriving
+    /// and admitting the mutated cloud as a new resident (the parent
+    /// stays servable). Wrapper over [`ServeRequest::Insert`] via
+    /// [`Self::execute`].
+    pub fn insert(
+        &self,
+        key: CloudKey,
+        points: &[Point<D>],
+    ) -> Result<MutateResponse<D>, ServeError> {
+        match self.execute(ServeRequest::Insert { cloud: CloudRef::Key(key), points })? {
+            ServeResponse::Mutated(r) => Ok(r),
+            other => unreachable!("Insert returns Mutated: {other:?}"),
+        }
+    }
+
+    /// Incrementally deletes the parent-cloud indices `ids` from the
+    /// cloud at `key`, deriving and admitting the mutated cloud as a new
+    /// resident (the parent stays servable). Wrapper over
+    /// [`ServeRequest::Delete`] via [`Self::execute`].
+    pub fn delete(&self, key: CloudKey, ids: &[u32]) -> Result<MutateResponse<D>, ServeError> {
+        match self.execute(ServeRequest::Delete { cloud: CloudRef::Key(key), ids })? {
+            ServeResponse::Mutated(r) => Ok(r),
+            other => unreachable!("Delete returns Mutated: {other:?}"),
+        }
+    }
+
+    // END WRAPPERS OVER EXECUTE -----------------------------------------
 }
 
 /// Releases an in-flight admission slot on drop — including on the
@@ -2108,13 +2624,15 @@ mod tests {
 
     fn answer(engine: &ServeEngine<Serial, 2>, r: &Resident<2>) -> Vec<Edge> {
         engine
-            .answer_emst(
+            .answer_emst_deadline(
                 r,
                 CacheOutcome::Hit,
                 CounterSnapshot::default(),
                 PhaseTimings::new(),
                 &mut vec![],
+                None,
             )
+            .expect("no deadline was set")
             .edges
     }
 
@@ -2354,11 +2872,13 @@ mod tests {
             shed: 14,
             query_panics: 15,
             query_coalesced: 16,
+            inserts: 17,
+            deletes: 18,
         };
         let fields = stats.named_fields();
-        assert_eq!(fields.len(), 16);
+        assert_eq!(fields.len(), 18);
         let sum: u64 = fields.iter().map(|&(_, v)| v).sum();
-        assert_eq!(sum, (1..=16).sum(), "every field value appears exactly once");
+        assert_eq!(sum, (1..=18).sum(), "every field value appears exactly once");
         assert!(fields.iter().any(|&(n, v)| n == "digest_collisions" && v == 6));
         assert!(fields.iter().any(|&(n, v)| n == "coalesced" && v == 7));
         assert!(fields.iter().any(|&(n, v)| n == "checksum_failures" && v == 10));
@@ -2558,9 +3078,12 @@ mod tests {
             Err(ServeError::DeadlineExceeded(_))
         ));
         assert_eq!(engine.stats().deadline_exceeded, 3);
-        // The infallible happy path is not deadline-gated and still serves.
-        let full = engine.emst(&a);
-        assert_eq!(full.edges.len(), 499);
+        // The infallible positional wrapper shares the dispatch table but
+        // not the guards: it cannot report an honest shed, so it takes no
+        // deadline and answers exactly even under a zero budget.
+        let positional = engine.emst(&a);
+        assert_eq!(positional.key, key);
+        assert_eq!(engine.stats().deadline_exceeded, 3);
         // k-NN has no merge rounds: even guarded it answers.
         assert!(engine.k_nearest_by_key(key, &a[0], 3).is_ok());
         assert_eq!(engine.scratch_pool.lock().len(), 1, "no scratch leaked past the deadline");
@@ -2657,5 +3180,138 @@ mod tests {
         assert!(text.contains("emst_serve_eviction_seconds_count 1"));
         let traces = engine.recent_traces(1);
         assert!(traces[0].spans.iter().any(|s| s.name == "spill"));
+    }
+
+    /// Tentpole: `insert` delta-solves — the child cloud answers with an
+    /// edge-weight multiset bit-identical to a from-scratch solve of the
+    /// same points, most shards transfer verbatim, and the parent stays
+    /// resident and servable.
+    #[test]
+    fn insert_delta_solves_and_matches_from_scratch() {
+        use emst_core::edge::weight_multiset;
+        let pts = random_points_2d(500, 90);
+        let engine = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(6, 4));
+        let parent_key = engine.ingest(&pts);
+        let parent_edges = engine.emst_by_key(parent_key).unwrap().edges;
+
+        // Clustered inserts: all land near one point, dirtying few shards.
+        let extra: Vec<Point<2>> =
+            (0..6).map(|i| Point::new([pts[17][0] + 1e-4 * i as f32, pts[17][1]])).collect();
+        let resp = engine.insert(parent_key, &extra).unwrap();
+        assert_eq!(resp.n, 506);
+        assert_ne!(resp.key, parent_key, "mutation mints a new content key");
+        assert!(!resp.full_rebuild);
+        assert!(!resp.dirty_shards.is_empty());
+        assert!(resp.reused_shards >= 4, "clustered inserts reuse most shards");
+        assert_eq!(resp.update.edges.len(), 505);
+        assert_eq!(resp.points.len(), 506);
+
+        // Bit-identical weight multiset vs a from-scratch solve.
+        let fresh = ServeEngine::<_, 2>::new(Threads, ServeConfig::new(6, 4));
+        let scratch_solve = fresh.emst(&resp.points);
+        assert_eq!(
+            weight_multiset(&resp.update.edges),
+            weight_multiset(&scratch_solve.edges),
+            "incremental child must match from-scratch"
+        );
+
+        // The parent is still resident and still answers identically.
+        assert_eq!(engine.emst_by_key(parent_key).unwrap().edges, parent_edges);
+        let stats = engine.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.deletes, 0);
+        // Follow-up queries on the child key are warm hits.
+        let warm = engine.emst_by_key(resp.key).unwrap();
+        assert_eq!(warm.outcome, CacheOutcome::Hit);
+        assert_eq!(warm.edges, resp.update.edges);
+    }
+
+    /// Tentpole: `delete` compacts survivors, delta-solves only the
+    /// shards that lost points, and matches a from-scratch solve.
+    #[test]
+    fn delete_delta_solves_and_matches_from_scratch() {
+        use emst_core::edge::weight_multiset;
+        let pts = random_points_2d(500, 91);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(6, 4));
+        let key = engine.ingest(&pts);
+        let resp = engine.delete(key, &[3, 499, 250]).unwrap();
+        assert_eq!(resp.n, 497);
+        assert_eq!(resp.points.len(), 497);
+        assert_eq!(resp.update.edges.len(), 496);
+        let fresh = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(6, 4));
+        assert_eq!(
+            weight_multiset(&resp.update.edges),
+            weight_multiset(&fresh.emst(&resp.points).edges),
+        );
+        assert_eq!(engine.stats().deletes, 1);
+        // Mutation ops populate their own latency histograms.
+        let text = engine.metrics_prometheus();
+        assert!(text.contains("emst_serve_op_seconds_count{op=\"delete\"} 1"), "{text}");
+    }
+
+    /// Malformed mutations are typed `InvalidRequest` errors, rejected
+    /// before any engine state changes.
+    #[test]
+    fn invalid_mutations_are_typed_errors() {
+        let pts = random_points_2d(100, 92);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
+        let key = engine.ingest(&pts);
+        assert!(matches!(
+            engine.delete(key, &[100]),
+            Err(ServeError::InvalidRequest(msg)) if msg.contains("out of range")
+        ));
+        assert!(matches!(
+            engine.delete(key, &[5, 5]),
+            Err(ServeError::InvalidRequest(msg)) if msg.contains("duplicate")
+        ));
+        let all: Vec<u32> = (0..99).collect();
+        assert!(matches!(
+            engine.delete(key, &all),
+            Err(ServeError::InvalidRequest(msg)) if msg.contains("at least 2")
+        ));
+        // Unknown parent keys surface exactly like any by-key query.
+        let missing = CloudKey::forged(0xbeef, 3);
+        assert!(matches!(engine.insert(missing, &pts[..1]), Err(ServeError::UnknownKey(_))));
+        assert_eq!(engine.num_resident(), 1, "failed mutations admit nothing");
+        let stats = engine.stats();
+        assert_eq!((stats.inserts, stats.deletes), (0, 0));
+    }
+
+    /// A repeated identical mutation resolves to the already-admitted
+    /// child — a cache hit with no re-derivation.
+    #[test]
+    fn repeated_identical_mutation_hits_the_child() {
+        let pts = random_points_2d(300, 93);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 4));
+        let key = engine.ingest(&pts);
+        let extra = [Point::new([0.123f32, -0.456]), Point::new([0.124f32, -0.457])];
+        let first = engine.insert(key, &extra).unwrap();
+        assert_eq!(first.update.outcome, CacheOutcome::Miss);
+        let second = engine.insert(key, &extra).unwrap();
+        assert_eq!(second.key, first.key);
+        assert_eq!(second.update.outcome, CacheOutcome::Hit);
+        assert!(second.dirty_shards.is_empty(), "a hit re-derives nothing");
+        assert_eq!(second.update.edges, first.update.edges);
+        assert_eq!(engine.stats().inserts, 2);
+    }
+
+    /// `execute` speaks `Load` and `Stats` directly (the REPL/wire path).
+    #[test]
+    fn execute_load_and_stats_roundtrip() {
+        let pts = random_points_2d(200, 94);
+        let engine = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(3, 2));
+        let key = match engine.execute(ServeRequest::Load { points: &pts }) {
+            Ok(ServeResponse::Loaded { key }) => key,
+            other => panic!("expected Loaded, got {other:?}"),
+        };
+        assert_eq!(key, engine.key(&pts));
+        match engine.execute(ServeRequest::Stats) {
+            Ok(ServeResponse::Stats(s)) => {
+                assert_eq!(s.resident, 1);
+                assert!(s.resident_bytes > 0);
+                assert_eq!(s.stats.misses, 1);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
     }
 }

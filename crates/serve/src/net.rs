@@ -2,11 +2,12 @@
 //!
 //! [`ServeServer`] binds a [`std::net::TcpListener`] and speaks a
 //! line-based request/response protocol with the same verbs as the CLI
-//! REPL (`emst`, `subset`, `knn`, `hdbscan`, `load`, `stats`,
-//! `metrics [json]`, `trace [n]`, plus `ping` and `quit`). Every request
-//! is one `\n`-terminated line; every reply is one `ok …`/`err …` line
-//! (multi-line payloads are length-framed as `ok body <len>\n<bytes>`).
-//! The full grammar lives in `docs/serving-protocol.md`.
+//! REPL (`emst`, `subset`, `knn`, `hdbscan`, `insert`, `delete`, `load`,
+//! `stats`, `metrics [json]`, `trace [n]`, plus `ping` and `quit`).
+//! Every request is one `\n`-terminated line; every reply is one
+//! `ok …`/`err …` line (multi-line payloads are length-framed as
+//! `ok body <len>\n<bytes>`). The full grammar lives in
+//! `docs/serving-protocol.md`.
 //!
 //! Design constraints and how they are met:
 //!
@@ -18,10 +19,11 @@
 //!   connections are already queued, a new connection gets one honest
 //!   `err overloaded …` line and is closed — admission control at the
 //!   socket layer, mirroring the engine's in-flight gate one layer down.
-//! - **Robustness contract over the wire**: queries go through the
-//!   guarded `try_*` entry points, so deadlines, admission shedding and
-//!   panic isolation from the fault-tolerance layer all apply; their
-//!   typed errors become `err …` lines. Connection handling itself is
+//! - **Robustness contract over the wire**: every verb dispatches through
+//!   the one typed [`ServeEngine::execute`] entry point, so deadlines,
+//!   admission shedding and panic isolation from the fault-tolerance
+//!   layer all apply uniformly; its typed [`ServeError`](crate::ServeError)s
+//!   become `err …` lines. Connection handling itself is
 //!   wrapped in `catch_unwind`, so a protocol bug can never take down the
 //!   acceptor or the other workers.
 //! - **Graceful shutdown**: [`ServeServer::shutdown`] stops accepting,
@@ -43,7 +45,9 @@
 //! (`emst`, `subset`, `knn`, `hdbscan`) coalesce, their replies are pure
 //! functions of `(cloud bytes, command line)` by the engine's
 //! bit-identity guarantee, and the reply format contains no wall-clock
-//! fields. The one observable sharing artifact is the `cache=` outcome
+//! fields. The mutation verbs (`insert`, `delete`) never coalesce: they
+//! swap the session's cloud, so sharing a reply would desynchronize the
+//! follower's session from the cloud its reply claims to describe. The one observable sharing artifact is the `cache=` outcome
 //! (a follower may see the leader's `miss`) and error replies (a
 //! follower shares the leader's honest `err …`, which an identical
 //! concurrent request could equally have earned itself).
@@ -67,7 +71,9 @@ use emst_obs::{Counter, Gauge, Histogram};
 use parking_lot::{Condvar, Mutex};
 
 use crate::fault::{faulted_read, FaultSite};
-use crate::{CacheOutcome, CloudKey, ServeEngine};
+use crate::{
+    CacheOutcome, CloudKey, CloudRef, MutateResponse, ServeEngine, ServeRequest, ServeResponse,
+};
 
 /// Longest accepted request line; anything longer gets one
 /// `err line too long …` reply and the connection is closed.
@@ -135,8 +141,8 @@ impl NetReply {
 }
 
 /// Per-connection state: the cloud this session queries. Starts as the
-/// server's initial cloud; `load <path>` swaps it (for this connection
-/// only), exactly like the REPL's session cloud.
+/// server's initial cloud; `load <path>`, `insert` and `delete` swap it
+/// (for this connection only), exactly like the REPL's session cloud.
 pub struct NetSession<const D: usize> {
     points: Arc<Vec<Point<D>>>,
 }
@@ -207,6 +213,23 @@ pub fn respond<S: ExecSpace, const D: usize>(
     }
 }
 
+/// Formats the one-line `ok <verb> …` reply for a mutation. `dirty=` is
+/// the number of shards the delta-solve actually re-solved (0 on a warm
+/// child hit, `shards` on a full rebuild), and `check=` digests the
+/// child cloud's EMST so clients can compare across transports.
+fn mutation_reply<const D: usize>(verb: &str, m: &MutateResponse<D>) -> NetReply {
+    NetReply::ok(format!(
+        "{verb} key={} n={} dirty={} reused={} edges={} weight={:.6} check={:016x}",
+        m.key,
+        m.n,
+        m.dirty_shards.len(),
+        m.reused_shards,
+        m.update.edges.len(),
+        m.update.total_weight,
+        edges_check(&m.update.edges),
+    ))
+}
+
 fn execute<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     session: &mut NetSession<D>,
@@ -225,7 +248,11 @@ fn execute<S: ExecSpace, const D: usize>(
             if !rest.is_empty() {
                 return Err("emst takes no arguments over the wire".to_string());
             }
-            let r = engine.try_emst(&points).map_err(|e| e.to_string())?;
+            let req = ServeRequest::Emst { cloud: CloudRef::Points(points.as_slice()) };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Emst(r) => r,
+                other => unreachable!("emst request answered with {other:?}"),
+            };
             Ok(NetReply::ok(format!(
                 "emst cache={} n={} edges={} weight={:.6} check={:016x}",
                 outcome_name(r.outcome),
@@ -245,7 +272,14 @@ fn execute<S: ExecSpace, const D: usize>(
                 return Err(format!("subset {lo}..{hi} out of range for {} points", points.len()));
             }
             let subset: Vec<u32> = (lo..hi).collect();
-            let r = engine.try_emst_subset(&points, &subset).map_err(|e| e.to_string())?;
+            let req = ServeRequest::Subset {
+                cloud: CloudRef::Points(points.as_slice()),
+                subset: &subset,
+            };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Subset(r) => r,
+                other => unreachable!("subset request answered with {other:?}"),
+            };
             Ok(NetReply::ok(format!(
                 "subset cache={} m={} edges={} weight={:.6} check={:016x}",
                 outcome_name(r.outcome),
@@ -264,8 +298,15 @@ fn execute<S: ExecSpace, const D: usize>(
             for (c, v) in coords.iter_mut().zip(&rest[1..]) {
                 *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
             }
-            let r =
-                engine.try_k_nearest(&points, &Point::new(coords), k).map_err(|e| e.to_string())?;
+            let req = ServeRequest::KNearest {
+                cloud: CloudRef::Points(points.as_slice()),
+                query: Point::new(coords),
+                k,
+            };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::KNearest(r) => r,
+                other => unreachable!("knn request answered with {other:?}"),
+            };
             let hits: Vec<String> =
                 r.neighbors.iter().map(|(i, d)| format!("{i}:{:.6}", d.sqrt())).collect();
             Ok(NetReply::ok(format!(
@@ -281,9 +322,14 @@ fn execute<S: ExecSpace, const D: usize>(
             if k_pts < 1 || min_cluster_size < 2 {
                 return Err("hdbscan needs k_pts >= 1 and min_cluster_size >= 2".into());
             }
-            let r = engine
-                .try_hdbscan(&points, Hdbscan { k_pts, min_cluster_size })
-                .map_err(|e| e.to_string())?;
+            let req = ServeRequest::Hdbscan {
+                cloud: CloudRef::Points(points.as_slice()),
+                params: Hdbscan { k_pts, min_cluster_size },
+            };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Hdbscan(r) => r,
+                other => unreachable!("hdbscan request answered with {other:?}"),
+            };
             let noise = r.result.labels.iter().filter(|&&l| l == emst_hdbscan::NOISE).count();
             Ok(NetReply::ok(format!(
                 "hdbscan cache={} clusters={} noise={} check={:016x}",
@@ -292,6 +338,46 @@ fn execute<S: ExecSpace, const D: usize>(
                 noise,
                 labels_check(&r.result.labels),
             )))
+        }
+        "insert" => {
+            if rest.is_empty() || !rest.len().is_multiple_of(D) {
+                return Err(format!("insert needs coordinates in groups of {D}"));
+            }
+            let mut added = Vec::with_capacity(rest.len() / D);
+            for chunk in rest.chunks(D) {
+                let mut coords = [0.0f32; D];
+                for (c, v) in coords.iter_mut().zip(chunk) {
+                    *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
+                }
+                added.push(Point::new(coords));
+            }
+            let req =
+                ServeRequest::Insert { cloud: CloudRef::Points(points.as_slice()), points: &added };
+            let m = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Mutated(m) => m,
+                other => unreachable!("insert request answered with {other:?}"),
+            };
+            let reply = mutation_reply("insert", &m);
+            session.points = Arc::new(m.points);
+            Ok(reply)
+        }
+        "delete" => {
+            if rest.is_empty() {
+                return Err("delete needs at least one <id>".to_string());
+            }
+            let mut ids = Vec::with_capacity(rest.len());
+            for v in rest {
+                ids.push(v.parse::<u32>().map_err(|_| format!("invalid id {v:?}"))?);
+            }
+            let req =
+                ServeRequest::Delete { cloud: CloudRef::Points(points.as_slice()), ids: &ids };
+            let m = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Mutated(m) => m,
+                other => unreachable!("delete request answered with {other:?}"),
+            };
+            let reply = mutation_reply("delete", &m);
+            session.points = Arc::new(m.points);
+            Ok(reply)
         }
         "load" => {
             let path = rest.first().ok_or("load needs a path")?;
@@ -309,18 +395,21 @@ fn execute<S: ExecSpace, const D: usize>(
             if new_points.is_empty() {
                 return Err(format!("{path}: no points"));
             }
-            let key = engine.ingest(&new_points);
+            let req = ServeRequest::Load { points: &new_points };
+            let key = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Loaded { key } => key,
+                other => unreachable!("load request answered with {other:?}"),
+            };
             session.points = Arc::new(new_points);
             Ok(NetReply::ok(format!("loaded n={} key={key}", session.points.len())))
         }
         "stats" => {
-            let s = engine.stats();
-            let mut line = format!(
-                "stats resident={} bytes={}",
-                engine.num_resident(),
-                engine.resident_bytes()
-            );
-            for (name, value) in s.named_fields() {
+            let s = match engine.execute(ServeRequest::Stats).map_err(|e| e.to_string())? {
+                ServeResponse::Stats(s) => s,
+                other => unreachable!("stats request answered with {other:?}"),
+            };
+            let mut line = format!("stats resident={} bytes={}", s.resident, s.resident_bytes);
+            for (name, value) in s.stats.named_fields() {
                 line.push_str(&format!(" {name}={value}"));
             }
             Ok(NetReply::ok(line))
@@ -344,16 +433,16 @@ fn execute<S: ExecSpace, const D: usize>(
         }
         other => Err(format!(
             "unknown command {other:?} (ping | emst | subset <lo>..<hi> | knn <k> <x> <y> [<z>] \
-             | hdbscan <k_pts> <min_cluster_size> | load <points.csv> | stats | metrics [json] | \
-             trace [n] | quit)"
+             | hdbscan <k_pts> <min_cluster_size> | insert <x> <y> [<z>] … | delete <id> … | \
+             load <points.csv> | stats | metrics [json] | trace [n] | quit)"
         )),
     }
 }
 
 /// Verbs eligible for same-key coalescing: deterministic, read-only, and
-/// replies that are pure functions of `(cloud, line)`. `load` mutates the
-/// session, `stats`/`metrics`/`trace` read mutable observability state —
-/// none of those may share a reply.
+/// replies that are pure functions of `(cloud, line)`. `load`, `insert`
+/// and `delete` mutate the session, `stats`/`metrics`/`trace` read
+/// mutable observability state — none of those may share a reply.
 fn coalescable(verb: &str) -> bool {
     matches!(verb, "emst" | "subset" | "knn" | "hdbscan")
 }
@@ -805,6 +894,15 @@ mod tests {
             ("hdbscan 0 8", "err hdbscan needs k_pts >= 1 and min_cluster_size >= 2\n"),
             ("metrics yaml", "err invalid metrics format \"yaml\" (expected json)\n"),
             ("load", "err load needs a path\n"),
+            ("insert", "err insert needs coordinates in groups of 2\n"),
+            ("insert 0.1 0.2 0.3", "err insert needs coordinates in groups of 2\n"),
+            ("insert 0.1 oops", "err invalid coordinate \"oops\"\n"),
+            ("delete", "err delete needs at least one <id>\n"),
+            ("delete seven", "err invalid id \"seven\"\n"),
+            (
+                "delete 9999",
+                "err invalid request: delete id 9999 out of range for cloud of 200 points\n",
+            ),
         ] {
             let reply = respond(&engine, &mut session, line);
             assert_eq!(reply.text, expect, "line {line:?}");
@@ -873,5 +971,46 @@ mod tests {
         assert_eq!(tokens_a.join(" "), tokens_b.join(" "));
         assert!(coalescable("emst") && coalescable("hdbscan"));
         assert!(!coalescable("load") && !coalescable("stats") && !coalescable("metrics"));
+        assert!(!coalescable("insert") && !coalescable("delete"));
+    }
+
+    #[test]
+    fn mutation_verbs_swap_the_session_and_reply_deterministically() {
+        let (engine, pts) = engine();
+        let mut session = NetSession::new(Arc::clone(&pts));
+        let ins = respond(&engine, &mut session, "insert 0.25 0.75 0.6 0.4");
+        assert!(ins.text.starts_with("ok insert key="), "{}", ins.text);
+        assert!(ins.text.contains(" n=202 "), "{}", ins.text);
+        assert!(ins.text.contains(" check="), "{}", ins.text);
+        assert_eq!(session.points.len(), 202, "insert must swap the session cloud");
+
+        // Replaying the same mutation from the same base cloud and the
+        // same engine state must produce byte-identical replies (no
+        // wall-clock fields). The first replay hits the warm child
+        // (`dirty=0`), so compare two warm replays to each other and the
+        // state-independent fields (key, tree digest) to the cold reply.
+        let mut replay = NetSession::new(Arc::clone(&pts));
+        let ins2 = respond(&engine, &mut replay, "insert 0.25 0.75 0.6 0.4");
+        let mut replay_again = NetSession::new(Arc::clone(&pts));
+        let ins3 = respond(&engine, &mut replay_again, "insert 0.25 0.75 0.6 0.4");
+        assert_eq!(ins2, ins3, "same-state mutation replies must be byte-identical");
+        let field = |text: &str, name: &str| {
+            text.split_whitespace().find(|f| f.starts_with(name)).unwrap().to_string()
+        };
+        assert_eq!(field(&ins.text, "key="), field(&ins2.text, "key="));
+        assert_eq!(field(&ins.text, "check="), field(&ins2.text, "check="));
+
+        let del = respond(&engine, &mut session, "delete 0 201");
+        assert!(del.text.starts_with("ok delete key="), "{}", del.text);
+        assert!(del.text.contains(" n=200 "), "{}", del.text);
+        assert_eq!(session.points.len(), 200);
+        let del2 = respond(&engine, &mut replay, "delete 0 201");
+        assert_eq!(field(&del.text, "key="), field(&del2.text, "key="));
+        assert_eq!(field(&del.text, "check="), field(&del2.text, "check="));
+
+        // A failed mutation must leave the session cloud untouched.
+        let bad = respond(&engine, &mut session, "delete 5 5");
+        assert_eq!(bad.text, "err invalid request: duplicate delete id 5\n");
+        assert_eq!(session.points.len(), 200);
     }
 }

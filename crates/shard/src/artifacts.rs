@@ -57,7 +57,8 @@ use emst_core::{BoruvkaScratch, Edge, EmstConfig, SingleTreeBoruvka};
 use emst_datasets::io::{BlobReader, BlobWriter, ByteReader, ByteWriter};
 use emst_exec::counters::CounterSnapshot;
 use emst_exec::{Counters, ExecSpace, PhaseTimings};
-use emst_geometry::{Point, Scalar};
+use emst_geometry::{Aabb, Point, Scalar};
+use emst_morton::MortonEncoder;
 use rayon::prelude::*;
 
 use crate::merge::{
@@ -492,6 +493,262 @@ impl<const D: usize> ShardArtifacts<D> {
         Ok(result)
     }
 
+    /// Derives the artifacts of a *mutated* cloud from these artifacts,
+    /// re-solving only the shards the mutation touched.
+    ///
+    /// `old_points` is the cloud these artifacts were built from and
+    /// `new_points` the mutated cloud; `parent_of[v]` gives child vertex
+    /// `v`'s id in the parent cloud (`u32::MAX` for an inserted point —
+    /// surviving points must keep their coordinates). Each inserted point
+    /// is routed to the non-empty shard whose Morton range covers its code
+    /// (under the parent scene box, clamped like the plan's own encoder);
+    /// any deterministic assignment yields the *exact* EMST — the cycle
+    /// property discards intra-shard non-MST edges regardless of which
+    /// partition produced them, so the child's edge-weight multiset is
+    /// bit-identical to a from-scratch solve even though its plan need not
+    /// equal one.
+    ///
+    /// Per shard: **clean** (no member inserted or deleted) reuses the BVH
+    /// and local MST verbatim with renumbered vertex ids, and its
+    /// per-`(vertex, shard)` entry bounds are inherited — tightened by
+    /// `accel`'s durable round-1 floors, which are label-independent
+    /// geometric facts about the unchanged point set (the PR 6 commute
+    /// argument); **dirty** re-solves locally and recomputes its bounds
+    /// column (plus every inserted vertex's full row). Accel *candidates*
+    /// are never inherited: a parent candidate edge may name a deleted
+    /// point, so the child starts candidate-free and re-harvests on its
+    /// first merge.
+    ///
+    /// When the mutation changes the set of non-empty shards (a shard
+    /// drained, or inserts landed where nothing lived) the incremental
+    /// path cannot keep the parent's shard-column layout and the update
+    /// falls back to a full [`Self::build`], reported honestly in the
+    /// [`UpdateReport`].
+    ///
+    /// `deadline` is checked before each dirty-shard re-solve (and before
+    /// a fallback rebuild), so a slow update gives up at phase granularity
+    /// with nothing observable leaked — the parent artifacts are untouched
+    /// either way.
+    ///
+    /// # Panics
+    /// On `parent_of` inconsistencies (out-of-range or duplicate parent
+    /// ids) or when `old_points` is not the ingested cloud.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_update<S: ExecSpace>(
+        &self,
+        space: &S,
+        old_points: &[Point<D>],
+        new_points: &[Point<D>],
+        parent_of: &[u32],
+        config: &ShardConfig,
+        scratch: &mut BoruvkaScratch,
+        accel: Option<&MergeAccel>,
+        deadline: Option<Instant>,
+    ) -> Result<(Self, UpdateReport), MergeDeadlineExceeded> {
+        assert_eq!(old_points.len(), self.n, "old_points are not the ingested cloud");
+        assert_eq!(parent_of.len(), new_points.len(), "parent_of must map every new point");
+        let n_new = new_points.len();
+        let k = self.plan.num_shards();
+        let mut timings = PhaseTimings::new();
+
+        // Invert the parent map and collect the inserted child ids.
+        let mut child_of = vec![u32::MAX; self.n];
+        let mut inserted: Vec<u32> = vec![];
+        for (v, &p) in parent_of.iter().enumerate() {
+            if p == u32::MAX {
+                inserted.push(v as u32);
+            } else {
+                assert!((p as usize) < self.n, "parent_of id {p} out of range");
+                assert_eq!(child_of[p as usize], u32::MAX, "duplicate parent_of id {p}");
+                debug_assert_eq!(
+                    new_points[v], old_points[p as usize],
+                    "surviving point {v} moved — model a move as delete + insert"
+                );
+                child_of[p as usize] = v as u32;
+            }
+        }
+
+        // Child membership per shard: survivors in parent order, then the
+        // routed inserts in (Morton code, child id) order — deterministic,
+        // so two derivations of the same mutation agree bit-for-bit.
+        let (members, dirty_shard) = timings.time("plan", || {
+            let mut members: Vec<Vec<u32>> = vec![vec![]; k];
+            let mut dirty_shard = vec![false; k];
+            for (s, dirty) in dirty_shard.iter_mut().enumerate() {
+                let kept = &mut members[s];
+                for &p in self.plan.shard_indices(s) {
+                    let c = child_of[p as usize];
+                    if c != u32::MAX {
+                        kept.push(c);
+                    } else {
+                        *dirty = true;
+                    }
+                }
+            }
+            if !inserted.is_empty() {
+                let scene = Aabb::from_points(old_points);
+                let enc = MortonEncoder::new(&scene);
+                let max_code: Vec<Option<u64>> = (0..k)
+                    .map(|s| {
+                        self.plan
+                            .shard_indices(s)
+                            .iter()
+                            .map(|&p| enc.encode_u64(&old_points[p as usize]))
+                            .max()
+                    })
+                    .collect();
+                let route = |code: u64| -> usize {
+                    let mut last = 0;
+                    for (s, m) in max_code.iter().enumerate() {
+                        if let Some(m) = m {
+                            last = s;
+                            if code <= *m {
+                                return s;
+                            }
+                        }
+                    }
+                    last
+                };
+                let mut routed: Vec<(u64, u32, usize)> = inserted
+                    .iter()
+                    .map(|&c| {
+                        let code = enc.encode_u64(&new_points[c as usize]);
+                        (code, c, route(code))
+                    })
+                    .collect();
+                routed.sort_unstable();
+                for &(_, c, s) in &routed {
+                    members[s].push(c);
+                    dirty_shard[s] = true;
+                }
+            }
+            (members, dirty_shard)
+        });
+
+        // The incremental path keeps the parent's local-column layout
+        // (bounds stride, accel slots, serialization shape), which requires
+        // the set of non-empty shards to be unchanged. Otherwise: honest
+        // full rebuild.
+        if (0..k).any(|s| self.plan.shard_indices(s).is_empty() != members[s].is_empty()) {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Err(MergeDeadlineExceeded);
+                }
+            }
+            let rebuilt = Self::build(space, new_points, config);
+            let dirty_shards = (0..rebuilt.plan.num_shards())
+                .filter(|&s| !rebuilt.plan.shard_indices(s).is_empty())
+                .collect();
+            return Ok((
+                rebuilt,
+                UpdateReport { dirty_shards, reused_shards: 0, full_rebuild: true },
+            ));
+        }
+
+        let mut order: Vec<u32> = Vec::with_capacity(n_new);
+        let mut cut = Vec::with_capacity(k + 1);
+        cut.push(0);
+        for m in &members {
+            order.extend_from_slice(m);
+            cut.push(order.len());
+        }
+        let plan = ShardPlan::from_parts(order, cut);
+        let shard_sizes = plan.shard_sizes();
+
+        let mut local_iterations = Vec::with_capacity(self.locals.len());
+        let mut build_work = CounterSnapshot::default();
+        let mut locals: Vec<LocalArtifact<D>> = Vec::with_capacity(self.locals.len());
+        let mut dirty_local = Vec::with_capacity(self.locals.len());
+        let mut dirty_shards = vec![];
+        let mut reused_shards = 0usize;
+        timings.time("local", || -> Result<(), MergeDeadlineExceeded> {
+            for (li, local) in self.locals.iter().enumerate() {
+                let s = local.shard;
+                if !dirty_shard[s] {
+                    let vertex_of_rank =
+                        local.merge.vertex_of_rank.iter().map(|&p| child_of[p as usize]).collect();
+                    let seeds = local
+                        .seeds
+                        .iter()
+                        .map(|e| {
+                            Edge::new(child_of[e.u as usize], child_of[e.v as usize], e.weight_sq)
+                        })
+                        .collect();
+                    let merge = MergeShard { bvh: local.merge.bvh.clone(), vertex_of_rank };
+                    locals.push(LocalArtifact { shard: s, merge, seeds });
+                    local_iterations.push(self.local_iterations[li]);
+                    dirty_local.push(false);
+                    reused_shards += 1;
+                    continue;
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(MergeDeadlineExceeded);
+                    }
+                }
+                let ids = &members[s];
+                let pts: Vec<Point<D>> = ids.iter().map(|&c| new_points[c as usize]).collect();
+                let (seeds, iterations, work) = if pts.len() >= 2 {
+                    let r = SingleTreeBoruvka::new(&pts).run_scratch(space, &config.emst, scratch);
+                    let seeds = r
+                        .edges
+                        .iter()
+                        .map(|e| Edge::new(ids[e.u as usize], ids[e.v as usize], e.weight_sq))
+                        .collect();
+                    (seeds, r.iterations, r.work)
+                } else {
+                    (vec![], 0, CounterSnapshot::default())
+                };
+                build_work += work;
+                local_iterations.push(iterations);
+                locals.push(LocalArtifact {
+                    shard: s,
+                    merge: MergeShard::build(space, &pts, ids),
+                    seeds,
+                });
+                dirty_local.push(true);
+                dirty_shards.push(s);
+            }
+            Ok(())
+        })?;
+
+        let bounds = timings.time("plan", || {
+            let mut hint = vec![Scalar::INFINITY; n_new];
+            for l in &locals {
+                for e in &l.seeds {
+                    hint[e.u as usize] = hint[e.u as usize].min(e.weight_sq);
+                    hint[e.v as usize] = hint[e.v as usize].min(e.weight_sq);
+                }
+            }
+            let views: Vec<MergeShardView<'_, D>> = locals.iter().map(|l| l.merge.view()).collect();
+            CrossBounds::inherit_and_recompute(
+                space,
+                &views,
+                n_new,
+                &self.bounds,
+                accel,
+                parent_of,
+                &dirty_local,
+                Some(&hint),
+            )
+        });
+        let flat_seeds: Vec<Edge> = locals.iter().flat_map(|l| l.seeds.iter().copied()).collect();
+        Ok((
+            Self {
+                plan,
+                locals,
+                n: n_new,
+                shard_sizes,
+                local_iterations,
+                build_work,
+                build_timings: timings,
+                bounds,
+                flat_seeds,
+            },
+            UpdateReport { dirty_shards, reused_shards, full_rebuild: false },
+        ))
+    }
+
     /// The `k` nearest ingested points to `query` as `(original index,
     /// squared distance)`, sorted ascending by `(distance, index)` —
     /// answered from the resident per-shard BVHs (each shard returns its
@@ -706,6 +963,19 @@ impl<const D: usize> ShardArtifacts<D> {
             flat_seeds,
         })
     }
+}
+
+/// What [`ShardArtifacts::apply_update`] did to derive the child artifacts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Plan-shard indices whose local solve re-ran (insert/delete landed
+    /// there). On a full rebuild: every non-empty shard of the new plan.
+    pub dirty_shards: Vec<usize>,
+    /// Non-empty shards whose BVH + local MST were reused verbatim.
+    pub reused_shards: usize,
+    /// The mutation changed the set of non-empty shards, so the update
+    /// fell back to a full build instead of staying incremental.
+    pub full_rebuild: bool,
 }
 
 /// Magic of the serialized-artifact blob ([`ShardArtifacts::serialize_into`]).
@@ -934,6 +1204,193 @@ mod tests {
             )
             .unwrap();
         assert_eq!(ok.edges, artifacts.merge(&Serial, Traversal::default()).edges);
+    }
+
+    /// Appends `extra` fresh points to `pts`, returning the child cloud and
+    /// its `parent_of` map (identity for survivors, `MAX` for inserts).
+    fn with_inserts(pts: &[Point<2>], extra: &[Point<2>]) -> (Vec<Point<2>>, Vec<u32>) {
+        let mut np = pts.to_vec();
+        np.extend_from_slice(extra);
+        let mut parent_of: Vec<u32> = (0..pts.len() as u32).collect();
+        parent_of.extend(std::iter::repeat_n(u32::MAX, extra.len()));
+        (np, parent_of)
+    }
+
+    /// Removes the points at `del` (distinct parent ids) from `pts`,
+    /// returning the compacted child cloud and its `parent_of` map.
+    fn with_deletes(pts: &[Point<2>], del: &[u32]) -> (Vec<Point<2>>, Vec<u32>) {
+        let dead: std::collections::HashSet<u32> = del.iter().copied().collect();
+        let mut np = vec![];
+        let mut parent_of = vec![];
+        for (i, p) in pts.iter().enumerate() {
+            if !dead.contains(&(i as u32)) {
+                np.push(*p);
+                parent_of.push(i as u32);
+            }
+        }
+        (np, parent_of)
+    }
+
+    #[test]
+    fn incremental_insert_matches_from_scratch_and_reuses_clean_shards() {
+        let pts = random_points_2d(400, 31);
+        let parent = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(6));
+        // A tight cluster of inserts lands in few shards.
+        let extra: Vec<Point<2>> =
+            (0..8).map(|i| Point::new([0.31 + i as f32 * 1e-3, 0.52])).collect();
+        let (np, parent_of) = with_inserts(&pts, &extra);
+        let mut scratch = BoruvkaScratch::new();
+        let (child, report) = parent
+            .apply_update(
+                &Serial,
+                &pts,
+                &np,
+                &parent_of,
+                &ShardConfig::new(6),
+                &mut scratch,
+                None,
+                None,
+            )
+            .unwrap();
+        assert!(!report.full_rebuild);
+        assert!(report.reused_shards >= 4, "cluster inserts must keep most shards clean");
+        assert_eq!(report.dirty_shards.len() + report.reused_shards, 6);
+        let r = child.merge(&Serial, Traversal::default());
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&np)));
+        // The child is a first-class artifact: it serializes and restores
+        // to bit-identical merges like any built one.
+        let mut blob = vec![];
+        child.serialize_into(&mut blob);
+        let restored = ShardArtifacts::<2>::deserialize(&blob).unwrap();
+        assert_eq!(restored.merge(&Serial, Traversal::default()).edges, r.edges);
+    }
+
+    #[test]
+    fn incremental_delete_matches_from_scratch() {
+        let pts = random_points_2d(300, 37);
+        let parent = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(5));
+        // Delete a handful of spatially close members (all from one shard)
+        // plus one arbitrary id.
+        let victim_shard: Vec<u32> =
+            parent.plan().shard_indices(2).iter().take(3).copied().collect();
+        let mut del = victim_shard;
+        del.push(7);
+        let (np, parent_of) = with_deletes(&pts, &del);
+        let mut scratch = BoruvkaScratch::new();
+        let (child, report) = parent
+            .apply_update(
+                &Serial,
+                &pts,
+                &np,
+                &parent_of,
+                &ShardConfig::new(5),
+                &mut scratch,
+                None,
+                None,
+            )
+            .unwrap();
+        assert!(!report.full_rebuild);
+        assert!(!report.dirty_shards.is_empty() && report.reused_shards > 0);
+        let r = child.merge(&Serial, Traversal::default());
+        assert_eq!(r.edges.len(), np.len() - 1);
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&np)));
+    }
+
+    #[test]
+    fn incremental_update_inherits_accel_floors_bit_identically() {
+        let pts = random_points_2d(350, 41);
+        let parent = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(4));
+        // Warm the parent accelerator so there are durable floors to
+        // inherit.
+        let mut accel = parent.new_accel();
+        let mut ms = MergeScratch::new();
+        parent.merge_accel(&Serial, Traversal::default(), &mut ms, &mut accel);
+        assert!(accel.num_candidates() > 0, "round 1 must have harvested candidates");
+
+        let extra = vec![Point::new([0.05f32, -0.4]), Point::new([-0.6f32, 0.33])];
+        let (np, parent_of) = with_inserts(&pts, &extra);
+        let mut scratch = BoruvkaScratch::new();
+        let cfg = ShardConfig::new(4);
+        let derive = |accel: Option<&MergeAccel>, scratch: &mut BoruvkaScratch| {
+            parent.apply_update(&Serial, &pts, &np, &parent_of, &cfg, scratch, accel, None).unwrap()
+        };
+        let (plain, _) = derive(None, &mut scratch);
+        let (floored, _) = derive(Some(&accel), &mut scratch);
+        // Inherited floors only prune provably-dead work: the merge result
+        // is bit-identical, and repeated merges through the child's own
+        // accelerator stay so.
+        let a = plain.merge(&Serial, Traversal::default());
+        let b = floored.merge(&Serial, Traversal::default());
+        assert_eq!(a.edges, b.edges);
+        let mut child_accel = floored.new_accel();
+        for _ in 0..2 {
+            let c = floored.merge_accel(&Serial, Traversal::default(), &mut ms, &mut child_accel);
+            assert_eq!(c.edges, b.edges);
+        }
+        assert_eq!(weight_multiset(&a.edges), weight_multiset(&brute_force_emst(&np)));
+    }
+
+    #[test]
+    fn draining_a_shard_falls_back_to_full_rebuild() {
+        let pts = random_points_2d(200, 43);
+        let parent = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(4));
+        let del: Vec<u32> = parent.plan().shard_indices(1).to_vec();
+        assert!(!del.is_empty());
+        let (np, parent_of) = with_deletes(&pts, &del);
+        let mut scratch = BoruvkaScratch::new();
+        let (child, report) = parent
+            .apply_update(
+                &Serial,
+                &pts,
+                &np,
+                &parent_of,
+                &ShardConfig::new(4),
+                &mut scratch,
+                None,
+                None,
+            )
+            .unwrap();
+        assert!(report.full_rebuild);
+        assert_eq!(report.reused_shards, 0);
+        let r = child.merge(&Serial, Traversal::default());
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&np)));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_update_and_leaves_parent_reusable() {
+        let pts = random_points_2d(250, 47);
+        let parent = ShardArtifacts::build(&Serial, &pts, &ShardConfig::new(4));
+        let (np, parent_of) = with_inserts(&pts, &[Point::new([0.1f32, 0.1])]);
+        let mut scratch = BoruvkaScratch::new();
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = parent.apply_update(
+            &Serial,
+            &pts,
+            &np,
+            &parent_of,
+            &ShardConfig::new(4),
+            &mut scratch,
+            None,
+            Some(past),
+        );
+        assert!(matches!(err, Err(MergeDeadlineExceeded)));
+        // The parent is untouched and a generous deadline succeeds.
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        let (child, _) = parent
+            .apply_update(
+                &Serial,
+                &pts,
+                &np,
+                &parent_of,
+                &ShardConfig::new(4),
+                &mut scratch,
+                None,
+                Some(far),
+            )
+            .unwrap();
+        let r = child.merge(&Serial, Traversal::default());
+        assert_eq!(weight_multiset(&r.edges), weight_multiset(&brute_force_emst(&np)));
+        assert_eq!(parent.merge(&Serial, Traversal::default()).edges.len(), pts.len() - 1);
     }
 
     #[test]

@@ -203,7 +203,80 @@ pub(crate) struct CrossBounds {
     pub reach: Vec<Scalar>,
 }
 
+/// Collects the depth-4 node frontier of every shard's BVH (≤ 16 boxes
+/// each) — the geometry the pristine entry bounds are measured against.
+fn frontiers<const D: usize>(shards: &[MergeShardView<'_, D>]) -> Vec<Vec<u32>> {
+    fn gather<const D: usize>(bvh: &Bvh<D>, node: u32, depth: u32, out: &mut Vec<u32>) {
+        if depth == 0 || bvh.is_leaf(node) {
+            out.push(node);
+        } else {
+            gather(bvh, bvh.left_child(node), depth - 1, out);
+            gather(bvh, bvh.right_child(node), depth - 1, out);
+        }
+    }
+    shards
+        .iter()
+        .map(|shard| {
+            let mut frontier = vec![];
+            gather(shard.bvh, shard.bvh.root(), 4, &mut frontier);
+            frontier
+        })
+        .collect()
+}
+
+/// One pristine `(vertex, shard)` entry bound: the min distance from `q` to
+/// `shard`'s frontier boxes, optionally sharpened by a radius-capped nearest
+/// probe when the box bound falls at or below `refine` (see
+/// [`CrossBounds::compute`] for why the probe result is still a sound lower
+/// bound — either the exact nearest distance or the probe's pruned floor).
+fn entry_bound<const D: usize>(
+    shard: &MergeShardView<'_, D>,
+    frontier: &[u32],
+    q: &Point<D>,
+    refine: Option<Scalar>,
+) -> Scalar {
+    let mut d = frontier
+        .iter()
+        .map(|&id| shard.bvh.node_distance_sq(id, q))
+        .fold(Scalar::INFINITY, Scalar::min);
+    if let Some(hint) = refine {
+        if d <= hint {
+            let mut st = TraversalStats::default();
+            let hit = shard.bvh.nearest_floor(
+                Traversal::default(),
+                q,
+                hint,
+                |_| false,
+                |_, e| Some(e),
+                &mut st,
+            );
+            d = match hit {
+                Some(h) => h.dist_sq,
+                None => st.pruned_min_sq,
+            }
+            .max(d);
+        }
+    }
+    d
+}
+
 impl CrossBounds {
+    /// Derives the vertex → (shard, rank) maps from the rank maps.
+    fn maps<const D: usize>(
+        shards: &[MergeShardView<'_, D>],
+        n_vertices: usize,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut shard_of = vec![0u32; n_vertices];
+        let mut rank_of = vec![0u32; n_vertices];
+        for (s, shard) in shards.iter().enumerate() {
+            for (rank, &v) in shard.vertex_of_rank.iter().enumerate() {
+                shard_of[v as usize] = s as u32;
+                rank_of[v as usize] = rank as u32;
+            }
+        }
+        (shard_of, rank_of)
+    }
+
     /// Computes the maps and pristine bounds for `shards`.
     ///
     /// `refine_radius` (per vertex id) sharpens weak bounds: wherever the
@@ -221,30 +294,8 @@ impl CrossBounds {
         refine_radius: Option<&[Scalar]>,
     ) -> Self {
         let stride = shards.len();
-        let mut shard_of = vec![0u32; n_vertices];
-        let mut rank_of = vec![0u32; n_vertices];
-        for (s, shard) in shards.iter().enumerate() {
-            for (rank, &v) in shard.vertex_of_rank.iter().enumerate() {
-                shard_of[v as usize] = s as u32;
-                rank_of[v as usize] = rank as u32;
-            }
-        }
-        fn gather<const D: usize>(bvh: &Bvh<D>, node: u32, depth: u32, out: &mut Vec<u32>) {
-            if depth == 0 || bvh.is_leaf(node) {
-                out.push(node);
-            } else {
-                gather(bvh, bvh.left_child(node), depth - 1, out);
-                gather(bvh, bvh.right_child(node), depth - 1, out);
-            }
-        }
-        let frontiers: Vec<Vec<u32>> = shards
-            .iter()
-            .map(|shard| {
-                let mut frontier = vec![];
-                gather(shard.bvh, shard.bvh.root(), 4, &mut frontier);
-                frontier
-            })
-            .collect();
+        let (shard_of, rank_of) = Self::maps(shards, n_vertices);
+        let frontiers = frontiers(shards);
         let mut reach = vec![Scalar::INFINITY; n_vertices];
         let mut cross_dist = vec![Scalar::INFINITY; n_vertices * stride];
         {
@@ -256,34 +307,82 @@ impl CrossBounds {
                 let q = shards[home].bvh.leaf_point(rank_of[v]);
                 let mut r = Scalar::INFINITY;
                 for (s, shard) in shards.iter().enumerate() {
-                    let mut d = if s == home {
+                    let d = if s == home {
                         Scalar::INFINITY
                     } else {
-                        frontiers[s]
-                            .iter()
-                            .map(|&id| shard.bvh.node_distance_sq(id, q))
-                            .fold(Scalar::INFINITY, Scalar::min)
+                        entry_bound(shard, &frontiers[s], q, refine_radius.map(|h| h[v]))
                     };
-                    if s != home {
-                        if let Some(hint) = refine_radius {
-                            if d <= hint[v] {
-                                let mut st = TraversalStats::default();
-                                let hit = shard.bvh.nearest_floor(
-                                    Traversal::default(),
-                                    q,
-                                    hint[v],
-                                    |_| false,
-                                    |_, e| Some(e),
-                                    &mut st,
-                                );
-                                d = match hit {
-                                    Some(h) => h.dist_sq,
-                                    None => st.pruned_min_sq,
-                                }
-                                .max(d);
-                            }
+                    // SAFETY: one writer per slot.
+                    unsafe { cross_s.write(v * stride + s, d) };
+                    r = r.min(d);
+                }
+                // SAFETY: one writer per slot.
+                unsafe { reach_s.write(v, r) };
+            });
+        }
+        Self { shard_of, rank_of, cross_dist, reach }
+    }
+
+    /// Bounds for a *mutated* cloud, inheriting every still-valid parent
+    /// fact and recomputing only what the mutation invalidated.
+    ///
+    /// `parent_of[v]` is the parent vertex id of child vertex `v`
+    /// (`u32::MAX` for a freshly inserted point), `dirty[s]` marks the
+    /// local columns whose shard's point set changed. An entry `(v, s)` is
+    /// a lower bound on `v`'s distance to shard `s`'s points — a pure
+    /// function of `v`'s position and `s`'s geometry — so for a surviving
+    /// vertex (position unchanged) and a clean shard (point set unchanged)
+    /// the parent entry still holds verbatim, tightened by the parent
+    /// accelerator's durable floor for the same slot when one is supplied:
+    /// accel floors are harvested from round 1 only, where no
+    /// same-component skip can fire, so they too are label-independent
+    /// geometric facts about the unchanged `(position, point set)` pair.
+    /// Dirty columns and inserted vertices' full rows are recomputed
+    /// exactly as [`Self::compute`] would.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn inherit_and_recompute<S: ExecSpace, const D: usize>(
+        space: &S,
+        shards: &[MergeShardView<'_, D>],
+        n_vertices: usize,
+        parent: &CrossBounds,
+        parent_accel: Option<&MergeAccel>,
+        parent_of: &[u32],
+        dirty: &[bool],
+        refine_radius: Option<&[Scalar]>,
+    ) -> Self {
+        let stride = shards.len();
+        debug_assert_eq!(parent_of.len(), n_vertices);
+        debug_assert_eq!(dirty.len(), stride);
+        debug_assert_eq!(parent.cross_dist.len() % stride.max(1), 0, "parent stride differs");
+        if let Some(a) = parent_accel {
+            debug_assert_eq!(a.stride, stride, "accel built for a different sharding");
+        }
+        let (shard_of, rank_of) = Self::maps(shards, n_vertices);
+        let frontiers = frontiers(shards);
+        let mut reach = vec![Scalar::INFINITY; n_vertices];
+        let mut cross_dist = vec![Scalar::INFINITY; n_vertices * stride];
+        {
+            let reach_s = SyncUnsafeSlice::new(reach.as_mut_slice());
+            let cross_s = SyncUnsafeSlice::new(cross_dist.as_mut_slice());
+            let (shard_of, rank_of, frontiers) = (&shard_of, &rank_of, &frontiers);
+            space.parallel_for(n_vertices, |v| {
+                let home = shard_of[v] as usize;
+                let q = shards[home].bvh.leaf_point(rank_of[v]);
+                let p = parent_of[v];
+                let mut r = Scalar::INFINITY;
+                for (s, shard) in shards.iter().enumerate() {
+                    let d = if s == home {
+                        Scalar::INFINITY
+                    } else if p != u32::MAX && !dirty[s] {
+                        let idx = p as usize * stride + s;
+                        let mut d = parent.cross_dist[idx];
+                        if let Some(a) = parent_accel {
+                            d = d.max(a.cross_dist[idx]);
                         }
-                    }
+                        d
+                    } else {
+                        entry_bound(shard, &frontiers[s], q, refine_radius.map(|h| h[v]))
+                    };
                     // SAFETY: one writer per slot.
                     unsafe { cross_s.write(v * stride + s, d) };
                     r = r.min(d);

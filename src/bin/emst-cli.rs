@@ -17,10 +17,14 @@
 //! artifacts stay resident between queries, so repeated `emst` commands are
 //! answered by the cross-shard merge alone. Commands, one per line on
 //! stdin: `emst [out.csv]`, `subset <lo>..<hi>`, `knn <k> <x> <y> [<z>]`,
-//! `hdbscan <k_pts> <min_cluster_size>`, `load <points.csv>`, `stats`,
-//! `metrics [json]`, `trace [n]`, `quit`. Responses go to stdout
+//! `hdbscan <k_pts> <min_cluster_size>`, `insert <x> <y> [<z>] …`,
+//! `delete <id> …`, `load <points.csv>`, `stats`, `metrics [json]`,
+//! `trace [n]`, `quit`. Responses go to stdout
 //! (`cache=hit|miss|reloaded` tells whether the local phase ran);
-//! malformed commands print an error and continue.
+//! malformed commands print an error and continue. `insert`/`delete`
+//! mutate the session's cloud through the engine's incremental
+//! delta-solve (only dirty shards re-solve) and swap the session onto
+//! the new cloud, exactly like `load`.
 //!
 //! Serve diagnostics go through the `emst::obs` structured logger —
 //! `--log-format json` turns them into machine-parseable JSON lines — and
@@ -52,7 +56,8 @@ use emst::geometry::Point;
 use emst::hdbscan::Hdbscan;
 use emst::serve::fault::{faulted_read, faulted_write};
 use emst::serve::{
-    CacheOutcome, FaultPlan, FaultSite, NetConfig, ServeConfig, ServeEngine, ServeServer,
+    CacheOutcome, CloudRef, FaultPlan, FaultSite, MutateResponse, NetConfig, ServeConfig,
+    ServeEngine, ServeRequest, ServeResponse, ServeServer,
 };
 use emst::shard::{emst_sharded_csv, emst_sharded_with, ShardConfig, ShardStats, StreamConfig};
 
@@ -78,6 +83,7 @@ fn usage() -> ExitCode {
                     [--listen <addr>] [--net-workers <N>] [--max-pending <M>]
                     stdin commands: emst [out.csv] | subset <lo>..<hi> |
                     knn <k> <x> <y> [<z>] | hdbscan <k_pts> <min_cluster_size> |
+                    insert <x> <y> [<z>] … | delete <id> … |
                     load <points.csv> | stats | metrics [json] | trace [n] | quit
                     --listen serves the same verbs over TCP (one line per
                     request/reply; see docs/serving-protocol.md); stdin still
@@ -555,8 +561,67 @@ fn load_cloud<S: ExecSpace, const D: usize>(
 ) -> Result<(String, Vec<Point<D>>), String> {
     let path = rest.first().ok_or("load needs a path")?;
     let points = load_points_from::<D>(path, plan)?;
-    let key = engine.ingest(&points);
+    let key = match engine.execute(ServeRequest::Load { points: &points }) {
+        Ok(ServeResponse::Loaded { key }) => key,
+        Ok(other) => unreachable!("load request answered with {other:?}"),
+        Err(e) => return Err(e.to_string()),
+    };
     Ok((format!("loaded n={} key={key}", points.len()), points))
+}
+
+/// Executes the REPL's `insert`/`delete` commands: parses the arguments,
+/// runs the engine's incremental delta-solve through
+/// [`ServeEngine::execute`], and returns the response line plus the
+/// mutated cloud the session serves from now on. Like `load`, the
+/// dispatching loops swap the session cloud on success.
+fn mutate_cloud<S: ExecSpace, const D: usize>(
+    engine: &ServeEngine<S, D>,
+    points: &[Point<D>],
+    cmd: &str,
+    rest: &[&str],
+) -> Result<(String, Vec<Point<D>>), String> {
+    let m: MutateResponse<D> = if cmd == "insert" {
+        if rest.is_empty() || !rest.len().is_multiple_of(D) {
+            return Err(format!("insert needs coordinates in groups of {D}"));
+        }
+        let mut added = Vec::with_capacity(rest.len() / D);
+        for chunk in rest.chunks(D) {
+            let mut coords = [0.0f32; D];
+            for (c, v) in coords.iter_mut().zip(chunk) {
+                *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
+            }
+            added.push(Point::new(coords));
+        }
+        let req = ServeRequest::Insert { cloud: CloudRef::Points(points), points: &added };
+        match engine.execute(req).map_err(|e| e.to_string())? {
+            ServeResponse::Mutated(m) => m,
+            other => unreachable!("insert request answered with {other:?}"),
+        }
+    } else {
+        if rest.is_empty() {
+            return Err("delete needs at least one <id>".to_string());
+        }
+        let mut ids = Vec::with_capacity(rest.len());
+        for v in rest {
+            ids.push(v.parse::<u32>().map_err(|_| format!("invalid id {v:?}"))?);
+        }
+        let req = ServeRequest::Delete { cloud: CloudRef::Points(points), ids: &ids };
+        match engine.execute(req).map_err(|e| e.to_string())? {
+            ServeResponse::Mutated(m) => m,
+            other => unreachable!("delete request answered with {other:?}"),
+        }
+    };
+    let line = format!(
+        "{cmd} key={} n={} dirty={} reused={} edges={} weight={:.6} merge={:.3}s",
+        m.key,
+        m.n,
+        m.dirty_shards.len(),
+        m.reused_shards,
+        m.update.edges.len(),
+        m.update.total_weight,
+        m.update.timings.get("merge"),
+    );
+    Ok((line, m.points))
 }
 
 /// The historical single-threaded REPL: one command, one response, in
@@ -583,6 +648,11 @@ fn serve_sequential<S: ExecSpace, const D: usize>(
                 points = new_points;
                 response
             })
+        } else if cmd == "insert" || cmd == "delete" {
+            mutate_cloud(engine, &points, cmd, &rest).map(|(response, new_points)| {
+                points = new_points;
+                response
+            })
         } else {
             serve_command(engine, &points, cmd, &rest)
         };
@@ -601,8 +671,9 @@ fn serve_sequential<S: ExecSpace, const D: usize>(
 /// a pool of worker threads sharing one engine, so independent queries run
 /// concurrently. Responses carry their request id (`[3] emst cache=…`) and
 /// may interleave out of order; `quit`/EOF drains every outstanding
-/// request before exiting. `load` is a barrier: the queue drains first, so
-/// earlier requests answer against the cloud they were issued under.
+/// request before exiting. `load`, `insert` and `delete` are barriers:
+/// the queue drains first, so earlier requests answer against the cloud
+/// they were issued under, then the session swaps onto the new cloud.
 fn serve_pool<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     points: Vec<Point<D>>,
@@ -693,10 +764,16 @@ fn serve_pool<S: ExecSpace, const D: usize>(
             };
             let id = next_id;
             next_id += 1;
-            if cmd == "load" {
+            if cmd == "load" || cmd == "insert" || cmd == "delete" {
                 pool.drain();
                 let rest: Vec<&str> = tok.collect();
-                match load_cloud(engine, &rest, plan) {
+                let result = if cmd == "load" {
+                    load_cloud(engine, &rest, plan)
+                } else {
+                    let pts = Arc::clone(&cloud.read().unwrap());
+                    mutate_cloud(engine, &pts, cmd, &rest)
+                };
+                match result {
                     Ok((r, new_points)) => {
                         *cloud.write().unwrap() = Arc::new(new_points);
                         println!("[{id}] {r}");
@@ -728,13 +805,14 @@ fn outcome_name(o: CacheOutcome) -> &'static str {
     }
 }
 
-/// Executes one REPL command (everything except `load`, which swaps the
-/// session cloud and is handled by the dispatching loop), returning the
-/// response line. Takes the engine by shared reference: any number of
-/// workers may execute commands concurrently. Queries go through the
-/// guarded `try_*` entry points, so `--deadline-ms`, `--max-in-flight`
-/// and panic isolation all apply: a late, shed or panicking query prints
-/// an error line and the server keeps going.
+/// Executes one REPL command (everything except `load`/`insert`/`delete`,
+/// which swap the session cloud and are handled by the dispatching loop),
+/// returning the response line. Takes the engine by shared reference: any
+/// number of workers may execute commands concurrently. Every verb
+/// dispatches through the one typed [`ServeEngine::execute`] entry point,
+/// so `--deadline-ms`, `--max-in-flight` and panic isolation all apply: a
+/// late, shed or panicking query prints an error line and the server
+/// keeps going.
 fn serve_command<S: ExecSpace, const D: usize>(
     engine: &ServeEngine<S, D>,
     points: &[Point<D>],
@@ -747,7 +825,11 @@ fn serve_command<S: ExecSpace, const D: usize>(
     };
     match cmd {
         "emst" => {
-            let r = engine.try_emst(points).map_err(|e| e.to_string())?;
+            let req = ServeRequest::Emst { cloud: CloudRef::Points(points) };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Emst(r) => r,
+                other => unreachable!("emst request answered with {other:?}"),
+            };
             if let Some(path) = rest.first() {
                 write_edges(Path::new(path), &r.edges)?;
             }
@@ -772,7 +854,11 @@ fn serve_command<S: ExecSpace, const D: usize>(
                 return Err(format!("subset {lo}..{hi} out of range for {} points", points.len()));
             }
             let subset: Vec<u32> = (lo..hi).collect();
-            let r = engine.try_emst_subset(points, &subset).map_err(|e| e.to_string())?;
+            let req = ServeRequest::Subset { cloud: CloudRef::Points(points), subset: &subset };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Subset(r) => r,
+                other => unreachable!("subset request answered with {other:?}"),
+            };
             Ok(format!(
                 "subset cache={} m={} edges={} weight={:.6} local={:.3}s merge={:.3}s",
                 outcome_name(r.outcome),
@@ -792,8 +878,15 @@ fn serve_command<S: ExecSpace, const D: usize>(
             for (c, v) in coords.iter_mut().zip(&rest[1..]) {
                 *c = v.parse().map_err(|_| format!("invalid coordinate {v:?}"))?;
             }
-            let r =
-                engine.try_k_nearest(points, &Point::new(coords), k).map_err(|e| e.to_string())?;
+            let req = ServeRequest::KNearest {
+                cloud: CloudRef::Points(points),
+                query: Point::new(coords),
+                k,
+            };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::KNearest(r) => r,
+                other => unreachable!("knn request answered with {other:?}"),
+            };
             let hits: Vec<String> =
                 r.neighbors.iter().map(|(i, d)| format!("{i}:{:.6}", d.sqrt())).collect();
             Ok(format!("knn cache={} {}", outcome_name(r.outcome), hits.join(" ")))
@@ -804,9 +897,14 @@ fn serve_command<S: ExecSpace, const D: usize>(
             if k_pts < 1 || min_cluster_size < 2 {
                 return Err("hdbscan needs k_pts >= 1 and min_cluster_size >= 2".into());
             }
-            let r = engine
-                .try_hdbscan(points, Hdbscan { k_pts, min_cluster_size })
-                .map_err(|e| e.to_string())?;
+            let req = ServeRequest::Hdbscan {
+                cloud: CloudRef::Points(points),
+                params: Hdbscan { k_pts, min_cluster_size },
+            };
+            let r = match engine.execute(req).map_err(|e| e.to_string())? {
+                ServeResponse::Hdbscan(r) => r,
+                other => unreachable!("hdbscan request answered with {other:?}"),
+            };
             let noise = r.result.labels.iter().filter(|&&l| l == emst::hdbscan::NOISE).count();
             Ok(format!(
                 "hdbscan cache={} clusters={} noise={}",
@@ -820,13 +918,12 @@ fn serve_command<S: ExecSpace, const D: usize>(
             // `ServeStats::named_fields` destructures exhaustively, so adding
             // a field to `ServeStats` without surfacing it here is a compile
             // error in the library and a test failure in tests/cli.rs.
-            let s = engine.stats();
-            let mut line = format!(
-                "stats resident={} bytes={}",
-                engine.num_resident(),
-                engine.resident_bytes()
-            );
-            for (name, value) in s.named_fields() {
+            let s = match engine.execute(ServeRequest::Stats).map_err(|e| e.to_string())? {
+                ServeResponse::Stats(s) => s,
+                other => unreachable!("stats request answered with {other:?}"),
+            };
+            let mut line = format!("stats resident={} bytes={}", s.resident, s.resident_bytes);
+            for (name, value) in s.stats.named_fields() {
                 line.push_str(&format!(" {name}={value}"));
             }
             Ok(line)
@@ -850,8 +947,8 @@ fn serve_command<S: ExecSpace, const D: usize>(
         }
         other => Err(format!(
             "unknown command {other:?} (emst [out.csv] | subset <lo>..<hi> | knn <k> <x> <y> \
-             [<z>] | hdbscan <k_pts> <min_cluster_size> | load <points.csv> | stats | \
-             metrics [json] | trace [n] | quit)"
+             [<z>] | hdbscan <k_pts> <min_cluster_size> | insert <x> <y> [<z>] … | \
+             delete <id> … | load <points.csv> | stats | metrics [json] | trace [n] | quit)"
         )),
     }
 }

@@ -241,7 +241,7 @@ fn usage_mentions_every_command_and_flag() {
         assert!(usage.contains(flag), "usage misses flag {flag}: {usage}");
     }
     // And the serve REPL's command vocabulary is spelled out.
-    for repl in ["subset", "knn", "stats", "metrics", "trace", "quit"] {
+    for repl in ["subset", "knn", "stats", "metrics", "trace", "insert", "delete", "quit"] {
         assert!(usage.contains(repl), "usage misses serve command {repl}: {usage}");
     }
 }
@@ -364,6 +364,48 @@ fn serve_rejects_bad_commands_without_dying() {
     assert!(stdout.contains("error: hdbscan needs"), "stdout: {stdout}");
     // The engine survived all of it and still answered.
     assert!(stdout.contains("emst cache=hit n=100 edges=99"), "stdout: {stdout}");
+    std::fs::remove_file(&pts).ok();
+}
+
+#[test]
+fn serve_mutates_the_session_cloud_in_place() {
+    let pts = tmp("serve-mutate-points.csv");
+    assert!(bin()
+        .args(["generate", "--kind", "uniform", "--n", "200", "--dim", "2"])
+        .args(["--seed", "31", "--output", pts.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+
+    // insert two points, query the mutated cloud, delete three ids, then
+    // exercise the error taxonomy: engine-layer rejection (duplicate id)
+    // and parse-layer rejection (odd coordinate count) both leave the
+    // session alive and the cloud untouched.
+    let stdout = serve_session(
+        &pts,
+        &["--shards", "4"],
+        "insert 0.31 0.64 0.22 0.18\nemst\ndelete 0 7 150\ndelete 0 0\ninsert 0.5\nemst\nquit\n",
+    );
+    let insert_line = stdout
+        .lines()
+        .find(|l| l.starts_with("insert key="))
+        .unwrap_or_else(|| panic!("no insert reply: {stdout}"));
+    assert!(insert_line.contains(" n=202 "), "stdout: {stdout}");
+    assert!(insert_line.contains(" dirty="), "stdout: {stdout}");
+    assert!(insert_line.contains(" reused="), "stdout: {stdout}");
+    assert!(insert_line.contains(" edges=201 "), "stdout: {stdout}");
+    // The session now serves the mutated cloud: the emst between the
+    // mutations sees 202 points, the one after the failed mutations 199.
+    assert!(stdout.contains("emst cache=hit n=202 edges=201"), "stdout: {stdout}");
+    let delete_line = stdout
+        .lines()
+        .find(|l| l.starts_with("delete key="))
+        .unwrap_or_else(|| panic!("no delete reply: {stdout}"));
+    assert!(delete_line.contains(" n=199 "), "stdout: {stdout}");
+    assert!(delete_line.contains(" edges=198 "), "stdout: {stdout}");
+    assert!(stdout.contains("error: invalid request: duplicate delete id 0"), "stdout: {stdout}");
+    assert!(stdout.contains("error: insert needs coordinates in groups of 2"), "stdout: {stdout}");
+    assert!(stdout.contains("emst cache=hit n=199 edges=198"), "stdout: {stdout}");
     std::fs::remove_file(&pts).ok();
 }
 

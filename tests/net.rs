@@ -280,6 +280,46 @@ fn client_drops_leave_the_engine_serving_others() {
     }
 }
 
+/// The PR 10 mutation verbs over TCP: a client running an
+/// insert/query/delete script receives bytes identical to the in-process
+/// [`respond`] oracle run against a separately constructed engine — the
+/// same bit-identity proof the read-only verbs get, now covering the
+/// incremental delta-solve path and the session-cloud swap.
+#[test]
+fn mutation_verbs_on_the_wire_match_the_oracle_bit_for_bit() {
+    let pts = cloud(300, 31);
+    let server = server(&pts, NetConfig { workers: 2, max_pending: 8 });
+    const SCRIPT: [&str; 8] = [
+        "insert 0.31 0.64 0.22 0.18",
+        "emst",
+        "delete 0 7 150",
+        "emst",
+        "insert 0.31 0.64",
+        "subset 10..60",
+        "delete 0",
+        "quit",
+    ];
+    let oracle = engine(&pts);
+    let expected = oracle_replies(&oracle, &pts, &SCRIPT);
+    assert!(expected.contains("ok insert key="), "{expected}");
+    assert!(expected.contains("ok delete key="), "{expected}");
+
+    let mut c = connect(&server);
+    c.write_all((SCRIPT.join("\n") + "\n").as_bytes()).unwrap();
+    let mut got = String::new();
+    c.read_to_string(&mut got).unwrap();
+    assert_eq!(got, expected, "wire mutation bytes diverged from the oracle");
+
+    // A second client starts from the server's *initial* cloud — the
+    // first client's mutations were session-scoped, not global.
+    let expected_fresh = oracle_replies(&oracle, &pts, &["delete 0 7 150", "quit"]);
+    let mut c2 = connect(&server);
+    c2.write_all(b"delete 0 7 150\nquit\n").unwrap();
+    let mut got2 = String::new();
+    c2.read_to_string(&mut got2).unwrap();
+    assert_eq!(got2, expected_fresh, "sessions must not leak mutations across connections");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -1,17 +1,23 @@
 //! Cache-correctness tests of the serving layer: a warm answer must be
 //! *bit-identical* to the cold one on every backend and both traversals,
-//! eviction/reload must not change a single bit, and a mutated input must
-//! never be served from a stale entry.
+//! eviction/reload must not change a single bit, a mutated input must
+//! never be served from a stale entry, and the PR 10 incremental
+//! `insert`/`delete` path must match from-scratch oracles under
+//! proptested mutation chains, concurrency, and deadline pressure.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use emst::core::brute::brute_force_emst;
 use emst::core::edge::{verify_spanning_tree, weight_multiset};
 use emst::core::{Edge, EmstConfig, Traversal};
-use emst::datasets::{generate_2d, DatasetSpec};
+use emst::datasets::{generate_2d, DatasetSpec, Kind};
 use emst::exec::{ExecSpace, GpuSim, Serial, Threads};
 use emst::geometry::Point;
 use emst::hdbscan::Hdbscan;
-use emst::serve::{CacheOutcome, ServeConfig, ServeEngine};
+use emst::serve::{CacheOutcome, FaultPlan, ServeConfig, ServeEngine, ServeError};
 use emst::shard::{emst_sharded_with, ShardConfig};
+use proptest::prelude::*;
 
 fn cloud(n: usize, seed: u64) -> Vec<Point<2>> {
     generate_2d(&DatasetSpec::hacc_like(n, seed))
@@ -306,4 +312,153 @@ fn warm_query_traces_expose_merge_round_spans() {
     let cold = fresh.recent_traces(1).pop().unwrap();
     assert_eq!(cold.outcome, "miss");
     assert!(cold.spans.iter().any(|s| s.name == "build"));
+}
+
+/// One insert-then-delete mutation chain through the incremental engine,
+/// checked against from-scratch oracles at every step: the delta-solved
+/// tree's weight multiset must equal the brute-force EMST of the mutated
+/// cloud, and deleting exactly the inserted points must round-trip to the
+/// parent's own key and tree.
+fn check_mutation_chain<S: ExecSpace>(
+    space: S,
+    traversal: Traversal,
+    kind: Kind,
+    n: usize,
+    seed: u64,
+) {
+    let base: Vec<Point<2>> = kind.generate(n, seed);
+    let engine = ServeEngine::<_, 2>::new(space, config_with(traversal, 4, 8));
+    let key = engine.ingest(&base);
+    let base_tree = weight_multiset(&engine.emst_by_key(key).unwrap().edges);
+
+    // Jittered copies of existing members land in occupied shards; the
+    // offset point may extend the Morton range of the last shard.
+    let mut added: Vec<Point<2>> = base
+        .iter()
+        .step_by(n / 4)
+        .take(3)
+        .map(|p| Point::new([p[0] + 3e-4, p[1] - 2e-4]))
+        .collect();
+    added.push(Point::new([base[0][0] + 0.37, base[0][1] + 0.11]));
+    let ins = engine.insert(key, &added).unwrap();
+    assert_eq!(ins.n, n + added.len());
+    verify_spanning_tree(ins.n, &ins.update.edges).unwrap();
+    assert_eq!(
+        weight_multiset(&ins.update.edges),
+        weight_multiset(&brute_force_emst(&ins.points)),
+        "insert diverged (kind {kind:?}, n {n}, seed {seed}, {traversal:?})"
+    );
+
+    // Delete a spread of ids from the mutated cloud.
+    let ids = [0u32, (ins.n / 2) as u32, (ins.n - 1) as u32];
+    let del = engine.delete(ins.key, &ids).unwrap();
+    assert_eq!(del.n, ins.n - ids.len());
+    verify_spanning_tree(del.n, &del.update.edges).unwrap();
+    assert_eq!(
+        weight_multiset(&del.update.edges),
+        weight_multiset(&brute_force_emst(&del.points)),
+        "delete diverged (kind {kind:?}, n {n}, seed {seed}, {traversal:?})"
+    );
+
+    // Round trip: deleting exactly the appended ids restores the parent
+    // cloud bit-for-bit, so the content digest resolves straight back to
+    // the original resident and the tree is the original tree.
+    let appended: Vec<u32> = (n as u32..ins.n as u32).collect();
+    let back = engine.delete(ins.key, &appended).unwrap();
+    assert_eq!(back.key, key, "insert-then-delete must round-trip to the parent key");
+    assert_eq!(weight_multiset(&back.update.edges), base_tree);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random mutation chains across dataset generators, both traversals
+    /// and the Serial/Threads backends all match from-scratch oracles.
+    #[test]
+    fn mutation_chains_match_from_scratch_oracles(
+        seed in 0u64..512,
+        kind_idx in 0usize..4,
+        n in 60usize..140,
+    ) {
+        let kind = [Kind::Uniform, Kind::Normal, Kind::HaccLike, Kind::VisualVar][kind_idx];
+        for traversal in [Traversal::Stackless, Traversal::Stack] {
+            check_mutation_chain(Serial, traversal, kind, n, seed);
+            check_mutation_chain(Threads, traversal, kind, n, seed);
+        }
+    }
+}
+
+/// Satellite: 8 threads concurrently mutating and querying one shared
+/// engine, each on its own cloud lineage. Mutations of disjoint lineages
+/// commute, so every thread's replies must be bit-identical to the same
+/// chain replayed on a private single-threaded engine — that replay is a
+/// legal serialization of any interleaving.
+#[test]
+fn concurrent_mutations_and_queries_are_bit_identical_to_serial_replays() {
+    const THREADS: usize = 8;
+    fn chain<S: ExecSpace>(
+        engine: &ServeEngine<S, 2>,
+        base: &[Point<2>],
+    ) -> (Vec<Edge>, Vec<Edge>, Vec<Edge>) {
+        let key = engine.ingest(base);
+        let added: Vec<Point<2>> =
+            base[..5].iter().map(|p| Point::new([p[0] + 1e-3, p[1] + 2e-3])).collect();
+        let ins = engine.insert(key, &added).unwrap();
+        let warm = engine.emst(&ins.points);
+        let appended: Vec<u32> = (base.len() as u32..ins.n as u32).collect();
+        let back = engine.delete(ins.key, &appended).unwrap();
+        assert_eq!(back.key, key, "delete of the inserted ids must round-trip");
+        (ins.update.edges, warm.edges, back.update.edges)
+    }
+
+    let bases: Vec<Vec<Point<2>>> = (0..THREADS).map(|t| cloud(260, 900 + t as u64)).collect();
+    let expected: Vec<_> = bases
+        .iter()
+        .map(|b| chain(&ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 32)), b))
+        .collect();
+
+    let shared = ServeEngine::<_, 2>::new(Serial, ServeConfig::new(4, 32));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (shared, bases, expected) = (&shared, &bases, &expected);
+            s.spawn(move || {
+                let got = chain(shared, &bases[t]);
+                assert_eq!(got, expected[t], "thread {t} diverged from its serial replay");
+            });
+        }
+    });
+    let stats = shared.stats();
+    assert_eq!(stats.inserts, THREADS as u64);
+    assert_eq!(stats.deletes, THREADS as u64);
+    assert_eq!(stats.query_panics, 0);
+    assert_eq!(stats.deadline_exceeded, 0);
+}
+
+/// Satellite: deadline propagation into the incremental local-solve. A
+/// fault-plan stall on spill reads makes reloading the evicted parent
+/// consume the whole deadline budget, so the dirty-shard re-solve must
+/// give up at its deadline seam with the honest typed error instead of a
+/// late answer — and count it.
+#[test]
+fn stalled_incremental_update_honors_the_deadline() {
+    let dir = std::env::temp_dir().join(format!("emst_pr10_stall_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut cfg = ServeConfig::new(4, 1);
+    cfg.spill_dir = Some(dir.clone());
+    cfg.deadline = Some(Duration::from_millis(40));
+    cfg.fault_plan = Some(Arc::new(FaultPlan::parse("seed=7;read=stall:120@1.0").unwrap()));
+    let engine = ServeEngine::<_, 2>::new(Serial, cfg);
+    let a = cloud(300, 1);
+    let b = cloud(300, 2);
+    let key = engine.ingest(&a);
+    engine.ingest(&b); // capacity 1: evicts cloud A to its spill file
+    assert_eq!(engine.num_resident(), 1);
+
+    let before = engine.stats().deadline_exceeded;
+    match engine.insert(key, &[Point::new([0.5f32, 0.5])]) {
+        Err(ServeError::DeadlineExceeded(k)) => assert_eq!(k, key),
+        other => panic!("stalled update must exceed its deadline, got {other:?}"),
+    }
+    assert!(engine.stats().deadline_exceeded > before, "the miss must be counted");
+    std::fs::remove_dir_all(&dir).ok();
 }
